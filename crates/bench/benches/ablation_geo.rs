@@ -1,0 +1,58 @@
+//! Geometry-kernel microbenchmarks: the per-candidate costs behind
+//! range-query qualification (exact circle overlap) and routing
+//! (containment, enlargement, projection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiloc_geo::{Circle, GeoPoint, LocalProjection, Point, Polygon, Rect, Region};
+use std::hint::black_box;
+
+fn bench_geo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo");
+
+    let rect = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let region_rect = Region::from(rect);
+    let hexagon = Polygon::regular(Point::new(50.0, 50.0), 45.0, 6);
+    let region_poly = Region::from(hexagon.clone());
+    let circle = Circle::new(Point::new(95.0, 50.0), 25.0);
+
+    group.bench_function("circle_rect_overlap_area", |b| {
+        b.iter(|| black_box(region_rect.intersection_area_with_circle(&circle)));
+    });
+
+    group.bench_function("circle_polygon_overlap_area", |b| {
+        b.iter(|| black_box(region_poly.intersection_area_with_circle(&circle)));
+    });
+
+    group.bench_function("circle_circle_lens", |b| {
+        let other = Circle::new(Point::new(70.0, 50.0), 30.0);
+        b.iter(|| black_box(circle.intersection_area_with_circle(&other)));
+    });
+
+    group.bench_function("polygon_contains_point", |b| {
+        let p = Point::new(51.0, 49.0);
+        b.iter(|| black_box(hexagon.contains(p)));
+    });
+
+    group.bench_function("polygon_clip_to_rect", |b| {
+        let clip = Rect::new(Point::new(25.0, 25.0), Point::new(75.0, 75.0));
+        b.iter(|| black_box(hexagon.intersection_area_with_rect(&clip)));
+    });
+
+    group.bench_function("polygon_enlarge", |b| {
+        b.iter(|| black_box(hexagon.enlarged(10.0).area()));
+    });
+
+    group.bench_function("projection_roundtrip", |b| {
+        let proj = LocalProjection::new(GeoPoint::new(48.7758, 9.1829));
+        let g = GeoPoint::new(48.78, 9.19);
+        b.iter(|| {
+            let local = proj.to_local(g);
+            black_box(proj.to_geo(local))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Spatial-index ablation: point quadtree (paper's choice) vs R-tree vs
+//! uniform grid vs naive scan, on the Table 1 population, for inserts,
+//! moves, range queries and nearest-neighbor queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hiloc_bench::fixtures::{table1_area, uniform_points};
+use hiloc_geo::{Point, Rect};
+use hiloc_spatial::{GridIndex, NaiveIndex, PointQuadtree, RTree, SpatialIndex};
+use std::hint::black_box;
+
+const OBJECTS: usize = 25_000;
+
+fn make(kind: &str) -> Box<dyn SpatialIndex> {
+    match kind {
+        "quadtree" => Box::new(PointQuadtree::new()),
+        "rtree" => Box::new(RTree::new()),
+        "grid" => Box::new(GridIndex::new(200.0)),
+        "naive" => Box::new(NaiveIndex::new()),
+        other => unreachable!("unknown index {other}"),
+    }
+}
+
+fn populated(kind: &str, points: &[Point]) -> Box<dyn SpatialIndex> {
+    let mut idx = make(kind);
+    for (i, p) in points.iter().enumerate() {
+        idx.insert(i as u64, *p);
+    }
+    idx
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let area = table1_area();
+    let points = uniform_points(OBJECTS, area, 1);
+    let moves = uniform_points(4_096, area, 2);
+    let centers = uniform_points(1_024, area, 3);
+
+    // The naive index is excluded from the query benches at 25 k
+    // objects (its O(n) scans would dominate the suite's runtime); it
+    // is covered by the conformance tests instead.
+    for kind in ["quadtree", "rtree", "grid"] {
+        let mut group = c.benchmark_group(format!("index_{kind}"));
+        group.sample_size(20);
+
+        group.bench_function("bulk_insert_25k", |b| {
+            b.iter_batched(
+                || make(kind),
+                |mut idx| {
+                    for (i, p) in points.iter().enumerate() {
+                        idx.insert(i as u64, *p);
+                    }
+                    black_box(idx.len())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+
+        group.bench_function("move_object", |b| {
+            let mut idx = populated(kind, &points);
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = (i * 7919) % OBJECTS;
+                idx.insert(key as u64, moves[i % moves.len()]);
+                i += 1;
+            });
+        });
+
+        group.bench_function("range_100m", |b| {
+            let idx = populated(kind, &points);
+            let mut i = 0usize;
+            b.iter(|| {
+                let r = Rect::from_center_size(centers[i % centers.len()], 100.0, 100.0);
+                i += 1;
+                let mut hits = 0usize;
+                idx.query_rect(&r, &mut |_| hits += 1);
+                black_box(hits)
+            });
+        });
+
+        group.bench_function("nearest", |b| {
+            let idx = populated(kind, &points);
+            let mut i = 0usize;
+            b.iter(|| {
+                let p = centers[i % centers.len()];
+                i += 1;
+                black_box(idx.nearest(p))
+            });
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench for Table 1: per-operation cost of the data-storage
+//! component (insert / update / position query / range queries of three
+//! sizes) on the paper's 10 km × 10 km, 25 000-object population.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hiloc_bench::fixtures::{populated_db, stored, table1_area, uniform_points};
+use hiloc_core::model::semantics::qualifies_for_range;
+use hiloc_core::model::LocationDescriptor;
+use hiloc_geo::{Rect, Region};
+use hiloc_storage::SightingDb;
+use std::hint::black_box;
+
+const OBJECTS: usize = 25_000;
+
+fn bench_table1(c: &mut Criterion) {
+    let area = table1_area();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+
+    // Row 1: creating the index (25 000 inserts).
+    group.bench_function("create_index_25k", |b| {
+        let points = uniform_points(OBJECTS, area, 1);
+        b.iter_batched(
+            SightingDb::new_quadtree,
+            |mut db| {
+                for (i, p) in points.iter().enumerate() {
+                    db.upsert(stored(i as u64, *p));
+                }
+                black_box(db.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Row 2: position updates.
+    group.bench_function("position_update", |b| {
+        let mut db = populated_db(SightingDb::new_quadtree(), OBJECTS, area, 2);
+        let moves = uniform_points(4_096, area, 3);
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = (i * 7919) % OBJECTS;
+            db.upsert(stored(key as u64, moves[i % moves.len()]));
+            i += 1;
+        });
+    });
+
+    // Row 3: position queries (hash index).
+    group.bench_function("position_query", |b| {
+        let db = populated_db(SightingDb::new_quadtree(), OBJECTS, area, 4);
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = (i * 104_729) % OBJECTS;
+            i += 1;
+            black_box(db.get(key as u64))
+        });
+    });
+
+    // Rows 4-6: range queries.
+    for extent in [10.0, 100.0, 1_000.0] {
+        group.bench_function(format!("range_query_{}m", extent as u64), |b| {
+            let db = populated_db(SightingDb::new_quadtree(), OBJECTS, area, 5);
+            let centers = uniform_points(1_024, area, 6);
+            let mut i = 0usize;
+            b.iter(|| {
+                let region =
+                    Region::from(Rect::from_center_size(centers[i % centers.len()], extent, extent));
+                i += 1;
+                let mut hits = 0usize;
+                db.range_candidates(&region, 50.0, &mut |rec| {
+                    let ld = LocationDescriptor { pos: rec.pos, acc_m: rec.acc_sens_m };
+                    if qualifies_for_range(&region, &ld, 50.0, 0.5) {
+                        hits += 1;
+                    }
+                });
+                black_box(hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

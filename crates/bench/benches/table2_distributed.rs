@@ -1,0 +1,109 @@
+//! Criterion bench for Table 2: end-to-end cost of the distributed
+//! operations (protocol processing across all involved servers) on the
+//! paper's 1-root / 4-leaf testbed, driven deterministically.
+//!
+//! Wall-clock numbers here measure the *processing* cost of the full
+//! message path (no artificial latency); the `experiments table2`
+//! binary measures the concurrent threaded deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiloc_bench::fixtures::{table2_area, table2_hierarchy, uniform_points};
+use hiloc_core::model::{ObjectId, RangeQuery, Sighting};
+use hiloc_core::runtime::SimDeployment;
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_net::{FaultPlan, LatencyModel, ServerId};
+use std::hint::black_box;
+
+const OBJECTS: usize = 10_000;
+
+fn deployment() -> (SimDeployment, Vec<ServerId>, Vec<Point>) {
+    let mut ls = SimDeployment::with_network(
+        table2_hierarchy(),
+        Default::default(),
+        LatencyModel::instant(),
+        FaultPlan::none(),
+        1,
+    );
+    let positions = uniform_points(OBJECTS, table2_area(), 2);
+    let mut agents = Vec::with_capacity(OBJECTS);
+    for (i, p) in positions.iter().enumerate() {
+        let entry = ls.leaf_for(*p);
+        let (agent, _) = ls
+            .register(entry, Sighting::new(ObjectId(i as u64), 0, *p, 10.0), 25.0, 100.0)
+            .expect("registration succeeds");
+        agents.push(agent);
+    }
+    ls.run_until_quiet();
+    (ls, agents, positions)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let (mut ls, agents, positions) = deployment();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(30);
+
+    let mut i = 0usize;
+    group.bench_function("update_local", |b| {
+        b.iter(|| {
+            let k = i % OBJECTS;
+            i += 1;
+            let s = Sighting::new(ObjectId(k as u64), 0, positions[k], 10.0);
+            black_box(ls.update(agents[k], s).expect("update succeeds"))
+        });
+    });
+
+    let mut i = 0usize;
+    group.bench_function("pos_query_local", |b| {
+        b.iter(|| {
+            let k = i % OBJECTS;
+            i += 1;
+            black_box(ls.pos_query(agents[k], ObjectId(k as u64)).expect("query succeeds"))
+        });
+    });
+
+    let mut i = 0usize;
+    group.bench_function("pos_query_remote", |b| {
+        b.iter(|| {
+            let k = i % OBJECTS;
+            i += 1;
+            let entry = if agents[k] == ServerId(1) { ServerId(4) } else { ServerId(1) };
+            black_box(ls.pos_query(entry, ObjectId(k as u64)).expect("query succeeds"))
+        });
+    });
+
+    let local_query = RangeQuery::new(
+        Region::from(Rect::from_center_size(Point::new(300.0, 300.0), 50.0, 50.0)),
+        50.0,
+        0.5,
+    );
+    group.bench_function("range_query_local", |b| {
+        b.iter(|| black_box(ls.range_query(ServerId(1), local_query.clone()).expect("ok")));
+    });
+    group.bench_function("range_query_remote_1leaf", |b| {
+        b.iter(|| black_box(ls.range_query(ServerId(4), local_query.clone()).expect("ok")));
+    });
+
+    let four_leaf_query = RangeQuery::new(
+        Region::from(Rect::from_center_size(Point::new(750.0, 750.0), 50.0, 50.0)),
+        50.0,
+        0.5,
+    );
+    group.bench_function("range_query_remote_4leaf", |b| {
+        b.iter(|| black_box(ls.range_query(ServerId(4), four_leaf_query.clone()).expect("ok")));
+    });
+
+    let mut i = 0usize;
+    group.bench_function("neighbor_query", |b| {
+        let spots = uniform_points(256, table2_area(), 9);
+        b.iter(|| {
+            let p = spots[i % spots.len()];
+            i += 1;
+            black_box(ls.neighbor_query(ServerId(1), p, 100.0, 10.0).expect("ok"))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

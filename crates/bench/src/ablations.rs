@@ -1,0 +1,375 @@
+//! Ablation and sweep experiments (the paper's §8 future-work agenda).
+
+use crate::fixtures::{table2_area, table2_hierarchy, uniform_points};
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::cache::CacheConfig;
+use hiloc_core::model::{ObjectId, RangeQuery, Sighting, UpdatePolicy};
+use hiloc_core::node::ServerOptions;
+use hiloc_core::runtime::SimDeployment;
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_sim::mobility::MobilityKind;
+use hiloc_sim::{Fleet, FleetConfig, Samples};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// ------------------------------------------------------- caching (§6.5)
+
+/// Measured effect of the §6.5 caches on repeated remote queries.
+#[derive(Debug, Clone)]
+pub struct CachingRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Mean virtual response time of a remote position query (ms).
+    pub pos_ms: f64,
+    /// Mean messages per remote position query.
+    pub pos_msgs: f64,
+    /// Mean virtual response time of a remote range query (ms).
+    pub range_ms: f64,
+    /// Mean messages per remote range query.
+    pub range_msgs: f64,
+}
+
+/// Runs repeated remote queries with caches off vs on.
+///
+/// With caches enabled the first query of each kind warms the cache;
+/// steady-state queries then skip the hierarchy (agent/area caches) or
+/// the network entirely (position cache disabled here so the effect
+/// measured is routing, not staleness).
+pub fn run_caching(objects: u64, repeats: usize, seed: u64) -> Vec<CachingRow> {
+    let mut rows = Vec::new();
+    for (label, caches) in [
+        ("caches off (paper prototype)", CacheConfig::default()),
+        (
+            "agent + area caches on",
+            CacheConfig {
+                agent_cache: true,
+                area_cache: true,
+                position_cache: false,
+                ..CacheConfig::all_enabled()
+            },
+        ),
+        ("all caches on (incl. position)", CacheConfig::all_enabled()),
+    ] {
+        let opts = ServerOptions { caches, ..Default::default() };
+        let mut ls = SimDeployment::new(table2_hierarchy(), opts, seed);
+        let positions = uniform_points(objects as usize, table2_area(), seed);
+        for (i, p) in positions.iter().enumerate() {
+            let entry = ls.leaf_for(*p);
+            ls.register(entry, Sighting::new(ObjectId(i as u64), 0, *p, 10.0), 25.0, 100.0)
+                .expect("registration succeeds");
+        }
+        ls.run_until_quiet();
+
+        // Remote position queries: always the same target object from
+        // the opposite quadrant (cache-friendliest case, as in §6.5's
+        // motivation).
+        let target = ObjectId(0);
+        let target_leaf = ls.leaf_for(positions[0]);
+        let entry = if target_leaf.0 == 1 { hiloc_net::ServerId(4) } else { hiloc_net::ServerId(1) };
+        // The queried range area lives in leaf s1's quadrant; enter the
+        // range queries at s4 so they are always remote.
+        let range_entry = hiloc_net::ServerId(4);
+        let mut pos_lat = Samples::new();
+        let mut pos_msgs = Samples::new();
+        for _ in 0..repeats {
+            let (s0, _, _) = ls.net_counters();
+            let t0 = ls.now_us();
+            ls.pos_query(entry, target).expect("query succeeds");
+            let (s1, _, _) = ls.net_counters();
+            pos_lat.record((ls.now_us() - t0) as f64 / 1e3);
+            pos_msgs.record((s1 - s0) as f64);
+        }
+
+        // Remote range queries over a fixed remote area.
+        let q = RangeQuery::new(
+            Region::from(Rect::from_center_size(Point::new(300.0, 300.0), 50.0, 50.0)),
+            50.0,
+            0.5,
+        );
+        let mut range_lat = Samples::new();
+        let mut range_msgs = Samples::new();
+        for _ in 0..repeats {
+            let (s0, _, _) = ls.net_counters();
+            let t0 = ls.now_us();
+            ls.range_query(range_entry, q.clone()).expect("query succeeds");
+            let (s1, _, _) = ls.net_counters();
+            range_lat.record((ls.now_us() - t0) as f64 / 1e3);
+            range_msgs.record((s1 - s0) as f64);
+        }
+
+        rows.push(CachingRow {
+            config: label,
+            pos_ms: pos_lat.summary().mean,
+            pos_msgs: pos_msgs.summary().mean,
+            range_ms: range_lat.summary().mean,
+            range_msgs: range_msgs.summary().mean,
+        });
+    }
+    rows
+}
+
+// ------------------------------------- hierarchy shape sweep (§4 / §8)
+
+/// One configuration of the hierarchy sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Levels below the root.
+    pub levels: u32,
+    /// Grid fan-out per axis (children per node = k²).
+    pub fanout_k: u32,
+    /// Total servers.
+    pub servers: usize,
+    /// Query locality used.
+    pub locality: f64,
+    /// Mean messages per position query.
+    pub pos_msgs: f64,
+    /// Mean virtual position-query latency (ms).
+    pub pos_ms: f64,
+    /// Mean messages per range query.
+    pub range_msgs: f64,
+    /// Mean virtual range-query latency (ms).
+    pub range_ms: f64,
+}
+
+/// Sweeps hierarchy height and fan-out under a query workload with the
+/// given locality: local queries target the entry leaf's own area,
+/// non-local ones a uniformly random spot.
+pub fn run_hierarchy_sweep(
+    shapes: &[(u32, u32)],
+    localities: &[f64],
+    objects: u64,
+    queries: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(4_000.0, 4_000.0));
+    let mut rows = Vec::new();
+    for &(levels, k) in shapes {
+        for &locality in localities {
+            let h = HierarchyBuilder::grid(area, levels, k).build().expect("valid hierarchy");
+            let servers = h.len();
+            let mut ls = SimDeployment::new(h, ServerOptions::default(), seed);
+            let positions = uniform_points(objects as usize, area, seed ^ 0xAB);
+            for (i, p) in positions.iter().enumerate() {
+                let entry = ls.leaf_for(*p);
+                ls.register(entry, Sighting::new(ObjectId(i as u64), 0, *p, 10.0), 25.0, 100.0)
+                    .expect("registration succeeds");
+            }
+            ls.run_until_quiet();
+
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xCD);
+            let mut pos_msgs = Samples::new();
+            let mut pos_lat = Samples::new();
+            let mut range_msgs = Samples::new();
+            let mut range_lat = Samples::new();
+            for _ in 0..queries {
+                // Pick a client position; its leaf is the entry server.
+                let client_pos = Point::new(
+                    rng.random_range(0.0..4_000.0 - 1e-3),
+                    rng.random_range(0.0..4_000.0 - 1e-3),
+                );
+                let entry = ls.leaf_for(client_pos);
+                let local = rng.random_bool(locality);
+                // Position query for an object near or far.
+                let target_pos = if local {
+                    client_pos
+                } else {
+                    Point::new(
+                        rng.random_range(0.0..4_000.0 - 1e-3),
+                        rng.random_range(0.0..4_000.0 - 1e-3),
+                    )
+                };
+                // Nearest registered object to the target spot.
+                let oid = nearest_object(&positions, target_pos);
+                let (s0, _, _) = ls.net_counters();
+                let t0 = ls.now_us();
+                ls.pos_query(entry, oid).expect("query succeeds");
+                let (s1, _, _) = ls.net_counters();
+                pos_msgs.record((s1 - s0) as f64);
+                pos_lat.record((ls.now_us() - t0) as f64 / 1e3);
+
+                // Range query around the same spot.
+                let q = RangeQuery::new(
+                    Region::from(Rect::from_center_size(clamp(area, target_pos), 100.0, 100.0)),
+                    50.0,
+                    0.5,
+                );
+                let (s0, _, _) = ls.net_counters();
+                let t0 = ls.now_us();
+                ls.range_query(entry, q).expect("query succeeds");
+                let (s1, _, _) = ls.net_counters();
+                range_msgs.record((s1 - s0) as f64);
+                range_lat.record((ls.now_us() - t0) as f64 / 1e3);
+            }
+            rows.push(SweepRow {
+                levels,
+                fanout_k: k,
+                servers,
+                locality,
+                pos_msgs: pos_msgs.summary().mean,
+                pos_ms: pos_lat.summary().mean,
+                range_msgs: range_msgs.summary().mean,
+                range_ms: range_lat.summary().mean,
+            });
+        }
+    }
+    rows
+}
+
+fn nearest_object(positions: &[Point], p: Point) -> ObjectId {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, q) in positions.iter().enumerate() {
+        let d = p.distance_sq(*q);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    ObjectId(best as u64)
+}
+
+fn clamp(area: Rect, p: Point) -> Point {
+    Point::new(
+        p.x.clamp(area.min().x + 60.0, area.max().x - 60.0),
+        p.y.clamp(area.min().y + 60.0, area.max().y - 60.0),
+    )
+}
+
+// ------------------------------------------- update policies (ref [15])
+
+/// One row of the update-policy sweep.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Object speed (m/s).
+    pub speed_mps: f64,
+    /// Updates transmitted per object per minute.
+    pub updates_per_obj_min: f64,
+    /// Handovers per object per minute.
+    pub handovers_per_obj_min: f64,
+}
+
+/// Compares update policies across object speeds on the paper testbed.
+pub fn run_update_policies(objects: u64, minutes: f64, seed: u64) -> Vec<PolicyRow> {
+    let mut rows = Vec::new();
+    let threshold = 25.0;
+    for (label, policy) in [
+        ("distance (paper)", UpdatePolicy::Distance { threshold_m: threshold }),
+        ("periodic 10 s", UpdatePolicy::Periodic { period_us: 10 * hiloc_core::model::SECOND }),
+        ("dead reckoning", UpdatePolicy::DeadReckoning { threshold_m: threshold }),
+    ] {
+        for speed in [0.83, 8.3] {
+            let mut ls = SimDeployment::new(table2_hierarchy(), ServerOptions::default(), seed);
+            let cfg = FleetConfig {
+                num_objects: objects,
+                speed_mps: speed,
+                policy,
+                mobility: MobilityKind::RandomWaypoint,
+                seed,
+                ..Default::default()
+            };
+            let mut fleet = Fleet::register(cfg, &mut ls).expect("fleet registers");
+            let mut updates = 0u64;
+            let mut handovers = 0u64;
+            let steps = (minutes * 60.0) as usize;
+            for _ in 0..steps {
+                let s = fleet.step(&mut ls, 1.0);
+                updates += s.updates_sent;
+                handovers += s.handovers;
+            }
+            rows.push(PolicyRow {
+                policy: label,
+                speed_mps: speed,
+                updates_per_obj_min: updates as f64 / objects as f64 / minutes,
+                handovers_per_obj_min: handovers as f64 / objects as f64 / minutes,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_reduces_messages() {
+        let rows = run_caching(200, 20, 21);
+        let off = &rows[0];
+        let routing = &rows[1];
+        let all = &rows[2];
+        assert!(
+            routing.pos_msgs < off.pos_msgs,
+            "agent cache must cut messages: {} vs {}",
+            routing.pos_msgs,
+            off.pos_msgs
+        );
+        assert!(routing.range_msgs < off.range_msgs);
+        // Position cache answers locally: almost no messages.
+        assert!(all.pos_msgs < routing.pos_msgs);
+        assert!(all.pos_ms < off.pos_ms);
+    }
+
+    #[test]
+    fn deeper_hierarchies_cost_more_messages_for_nonlocal_queries() {
+        let rows = run_hierarchy_sweep(&[(1, 2), (3, 2)], &[0.0], 150, 30, 5);
+        let shallow = rows.iter().find(|r| r.levels == 1).expect("present");
+        let deep = rows.iter().find(|r| r.levels == 3).expect("present");
+        assert!(
+            deep.pos_msgs > shallow.pos_msgs,
+            "deep {} vs shallow {}",
+            deep.pos_msgs,
+            shallow.pos_msgs
+        );
+    }
+
+    #[test]
+    fn locality_cuts_query_cost() {
+        let rows = run_hierarchy_sweep(&[(2, 2)], &[0.0, 0.95], 150, 40, 6);
+        let non_local = rows.iter().find(|r| r.locality == 0.0).expect("present");
+        let local = rows.iter().find(|r| r.locality == 0.95).expect("present");
+        assert!(
+            local.pos_msgs < non_local.pos_msgs,
+            "local {} vs non-local {}",
+            local.pos_msgs,
+            non_local.pos_msgs
+        );
+    }
+
+    #[test]
+    fn faster_objects_send_more_updates() {
+        let rows = run_update_policies(30, 2.0, 7);
+        let dist_slow = rows
+            .iter()
+            .find(|r| r.policy.starts_with("distance") && r.speed_mps < 1.0)
+            .expect("present");
+        let dist_fast = rows
+            .iter()
+            .find(|r| r.policy.starts_with("distance") && r.speed_mps > 1.0)
+            .expect("present");
+        assert!(dist_fast.updates_per_obj_min > dist_slow.updates_per_obj_min);
+        assert!(dist_fast.handovers_per_obj_min >= dist_slow.handovers_per_obj_min);
+    }
+
+    #[test]
+    fn dead_reckoning_beats_distance_for_straight_motion() {
+        // Random waypoint moves in straight legs: dead reckoning should
+        // transmit fewer updates than plain distance thresholding.
+        let rows = run_update_policies(30, 2.0, 8);
+        let dr = rows
+            .iter()
+            .find(|r| r.policy.contains("reckoning") && r.speed_mps > 1.0)
+            .expect("present");
+        let dist = rows
+            .iter()
+            .find(|r| r.policy.starts_with("distance") && r.speed_mps > 1.0)
+            .expect("present");
+        assert!(
+            dr.updates_per_obj_min < dist.updates_per_obj_min,
+            "dr {} vs distance {}",
+            dr.updates_per_obj_min,
+            dist.updates_per_obj_min
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments table1            # Table 1: data-storage throughput
+//! experiments table2            # Table 2: wall-clock latency + throughput
+//! experiments table2-sim        # Table 2: virtual-time shape + message counts
+//! experiments fig3              # Figure 3: range-query semantics
+//! experiments fig4              # Figure 4: nearest-neighbor semantics
+//! experiments fig6              # Figure 6: message flows
+//! experiments caching           # §6.5 cache ablation
+//! experiments hierarchy-sweep   # height/fan-out/locality sweep (§8)
+//! experiments update-policy     # update protocol comparison (ref [15])
+//! experiments all               # everything above
+//! experiments all --quick       # reduced sizes (CI-friendly)
+//! ```
+
+use hiloc_bench::figures::{fig3, fig4, fig6, involved_servers};
+use hiloc_bench::table1::IndexChoice;
+use hiloc_bench::{ablations, fmt_rate, print_table, table1, table2};
+use std::time::Duration;
+
+struct Scale {
+    t1_objects: usize,
+    t1_ops: usize,
+    t2_objects: u64,
+    t2_latency_ops: usize,
+    t2_threads: usize,
+    t2_duration_ms: u64,
+    sweep_objects: u64,
+    sweep_queries: usize,
+    policy_objects: u64,
+    policy_minutes: f64,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            t1_objects: 25_000,
+            t1_ops: 10_000,
+            t2_objects: 10_000,
+            t2_latency_ops: 300,
+            t2_threads: 8,
+            t2_duration_ms: 1_000,
+            sweep_objects: 2_000,
+            sweep_queries: 200,
+            policy_objects: 150,
+            policy_minutes: 5.0,
+        }
+    }
+
+    fn quick() -> Self {
+        Scale {
+            t1_objects: 5_000,
+            t1_ops: 2_000,
+            t2_objects: 1_000,
+            t2_latency_ops: 50,
+            t2_threads: 4,
+            t2_duration_ms: 250,
+            sweep_objects: 300,
+            sweep_queries: 40,
+            policy_objects: 40,
+            policy_minutes: 2.0,
+        }
+    }
+}
+
+const SEED: u64 = 0x10CA_7E57;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let cmd = args.iter().find(|a| !a.starts_with('-')).map(String::as_str).unwrap_or("all");
+
+    match cmd {
+        "table1" => run_table1(&scale),
+        "table2" => run_table2(&scale),
+        "table2-sim" => run_table2_sim(&scale),
+        "fig3" => run_fig3(),
+        "fig4" => run_fig4(),
+        "fig6" => run_fig6(),
+        "caching" => run_caching(&scale),
+        "hierarchy-sweep" => run_sweep(&scale),
+        "update-policy" => run_policies(&scale),
+        "all" => {
+            run_table1(&scale);
+            run_table2(&scale);
+            run_table2_sim(&scale);
+            run_fig3();
+            run_fig4();
+            run_fig6();
+            run_caching(&scale);
+            run_sweep(&scale);
+            run_policies(&scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("known: table1 table2 table2-sim fig3 fig4 fig6 caching hierarchy-sweep update-policy all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_table1(scale: &Scale) {
+    let rows = table1::run(IndexChoice::Quadtree, scale.t1_objects, scale.t1_ops, SEED);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operation.to_string(),
+                fmt_rate(r.ops_per_s),
+                fmt_rate(r.paper_ops_per_s),
+                format!("{:.2}x", r.ops_per_s / r.paper_ops_per_s),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 1: data-storage throughput ({} objects, {} ops/row, 10 km x 10 km, point quadtree)",
+            scale.t1_objects, scale.t1_ops
+        ),
+        &["operation", "measured", "paper (2001 hardware)", "ratio"],
+        &table,
+    );
+}
+
+fn run_table2(scale: &Scale) {
+    let rows = table2::run_threaded(
+        scale.t2_objects,
+        scale.t2_latency_ops,
+        scale.t2_threads,
+        Duration::from_millis(scale.t2_duration_ms),
+        SEED,
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (paper_ms, paper_tp) = r.op.paper();
+            vec![
+                r.op.label().to_string(),
+                format!("{:.3} ms", r.mean_latency_ms),
+                fmt_rate(r.throughput_per_s),
+                format!("{paper_ms:.1} ms"),
+                fmt_rate(paper_tp),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 2: threaded deployment, wall clock ({} objects, {} latency ops, {} load threads x {} ms)",
+            scale.t2_objects, scale.t2_latency_ops, scale.t2_threads, scale.t2_duration_ms
+        ),
+        &["operation", "response time", "throughput", "paper rt", "paper tp"],
+        &table,
+    );
+}
+
+fn run_table2_sim(scale: &Scale) {
+    let rows = table2::run_sim(scale.t2_objects, scale.t2_latency_ops, SEED);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (paper_ms, _) = r.op.paper();
+            vec![
+                r.op.label().to_string(),
+                format!("{:.3} ms", r.virtual_ms),
+                format!("{:.1}", r.messages),
+                format!("{paper_ms:.1} ms"),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 2 (virtual time): LAN latency model, {} objects — response-time shape and exact message counts",
+            scale.t2_objects
+        ),
+        &["operation", "virtual response time", "messages/op", "paper rt"],
+        &table,
+    );
+}
+
+fn run_fig3() {
+    let (rows, req_overlap, req_acc) = fig3();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.0}%", r.overlap * 100.0),
+                format!("{:.0} m", r.acc_m),
+                if r.included { "included".into() } else { "not included".into() },
+                r.expected.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 3: range-query semantics (reqOverlap = {req_overlap}, reqAcc = {req_acc} m)"),
+        &["object", "overlap", "accuracy", "outcome", "paper annotation"],
+        &table,
+    );
+}
+
+fn run_fig4() {
+    let r = fig4();
+    print_table(
+        "Figure 4: nearest-neighbor semantics (reqAcc = 30 m, nearQual = 40 m)",
+        &["quantity", "value"],
+        &[
+            vec!["returned object".to_string(), r.nearest.to_string()],
+            vec!["distance to ld(o).pos".to_string(), format!("{:.1} m", r.nearest_dist_m)],
+            vec!["guaranteed minimal distance".to_string(), format!("{:.1} m", r.guaranteed_min_m)],
+            vec!["nearObjSet".to_string(), format!("{:?}", r.near_set)],
+            vec!["excluded (insufficient accuracy)".to_string(), format!("{:?}", r.excluded)],
+        ],
+    );
+}
+
+fn run_fig6() {
+    let flows = fig6();
+    for (name, flow) in [
+        ("handover (adjacent leaves, common parent)", &flows.handover),
+        ("remote position query (crosses the root)", &flows.pos_query),
+        ("range query (spans two remote leaves)", &flows.range_query),
+    ] {
+        let table: Vec<Vec<String>> = flow
+            .iter()
+            .map(|h| vec![h.label.to_string(), h.from.clone(), h.to.clone()])
+            .collect();
+        print_table(
+            &format!("Figure 6 flow: {name} — servers involved: {:?}", involved_servers(flow)),
+            &["message", "from", "to"],
+            &table,
+        );
+    }
+}
+
+fn run_caching(scale: &Scale) {
+    let rows = ablations::run_caching(scale.sweep_objects.min(2_000), 50, SEED);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{:.3} ms", r.pos_ms),
+                format!("{:.1}", r.pos_msgs),
+                format!("{:.3} ms", r.range_ms),
+                format!("{:.1}", r.range_msgs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Caching ablation (§6.5): repeated remote queries, virtual time",
+        &["configuration", "pos query rt", "pos msgs/op", "range query rt", "range msgs/op"],
+        &table,
+    );
+}
+
+fn run_sweep(scale: &Scale) {
+    let rows = ablations::run_hierarchy_sweep(
+        &[(1, 2), (1, 4), (2, 2), (3, 2)],
+        &[0.5, 0.9],
+        scale.sweep_objects,
+        scale.sweep_queries,
+        SEED,
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("levels={} k={} ({} servers)", r.levels, r.fanout_k, r.servers),
+                format!("{:.2}", r.locality),
+                format!("{:.1}", r.pos_msgs),
+                format!("{:.3} ms", r.pos_ms),
+                format!("{:.1}", r.range_msgs),
+                format!("{:.3} ms", r.range_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Hierarchy sweep (§8): shape x locality, 4 km x 4 km area",
+        &["shape", "locality", "pos msgs/op", "pos rt", "range msgs/op", "range rt"],
+        &table,
+    );
+}
+
+fn run_policies(scale: &Scale) {
+    let rows = ablations::run_update_policies(scale.policy_objects, scale.policy_minutes, SEED);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.to_string(),
+                format!("{:.2} m/s", r.speed_mps),
+                format!("{:.2}", r.updates_per_obj_min),
+                format!("{:.3}", r.handovers_per_obj_min),
+            ]
+        })
+        .collect();
+    print_table(
+        "Update-policy sweep (ref [15]/[24]): random waypoint on the Fig. 8 testbed",
+        &["policy", "speed", "updates/obj/min", "handovers/obj/min"],
+        &table,
+    );
+}

@@ -1,0 +1,306 @@
+//! Reproductions of the paper's worked figures.
+//!
+//! * **Figure 3** — range-query semantics: five objects with different
+//!   overlap degrees and accuracies against a queried area.
+//! * **Figure 4** — nearest-neighbor semantics: selected object, near
+//!   set, accuracy filtering and the guaranteed minimal distance.
+//! * **Figure 6** — the three message flows (handover, position query,
+//!   range query) across a three-level, seven-server hierarchy.
+
+use crate::fixtures::fig6_hierarchy;
+use hiloc_core::model::semantics::{guaranteed_min_distance, overlap, select_neighbors};
+use hiloc_core::model::{LocationDescriptor, ObjectId, RangeQuery, Sighting};
+use hiloc_core::node::ServerOptions;
+use hiloc_core::runtime::{SimDeployment, UpdateOutcome};
+use hiloc_geo::{Point, Rect, Region};
+
+
+// ------------------------------------------------------------- figure 3
+
+/// One object of the Figure 3 scenario.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Object name as in the figure (o1..o5).
+    pub name: &'static str,
+    /// Computed overlap degree in `[0, 1]`.
+    pub overlap: f64,
+    /// The object's accuracy (m).
+    pub acc_m: f64,
+    /// Whether the range query includes it.
+    pub included: bool,
+    /// The figure's annotation for this object.
+    pub expected: &'static str,
+}
+
+/// Finds the center offset (outside the area edge) at which a circle of
+/// radius `r` overlaps a half-plane by the target fraction.
+fn offset_for_overlap(r: f64, target: f64) -> f64 {
+    // Fraction of a circle beyond a chord at signed distance d from the
+    // center (d < 0: center inside the area).
+    let frac = |d: f64| {
+        let t = (d / r).clamp(-1.0, 1.0);
+        (t.acos() - t * (1.0 - t * t).sqrt()) / std::f64::consts::PI
+    };
+    let (mut lo, mut hi) = (-r, r);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if frac(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Builds and evaluates the Figure 3 scenario:
+/// `reqOverlap = 0.3`, `reqAcc = 50 m`; o1 fully inside (100 %), o2
+/// disjoint, o3 overlapping ~40 % (included), o4 overlapping ~10 %
+/// (excluded), o5 accurate position but accuracy 200 m > reqAcc
+/// (excluded).
+pub fn fig3() -> (Vec<Fig3Row>, f64, f64) {
+    let req_overlap = 0.3;
+    let req_acc = 50.0;
+    let area = Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(200.0, 200.0)));
+    let r = 20.0;
+    let d40 = offset_for_overlap(r, 0.40);
+    let d10 = offset_for_overlap(r, 0.10);
+    let objects = vec![
+        ("o1", LocationDescriptor::new(Point::new(100.0, 100.0), r), "included (100%)"),
+        ("o2", LocationDescriptor::new(Point::new(400.0, 100.0), r), "not included (0%)"),
+        ("o3", LocationDescriptor::new(Point::new(200.0 + d40, 100.0), r), "included (40%)"),
+        ("o4", LocationDescriptor::new(Point::new(200.0 + d10, 100.0), r), "not included (10%)"),
+        (
+            "o5",
+            LocationDescriptor::new(Point::new(100.0, 50.0), 200.0),
+            "not included (insufficient accuracy)",
+        ),
+    ];
+    let rows = objects
+        .into_iter()
+        .map(|(name, ld, expected)| {
+            let ov = overlap(&area, &ld);
+            let included = hiloc_core::model::semantics::qualifies_for_range(
+                &area, &ld, req_acc, req_overlap,
+            );
+            Fig3Row { name, overlap: ov, acc_m: ld.acc_m, included, expected }
+        })
+        .collect();
+    (rows, req_overlap, req_acc)
+}
+
+// ------------------------------------------------------------- figure 4
+
+/// The outcome of the Figure 4 scenario.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// The selected nearest object (o).
+    pub nearest: &'static str,
+    /// Distance from the query point to the nearest's recorded
+    /// position.
+    pub nearest_dist_m: f64,
+    /// The guaranteed minimal true distance.
+    pub guaranteed_min_m: f64,
+    /// Names in the near set.
+    pub near_set: Vec<&'static str>,
+    /// Names excluded for insufficient accuracy.
+    pub excluded: Vec<&'static str>,
+}
+
+/// Builds and evaluates the Figure 4 scenario: object `o` is returned
+/// as nearest; `o1` is inside the `nearQual` ring; `o2` is outside it;
+/// `o3` is nearest of all but filtered by `reqAcc`.
+pub fn fig4() -> Fig4Result {
+    let p = Point::new(0.0, 0.0);
+    let req_acc = 30.0;
+    let near_qual = 40.0;
+    let objects = [
+        ("o", ObjectId(1), LocationDescriptor::new(Point::new(100.0, 0.0), 25.0)),
+        ("o1", ObjectId(2), LocationDescriptor::new(Point::new(0.0, 120.0), 25.0)),
+        ("o2", ObjectId(3), LocationDescriptor::new(Point::new(-200.0, 0.0), 25.0)),
+        ("o3", ObjectId(4), LocationDescriptor::new(Point::new(30.0, 30.0), 80.0)),
+    ];
+    let candidates: Vec<(ObjectId, LocationDescriptor)> =
+        objects.iter().map(|(_, oid, ld)| (*oid, *ld)).collect();
+    let (nearest, near) = select_neighbors(p, &candidates, req_acc, near_qual);
+    let (best_oid, best_ld) = nearest.expect("scenario has a qualified nearest");
+    let name_of = |oid: ObjectId| objects.iter().find(|(_, o, _)| *o == oid).expect("known").0;
+    Fig4Result {
+        nearest: name_of(best_oid),
+        nearest_dist_m: best_ld.distance_to(p),
+        guaranteed_min_m: guaranteed_min_distance(p, &best_ld),
+        near_set: near.iter().map(|(oid, _)| name_of(*oid)).collect(),
+        excluded: objects
+            .iter()
+            .filter(|(_, _, ld)| ld.acc_m > req_acc)
+            .map(|(n, _, _)| *n)
+            .collect(),
+    }
+}
+
+// ------------------------------------------------------------- figure 6
+
+/// One hop of a recorded message flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowHop {
+    /// Sender.
+    pub from: String,
+    /// Receiver.
+    pub to: String,
+    /// Message kind.
+    pub label: &'static str,
+}
+
+/// The three Figure 6 flows, as recorded message traces.
+#[derive(Debug, Clone)]
+pub struct Fig6Flows {
+    /// Handover of an object between sibling leaves (via their common
+    /// parent only — the root is not involved).
+    pub handover: Vec<FlowHop>,
+    /// Remote position query crossing the root.
+    pub pos_query: Vec<FlowHop>,
+    /// Range query spanning two leaves of the other subtree.
+    pub range_query: Vec<FlowHop>,
+}
+
+fn server_flows(
+    trace: &[hiloc_net::TraceEntry],
+    labels: &[&str],
+) -> Vec<FlowHop> {
+    trace
+        .iter()
+        .filter(|t| labels.contains(&t.label))
+        .map(|t| FlowHop { from: t.from.to_string(), to: t.to.to_string(), label: t.label })
+        .collect()
+}
+
+/// Runs the three flows of Figure 6 on the seven-server hierarchy with
+/// tracing enabled and returns the recorded hops.
+pub fn fig6() -> Fig6Flows {
+    let h = fig6_hierarchy();
+    let mut ls = SimDeployment::new(h, ServerOptions::default(), 0xF16);
+    ls.enable_trace();
+
+    // Hierarchy (binary over the 1.5 km testbed area): s0 root;
+    // s1 = west, s2 = east; s3/s4 = south/north of the west half;
+    // s5/s6 = south/north of the east half.
+    let sw = Point::new(100.0, 100.0); // s3
+    let nw = Point::new(100.0, 1_400.0); // s4
+    let se = Point::new(1_400.0, 100.0); // s5
+    let ne = Point::new(1_400.0, 1_400.0); // s6
+    let s3 = ls.leaf_for(sw);
+    let s4 = ls.leaf_for(nw);
+    let s5 = ls.leaf_for(se);
+    let s6 = ls.leaf_for(ne);
+    assert!(s3 != s4 && s5 != s6 && s3 != s5);
+
+    // Tracked objects: one in the SW (will hand over to NW), one in SE.
+    let (agent_a, _) = ls.register(s3, Sighting::new(ObjectId(1), 0, sw, 5.0), 10.0, 50.0).unwrap();
+    ls.register(s5, Sighting::new(ObjectId(2), 0, se, 5.0), 10.0, 50.0).unwrap();
+    ls.run_until_quiet();
+
+    // Flow 1: handover s3 -> parent -> s4 (common parent, root spared).
+    ls.clear_trace();
+    let out = ls.update(agent_a, Sighting::new(ObjectId(1), 1, nw, 5.0)).unwrap();
+    assert!(matches!(out, UpdateOutcome::NewAgent { .. }));
+    ls.run_until_quiet();
+    let handover = server_flows(ls.trace(), &["handoverReq", "handoverRes"]);
+
+    // Flow 2: position query entered at s4 for the object at s5
+    // (crosses the root).
+    ls.clear_trace();
+    ls.pos_query(s4, ObjectId(2)).unwrap();
+    let pos_query = server_flows(ls.trace(), &["posQueryFwd", "posQueryRes"]);
+
+    // Flow 3: range query entered at s4 over the whole east half
+    // (spans s5 and s6; scattered from the root).
+    ls.clear_trace();
+    let q = RangeQuery::new(
+        Region::from(Rect::new(Point::new(900.0, 100.0), Point::new(1_500.0, 1_500.0))),
+        10.0,
+        0.5,
+    );
+    let ans = ls.range_query(s4, q).unwrap();
+    assert!(ans.complete);
+    assert_eq!(ans.objects.len(), 1);
+    let range_query = server_flows(ls.trace(), &["rangeQueryFwd", "rangeQuerySubRes"]);
+
+    Fig6Flows { handover, pos_query, range_query }
+}
+
+/// Convenience: the ids of the servers involved in a flow, in first-seen
+/// order (excluding clients).
+pub fn involved_servers(hops: &[FlowHop]) -> Vec<String> {
+    let mut seen = Vec::new();
+    for h in hops {
+        for node in [&h.from, &h.to] {
+            if node.starts_with('s') && !seen.contains(node) {
+                seen.push(node.clone());
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matches_paper_annotations() {
+        let (rows, _, _) = fig3();
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).expect("row exists");
+        assert!((by_name("o1").overlap - 1.0).abs() < 1e-9);
+        assert!(by_name("o1").included);
+        assert_eq!(by_name("o2").overlap, 0.0);
+        assert!(!by_name("o2").included);
+        assert!((by_name("o3").overlap - 0.40).abs() < 0.01);
+        assert!(by_name("o3").included);
+        assert!((by_name("o4").overlap - 0.10).abs() < 0.01);
+        assert!(!by_name("o4").included);
+        assert!(!by_name("o5").included, "o5 excluded by accuracy");
+    }
+
+    #[test]
+    fn fig4_matches_paper_annotations() {
+        let r = fig4();
+        assert_eq!(r.nearest, "o");
+        assert_eq!(r.near_set, vec!["o1"]); // 120 <= 100 + 40
+        assert!(!r.near_set.contains(&"o2")); // 200 > 140
+        assert_eq!(r.excluded, vec!["o3"]);
+        assert!((r.guaranteed_min_m - 75.0).abs() < 1e-9); // 100 - 25
+    }
+
+    #[test]
+    fn fig6_handover_stays_below_root() {
+        let flows = fig6();
+        let servers = involved_servers(&flows.handover);
+        assert!(
+            !servers.contains(&"s0".to_string()),
+            "sibling handover must not touch the root: {servers:?}"
+        );
+        assert_eq!(servers.len(), 3, "old leaf, parent, new leaf: {servers:?}");
+    }
+
+    #[test]
+    fn fig6_remote_pos_query_crosses_root() {
+        let flows = fig6();
+        let servers = involved_servers(&flows.pos_query);
+        assert!(servers.contains(&"s0".to_string()), "{servers:?}");
+        // Answer returns directly to the entry: last hop is a
+        // posQueryRes to a server.
+        let last = flows.pos_query.last().expect("non-empty flow");
+        assert_eq!(last.label, "posQueryRes");
+    }
+
+    #[test]
+    fn fig6_range_query_reaches_both_east_leaves() {
+        let flows = fig6();
+        let sub_results: Vec<&FlowHop> = flows
+            .range_query
+            .iter()
+            .filter(|h| h.label == "rangeQuerySubRes")
+            .collect();
+        assert_eq!(sub_results.len(), 2, "both east leaves answer: {sub_results:?}");
+    }
+}

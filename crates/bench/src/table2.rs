@@ -1,0 +1,407 @@
+//! Table 2: response time and throughput of the distributed service.
+//!
+//! Paper setting (Fig. 8): five machines — one root, four leaves each
+//! owning a quadrant of a 1.5 km × 1.5 km area — 10 000 objects at
+//! random positions, 50 m × 50 m range queries, and a distinction
+//! between *local* operations (sent to the responsible server) and
+//! *remote* ones (entered at a different leaf).
+//!
+//! Two substrates reproduce it:
+//!
+//! * [`run_threaded`] — real concurrency: one OS thread per server,
+//!   wall-clock latency and closed-loop throughput (the honest analogue
+//!   of the paper's five-workstation LAN);
+//! * [`run_sim`] — deterministic virtual time with a LAN latency model:
+//!   response-time *shape* from message-path lengths, plus exact
+//!   message counts per operation.
+
+use crate::fixtures::{table2_area, table2_hierarchy, uniform_points};
+use hiloc_core::model::{ObjectId, RangeQuery, Sighting};
+use hiloc_core::node::ServerOptions;
+use hiloc_core::runtime::{SimDeployment, SyncClient, ThreadedDeployment};
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_net::ServerId;
+use hiloc_sim::Samples;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The operations measured in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Position update to the agent (always local in the architecture).
+    Update,
+    /// Position query at the object's own agent.
+    LocalPosQuery,
+    /// Position query entered at a different leaf.
+    RemotePosQuery,
+    /// Range query fully inside the entry leaf's area.
+    LocalRangeQuery,
+    /// Remote range query touching one leaf.
+    RemoteRange1,
+    /// Remote range query spanning two leaves.
+    RemoteRange2,
+    /// Remote range query spanning all four leaves.
+    RemoteRange4,
+}
+
+impl Op {
+    /// All operations in paper order.
+    pub const ALL: [Op; 7] = [
+        Op::Update,
+        Op::LocalPosQuery,
+        Op::RemotePosQuery,
+        Op::LocalRangeQuery,
+        Op::RemoteRange1,
+        Op::RemoteRange2,
+        Op::RemoteRange4,
+    ];
+
+    /// Row label as printed by the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Update => "position updates",
+            Op::LocalPosQuery => "local position query",
+            Op::RemotePosQuery => "remote position query",
+            Op::LocalRangeQuery => "local range query",
+            Op::RemoteRange1 => "remote range query (1 server)",
+            Op::RemoteRange2 => "remote range query (2 servers)",
+            Op::RemoteRange4 => "remote range query (4 servers)",
+        }
+    }
+
+    /// The paper's reported `(response time ms, throughput 1/s)`.
+    pub fn paper(self) -> (f64, f64) {
+        match self {
+            Op::Update => (1.2, 4_954.0),
+            Op::LocalPosQuery => (2.0, 2_809.0),
+            Op::RemotePosQuery => (6.3, 728.0),
+            Op::LocalRangeQuery => (5.1, 1_927.0),
+            Op::RemoteRange1 => (13.0, 588.0),
+            Op::RemoteRange2 => (14.6, 364.0),
+            Op::RemoteRange4 => (13.8, 284.0),
+        }
+    }
+}
+
+/// A measured Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Which operation.
+    pub op: Op,
+    /// Mean response time in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Aggregate closed-loop throughput (ops/s); 0 when not measured.
+    pub throughput_per_s: f64,
+}
+
+/// Query geometry shared by both substrates.
+///
+/// Leaf quadrants (grid order): s1 = SW, s2 = SE, s3 = NE, s4 = NW of
+/// the 1.5 km square (BFS ids 1..4). All query areas are 50 m × 50 m
+/// as in the paper; `reqAcc` is 50 m, so the routing probe is enlarged
+/// by 50 m on each side — centers are chosen so the *probe* touches
+/// exactly the intended leaves.
+struct Geometry {
+    /// Fully inside s1, far from every seam.
+    local_center: Point,
+    /// Straddles the vertical seam in the southern half (s1 + s2).
+    two_leaf_center: Point,
+    /// The area center — all four leaves.
+    four_leaf_center: Point,
+    /// Entry leaf used for remote operations (NE quadrant).
+    remote_entry: ServerId,
+    /// Leaf owning `local_center` (SW quadrant).
+    local_leaf: ServerId,
+}
+
+fn geometry() -> Geometry {
+    Geometry {
+        local_center: Point::new(300.0, 300.0),
+        two_leaf_center: Point::new(750.0, 300.0),
+        four_leaf_center: Point::new(750.0, 750.0),
+        remote_entry: ServerId(4), // NW quadrant leaf (BFS: 1=SW,2=SE,3=NW? validated in tests)
+        local_leaf: ServerId(1),
+    }
+}
+
+const RANGE_EXTENT_M: f64 = 50.0;
+const REQ_ACC_M: f64 = 50.0;
+const REQ_OVERLAP: f64 = 0.5;
+
+fn range_query(center: Point) -> RangeQuery {
+    RangeQuery::new(
+        Region::from(Rect::from_center_size(center, RANGE_EXTENT_M, RANGE_EXTENT_M)),
+        REQ_ACC_M,
+        REQ_OVERLAP,
+    )
+}
+
+// ------------------------------------------------------------- threaded
+
+/// Wall-clock Table 2 on the threaded deployment.
+///
+/// `latency_ops` sequential operations measure response time;
+/// `throughput_threads` closed-loop clients running for
+/// `throughput_duration` measure aggregate throughput (0 threads skips
+/// throughput).
+pub fn run_threaded(
+    objects: u64,
+    latency_ops: usize,
+    throughput_threads: usize,
+    throughput_duration: Duration,
+    seed: u64,
+) -> Vec<Table2Row> {
+    let ls = ThreadedDeployment::new(table2_hierarchy(), ServerOptions::default());
+    let geo = geometry();
+    let positions = uniform_points(objects as usize, table2_area(), seed);
+
+    // Register the population.
+    let mut reg_client = ls.client();
+    let mut agents = Vec::with_capacity(positions.len());
+    for (i, p) in positions.iter().enumerate() {
+        let entry = ls.leaf_for(*p);
+        let (agent, _) = reg_client
+            .register(
+                entry,
+                Sighting::new(ObjectId(i as u64), reg_client.now_us(), *p, 10.0),
+                25.0,
+                100.0,
+                1.0,
+            )
+            .expect("registration succeeds");
+        agents.push(agent);
+    }
+
+    let run_op = |client: &mut SyncClient, rng: &mut StdRng, op: Op| {
+        match op {
+            Op::Update => {
+                let i = rng.random_range(0..positions.len());
+                let s = Sighting::new(ObjectId(i as u64), client.now_us(), positions[i], 10.0);
+                client.update(agents[i], s).expect("update succeeds");
+            }
+            Op::LocalPosQuery => {
+                let i = rng.random_range(0..positions.len());
+                client.pos_query(agents[i], ObjectId(i as u64)).expect("query succeeds");
+            }
+            Op::RemotePosQuery => {
+                let i = rng.random_range(0..positions.len());
+                let entry = if agents[i] == geo.remote_entry { geo.local_leaf } else { geo.remote_entry };
+                client.pos_query(entry, ObjectId(i as u64)).expect("query succeeds");
+            }
+            Op::LocalRangeQuery => {
+                client
+                    .range_query(geo.local_leaf, range_query(geo.local_center))
+                    .expect("query succeeds");
+            }
+            Op::RemoteRange1 => {
+                client
+                    .range_query(geo.remote_entry, range_query(geo.local_center))
+                    .expect("query succeeds");
+            }
+            Op::RemoteRange2 => {
+                client
+                    .range_query(geo.remote_entry, range_query(geo.two_leaf_center))
+                    .expect("query succeeds");
+            }
+            Op::RemoteRange4 => {
+                client
+                    .range_query(geo.remote_entry, range_query(geo.four_leaf_center))
+                    .expect("query succeeds");
+            }
+        }
+    };
+
+    let mut rows = Vec::new();
+    for op in Op::ALL {
+        // Latency: sequential.
+        let mut client = ls.client();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5);
+        // Warm-up.
+        for _ in 0..20.min(latency_ops) {
+            run_op(&mut client, &mut rng, op);
+        }
+        let mut lat = Samples::new();
+        for _ in 0..latency_ops {
+            let t0 = Instant::now();
+            run_op(&mut client, &mut rng, op);
+            lat.record(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        // Throughput: closed loop across threads.
+        let throughput = if throughput_threads > 0 {
+            let stop = AtomicBool::new(false);
+            let total = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for t in 0..throughput_threads {
+                    let stop = &stop;
+                    let total = &total;
+                    let run_op = &run_op;
+                    let mut client = ls.client();
+                    let mut rng = StdRng::seed_from_u64(seed ^ (t as u64) << 8);
+                    scope.spawn(move || {
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            run_op(&mut client, &mut rng, op);
+                            n += 1;
+                        }
+                        total.fetch_add(n, Ordering::Relaxed);
+                    });
+                }
+                std::thread::sleep(throughput_duration);
+                stop.store(true, Ordering::Relaxed);
+            });
+            total.load(Ordering::Relaxed) as f64 / throughput_duration.as_secs_f64()
+        } else {
+            0.0
+        };
+        rows.push(Table2Row {
+            op,
+            mean_latency_ms: lat.summary().mean,
+            throughput_per_s: throughput,
+        });
+    }
+    drop(ls);
+    rows
+}
+
+// ------------------------------------------------------------------ sim
+
+/// A virtual-time Table 2 row: response time by hop structure plus the
+/// exact number of network messages per operation.
+#[derive(Debug, Clone)]
+pub struct Table2SimRow {
+    /// Which operation.
+    pub op: Op,
+    /// Mean virtual response time in milliseconds.
+    pub virtual_ms: f64,
+    /// Mean messages per operation.
+    pub messages: f64,
+}
+
+/// Virtual-time Table 2 on the deterministic simulator.
+pub fn run_sim(objects: u64, ops_per_row: usize, seed: u64) -> Vec<Table2SimRow> {
+    let mut ls = SimDeployment::new(table2_hierarchy(), ServerOptions::default(), seed);
+    let geo = geometry();
+    let positions = uniform_points(objects as usize, table2_area(), seed);
+    let mut agents = Vec::with_capacity(positions.len());
+    for (i, p) in positions.iter().enumerate() {
+        let entry = ls.leaf_for(*p);
+        let (agent, _) = ls
+            .register(entry, Sighting::new(ObjectId(i as u64), 0, *p, 10.0), 25.0, 100.0)
+            .expect("registration succeeds");
+        agents.push(agent);
+    }
+    ls.run_until_quiet();
+
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
+    for op in Op::ALL {
+        let mut lat = Samples::new();
+        let mut msgs = Samples::new();
+        for _ in 0..ops_per_row {
+            let (sent0, _, _) = ls.net_counters();
+            let t0 = ls.now_us();
+            match op {
+                Op::Update => {
+                    let i = rng.random_range(0..positions.len());
+                    let s = Sighting::new(ObjectId(i as u64), t0, positions[i], 10.0);
+                    ls.update(agents[i], s).expect("update succeeds");
+                }
+                Op::LocalPosQuery => {
+                    let i = rng.random_range(0..positions.len());
+                    ls.pos_query(agents[i], ObjectId(i as u64)).expect("query succeeds");
+                }
+                Op::RemotePosQuery => {
+                    let i = rng.random_range(0..positions.len());
+                    let entry =
+                        if agents[i] == geo.remote_entry { geo.local_leaf } else { geo.remote_entry };
+                    ls.pos_query(entry, ObjectId(i as u64)).expect("query succeeds");
+                }
+                Op::LocalRangeQuery => {
+                    ls.range_query(geo.local_leaf, range_query(geo.local_center))
+                        .expect("query succeeds");
+                }
+                Op::RemoteRange1 => {
+                    ls.range_query(geo.remote_entry, range_query(geo.local_center))
+                        .expect("query succeeds");
+                }
+                Op::RemoteRange2 => {
+                    ls.range_query(geo.remote_entry, range_query(geo.two_leaf_center))
+                        .expect("query succeeds");
+                }
+                Op::RemoteRange4 => {
+                    ls.range_query(geo.remote_entry, range_query(geo.four_leaf_center))
+                        .expect("query succeeds");
+                }
+            }
+            let (sent1, _, _) = ls.net_counters();
+            lat.record((ls.now_us() - t0) as f64 / 1e3);
+            msgs.record((sent1 - sent0) as f64);
+        }
+        rows.push(Table2SimRow {
+            op,
+            virtual_ms: lat.summary().mean,
+            messages: msgs.summary().mean,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_hierarchy() {
+        let h = table2_hierarchy();
+        let geo = geometry();
+        // local_center is owned by geo.local_leaf; remote_entry differs.
+        assert_eq!(h.leaf_for(geo.local_center), Some(geo.local_leaf));
+        assert_ne!(h.leaf_for(geo.local_center), Some(geo.remote_entry));
+        // The enlarged probe around each center touches the intended
+        // number of leaves.
+        let count_leaves = |c: Point| {
+            let probe = Rect::from_center_size(c, RANGE_EXTENT_M, RANGE_EXTENT_M)
+                .enlarged(REQ_ACC_M);
+            h.leaves().filter(|l| l.area.intersects(&probe)).count()
+        };
+        assert_eq!(count_leaves(geo.local_center), 1);
+        assert_eq!(count_leaves(geo.two_leaf_center), 2);
+        assert_eq!(count_leaves(geo.four_leaf_center), 4);
+    }
+
+    #[test]
+    fn sim_table2_shape_matches_paper() {
+        let rows = run_sim(500, 40, 11);
+        let get = |op: Op| rows.iter().find(|r| r.op == op).expect("row exists").clone();
+        // Remote position queries are several times slower than local.
+        assert!(get(Op::RemotePosQuery).virtual_ms > 2.0 * get(Op::LocalPosQuery).virtual_ms);
+        // Updates are among the cheapest operations (local range queries
+        // share the same two-hop structure, so allow a small tie band).
+        for op in Op::ALL.into_iter().skip(1) {
+            assert!(
+                get(Op::Update).virtual_ms <= get(op).virtual_ms * 1.15,
+                "{op:?}: update {} vs {}",
+                get(Op::Update).virtual_ms,
+                get(op).virtual_ms
+            );
+        }
+        // Remote range queries cost more messages the more leaves they
+        // span.
+        assert!(get(Op::RemoteRange4).messages > get(Op::RemoteRange2).messages);
+        assert!(get(Op::RemoteRange2).messages > get(Op::RemoteRange1).messages);
+        // Local range beats remote range.
+        assert!(get(Op::LocalRangeQuery).virtual_ms < get(Op::RemoteRange1).virtual_ms);
+    }
+
+    #[test]
+    fn threaded_table2_smoke() {
+        // Tiny smoke run: latency only, no throughput phase.
+        let rows = run_threaded(200, 5, 0, Duration::from_millis(1), 13);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.mean_latency_ms > 0.0, "{:?}", r.op);
+        }
+    }
+}

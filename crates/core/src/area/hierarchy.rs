@@ -1,0 +1,585 @@
+//! Hierarchy configuration records and builders.
+
+use hiloc_geo::{Point, Rect};
+use hiloc_net::ServerId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A child entry in a server's configuration record (`c.children`):
+/// the child's identity and its service area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChildRef {
+    /// The child server.
+    pub id: ServerId,
+    /// The child's service area.
+    pub area: Rect,
+}
+
+/// A location server's configuration record (the paper's `c`, §5):
+/// its service area, parent, children — plus deployment-wide constants
+/// every server knows (the root area).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// This server's identity.
+    pub id: ServerId,
+    /// The service area `c.sa` this server is responsible for.
+    pub area: Rect,
+    /// The parent server (`c.parent`); `None` for the root.
+    pub parent: Option<ServerId>,
+    /// Child records (`c.children`); empty for leaf servers.
+    pub children: Vec<ChildRef>,
+    /// The root service area (deployment constant, used by query
+    /// coordinators to compute coverage targets).
+    pub root_area: Rect,
+    /// Depth in the tree (0 = root).
+    pub level: u32,
+}
+
+impl ServerConfig {
+    /// True when this server has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// True when this server has no parent.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Half-open containment in this server's service area.
+    pub fn contains(&self, p: Point) -> bool {
+        self.area.contains_half_open(p)
+    }
+
+    /// The child whose service area contains `p`, when any.
+    pub fn child_for(&self, p: Point) -> Option<ServerId> {
+        self.children
+            .iter()
+            .find(|c| c.area.contains_half_open(p))
+            .map(|c| c.id)
+    }
+}
+
+/// Errors detected by [`Hierarchy::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierarchyError {
+    /// The hierarchy has no servers.
+    Empty,
+    /// A server references a parent/child id that does not exist.
+    DanglingReference(ServerId),
+    /// A child's recorded parent does not match.
+    ParentMismatch(ServerId),
+    /// Two sibling areas overlap with positive area.
+    SiblingOverlap(ServerId, ServerId),
+    /// A non-leaf server's children do not cover its area.
+    IncompleteCover(ServerId),
+    /// A child's area is not contained in its parent's.
+    ChildEscapesParent(ServerId),
+    /// More than one root exists.
+    MultipleRoots(ServerId, ServerId),
+    /// Recorded level is inconsistent with the tree depth.
+    BadLevel(ServerId),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::Empty => write!(f, "hierarchy has no servers"),
+            HierarchyError::DanglingReference(s) => write!(f, "{s} references a missing server"),
+            HierarchyError::ParentMismatch(s) => write!(f, "{s} has an inconsistent parent link"),
+            HierarchyError::SiblingOverlap(a, b) => write!(f, "sibling areas of {a} and {b} overlap"),
+            HierarchyError::IncompleteCover(s) => write!(f, "children of {s} do not cover its area"),
+            HierarchyError::ChildEscapesParent(s) => write!(f, "a child area of {s} escapes it"),
+            HierarchyError::MultipleRoots(a, b) => write!(f, "multiple roots: {a} and {b}"),
+            HierarchyError::BadLevel(s) => write!(f, "{s} has an inconsistent level"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+/// A validated server hierarchy: the static configuration of a
+/// deployment.
+///
+/// Server ids are dense (`0..len`), assigned in breadth-first order
+/// with the root as `ServerId(0)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    servers: Vec<ServerConfig>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from explicit configuration records and
+    /// validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HierarchyError`] found.
+    pub fn from_configs(servers: Vec<ServerConfig>) -> Result<Self, HierarchyError> {
+        let h = Hierarchy { servers };
+        h.validate()?;
+        Ok(h)
+    }
+
+    /// The root server's id.
+    pub fn root(&self) -> ServerId {
+        ServerId(0)
+    }
+
+    /// The configuration record of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not part of this hierarchy.
+    pub fn server(&self, id: ServerId) -> &ServerConfig {
+        &self.servers[id.0 as usize]
+    }
+
+    /// All configuration records, indexed by server id.
+    pub fn servers(&self) -> &[ServerConfig] {
+        &self.servers
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the hierarchy has no servers (never, once validated).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Iterator over leaf configurations.
+    pub fn leaves(&self) -> impl Iterator<Item = &ServerConfig> {
+        self.servers.iter().filter(|s| s.is_leaf())
+    }
+
+    /// The root service area.
+    pub fn root_area(&self) -> Rect {
+        self.servers[0].root_area
+    }
+
+    /// Tree height: number of edges from root to the deepest leaf.
+    pub fn height(&self) -> u32 {
+        self.servers.iter().map(|s| s.level).max().unwrap_or(0)
+    }
+
+    /// The leaf server responsible for `p`, or `None` when `p` is
+    /// outside the (half-open) root area.
+    pub fn leaf_for(&self, p: Point) -> Option<ServerId> {
+        let mut cur = &self.servers[0];
+        if !cur.contains(p) {
+            return None;
+        }
+        while !cur.is_leaf() {
+            let child = cur.child_for(p)?;
+            cur = self.server(child);
+        }
+        Some(cur.id)
+    }
+
+    /// Serializes the hierarchy to JSON (the paper keeps each server's
+    /// configuration record on persistent storage; hiloc persists the
+    /// whole deployment configuration in one readable document).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when serialization fails (never for valid
+    /// hierarchies).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes and **validates** a hierarchy from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error or the first structural violation.
+    pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        let h: Hierarchy = serde_json::from_str(json)?;
+        h.validate()?;
+        Ok(h)
+    }
+
+    /// Writes the configuration to a file (atomically via a sibling
+    /// temp file).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on serialization or I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a configuration from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O, parse or validation failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(std::io::Error::other)
+    }
+
+    /// Checks the paper's two structural requirements plus link
+    /// consistency; see [`HierarchyError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), HierarchyError> {
+        if self.servers.is_empty() {
+            return Err(HierarchyError::Empty);
+        }
+        let n = self.servers.len() as u32;
+        let mut root_seen: Option<ServerId> = None;
+        for s in &self.servers {
+            if let Some(p) = s.parent {
+                if p.0 >= n {
+                    return Err(HierarchyError::DanglingReference(s.id));
+                }
+                let parent = &self.servers[p.0 as usize];
+                if !parent.children.iter().any(|c| c.id == s.id) {
+                    return Err(HierarchyError::ParentMismatch(s.id));
+                }
+                if s.level != parent.level + 1 {
+                    return Err(HierarchyError::BadLevel(s.id));
+                }
+            } else {
+                match root_seen {
+                    None => root_seen = Some(s.id),
+                    Some(other) => return Err(HierarchyError::MultipleRoots(other, s.id)),
+                }
+                if s.level != 0 {
+                    return Err(HierarchyError::BadLevel(s.id));
+                }
+            }
+            // Children: containment, disjointness, coverage, back-links.
+            let mut child_area_sum = 0.0;
+            for (i, c) in s.children.iter().enumerate() {
+                if c.id.0 >= n {
+                    return Err(HierarchyError::DanglingReference(s.id));
+                }
+                let child = &self.servers[c.id.0 as usize];
+                if child.parent != Some(s.id) {
+                    return Err(HierarchyError::ParentMismatch(c.id));
+                }
+                if child.area != c.area {
+                    return Err(HierarchyError::ParentMismatch(c.id));
+                }
+                if !s.area.contains_rect(&c.area) {
+                    return Err(HierarchyError::ChildEscapesParent(s.id));
+                }
+                child_area_sum += c.area.area();
+                for other in &s.children[i + 1..] {
+                    if c.area.intersection_area(&other.area) > 1e-6 {
+                        return Err(HierarchyError::SiblingOverlap(c.id, other.id));
+                    }
+                }
+            }
+            if !s.children.is_empty() {
+                let target = s.area.area();
+                if (child_area_sum - target).abs() > 1e-6 * target.max(1.0) {
+                    return Err(HierarchyError::IncompleteCover(s.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds regular hierarchies over a rectangular root area.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_core::area::HierarchyBuilder;
+/// use hiloc_geo::{Point, Rect};
+///
+/// // The paper's testbed (Fig. 8): one root, four leaves (2x2).
+/// let root = Rect::new(Point::new(0.0, 0.0), Point::new(1_500.0, 1_500.0));
+/// let h = HierarchyBuilder::grid(root, 1, 2).build().unwrap();
+/// assert_eq!(h.len(), 5);
+/// assert_eq!(h.leaves().count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchyBuilder {
+    root_area: Rect,
+    levels: u32,
+    split: SplitRule,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SplitRule {
+    /// Each non-leaf splits into `k × k` equal cells.
+    Grid(u32),
+    /// Each non-leaf splits into two halves, alternating the axis per
+    /// level (produces the paper's Fig. 6 shape with `levels = 2`).
+    Binary,
+}
+
+impl HierarchyBuilder {
+    /// A hierarchy where every non-leaf splits into `k × k` children,
+    /// `levels` levels below the root (`levels = 0` is a single-server
+    /// deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (with levels > 0) or the root area is empty.
+    pub fn grid(root_area: Rect, levels: u32, k: u32) -> Self {
+        assert!(root_area.area() > 0.0, "root service area must have positive area");
+        assert!(levels == 0 || k >= 2, "grid split needs k >= 2");
+        HierarchyBuilder { root_area, levels, split: SplitRule::Grid(k) }
+    }
+
+    /// A hierarchy where every non-leaf splits in two, alternating
+    /// vertical/horizontal cuts per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root area is empty.
+    pub fn binary(root_area: Rect, levels: u32) -> Self {
+        assert!(root_area.area() > 0.0, "root service area must have positive area");
+        HierarchyBuilder { root_area, levels, split: SplitRule::Binary }
+    }
+
+    /// Builds and validates the hierarchy (breadth-first ids, root 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HierarchyError`] if the generated structure fails
+    /// validation (cannot happen for the provided split rules; kept for
+    /// API honesty).
+    pub fn build(&self) -> Result<Hierarchy, HierarchyError> {
+        struct ProtoNode {
+            area: Rect,
+            parent: Option<ServerId>,
+            level: u32,
+        }
+        let mut nodes = vec![ProtoNode { area: self.root_area, parent: None, level: 0 }];
+        let mut children_of: Vec<Vec<ServerId>> = vec![Vec::new()];
+        let mut frontier = vec![ServerId(0)];
+
+        for level in 0..self.levels {
+            let mut next = Vec::new();
+            for &pid in &frontier {
+                let parent_area = nodes[pid.0 as usize].area;
+                let cells = match self.split {
+                    SplitRule::Grid(k) => split_grid(parent_area, k),
+                    SplitRule::Binary => split_binary(parent_area, level),
+                };
+                for cell in cells {
+                    let id = ServerId(nodes.len() as u32);
+                    nodes.push(ProtoNode { area: cell, parent: Some(pid), level: level + 1 });
+                    children_of.push(Vec::new());
+                    children_of[pid.0 as usize].push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+
+        let configs = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ServerConfig {
+                id: ServerId(i as u32),
+                area: n.area,
+                parent: n.parent,
+                children: children_of[i]
+                    .iter()
+                    .map(|&cid| ChildRef { id: cid, area: nodes[cid.0 as usize].area })
+                    .collect(),
+                root_area: self.root_area,
+                level: n.level,
+            })
+            .collect();
+        Hierarchy::from_configs(configs)
+    }
+}
+
+fn split_grid(area: Rect, k: u32) -> Vec<Rect> {
+    let mut out = Vec::with_capacity((k * k) as usize);
+    let w = area.width() / k as f64;
+    let h = area.height() / k as f64;
+    for row in 0..k {
+        for col in 0..k {
+            let min = Point::new(area.min().x + col as f64 * w, area.min().y + row as f64 * h);
+            out.push(Rect::new(min, min + Point::new(w, h)));
+        }
+    }
+    out
+}
+
+fn split_binary(area: Rect, level: u32) -> Vec<Rect> {
+    let c = area.center();
+    if level.is_multiple_of(2) {
+        // Vertical cut: west / east halves.
+        vec![
+            Rect::new(area.min(), Point::new(c.x, area.max().y)),
+            Rect::new(Point::new(c.x, area.min().y), area.max()),
+        ]
+    } else {
+        // Horizontal cut: south / north halves.
+        vec![
+            Rect::new(area.min(), Point::new(area.max().x, c.y)),
+            Rect::new(Point::new(area.min().x, c.y), area.max()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root_rect() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0))
+    }
+
+    #[test]
+    fn single_server_deployment() {
+        let h = HierarchyBuilder::grid(root_rect(), 0, 2).build().unwrap();
+        assert_eq!(h.len(), 1);
+        assert!(h.server(ServerId(0)).is_leaf());
+        assert!(h.server(ServerId(0)).is_root());
+        assert_eq!(h.height(), 0);
+        assert_eq!(h.leaf_for(Point::new(1.0, 1.0)), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        // Fig. 8: root + 4 leaves, each a quarter of the area.
+        let h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.leaves().count(), 4);
+        assert_eq!(h.height(), 1);
+        for leaf in h.leaves() {
+            assert_eq!(leaf.area.area(), 250_000.0);
+            assert_eq!(leaf.parent, Some(ServerId(0)));
+        }
+    }
+
+    #[test]
+    fn fig6_shape_via_binary() {
+        // Fig. 6: three layers, 7 servers: s1; s2, s3; s4..s7.
+        let h = HierarchyBuilder::binary(root_rect(), 2).build().unwrap();
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.leaves().count(), 4);
+        assert_eq!(h.height(), 2);
+        let root = h.server(ServerId(0));
+        assert_eq!(root.children.len(), 2);
+    }
+
+    #[test]
+    fn leaf_routing_covers_interior_and_respects_half_open_boundaries() {
+        let h = HierarchyBuilder::grid(root_rect(), 2, 2).build().unwrap();
+        assert_eq!(h.leaves().count(), 16);
+        // Interior point.
+        let leaf = h.leaf_for(Point::new(10.0, 10.0)).unwrap();
+        assert!(h.server(leaf).contains(Point::new(10.0, 10.0)));
+        // Seam point belongs to exactly one leaf.
+        let seam = Point::new(500.0, 250.0);
+        let owner = h.leaf_for(seam).unwrap();
+        let owners = h
+            .leaves()
+            .filter(|l| l.area.contains_half_open(seam))
+            .count();
+        assert_eq!(owners, 1);
+        assert!(h.server(owner).contains(seam));
+        // Upper-right boundary of the root is outside (half-open).
+        assert_eq!(h.leaf_for(Point::new(1_000.0, 1_000.0)), None);
+        assert_eq!(h.leaf_for(Point::new(-1.0, 10.0)), None);
+    }
+
+    #[test]
+    fn bfs_ids_and_levels() {
+        let h = HierarchyBuilder::grid(root_rect(), 2, 2).build().unwrap();
+        assert_eq!(h.server(ServerId(0)).level, 0);
+        for i in 1..=4 {
+            assert_eq!(h.server(ServerId(i)).level, 1);
+        }
+        for i in 5..21 {
+            assert_eq!(h.server(ServerId(i)).level, 2);
+        }
+    }
+
+    #[test]
+    fn validation_catches_sibling_overlap() {
+        let mut h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        // Corrupt: stretch one child's area over its sibling.
+        let bad = Rect::new(Point::new(0.0, 0.0), Point::new(800.0, 500.0));
+        let mut servers = h.servers().to_vec();
+        servers[1].area = bad;
+        servers[0].children[0].area = bad;
+        h = Hierarchy { servers };
+        assert!(matches!(
+            h.validate(),
+            Err(HierarchyError::SiblingOverlap(_, _) | HierarchyError::IncompleteCover(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_parent_mismatch() {
+        let h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let mut servers = h.servers().to_vec();
+        servers[2].parent = Some(ServerId(3));
+        assert!(matches!(
+            Hierarchy::from_configs(servers),
+            Err(HierarchyError::ParentMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_incomplete_cover() {
+        let h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let mut servers = h.servers().to_vec();
+        // Remove one child from the root's record and its config.
+        let gone = servers[0].children.pop().unwrap();
+        servers[gone.id.0 as usize].parent = None; // now a second root
+        assert!(Hierarchy::from_configs(servers).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_and_validation() {
+        let h = HierarchyBuilder::grid(root_rect(), 2, 2).build().unwrap();
+        let json = h.to_json().unwrap();
+        let back = Hierarchy::from_json(&json).unwrap();
+        assert_eq!(h, back);
+
+        // Corrupting the document fails validation on load.
+        let bad = json.replace("\"level\": 1", "\"level\": 7");
+        assert!(Hierarchy::from_json(&bad).is_err());
+        assert!(Hierarchy::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let h = HierarchyBuilder::binary(root_rect(), 2).build().unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("hiloc-hierarchy-{}.json", std::process::id()));
+        h.save(&path).unwrap();
+        let back = Hierarchy::load(&path).unwrap();
+        assert_eq!(h, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deep_tree_stats() {
+        let h = HierarchyBuilder::grid(root_rect(), 3, 2).build().unwrap();
+        assert_eq!(h.len(), 1 + 4 + 16 + 64);
+        assert_eq!(h.leaves().count(), 64);
+        assert_eq!(h.height(), 3);
+        // Every interior point routes to a leaf whose area contains it.
+        for &(x, y) in &[(1.0, 1.0), (999.0, 999.0), (500.0, 500.0), (123.4, 876.5)] {
+            let p = Point::new(x, y);
+            let leaf = h.leaf_for(p).unwrap();
+            assert!(h.server(leaf).contains(p));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Service areas and the location-server hierarchy (paper §4).
+//!
+//! A location service covers a *root service area*, recursively
+//! subdivided into child service areas such that (1) a non-leaf area is
+//! the union of its children and (2) sibling areas do not overlap. One
+//! location server is associated with each area.
+//!
+//! hiloc's hierarchy builder produces axis-aligned rectangular areas
+//! (grid or alternating binary splits); queries may still use arbitrary
+//! polygons. Sibling disjointness is made exact by using *half-open*
+//! containment (`min ≤ p < max`) — every point of the root area belongs
+//! to exactly one leaf. Points exactly on the root's upper/right
+//! boundary count as outside the service area; runtimes nudge such
+//! positions inward at the API boundary.
+
+mod hierarchy;
+
+pub use hierarchy::{ChildRef, Hierarchy, HierarchyBuilder, HierarchyError, ServerConfig};

@@ -1,0 +1,358 @@
+//! Leaf-side observers and coordinator-side aggregation.
+
+use super::{EventKind, Predicate};
+use crate::model::ObjectId;
+use hiloc_geo::Point;
+use hiloc_net::{Endpoint, ServerId};
+use std::collections::{HashMap, HashSet};
+
+/// A membership change detected by a leaf observer, to be reported to
+/// the event's coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverDelta {
+    /// The event registration this delta belongs to.
+    pub event_id: u64,
+    /// The coordinator server to report to.
+    pub coordinator: ServerId,
+    /// Current number of members at this leaf.
+    pub count: u32,
+    /// Objects that entered the watched area at this leaf.
+    pub entered: Vec<ObjectId>,
+    /// Objects that left the watched area at this leaf.
+    pub left: Vec<ObjectId>,
+}
+
+#[derive(Debug)]
+struct Observer {
+    coordinator: ServerId,
+    predicate: Predicate,
+    members: HashSet<ObjectId>,
+}
+
+/// The observers installed at one leaf server.
+#[derive(Debug, Default)]
+pub struct LeafObservers {
+    installed: HashMap<u64, Observer>,
+}
+
+impl LeafObservers {
+    /// Creates an empty observer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs an observer and computes its initial membership from
+    /// the currently stored positions. The returned delta carries the
+    /// baseline count with empty entered/left lists (pre-existing
+    /// objects do not fire `Enter` notifications).
+    pub fn install(
+        &mut self,
+        event_id: u64,
+        coordinator: ServerId,
+        predicate: Predicate,
+        current_positions: impl Iterator<Item = (ObjectId, Point)>,
+    ) -> ObserverDelta {
+        let area = predicate.area().clone();
+        let members: HashSet<ObjectId> = current_positions
+            .filter(|(_, pos)| area.contains(*pos))
+            .map(|(oid, _)| oid)
+            .collect();
+        let count = members.len() as u32;
+        self.installed.insert(event_id, Observer { coordinator, predicate, members });
+        ObserverDelta { event_id, coordinator, count, entered: Vec::new(), left: Vec::new() }
+    }
+
+    /// Removes an observer.
+    pub fn uninstall(&mut self, event_id: u64) {
+        self.installed.remove(&event_id);
+    }
+
+    /// Number of installed observers.
+    pub fn len(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// True when no observers are installed.
+    pub fn is_empty(&self) -> bool {
+        self.installed.is_empty()
+    }
+
+    /// Processes a position update (or arrival) of `oid` at `pos`,
+    /// returning a delta per observer whose membership changed.
+    pub fn on_position(&mut self, oid: ObjectId, pos: Point) -> Vec<ObserverDelta> {
+        let mut deltas = Vec::new();
+        for (&event_id, obs) in &mut self.installed {
+            let inside = obs.predicate.area().contains(pos);
+            let was = obs.members.contains(&oid);
+            if inside == was {
+                continue;
+            }
+            let (entered, left) = if inside {
+                obs.members.insert(oid);
+                (vec![oid], Vec::new())
+            } else {
+                obs.members.remove(&oid);
+                (Vec::new(), vec![oid])
+            };
+            deltas.push(ObserverDelta {
+                event_id,
+                coordinator: obs.coordinator,
+                count: obs.members.len() as u32,
+                entered,
+                left,
+            });
+        }
+        deltas
+    }
+
+    /// Processes the departure of `oid` from this leaf (handover,
+    /// deregistration or expiry).
+    pub fn on_remove(&mut self, oid: ObjectId) -> Vec<ObserverDelta> {
+        let mut deltas = Vec::new();
+        for (&event_id, obs) in &mut self.installed {
+            if obs.members.remove(&oid) {
+                deltas.push(ObserverDelta {
+                    event_id,
+                    coordinator: obs.coordinator,
+                    count: obs.members.len() as u32,
+                    entered: Vec::new(),
+                    left: vec![oid],
+                });
+            }
+        }
+        deltas
+    }
+}
+
+#[derive(Debug)]
+struct Coord {
+    predicate: Predicate,
+    subscriber: Endpoint,
+    leaf_counts: HashMap<ServerId, u32>,
+    /// Which leaves currently claim each object as a member. An object
+    /// crossing an internal leaf boundary *within* the watched area is
+    /// briefly claimed by two leaves (the new agent reports Enter
+    /// before the old agent reports Leave), so Enter/Leave fire only on
+    /// empty↔non-empty transitions of the claim set.
+    claims: HashMap<ObjectId, std::collections::HashSet<ServerId>>,
+    /// `CountAtLeast` only: true while the threshold has not fired
+    /// since the count was last below it.
+    armed: bool,
+}
+
+/// The events coordinated by one (entry) server.
+#[derive(Debug, Default)]
+pub struct CoordinatorEvents {
+    events: HashMap<u64, Coord>,
+}
+
+impl CoordinatorEvents {
+    /// Creates an empty coordinator table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new event for `subscriber`.
+    pub fn register(&mut self, event_id: u64, predicate: Predicate, subscriber: Endpoint) {
+        self.events.insert(
+            event_id,
+            Coord {
+                predicate,
+                subscriber,
+                leaf_counts: HashMap::new(),
+                claims: HashMap::new(),
+                armed: true,
+            },
+        );
+    }
+
+    /// Cancels an event, returning its predicate (for uninstalling the
+    /// leaf observers).
+    pub fn cancel(&mut self, event_id: u64) -> Option<Predicate> {
+        self.events.remove(&event_id).map(|c| c.predicate)
+    }
+
+    /// The predicate of a registered event.
+    pub fn predicate(&self, event_id: u64) -> Option<&Predicate> {
+        self.events.get(&event_id).map(|c| &c.predicate)
+    }
+
+    /// Number of registered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are registered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ingests a leaf report and returns the notifications to deliver.
+    pub fn on_report(
+        &mut self,
+        event_id: u64,
+        leaf: ServerId,
+        count: u32,
+        entered: &[ObjectId],
+        left: &[ObjectId],
+    ) -> Vec<(Endpoint, EventKind)> {
+        let Some(coord) = self.events.get_mut(&event_id) else {
+            return Vec::new();
+        };
+        coord.leaf_counts.insert(leaf, count);
+        let total: u32 = coord.leaf_counts.values().sum();
+
+        // Maintain the per-object claim sets; only empty↔non-empty
+        // transitions are area-level enters/leaves (an internal-seam
+        // handover produces an Enter at the new leaf and a Leave at the
+        // old one without ever emptying the claim set).
+        let mut area_enters = Vec::new();
+        let mut area_leaves = Vec::new();
+        for &o in entered {
+            let set = coord.claims.entry(o).or_default();
+            let was_empty = set.is_empty();
+            set.insert(leaf);
+            if was_empty {
+                area_enters.push(o);
+            }
+        }
+        for &o in left {
+            if let Some(set) = coord.claims.get_mut(&o) {
+                set.remove(&leaf);
+                if set.is_empty() {
+                    coord.claims.remove(&o);
+                    area_leaves.push(o);
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        match &coord.predicate {
+            Predicate::CountAtLeast { threshold, .. } => {
+                if total >= *threshold && coord.armed {
+                    coord.armed = false;
+                    out.push((coord.subscriber, EventKind::CountReached { count: total }));
+                } else if total < *threshold {
+                    coord.armed = true;
+                }
+            }
+            Predicate::Enter { oid, .. } => {
+                for o in area_enters {
+                    if oid.is_none() || *oid == Some(o) {
+                        out.push((coord.subscriber, EventKind::Entered { oid: o }));
+                    }
+                }
+            }
+            Predicate::Leave { oid, .. } => {
+                for o in area_leaves {
+                    if oid.is_none() || *oid == Some(o) {
+                        out.push((coord.subscriber, EventKind::Left { oid: o }));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiloc_geo::{Rect, Region};
+    use hiloc_net::ClientId;
+
+    fn area() -> Region {
+        Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)))
+    }
+
+    fn sub() -> Endpoint {
+        ClientId(99).into()
+    }
+
+    #[test]
+    fn observer_initial_membership() {
+        let mut obs = LeafObservers::new();
+        let current = vec![
+            (ObjectId(1), Point::new(5.0, 5.0)),
+            (ObjectId(2), Point::new(50.0, 50.0)),
+        ];
+        let delta = obs.install(
+            7,
+            ServerId(3),
+            Predicate::CountAtLeast { area: area(), threshold: 2 },
+            current.into_iter(),
+        );
+        assert_eq!(delta.count, 1);
+        assert!(delta.entered.is_empty());
+    }
+
+    #[test]
+    fn observer_tracks_enter_and_leave() {
+        let mut obs = LeafObservers::new();
+        obs.install(1, ServerId(0), Predicate::Enter { area: area(), oid: None }, std::iter::empty());
+
+        let d = obs.on_position(ObjectId(5), Point::new(3.0, 3.0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].entered, vec![ObjectId(5)]);
+        assert_eq!(d[0].count, 1);
+
+        // Moving inside the area: no delta.
+        assert!(obs.on_position(ObjectId(5), Point::new(4.0, 4.0)).is_empty());
+
+        let d = obs.on_position(ObjectId(5), Point::new(30.0, 3.0));
+        assert_eq!(d[0].left, vec![ObjectId(5)]);
+        assert_eq!(d[0].count, 0);
+    }
+
+    #[test]
+    fn observer_remove_counts_as_leave() {
+        let mut obs = LeafObservers::new();
+        obs.install(1, ServerId(0), Predicate::Leave { area: area(), oid: None }, std::iter::empty());
+        obs.on_position(ObjectId(1), Point::new(1.0, 1.0));
+        let d = obs.on_remove(ObjectId(1));
+        assert_eq!(d[0].left, vec![ObjectId(1)]);
+        // Removing an unknown object: nothing.
+        assert!(obs.on_remove(ObjectId(42)).is_empty());
+    }
+
+    #[test]
+    fn coordinator_threshold_fires_once_and_rearms() {
+        let mut coord = CoordinatorEvents::new();
+        coord.register(1, Predicate::CountAtLeast { area: area(), threshold: 3 }, sub());
+
+        assert!(coord.on_report(1, ServerId(1), 2, &[], &[]).is_empty());
+        let fired = coord.on_report(1, ServerId(2), 1, &[], &[]);
+        assert_eq!(fired, vec![(sub(), EventKind::CountReached { count: 3 })]);
+        // Stays quiet while above threshold.
+        assert!(coord.on_report(1, ServerId(1), 3, &[], &[]).is_empty());
+        // Drops below: re-arms; crossing again fires again.
+        assert!(coord.on_report(1, ServerId(1), 0, &[], &[]).is_empty());
+        assert!(coord.on_report(1, ServerId(2), 0, &[], &[]).is_empty());
+        let fired = coord.on_report(1, ServerId(1), 5, &[], &[]);
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn coordinator_enter_filtering() {
+        let mut coord = CoordinatorEvents::new();
+        coord.register(2, Predicate::Enter { area: area(), oid: Some(ObjectId(7)) }, sub());
+        let out = coord.on_report(2, ServerId(1), 2, &[ObjectId(6), ObjectId(7)], &[]);
+        assert_eq!(out, vec![(sub(), EventKind::Entered { oid: ObjectId(7) })]);
+    }
+
+    #[test]
+    fn coordinator_unknown_event_ignored() {
+        let mut coord = CoordinatorEvents::new();
+        assert!(coord.on_report(99, ServerId(1), 1, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn cancel_returns_predicate() {
+        let mut coord = CoordinatorEvents::new();
+        let p = Predicate::Leave { area: area(), oid: None };
+        coord.register(5, p.clone(), sub());
+        assert_eq!(coord.cancel(5), Some(p));
+        assert_eq!(coord.cancel(5), None);
+        assert!(coord.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Event mechanism (paper §1 and §8, future work).
+//!
+//! "Applications should be able to register for predicates, such as
+//! 'more than five objects are in a certain area' …, at the location
+//! service, which asynchronously informs the registered applications
+//! when the predicate becomes true."
+//!
+//! hiloc implements this as a coordinator/observer split: the entry
+//! server an application registers with becomes the event's
+//! *coordinator*; it installs observers at every leaf server whose
+//! service area overlaps the predicate's area (the same scatter used by
+//! range queries). Leaves track which of their tracked objects are in
+//! the area and report membership changes; the coordinator aggregates
+//! counts across leaves and fires notifications to the subscriber.
+//!
+//! Membership is evaluated on the recorded position (`ld.pos`); the
+//! overlap-degree machinery of range queries is intentionally *not*
+//! applied here, trading probabilistic precision for cheap per-update
+//! evaluation (each position update touches only the leaf's installed
+//! observers).
+
+mod engine;
+
+pub use engine::{CoordinatorEvents, LeafObservers, ObserverDelta};
+
+use crate::model::ObjectId;
+use hiloc_geo::Region;
+use hiloc_net::wire::{self, WireCodec};
+use serde::{Deserialize, Serialize};
+
+/// A predicate an application can register for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Fires when the number of tracked objects inside `area` reaches
+    /// `threshold` (re-arms when the count drops below it again).
+    CountAtLeast {
+        /// The watched area.
+        area: Region,
+        /// The count that triggers the notification.
+        threshold: u32,
+    },
+    /// Fires whenever an object enters `area` (optionally only `oid`).
+    Enter {
+        /// The watched area.
+        area: Region,
+        /// When set, only this object triggers notifications.
+        oid: Option<ObjectId>,
+    },
+    /// Fires whenever an object leaves `area` (optionally only `oid`).
+    Leave {
+        /// The watched area.
+        area: Region,
+        /// When set, only this object triggers notifications.
+        oid: Option<ObjectId>,
+    },
+}
+
+impl Predicate {
+    /// The geographic area the predicate watches.
+    pub fn area(&self) -> &Region {
+        match self {
+            Predicate::CountAtLeast { area, .. }
+            | Predicate::Enter { area, .. }
+            | Predicate::Leave { area, .. } => area,
+        }
+    }
+}
+
+impl WireCodec for Predicate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Predicate::CountAtLeast { area, threshold } => {
+                wire::put_u8(buf, 0);
+                wire::put_region(buf, area);
+                wire::put_u32(buf, *threshold);
+            }
+            Predicate::Enter { area, oid } => {
+                wire::put_u8(buf, 1);
+                wire::put_region(buf, area);
+                put_opt_oid(buf, *oid);
+            }
+            Predicate::Leave { area, oid } => {
+                wire::put_u8(buf, 2);
+                wire::put_region(buf, area);
+                put_opt_oid(buf, *oid);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match wire::get_u8(buf)? {
+            0 => Some(Predicate::CountAtLeast {
+                area: wire::get_region(buf)?,
+                threshold: wire::get_u32(buf)?,
+            }),
+            1 => Some(Predicate::Enter { area: wire::get_region(buf)?, oid: get_opt_oid(buf)? }),
+            2 => Some(Predicate::Leave { area: wire::get_region(buf)?, oid: get_opt_oid(buf)? }),
+            _ => None,
+        }
+    }
+}
+
+fn put_opt_oid(buf: &mut Vec<u8>, oid: Option<ObjectId>) {
+    match oid {
+        None => wire::put_u8(buf, 0),
+        Some(o) => {
+            wire::put_u8(buf, 1);
+            wire::put_u64(buf, o.0);
+        }
+    }
+}
+
+fn get_opt_oid(buf: &mut &[u8]) -> Option<Option<ObjectId>> {
+    match wire::get_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(ObjectId(wire::get_u64(buf)?))),
+        _ => None,
+    }
+}
+
+/// A fired event delivered to the subscriber.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A [`Predicate::CountAtLeast`] threshold was reached.
+    CountReached {
+        /// The aggregated object count at firing time.
+        count: u32,
+    },
+    /// An object entered the watched area.
+    Entered {
+        /// The entering object.
+        oid: ObjectId,
+    },
+    /// An object left the watched area.
+    Left {
+        /// The leaving object.
+        oid: ObjectId,
+    },
+}
+
+impl WireCodec for EventKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            EventKind::CountReached { count } => {
+                wire::put_u8(buf, 0);
+                wire::put_u32(buf, *count);
+            }
+            EventKind::Entered { oid } => {
+                wire::put_u8(buf, 1);
+                wire::put_u64(buf, oid.0);
+            }
+            EventKind::Left { oid } => {
+                wire::put_u8(buf, 2);
+                wire::put_u64(buf, oid.0);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match wire::get_u8(buf)? {
+            0 => Some(EventKind::CountReached { count: wire::get_u32(buf)? }),
+            1 => Some(EventKind::Entered { oid: ObjectId(wire::get_u64(buf)?) }),
+            2 => Some(EventKind::Left { oid: ObjectId(wire::get_u64(buf)?) }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiloc_geo::{Point, Rect};
+
+    fn area() -> Region {
+        Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)))
+    }
+
+    #[test]
+    fn predicate_codec_roundtrip() {
+        let preds = vec![
+            Predicate::CountAtLeast { area: area(), threshold: 5 },
+            Predicate::Enter { area: area(), oid: None },
+            Predicate::Enter { area: area(), oid: Some(ObjectId(7)) },
+            Predicate::Leave { area: area(), oid: Some(ObjectId(1)) },
+        ];
+        for p in preds {
+            let bytes = p.to_bytes();
+            assert_eq!(Predicate::from_bytes(&bytes), Some(p));
+        }
+    }
+
+    #[test]
+    fn event_kind_codec_roundtrip() {
+        for k in [
+            EventKind::CountReached { count: 12 },
+            EventKind::Entered { oid: ObjectId(3) },
+            EventKind::Left { oid: ObjectId(4) },
+        ] {
+            let bytes = k.to_bytes();
+            assert_eq!(EventKind::from_bytes(&bytes), Some(k));
+        }
+    }
+
+    #[test]
+    fn predicate_area_accessor() {
+        let p = Predicate::CountAtLeast { area: area(), threshold: 1 };
+        assert_eq!(p.area().area(), 100.0);
+    }
+
+    #[test]
+    fn hostile_bytes_do_not_panic() {
+        for len in 0..32 {
+            let junk = vec![0xABu8; len];
+            let _ = Predicate::from_bytes(&junk);
+            let _ = EventKind::from_bytes(&junk);
+        }
+    }
+}

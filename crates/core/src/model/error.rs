@@ -1,0 +1,56 @@
+//! Service-level errors.
+
+use super::ObjectId;
+use hiloc_net::ServerId;
+use std::fmt;
+
+/// Errors surfaced by the location-service client API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LsError {
+    /// Registration failed: the service cannot provide an accuracy
+    /// within the requested `[desAcc, minAcc]` range.
+    AccuracyUnavailable {
+        /// Server that rejected the registration.
+        server: ServerId,
+        /// Best accuracy (meters) the server could offer.
+        achievable_m: f64,
+    },
+    /// The queried object is not registered with the service.
+    UnknownObject(ObjectId),
+    /// The position lies outside the service's root area.
+    OutsideServiceArea,
+    /// The operation did not complete before its deadline.
+    Timeout,
+    /// The deployment has no server able to process the request.
+    NoRoute,
+}
+
+impl fmt::Display for LsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsError::AccuracyUnavailable { server, achievable_m } => write!(
+                f,
+                "registration rejected by {server}: achievable accuracy {achievable_m} m is outside the requested range"
+            ),
+            LsError::UnknownObject(oid) => write!(f, "object {oid} is not tracked"),
+            LsError::OutsideServiceArea => write!(f, "position outside the service area"),
+            LsError::Timeout => write!(f, "operation timed out"),
+            LsError::NoRoute => write!(f, "no server can process the request"),
+        }
+    }
+}
+
+impl std::error::Error for LsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LsError::AccuracyUnavailable { server: ServerId(3), achievable_m: 80.0 };
+        assert!(e.to_string().contains("s3"));
+        assert!(LsError::UnknownObject(ObjectId(9)).to_string().contains("o9"));
+        assert!(LsError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Position updates and handover processing (paper §6.2,
+//! Algorithms 6-2 and 6-3).
+
+use super::pending::{HandoverOrigin, HandoverRelay, RelayAction};
+use super::{LocationServer, VisitorRecord};
+use crate::model::{Micros, RegInfo, Sighting};
+use crate::proto::Message;
+use hiloc_net::{CorrId, Endpoint};
+
+impl LocationServer {
+    /// Algorithm 6-2: apply the update locally, or initiate a handover
+    /// when the object left this agent's service area.
+    pub(crate) fn on_update(&mut self, now: Micros, from: Endpoint, sighting: Sighting) {
+        let oid = sighting.oid;
+        let Some(VisitorRecord::Leaf { offered_acc_m, reg, .. }) = self.visitors.get(oid).copied()
+        else {
+            // Not this object's agent: the object's AgentChanged was
+            // lost (or this server restarted without durability). Route
+            // an agent lookup so the object learns its current agent
+            // and can retry; tell it to re-register when the service
+            // does not know it at all.
+            self.stats.updates_dropped += 1;
+            self.route_agent_lookup(oid, from, from);
+            return;
+        };
+
+        if self.config.contains(sighting.pos) {
+            // Lines 7–8: refresh the sighting (and its soft-state TTL).
+            let stored = self.stored(&sighting, now);
+            self.sightings.upsert(stored);
+            let deltas = self.leaf_events.on_position(oid, sighting.pos);
+            self.emit_event_reports(deltas);
+            self.stats.updates += 1;
+            self.emit(from, Message::UpdateAck { oid, offered_acc_m, time_us: now });
+            return;
+        }
+
+        // Lines 1–6: the object moved out — hand over via the parent.
+        self.stats.handovers_started += 1;
+        match self.parent() {
+            Some(p) => {
+                let corr = self.corr.next_id();
+                self.pending.handover_origin.insert(
+                    corr,
+                    HandoverOrigin {
+                        oid,
+                        object: from,
+                        deadline_us: now + self.opts.query_timeout_us,
+                    },
+                );
+                self.emit(p, Message::HandoverReq { sighting, reg, epoch: now, corr });
+            }
+            None => {
+                // Single-server deployment: the object left the root
+                // service area and is deregistered (paper §4).
+                self.remove_locally(oid);
+                self.emit(from, Message::OutOfServiceArea { oid });
+            }
+        }
+    }
+
+    /// Algorithm 6-3: route the handover to the leaf containing the new
+    /// position, parking the path-splice action for the response.
+    pub(crate) fn on_handover_req(
+        &mut self,
+        now: Micros,
+        from: Endpoint,
+        sighting: Sighting,
+        reg: RegInfo,
+        epoch: Micros,
+        corr: CorrId,
+    ) {
+        let oid = sighting.oid;
+        let deadline_us = now + self.opts.query_timeout_us;
+        if self.config.contains(sighting.pos) {
+            if self.config.is_leaf() {
+                // Lines 2–7: become the new agent.
+                let offered = self.offered_for(&reg);
+                self.visitors
+                    .apply(oid, VisitorRecord::Leaf { offered_acc_m: offered, reg, epoch });
+                let stored = self.stored(&sighting, now);
+                self.sightings.upsert(stored);
+                let deltas = self.leaf_events.on_position(oid, sighting.pos);
+                self.emit_event_reports(deltas);
+                self.emit(
+                    from,
+                    Message::HandoverRes { oid, new_agent: self.id(), offered_acc_m: offered, epoch, corr },
+                );
+            } else {
+                // Lines 8–15: forward downwards; on response, point the
+                // forwarding reference at the chosen child.
+                let child = self
+                    .config
+                    .child_for(sighting.pos)
+                    .expect("children partition a non-leaf service area");
+                self.pending.handover_relay.insert(
+                    corr,
+                    HandoverRelay {
+                        reply_to: from,
+                        oid,
+                        action: RelayAction::SetForward(child),
+                        epoch,
+                        deadline_us,
+                    },
+                );
+                self.emit(child, Message::HandoverReq { sighting, reg, epoch, corr });
+            }
+        } else {
+            // Lines 16–21: forward upwards; on response, remove the
+            // record (the object left this subtree).
+            match self.parent() {
+                Some(p) => {
+                    self.pending.handover_relay.insert(
+                        corr,
+                        HandoverRelay {
+                            reply_to: from,
+                            oid,
+                            action: RelayAction::RemoveRecord,
+                            epoch,
+                            deadline_us,
+                        },
+                    );
+                    self.emit(p, Message::HandoverReq { sighting, reg, epoch, corr });
+                }
+                None => {
+                    // Root and still outside: the object left the
+                    // service area entirely. Drop the root's own record
+                    // and fail the handover down the chain.
+                    self.visitors.remove_if_older(oid, epoch);
+                    self.emit(from, Message::HandoverFailed { oid, epoch, corr });
+                }
+            }
+        }
+    }
+
+    /// The response unwinds along the request path, splicing forwarding
+    /// pointers; the old agent finally tells the object its new agent.
+    pub(crate) fn on_handover_res(
+        &mut self,
+        _now: Micros,
+        oid: crate::model::ObjectId,
+        new_agent: hiloc_net::ServerId,
+        offered_acc_m: f64,
+        epoch: Micros,
+        corr: CorrId,
+    ) {
+        if let Some(origin) = self.pending.handover_origin.remove(&corr) {
+            // Old agent (Alg. 6-2 lines 3–6): notify the object, then
+            // drop the local records. The epoch guard protects a
+            // re-registration that raced the handover.
+            if self.visitors.remove_if_older(origin.oid, epoch).is_some() {
+                self.sightings.remove(origin.oid.0);
+                let deltas = self.leaf_events.on_remove(origin.oid);
+                self.emit_event_reports(deltas);
+            }
+            self.stats.handovers_completed += 1;
+            self.emit(origin.object, Message::AgentChanged { oid, new_agent, offered_acc_m });
+            return;
+        }
+        if let Some(relay) = self.pending.handover_relay.remove(&corr) {
+            match relay.action {
+                RelayAction::SetForward(child) => {
+                    self.visitors.apply(oid, VisitorRecord::Forward { child, epoch });
+                }
+                RelayAction::RemoveRecord => {
+                    self.visitors.remove_if_older(oid, epoch);
+                }
+            }
+            self.emit(
+                relay.reply_to,
+                Message::HandoverRes { oid, new_agent, offered_acc_m, epoch, corr },
+            );
+        }
+        // Unknown correlation: a late or duplicated response — ignore.
+    }
+
+    /// Routes an agent lookup along the forwarding paths (like a
+    /// position query); the agent answers the object directly with
+    /// `AgentChanged`. `from` guards against bouncing on stale paths.
+    pub(crate) fn route_agent_lookup(
+        &mut self,
+        oid: crate::model::ObjectId,
+        object: Endpoint,
+        from: Endpoint,
+    ) {
+        match self.visitors.get(oid) {
+            Some(VisitorRecord::Leaf { offered_acc_m, .. }) => {
+                let offered = *offered_acc_m;
+                let me = self.id();
+                self.emit(object, Message::AgentChanged { oid, new_agent: me, offered_acc_m: offered });
+            }
+            Some(VisitorRecord::Forward { child, .. }) => {
+                let child = *child;
+                self.emit(child, Message::AgentLookup { oid, object });
+            }
+            None => match self.parent() {
+                // Came from the parent along a stale reference: do not
+                // bounce back; the object must re-register.
+                Some(p) if Endpoint::Server(p) != from => {
+                    self.emit(p, Message::AgentLookup { oid, object });
+                }
+                _ => self.emit(object, Message::OutOfServiceArea { oid }),
+            },
+        }
+    }
+
+    /// `AgentLookup` hop: answer as the agent or keep routing.
+    pub(crate) fn on_agent_lookup(
+        &mut self,
+        from: Endpoint,
+        oid: crate::model::ObjectId,
+        object: Endpoint,
+    ) {
+        self.route_agent_lookup(oid, object, from);
+    }
+
+    /// A handover failed at the root (object outside the service area):
+    /// unwind the path, removing records, and deregister the object.
+    pub(crate) fn on_handover_failed(
+        &mut self,
+        _now: Micros,
+        oid: crate::model::ObjectId,
+        epoch: Micros,
+        corr: CorrId,
+    ) {
+        if let Some(origin) = self.pending.handover_origin.remove(&corr) {
+            if self.visitors.remove_if_older(origin.oid, epoch).is_some() {
+                self.sightings.remove(origin.oid.0);
+                let deltas = self.leaf_events.on_remove(origin.oid);
+                self.emit_event_reports(deltas);
+            }
+            self.emit(origin.object, Message::OutOfServiceArea { oid });
+            return;
+        }
+        if let Some(relay) = self.pending.handover_relay.remove(&corr) {
+            // Every relay on a failed handover is on the old path.
+            self.visitors.remove_if_older(oid, epoch);
+            self.emit(relay.reply_to, Message::HandoverFailed { oid, epoch, corr });
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Timers: soft-state expiry and pending-operation deadlines.
+
+use super::queries::dedup_items;
+use super::LocationServer;
+use crate::model::semantics::select_neighbors;
+use crate::model::{Micros, ObjectId};
+use crate::proto::Message;
+use hiloc_net::{CorrId, Envelope};
+
+impl LocationServer {
+    /// Runs due timers at service time `now`: expires soft-state
+    /// sightings (deregistering the visitors hierarchy-wide) and
+    /// resolves timed-out gathers with partial answers.
+    ///
+    /// Drivers call this whenever the clock passes
+    /// [`LocationServer::next_timer`].
+    pub fn tick(&mut self, now: Micros) -> Vec<Envelope<Message>> {
+        // Soft-state expiry (paper §5): the sighting lapsed, so the
+        // visitor is deregistered from the entire hierarchy.
+        if self.config.is_leaf() {
+            for rec in self.sightings.expire_due(now) {
+                let oid = ObjectId(rec.key);
+                if self.visitors.remove(oid).is_some() {
+                    if let Some(p) = self.parent() {
+                        self.emit(p, Message::RemovePath { oid, epoch: now });
+                    }
+                }
+                let deltas = self.leaf_events.on_remove(oid);
+                self.emit_event_reports(deltas);
+                self.stats.expired += 1;
+            }
+        }
+
+        // Path soft state: leaves re-assert their visitors' forwarding
+        // paths; non-leaves discard records whose epoch went stale (a
+        // lost RemovePath must not leave zombies forever).
+        if self.next_path_maintenance_us <= now {
+            self.next_path_maintenance_us = now + self.opts.path_refresh_us.max(1);
+            if self.config.is_leaf() {
+                if let Some(p) = self.parent() {
+                    let visitors: Vec<ObjectId> = self
+                        .visitors
+                        .iter()
+                        .filter(|(_, r)| matches!(r, super::VisitorRecord::Leaf { .. }))
+                        .map(|(oid, _)| oid)
+                        .collect();
+                    for oid in visitors {
+                        // Refresh the record's own epoch too, so the
+                        // keep-alive epoch chain stays monotone.
+                        if let Some(super::VisitorRecord::Leaf { offered_acc_m, reg, .. }) =
+                            self.visitors.get(oid).copied()
+                        {
+                            self.visitors.apply(
+                                oid,
+                                super::VisitorRecord::Leaf { offered_acc_m, reg, epoch: now },
+                            );
+                        }
+                        self.emit(p, Message::CreatePath { oid, epoch: now });
+                    }
+                }
+            } else {
+                let ttl = self.opts.path_ttl_us;
+                let stale: Vec<ObjectId> = self
+                    .visitors
+                    .iter()
+                    .filter(|(_, r)| r.epoch().saturating_add(ttl) <= now)
+                    .map(|(oid, _)| oid)
+                    .collect();
+                for oid in stale {
+                    self.visitors.remove(oid);
+                    self.stats.expired += 1;
+                }
+            }
+        }
+
+        // Range gathers: answer with the partial result.
+        let due: Vec<CorrId> = self
+            .pending
+            .range_gather
+            .iter()
+            .filter(|(_, g)| g.deadline_us <= now)
+            .map(|(c, _)| *c)
+            .collect();
+        for corr in due {
+            let g = self.pending.range_gather.remove(&corr).expect("listed above");
+            self.stats.gathers_timed_out += 1;
+            self.emit(
+                g.client,
+                Message::RangeQueryRes { items: dedup_items(g.items), complete: false, corr },
+            );
+        }
+
+        // NN gathers: best effort from what arrived.
+        let due: Vec<CorrId> = self
+            .pending
+            .nn_gather
+            .iter()
+            .filter(|(_, g)| g.deadline_us <= now)
+            .map(|(c, _)| *c)
+            .collect();
+        for corr in due {
+            let g = self.pending.nn_gather.remove(&corr).expect("listed above");
+            self.stats.gathers_timed_out += 1;
+            let items = dedup_items(g.items);
+            let (nearest, near_set) = select_neighbors(g.p, &items, g.req_acc_m, g.near_qual_m);
+            self.emit(
+                g.client,
+                Message::NeighborQueryRes { nearest, near_set, complete: false, corr: g.client_corr },
+            );
+        }
+
+        // Position waits: report the object as (currently) unknown.
+        let due: Vec<CorrId> = self
+            .pending
+            .pos_wait
+            .iter()
+            .filter(|(_, w)| w.deadline_us <= now)
+            .map(|(c, _)| *c)
+            .collect();
+        for corr in due {
+            let w = self.pending.pos_wait.remove(&corr).expect("listed above");
+            self.stats.gathers_timed_out += 1;
+            self.emit(
+                w.client,
+                Message::PosQueryRes {
+                    oid: w.oid,
+                    found: None,
+                    time_us: 0,
+                    max_speed_mps: 0.0,
+                    corr,
+                },
+            );
+        }
+
+        // Handover state: give up quietly; the object's next update
+        // retries the handover (soft-state philosophy).
+        self.pending.handover_origin.retain(|_, o| o.deadline_us > now);
+        self.pending.handover_relay.retain(|_, r| r.deadline_us > now);
+
+        self.drain_outbox()
+    }
+
+    /// The next instant at which [`LocationServer::tick`] has work.
+    pub fn next_timer(&self) -> Option<Micros> {
+        let expiry = if self.config.is_leaf() { self.sightings.next_expiry() } else { None };
+        let deadline = self.pending.next_deadline();
+        // Path maintenance only matters while any state could go stale.
+        let maintenance = if self.visitors.is_empty() && self.next_path_maintenance_us == 0 {
+            None
+        } else {
+            Some(self.next_path_maintenance_us)
+        };
+        [expiry, deadline, maintenance].into_iter().flatten().min()
+    }
+
+    fn drain_outbox(&mut self) -> Vec<Envelope<Message>> {
+        self.stats.msgs_out += self.outbox.len() as u64;
+        std::mem::take(&mut self.outbox)
+    }
+}

@@ -1,0 +1,491 @@
+//! The location server: a sans-IO, event-driven state machine
+//! implementing the paper's algorithms (§6).
+//!
+//! A [`LocationServer`] consumes [`Envelope`]s and a clock reading and
+//! produces envelopes to send — it performs no I/O of its own, so the
+//! identical logic runs under the deterministic virtual-time driver,
+//! the threaded channel runtime and the UDP runtime.
+
+mod handover;
+mod maintenance;
+mod pending;
+mod queries;
+mod registration;
+mod visitor;
+
+pub use pending::{
+    HandoverOrigin, HandoverRelay, NnGather, Pending, PosWait, RangeGather, RelayAction,
+};
+pub use visitor::{VisitorDb, VisitorRecord};
+
+use crate::area::ServerConfig;
+use crate::cache::{CacheConfig, Caches};
+use crate::events::{CoordinatorEvents, LeafObservers, ObserverDelta};
+use crate::model::{LocationDescriptor, Micros, ObjectId, RangeQuery, RegInfo, Sighting, SECOND};
+use crate::proto::{Message, ObjectLocation};
+use hiloc_geo::{Point, Rect};
+use hiloc_net::{CorrIdGen, Endpoint, Envelope, ServerId};
+use hiloc_storage::{SightingDb, StorageError, StoredSighting, SyncPolicy};
+use std::path::PathBuf;
+
+/// Which spatial index backs the sighting database (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexKind {
+    /// Point quadtree (the paper's choice; default).
+    Quadtree,
+    /// R-tree with quadratic split.
+    RTree,
+    /// Uniform grid with the given cell size in meters.
+    Grid(f64),
+}
+
+/// Durability settings for the visitor database.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory for this server's WAL + snapshot (one subdirectory per
+    /// server is created inside).
+    pub dir: PathBuf,
+    /// Sync policy for path-change writes.
+    pub policy: SyncPolicy,
+}
+
+/// Tunables of a location server.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Best accuracy (meters) this server's sensor infrastructure can
+    /// sustain — the `acc` the paper's registration "determines".
+    pub acc_floor_m: f64,
+    /// Soft-state TTL: a sighting expires this long after its last
+    /// refresh, deregistering the object.
+    pub sighting_ttl_us: Micros,
+    /// Path keep-alive period: leaves re-assert the forwarding path of
+    /// every visitor this often (refreshing the records' epochs at all
+    /// ancestors). Extends the paper's soft-state principle to the
+    /// *non-leaf* records, which a lost `RemovePath` would otherwise
+    /// leave behind forever on unreliable transports.
+    pub path_refresh_us: Micros,
+    /// Path TTL: a non-leaf forwarding record whose epoch has not been
+    /// refreshed for this long is discarded (must exceed
+    /// `2 × path_refresh_us` to survive occasional lost keep-alives).
+    pub path_ttl_us: Micros,
+    /// Deadline for distributed gathers (range/NN/position waits).
+    pub query_timeout_us: Micros,
+    /// Initial nearest-neighbor ring radius when the entry leaf has no
+    /// local candidate; `0` auto-sizes to the leaf's diagonal.
+    pub nn_seed_radius_m: f64,
+    /// Cache configuration (§6.5); all off by default, as in the
+    /// paper's measured prototype.
+    pub caches: CacheConfig,
+    /// Spatial index for the sighting database.
+    pub index: IndexKind,
+    /// Visitor-database durability; `None` keeps it in memory.
+    pub durability: Option<DurabilityOptions>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            acc_floor_m: 5.0,
+            sighting_ttl_us: 300 * SECOND,
+            path_refresh_us: 150 * SECOND,
+            path_ttl_us: 450 * SECOND,
+            query_timeout_us: 2 * SECOND,
+            nn_seed_radius_m: 0.0,
+            caches: CacheConfig::default(),
+            index: IndexKind::Quadtree,
+            durability: None,
+        }
+    }
+}
+
+/// Operation counters of one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Messages consumed.
+    pub msgs_in: u64,
+    /// Messages produced.
+    pub msgs_out: u64,
+    /// Successful registrations performed (as agent).
+    pub registrations: u64,
+    /// Position updates applied.
+    pub updates: u64,
+    /// Handovers initiated (as old agent).
+    pub handovers_started: u64,
+    /// Handovers completed (as old agent).
+    pub handovers_completed: u64,
+    /// Position queries answered from the local sighting DB.
+    pub pos_answered: u64,
+    /// Range/NN sub-results produced as a leaf.
+    pub sub_results: u64,
+    /// Distributed gathers finished completely.
+    pub gathers_completed: u64,
+    /// Gathers that timed out (partial answers).
+    pub gathers_timed_out: u64,
+    /// Sightings removed by soft-state expiry.
+    pub expired: u64,
+    /// Position queries served straight from a cache.
+    pub cache_answers: u64,
+    /// Restore-on-demand probes sent after a restart.
+    pub probes_sent: u64,
+    /// Updates dropped because no visitor record exists here.
+    pub updates_dropped: u64,
+    /// Event notifications emitted (as coordinator).
+    pub events_fired: u64,
+}
+
+/// A location server node (sans-IO).
+///
+/// Drive it by calling [`LocationServer::handle`] for every incoming
+/// envelope and [`LocationServer::tick`] when the clock passes
+/// [`LocationServer::next_timer`].
+pub struct LocationServer {
+    config: ServerConfig,
+    opts: ServerOptions,
+    visitors: VisitorDb,
+    sightings: SightingDb,
+    pending: Pending,
+    caches: Caches,
+    leaf_events: LeafObservers,
+    coord_events: CoordinatorEvents,
+    corr: CorrIdGen,
+    next_event_seq: u64,
+    /// Next scheduled path-maintenance instant (keep-alives at leaves,
+    /// stale-record scans at non-leaves); 0 = not yet scheduled.
+    next_path_maintenance_us: Micros,
+    outbox: Vec<Envelope<Message>>,
+    stats: ServerStats,
+}
+
+impl std::fmt::Debug for LocationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocationServer")
+            .field("id", &self.config.id)
+            .field("leaf", &self.config.is_leaf())
+            .field("visitors", &self.visitors.len())
+            .field("sightings", &self.sightings.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl LocationServer {
+    /// Creates a server from its configuration record.
+    ///
+    /// With durability enabled, existing visitor records are recovered
+    /// from disk (the paper's restart path: forwarding paths survive,
+    /// sightings are restored on demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the durable visitor store cannot be
+    /// opened.
+    pub fn new(config: ServerConfig, opts: ServerOptions) -> Result<Self, StorageError> {
+        let sightings = match opts.index {
+            IndexKind::Quadtree => SightingDb::new_quadtree(),
+            IndexKind::RTree => SightingDb::new_rtree(),
+            IndexKind::Grid(cell) => SightingDb::new_grid(cell),
+        };
+        let visitors = match &opts.durability {
+            None => VisitorDb::volatile(),
+            Some(d) => {
+                let dir = d.dir.join(format!("server-{}", config.id.0));
+                VisitorDb::durable(dir, d.policy)?
+            }
+        };
+        let caches = Caches::new(opts.caches);
+        let corr = CorrIdGen::namespaced(config.id.0 as u64 + 1);
+        Ok(LocationServer {
+            config,
+            opts,
+            visitors,
+            sightings,
+            pending: Pending::default(),
+            caches,
+            leaf_events: LeafObservers::new(),
+            coord_events: CoordinatorEvents::new(),
+            corr,
+            next_event_seq: 0,
+            next_path_maintenance_us: 0,
+            outbox: Vec::new(),
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.config.id
+    }
+
+    /// The configuration record.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.caches.hit_stats()
+    }
+
+    /// Number of visitor records.
+    pub fn visitor_count(&self) -> usize {
+        self.visitors.len()
+    }
+
+    /// Number of stored sightings (leaf servers).
+    pub fn sighting_count(&self) -> usize {
+        self.sightings.len()
+    }
+
+    /// Number of parked pending operations.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Direct read access to the visitor database (diagnostics/tests).
+    pub fn visitors(&self) -> &VisitorDb {
+        &self.visitors
+    }
+
+    /// Compacts the durable visitor store (no-op when volatile).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot cannot be written.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        self.visitors.compact()
+    }
+
+    /// Processes one incoming envelope at service time `now`, returning
+    /// the envelopes to send.
+    pub fn handle(&mut self, now: Micros, env: Envelope<Message>) -> Vec<Envelope<Message>> {
+        self.stats.msgs_in += 1;
+        let from = env.from;
+        match env.msg {
+            Message::RegisterReq { sighting, des_acc_m, min_acc_m, max_speed_mps, registrant, corr } => {
+                self.on_register_req(now, sighting, des_acc_m, min_acc_m, max_speed_mps, registrant, corr)
+            }
+            Message::CreatePath { oid, epoch } => self.on_create_path(from, oid, epoch),
+            Message::DeregisterReq { oid } => self.on_deregister(now, oid),
+            Message::RemovePath { oid, epoch } => self.on_remove_path(oid, epoch),
+            Message::ChangeAccReq { oid, des_acc_m, min_acc_m, corr } => {
+                self.on_change_acc(now, from, oid, des_acc_m, min_acc_m, corr)
+            }
+            Message::UpdateReq { sighting } => self.on_update(now, from, sighting),
+            Message::HandoverReq { sighting, reg, epoch, corr } => {
+                self.on_handover_req(now, from, sighting, reg, epoch, corr)
+            }
+            Message::HandoverRes { oid, new_agent, offered_acc_m, epoch, corr } => {
+                self.on_handover_res(now, oid, new_agent, offered_acc_m, epoch, corr)
+            }
+            Message::HandoverFailed { oid, epoch, corr } => {
+                self.on_handover_failed(now, oid, epoch, corr)
+            }
+            Message::PosQueryReq { oid, corr } => self.on_pos_query_req(now, from, oid, corr),
+            Message::PosQueryFwd { oid, entry, direct, corr } => {
+                self.on_pos_query_fwd(now, from, oid, entry, direct, corr)
+            }
+            Message::PosQueryRes { oid, found, time_us, max_speed_mps, corr } => {
+                self.on_pos_query_res(from, oid, found, time_us, max_speed_mps, corr)
+            }
+            Message::PosQueryMiss { oid, corr } => self.on_pos_query_miss(oid, corr),
+            Message::RangeQueryReq { query, corr } => {
+                self.on_range_query_req(now, from, query, corr)
+            }
+            Message::RangeQueryFwd { query, entry, corr } => {
+                self.on_range_query_fwd(from, query, entry, corr)
+            }
+            Message::RangeQuerySubRes { items, covered_area_m2, leaf, leaf_area, corr } => {
+                self.on_range_sub_res(items, covered_area_m2, leaf, leaf_area, corr)
+            }
+            Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr } => {
+                self.on_neighbor_query_req(now, from, p, req_acc_m, near_qual_m, corr)
+            }
+            Message::NeighborQueryFwd { p, req_acc_m, radius_m, entry, corr } => {
+                self.on_neighbor_query_fwd(from, p, req_acc_m, radius_m, entry, corr)
+            }
+            Message::NeighborQuerySubRes { items, covered_area_m2, leaf, leaf_area, corr } => {
+                self.on_neighbor_sub_res(now, items, covered_area_m2, leaf, leaf_area, corr)
+            }
+            Message::EventRegisterReq { predicate, corr } => {
+                self.on_event_register(now, from, predicate, corr)
+            }
+            Message::EventInstall { event_id, coordinator, predicate } => {
+                self.on_event_install(from, event_id, coordinator, predicate)
+            }
+            Message::EventUninstall { event_id } => self.on_event_uninstall(from, event_id),
+            Message::EventLocalReport { event_id, leaf, count, entered, left } => {
+                self.on_event_report(event_id, leaf, count, &entered, &left)
+            }
+            Message::EventCancelReq { event_id } => self.on_event_cancel(from, event_id),
+            Message::AgentLookup { oid, object } => self.on_agent_lookup(from, oid, object),
+            // Messages addressed to clients/objects; a server receiving
+            // one (misrouted or late) ignores it.
+            Message::RegisterRes { .. }
+            | Message::RegisterFailed { .. }
+            | Message::UpdateAck { .. }
+            | Message::AgentChanged { .. }
+            | Message::OutOfServiceArea { .. }
+            | Message::ChangeAccRes { .. }
+            | Message::NotifyAvailAcc { .. }
+            | Message::RangeQueryRes { .. }
+            | Message::NeighborQueryRes { .. }
+            | Message::EventRegisterRes { .. }
+            | Message::EventNotify { .. }
+            | Message::PositionProbe { .. } => {}
+        }
+        self.drain()
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn drain(&mut self) -> Vec<Envelope<Message>> {
+        self.stats.msgs_out += self.outbox.len() as u64;
+        std::mem::take(&mut self.outbox)
+    }
+
+    pub(crate) fn emit(&mut self, to: impl Into<Endpoint>, msg: Message) {
+        self.outbox.push(Envelope::new(self.me(), to.into(), msg));
+    }
+
+    pub(crate) fn me(&self) -> Endpoint {
+        Endpoint::Server(self.config.id)
+    }
+
+    pub(crate) fn parent(&self) -> Option<ServerId> {
+        self.config.parent
+    }
+
+    /// Offered accuracy for a registration at this leaf.
+    pub(crate) fn offered_for(&self, reg: &RegInfo) -> f64 {
+        reg.offered_accuracy(self.opts.acc_floor_m)
+    }
+
+    /// Converts a sighting to its stored form with a fresh TTL.
+    pub(crate) fn stored(&self, s: &Sighting, now: Micros) -> StoredSighting {
+        StoredSighting {
+            key: s.oid.0,
+            pos: s.pos,
+            time_us: s.time_us,
+            acc_sens_m: s.acc_sens_m,
+            expires_us: now + self.opts.sighting_ttl_us,
+        }
+    }
+
+    /// The probe rectangle for a range query: the bounding box of the
+    /// query area enlarged by `reqAcc` (the paper's `Enlarge`).
+    pub(crate) fn probe_rect(query: &RangeQuery) -> Rect {
+        query.area.enlarged(query.req_acc_m).bounding_rect()
+    }
+
+    /// The probe rectangle for a nearest-neighbor ring.
+    pub(crate) fn nn_probe(p: Point, radius_m: f64) -> Rect {
+        Rect::from_center_size(p, 2.0 * radius_m, 2.0 * radius_m)
+    }
+
+    /// The diagonal of the root service area (upper bound for NN rings).
+    pub(crate) fn root_diag(&self) -> f64 {
+        let r = self.config.root_area;
+        r.min().distance(r.max())
+    }
+
+    /// The seed radius for NN searches without a local candidate.
+    pub(crate) fn nn_seed_radius(&self) -> f64 {
+        if self.opts.nn_seed_radius_m > 0.0 {
+            self.opts.nn_seed_radius_m
+        } else {
+            self.config.area.min().distance(self.config.area.max())
+        }
+    }
+
+    /// Scatter targets for a probe rectangle, excluding the sender:
+    /// overlapping children, plus the parent when the probe escapes
+    /// this server's area (paper Alg. 6-5 routing rules).
+    pub(crate) fn scatter_targets(&self, probe: &Rect, from: Endpoint) -> Vec<ServerId> {
+        let mut targets = Vec::new();
+        for child in &self.config.children {
+            if child.area.intersects(probe) && Endpoint::Server(child.id) != from {
+                targets.push(child.id);
+            }
+        }
+        if let Some(parent) = self.config.parent {
+            let escapes = !self.config.area.contains_rect(probe);
+            if escapes && Endpoint::Server(parent) != from {
+                targets.push(parent);
+            }
+        }
+        targets
+    }
+
+    /// A leaf's qualifying items for a range query (paper Alg. 6-5,
+    /// lines 3–5: candidates from the spatial index, then the exact
+    /// accuracy + overlap predicate).
+    pub(crate) fn leaf_range_items(&self, query: &RangeQuery) -> Vec<ObjectLocation> {
+        let mut items = Vec::new();
+        let visitors = &self.visitors;
+        self.sightings.range_candidates(&query.area, query.req_acc_m, &mut |rec| {
+            let Some(VisitorRecord::Leaf { offered_acc_m, .. }) = visitors.get(ObjectId(rec.key))
+            else {
+                return;
+            };
+            let ld = LocationDescriptor { pos: rec.pos, acc_m: *offered_acc_m };
+            if crate::model::semantics::qualifies_for_range(
+                &query.area,
+                &ld,
+                query.req_acc_m,
+                query.req_overlap,
+            ) {
+                items.push((ObjectId(rec.key), ld));
+            }
+        });
+        items
+    }
+
+    /// A leaf's candidates for a nearest-neighbor ring: recorded
+    /// position within `radius_m` of `p`, accuracy within `req_acc_m`.
+    pub(crate) fn leaf_nn_items(&self, p: Point, radius_m: f64, req_acc_m: f64) -> Vec<ObjectLocation> {
+        let mut items = Vec::new();
+        let probe = Self::nn_probe(p, radius_m);
+        let visitors = &self.visitors;
+        self.sightings.query_rect(&probe, &mut |rec| {
+            if rec.pos.distance(p) > radius_m {
+                return;
+            }
+            let Some(VisitorRecord::Leaf { offered_acc_m, .. }) = visitors.get(ObjectId(rec.key))
+            else {
+                return;
+            };
+            if *offered_acc_m <= req_acc_m {
+                items.push((ObjectId(rec.key), LocationDescriptor { pos: rec.pos, acc_m: *offered_acc_m }));
+            }
+        });
+        items
+    }
+
+    /// Emits event reports for observer deltas produced at this leaf.
+    pub(crate) fn emit_event_reports(&mut self, deltas: Vec<ObserverDelta>) {
+        let leaf = self.config.id;
+        for d in deltas {
+            self.emit(
+                d.coordinator,
+                Message::EventLocalReport {
+                    event_id: d.event_id,
+                    leaf,
+                    count: d.count,
+                    entered: d.entered,
+                    left: d.left,
+                },
+            );
+        }
+    }
+
+    /// Allocates a deployment-unique event id.
+    pub(crate) fn alloc_event_id(&mut self) -> u64 {
+        self.next_event_seq += 1;
+        ((self.config.id.0 as u64 + 1) << 40) | self.next_event_seq
+    }
+}

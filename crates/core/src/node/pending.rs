@@ -1,0 +1,221 @@
+//! Pending-operation tables.
+//!
+//! The paper's pseudocode blocks inside handlers (`receive handoverRes`
+//! after sending `handoverReq`). hiloc's servers are event-driven: an
+//! operation that awaits a response parks its continuation here, keyed
+//! by correlation id, with a deadline enforced by the maintenance tick.
+
+use crate::model::{Micros, ObjectId, RangeQuery};
+use crate::proto::ObjectLocation;
+use hiloc_geo::Point;
+use hiloc_net::{CorrId, Endpoint, ServerId};
+use std::collections::{HashMap, HashSet};
+
+/// What a node must do when the handover response passes through it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelayAction {
+    /// This node forwarded the request downward: set the forwarding
+    /// reference to the chosen child (paper Alg. 6-3, lines 8–15).
+    SetForward(ServerId),
+    /// This node forwarded the request upward: the object left this
+    /// subtree, remove its record (lines 16–21).
+    RemoveRecord,
+}
+
+/// State parked by a node relaying a handover request.
+#[derive(Debug, Clone)]
+pub struct HandoverRelay {
+    /// Where the request came from (receives the response next).
+    pub reply_to: Endpoint,
+    /// The object being handed over.
+    pub oid: ObjectId,
+    /// Action to perform when the response passes through.
+    pub action: RelayAction,
+    /// Path-change epoch of the handover.
+    pub epoch: Micros,
+    /// Give-up deadline.
+    pub deadline_us: Micros,
+}
+
+/// State parked by the old agent that initiated a handover.
+#[derive(Debug, Clone)]
+pub struct HandoverOrigin {
+    /// The object being handed over.
+    pub oid: ObjectId,
+    /// The tracked object's endpoint, to be told its new agent.
+    pub object: Endpoint,
+    /// Give-up deadline.
+    pub deadline_us: Micros,
+}
+
+/// State parked by an entry server awaiting a position-query answer.
+#[derive(Debug, Clone)]
+pub struct PosWait {
+    /// The client to answer.
+    pub client: Endpoint,
+    /// The queried object.
+    pub oid: ObjectId,
+    /// True while the first attempt goes directly to a cached agent.
+    pub via_cache: bool,
+    /// Give-up deadline.
+    pub deadline_us: Micros,
+}
+
+/// Scatter/gather state for a range query at its entry server.
+#[derive(Debug, Clone)]
+pub struct RangeGather {
+    /// The client to answer.
+    pub client: Endpoint,
+    /// The query (needed to re-check semantics and for diagnostics).
+    pub query: RangeQuery,
+    /// Items collected so far.
+    pub items: Vec<ObjectLocation>,
+    /// Area of the enlarged query region covered by received
+    /// sub-results (m²).
+    pub covered_m2: f64,
+    /// Target coverage: area of `Enlarge(a) ∩ root area` (m²).
+    pub target_m2: f64,
+    /// Leaves already counted (guards against duplicate delivery).
+    pub seen_leaves: HashSet<ServerId>,
+    /// Give-up deadline.
+    pub deadline_us: Micros,
+}
+
+impl RangeGather {
+    /// Whether coverage is complete (within floating-point tolerance).
+    pub fn is_complete(&self) -> bool {
+        self.covered_m2 + coverage_eps(self.target_m2) >= self.target_m2
+    }
+}
+
+/// Scatter/gather state for a nearest-neighbor query at its entry
+/// server (expanding-ring search).
+#[derive(Debug, Clone)]
+pub struct NnGather {
+    /// The client to answer.
+    pub client: Endpoint,
+    /// The client's correlation id (rounds allocate fresh ids; the
+    /// final answer must echo this one).
+    pub client_corr: CorrId,
+    /// The queried position.
+    pub p: Point,
+    /// Accuracy threshold (meters).
+    pub req_acc_m: f64,
+    /// Near-set qualification distance (meters).
+    pub near_qual_m: f64,
+    /// Current ring radius (meters).
+    pub radius_m: f64,
+    /// Candidates collected in this round.
+    pub items: Vec<ObjectLocation>,
+    /// Covered area of the ring's bounding box (m²).
+    pub covered_m2: f64,
+    /// Target coverage for this round (m²).
+    pub target_m2: f64,
+    /// Leaves already counted this round.
+    pub seen_leaves: HashSet<ServerId>,
+    /// Number of ring escalations performed.
+    pub escalations: u32,
+    /// Give-up deadline.
+    pub deadline_us: Micros,
+}
+
+impl NnGather {
+    /// Whether this round's coverage is complete.
+    pub fn is_complete(&self) -> bool {
+        self.covered_m2 + coverage_eps(self.target_m2) >= self.target_m2
+    }
+}
+
+/// Floating-point slack for coverage accounting: sums of clipped areas
+/// accumulate rounding error proportional to the target.
+fn coverage_eps(target: f64) -> f64 {
+    1e-9 * target.max(1.0)
+}
+
+/// All pending operations of one server.
+#[derive(Debug, Default)]
+pub struct Pending {
+    /// Old agents awaiting `HandoverRes`.
+    pub handover_origin: HashMap<CorrId, HandoverOrigin>,
+    /// Relays awaiting `HandoverRes` to splice the path.
+    pub handover_relay: HashMap<CorrId, HandoverRelay>,
+    /// Entry servers awaiting `PosQueryRes`.
+    pub pos_wait: HashMap<CorrId, PosWait>,
+    /// Entry servers gathering range-query sub-results.
+    pub range_gather: HashMap<CorrId, RangeGather>,
+    /// Entry servers gathering nearest-neighbor candidates.
+    pub nn_gather: HashMap<CorrId, NnGather>,
+}
+
+impl Pending {
+    /// The earliest deadline across all pending operations.
+    pub fn next_deadline(&self) -> Option<Micros> {
+        let mut min: Option<Micros> = None;
+        let mut consider = |d: Micros| {
+            min = Some(match min {
+                None => d,
+                Some(m) => m.min(d),
+            });
+        };
+        self.handover_origin.values().for_each(|x| consider(x.deadline_us));
+        self.handover_relay.values().for_each(|x| consider(x.deadline_us));
+        self.pos_wait.values().for_each(|x| consider(x.deadline_us));
+        self.range_gather.values().for_each(|x| consider(x.deadline_us));
+        self.nn_gather.values().for_each(|x| consider(x.deadline_us));
+        min
+    }
+
+    /// Total number of parked operations.
+    pub fn len(&self) -> usize {
+        self.handover_origin.len()
+            + self.handover_relay.len()
+            + self.pos_wait.len()
+            + self.range_gather.len()
+            + self.nn_gather.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_deadline_finds_minimum() {
+        let mut p = Pending::default();
+        assert_eq!(p.next_deadline(), None);
+        p.pos_wait.insert(
+            CorrId(1),
+            PosWait { client: Endpoint::Client(hiloc_net::ClientId(1)), oid: ObjectId(1), via_cache: false, deadline_us: 500 },
+        );
+        p.handover_origin.insert(
+            CorrId(2),
+            HandoverOrigin { oid: ObjectId(2), object: Endpoint::Client(hiloc_net::ClientId(2)), deadline_us: 300 },
+        );
+        assert_eq!(p.next_deadline(), Some(300));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn gather_completion_tolerance() {
+        let g = RangeGather {
+            client: Endpoint::Client(hiloc_net::ClientId(1)),
+            query: RangeQuery::new(
+                hiloc_geo::Region::from(hiloc_geo::Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))),
+                10.0,
+                0.5,
+            ),
+            items: Vec::new(),
+            covered_m2: 0.999_999_999_9,
+            target_m2: 1.0,
+            seen_leaves: HashSet::new(),
+            deadline_us: 0,
+        };
+        assert!(g.is_complete(), "tiny float deficit must still complete");
+    }
+}

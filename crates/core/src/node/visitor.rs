@@ -1,0 +1,271 @@
+//! The visitor database: per-object records with durable backing.
+
+use crate::model::{Micros, ObjectId, RegInfo};
+use hiloc_net::wire;
+use hiloc_net::ServerId;
+use hiloc_storage::{DurableMap, RecordValue, StorageError, SyncPolicy};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// A visitor record (paper §5): what a server knows about an object
+/// currently inside its service area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VisitorRecord {
+    /// Stored by the object's agent (leaf server): offered accuracy and
+    /// registration info. The sighting itself lives in the volatile
+    /// sighting database.
+    Leaf {
+        /// Currently offered accuracy (`v.offeredAcc`).
+        offered_acc_m: f64,
+        /// Registration information (`v.regInfo`).
+        reg: RegInfo,
+        /// Logical time of the last path change, guarding against
+        /// stale create/remove races.
+        epoch: Micros,
+    },
+    /// Stored by non-leaf servers: the child next on the path to the
+    /// object's agent (`v.forwardRef`).
+    Forward {
+        /// The next-hop child server.
+        child: ServerId,
+        /// Logical time of the last path change.
+        epoch: Micros,
+    },
+}
+
+impl VisitorRecord {
+    /// The record's path-change epoch.
+    pub fn epoch(&self) -> Micros {
+        match self {
+            VisitorRecord::Leaf { epoch, .. } | VisitorRecord::Forward { epoch, .. } => *epoch,
+        }
+    }
+}
+
+impl RecordValue for VisitorRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            VisitorRecord::Leaf { offered_acc_m, reg, epoch } => {
+                wire::put_u8(buf, 0);
+                wire::put_f64(buf, *offered_acc_m);
+                wire::put_endpoint(buf, reg.registrant);
+                wire::put_f64(buf, reg.des_acc_m);
+                wire::put_f64(buf, reg.min_acc_m);
+                wire::put_f64(buf, reg.max_speed_mps);
+                wire::put_u64(buf, *epoch);
+            }
+            VisitorRecord::Forward { child, epoch } => {
+                wire::put_u8(buf, 1);
+                wire::put_u32(buf, child.0);
+                wire::put_u64(buf, *epoch);
+            }
+        }
+    }
+
+    fn decode(mut buf: &[u8]) -> Option<Self> {
+        let b = &mut buf;
+        match wire::get_u8(b)? {
+            0 => {
+                let offered = wire::get_f64(b)?;
+                let registrant = wire::get_endpoint(b)?;
+                let des = wire::get_f64(b)?;
+                let min = wire::get_f64(b)?;
+                let vmax = wire::get_f64(b)?;
+                let epoch = wire::get_u64(b)?;
+                Some(VisitorRecord::Leaf {
+                    offered_acc_m: offered,
+                    reg: RegInfo { registrant, des_acc_m: des, min_acc_m: min, max_speed_mps: vmax },
+                    epoch,
+                })
+            }
+            1 => Some(VisitorRecord::Forward {
+                child: ServerId(wire::get_u32(b)?),
+                epoch: wire::get_u64(b)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The visitor database: an in-memory map with optional write-ahead
+/// durability (the paper keeps the visitorDB on persistent storage so
+/// forwarding paths survive failures; simulation runs skip the disk).
+pub struct VisitorDb {
+    mem: HashMap<ObjectId, VisitorRecord>,
+    durable: Option<DurableMap<VisitorRecord>>,
+}
+
+impl std::fmt::Debug for VisitorDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VisitorDb")
+            .field("records", &self.mem.len())
+            .field("durable", &self.durable.is_some())
+            .finish()
+    }
+}
+
+impl VisitorDb {
+    /// A volatile visitor database (for simulation).
+    pub fn volatile() -> Self {
+        VisitorDb { mem: HashMap::new(), durable: None }
+    }
+
+    /// A durable visitor database stored in `dir`, recovering any
+    /// existing state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the store cannot be opened or is corrupt.
+    pub fn durable(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StorageError> {
+        let map = DurableMap::open(dir, policy)?;
+        let mem = map.iter().map(|(k, v)| (ObjectId(k), *v)).collect();
+        Ok(VisitorDb { mem, durable: Some(map) })
+    }
+
+    /// The record for `oid`.
+    pub fn get(&self, oid: ObjectId) -> Option<&VisitorRecord> {
+        self.mem.get(&oid)
+    }
+
+    /// Number of visitors.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// True when no visitors are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &VisitorRecord)> {
+        self.mem.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Inserts or replaces a record **iff** the existing record is not
+    /// newer (`existing.epoch <= record.epoch`). Returns whether the
+    /// record was applied.
+    pub fn apply(&mut self, oid: ObjectId, record: VisitorRecord) -> bool {
+        if let Some(existing) = self.mem.get(&oid) {
+            if existing.epoch() > record.epoch() {
+                return false;
+            }
+        }
+        self.mem.insert(oid, record);
+        if let Some(d) = &mut self.durable {
+            // Durability failures must not corrupt protocol state; the
+            // record stays in memory and the log error is surfaced via
+            // the map's stats on the next compaction attempt.
+            let _ = d.insert(oid.0, record);
+        }
+        true
+    }
+
+    /// Removes the record **iff** it is not newer than `epoch`.
+    /// Returns the removed record.
+    pub fn remove_if_older(&mut self, oid: ObjectId, epoch: Micros) -> Option<VisitorRecord> {
+        match self.mem.get(&oid) {
+            Some(rec) if rec.epoch() <= epoch => {
+                let rec = self.mem.remove(&oid);
+                if let Some(d) = &mut self.durable {
+                    let _ = d.remove(oid.0);
+                }
+                rec
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes the record unconditionally.
+    pub fn remove(&mut self, oid: ObjectId) -> Option<VisitorRecord> {
+        let rec = self.mem.remove(&oid);
+        if rec.is_some() {
+            if let Some(d) = &mut self.durable {
+                let _ = d.remove(oid.0);
+            }
+        }
+        rec
+    }
+
+    /// Compacts the durable backing (no-op when volatile).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when writing the snapshot fails.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        if let Some(d) = &mut self.durable {
+            d.compact()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiloc_net::ClientId;
+
+    fn reg() -> RegInfo {
+        RegInfo::new(ClientId(5).into(), 10.0, 50.0, 2.0)
+    }
+
+    fn leaf_rec(epoch: Micros) -> VisitorRecord {
+        VisitorRecord::Leaf { offered_acc_m: 10.0, reg: reg(), epoch }
+    }
+
+    fn fwd_rec(child: u32, epoch: Micros) -> VisitorRecord {
+        VisitorRecord::Forward { child: ServerId(child), epoch }
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        for rec in [leaf_rec(42), fwd_rec(7, 100)] {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(VisitorRecord::decode(&buf), Some(rec));
+        }
+        assert_eq!(VisitorRecord::decode(&[9, 9]), None);
+    }
+
+    #[test]
+    fn epoch_guard_on_apply() {
+        let mut db = VisitorDb::volatile();
+        assert!(db.apply(ObjectId(1), fwd_rec(1, 100)));
+        // Older epoch rejected.
+        assert!(!db.apply(ObjectId(1), fwd_rec(2, 50)));
+        assert_eq!(db.get(ObjectId(1)), Some(&fwd_rec(1, 100)));
+        // Equal epoch wins (last-writer for same logical instant).
+        assert!(db.apply(ObjectId(1), fwd_rec(3, 100)));
+        // Newer epoch wins.
+        assert!(db.apply(ObjectId(1), leaf_rec(200)));
+    }
+
+    #[test]
+    fn epoch_guard_on_remove() {
+        let mut db = VisitorDb::volatile();
+        db.apply(ObjectId(1), fwd_rec(1, 100));
+        // A stale RemovePath must not tear down a newer path.
+        assert!(db.remove_if_older(ObjectId(1), 50).is_none());
+        assert!(db.get(ObjectId(1)).is_some());
+        assert!(db.remove_if_older(ObjectId(1), 100).is_some());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn durable_recovery() {
+        let dir = std::env::temp_dir().join(format!("hiloc-vdb-{}-{}", std::process::id(), 1));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = VisitorDb::durable(&dir, SyncPolicy::OsFlush).unwrap();
+            db.apply(ObjectId(1), leaf_rec(10));
+            db.apply(ObjectId(2), fwd_rec(4, 20));
+            db.remove(ObjectId(1));
+        }
+        {
+            let db = VisitorDb::durable(&dir, SyncPolicy::OsFlush).unwrap();
+            assert_eq!(db.len(), 1);
+            assert_eq!(db.get(ObjectId(2)), Some(&fwd_rec(4, 20)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,1203 @@
+//! The hiloc wire protocol: every message exchanged between clients,
+//! tracked objects and location servers.
+//!
+//! Message names follow the paper's pseudocode (§6): `registerReq`,
+//! `createPath`, `update`, `handoverReq/Res`, `posQueryReq/Fwd/Res`,
+//! `rangeQueryReq/Fwd/SubRes/Res`. Additions beyond the paper are
+//! documented on each variant: nearest-neighbor scatter/gather (the
+//! paper defines the query semantics but no distributed algorithm),
+//! the event mechanism (paper §8 future work), and cache-support
+//! messages (§6.5).
+
+use crate::events::{EventKind, Predicate};
+use crate::model::{LocationDescriptor, Micros, ObjectId, RangeQuery, RegInfo, Sighting};
+use hiloc_geo::{Point, Rect};
+use hiloc_net::wire::{self, WireCodec};
+use hiloc_net::{CorrId, Endpoint, ServerId};
+
+/// Maximum number of `(object, descriptor)` pairs accepted per message.
+const MAX_ITEMS: u32 = 1_000_000;
+
+/// One `(object, location descriptor)` result pair.
+pub type ObjectLocation = (ObjectId, LocationDescriptor);
+
+/// A protocol message.
+///
+/// All positions are in the deployment's local planar frame; the
+/// geographic WGS84 boundary lives in the client API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // ------------------------------------------------------ registration
+    /// `registerReq(s, desAcc, minAcc, regInst)` — routed through the
+    /// hierarchy to the leaf responsible for `sighting.pos`.
+    RegisterReq {
+        /// Initial sighting of the object to register.
+        sighting: Sighting,
+        /// Desired accuracy in meters.
+        des_acc_m: f64,
+        /// Minimal acceptable accuracy in meters.
+        min_acc_m: f64,
+        /// Declared maximum speed (m/s), used for accuracy ageing.
+        max_speed_mps: f64,
+        /// The registering instance, to receive the response.
+        registrant: Endpoint,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `registerRes(self, offeredAcc)` — sent by the new agent leaf.
+    RegisterRes {
+        /// The agent (leaf) server now tracking the object.
+        agent: ServerId,
+        /// Accuracy the service offers.
+        offered_acc_m: f64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `registerFailed(self, acc)` — the accuracy range is unachievable.
+    RegisterFailed {
+        /// The rejecting server.
+        server: ServerId,
+        /// Best accuracy the server could achieve.
+        achievable_m: f64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `createPath(oId)` — builds the forwarding path leaf→root;
+    /// receivers set the forwarding reference to the envelope sender.
+    CreatePath {
+        /// The newly registered object.
+        oid: ObjectId,
+        /// Path-change epoch (service time) guarding against stale
+        /// create/remove races.
+        epoch: Micros,
+    },
+
+    // ------------------------------------------------ update & handover
+    /// `update(s)` — a position update from a tracked object (or
+    /// stationary tracking system) to its agent.
+    UpdateReq {
+        /// The new sighting.
+        sighting: Sighting,
+    },
+    /// Acknowledgement of an update (the paper measures updates "with
+    /// ACK" in Table 2).
+    UpdateAck {
+        /// The updated object.
+        oid: ObjectId,
+        /// Currently offered accuracy.
+        offered_acc_m: f64,
+        /// Server time of the acknowledgement.
+        time_us: Micros,
+    },
+    /// `handoverReq(s, regInfo)` — tracking responsibility transfer,
+    /// routed to the leaf containing the new position.
+    HandoverReq {
+        /// The sighting that left the old agent's area.
+        sighting: Sighting,
+        /// Registration info, moved to the new agent.
+        reg: RegInfo,
+        /// Path-change epoch.
+        epoch: Micros,
+        /// Correlation id (allocated by the old agent).
+        corr: CorrId,
+    },
+    /// `handoverRes(lsnew, acc)` — travels back along the request path,
+    /// splicing the forwarding pointers.
+    HandoverRes {
+        /// The object being handed over.
+        oid: ObjectId,
+        /// The new agent leaf.
+        new_agent: ServerId,
+        /// Accuracy offered by the new agent.
+        offered_acc_m: f64,
+        /// Path-change epoch.
+        epoch: Micros,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// The old agent rejects/aborts a handover: the object moved outside
+    /// the root service area and is deregistered (paper §4: "tracked
+    /// objects that move out of the service area are automatically
+    /// deregistered").
+    HandoverFailed {
+        /// The object.
+        oid: ObjectId,
+        /// Path-change epoch.
+        epoch: Micros,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// The old agent informs the tracked object of its new agent.
+    AgentChanged {
+        /// The object.
+        oid: ObjectId,
+        /// Its new agent leaf.
+        new_agent: ServerId,
+        /// Accuracy offered by the new agent.
+        offered_acc_m: f64,
+    },
+    /// The object left the service area entirely and was deregistered.
+    OutOfServiceArea {
+        /// The object.
+        oid: ObjectId,
+    },
+
+    // --------------------------------------- deregistration & soft state
+    /// `deregister(o)` — explicit deregistration at the agent.
+    DeregisterReq {
+        /// The object to forget.
+        oid: ObjectId,
+    },
+    /// Removes the forwarding path leaf→root (deregistration or
+    /// soft-state expiry). Guarded by `epoch` against racing re-paths.
+    RemovePath {
+        /// The object.
+        oid: ObjectId,
+        /// Path-change epoch of the removal.
+        epoch: Micros,
+    },
+
+    // ------------------------------------------------ accuracy management
+    /// `changeAcc(o, desAcc, minAcc)` — renegotiate the accuracy range.
+    ChangeAccReq {
+        /// The object.
+        oid: ObjectId,
+        /// New desired accuracy.
+        des_acc_m: f64,
+        /// New minimal acceptable accuracy.
+        min_acc_m: f64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// Response to [`Message::ChangeAccReq`].
+    ChangeAccRes {
+        /// The object.
+        oid: ObjectId,
+        /// Whether the new range is achievable (and now in effect).
+        ok: bool,
+        /// The offered accuracy after the change.
+        offered_acc_m: f64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `notifyAvailAcc()` — unsolicited notification that the offered
+    /// accuracy changed (e.g. after a handover to a leaf with different
+    /// sensor infrastructure).
+    NotifyAvailAcc {
+        /// The object.
+        oid: ObjectId,
+        /// The now-offered accuracy.
+        offered_acc_m: f64,
+    },
+
+    // ----------------------------------------------------- position query
+    /// `posQuery(o)` from a client to its entry server.
+    PosQueryReq {
+        /// The queried object.
+        oid: ObjectId,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `posQueryFwd(oId, lse)` — routed via forwarding pointers.
+    PosQueryFwd {
+        /// The queried object.
+        oid: ObjectId,
+        /// The entry server awaiting the answer.
+        entry: ServerId,
+        /// True when the entry contacted a cached agent directly
+        /// (cache miss then falls back to the hierarchy) — §6.5.
+        direct: bool,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `posQueryRes(ld)` — the answer, sent to the entry server (or the
+    /// client). `found = None` means the object is unknown.
+    PosQueryRes {
+        /// The queried object.
+        oid: ObjectId,
+        /// The location descriptor, when the object is tracked.
+        found: Option<LocationDescriptor>,
+        /// Sighting timestamp backing the descriptor (0 when unknown) —
+        /// lets caches age the accuracy.
+        time_us: Micros,
+        /// The object's declared maximum speed (0 when unknown).
+        max_speed_mps: f64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// A directly-contacted leaf no longer tracks the object (stale
+    /// agent cache): the entry falls back to hierarchy routing.
+    PosQueryMiss {
+        /// The queried object.
+        oid: ObjectId,
+        /// Correlation id.
+        corr: CorrId,
+    },
+
+    // -------------------------------------------------------- range query
+    /// `rangeQuery(a, reqAcc, reqOverlap)` from a client.
+    RangeQueryReq {
+        /// The query parameters.
+        query: RangeQuery,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `rangeQueryFwd(area, reqAcc, reqOverlap, lse)` — scattered
+    /// through the hierarchy to all overlapping leaves.
+    RangeQueryFwd {
+        /// The query parameters.
+        query: RangeQuery,
+        /// The entry server collecting the partial results.
+        entry: ServerId,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `rangeQuerySubRes(objs, a)` — one leaf's partial result, sent
+    /// directly to the entry server. Carries the leaf's service area so
+    /// entry servers can populate their area caches (§6.5: "the
+    /// originator of the message includes a specification of its (leaf)
+    /// service area").
+    RangeQuerySubRes {
+        /// Qualifying `(object, descriptor)` pairs at this leaf.
+        items: Vec<ObjectLocation>,
+        /// Area (m²) of `Enlarge(query area) ∩ leaf area` — the portion
+        /// of the query this sub-result covers.
+        covered_area_m2: f64,
+        /// The answering leaf.
+        leaf: ServerId,
+        /// The answering leaf's service area (cache food).
+        leaf_area: Rect,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// `rangeQueryRes(objects)` — the collected answer to the client.
+    RangeQueryRes {
+        /// All qualifying `(object, descriptor)` pairs.
+        items: Vec<ObjectLocation>,
+        /// False when the gather timed out (partial answer).
+        complete: bool,
+        /// Correlation id.
+        corr: CorrId,
+    },
+
+    // -------------------------------------------------- nearest neighbor
+    /// `neighborQuery(p, reqAcc, nearQual)` from a client.
+    ///
+    /// The paper defines the semantics (§3.2) but no distributed
+    /// algorithm; hiloc uses an expanding-ring scatter (DESIGN.md §3).
+    NeighborQueryReq {
+        /// The queried position.
+        p: Point,
+        /// Accuracy threshold.
+        req_acc_m: f64,
+        /// Near-set qualification distance.
+        near_qual_m: f64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// Ring scatter: collect candidates within `radius_m` of `p`.
+    NeighborQueryFwd {
+        /// The queried position.
+        p: Point,
+        /// Accuracy threshold.
+        req_acc_m: f64,
+        /// Current search radius.
+        radius_m: f64,
+        /// The entry server gathering candidates.
+        entry: ServerId,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// A leaf's candidates within the ring.
+    NeighborQuerySubRes {
+        /// Candidates (center within the ring, accuracy qualified).
+        items: Vec<ObjectLocation>,
+        /// Covered portion (m²) of the ring's bounding box.
+        covered_area_m2: f64,
+        /// The answering leaf.
+        leaf: ServerId,
+        /// The answering leaf's service area (cache food).
+        leaf_area: Rect,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// The nearest-neighbor answer to the client.
+    NeighborQueryRes {
+        /// The selected nearest object.
+        nearest: Option<ObjectLocation>,
+        /// Qualified objects within `nearQual` of the nearest.
+        near_set: Vec<ObjectLocation>,
+        /// False when the gather timed out.
+        complete: bool,
+        /// Correlation id.
+        corr: CorrId,
+    },
+
+    // ------------------------------------------------------------ events
+    /// Registers a predicate (paper §8 future work).
+    EventRegisterReq {
+        /// The predicate to watch.
+        predicate: Predicate,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// Acknowledges an event registration with its id.
+    EventRegisterRes {
+        /// The allocated event id.
+        event_id: u64,
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// Installs an observer at a leaf (scattered like a range query).
+    EventInstall {
+        /// The event id.
+        event_id: u64,
+        /// The coordinating server (receives local reports).
+        coordinator: ServerId,
+        /// The predicate to observe.
+        predicate: Predicate,
+    },
+    /// Removes an observer from a leaf.
+    EventUninstall {
+        /// The event id.
+        event_id: u64,
+    },
+    /// A leaf's membership report to the coordinator.
+    EventLocalReport {
+        /// The event id.
+        event_id: u64,
+        /// The reporting leaf.
+        leaf: ServerId,
+        /// Members currently in the watched area at this leaf.
+        count: u32,
+        /// Objects that entered since the last report.
+        entered: Vec<ObjectId>,
+        /// Objects that left since the last report.
+        left: Vec<ObjectId>,
+    },
+    /// An event notification to the subscriber.
+    EventNotify {
+        /// The event id.
+        event_id: u64,
+        /// What happened.
+        kind: EventKind,
+    },
+    /// Cancels an event registration.
+    EventCancelReq {
+        /// The event id.
+        event_id: u64,
+    },
+
+    // ------------------------------------------------- restore-on-demand
+    /// A recovering leaf asks a visitor for a fresh position update
+    /// (paper §5: "persistent registration information also allows a
+    /// location server to ask a visitor for a position update to restore
+    /// its position information … after system restart").
+    PositionProbe {
+        /// The object asked to report.
+        oid: ObjectId,
+    },
+    /// A server that received an update for an object it no longer
+    /// tracks (the object's `AgentChanged` was lost) routes this along
+    /// the forwarding paths; the current agent answers the object with
+    /// a fresh `AgentChanged`. Robustness extension beyond the paper's
+    /// pseudocode, required for UDP deployments.
+    AgentLookup {
+        /// The object whose agent is sought.
+        oid: ObjectId,
+        /// The tracked object's endpoint (receives the answer).
+        object: Endpoint,
+    },
+}
+
+impl Message {
+    /// A short static label for tracing (message kind).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::RegisterReq { .. } => "registerReq",
+            Message::RegisterRes { .. } => "registerRes",
+            Message::RegisterFailed { .. } => "registerFailed",
+            Message::CreatePath { .. } => "createPath",
+            Message::UpdateReq { .. } => "update",
+            Message::UpdateAck { .. } => "updateAck",
+            Message::HandoverReq { .. } => "handoverReq",
+            Message::HandoverRes { .. } => "handoverRes",
+            Message::HandoverFailed { .. } => "handoverFailed",
+            Message::AgentChanged { .. } => "agentChanged",
+            Message::OutOfServiceArea { .. } => "outOfServiceArea",
+            Message::DeregisterReq { .. } => "deregister",
+            Message::RemovePath { .. } => "removePath",
+            Message::ChangeAccReq { .. } => "changeAccReq",
+            Message::ChangeAccRes { .. } => "changeAccRes",
+            Message::NotifyAvailAcc { .. } => "notifyAvailAcc",
+            Message::PosQueryReq { .. } => "posQueryReq",
+            Message::PosQueryFwd { .. } => "posQueryFwd",
+            Message::PosQueryRes { .. } => "posQueryRes",
+            Message::PosQueryMiss { .. } => "posQueryMiss",
+            Message::RangeQueryReq { .. } => "rangeQueryReq",
+            Message::RangeQueryFwd { .. } => "rangeQueryFwd",
+            Message::RangeQuerySubRes { .. } => "rangeQuerySubRes",
+            Message::RangeQueryRes { .. } => "rangeQueryRes",
+            Message::NeighborQueryReq { .. } => "neighborQueryReq",
+            Message::NeighborQueryFwd { .. } => "neighborQueryFwd",
+            Message::NeighborQuerySubRes { .. } => "neighborQuerySubRes",
+            Message::NeighborQueryRes { .. } => "neighborQueryRes",
+            Message::EventRegisterReq { .. } => "eventRegisterReq",
+            Message::EventRegisterRes { .. } => "eventRegisterRes",
+            Message::EventInstall { .. } => "eventInstall",
+            Message::EventUninstall { .. } => "eventUninstall",
+            Message::EventLocalReport { .. } => "eventLocalReport",
+            Message::EventNotify { .. } => "eventNotify",
+            Message::EventCancelReq { .. } => "eventCancelReq",
+            Message::PositionProbe { .. } => "positionProbe",
+            Message::AgentLookup { .. } => "agentLookup",
+        }
+    }
+}
+
+// ---------------------------------------------------------------- codec
+
+fn put_oid(buf: &mut Vec<u8>, oid: ObjectId) {
+    wire::put_u64(buf, oid.0);
+}
+
+fn get_oid(buf: &mut &[u8]) -> Option<ObjectId> {
+    Some(ObjectId(wire::get_u64(buf)?))
+}
+
+fn put_server(buf: &mut Vec<u8>, s: ServerId) {
+    wire::put_u32(buf, s.0);
+}
+
+fn get_server(buf: &mut &[u8]) -> Option<ServerId> {
+    Some(ServerId(wire::get_u32(buf)?))
+}
+
+fn put_corr(buf: &mut Vec<u8>, c: CorrId) {
+    wire::put_u64(buf, c.0);
+}
+
+fn get_corr(buf: &mut &[u8]) -> Option<CorrId> {
+    Some(CorrId(wire::get_u64(buf)?))
+}
+
+fn put_sighting(buf: &mut Vec<u8>, s: &Sighting) {
+    put_oid(buf, s.oid);
+    wire::put_u64(buf, s.time_us);
+    wire::put_point(buf, s.pos);
+    wire::put_f64(buf, s.acc_sens_m);
+}
+
+fn get_sighting(buf: &mut &[u8]) -> Option<Sighting> {
+    let oid = get_oid(buf)?;
+    let time_us = wire::get_u64(buf)?;
+    let pos = wire::get_point(buf)?;
+    let acc = wire::get_f64(buf)?;
+    if !(acc >= 0.0 && acc.is_finite()) {
+        return None;
+    }
+    Some(Sighting { oid, time_us, pos, acc_sens_m: acc })
+}
+
+fn put_reg(buf: &mut Vec<u8>, r: &RegInfo) {
+    wire::put_endpoint(buf, r.registrant);
+    wire::put_f64(buf, r.des_acc_m);
+    wire::put_f64(buf, r.min_acc_m);
+    wire::put_f64(buf, r.max_speed_mps);
+}
+
+fn get_reg(buf: &mut &[u8]) -> Option<RegInfo> {
+    let registrant = wire::get_endpoint(buf)?;
+    let des = wire::get_f64(buf)?;
+    let min = wire::get_f64(buf)?;
+    let vmax = wire::get_f64(buf)?;
+    if !(des >= 0.0 && des <= min && min.is_finite() && vmax >= 0.0 && vmax.is_finite()) {
+        return None;
+    }
+    Some(RegInfo { registrant, des_acc_m: des, min_acc_m: min, max_speed_mps: vmax })
+}
+
+fn put_ld(buf: &mut Vec<u8>, ld: &LocationDescriptor) {
+    wire::put_point(buf, ld.pos);
+    wire::put_f64(buf, ld.acc_m);
+}
+
+fn get_ld(buf: &mut &[u8]) -> Option<LocationDescriptor> {
+    let pos = wire::get_point(buf)?;
+    let acc = wire::get_f64(buf)?;
+    if !(acc >= 0.0 && acc.is_finite()) {
+        return None;
+    }
+    Some(LocationDescriptor { pos, acc_m: acc })
+}
+
+fn put_opt_ld(buf: &mut Vec<u8>, ld: &Option<LocationDescriptor>) {
+    match ld {
+        None => wire::put_u8(buf, 0),
+        Some(ld) => {
+            wire::put_u8(buf, 1);
+            put_ld(buf, ld);
+        }
+    }
+}
+
+fn get_opt_ld(buf: &mut &[u8]) -> Option<Option<LocationDescriptor>> {
+    match wire::get_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(get_ld(buf)?)),
+        _ => None,
+    }
+}
+
+fn put_items(buf: &mut Vec<u8>, items: &[ObjectLocation]) {
+    wire::put_vec(buf, items, |b, (oid, ld)| {
+        put_oid(b, *oid);
+        put_ld(b, ld);
+    });
+}
+
+fn get_items(buf: &mut &[u8]) -> Option<Vec<ObjectLocation>> {
+    wire::get_vec(buf, MAX_ITEMS, |b| Some((get_oid(b)?, get_ld(b)?)))
+}
+
+fn put_opt_item(buf: &mut Vec<u8>, item: &Option<ObjectLocation>) {
+    match item {
+        None => wire::put_u8(buf, 0),
+        Some((oid, ld)) => {
+            wire::put_u8(buf, 1);
+            put_oid(buf, *oid);
+            put_ld(buf, ld);
+        }
+    }
+}
+
+fn get_opt_item(buf: &mut &[u8]) -> Option<Option<ObjectLocation>> {
+    match wire::get_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some((get_oid(buf)?, get_ld(buf)?))),
+        _ => None,
+    }
+}
+
+fn put_range_query(buf: &mut Vec<u8>, q: &RangeQuery) {
+    wire::put_region(buf, &q.area);
+    wire::put_f64(buf, q.req_acc_m);
+    wire::put_f64(buf, q.req_overlap);
+}
+
+fn get_range_query(buf: &mut &[u8]) -> Option<RangeQuery> {
+    let area = wire::get_region(buf)?;
+    let req_acc = wire::get_f64(buf)?;
+    let req_overlap = wire::get_f64(buf)?;
+    if !(req_acc >= 0.0 && req_acc.is_finite() && req_overlap > 0.0 && req_overlap <= 1.0) {
+        return None;
+    }
+    Some(RangeQuery { area, req_acc_m: req_acc, req_overlap })
+}
+
+fn put_oids(buf: &mut Vec<u8>, oids: &[ObjectId]) {
+    wire::put_vec(buf, oids, |b, o| put_oid(b, *o));
+}
+
+fn get_oids(buf: &mut &[u8]) -> Option<Vec<ObjectId>> {
+    wire::get_vec(buf, MAX_ITEMS, get_oid)
+}
+
+macro_rules! tags {
+    ($($name:ident = $val:expr;)*) => {
+        $(const $name: u8 = $val;)*
+    };
+}
+
+tags! {
+    T_REGISTER_REQ = 1;
+    T_REGISTER_RES = 2;
+    T_REGISTER_FAILED = 3;
+    T_CREATE_PATH = 4;
+    T_UPDATE_REQ = 5;
+    T_UPDATE_ACK = 6;
+    T_HANDOVER_REQ = 7;
+    T_HANDOVER_RES = 8;
+    T_HANDOVER_FAILED = 9;
+    T_AGENT_CHANGED = 10;
+    T_OUT_OF_AREA = 11;
+    T_DEREGISTER = 12;
+    T_REMOVE_PATH = 13;
+    T_CHANGE_ACC_REQ = 14;
+    T_CHANGE_ACC_RES = 15;
+    T_NOTIFY_ACC = 16;
+    T_POS_REQ = 17;
+    T_POS_FWD = 18;
+    T_POS_RES = 19;
+    T_POS_MISS = 20;
+    T_RANGE_REQ = 21;
+    T_RANGE_FWD = 22;
+    T_RANGE_SUB = 23;
+    T_RANGE_RES = 24;
+    T_NN_REQ = 25;
+    T_NN_FWD = 26;
+    T_NN_SUB = 27;
+    T_NN_RES = 28;
+    T_EV_REG_REQ = 29;
+    T_EV_REG_RES = 30;
+    T_EV_INSTALL = 31;
+    T_EV_UNINSTALL = 32;
+    T_EV_REPORT = 33;
+    T_EV_NOTIFY = 34;
+    T_EV_CANCEL = 35;
+    T_POS_PROBE = 36;
+    T_AGENT_LOOKUP = 37;
+}
+
+impl WireCodec for Message {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::RegisterReq { sighting, des_acc_m, min_acc_m, max_speed_mps, registrant, corr } => {
+                wire::put_u8(buf, T_REGISTER_REQ);
+                put_sighting(buf, sighting);
+                wire::put_f64(buf, *des_acc_m);
+                wire::put_f64(buf, *min_acc_m);
+                wire::put_f64(buf, *max_speed_mps);
+                wire::put_endpoint(buf, *registrant);
+                put_corr(buf, *corr);
+            }
+            Message::RegisterRes { agent, offered_acc_m, corr } => {
+                wire::put_u8(buf, T_REGISTER_RES);
+                put_server(buf, *agent);
+                wire::put_f64(buf, *offered_acc_m);
+                put_corr(buf, *corr);
+            }
+            Message::RegisterFailed { server, achievable_m, corr } => {
+                wire::put_u8(buf, T_REGISTER_FAILED);
+                put_server(buf, *server);
+                wire::put_f64(buf, *achievable_m);
+                put_corr(buf, *corr);
+            }
+            Message::CreatePath { oid, epoch } => {
+                wire::put_u8(buf, T_CREATE_PATH);
+                put_oid(buf, *oid);
+                wire::put_u64(buf, *epoch);
+            }
+            Message::UpdateReq { sighting } => {
+                wire::put_u8(buf, T_UPDATE_REQ);
+                put_sighting(buf, sighting);
+            }
+            Message::UpdateAck { oid, offered_acc_m, time_us } => {
+                wire::put_u8(buf, T_UPDATE_ACK);
+                put_oid(buf, *oid);
+                wire::put_f64(buf, *offered_acc_m);
+                wire::put_u64(buf, *time_us);
+            }
+            Message::HandoverReq { sighting, reg, epoch, corr } => {
+                wire::put_u8(buf, T_HANDOVER_REQ);
+                put_sighting(buf, sighting);
+                put_reg(buf, reg);
+                wire::put_u64(buf, *epoch);
+                put_corr(buf, *corr);
+            }
+            Message::HandoverRes { oid, new_agent, offered_acc_m, epoch, corr } => {
+                wire::put_u8(buf, T_HANDOVER_RES);
+                put_oid(buf, *oid);
+                put_server(buf, *new_agent);
+                wire::put_f64(buf, *offered_acc_m);
+                wire::put_u64(buf, *epoch);
+                put_corr(buf, *corr);
+            }
+            Message::HandoverFailed { oid, epoch, corr } => {
+                wire::put_u8(buf, T_HANDOVER_FAILED);
+                put_oid(buf, *oid);
+                wire::put_u64(buf, *epoch);
+                put_corr(buf, *corr);
+            }
+            Message::AgentChanged { oid, new_agent, offered_acc_m } => {
+                wire::put_u8(buf, T_AGENT_CHANGED);
+                put_oid(buf, *oid);
+                put_server(buf, *new_agent);
+                wire::put_f64(buf, *offered_acc_m);
+            }
+            Message::OutOfServiceArea { oid } => {
+                wire::put_u8(buf, T_OUT_OF_AREA);
+                put_oid(buf, *oid);
+            }
+            Message::DeregisterReq { oid } => {
+                wire::put_u8(buf, T_DEREGISTER);
+                put_oid(buf, *oid);
+            }
+            Message::RemovePath { oid, epoch } => {
+                wire::put_u8(buf, T_REMOVE_PATH);
+                put_oid(buf, *oid);
+                wire::put_u64(buf, *epoch);
+            }
+            Message::ChangeAccReq { oid, des_acc_m, min_acc_m, corr } => {
+                wire::put_u8(buf, T_CHANGE_ACC_REQ);
+                put_oid(buf, *oid);
+                wire::put_f64(buf, *des_acc_m);
+                wire::put_f64(buf, *min_acc_m);
+                put_corr(buf, *corr);
+            }
+            Message::ChangeAccRes { oid, ok, offered_acc_m, corr } => {
+                wire::put_u8(buf, T_CHANGE_ACC_RES);
+                put_oid(buf, *oid);
+                wire::put_bool(buf, *ok);
+                wire::put_f64(buf, *offered_acc_m);
+                put_corr(buf, *corr);
+            }
+            Message::NotifyAvailAcc { oid, offered_acc_m } => {
+                wire::put_u8(buf, T_NOTIFY_ACC);
+                put_oid(buf, *oid);
+                wire::put_f64(buf, *offered_acc_m);
+            }
+            Message::PosQueryReq { oid, corr } => {
+                wire::put_u8(buf, T_POS_REQ);
+                put_oid(buf, *oid);
+                put_corr(buf, *corr);
+            }
+            Message::PosQueryFwd { oid, entry, direct, corr } => {
+                wire::put_u8(buf, T_POS_FWD);
+                put_oid(buf, *oid);
+                put_server(buf, *entry);
+                wire::put_bool(buf, *direct);
+                put_corr(buf, *corr);
+            }
+            Message::PosQueryRes { oid, found, time_us, max_speed_mps, corr } => {
+                wire::put_u8(buf, T_POS_RES);
+                put_oid(buf, *oid);
+                put_opt_ld(buf, found);
+                wire::put_u64(buf, *time_us);
+                wire::put_f64(buf, *max_speed_mps);
+                put_corr(buf, *corr);
+            }
+            Message::PosQueryMiss { oid, corr } => {
+                wire::put_u8(buf, T_POS_MISS);
+                put_oid(buf, *oid);
+                put_corr(buf, *corr);
+            }
+            Message::RangeQueryReq { query, corr } => {
+                wire::put_u8(buf, T_RANGE_REQ);
+                put_range_query(buf, query);
+                put_corr(buf, *corr);
+            }
+            Message::RangeQueryFwd { query, entry, corr } => {
+                wire::put_u8(buf, T_RANGE_FWD);
+                put_range_query(buf, query);
+                put_server(buf, *entry);
+                put_corr(buf, *corr);
+            }
+            Message::RangeQuerySubRes { items, covered_area_m2, leaf, leaf_area, corr } => {
+                wire::put_u8(buf, T_RANGE_SUB);
+                put_items(buf, items);
+                wire::put_f64(buf, *covered_area_m2);
+                put_server(buf, *leaf);
+                wire::put_rect(buf, leaf_area);
+                put_corr(buf, *corr);
+            }
+            Message::RangeQueryRes { items, complete, corr } => {
+                wire::put_u8(buf, T_RANGE_RES);
+                put_items(buf, items);
+                wire::put_bool(buf, *complete);
+                put_corr(buf, *corr);
+            }
+            Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr } => {
+                wire::put_u8(buf, T_NN_REQ);
+                wire::put_point(buf, *p);
+                wire::put_f64(buf, *req_acc_m);
+                wire::put_f64(buf, *near_qual_m);
+                put_corr(buf, *corr);
+            }
+            Message::NeighborQueryFwd { p, req_acc_m, radius_m, entry, corr } => {
+                wire::put_u8(buf, T_NN_FWD);
+                wire::put_point(buf, *p);
+                wire::put_f64(buf, *req_acc_m);
+                wire::put_f64(buf, *radius_m);
+                put_server(buf, *entry);
+                put_corr(buf, *corr);
+            }
+            Message::NeighborQuerySubRes { items, covered_area_m2, leaf, leaf_area, corr } => {
+                wire::put_u8(buf, T_NN_SUB);
+                put_items(buf, items);
+                wire::put_f64(buf, *covered_area_m2);
+                put_server(buf, *leaf);
+                wire::put_rect(buf, leaf_area);
+                put_corr(buf, *corr);
+            }
+            Message::NeighborQueryRes { nearest, near_set, complete, corr } => {
+                wire::put_u8(buf, T_NN_RES);
+                put_opt_item(buf, nearest);
+                put_items(buf, near_set);
+                wire::put_bool(buf, *complete);
+                put_corr(buf, *corr);
+            }
+            Message::EventRegisterReq { predicate, corr } => {
+                wire::put_u8(buf, T_EV_REG_REQ);
+                predicate.encode(buf);
+                put_corr(buf, *corr);
+            }
+            Message::EventRegisterRes { event_id, corr } => {
+                wire::put_u8(buf, T_EV_REG_RES);
+                wire::put_u64(buf, *event_id);
+                put_corr(buf, *corr);
+            }
+            Message::EventInstall { event_id, coordinator, predicate } => {
+                wire::put_u8(buf, T_EV_INSTALL);
+                wire::put_u64(buf, *event_id);
+                put_server(buf, *coordinator);
+                predicate.encode(buf);
+            }
+            Message::EventUninstall { event_id } => {
+                wire::put_u8(buf, T_EV_UNINSTALL);
+                wire::put_u64(buf, *event_id);
+            }
+            Message::EventLocalReport { event_id, leaf, count, entered, left } => {
+                wire::put_u8(buf, T_EV_REPORT);
+                wire::put_u64(buf, *event_id);
+                put_server(buf, *leaf);
+                wire::put_u32(buf, *count);
+                put_oids(buf, entered);
+                put_oids(buf, left);
+            }
+            Message::EventNotify { event_id, kind } => {
+                wire::put_u8(buf, T_EV_NOTIFY);
+                wire::put_u64(buf, *event_id);
+                kind.encode(buf);
+            }
+            Message::EventCancelReq { event_id } => {
+                wire::put_u8(buf, T_EV_CANCEL);
+                wire::put_u64(buf, *event_id);
+            }
+            Message::PositionProbe { oid } => {
+                wire::put_u8(buf, T_POS_PROBE);
+                put_oid(buf, *oid);
+            }
+            Message::AgentLookup { oid, object } => {
+                wire::put_u8(buf, T_AGENT_LOOKUP);
+                put_oid(buf, *oid);
+                wire::put_endpoint(buf, *object);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(match wire::get_u8(buf)? {
+            T_REGISTER_REQ => Message::RegisterReq {
+                sighting: get_sighting(buf)?,
+                des_acc_m: wire::get_f64(buf)?,
+                min_acc_m: wire::get_f64(buf)?,
+                max_speed_mps: wire::get_f64(buf)?,
+                registrant: wire::get_endpoint(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_REGISTER_RES => Message::RegisterRes {
+                agent: get_server(buf)?,
+                offered_acc_m: wire::get_f64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_REGISTER_FAILED => Message::RegisterFailed {
+                server: get_server(buf)?,
+                achievable_m: wire::get_f64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_CREATE_PATH => {
+                Message::CreatePath { oid: get_oid(buf)?, epoch: wire::get_u64(buf)? }
+            }
+            T_UPDATE_REQ => Message::UpdateReq { sighting: get_sighting(buf)? },
+            T_UPDATE_ACK => Message::UpdateAck {
+                oid: get_oid(buf)?,
+                offered_acc_m: wire::get_f64(buf)?,
+                time_us: wire::get_u64(buf)?,
+            },
+            T_HANDOVER_REQ => Message::HandoverReq {
+                sighting: get_sighting(buf)?,
+                reg: get_reg(buf)?,
+                epoch: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_HANDOVER_RES => Message::HandoverRes {
+                oid: get_oid(buf)?,
+                new_agent: get_server(buf)?,
+                offered_acc_m: wire::get_f64(buf)?,
+                epoch: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_HANDOVER_FAILED => Message::HandoverFailed {
+                oid: get_oid(buf)?,
+                epoch: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_AGENT_CHANGED => Message::AgentChanged {
+                oid: get_oid(buf)?,
+                new_agent: get_server(buf)?,
+                offered_acc_m: wire::get_f64(buf)?,
+            },
+            T_OUT_OF_AREA => Message::OutOfServiceArea { oid: get_oid(buf)? },
+            T_DEREGISTER => Message::DeregisterReq { oid: get_oid(buf)? },
+            T_REMOVE_PATH => {
+                Message::RemovePath { oid: get_oid(buf)?, epoch: wire::get_u64(buf)? }
+            }
+            T_CHANGE_ACC_REQ => Message::ChangeAccReq {
+                oid: get_oid(buf)?,
+                des_acc_m: wire::get_f64(buf)?,
+                min_acc_m: wire::get_f64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_CHANGE_ACC_RES => Message::ChangeAccRes {
+                oid: get_oid(buf)?,
+                ok: wire::get_bool(buf)?,
+                offered_acc_m: wire::get_f64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_NOTIFY_ACC => Message::NotifyAvailAcc {
+                oid: get_oid(buf)?,
+                offered_acc_m: wire::get_f64(buf)?,
+            },
+            T_POS_REQ => Message::PosQueryReq { oid: get_oid(buf)?, corr: get_corr(buf)? },
+            T_POS_FWD => Message::PosQueryFwd {
+                oid: get_oid(buf)?,
+                entry: get_server(buf)?,
+                direct: wire::get_bool(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_POS_RES => Message::PosQueryRes {
+                oid: get_oid(buf)?,
+                found: get_opt_ld(buf)?,
+                time_us: wire::get_u64(buf)?,
+                max_speed_mps: wire::get_f64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_POS_MISS => Message::PosQueryMiss { oid: get_oid(buf)?, corr: get_corr(buf)? },
+            T_RANGE_REQ => {
+                Message::RangeQueryReq { query: get_range_query(buf)?, corr: get_corr(buf)? }
+            }
+            T_RANGE_FWD => Message::RangeQueryFwd {
+                query: get_range_query(buf)?,
+                entry: get_server(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_RANGE_SUB => Message::RangeQuerySubRes {
+                items: get_items(buf)?,
+                covered_area_m2: wire::get_f64(buf)?,
+                leaf: get_server(buf)?,
+                leaf_area: wire::get_rect(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_RANGE_RES => Message::RangeQueryRes {
+                items: get_items(buf)?,
+                complete: wire::get_bool(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_NN_REQ => Message::NeighborQueryReq {
+                p: wire::get_point(buf)?,
+                req_acc_m: wire::get_f64(buf)?,
+                near_qual_m: wire::get_f64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_NN_FWD => Message::NeighborQueryFwd {
+                p: wire::get_point(buf)?,
+                req_acc_m: wire::get_f64(buf)?,
+                radius_m: wire::get_f64(buf)?,
+                entry: get_server(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_NN_SUB => Message::NeighborQuerySubRes {
+                items: get_items(buf)?,
+                covered_area_m2: wire::get_f64(buf)?,
+                leaf: get_server(buf)?,
+                leaf_area: wire::get_rect(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_NN_RES => Message::NeighborQueryRes {
+                nearest: get_opt_item(buf)?,
+                near_set: get_items(buf)?,
+                complete: wire::get_bool(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_EV_REG_REQ => Message::EventRegisterReq {
+                predicate: Predicate::decode(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_EV_REG_RES => Message::EventRegisterRes {
+                event_id: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_EV_INSTALL => Message::EventInstall {
+                event_id: wire::get_u64(buf)?,
+                coordinator: get_server(buf)?,
+                predicate: Predicate::decode(buf)?,
+            },
+            T_EV_UNINSTALL => Message::EventUninstall { event_id: wire::get_u64(buf)? },
+            T_EV_REPORT => Message::EventLocalReport {
+                event_id: wire::get_u64(buf)?,
+                leaf: get_server(buf)?,
+                count: wire::get_u32(buf)?,
+                entered: get_oids(buf)?,
+                left: get_oids(buf)?,
+            },
+            T_EV_NOTIFY => Message::EventNotify {
+                event_id: wire::get_u64(buf)?,
+                kind: EventKind::decode(buf)?,
+            },
+            T_EV_CANCEL => Message::EventCancelReq { event_id: wire::get_u64(buf)? },
+            T_POS_PROBE => Message::PositionProbe { oid: get_oid(buf)? },
+            T_AGENT_LOOKUP => Message::AgentLookup {
+                oid: get_oid(buf)?,
+                object: wire::get_endpoint(buf)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiloc_geo::Region;
+    use hiloc_net::ClientId;
+
+    fn sample_messages() -> Vec<Message> {
+        let s = Sighting::new(ObjectId(42), 123_456, Point::new(10.0, -5.0), 12.5);
+        let reg = RegInfo::new(ClientId(9).into(), 25.0, 100.0, 3.0);
+        let ld = LocationDescriptor::new(Point::new(1.0, 2.0), 25.0);
+        let area = Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)));
+        let query = RangeQuery::new(area.clone(), 50.0, 0.3);
+        vec![
+            Message::RegisterReq {
+                sighting: s,
+                des_acc_m: 25.0,
+                min_acc_m: 100.0,
+                max_speed_mps: 3.0,
+                registrant: ClientId(9).into(),
+                corr: CorrId(77),
+            },
+            Message::RegisterRes { agent: ServerId(4), offered_acc_m: 25.0, corr: CorrId(77) },
+            Message::RegisterFailed { server: ServerId(4), achievable_m: 80.0, corr: CorrId(1) },
+            Message::CreatePath { oid: ObjectId(42), epoch: 999 },
+            Message::UpdateReq { sighting: s },
+            Message::UpdateAck { oid: ObjectId(42), offered_acc_m: 25.0, time_us: 5 },
+            Message::HandoverReq { sighting: s, reg, epoch: 1_000, corr: CorrId(2) },
+            Message::HandoverRes {
+                oid: ObjectId(42),
+                new_agent: ServerId(5),
+                offered_acc_m: 30.0,
+                epoch: 1_000,
+                corr: CorrId(2),
+            },
+            Message::HandoverFailed { oid: ObjectId(42), epoch: 1, corr: CorrId(3) },
+            Message::AgentChanged { oid: ObjectId(42), new_agent: ServerId(5), offered_acc_m: 30.0 },
+            Message::OutOfServiceArea { oid: ObjectId(42) },
+            Message::DeregisterReq { oid: ObjectId(42) },
+            Message::RemovePath { oid: ObjectId(42), epoch: 1_500 },
+            Message::ChangeAccReq { oid: ObjectId(42), des_acc_m: 10.0, min_acc_m: 50.0, corr: CorrId(4) },
+            Message::ChangeAccRes { oid: ObjectId(42), ok: true, offered_acc_m: 10.0, corr: CorrId(4) },
+            Message::NotifyAvailAcc { oid: ObjectId(42), offered_acc_m: 40.0 },
+            Message::PosQueryReq { oid: ObjectId(42), corr: CorrId(5) },
+            Message::PosQueryFwd { oid: ObjectId(42), entry: ServerId(1), direct: true, corr: CorrId(5) },
+            Message::PosQueryRes {
+                oid: ObjectId(42),
+                found: Some(ld),
+                time_us: 44,
+                max_speed_mps: 3.0,
+                corr: CorrId(5),
+            },
+            Message::PosQueryRes { oid: ObjectId(42), found: None, time_us: 0, max_speed_mps: 0.0, corr: CorrId(5) },
+            Message::PosQueryMiss { oid: ObjectId(42), corr: CorrId(5) },
+            Message::RangeQueryReq { query: query.clone(), corr: CorrId(6) },
+            Message::RangeQueryFwd { query, entry: ServerId(2), corr: CorrId(6) },
+            Message::RangeQuerySubRes {
+                items: vec![(ObjectId(1), ld), (ObjectId(2), ld)],
+                covered_area_m2: 2_500.0,
+                leaf: ServerId(3),
+                leaf_area: Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+                corr: CorrId(6),
+            },
+            Message::RangeQueryRes { items: vec![(ObjectId(1), ld)], complete: true, corr: CorrId(6) },
+            Message::NeighborQueryReq { p: Point::new(5.0, 5.0), req_acc_m: 50.0, near_qual_m: 10.0, corr: CorrId(7) },
+            Message::NeighborQueryFwd {
+                p: Point::new(5.0, 5.0),
+                req_acc_m: 50.0,
+                radius_m: 100.0,
+                entry: ServerId(1),
+                corr: CorrId(7),
+            },
+            Message::NeighborQuerySubRes {
+                items: vec![(ObjectId(3), ld)],
+                covered_area_m2: 123.0,
+                leaf: ServerId(2),
+                leaf_area: Rect::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
+                corr: CorrId(7),
+            },
+            Message::NeighborQueryRes {
+                nearest: Some((ObjectId(3), ld)),
+                near_set: vec![(ObjectId(4), ld)],
+                complete: true,
+                corr: CorrId(7),
+            },
+            Message::NeighborQueryRes { nearest: None, near_set: vec![], complete: false, corr: CorrId(7) },
+            Message::EventRegisterReq {
+                predicate: Predicate::CountAtLeast { area: Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(9.0, 9.0))), threshold: 5 },
+                corr: CorrId(8),
+            },
+            Message::EventRegisterRes { event_id: 11, corr: CorrId(8) },
+            Message::EventInstall {
+                event_id: 11,
+                coordinator: ServerId(1),
+                predicate: Predicate::Enter { area: Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(9.0, 9.0))), oid: None },
+            },
+            Message::EventUninstall { event_id: 11 },
+            Message::EventLocalReport {
+                event_id: 11,
+                leaf: ServerId(4),
+                count: 3,
+                entered: vec![ObjectId(1)],
+                left: vec![ObjectId(2), ObjectId(3)],
+            },
+            Message::EventNotify { event_id: 11, kind: EventKind::CountReached { count: 6 } },
+            Message::EventCancelReq { event_id: 11 },
+            Message::PositionProbe { oid: ObjectId(42) },
+            Message::AgentLookup { oid: ObjectId(42), object: ClientId(9).into() },
+        ]
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        for msg in sample_messages() {
+            let bytes = msg.to_bytes();
+            let back = Message::from_bytes(&bytes);
+            assert_eq!(back.as_ref(), Some(&msg), "roundtrip failed for {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<&str> = sample_messages().iter().map(|m| m.label()).collect();
+        let set: std::collections::HashSet<&str> = labels.iter().copied().collect();
+        // PosQueryRes and NeighborQueryRes appear twice in samples.
+        assert_eq!(set.len(), labels.len() - 2);
+    }
+
+    #[test]
+    fn truncated_messages_never_panic() {
+        for msg in sample_messages() {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                let _ = Message::from_bytes(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Message::from_bytes(&[0xEE]), None);
+        assert_eq!(Message::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn semantic_validation_in_decode() {
+        // Negative accuracy must not decode into a Sighting.
+        let mut buf = Vec::new();
+        wire::put_u8(&mut buf, T_UPDATE_REQ);
+        put_oid(&mut buf, ObjectId(1));
+        wire::put_u64(&mut buf, 0);
+        wire::put_point(&mut buf, Point::ORIGIN);
+        wire::put_f64(&mut buf, -5.0);
+        assert_eq!(Message::from_bytes(&buf), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! Runtimes that drive [`crate::node::LocationServer`]s.
+//!
+//! The server logic is sans-IO; these drivers move its envelopes:
+//!
+//! * [`SimDeployment`] — deterministic virtual-time simulation over
+//!   [`hiloc_net::SimNet`]; reproducible experiments, message-flow
+//!   tracing (Figure 6 tests), fault injection.
+//! * [`ThreadedDeployment`] — one OS thread per server over
+//!   [`hiloc_net::ChannelNetwork`]; real wall-clock concurrency for the
+//!   Table 2 measurements.
+//! * [`UdpDeployment`] — one UDP socket and tokio task per server; the
+//!   paper's transport, deployable across processes and hosts.
+
+mod sim;
+mod threaded;
+mod udp;
+
+pub use sim::{SimDeployment, UpdateOutcome};
+pub use threaded::{SyncClient, ThreadedDeployment};
+pub use udp::{UdpClient, UdpDeployment};

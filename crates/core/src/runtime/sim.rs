@@ -1,0 +1,594 @@
+//! Deterministic virtual-time deployment.
+
+use crate::area::Hierarchy;
+use crate::events::{EventKind, Predicate};
+use crate::model::{
+    LocationDescriptor, LsError, Micros, NeighborAnswer, ObjectId, RangeAnswer, RangeQuery,
+    Sighting,
+};
+use crate::node::{LocationServer, ServerOptions, ServerStats};
+use crate::proto::Message;
+use hiloc_geo::Point;
+use hiloc_net::{
+    ClientId, CorrId, CorrIdGen, Endpoint, Envelope, FaultPlan, LatencyModel, ServerId, SimNet,
+    TraceEntry,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Safety cap on deliveries per blocking operation (guards against
+/// protocol loops in development).
+const MAX_STEPS_PER_OP: usize = 1_000_000;
+
+/// The outcome of a position update, as seen by the tracked object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOutcome {
+    /// The update was applied by the current agent.
+    Ack {
+        /// Currently offered accuracy.
+        offered_acc_m: f64,
+    },
+    /// A handover occurred; the object has a new agent.
+    NewAgent {
+        /// The new agent leaf.
+        agent: ServerId,
+        /// Accuracy offered by the new agent.
+        offered_acc_m: f64,
+    },
+    /// The object left the service area and was deregistered.
+    OutOfServiceArea,
+}
+
+fn label_of(m: &Message) -> &'static str {
+    m.label()
+}
+
+/// A complete location service running in deterministic virtual time.
+///
+/// All servers of a [`Hierarchy`] plus a simulated network live inside
+/// one value; blocking-style client operations drive the network until
+/// the answer arrives. With a fixed seed, runs are bit-for-bit
+/// reproducible.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_core::area::HierarchyBuilder;
+/// use hiloc_core::model::{ObjectId, Sighting};
+/// use hiloc_core::runtime::SimDeployment;
+/// use hiloc_geo::{Point, Rect};
+///
+/// let h = HierarchyBuilder::grid(
+///     Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)), 1, 2,
+/// ).build().unwrap();
+/// let mut ls = SimDeployment::new(h, Default::default(), 7);
+/// let entry = ls.leaf_for(Point::new(10.0, 10.0));
+/// ls.register(entry, Sighting::new(ObjectId(1), 0, Point::new(10.0, 10.0), 5.0), 10.0, 50.0)
+///     .unwrap();
+/// assert!(ls.pos_query(entry, ObjectId(1)).is_ok());
+/// ```
+pub struct SimDeployment {
+    hierarchy: Hierarchy,
+    opts: ServerOptions,
+    servers: Vec<LocationServer>,
+    net: SimNet<Message>,
+    inboxes: HashMap<ClientId, VecDeque<Message>>,
+    corr: CorrIdGen,
+    next_ephemeral_client: u64,
+}
+
+impl std::fmt::Debug for SimDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDeployment")
+            .field("servers", &self.servers.len())
+            .field("now_us", &self.net.now_us())
+            .finish()
+    }
+}
+
+impl SimDeployment {
+    /// Creates a deployment with the default LAN-like latency model and
+    /// no faults.
+    pub fn new(hierarchy: Hierarchy, opts: ServerOptions, seed: u64) -> Self {
+        Self::with_network(hierarchy, opts, LatencyModel::default(), FaultPlan::none(), seed)
+    }
+
+    /// Creates a deployment with explicit latency and fault models.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a server cannot be constructed (only possible with
+    /// durable visitor stores on a broken filesystem).
+    pub fn with_network(
+        hierarchy: Hierarchy,
+        opts: ServerOptions,
+        latency: LatencyModel,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Self {
+        let servers = hierarchy
+            .servers()
+            .iter()
+            .map(|cfg| {
+                LocationServer::new(cfg.clone(), opts.clone())
+                    .expect("server construction failed")
+            })
+            .collect();
+        SimDeployment {
+            hierarchy,
+            opts,
+            servers,
+            net: SimNet::new(latency, faults, seed),
+            inboxes: HashMap::new(),
+            corr: CorrIdGen::namespaced(1 << 20),
+            next_ephemeral_client: 1 << 40,
+        }
+    }
+
+    /// Crash-restarts one server: all volatile state (sightings,
+    /// pending operations, caches) is lost; the durable visitor store,
+    /// when configured, is recovered from disk — the paper's §5
+    /// restart model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the durable store cannot be reopened.
+    pub fn restart_server(&mut self, id: ServerId) {
+        let cfg = self.hierarchy.server(id).clone();
+        self.servers[id.0 as usize] =
+            LocationServer::new(cfg, self.opts.clone()).expect("server restart failed");
+    }
+
+    /// The deployment's hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Read access to a server (stats, databases).
+    pub fn server(&self, id: ServerId) -> &LocationServer {
+        &self.servers[id.0 as usize]
+    }
+
+    /// Aggregated stats over all servers.
+    pub fn total_stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for s in &self.servers {
+            let st = s.stats();
+            total.msgs_in += st.msgs_in;
+            total.msgs_out += st.msgs_out;
+            total.registrations += st.registrations;
+            total.updates += st.updates;
+            total.handovers_started += st.handovers_started;
+            total.handovers_completed += st.handovers_completed;
+            total.pos_answered += st.pos_answered;
+            total.sub_results += st.sub_results;
+            total.gathers_completed += st.gathers_completed;
+            total.gathers_timed_out += st.gathers_timed_out;
+            total.expired += st.expired;
+            total.cache_answers += st.cache_answers;
+            total.probes_sent += st.probes_sent;
+            total.updates_dropped += st.updates_dropped;
+            total.events_fired += st.events_fired;
+        }
+        total
+    }
+
+    /// Current virtual time (microseconds).
+    pub fn now_us(&self) -> Micros {
+        self.net.now_us()
+    }
+
+    /// The leaf server responsible for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside the root service area.
+    pub fn leaf_for(&self, p: Point) -> ServerId {
+        self.hierarchy.leaf_for(p).expect("position outside the service area")
+    }
+
+    /// Enables message tracing (see [`SimDeployment::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.net.enable_trace(label_of);
+    }
+
+    /// The message trace recorded so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.net.trace()
+    }
+
+    /// Clears the recorded trace.
+    pub fn clear_trace(&mut self) {
+        self.net.clear_trace();
+    }
+
+    /// Network counters `(sent, delivered, dropped)`.
+    pub fn net_counters(&self) -> (u64, u64, u64) {
+        self.net.counters()
+    }
+
+    // ----------------------------------------------------------- low level
+
+    /// The conventional client endpoint of a tracked object.
+    pub fn object_endpoint(oid: ObjectId) -> ClientId {
+        ClientId(oid.0)
+    }
+
+    /// Allocates a fresh client id for an application.
+    pub fn new_client(&mut self) -> ClientId {
+        self.next_ephemeral_client += 1;
+        ClientId(self.next_ephemeral_client)
+    }
+
+    /// Injects a client→server message into the network.
+    pub fn send_from(&mut self, client: ClientId, to: ServerId, msg: Message) {
+        self.net
+            .send(Envelope::new(client.into(), ServerId(to.0).into(), msg));
+    }
+
+    /// Drains messages delivered to `client`.
+    pub fn drain_client(&mut self, client: ClientId) -> Vec<Message> {
+        self.inboxes
+            .get_mut(&client)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Delivers a single in-flight message; `false` when the network is
+    /// quiet.
+    pub fn step_message(&mut self) -> bool {
+        let Some((now, env)) = self.net.next() else { return false };
+        match env.to {
+            Endpoint::Server(sid) => {
+                let out = self.servers[sid.0 as usize].handle(now, env);
+                for e in out {
+                    self.net.send(e);
+                }
+                // Fire timers that became due at this instant.
+                self.fire_due_timers(now);
+            }
+            Endpoint::Client(cid) => {
+                self.inboxes.entry(cid).or_default().push_back(env.msg);
+            }
+        }
+        true
+    }
+
+    /// Jumps virtual time to the earliest pending server timer and
+    /// fires it; `false` when no timers are pending.
+    pub fn step_timer(&mut self) -> bool {
+        let Some(t) = self.servers.iter().filter_map(|s| s.next_timer()).min() else {
+            return false;
+        };
+        self.net.advance_to(t);
+        self.fire_due_timers(t);
+        true
+    }
+
+    fn fire_due_timers(&mut self, now: Micros) {
+        loop {
+            let mut fired = false;
+            for i in 0..self.servers.len() {
+                if self.servers[i].next_timer().map(|t| t <= now).unwrap_or(false) {
+                    for e in self.servers[i].tick(now) {
+                        self.net.send(e);
+                    }
+                    fired = true;
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+    }
+
+    /// Processes every in-flight message (without jumping time to
+    /// future timers). Returns the number of deliveries.
+    pub fn run_until_quiet(&mut self) -> usize {
+        let mut n = 0;
+        while self.step_message() {
+            n += 1;
+            assert!(n < MAX_STEPS_PER_OP, "network failed to quiesce");
+        }
+        n
+    }
+
+    /// Advances virtual time to `t_us`, firing all due timers (soft
+    /// state expiry etc.) and draining resulting traffic.
+    pub fn advance_time(&mut self, t_us: Micros) {
+        loop {
+            let next_timer = self.servers.iter().filter_map(|s| s.next_timer()).min();
+            let next_msg = self.net.peek_time();
+            match (next_msg, next_timer) {
+                (Some(tm), _) if tm <= t_us => {
+                    self.step_message();
+                }
+                (_, Some(tt)) if tt <= t_us => {
+                    self.net.advance_to(tt);
+                    self.fire_due_timers(tt);
+                }
+                _ => break,
+            }
+        }
+        self.net.advance_to(t_us);
+    }
+
+    /// Blocks (in virtual time) until `client` receives a message
+    /// matching `pred`, returning it. Stray messages stay queued.
+    ///
+    /// The wait is bounded by a client-side deadline (twice the server
+    /// gather timeout): on message loss the driver must *not* jump
+    /// virtual time to far-future timers (e.g. soft-state TTLs minutes
+    /// away), which would expire unrelated registrations.
+    fn wait_for(
+        &mut self,
+        client: ClientId,
+        mut pred: impl FnMut(&Message) -> bool,
+    ) -> Result<Message, LsError> {
+        let deadline = self.net.now_us()
+            + self.opts.query_timeout_us.saturating_mul(2).max(2 * crate::model::SECOND);
+        for _ in 0..MAX_STEPS_PER_OP {
+            if let Some(q) = self.inboxes.get_mut(&client) {
+                if let Some(idx) = q.iter().position(&mut pred) {
+                    return Ok(q.remove(idx).expect("indexed above"));
+                }
+            }
+            let next_msg = self.net.peek_time();
+            let next_timer = self.servers.iter().filter_map(|s| s.next_timer()).min();
+            let next = match (next_msg, next_timer) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match next {
+                Some(t) if t <= deadline => {
+                    if next_msg.map(|m| m <= t).unwrap_or(false) {
+                        self.step_message();
+                    } else {
+                        self.net.advance_to(t);
+                        self.fire_due_timers(t);
+                    }
+                }
+                _ => return Err(LsError::Timeout),
+            }
+        }
+        Err(LsError::Timeout)
+    }
+
+    // ---------------------------------------------------------- operations
+
+    /// Registers a tracked object (paper §3.1 `register`): the object's
+    /// endpoint is `ClientId(oid)`. Returns `(agent, offeredAcc)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::AccuracyUnavailable`] when the accuracy range cannot
+    /// be met; [`LsError::Timeout`] when no response arrives.
+    pub fn register(
+        &mut self,
+        entry: ServerId,
+        sighting: Sighting,
+        des_acc_m: f64,
+        min_acc_m: f64,
+    ) -> Result<(ServerId, f64), LsError> {
+        self.register_with_speed(entry, sighting, des_acc_m, min_acc_m, 3.0)
+    }
+
+    /// [`SimDeployment::register`] with an explicit maximum speed.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimDeployment::register`].
+    pub fn register_with_speed(
+        &mut self,
+        entry: ServerId,
+        sighting: Sighting,
+        des_acc_m: f64,
+        min_acc_m: f64,
+        max_speed_mps: f64,
+    ) -> Result<(ServerId, f64), LsError> {
+        let client = Self::object_endpoint(sighting.oid);
+        let corr = self.corr.next_id();
+        self.send_from(
+            client,
+            entry,
+            Message::RegisterReq {
+                sighting,
+                des_acc_m,
+                min_acc_m,
+                max_speed_mps,
+                registrant: client.into(),
+                corr,
+            },
+        );
+        let msg = self.wait_for(client, |m| {
+            matches!(m,
+                Message::RegisterRes { corr: c, .. } | Message::RegisterFailed { corr: c, .. }
+                if *c == corr)
+        })?;
+        match msg {
+            Message::RegisterRes { agent, offered_acc_m, .. } => Ok((agent, offered_acc_m)),
+            Message::RegisterFailed { server, achievable_m, .. } => {
+                Err(LsError::AccuracyUnavailable { server, achievable_m })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Sends a position update to the object's agent and waits for the
+    /// outcome (ack, handover, or out-of-area deregistration).
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no response arrives (lost messages).
+    pub fn update(
+        &mut self,
+        agent: ServerId,
+        sighting: Sighting,
+    ) -> Result<UpdateOutcome, LsError> {
+        let client = Self::object_endpoint(sighting.oid);
+        let oid = sighting.oid;
+        self.send_from(client, agent, Message::UpdateReq { sighting });
+        let msg = self.wait_for(client, |m| {
+            matches!(m,
+                Message::UpdateAck { oid: o, .. }
+                | Message::AgentChanged { oid: o, .. }
+                | Message::OutOfServiceArea { oid: o } if *o == oid)
+        })?;
+        Ok(match msg {
+            Message::UpdateAck { offered_acc_m, .. } => UpdateOutcome::Ack { offered_acc_m },
+            Message::AgentChanged { new_agent, offered_acc_m, .. } => {
+                UpdateOutcome::NewAgent { agent: new_agent, offered_acc_m }
+            }
+            Message::OutOfServiceArea { .. } => UpdateOutcome::OutOfServiceArea,
+            _ => unreachable!("filtered by wait_for"),
+        })
+    }
+
+    /// Position query (paper §3.2 `posQuery`) via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::UnknownObject`] when the service does not track
+    /// `oid`; [`LsError::Timeout`] when no answer arrives.
+    pub fn pos_query(&mut self, entry: ServerId, oid: ObjectId) -> Result<LocationDescriptor, LsError> {
+        let client = self.new_client();
+        let corr = self.corr.next_id();
+        self.send_from(client, entry, Message::PosQueryReq { oid, corr });
+        let msg = self.wait_for(client, |m| {
+            matches!(m, Message::PosQueryRes { corr: c, .. } if *c == corr)
+        })?;
+        match msg {
+            Message::PosQueryRes { found: Some(ld), .. } => Ok(ld),
+            Message::PosQueryRes { found: None, .. } => Err(LsError::UnknownObject(oid)),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Range query (paper §3.2 `rangeQuery`) via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no answer arrives at all (a timed-out
+    /// gather still returns a partial [`RangeAnswer`]).
+    pub fn range_query(&mut self, entry: ServerId, query: RangeQuery) -> Result<RangeAnswer, LsError> {
+        let client = self.new_client();
+        let corr = self.corr.next_id();
+        self.send_from(client, entry, Message::RangeQueryReq { query, corr });
+        let msg = self.wait_for(client, |m| {
+            matches!(m, Message::RangeQueryRes { corr: c, .. } if *c == corr)
+        })?;
+        match msg {
+            Message::RangeQueryRes { items, complete, .. } => {
+                Ok(RangeAnswer { objects: items, complete })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Nearest-neighbor query (paper §3.2 `neighborQuery`) via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no answer arrives.
+    pub fn neighbor_query(
+        &mut self,
+        entry: ServerId,
+        p: Point,
+        req_acc_m: f64,
+        near_qual_m: f64,
+    ) -> Result<NeighborAnswer, LsError> {
+        let client = self.new_client();
+        let corr = self.corr.next_id();
+        self.send_from(client, entry, Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr });
+        let msg = self.wait_for(client, |m| {
+            matches!(m, Message::NeighborQueryRes { corr: c, .. } if *c == corr)
+        })?;
+        match msg {
+            Message::NeighborQueryRes { nearest, near_set, complete, .. } => {
+                Ok(NeighborAnswer { nearest, near_set, complete })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Explicit deregistration (paper §3.1 `deregister`).
+    pub fn deregister(&mut self, agent: ServerId, oid: ObjectId) {
+        let client = Self::object_endpoint(oid);
+        self.send_from(client, agent, Message::DeregisterReq { oid });
+        self.run_until_quiet();
+    }
+
+    /// Accuracy renegotiation (paper §3.1 `changeAcc`). Returns
+    /// `(ok, offeredAcc)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no response arrives.
+    pub fn change_acc(
+        &mut self,
+        agent: ServerId,
+        oid: ObjectId,
+        des_acc_m: f64,
+        min_acc_m: f64,
+    ) -> Result<(bool, f64), LsError> {
+        let client = Self::object_endpoint(oid);
+        let corr = self.corr.next_id();
+        self.send_from(client, agent, Message::ChangeAccReq { oid, des_acc_m, min_acc_m, corr });
+        let msg = self.wait_for(client, |m| {
+            matches!(m, Message::ChangeAccRes { corr: c, .. } if *c == corr)
+        })?;
+        match msg {
+            Message::ChangeAccRes { ok, offered_acc_m, .. } => Ok((ok, offered_acc_m)),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Registers an event predicate for `client` via `entry`, returning
+    /// the event id. Notifications arrive in the client's inbox (see
+    /// [`SimDeployment::poll_events`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no response arrives.
+    pub fn event_register(
+        &mut self,
+        entry: ServerId,
+        client: ClientId,
+        predicate: Predicate,
+    ) -> Result<u64, LsError> {
+        let corr = self.corr.next_id();
+        self.send_from(client, entry, Message::EventRegisterReq { predicate, corr });
+        let msg = self.wait_for(client, |m| {
+            matches!(m, Message::EventRegisterRes { corr: c, .. } if *c == corr)
+        })?;
+        match msg {
+            Message::EventRegisterRes { event_id, .. } => Ok(event_id),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Cancels an event registration.
+    pub fn event_cancel(&mut self, entry: ServerId, client: ClientId, event_id: u64) {
+        self.send_from(client, entry, Message::EventCancelReq { event_id });
+        self.run_until_quiet();
+    }
+
+    /// Drains fired event notifications for `client`.
+    pub fn poll_events(&mut self, client: ClientId) -> Vec<(u64, EventKind)> {
+        self.run_until_quiet();
+        let Some(q) = self.inboxes.get_mut(&client) else { return Vec::new() };
+        let mut out = Vec::new();
+        q.retain(|m| match m {
+            Message::EventNotify { event_id, kind } => {
+                out.push((*event_id, kind.clone()));
+                false
+            }
+            _ => true,
+        });
+        out
+    }
+
+    /// The correlation-id generator (for advanced/manual flows).
+    pub fn next_corr(&mut self) -> CorrId {
+        self.corr.next_id()
+    }
+}

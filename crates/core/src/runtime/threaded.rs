@@ -1,0 +1,352 @@
+//! Threaded deployment: one OS thread per location server.
+
+use crate::area::Hierarchy;
+use crate::model::{
+    LocationDescriptor, LsError, Micros, NeighborAnswer, ObjectId, RangeAnswer, RangeQuery,
+    Sighting,
+};
+use crate::node::{LocationServer, ServerOptions, ServerStats};
+use crate::proto::Message;
+use crate::runtime::UpdateOutcome;
+use hiloc_geo::Point;
+use hiloc_net::{ChannelNetwork, ClientId, CorrIdGen, Envelope, Mailbox, ServerId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll granularity of server threads (timer resolution).
+const POLL: Duration = Duration::from_millis(5);
+
+/// A location service running with one OS thread per server over an
+/// in-process channel network — the wall-clock substrate for the
+/// paper's Table 2 measurements (the message-path structure matches the
+/// UDP deployment; transport cost is a channel hop).
+///
+/// # Example
+///
+/// ```
+/// use hiloc_core::area::HierarchyBuilder;
+/// use hiloc_core::model::{ObjectId, Sighting};
+/// use hiloc_core::runtime::ThreadedDeployment;
+/// use hiloc_geo::{Point, Rect};
+///
+/// let h = HierarchyBuilder::grid(
+///     Rect::new(Point::new(0.0, 0.0), Point::new(1_500.0, 1_500.0)), 1, 2,
+/// ).build().unwrap();
+/// let ls = ThreadedDeployment::new(h, Default::default());
+/// let mut client = ls.client();
+/// let entry = ls.leaf_for(Point::new(100.0, 100.0));
+/// client.register(entry, Sighting::new(ObjectId(1), client.now_us(), Point::new(100.0, 100.0), 5.0), 10.0, 50.0, 3.0).unwrap();
+/// let ld = client.pos_query(entry, ObjectId(1)).unwrap();
+/// assert_eq!(ld.pos, Point::new(100.0, 100.0));
+/// ```
+pub struct ThreadedDeployment {
+    hierarchy: Hierarchy,
+    net: ChannelNetwork<Message>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<ServerStats>>,
+    epoch: Instant,
+    next_client: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ThreadedDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedDeployment")
+            .field("servers", &self.hierarchy.len())
+            .finish()
+    }
+}
+
+impl ThreadedDeployment {
+    /// Spawns one thread per server in the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a server cannot be constructed (durable store
+    /// failure).
+    pub fn new(hierarchy: Hierarchy, opts: ServerOptions) -> Self {
+        let net: ChannelNetwork<Message> = ChannelNetwork::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let mut handles = Vec::with_capacity(hierarchy.len());
+        for cfg in hierarchy.servers() {
+            let mailbox = net.register(cfg.id.into());
+            let mut server =
+                LocationServer::new(cfg.clone(), opts.clone()).expect("server construction failed");
+            let net = net.clone();
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    let now = epoch.elapsed().as_micros() as Micros;
+                    if server.next_timer().map(|t| t <= now).unwrap_or(false) {
+                        for e in server.tick(now) {
+                            net.send(e);
+                        }
+                    }
+                    if let Some(env) = mailbox.recv_timeout(POLL) {
+                        let now = epoch.elapsed().as_micros() as Micros;
+                        for e in server.handle(now, env) {
+                            net.send(e);
+                        }
+                        // Drain the backlog without re-checking timers
+                        // for every message (throughput path).
+                        while let Some(env) = mailbox.try_recv() {
+                            let now = epoch.elapsed().as_micros() as Micros;
+                            for e in server.handle(now, env) {
+                                net.send(e);
+                            }
+                        }
+                    }
+                }
+                server.stats()
+            }));
+        }
+        ThreadedDeployment {
+            hierarchy,
+            net,
+            shutdown,
+            handles,
+            epoch,
+            next_client: Arc::new(AtomicU64::new(1 << 48)),
+        }
+    }
+
+    /// The deployment's hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The leaf server responsible for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside the root service area.
+    pub fn leaf_for(&self, p: Point) -> ServerId {
+        self.hierarchy.leaf_for(p).expect("position outside the service area")
+    }
+
+    /// Microseconds since deployment start (the service clock).
+    pub fn now_us(&self) -> Micros {
+        self.epoch.elapsed().as_micros() as Micros
+    }
+
+    /// Creates a blocking client handle (thread-safe to create from any
+    /// thread; each handle is single-threaded).
+    pub fn client(&self) -> SyncClient {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let mailbox = self.net.register(id.into());
+        SyncClient {
+            id,
+            net: self.net.clone(),
+            mailbox,
+            corr: CorrIdGen::namespaced(id.0 & 0xFF_FFFF),
+            epoch: self.epoch,
+            timeout: Duration::from_secs(5),
+            stash: VecDeque::new(),
+        }
+    }
+
+    /// Stops all server threads and returns their final stats.
+    pub fn shutdown(mut self) -> Vec<ServerStats> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let mut stats = Vec::with_capacity(self.handles.len());
+        for h in self.handles.drain(..) {
+            if let Ok(s) = h.join() {
+                stats.push(s);
+            }
+        }
+        stats
+    }
+}
+
+impl Drop for ThreadedDeployment {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A blocking client of a [`ThreadedDeployment`].
+///
+/// One `SyncClient` per tracked object (its id is the object's
+/// registrant endpoint) or per querying application.
+pub struct SyncClient {
+    id: ClientId,
+    net: ChannelNetwork<Message>,
+    mailbox: Mailbox<Message>,
+    corr: CorrIdGen,
+    epoch: Instant,
+    timeout: Duration,
+    stash: VecDeque<Message>,
+}
+
+impl std::fmt::Debug for SyncClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncClient").field("id", &self.id).finish()
+    }
+}
+
+impl SyncClient {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Microseconds since deployment start (for sighting timestamps).
+    pub fn now_us(&self) -> Micros {
+        self.epoch.elapsed().as_micros() as Micros
+    }
+
+    /// Sets the per-operation timeout (default 5 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn send(&self, to: ServerId, msg: Message) {
+        self.net.send(Envelope::new(self.id.into(), to.into(), msg));
+    }
+
+    fn wait_for(&mut self, mut pred: impl FnMut(&Message) -> bool) -> Result<Message, LsError> {
+        if let Some(idx) = self.stash.iter().position(&mut pred) {
+            return Ok(self.stash.remove(idx).expect("indexed above"));
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(LsError::Timeout);
+            }
+            match self.mailbox.recv_timeout(deadline - now) {
+                Some(env) if pred(&env.msg) => return Ok(env.msg),
+                Some(env) => self.stash.push_back(env.msg),
+                None => return Err(LsError::Timeout),
+            }
+        }
+    }
+
+    /// Registers a tracked object; this client is the registrant.
+    /// Returns `(agent, offeredAcc)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::AccuracyUnavailable`] or [`LsError::Timeout`].
+    pub fn register(
+        &mut self,
+        entry: ServerId,
+        sighting: Sighting,
+        des_acc_m: f64,
+        min_acc_m: f64,
+        max_speed_mps: f64,
+    ) -> Result<(ServerId, f64), LsError> {
+        let corr = self.corr.next_id();
+        self.send(
+            entry,
+            Message::RegisterReq {
+                sighting,
+                des_acc_m,
+                min_acc_m,
+                max_speed_mps,
+                registrant: self.id.into(),
+                corr,
+            },
+        );
+        match self.wait_for(|m| {
+            matches!(m,
+                Message::RegisterRes { corr: c, .. } | Message::RegisterFailed { corr: c, .. }
+                if *c == corr)
+        })? {
+            Message::RegisterRes { agent, offered_acc_m, .. } => Ok((agent, offered_acc_m)),
+            Message::RegisterFailed { server, achievable_m, .. } => {
+                Err(LsError::AccuracyUnavailable { server, achievable_m })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Sends a position update to `agent`, waiting for the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no response arrives.
+    pub fn update(&mut self, agent: ServerId, sighting: Sighting) -> Result<UpdateOutcome, LsError> {
+        let oid = sighting.oid;
+        self.send(agent, Message::UpdateReq { sighting });
+        match self.wait_for(|m| {
+            matches!(m,
+                Message::UpdateAck { oid: o, .. }
+                | Message::AgentChanged { oid: o, .. }
+                | Message::OutOfServiceArea { oid: o } if *o == oid)
+        })? {
+            Message::UpdateAck { offered_acc_m, .. } => Ok(UpdateOutcome::Ack { offered_acc_m }),
+            Message::AgentChanged { new_agent, offered_acc_m, .. } => {
+                Ok(UpdateOutcome::NewAgent { agent: new_agent, offered_acc_m })
+            }
+            Message::OutOfServiceArea { .. } => Ok(UpdateOutcome::OutOfServiceArea),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Position query via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::UnknownObject`] or [`LsError::Timeout`].
+    pub fn pos_query(&mut self, entry: ServerId, oid: ObjectId) -> Result<LocationDescriptor, LsError> {
+        let corr = self.corr.next_id();
+        self.send(entry, Message::PosQueryReq { oid, corr });
+        match self.wait_for(|m| matches!(m, Message::PosQueryRes { corr: c, .. } if *c == corr))? {
+            Message::PosQueryRes { found: Some(ld), .. } => Ok(ld),
+            Message::PosQueryRes { found: None, .. } => Err(LsError::UnknownObject(oid)),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Range query via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no answer arrives.
+    pub fn range_query(&mut self, entry: ServerId, query: RangeQuery) -> Result<RangeAnswer, LsError> {
+        let corr = self.corr.next_id();
+        self.send(entry, Message::RangeQueryReq { query, corr });
+        match self.wait_for(|m| matches!(m, Message::RangeQueryRes { corr: c, .. } if *c == corr))? {
+            Message::RangeQueryRes { items, complete, .. } => {
+                Ok(RangeAnswer { objects: items, complete })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Nearest-neighbor query via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no answer arrives.
+    pub fn neighbor_query(
+        &mut self,
+        entry: ServerId,
+        p: Point,
+        req_acc_m: f64,
+        near_qual_m: f64,
+    ) -> Result<NeighborAnswer, LsError> {
+        let corr = self.corr.next_id();
+        self.send(entry, Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr });
+        match self
+            .wait_for(|m| matches!(m, Message::NeighborQueryRes { corr: c, .. } if *c == corr))?
+        {
+            Message::NeighborQueryRes { nearest, near_set, complete, .. } => {
+                Ok(NeighborAnswer { nearest, near_set, complete })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Explicit deregistration (fire-and-forget).
+    pub fn deregister(&mut self, agent: ServerId, oid: ObjectId) {
+        self.send(agent, Message::DeregisterReq { oid });
+    }
+}

@@ -1,0 +1,400 @@
+//! UDP deployment: every location server on its own UDP socket.
+//!
+//! The paper's prototype ran its protocols "on top of UDP to achieve
+//! efficient client/server and server/server interactions"; this
+//! runtime does the same with tokio — one socket and one task per
+//! server, datagrams carrying the binary-encoded [`Message`]s. It is
+//! the deployment you would split across real hosts (the address book
+//! is plain socket addresses).
+
+use crate::area::Hierarchy;
+use crate::model::{
+    LocationDescriptor, LsError, Micros, NeighborAnswer, ObjectId, RangeAnswer, RangeQuery,
+    Sighting,
+};
+use crate::node::{LocationServer, ServerOptions};
+use crate::proto::Message;
+use crate::runtime::UpdateOutcome;
+use hiloc_geo::Point;
+use hiloc_net::{ClientId, CorrIdGen, Endpoint, Envelope, ServerId, UdpEndpoint, UdpError};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use tokio::sync::watch;
+use tokio::task::JoinHandle;
+
+/// Upper bound on how long a server task sleeps before re-checking its
+/// timers.
+const MAX_TIMER_NAP: Duration = Duration::from_millis(50);
+
+/// A location service deployed over real UDP sockets (localhost by
+/// default; the address book generalizes to multiple hosts).
+///
+/// # Example
+///
+/// ```no_run
+/// use hiloc_core::area::HierarchyBuilder;
+/// use hiloc_core::model::{ObjectId, Sighting};
+/// use hiloc_core::runtime::UdpDeployment;
+/// use hiloc_geo::{Point, Rect};
+///
+/// # async fn demo() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = HierarchyBuilder::grid(
+///     Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)), 1, 2,
+/// ).build()?;
+/// let ls = UdpDeployment::bind(h, Default::default()).await?;
+/// let mut client = ls.client().await?;
+/// let entry = ls.leaf_for(Point::new(10.0, 10.0));
+/// client.register(entry, Sighting::new(ObjectId(1), 0, Point::new(10.0, 10.0), 5.0), 10.0, 50.0, 3.0).await?;
+/// ls.shutdown().await;
+/// # Ok(())
+/// # }
+/// ```
+pub struct UdpDeployment {
+    hierarchy: Hierarchy,
+    addrs: HashMap<Endpoint, SocketAddr>,
+    shutdown_tx: watch::Sender<bool>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: Instant,
+    next_client: AtomicU64,
+}
+
+impl std::fmt::Debug for UdpDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpDeployment").field("servers", &self.hierarchy.len()).finish()
+    }
+}
+
+impl UdpDeployment {
+    /// Binds one UDP socket per server on ephemeral localhost ports and
+    /// spawns the server tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a socket cannot be bound or a server's
+    /// durable store cannot be opened.
+    pub async fn bind(hierarchy: Hierarchy, opts: ServerOptions) -> Result<Self, UdpError> {
+        let epoch = Instant::now();
+        let mut endpoints = Vec::with_capacity(hierarchy.len());
+        let mut addrs: HashMap<Endpoint, SocketAddr> = HashMap::new();
+        for cfg in hierarchy.servers() {
+            let ep: UdpEndpoint<Message> =
+                UdpEndpoint::bind(cfg.id.into(), "127.0.0.1:0".parse().expect("valid addr"))
+                    .await?;
+            addrs.insert(cfg.id.into(), ep.local_addr()?);
+            endpoints.push(ep);
+        }
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let mut handles = Vec::with_capacity(endpoints.len());
+        for (cfg, ep) in hierarchy.servers().iter().zip(endpoints) {
+            ep.add_routes(addrs.iter().map(|(e, a)| (*e, *a)));
+            let server = LocationServer::new(cfg.clone(), opts.clone())
+                .map_err(|e| UdpError::Io(std::io::Error::other(e.to_string())))?;
+            handles.push(tokio::spawn(server_task(server, ep, epoch, shutdown_rx.clone())));
+        }
+        Ok(UdpDeployment {
+            hierarchy,
+            addrs,
+            shutdown_tx,
+            handles,
+            epoch,
+            next_client: AtomicU64::new(1 << 52),
+        })
+    }
+
+    /// The deployment's hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The leaf responsible for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside the root service area.
+    pub fn leaf_for(&self, p: Point) -> ServerId {
+        self.hierarchy.leaf_for(p).expect("position outside the service area")
+    }
+
+    /// The socket address a server is bound to.
+    pub fn server_addr(&self, id: ServerId) -> Option<SocketAddr> {
+        self.addrs.get(&Endpoint::Server(id)).copied()
+    }
+
+    /// Microseconds since deployment start.
+    pub fn now_us(&self) -> Micros {
+        self.epoch.elapsed().as_micros() as Micros
+    }
+
+    /// Creates an async client bound to its own UDP socket, with routes
+    /// to every server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the client socket cannot be bound.
+    pub async fn client(&self) -> Result<UdpClient, UdpError> {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let ep: UdpEndpoint<Message> =
+            UdpEndpoint::bind(id.into(), "127.0.0.1:0".parse().expect("valid addr")).await?;
+        ep.add_routes(self.addrs.iter().map(|(e, a)| (*e, *a)));
+        Ok(UdpClient {
+            id,
+            ep,
+            corr: CorrIdGen::namespaced(id.0 & 0xFF_FFFF),
+            epoch: self.epoch,
+            timeout: Duration::from_secs(5),
+            stash: VecDeque::new(),
+        })
+    }
+
+    /// Stops all server tasks.
+    pub async fn shutdown(mut self) {
+        let _ = self.shutdown_tx.send(true);
+        for h in self.handles.drain(..) {
+            let _ = h.await;
+        }
+    }
+}
+
+async fn server_task(
+    mut server: LocationServer,
+    ep: UdpEndpoint<Message>,
+    epoch: Instant,
+    mut shutdown: watch::Receiver<bool>,
+) {
+    loop {
+        let now = epoch.elapsed().as_micros() as Micros;
+        let nap = match server.next_timer() {
+            Some(t) => Duration::from_micros(t.saturating_sub(now)).min(MAX_TIMER_NAP),
+            None => MAX_TIMER_NAP,
+        };
+        tokio::select! {
+            _ = shutdown.changed() => break,
+            _ = tokio::time::sleep(nap) => {
+                let now = epoch.elapsed().as_micros() as Micros;
+                if server.next_timer().map(|t| t <= now).unwrap_or(false) {
+                    for out in server.tick(now) {
+                        let _ = ep.send(out).await;
+                    }
+                }
+            }
+            received = ep.recv() => {
+                match received {
+                    Ok(env) => {
+                        let now = epoch.elapsed().as_micros() as Micros;
+                        for out in server.handle(now, env) {
+                            let _ = ep.send(out).await;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+/// An async client of a [`UdpDeployment`].
+pub struct UdpClient {
+    id: ClientId,
+    ep: UdpEndpoint<Message>,
+    corr: CorrIdGen,
+    epoch: Instant,
+    timeout: Duration,
+    stash: VecDeque<Message>,
+}
+
+impl std::fmt::Debug for UdpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpClient").field("id", &self.id).finish()
+    }
+}
+
+impl UdpClient {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Microseconds since deployment start.
+    pub fn now_us(&self) -> Micros {
+        self.epoch.elapsed().as_micros() as Micros
+    }
+
+    /// Sets the per-operation timeout (default 5 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    async fn send(&self, to: ServerId, msg: Message) -> Result<(), LsError> {
+        self.ep
+            .send(Envelope::new(self.id.into(), to.into(), msg))
+            .await
+            .map_err(|_| LsError::NoRoute)
+    }
+
+    async fn wait_for(
+        &mut self,
+        mut pred: impl FnMut(&Message) -> bool,
+    ) -> Result<Message, LsError> {
+        if let Some(idx) = self.stash.iter().position(&mut pred) {
+            return Ok(self.stash.remove(idx).expect("indexed above"));
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(LsError::Timeout);
+            }
+            match tokio::time::timeout(deadline - now, self.ep.recv()).await {
+                Err(_) => return Err(LsError::Timeout),
+                Ok(Err(_)) => return Err(LsError::NoRoute),
+                Ok(Ok(env)) if pred(&env.msg) => return Ok(env.msg),
+                Ok(Ok(env)) => self.stash.push_back(env.msg),
+            }
+        }
+    }
+
+    /// Registers a tracked object; this client is the registrant.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::AccuracyUnavailable`] or [`LsError::Timeout`].
+    pub async fn register(
+        &mut self,
+        entry: ServerId,
+        sighting: Sighting,
+        des_acc_m: f64,
+        min_acc_m: f64,
+        max_speed_mps: f64,
+    ) -> Result<(ServerId, f64), LsError> {
+        let corr = self.corr.next_id();
+        self.send(
+            entry,
+            Message::RegisterReq {
+                sighting,
+                des_acc_m,
+                min_acc_m,
+                max_speed_mps,
+                registrant: self.id.into(),
+                corr,
+            },
+        )
+        .await?;
+        match self
+            .wait_for(|m| {
+                matches!(m,
+                    Message::RegisterRes { corr: c, .. } | Message::RegisterFailed { corr: c, .. }
+                    if *c == corr)
+            })
+            .await?
+        {
+            Message::RegisterRes { agent, offered_acc_m, .. } => Ok((agent, offered_acc_m)),
+            Message::RegisterFailed { server, achievable_m, .. } => {
+                Err(LsError::AccuracyUnavailable { server, achievable_m })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Sends a position update and waits for its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no response arrives.
+    pub async fn update(
+        &mut self,
+        agent: ServerId,
+        sighting: Sighting,
+    ) -> Result<UpdateOutcome, LsError> {
+        let oid = sighting.oid;
+        self.send(agent, Message::UpdateReq { sighting }).await?;
+        match self
+            .wait_for(|m| {
+                matches!(m,
+                    Message::UpdateAck { oid: o, .. }
+                    | Message::AgentChanged { oid: o, .. }
+                    | Message::OutOfServiceArea { oid: o } if *o == oid)
+            })
+            .await?
+        {
+            Message::UpdateAck { offered_acc_m, .. } => Ok(UpdateOutcome::Ack { offered_acc_m }),
+            Message::AgentChanged { new_agent, offered_acc_m, .. } => {
+                Ok(UpdateOutcome::NewAgent { agent: new_agent, offered_acc_m })
+            }
+            Message::OutOfServiceArea { .. } => Ok(UpdateOutcome::OutOfServiceArea),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Position query via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::UnknownObject`] or [`LsError::Timeout`].
+    pub async fn pos_query(
+        &mut self,
+        entry: ServerId,
+        oid: ObjectId,
+    ) -> Result<LocationDescriptor, LsError> {
+        let corr = self.corr.next_id();
+        self.send(entry, Message::PosQueryReq { oid, corr }).await?;
+        match self
+            .wait_for(|m| matches!(m, Message::PosQueryRes { corr: c, .. } if *c == corr))
+            .await?
+        {
+            Message::PosQueryRes { found: Some(ld), .. } => Ok(ld),
+            Message::PosQueryRes { found: None, .. } => Err(LsError::UnknownObject(oid)),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Range query via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no answer arrives.
+    pub async fn range_query(
+        &mut self,
+        entry: ServerId,
+        query: RangeQuery,
+    ) -> Result<RangeAnswer, LsError> {
+        let corr = self.corr.next_id();
+        self.send(entry, Message::RangeQueryReq { query, corr }).await?;
+        match self
+            .wait_for(|m| matches!(m, Message::RangeQueryRes { corr: c, .. } if *c == corr))
+            .await?
+        {
+            Message::RangeQueryRes { items, complete, .. } => {
+                Ok(RangeAnswer { objects: items, complete })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Nearest-neighbor query via `entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no answer arrives.
+    pub async fn neighbor_query(
+        &mut self,
+        entry: ServerId,
+        p: Point,
+        req_acc_m: f64,
+        near_qual_m: f64,
+    ) -> Result<NeighborAnswer, LsError> {
+        let corr = self.corr.next_id();
+        self.send(entry, Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr }).await?;
+        match self
+            .wait_for(|m| matches!(m, Message::NeighborQueryRes { corr: c, .. } if *c == corr))
+            .await?
+        {
+            Message::NeighborQueryRes { nearest, near_set, complete, .. } => {
+                Ok(NeighborAnswer { nearest, near_set, complete })
+            }
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Concurrency tests for the threaded deployment: many clients driving
+//! the same hierarchy from multiple OS threads.
+
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{ObjectId, RangeQuery, Sighting};
+use hiloc_core::runtime::{ThreadedDeployment, UpdateOutcome};
+use hiloc_geo::{Point, Rect, Region};
+
+fn deployment() -> ThreadedDeployment {
+    let h = HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .unwrap();
+    ThreadedDeployment::new(h, Default::default())
+}
+
+#[test]
+fn concurrent_clients_register_update_query() {
+    let ls = deployment();
+    let threads = 8;
+    let per_thread = 25u64;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let ls = &ls;
+            scope.spawn(move || {
+                let mut client = ls.client();
+                for i in 0..per_thread {
+                    let oid = ObjectId(t * 1_000 + i);
+                    let x = 50.0 + (i as f64 * 37.0) % 900.0;
+                    let y = 50.0 + (t as f64 * 119.0) % 900.0;
+                    let pos = Point::new(x, y);
+                    let entry = ls.leaf_for(pos);
+                    let (agent, _) = client
+                        .register(entry, Sighting::new(oid, client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+                        .expect("registration succeeds");
+                    // Move it across the area: may or may not hand over.
+                    let new_pos = Point::new(999.0 - x, 999.0 - y);
+                    let agent = match client
+                        .update(agent, Sighting::new(oid, client.now_us(), new_pos, 5.0))
+                        .expect("update succeeds")
+                    {
+                        UpdateOutcome::NewAgent { agent, .. } => agent,
+                        _ => agent,
+                    };
+                    // Query it back from the (possibly new) agent.
+                    let ld = client.pos_query(agent, oid).expect("query succeeds");
+                    assert_eq!(ld.pos, new_pos);
+                }
+            });
+        }
+    });
+
+    // A final whole-area range query sees every object exactly once.
+    let mut client = ls.client();
+    let ans = client
+        .range_query(
+            ls.leaf_for(Point::new(1.0, 1.0)),
+            RangeQuery::new(
+                Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(999.5, 999.5))),
+                50.0,
+                0.5,
+            ),
+        )
+        .expect("range query succeeds");
+    assert!(ans.complete);
+    assert_eq!(ans.objects.len(), (threads * per_thread) as usize);
+    let mut ids: Vec<u64> = ans.objects.iter().map(|(o, _)| o.0).collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), (threads * per_thread) as usize, "no duplicates");
+
+    let stats = ls.shutdown();
+    let total_msgs: u64 = stats.iter().map(|s| s.msgs_in).sum();
+    assert!(total_msgs > 0);
+}
+
+#[test]
+fn neighbor_queries_under_concurrent_movement() {
+    let ls = deployment();
+    // One mover thread and one querier thread share the service.
+    let mover = std::thread::spawn({
+        let mut client = ls.client();
+        let entry = ls.leaf_for(Point::new(100.0, 100.0));
+        move || {
+            let (mut agent, _) = client
+                .register(
+                    entry,
+                    Sighting::new(ObjectId(1), client.now_us(), Point::new(100.0, 100.0), 5.0),
+                    10.0,
+                    50.0,
+                    2.0,
+                )
+                .unwrap();
+            for step in 0..40 {
+                let x = 100.0 + step as f64 * 20.0;
+                if let UpdateOutcome::NewAgent { agent: a, .. } = client
+                    .update(agent, Sighting::new(ObjectId(1), client.now_us(), Point::new(x, 100.0), 5.0))
+                    .unwrap() { agent = a }
+            }
+        }
+    });
+
+    let mut querier = ls.client();
+    let entry = ls.leaf_for(Point::new(500.0, 500.0));
+    let mut found = 0;
+    for _ in 0..40 {
+        let nn = querier.neighbor_query(entry, Point::new(500.0, 100.0), 50.0, 0.0).unwrap();
+        if let Some((oid, ld)) = nn.nearest {
+            assert_eq!(oid, ObjectId(1));
+            assert!(ld.pos.y == 100.0);
+            found += 1;
+        }
+    }
+    mover.join().unwrap();
+    assert!(found > 0, "the querier must observe the moving object");
+}

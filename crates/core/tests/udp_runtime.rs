@@ -1,0 +1,124 @@
+//! Integration test: the full protocol over real UDP sockets on
+//! localhost (the paper's transport).
+
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{LsError, ObjectId, RangeQuery, Sighting};
+use hiloc_core::runtime::{UdpDeployment, UpdateOutcome};
+use hiloc_geo::{Point, Rect, Region};
+
+fn hierarchy() -> hiloc_core::area::Hierarchy {
+    HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .unwrap()
+}
+
+#[tokio::test]
+async fn full_lifecycle_over_udp() {
+    let ls = UdpDeployment::bind(hierarchy(), Default::default()).await.unwrap();
+    let mut client = ls.client().await.unwrap();
+
+    // Register in the SW quadrant.
+    let start = Point::new(100.0, 100.0);
+    let entry = ls.leaf_for(start);
+    let (agent, offered) = client
+        .register(entry, Sighting::new(ObjectId(1), 0, start, 10.0), 25.0, 100.0, 3.0)
+        .await
+        .unwrap();
+    assert_eq!(agent, entry);
+    assert_eq!(offered, 25.0);
+
+    // Update in place.
+    let out = client
+        .update(agent, Sighting::new(ObjectId(1), 1_000, Point::new(150.0, 150.0), 10.0))
+        .await
+        .unwrap();
+    assert!(matches!(out, UpdateOutcome::Ack { .. }));
+
+    // Handover to the NE quadrant.
+    let moved = Point::new(900.0, 900.0);
+    let out = client
+        .update(agent, Sighting::new(ObjectId(1), 2_000, moved, 10.0))
+        .await
+        .unwrap();
+    let new_agent = match out {
+        UpdateOutcome::NewAgent { agent, .. } => agent,
+        other => panic!("expected handover, got {other:?}"),
+    };
+    assert_eq!(new_agent, ls.leaf_for(moved));
+
+    // Remote position query from the original entry.
+    let ld = client.pos_query(entry, ObjectId(1)).await.unwrap();
+    assert_eq!(ld.pos, moved);
+
+    // Range query spanning the whole area.
+    let ans = client
+        .range_query(
+            entry,
+            RangeQuery::new(
+                Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(999.0, 999.0))),
+                50.0,
+                0.5,
+            ),
+        )
+        .await
+        .unwrap();
+    assert!(ans.complete);
+    assert_eq!(ans.objects.len(), 1);
+
+    // Nearest neighbor.
+    let nn = client.neighbor_query(entry, Point::new(800.0, 800.0), 50.0, 0.0).await.unwrap();
+    assert_eq!(nn.nearest.unwrap().0, ObjectId(1));
+
+    // Unknown object.
+    let err = client.pos_query(entry, ObjectId(99)).await.unwrap_err();
+    assert!(matches!(err, LsError::UnknownObject(_)));
+
+    ls.shutdown().await;
+}
+
+#[tokio::test]
+async fn multiple_udp_clients_interleave() {
+    let ls = UdpDeployment::bind(hierarchy(), Default::default()).await.unwrap();
+
+    // Ten objects registered by ten independent clients concurrently.
+    let mut tasks = Vec::new();
+    for i in 0..10u64 {
+        let mut client = ls.client().await.unwrap();
+        let entry = ls.leaf_for(Point::new(50.0 + 90.0 * i as f64, 500.0));
+        tasks.push(tokio::spawn(async move {
+            let pos = Point::new(50.0 + 90.0 * i as f64, 500.0);
+            client
+                .register(entry, Sighting::new(ObjectId(i), 0, pos, 10.0), 25.0, 100.0, 1.0)
+                .await
+                .unwrap();
+            // Each client immediately queries its own object back.
+            client.pos_query(entry, ObjectId(i)).await.unwrap()
+        }));
+    }
+    for (i, t) in tasks.into_iter().enumerate() {
+        let ld = t.await.unwrap();
+        assert_eq!(ld.pos.x, 50.0 + 90.0 * i as f64);
+    }
+
+    // A final range query sees all ten.
+    let mut client = ls.client().await.unwrap();
+    let ans = client
+        .range_query(
+            ls.leaf_for(Point::new(1.0, 1.0)),
+            RangeQuery::new(
+                Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(999.0, 999.0))),
+                50.0,
+                0.5,
+            ),
+        )
+        .await
+        .unwrap();
+    assert!(ans.complete);
+    assert_eq!(ans.objects.len(), 10);
+
+    ls.shutdown().await;
+}

@@ -1,0 +1,57 @@
+//! Geodesy substrate for the hiloc location service.
+//!
+//! The paper ("Architecture of a Large-Scale Location Service", Leonhardi &
+//! Rothermel) assumes position information based on geographic coordinate
+//! systems such as WGS84, queries over arbitrary connected polygons, and
+//! circular *location areas* `(pos, acc)` in which a tracked object is
+//! guaranteed to reside. This crate provides everything those semantics
+//! need:
+//!
+//! * [`GeoPoint`] — WGS84 geographic coordinates (degrees).
+//! * [`Point`] — a position in a local planar frame (meters), used for all
+//!   index and geometry math.
+//! * [`LocalProjection`] — an equirectangular projection anchoring a local
+//!   frame at a reference point; accurate to well under a meter over
+//!   city-scale service areas (the paper's largest area is 10 km × 10 km).
+//! * [`Rect`], [`Polygon`], [`Region`] — service and query areas.
+//! * [`Circle`] — location areas, with **exact** circle–polygon
+//!   intersection area (the paper's `Overlap(a, o)` measure).
+//!
+//! # Example
+//!
+//! ```
+//! use hiloc_geo::{Circle, Point, Rect, Region};
+//!
+//! // A 100 m x 100 m query area and an object whose location area is a
+//! // circle of 25 m accuracy centered inside it.
+//! let area = Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)));
+//! let location_area = Circle::new(Point::new(50.0, 50.0), 25.0);
+//! let overlap = area.intersection_area_with_circle(&location_area) / location_area.area();
+//! assert!((overlap - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod distance;
+mod point;
+mod polygon;
+mod projection;
+mod rect;
+mod region;
+
+pub use circle::Circle;
+pub use distance::{haversine_m, EARTH_RADIUS_M};
+pub use point::{GeoPoint, Point, Vector};
+pub use polygon::{InvalidPolygon, Polygon};
+pub use projection::LocalProjection;
+pub use rect::Rect;
+pub use region::Region;
+
+/// Geometric tolerance (meters) used for point-on-boundary decisions.
+///
+/// Positions in the service come from sensors with decimeter accuracy at
+/// best (the paper cites 10 cm for Active Bat), so a sub-millimeter
+/// geometric epsilon is far below any physically meaningful distinction.
+pub const GEO_EPS: f64 = 1e-9;

@@ -1,0 +1,117 @@
+//! Equirectangular projection between WGS84 and a local planar frame.
+
+use crate::{GeoPoint, Point, EARTH_RADIUS_M};
+use serde::{Deserialize, Serialize};
+
+/// An equirectangular (plate carrée) projection anchored at a reference
+/// point, mapping WGS84 coordinates to a local planar frame in meters.
+///
+/// hiloc runs all index and geometry math in such a local frame: the
+/// paper's service areas are city-scale (its largest experiment uses a
+/// 10 km × 10 km area), where the equirectangular approximation is
+/// accurate to centimeters. `x` grows eastward, `y` northward, and the
+/// anchor maps to the local origin.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_geo::{GeoPoint, LocalProjection};
+/// let proj = LocalProjection::new(GeoPoint::new(48.7758, 9.1829));
+/// let p = proj.to_local(GeoPoint::new(48.7858, 9.1829)); // ~1.1 km north
+/// assert!(p.x.abs() < 1.0);
+/// assert!((p.y - 1_112.0).abs() < 5.0);
+/// let roundtrip = proj.to_geo(p);
+/// assert!((roundtrip.lat_deg - 48.7858).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    anchor: GeoPoint,
+    cos_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection anchored at `anchor` (typically the center of
+    /// the root service area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is not a valid geographic coordinate (see
+    /// [`GeoPoint::is_valid`]) or lies on a pole, where the projection
+    /// degenerates.
+    pub fn new(anchor: GeoPoint) -> Self {
+        assert!(anchor.is_valid(), "projection anchor must be a valid WGS84 point");
+        let cos_lat = anchor.lat_rad().cos();
+        assert!(
+            cos_lat > 1e-6,
+            "equirectangular projection degenerates at the poles"
+        );
+        LocalProjection { anchor, cos_lat }
+    }
+
+    /// The anchor point of this projection (maps to the local origin).
+    pub fn anchor(&self) -> GeoPoint {
+        self.anchor
+    }
+
+    /// Projects a geographic point into the local frame (meters).
+    pub fn to_local(&self, g: GeoPoint) -> Point {
+        let dlat = g.lat_rad() - self.anchor.lat_rad();
+        let dlon = g.lon_rad() - self.anchor.lon_rad();
+        Point::new(EARTH_RADIUS_M * dlon * self.cos_lat, EARTH_RADIUS_M * dlat)
+    }
+
+    /// Unprojects a local point back to geographic coordinates.
+    pub fn to_geo(&self, p: Point) -> GeoPoint {
+        let lat = self.anchor.lat_rad() + p.y / EARTH_RADIUS_M;
+        let lon = self.anchor.lon_rad() + p.x / (EARTH_RADIUS_M * self.cos_lat);
+        GeoPoint::new(lat.to_degrees(), lon.to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_maps_to_origin() {
+        let anchor = GeoPoint::new(48.7758, 9.1829);
+        let proj = LocalProjection::new(anchor);
+        let p = proj.to_local(anchor);
+        assert!(p.norm() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let proj = LocalProjection::new(GeoPoint::new(48.7758, 9.1829));
+        for &(dx, dy) in &[(0.0, 0.0), (1000.0, 0.0), (0.0, -2500.0), (4321.0, 987.0)] {
+            let p = Point::new(dx, dy);
+            let g = proj.to_geo(p);
+            let back = proj.to_local(g);
+            assert!(back.distance(p) < 1e-6, "roundtrip drifted: {p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn local_distance_matches_haversine_at_city_scale() {
+        let anchor = GeoPoint::new(48.7758, 9.1829);
+        let proj = LocalProjection::new(anchor);
+        let other = GeoPoint::new(48.8200, 9.2500);
+        let local = proj.to_local(other);
+        let planar = local.norm();
+        let sphere = anchor.distance(other);
+        // Within 0.1% at ~7 km scale.
+        assert!((planar - sphere).abs() / sphere < 1e-3, "{planar} vs {sphere}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerates at the poles")]
+    fn pole_anchor_panics() {
+        let _ = LocalProjection::new(GeoPoint::new(90.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid WGS84")]
+    fn invalid_anchor_panics() {
+        let _ = LocalProjection::new(GeoPoint::new(f64::NAN, 0.0));
+    }
+}

@@ -1,0 +1,323 @@
+//! Axis-aligned rectangles in the local planar frame.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle in the local frame, in meters.
+///
+/// Rectangles are the workhorse area type of hiloc: grid-partitioned
+/// service areas, spatial-index node extents and bounding boxes are all
+/// `Rect`s. The invariant `min.x <= max.x && min.y <= max.y` is enforced
+/// on construction; a rectangle may be degenerate (zero width or height).
+///
+/// # Example
+///
+/// ```
+/// use hiloc_geo::{Point, Rect};
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+/// assert_eq!(r.area(), 50.0);
+/// assert!(r.contains(Point::new(5.0, 2.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle centered at `center` with the given width and
+    /// height in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or non-finite.
+    pub fn from_center_size(center: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0 && width.is_finite() && height.is_finite(),
+            "rectangle dimensions must be finite and non-negative"
+        );
+        let half = Point::new(width / 2.0, height / 2.0);
+        Rect { min: center - half, max: center + half }
+    }
+
+    /// The smallest rectangle containing every point of the iterator.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect { min: first, max: first };
+        for p in it {
+            r.min.x = r.min.x.min(p.x);
+            r.min.y = r.min.y.min(p.y);
+            r.max.x = r.max.x.max(p.x);
+            r.max.y = r.max.y.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// The lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square meters.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when `p` lies strictly inside, or on the *lower/left* edges
+    /// but not the *upper/right* edges.
+    ///
+    /// This half-open containment test is what makes grid-partitioned
+    /// sibling service areas a true partition: every point belongs to
+    /// exactly one cell, matching the paper's requirement that "sibling
+    /// service areas do not overlap".
+    pub fn contains_half_open(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x < self.max.x && p.y >= self.min.y && p.y < self.max.y
+    }
+
+    /// True when `other` is entirely inside this rectangle (boundaries
+    /// may touch).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// True when the two rectangles share at least a boundary point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Area of the intersection with `other` in square meters (zero when
+    /// disjoint).
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        self.intersection(other).map_or(0.0, |r| r.area())
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows the rectangle by `margin` meters on every side (shrinks for
+    /// negative margins; collapses to its center for large negative
+    /// margins).
+    ///
+    /// This is the paper's `Enlarge(area, reqAcc)` operation used by
+    /// range-query routing so that candidate objects whose location areas
+    /// poke out of the queried area are not missed.
+    pub fn enlarged(&self, margin: f64) -> Rect {
+        let m = Point::new(margin, margin);
+        let min = self.min - m;
+        let max = self.max + m;
+        if min.x > max.x || min.y > max.y {
+            let c = self.center();
+            Rect { min: c, max: c }
+        } else {
+            Rect { min, max }
+        }
+    }
+
+    /// Minimum distance from `p` to this rectangle (zero when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Maximum distance from `p` to any point of this rectangle.
+    pub fn max_distance_to_point(&self, p: Point) -> f64 {
+        self.corners()
+            .iter()
+            .map(|c| c.distance(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Splits into four equal quadrants `[sw, se, ne, nw]`.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let c = self.center();
+        [
+            Rect::new(self.min, c),
+            Rect::new(Point::new(c.x, self.min.y), Point::new(self.max.x, c.y)),
+            Rect::new(c, self.max),
+            Rect::new(Point::new(self.min.x, c.y), Point::new(c.x, self.max.y)),
+        ]
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ax: f64, ay: f64, bx: f64, by: f64) -> Rect {
+        Rect::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn corners_normalize() {
+        let a = Rect::new(Point::new(10.0, 5.0), Point::new(0.0, 8.0));
+        assert_eq!(a.min(), Point::new(0.0, 5.0));
+        assert_eq!(a.max(), Point::new(10.0, 8.0));
+    }
+
+    #[test]
+    fn area_width_height() {
+        let a = r(0.0, 0.0, 4.0, 3.0);
+        assert_eq!(a.width(), 4.0);
+        assert_eq!(a.height(), 3.0);
+        assert_eq!(a.area(), 12.0);
+        assert_eq!(a.center(), Point::new(2.0, 1.5));
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert!(a.contains(Point::new(0.0, 0.0)));
+        assert!(a.contains(Point::new(10.0, 10.0)));
+        assert!(!a.contains(Point::new(10.0001, 5.0)));
+        assert!(a.contains_half_open(Point::new(0.0, 0.0)));
+        assert!(!a.contains_half_open(Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn half_open_partitions_grid() {
+        let parent = r(0.0, 0.0, 10.0, 10.0);
+        let quads = parent.quadrants();
+        // Points on internal seams belong to exactly one quadrant.
+        for p in [Point::new(5.0, 5.0), Point::new(5.0, 2.0), Point::new(2.0, 5.0)] {
+            let n = quads.iter().filter(|q| q.contains_half_open(p)).count();
+            assert_eq!(n, 1, "point {p} in {n} quadrants");
+        }
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(5.0, 5.0, 15.0, 15.0);
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r(5.0, 5.0, 10.0, 10.0));
+        assert_eq!(a.intersection_area(&b), 25.0);
+        assert_eq!(a.union(&b), r(0.0, 0.0, 15.0, 15.0));
+
+        let c = r(20.0, 20.0, 30.0, 30.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+        assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    fn touching_rects_intersect_with_zero_area() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(10.0, 0.0, 20.0, 10.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn enlarged_grows_every_side() {
+        let a = r(0.0, 0.0, 10.0, 10.0).enlarged(2.0);
+        assert_eq!(a, r(-2.0, -2.0, 12.0, 12.0));
+        // Over-shrinking collapses to center instead of inverting.
+        let b = r(0.0, 0.0, 10.0, 10.0).enlarged(-20.0);
+        assert_eq!(b.area(), 0.0);
+        assert_eq!(b.center(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(a.distance_to_point(Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(a.distance_to_point(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(a.distance_to_point(Point::new(-3.0, 5.0)), 3.0);
+        assert_eq!(a.max_distance_to_point(Point::new(0.0, 0.0)), 200.0_f64.sqrt());
+    }
+
+    #[test]
+    fn quadrants_partition_area() {
+        let a = r(0.0, 0.0, 8.0, 8.0);
+        let total: f64 = a.quadrants().iter().map(Rect::area).sum();
+        assert!((total - a.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [Point::new(1.0, 2.0), Point::new(-3.0, 7.0), Point::new(4.0, 0.0)];
+        let b = Rect::bounding(pts).unwrap();
+        assert_eq!(b, r(-3.0, 0.0, 4.0, 7.0));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_size_panics() {
+        let _ = Rect::from_center_size(Point::ORIGIN, -1.0, 1.0);
+    }
+}

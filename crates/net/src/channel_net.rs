@@ -1,0 +1,200 @@
+//! In-process channel network for threaded wall-clock runs.
+
+use crate::{Endpoint, Envelope};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The receiving side of a registered endpoint.
+///
+/// Wraps a crossbeam receiver; each registered endpoint owns exactly
+/// one mailbox.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    endpoint: Endpoint,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M> Mailbox<M> {
+    /// The endpoint this mailbox belongs to.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks up to `timeout`; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.rx.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// A shared in-process network: endpoints register to obtain a
+/// [`Mailbox`], and any holder of the (cheaply cloneable) network can
+/// send to any registered endpoint.
+///
+/// Used by the threaded deployment runtime for the paper's Table 2
+/// wall-clock measurements: the message-path structure (which servers a
+/// request visits) is identical to the UDP deployment, while transport
+/// cost is a channel hop.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_net::{ChannelNetwork, Envelope, ServerId};
+///
+/// let net: ChannelNetwork<u32> = ChannelNetwork::new();
+/// let mailbox = net.register(ServerId(1).into());
+/// net.send(Envelope::new(ServerId(0).into(), ServerId(1).into(), 7));
+/// assert_eq!(mailbox.recv().unwrap().msg, 7);
+/// ```
+#[derive(Debug)]
+pub struct ChannelNetwork<M> {
+    routes: Arc<RwLock<HashMap<Endpoint, Sender<Envelope<M>>>>>,
+}
+
+impl<M> Clone for ChannelNetwork<M> {
+    fn clone(&self) -> Self {
+        ChannelNetwork { routes: Arc::clone(&self.routes) }
+    }
+}
+
+impl<M> Default for ChannelNetwork<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ChannelNetwork<M> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        ChannelNetwork { routes: Arc::new(RwLock::new(HashMap::new())) }
+    }
+
+    /// Registers `endpoint`, returning its mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint is already registered — a deployment
+    /// wiring bug that must fail fast.
+    pub fn register(&self, endpoint: Endpoint) -> Mailbox<M> {
+        let (tx, rx) = unbounded();
+        let prev = self.routes.write().insert(endpoint, tx);
+        assert!(prev.is_none(), "endpoint {endpoint} registered twice");
+        Mailbox { endpoint, rx }
+    }
+
+    /// Removes an endpoint; subsequent sends to it are dropped.
+    pub fn deregister(&self, endpoint: Endpoint) {
+        self.routes.write().remove(&endpoint);
+    }
+
+    /// Sends an envelope. Returns `true` when the destination is
+    /// registered and the message was enqueued (UDP semantics: sends to
+    /// unknown destinations are silently dropped, but reported).
+    pub fn send(&self, env: Envelope<M>) -> bool {
+        let routes = self.routes.read();
+        match routes.get(&env.to) {
+            Some(tx) => tx.send(env).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.routes.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientId, ServerId};
+
+    #[test]
+    fn register_send_receive() {
+        let net: ChannelNetwork<String> = ChannelNetwork::new();
+        let a = net.register(ServerId(0).into());
+        let _b = net.register(ServerId(1).into());
+        assert_eq!(net.endpoint_count(), 2);
+        assert!(net.send(Envelope::new(ServerId(1).into(), ServerId(0).into(), "hi".into())));
+        let env = a.recv().unwrap();
+        assert_eq!(env.msg, "hi");
+        assert_eq!(env.from, Endpoint::Server(ServerId(1)));
+    }
+
+    #[test]
+    fn send_to_unknown_is_reported() {
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        assert!(!net.send(Envelope::new(ServerId(0).into(), ServerId(9).into(), 1)));
+    }
+
+    #[test]
+    fn deregister_drops_messages() {
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        let mb = net.register(ClientId(1).into());
+        net.deregister(ClientId(1).into());
+        assert!(!net.send(Envelope::new(ServerId(0).into(), ClientId(1).into(), 1)));
+        assert!(mb.try_recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        let _a = net.register(ServerId(0).into());
+        let _b = net.register(ServerId(0).into());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net: ChannelNetwork<u64> = ChannelNetwork::new();
+        let mb = net.register(ServerId(0).into());
+        let sender = net.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                sender.send(Envelope::new(ClientId(1).into(), ServerId(0).into(), i));
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += mb.recv().unwrap().msg;
+        }
+        handle.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        let mb = net.register(ServerId(0).into());
+        assert!(mb.is_empty());
+        assert!(mb.try_recv().is_none());
+        net.send(Envelope::new(ServerId(0).into(), ServerId(0).into(), 5));
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.try_recv().unwrap().msg, 5);
+    }
+}

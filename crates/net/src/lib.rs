@@ -1,0 +1,125 @@
+//! Transports and wire infrastructure for the hiloc location service.
+//!
+//! The paper's prototype ran its protocols "on top of UDP to achieve
+//! efficient client/server and server/server interactions" on a 100 Mbit
+//! LAN of five workstations. hiloc keeps the server logic sans-IO
+//! (servers consume and emit [`Envelope`]s) and provides three
+//! interchangeable ways to move envelopes:
+//!
+//! * [`SimNet`] — a deterministic virtual-time network with configurable
+//!   per-link latency, jitter, loss and duplication, plus full message
+//!   tracing. Used for the reproducible experiments and the
+//!   message-flow tests of the paper's Figure 6.
+//! * [`ChannelNetwork`] — crossbeam channels between OS threads, for
+//!   wall-clock throughput measurements (Table 2).
+//! * [`UdpEndpoint`] — real UDP datagrams via tokio, one envelope per
+//!   datagram, for deployments across processes/hosts.
+//!
+//! Message payloads are generic: anything implementing [`WireCodec`]
+//! (the protocol itself lives in `hiloc-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel_net;
+mod endpoint;
+mod sim_net;
+mod udp;
+pub mod wire;
+
+pub use channel_net::{ChannelNetwork, Mailbox};
+pub use endpoint::{ClientId, Endpoint, ServerId};
+pub use sim_net::{FaultPlan, LatencyModel, SimNet, TraceEntry};
+pub use udp::{UdpEndpoint, UdpError};
+pub use wire::WireCodec;
+
+use std::fmt;
+
+/// A correlation identifier linking requests to their responses.
+///
+/// The paper's pseudocode blocks inside handlers (`receive handoverRes`);
+/// hiloc's servers are event-driven instead and park pending operations
+/// keyed by `CorrId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CorrId(pub u64);
+
+impl CorrId {
+    /// A correlation id that is never allocated (usable as a sentinel).
+    pub const NONE: CorrId = CorrId(0);
+}
+
+impl fmt::Display for CorrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corr#{}", self.0)
+    }
+}
+
+/// Monotonic [`CorrId`] generator (not thread-safe; each node owns one).
+#[derive(Debug, Default)]
+pub struct CorrIdGen {
+    next: u64,
+}
+
+impl CorrIdGen {
+    /// Creates a generator starting at 1 (0 is the sentinel).
+    pub fn new() -> Self {
+        CorrIdGen { next: 0 }
+    }
+
+    /// Creates a generator in a private namespace: ids are
+    /// `(namespace << 40) + n`. Nodes use their own id as namespace so
+    /// correlation ids are globally unique across a deployment.
+    pub fn namespaced(namespace: u64) -> Self {
+        CorrIdGen { next: namespace << 40 }
+    }
+
+    /// Allocates the next correlation id.
+    pub fn next_id(&mut self) -> CorrId {
+        self.next += 1;
+        CorrId(self.next)
+    }
+}
+
+/// An addressed message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Sender address.
+    pub from: Endpoint,
+    /// Destination address.
+    pub to: Endpoint,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope.
+    pub fn new(from: Endpoint, to: Endpoint, msg: M) -> Self {
+        Envelope { from, to, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corr_id_gen_is_monotonic_and_skips_sentinel() {
+        let mut g = CorrIdGen::new();
+        let a = g.next_id();
+        let b = g.next_id();
+        assert_ne!(a, CorrId::NONE);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn envelope_roundtrip_fields() {
+        let e = Envelope::new(
+            Endpoint::Server(ServerId(1)),
+            Endpoint::Client(ClientId(9)),
+            42u32,
+        );
+        assert_eq!(e.from, Endpoint::Server(ServerId(1)));
+        assert_eq!(e.to, Endpoint::Client(ClientId(9)));
+        assert_eq!(e.msg, 42);
+    }
+}

@@ -1,0 +1,364 @@
+//! Deterministic virtual-time network simulator.
+
+use crate::{Endpoint, Envelope};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-link latency model, all values in virtual microseconds.
+///
+/// The defaults approximate the paper's testbed: five machines on a
+/// switched 100 Mbit Ethernet, where a small UDP datagram takes a few
+/// hundred microseconds end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed one-way latency between distinct endpoints.
+    pub base_us: u64,
+    /// Uniform jitter added on top: `U[0, jitter_us]`.
+    pub jitter_us: u64,
+    /// Latency for an endpoint sending to itself (loopback processing).
+    pub local_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~250 µs one-way LAN latency, ±50 µs jitter, 20 µs loopback.
+        LatencyModel { base_us: 250, jitter_us: 50, local_us: 20 }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model (messages arrive in send order at the same
+    /// virtual instant) — useful for pure protocol-logic tests.
+    pub fn instant() -> Self {
+        LatencyModel { base_us: 0, jitter_us: 0, local_us: 0 }
+    }
+}
+
+/// Fault injection knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a message is delivered twice.
+    pub duplicate_prob: f64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+}
+
+/// A record of one message delivery, for flow tests and diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Virtual time at which the message was sent.
+    pub sent_us: u64,
+    /// Virtual time at which it was (or will be) delivered.
+    pub deliver_us: u64,
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// Short label describing the message (payload-provided).
+    pub label: &'static str,
+}
+
+/// A deterministic, virtual-time message network.
+///
+/// All sends go through a priority queue ordered by delivery time (ties
+/// broken by send sequence, so FIFO per simultaneous batch). The driver
+/// pops messages with [`SimNet::next`], advancing the virtual clock.
+/// With a fixed seed, runs are bit-for-bit reproducible — the property
+/// the hiloc experiment harness relies on.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_net::{Endpoint, Envelope, LatencyModel, FaultPlan, ServerId, SimNet};
+///
+/// let mut net: SimNet<&'static str> = SimNet::new(LatencyModel::default(), FaultPlan::none(), 42);
+/// net.send(Envelope::new(ServerId(0).into(), ServerId(1).into(), "hello"));
+/// let (t, env) = net.next().unwrap();
+/// assert!(t >= 250);
+/// assert_eq!(env.msg, "hello");
+/// ```
+#[derive(Debug)]
+pub struct SimNet<M> {
+    now_us: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, QueuedEnvelope<M>)>>,
+    latency: LatencyModel,
+    faults: FaultPlan,
+    rng: StdRng,
+    trace: Option<Vec<TraceEntry>>,
+    labeler: Option<fn(&M) -> &'static str>,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Wrapper so the heap never compares message payloads.
+#[derive(Debug, Clone)]
+struct QueuedEnvelope<M>(Envelope<M>);
+
+impl<M> PartialEq for QueuedEnvelope<M> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<M> Eq for QueuedEnvelope<M> {}
+impl<M> PartialOrd for QueuedEnvelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEnvelope<M> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<M> SimNet<M> {
+    /// Creates a network with the given latency model, fault plan and
+    /// RNG seed.
+    pub fn new(latency: LatencyModel, faults: FaultPlan, seed: u64) -> Self {
+        SimNet {
+            now_us: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            latency,
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            trace: None,
+            labeler: None,
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enables message tracing; `labeler` renders a payload into a
+    /// short static label (e.g. the message kind).
+    pub fn enable_trace(&mut self, labeler: fn(&M) -> &'static str) {
+        self.trace = Some(Vec::new());
+        self.labeler = Some(labeler);
+    }
+
+    /// The trace collected so far (empty when tracing is disabled).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Clears the collected trace (tracing stays enabled).
+    pub fn clear_trace(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters: `(sent, delivered, dropped)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.sent, self.delivered, self.dropped)
+    }
+
+    /// Sends an envelope, scheduling its delivery per the latency model
+    /// and fault plan.
+    pub fn send(&mut self, env: Envelope<M>)
+    where
+        M: Clone,
+    {
+        self.sent += 1;
+        if self.faults.drop_prob > 0.0 && self.rng.random_bool(self.faults.drop_prob) {
+            self.dropped += 1;
+            return;
+        }
+        let copies = if self.faults.duplicate_prob > 0.0
+            && self.rng.random_bool(self.faults.duplicate_prob)
+        {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let latency = self.sample_latency(env.from, env.to);
+            let deliver = self.now_us + latency;
+            if let (Some(trace), Some(labeler)) = (&mut self.trace, self.labeler) {
+                trace.push(TraceEntry {
+                    sent_us: self.now_us,
+                    deliver_us: deliver,
+                    from: env.from,
+                    to: env.to,
+                    label: labeler(&env.msg),
+                });
+            }
+            self.seq += 1;
+            self.queue.push(Reverse((deliver, self.seq, QueuedEnvelope(env.clone()))));
+        }
+    }
+
+    /// Schedules a message at an absolute virtual time (used by drivers
+    /// for timers; bypasses latency and faults).
+    pub fn send_at(&mut self, deliver_us: u64, env: Envelope<M>) {
+        self.seq += 1;
+        let t = deliver_us.max(self.now_us);
+        self.queue.push(Reverse((t, self.seq, QueuedEnvelope(env))));
+    }
+
+    /// The delivery time of the earliest in-flight message, when any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Delivers the next message, advancing virtual time to its
+    /// delivery instant. Returns `None` when the network is quiet.
+    ///
+    /// (Not an [`Iterator`]: delivery mutates the virtual clock and the
+    /// caller usually interleaves sends between calls.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(u64, Envelope<M>)> {
+        let Reverse((t, _, QueuedEnvelope(env))) = self.queue.pop()?;
+        self.now_us = self.now_us.max(t);
+        self.delivered += 1;
+        Some((self.now_us, env))
+    }
+
+    /// Advances virtual time without delivering anything (e.g. to model
+    /// idle periods before a timer fires).
+    pub fn advance_to(&mut self, t_us: u64) {
+        self.now_us = self.now_us.max(t_us);
+    }
+
+    fn sample_latency(&mut self, from: Endpoint, to: Endpoint) -> u64 {
+        let base = if from == to { self.latency.local_us } else { self.latency.base_us };
+        let jitter = if self.latency.jitter_us > 0 {
+            self.rng.random_range(0..=self.latency.jitter_us)
+        } else {
+            0
+        };
+        base + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientId, ServerId};
+
+    fn env(from: u32, to: u32, msg: u32) -> Envelope<u32> {
+        Envelope::new(ServerId(from).into(), ServerId(to).into(), msg)
+    }
+
+    #[test]
+    fn delivery_in_time_order() {
+        let mut net: SimNet<u32> =
+            SimNet::new(LatencyModel { base_us: 100, jitter_us: 0, local_us: 10 }, FaultPlan::none(), 1);
+        net.send(env(0, 1, 1)); // arrives t=100
+        net.send(Envelope::new(ServerId(2).into(), ServerId(2).into(), 2u32)); // local, t=10
+        let (t1, e1) = net.next().unwrap();
+        assert_eq!((t1, e1.msg), (10, 2));
+        let (t2, e2) = net.next().unwrap();
+        assert_eq!((t2, e2.msg), (100, 1));
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut net: SimNet<u32> = SimNet::new(LatencyModel::instant(), FaultPlan::none(), 1);
+        for i in 0..10 {
+            net.send(env(0, 1, i));
+        }
+        for i in 0..10 {
+            assert_eq!(net.next().unwrap().1.msg, i);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net: SimNet<u32> = SimNet::new(
+                LatencyModel { base_us: 100, jitter_us: 80, local_us: 0 },
+                FaultPlan { drop_prob: 0.2, duplicate_prob: 0.1 },
+                seed,
+            );
+            for i in 0..100 {
+                net.send(env(0, 1, i));
+            }
+            let mut got = Vec::new();
+            while let Some((t, e)) = net.next() {
+                got.push((t, e.msg));
+            }
+            got
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn drops_honour_probability_roughly() {
+        let mut net: SimNet<u32> = SimNet::new(
+            LatencyModel::instant(),
+            FaultPlan { drop_prob: 0.5, duplicate_prob: 0.0 },
+            99,
+        );
+        for i in 0..1_000 {
+            net.send(env(0, 1, i));
+        }
+        let (sent, _, dropped) = net.counters();
+        assert_eq!(sent, 1_000);
+        assert!((300..700).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let mut net: SimNet<u32> = SimNet::new(
+            LatencyModel::instant(),
+            FaultPlan { drop_prob: 0.0, duplicate_prob: 1.0 },
+            5,
+        );
+        net.send(env(0, 1, 42));
+        assert_eq!(net.next().unwrap().1.msg, 42);
+        assert_eq!(net.next().unwrap().1.msg, 42);
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn clock_monotonic_and_advance() {
+        let mut net: SimNet<u32> = SimNet::new(LatencyModel::default(), FaultPlan::none(), 3);
+        net.send(env(0, 1, 1));
+        let (t, _) = net.next().unwrap();
+        assert!(t >= 250);
+        net.advance_to(t + 1_000);
+        assert_eq!(net.now_us(), t + 1_000);
+        // send_at in the past clamps to now.
+        net.send_at(0, env(1, 0, 2));
+        let (t2, _) = net.next().unwrap();
+        assert_eq!(t2, net.now_us());
+    }
+
+    #[test]
+    fn trace_records_flows() {
+        let mut net: SimNet<u32> = SimNet::new(LatencyModel::instant(), FaultPlan::none(), 1);
+        net.enable_trace(|m| if *m == 1 { "one" } else { "other" });
+        net.send(env(0, 1, 1));
+        net.send(Envelope::new(ClientId(5).into(), ServerId(0).into(), 9u32));
+        assert_eq!(net.trace().len(), 2);
+        assert_eq!(net.trace()[0].label, "one");
+        assert_eq!(net.trace()[1].from, Endpoint::Client(ClientId(5)));
+        net.clear_trace();
+        assert!(net.trace().is_empty());
+    }
+}

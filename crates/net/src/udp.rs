@@ -1,0 +1,324 @@
+//! Real UDP transport (tokio): one envelope per datagram.
+
+use crate::wire::{self, WireCodec};
+use crate::{Endpoint, Envelope};
+#[cfg(test)]
+use crate::ServerId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+
+/// Errors produced by the UDP transport.
+#[derive(Debug)]
+pub enum UdpError {
+    /// Socket I/O failed.
+    Io(std::io::Error),
+    /// The destination endpoint has no known socket address.
+    UnknownRoute(Endpoint),
+    /// The encoded envelope exceeds a single datagram.
+    TooLarge(usize),
+}
+
+impl fmt::Display for UdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdpError::Io(e) => write!(f, "udp i/o error: {e}"),
+            UdpError::UnknownRoute(ep) => write!(f, "no route to endpoint {ep}"),
+            UdpError::TooLarge(n) => write!(f, "envelope of {n} bytes exceeds datagram limit"),
+        }
+    }
+}
+
+impl std::error::Error for UdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UdpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for UdpError {
+    fn from(e: std::io::Error) -> Self {
+        UdpError::Io(e)
+    }
+}
+
+/// Frame magic: distinguishes hiloc datagrams from stray traffic.
+const MAGIC: u16 = 0x4C53; // "LS"
+/// Maximum payload we will put in one datagram.
+const MAX_DATAGRAM: usize = 60_000;
+
+use wire::{get_endpoint, put_endpoint};
+
+/// A UDP-backed network endpoint carrying [`Envelope`]s of `M`.
+///
+/// Mirrors the paper's transport choice ("our communication protocols
+/// are implemented on top of UDP"): no connection state, no built-in
+/// reliability — loss handling is the protocol layer's business
+/// (soft-state refresh and client retries).
+///
+/// Routes (endpoint → socket address) are added explicitly; a
+/// deployment bootstrapper distributes the address book.
+pub struct UdpEndpoint<M> {
+    endpoint: Endpoint,
+    socket: Arc<UdpSocket>,
+    routes: Arc<RwLock<HashMap<Endpoint, SocketAddr>>>,
+    _marker: PhantomData<fn(M) -> M>,
+}
+
+impl<M> fmt::Debug for UdpEndpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdpEndpoint")
+            .field("endpoint", &self.endpoint)
+            .field("local_addr", &self.socket.local_addr().ok())
+            .finish()
+    }
+}
+
+impl<M> Clone for UdpEndpoint<M> {
+    fn clone(&self) -> Self {
+        UdpEndpoint {
+            endpoint: self.endpoint,
+            socket: Arc::clone(&self.socket),
+            routes: Arc::clone(&self.routes),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M: WireCodec> UdpEndpoint<M> {
+    /// Binds `endpoint` to a local socket address (use port 0 for an
+    /// ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when binding fails.
+    pub async fn bind(endpoint: Endpoint, addr: SocketAddr) -> Result<Self, UdpError> {
+        let socket = UdpSocket::bind(addr).await?;
+        Ok(UdpEndpoint {
+            endpoint,
+            socket: Arc::new(socket),
+            routes: Arc::new(RwLock::new(HashMap::new())),
+            _marker: PhantomData,
+        })
+    }
+
+    /// This endpoint's identity.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the OS cannot report the local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, UdpError> {
+        Ok(self.socket.local_addr()?)
+    }
+
+    /// Adds (or replaces) the route for `ep`.
+    pub fn add_route(&self, ep: Endpoint, addr: SocketAddr) {
+        self.routes.write().insert(ep, addr);
+    }
+
+    /// Installs a whole address book at once.
+    pub fn add_routes(&self, routes: impl IntoIterator<Item = (Endpoint, SocketAddr)>) {
+        let mut table = self.routes.write();
+        for (ep, addr) in routes {
+            table.insert(ep, addr);
+        }
+    }
+
+    /// Sends one envelope as a single datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the destination has no route, the encoding
+    /// exceeds a datagram, or the socket write fails.
+    pub async fn send(&self, env: Envelope<M>) -> Result<(), UdpError> {
+        let dst = {
+            let routes = self.routes.read();
+            *routes.get(&env.to).ok_or(UdpError::UnknownRoute(env.to))?
+        };
+        let mut buf = Vec::with_capacity(128);
+        wire::put_u16(&mut buf, MAGIC);
+        put_endpoint(&mut buf, env.from);
+        put_endpoint(&mut buf, env.to);
+        env.msg.encode(&mut buf);
+        if buf.len() > MAX_DATAGRAM {
+            return Err(UdpError::TooLarge(buf.len()));
+        }
+        self.socket.send_to(&buf, dst).await?;
+        Ok(())
+    }
+
+    /// Receives the next well-formed envelope, silently skipping
+    /// datagrams that fail to decode (stray or corrupt traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the socket read fails.
+    pub async fn recv(&self) -> Result<Envelope<M>, UdpError> {
+        let mut buf = vec![0u8; 65_536];
+        loop {
+            let (n, peer) = self.socket.recv_from(&mut buf).await?;
+            if let Some(env) = decode_frame::<M>(&buf[..n]) {
+                // Opportunistically learn the sender's address so
+                // replies work without pre-provisioned routes.
+                self.routes.write().entry(env.from).or_insert(peer);
+                return Ok(env);
+            }
+        }
+    }
+}
+
+fn decode_frame<M: WireCodec>(mut raw: &[u8]) -> Option<Envelope<M>> {
+    let buf = &mut raw;
+    if wire::get_u16(buf)? != MAGIC {
+        return None;
+    }
+    let from = get_endpoint(buf)?;
+    let to = get_endpoint(buf)?;
+    let msg = M::decode(buf)?;
+    if !buf.is_empty() {
+        return None;
+    }
+    Some(Envelope { from, to, msg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestMsg(u64, String);
+
+    impl WireCodec for TestMsg {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            wire::put_u64(buf, self.0);
+            wire::put_u32(buf, self.1.len() as u32);
+            buf.extend_from_slice(self.1.as_bytes());
+        }
+        fn decode(buf: &mut &[u8]) -> Option<Self> {
+            let n = wire::get_u64(buf)?;
+            let len = wire::get_u32(buf)? as usize;
+            if buf.len() < len {
+                return None;
+            }
+            let s = String::from_utf8(buf[..len].to_vec()).ok()?;
+            *buf = &buf[len..];
+            Some(TestMsg(n, s))
+        }
+    }
+
+    #[tokio::test]
+    async fn two_endpoints_exchange_messages() {
+        let a: UdpEndpoint<TestMsg> =
+            UdpEndpoint::bind(ServerId(0).into(), "127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+        let b: UdpEndpoint<TestMsg> =
+            UdpEndpoint::bind(ServerId(1).into(), "127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+        a.add_route(ServerId(1).into(), b.local_addr().unwrap());
+        b.add_route(ServerId(0).into(), a.local_addr().unwrap());
+
+        a.send(Envelope::new(
+            ServerId(0).into(),
+            ServerId(1).into(),
+            TestMsg(7, "ping".into()),
+        ))
+        .await
+        .unwrap();
+        let got = b.recv().await.unwrap();
+        assert_eq!(got.msg, TestMsg(7, "ping".into()));
+        assert_eq!(got.from, Endpoint::Server(ServerId(0)));
+
+        // Reply works because the route was learned on receive.
+        b.send(Envelope::new(
+            ServerId(1).into(),
+            ServerId(0).into(),
+            TestMsg(8, "pong".into()),
+        ))
+        .await
+        .unwrap();
+        let back = a.recv().await.unwrap();
+        assert_eq!(back.msg.1, "pong");
+    }
+
+    #[tokio::test]
+    async fn unknown_route_is_an_error() {
+        let a: UdpEndpoint<TestMsg> =
+            UdpEndpoint::bind(ServerId(0).into(), "127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+        let err = a
+            .send(Envelope::new(
+                ServerId(0).into(),
+                ServerId(9).into(),
+                TestMsg(0, String::new()),
+            ))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, UdpError::UnknownRoute(_)));
+    }
+
+    #[tokio::test]
+    async fn stray_datagrams_are_skipped() {
+        let a: UdpEndpoint<TestMsg> =
+            UdpEndpoint::bind(ServerId(0).into(), "127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+        let raw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let dst = a.local_addr().unwrap();
+        raw.send_to(b"garbage-not-a-frame", dst).await.unwrap();
+
+        // A valid frame after the garbage is still received.
+        let b: UdpEndpoint<TestMsg> =
+            UdpEndpoint::bind(ServerId(1).into(), "127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+        b.add_route(ServerId(0).into(), dst);
+        b.send(Envelope::new(
+            ServerId(1).into(),
+            ServerId(0).into(),
+            TestMsg(1, "ok".into()),
+        ))
+        .await
+        .unwrap();
+        let got = a.recv().await.unwrap();
+        assert_eq!(got.msg.1, "ok");
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        // Encoding path check without sockets.
+        let msg = TestMsg(0, "x".repeat(70_000));
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert!(buf.len() > MAX_DATAGRAM);
+    }
+
+    #[test]
+    fn frame_decode_rejects_bad_magic_and_trailing() {
+        let mut buf = Vec::new();
+        wire::put_u16(&mut buf, 0xDEAD);
+        assert!(decode_frame::<TestMsg>(&buf).is_none());
+
+        let mut good = Vec::new();
+        wire::put_u16(&mut good, MAGIC);
+        put_endpoint(&mut good, ServerId(0).into());
+        put_endpoint(&mut good, ServerId(1).into());
+        TestMsg(1, "a".into()).encode(&mut good);
+        assert!(decode_frame::<TestMsg>(&good).is_some());
+        good.push(0xFF); // trailing byte
+        assert!(decode_frame::<TestMsg>(&good).is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! Binary wire encoding: the [`WireCodec`] trait and field helpers.
+//!
+//! hiloc frames one message per UDP datagram (as the paper's prototype
+//! did), so encodings are compact, little-endian and length-prefixed
+//! where variable. The protocol messages themselves live in
+//! `hiloc-core`; this module provides the reusable primitives.
+
+use bytes::{Buf, BufMut};
+use hiloc_geo::{Point, Polygon, Rect, Region};
+
+/// A type that can be encoded to / decoded from the hiloc wire format.
+pub trait WireCodec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value, advancing `buf` past it. Returns `None` on
+    /// malformed input (never panics on hostile bytes).
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decodes a value that must consume the entire input.
+    fn from_bytes(mut bytes: &[u8]) -> Option<Self> {
+        let v = Self::decode(&mut bytes)?;
+        if bytes.is_empty() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Reads `n` bytes or bails.
+pub fn need(buf: &&[u8], n: usize) -> Option<()> {
+    if buf.remaining() >= n {
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Encodes an `f64` (little-endian IEEE 754).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.put_f64_le(v);
+}
+
+/// Decodes an `f64`.
+pub fn get_f64(buf: &mut &[u8]) -> Option<f64> {
+    need(buf, 8)?;
+    Some(buf.get_f64_le())
+}
+
+/// Encodes a `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Decodes a `u64`.
+pub fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    need(buf, 8)?;
+    Some(buf.get_u64_le())
+}
+
+/// Encodes a `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.put_u32_le(v);
+}
+
+/// Decodes a `u32`.
+pub fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    need(buf, 4)?;
+    Some(buf.get_u32_le())
+}
+
+/// Encodes a `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.put_u16_le(v);
+}
+
+/// Decodes a `u16`.
+pub fn get_u16(buf: &mut &[u8]) -> Option<u16> {
+    need(buf, 2)?;
+    Some(buf.get_u16_le())
+}
+
+/// Encodes a byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Decodes a byte.
+pub fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    need(buf, 1)?;
+    Some(buf.get_u8())
+}
+
+/// Encodes a bool as one byte.
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.put_u8(v as u8);
+}
+
+/// Decodes a bool (strictly 0 or 1).
+pub fn get_bool(buf: &mut &[u8]) -> Option<bool> {
+    match get_u8(buf)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+/// Encodes a planar point (16 bytes).
+pub fn put_point(buf: &mut Vec<u8>, p: Point) {
+    put_f64(buf, p.x);
+    put_f64(buf, p.y);
+}
+
+/// Decodes a planar point.
+pub fn get_point(buf: &mut &[u8]) -> Option<Point> {
+    let x = get_f64(buf)?;
+    let y = get_f64(buf)?;
+    Some(Point::new(x, y))
+}
+
+/// Encodes a rectangle (32 bytes).
+pub fn put_rect(buf: &mut Vec<u8>, r: &Rect) {
+    put_point(buf, r.min());
+    put_point(buf, r.max());
+}
+
+/// Decodes a rectangle.
+pub fn get_rect(buf: &mut &[u8]) -> Option<Rect> {
+    let min = get_point(buf)?;
+    let max = get_point(buf)?;
+    Some(Rect::new(min, max))
+}
+
+/// Encodes an [`Endpoint`](crate::Endpoint) (9 bytes).
+pub fn put_endpoint(buf: &mut Vec<u8>, ep: crate::Endpoint) {
+    match ep {
+        crate::Endpoint::Server(crate::ServerId(id)) => {
+            put_u8(buf, 0);
+            put_u64(buf, id as u64);
+        }
+        crate::Endpoint::Client(crate::ClientId(id)) => {
+            put_u8(buf, 1);
+            put_u64(buf, id);
+        }
+    }
+}
+
+/// Decodes an [`Endpoint`](crate::Endpoint).
+pub fn get_endpoint(buf: &mut &[u8]) -> Option<crate::Endpoint> {
+    match get_u8(buf)? {
+        0 => Some(crate::Endpoint::Server(crate::ServerId(get_u64(buf)? as u32))),
+        1 => Some(crate::Endpoint::Client(crate::ClientId(get_u64(buf)?))),
+        _ => None,
+    }
+}
+
+const REGION_RECT: u8 = 0;
+const REGION_POLYGON: u8 = 1;
+/// Maximum polygon vertices accepted from the wire.
+const MAX_POLYGON_VERTICES: u32 = 10_000;
+
+/// Encodes a region (tagged rect or polygon).
+pub fn put_region(buf: &mut Vec<u8>, region: &Region) {
+    match region {
+        Region::Rect(r) => {
+            put_u8(buf, REGION_RECT);
+            put_rect(buf, r);
+        }
+        Region::Polygon(p) => {
+            put_u8(buf, REGION_POLYGON);
+            put_u32(buf, p.vertices().len() as u32);
+            for v in p.vertices() {
+                put_point(buf, *v);
+            }
+        }
+    }
+}
+
+/// Decodes a region.
+pub fn get_region(buf: &mut &[u8]) -> Option<Region> {
+    match get_u8(buf)? {
+        REGION_RECT => Some(Region::Rect(get_rect(buf)?)),
+        REGION_POLYGON => {
+            let n = get_u32(buf)?;
+            if n > MAX_POLYGON_VERTICES {
+                return None;
+            }
+            let mut vs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                vs.push(get_point(buf)?);
+            }
+            Polygon::new(vs).ok().map(Region::Polygon)
+        }
+        _ => None,
+    }
+}
+
+/// Encodes a length-prefixed list.
+pub fn put_vec<T>(buf: &mut Vec<u8>, items: &[T], mut put: impl FnMut(&mut Vec<u8>, &T)) {
+    put_u32(buf, items.len() as u32);
+    for item in items {
+        put(buf, item);
+    }
+}
+
+/// Decodes a length-prefixed list; `max` bounds hostile lengths.
+pub fn get_vec<T>(
+    buf: &mut &[u8],
+    max: u32,
+    mut get: impl FnMut(&mut &[u8]) -> Option<T>,
+) -> Option<Vec<T>> {
+    let n = get_u32(buf)?;
+    if n > max {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(get(buf)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = Vec::new();
+        put_f64(&mut buf, -1.25);
+        put_u64(&mut buf, u64::MAX);
+        put_u32(&mut buf, 7);
+        put_u16(&mut buf, 513);
+        put_u8(&mut buf, 200);
+        put_bool(&mut buf, true);
+        let mut r = buf.as_slice();
+        assert_eq!(get_f64(&mut r), Some(-1.25));
+        assert_eq!(get_u64(&mut r), Some(u64::MAX));
+        assert_eq!(get_u32(&mut r), Some(7));
+        assert_eq!(get_u16(&mut r), Some(513));
+        assert_eq!(get_u8(&mut r), Some(200));
+        assert_eq!(get_bool(&mut r), Some(true));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_is_none_not_panic() {
+        let mut buf = Vec::new();
+        put_point(&mut buf, Point::new(1.0, 2.0));
+        for cut in 0..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(get_point(&mut r).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        let data = [7u8];
+        let mut r = data.as_slice();
+        assert_eq!(get_bool(&mut r), None);
+    }
+
+    #[test]
+    fn geometry_roundtrips() {
+        let mut buf = Vec::new();
+        let rect = Rect::new(Point::new(-3.0, 2.0), Point::new(5.5, 9.0));
+        put_rect(&mut buf, &rect);
+        let region = Region::Polygon(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(2.0, 3.0),
+            ])
+            .unwrap(),
+        );
+        put_region(&mut buf, &region);
+        put_region(&mut buf, &Region::Rect(rect));
+
+        let mut r = buf.as_slice();
+        assert_eq!(get_rect(&mut r), Some(rect));
+        assert_eq!(get_region(&mut r), Some(region));
+        assert_eq!(get_region(&mut r), Some(Region::Rect(rect)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hostile_polygon_length_rejected() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 1); // polygon tag
+        put_u32(&mut buf, u32::MAX); // absurd vertex count
+        let mut r = buf.as_slice();
+        assert!(get_region(&mut r).is_none());
+    }
+
+    #[test]
+    fn vec_helpers() {
+        let mut buf = Vec::new();
+        put_vec(&mut buf, &[1u64, 2, 3], |b, v| put_u64(b, *v));
+        let mut r = buf.as_slice();
+        assert_eq!(get_vec(&mut r, 100, get_u64), Some(vec![1, 2, 3]));
+
+        // Over the cap.
+        let mut buf = Vec::new();
+        put_vec(&mut buf, &[0u64; 10], |b, v| put_u64(b, *v));
+        let mut r = buf.as_slice();
+        assert!(get_vec(&mut r, 5, get_u64).is_none());
+    }
+}

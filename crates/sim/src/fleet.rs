@@ -1,0 +1,223 @@
+//! A fleet of tracked objects driving a simulated deployment.
+
+use crate::mobility::{MobilityKind, MobilityModel};
+use hiloc_core::model::{LastReport, LsError, ObjectId, Sighting, UpdateDecision, UpdatePolicy, SECOND};
+use hiloc_core::runtime::{SimDeployment, UpdateOutcome};
+use hiloc_geo::Point;
+use hiloc_net::ServerId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of a tracked-object fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of tracked objects.
+    pub num_objects: u64,
+    /// Nominal object speed (m/s). The paper's capacity estimate uses
+    /// 3 km/h ≈ 0.83 m/s pedestrians.
+    pub speed_mps: f64,
+    /// Sensor accuracy attached to sightings.
+    pub acc_sens_m: f64,
+    /// Desired accuracy at registration.
+    pub des_acc_m: f64,
+    /// Minimal acceptable accuracy at registration.
+    pub min_acc_m: f64,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// Update-reporting policy.
+    pub policy: UpdatePolicy,
+    /// RNG seed (placement + per-object models).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            num_objects: 100,
+            speed_mps: 0.83, // 3 km/h, the paper's pedestrian estimate
+            acc_sens_m: 10.0,
+            des_acc_m: 25.0,
+            min_acc_m: 100.0,
+            mobility: MobilityKind::RandomWaypoint,
+            policy: UpdatePolicy::Distance { threshold_m: 15.0 },
+            seed: 0,
+        }
+    }
+}
+
+struct FleetObject {
+    oid: ObjectId,
+    model: Box<dyn MobilityModel>,
+    agent: ServerId,
+    last_report: LastReport,
+    /// Velocity estimate from the most recent step (for dead
+    /// reckoning).
+    velocity_mps: Point,
+    offered_acc_m: f64,
+    alive: bool,
+}
+
+/// Statistics of one [`Fleet::step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Objects whose position changed.
+    pub moved: u64,
+    /// Updates actually transmitted (per the update policy).
+    pub updates_sent: u64,
+    /// Updates acknowledged in place.
+    pub acks: u64,
+    /// Updates that triggered a handover.
+    pub handovers: u64,
+    /// Objects deregistered (left the service area).
+    pub deregistered: u64,
+}
+
+/// A population of tracked objects moving inside a simulated
+/// deployment: registers them, advances their mobility models and
+/// transmits updates per the configured policy.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_core::area::HierarchyBuilder;
+/// use hiloc_core::runtime::SimDeployment;
+/// use hiloc_sim::{Fleet, FleetConfig};
+/// use hiloc_geo::{Point, Rect};
+///
+/// let h = HierarchyBuilder::grid(
+///     Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)), 1, 2,
+/// ).build().unwrap();
+/// let mut ls = SimDeployment::new(h, Default::default(), 1);
+/// let cfg = FleetConfig { num_objects: 20, ..Default::default() };
+/// let mut fleet = Fleet::register(cfg, &mut ls).unwrap();
+/// let stats = fleet.step(&mut ls, 10.0);
+/// assert_eq!(stats.moved, 20);
+/// ```
+pub struct Fleet {
+    cfg: FleetConfig,
+    objects: Vec<FleetObject>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("objects", &self.objects.len())
+            .field("alive", &self.alive_count())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Registers `cfg.num_objects` objects at uniformly random
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first registration failure.
+    pub fn register(cfg: FleetConfig, ls: &mut SimDeployment) -> Result<Self, LsError> {
+        let area = ls.hierarchy().root_area();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut objects = Vec::with_capacity(cfg.num_objects as usize);
+        let now = ls.now_us();
+        for i in 0..cfg.num_objects {
+            let start = Point::new(
+                rng.random_range(area.min().x..area.max().x - 1e-3),
+                rng.random_range(area.min().y..area.max().y - 1e-3),
+            );
+            let model = cfg.mobility.build(area, start, cfg.speed_mps, cfg.seed ^ (i + 1));
+            let oid = ObjectId(i);
+            let entry = ls.leaf_for(start);
+            let (agent, offered) = ls.register_with_speed(
+                entry,
+                Sighting::new(oid, now, start, cfg.acc_sens_m),
+                cfg.des_acc_m,
+                cfg.min_acc_m,
+                cfg.speed_mps,
+            )?;
+            objects.push(FleetObject {
+                oid,
+                model,
+                agent,
+                last_report: LastReport { pos: start, time_us: now, velocity_mps: Point::ORIGIN },
+                velocity_mps: Point::ORIGIN,
+                offered_acc_m: offered,
+                alive: true,
+            });
+        }
+        Ok(Fleet { cfg, objects })
+    }
+
+    /// Number of objects (including deregistered ones).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the fleet has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Number of objects still registered.
+    pub fn alive_count(&self) -> usize {
+        self.objects.iter().filter(|o| o.alive).count()
+    }
+
+    /// Current true position of object `i`.
+    pub fn position(&self, i: usize) -> Point {
+        self.objects[i].model.position()
+    }
+
+    /// Current agent of object `i`.
+    pub fn agent(&self, i: usize) -> ServerId {
+        self.objects[i].agent
+    }
+
+    /// The accuracy currently offered for object `i`.
+    pub fn offered_acc(&self, i: usize) -> f64 {
+        self.objects[i].offered_acc_m
+    }
+
+    /// Advances virtual time by `dt_s`, moves every object and
+    /// transmits updates per the update policy.
+    pub fn step(&mut self, ls: &mut SimDeployment, dt_s: f64) -> StepStats {
+        let target = ls.now_us() + (dt_s * SECOND as f64) as u64;
+        ls.advance_time(target);
+        let now = ls.now_us();
+        let mut stats = StepStats::default();
+        for obj in &mut self.objects {
+            if !obj.alive {
+                continue;
+            }
+            let before = obj.model.position();
+            let pos = obj.model.step(dt_s);
+            stats.moved += 1;
+            if dt_s > 0.0 {
+                obj.velocity_mps = (pos - before) / dt_s;
+            }
+            if self.cfg.policy.decide(&obj.last_report, pos, now) == UpdateDecision::Skip {
+                continue;
+            }
+            stats.updates_sent += 1;
+            let sighting = Sighting::new(obj.oid, now, pos, self.cfg.acc_sens_m);
+            match ls.update(obj.agent, sighting) {
+                Ok(UpdateOutcome::Ack { offered_acc_m }) => {
+                    stats.acks += 1;
+                    obj.offered_acc_m = offered_acc_m;
+                }
+                Ok(UpdateOutcome::NewAgent { agent, offered_acc_m }) => {
+                    stats.handovers += 1;
+                    obj.agent = agent;
+                    obj.offered_acc_m = offered_acc_m;
+                }
+                Ok(UpdateOutcome::OutOfServiceArea) => {
+                    stats.deregistered += 1;
+                    obj.alive = false;
+                    continue;
+                }
+                Err(_) => continue, // lost messages: retry next step
+            }
+            obj.last_report = LastReport { pos, time_us: now, velocity_mps: obj.velocity_mps };
+        }
+        stats
+    }
+}

@@ -1,0 +1,34 @@
+//! Mobility models, workload generators and measurement utilities for
+//! hiloc experiments.
+//!
+//! The paper's evaluation (§7) used uniformly random object positions
+//! and closed-loop load generators; its future-work section (§8) calls
+//! for studying "the influence of movement and querying characteristics
+//! on the performance of different configurations of the LS … for
+//! example, the density of the tracked objects or their moving patterns
+//! as well as the concrete mix of different types of queries and their
+//! degree of locality". This crate provides exactly those knobs:
+//!
+//! * [`mobility`] — random waypoint, Manhattan grid, Gauss–Markov and
+//!   Zipf-hot-spot models, all seeded and deterministic;
+//! * [`WorkloadGen`] — query mixes with a locality model and Poisson
+//!   arrivals;
+//! * [`Fleet`] — registers a population of tracked objects against a
+//!   [`SimDeployment`](hiloc_core::runtime::SimDeployment) and moves
+//!   them with a configurable update policy;
+//! * [`Samples`] — latency/throughput summaries (mean, percentiles).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mobility;
+mod stats;
+mod workload;
+mod zipf;
+
+mod fleet;
+
+pub use fleet::{Fleet, FleetConfig, StepStats};
+pub use stats::{Samples, Summary};
+pub use workload::{OpKind, QueryMix, WorkloadGen, WorkloadParams};
+pub use zipf::Zipf;

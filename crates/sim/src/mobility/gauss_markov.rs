@@ -1,0 +1,128 @@
+//! Gauss–Markov mobility: temporally correlated velocity.
+
+use super::{normal_sample, object_rng, MobilityModel};
+use hiloc_geo::{Point, Rect};
+use rand::rngs::StdRng;
+
+/// Gauss–Markov mobility: each step the velocity is a convex blend of
+/// its previous value, a long-run mean and Gaussian noise:
+///
+/// `v' = α·v + (1−α)·v̄ + σ·√(1−α²)·w`
+///
+/// `α → 1` produces near-straight trajectories; `α = 0` is a random
+/// walk. Objects reflect off the area boundary.
+#[derive(Debug)]
+pub struct GaussMarkov {
+    area: Rect,
+    pos: Point,
+    velocity: Point,
+    mean_speed: f64,
+    alpha: f64,
+    rng: StdRng,
+}
+
+impl GaussMarkov {
+    /// Creates the model with memory `alpha ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ [0, 1)` or `speed_mps` is not finite/≥ 0.
+    pub fn new(area: Rect, start: Point, speed_mps: f64, alpha: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        assert!(speed_mps >= 0.0 && speed_mps.is_finite());
+        let mut rng = object_rng(seed, 2);
+        let theta = normal_sample(&mut rng) * std::f64::consts::PI;
+        let velocity = Point::new(theta.cos(), theta.sin()) * speed_mps;
+        GaussMarkov {
+            area,
+            pos: super::clamp_into(area, start),
+            velocity,
+            mean_speed: speed_mps,
+            alpha,
+            rng,
+        }
+    }
+}
+
+impl MobilityModel for GaussMarkov {
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn step(&mut self, dt_s: f64) -> Point {
+        let a = self.alpha;
+        let noise_scale = self.mean_speed * (1.0 - a * a).sqrt();
+        // Mean velocity points toward the area center, gently pulling
+        // wanderers back inside.
+        let center_pull = (self.area.center() - self.pos).normalized().unwrap_or(Point::ORIGIN)
+            * self.mean_speed
+            * 0.2;
+        self.velocity = self.velocity * a
+            + center_pull * (1.0 - a)
+            + Point::new(normal_sample(&mut self.rng), normal_sample(&mut self.rng))
+                * noise_scale
+                * (1.0 - a);
+        // Cap at 2x nominal speed to keep accuracy ageing meaningful.
+        let cap = 2.0 * self.mean_speed.max(1e-9);
+        if self.velocity.norm() > cap {
+            self.velocity = self.velocity.normalized().expect("nonzero") * cap;
+        }
+        let mut next = self.pos + self.velocity * dt_s;
+        // Reflect at boundaries.
+        let eps = super::EDGE_MARGIN_M;
+        if next.x < self.area.min().x || next.x >= self.area.max().x - eps {
+            self.velocity = Point::new(-self.velocity.x, self.velocity.y);
+            next.x = next.x.clamp(self.area.min().x, self.area.max().x - eps);
+        }
+        if next.y < self.area.min().y || next.y >= self.area.max().y - eps {
+            self.velocity = Point::new(self.velocity.x, -self.velocity.y);
+            next.y = next.y.clamp(self.area.min().y, self.area.max().y - eps);
+        }
+        self.pos = next;
+        self.pos
+    }
+
+    fn speed_mps(&self) -> f64 {
+        self.mean_speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::test_area;
+
+    #[test]
+    fn high_alpha_is_smoother_than_low_alpha() {
+        // Measure total turning angle: high alpha must turn less.
+        let turning = |alpha: f64| {
+            let mut m = GaussMarkov::new(test_area(), Point::new(500.0, 500.0), 10.0, alpha, 11);
+            let mut prev_dir: Option<Point> = None;
+            let mut total = 0.0;
+            let mut prev = m.position();
+            for _ in 0..500 {
+                let p = m.step(1.0);
+                if let Some(d) = (p - prev).normalized() {
+                    if let Some(pd) = prev_dir {
+                        total += pd.cross(d).asin().abs();
+                    }
+                    prev_dir = Some(d);
+                }
+                prev = p;
+            }
+            total
+        };
+        assert!(turning(0.95) < turning(0.1), "alpha should smooth trajectories");
+    }
+
+    #[test]
+    fn speed_capped() {
+        let mut m = GaussMarkov::new(test_area(), Point::new(500.0, 500.0), 10.0, 0.3, 12);
+        let mut prev = m.position();
+        for _ in 0..500 {
+            let p = m.step(1.0);
+            assert!(prev.distance(p) <= 20.0 + 1e-6, "exceeded 2x speed cap");
+            prev = p;
+        }
+    }
+}

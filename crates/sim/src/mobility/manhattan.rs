@@ -1,0 +1,160 @@
+//! Manhattan-grid mobility: movement constrained to a street grid.
+
+use super::{object_rng, MobilityModel};
+use hiloc_geo::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Movement along an axis-aligned street grid: objects travel along
+/// streets (grid lines) and may turn at intersections — the canonical
+/// urban-vehicle model, matching the paper's city-guide motivation.
+#[derive(Debug)]
+pub struct ManhattanGrid {
+    area: Rect,
+    spacing_m: f64,
+    pos: Point,
+    /// Unit direction, axis-aligned.
+    dir: Point,
+    speed_mps: f64,
+    rng: StdRng,
+}
+
+impl ManhattanGrid {
+    /// Creates the model; `start` is snapped to the nearest horizontal
+    /// street.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing_m` or `speed_mps` is not positive/finite.
+    pub fn new(area: Rect, start: Point, speed_mps: f64, spacing_m: f64, seed: u64) -> Self {
+        assert!(spacing_m > 0.0 && spacing_m.is_finite());
+        assert!(speed_mps >= 0.0 && speed_mps.is_finite());
+        let mut rng = object_rng(seed, 1);
+        // Snap to the nearest horizontal street inside the area.
+        let y = snap(start.y - area.min().y, spacing_m) + area.min().y;
+        let pos = Point::new(
+            start.x.clamp(area.min().x, area.max().x - super::EDGE_MARGIN_M),
+            y.clamp(area.min().y, area.max().y - super::EDGE_MARGIN_M),
+        );
+        let dir = if rng.random_bool(0.5) { Point::new(1.0, 0.0) } else { Point::new(-1.0, 0.0) };
+        ManhattanGrid { area, spacing_m, pos, dir, speed_mps, rng }
+    }
+
+    /// Distance to the next intersection along the current direction.
+    fn to_next_intersection(&self) -> f64 {
+        let along = if self.dir.x != 0.0 {
+            self.pos.x - self.area.min().x
+        } else {
+            self.pos.y - self.area.min().y
+        };
+        let sign = self.dir.x + self.dir.y; // ±1
+        let cell = along / self.spacing_m;
+        let next = if sign > 0.0 {
+            (cell.floor() + 1.0) * self.spacing_m - along
+        } else {
+            along - (cell.ceil() - 1.0) * self.spacing_m
+        };
+        if next <= 1e-9 {
+            self.spacing_m
+        } else {
+            next
+        }
+    }
+
+    fn maybe_turn(&mut self) {
+        let r: f64 = self.rng.random();
+        // 50% straight, 25% left, 25% right.
+        if r < 0.5 {
+            return;
+        }
+        let left = self.dir.perp();
+        self.dir = if r < 0.75 { left } else { -left };
+    }
+
+    fn bounce_if_needed(&mut self) {
+        let eps = super::EDGE_MARGIN_M;
+        if self.pos.x <= self.area.min().x + eps && self.dir.x < 0.0 {
+            self.dir = Point::new(1.0, 0.0);
+        } else if self.pos.x >= self.area.max().x - 2.0 * eps && self.dir.x > 0.0 {
+            self.dir = Point::new(-1.0, 0.0);
+        }
+        if self.pos.y <= self.area.min().y + eps && self.dir.y < 0.0 {
+            self.dir = Point::new(0.0, 1.0);
+        } else if self.pos.y >= self.area.max().y - 2.0 * eps && self.dir.y > 0.0 {
+            self.dir = Point::new(0.0, -1.0);
+        }
+    }
+}
+
+fn snap(v: f64, spacing: f64) -> f64 {
+    (v / spacing).round() * spacing
+}
+
+impl MobilityModel for ManhattanGrid {
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn step(&mut self, dt_s: f64) -> Point {
+        let mut budget = self.speed_mps * dt_s;
+        let mut hops = 0;
+        while budget > 0.0 && hops < 10_000 {
+            hops += 1;
+            self.bounce_if_needed();
+            let next = self.to_next_intersection().min(budget);
+            self.pos = super::clamp_into(self.area, self.pos + self.dir * next);
+            budget -= next;
+            if budget > 0.0 {
+                self.maybe_turn();
+            }
+        }
+        self.pos
+    }
+
+    fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::test_area;
+
+    #[test]
+    fn stays_on_grid_lines() {
+        let spacing = 100.0;
+        let mut m = ManhattanGrid::new(test_area(), Point::new(500.0, 487.0), 20.0, spacing, 5);
+        for _ in 0..500 {
+            let p = m.step(1.0);
+            let on_v = ((p.x / spacing).round() * spacing - p.x).abs() < 1e-6;
+            let on_h = ((p.y / spacing).round() * spacing - p.y).abs() < 1e-6;
+            // Near the clamped boundary the street may be the border
+            // itself, which is within one margin of a grid line.
+            let near_border = p.x < 1.0
+                || p.y < 1.0
+                || p.x > 999.0 - 1.0
+                || p.y > 999.0 - 1.0;
+            assert!(on_v || on_h || near_border, "off-grid at {p}");
+        }
+    }
+
+    #[test]
+    fn turns_happen() {
+        let mut m = ManhattanGrid::new(test_area(), Point::new(500.0, 500.0), 50.0, 100.0, 6);
+        let mut seen_horizontal = false;
+        let mut seen_vertical = false;
+        let mut prev = m.position();
+        for _ in 0..500 {
+            let p = m.step(1.0);
+            if (p.x - prev.x).abs() > 1e-9 {
+                seen_horizontal = true;
+            }
+            if (p.y - prev.y).abs() > 1e-9 {
+                seen_vertical = true;
+            }
+            prev = p;
+        }
+        assert!(seen_horizontal && seen_vertical);
+    }
+}

@@ -1,0 +1,209 @@
+//! Mobility models for tracked objects.
+//!
+//! All models are deterministic given their seed, keep the object
+//! strictly inside their configured area (the service's root area,
+//! shrunk by a hair so half-open boundary rules never bite), and expose
+//! the same [`MobilityModel`] interface.
+
+mod gauss_markov;
+mod manhattan;
+mod random_waypoint;
+
+pub use gauss_markov::GaussMarkov;
+pub use manhattan::ManhattanGrid;
+pub use random_waypoint::RandomWaypoint;
+
+use hiloc_geo::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A mobility model: advances an object's position through time.
+pub trait MobilityModel: Send {
+    /// Current position.
+    fn position(&self) -> Point;
+
+    /// Advances the model by `dt_s` seconds, returning the new
+    /// position.
+    fn step(&mut self, dt_s: f64) -> Point;
+
+    /// The model's nominal speed in m/s (for accuracy ageing).
+    fn speed_mps(&self) -> f64;
+}
+
+/// Which mobility model to instantiate (configuration-level enum).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityKind {
+    /// Straight legs to uniformly random waypoints.
+    RandomWaypoint,
+    /// Axis-aligned movement on a street grid with the given spacing.
+    Manhattan {
+        /// Street spacing in meters.
+        spacing_m: f64,
+    },
+    /// Temporally correlated velocity (Gauss–Markov) with the given
+    /// memory parameter `alpha ∈ [0, 1)`.
+    GaussMarkov {
+        /// Velocity memory (0 = memoryless, →1 = straight lines).
+        alpha: f64,
+    },
+    /// No movement at all.
+    Stationary,
+}
+
+impl MobilityKind {
+    /// Instantiates the model inside `area` at `start`, moving at
+    /// `speed_mps`, seeded deterministically.
+    pub fn build(self, area: Rect, start: Point, speed_mps: f64, seed: u64) -> Box<dyn MobilityModel> {
+        match self {
+            MobilityKind::RandomWaypoint => {
+                Box::new(RandomWaypoint::new(area, start, speed_mps, seed))
+            }
+            MobilityKind::Manhattan { spacing_m } => {
+                Box::new(ManhattanGrid::new(area, start, speed_mps, spacing_m, seed))
+            }
+            MobilityKind::GaussMarkov { alpha } => {
+                Box::new(GaussMarkov::new(area, start, speed_mps, alpha, seed))
+            }
+            MobilityKind::Stationary => Box::new(Stationary { pos: clamp_into(area, start) }),
+        }
+    }
+}
+
+/// A motionless object (e.g. parked vehicles, installed sensors).
+#[derive(Debug, Clone, Copy)]
+pub struct Stationary {
+    pos: Point,
+}
+
+impl MobilityModel for Stationary {
+    fn position(&self) -> Point {
+        self.pos
+    }
+    fn step(&mut self, _dt_s: f64) -> Point {
+        self.pos
+    }
+    fn speed_mps(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Margin kept from the area boundary so positions stay strictly inside
+/// the (half-open) service area.
+pub(crate) const EDGE_MARGIN_M: f64 = 1e-3;
+
+/// Clamps `p` strictly inside `area`.
+pub(crate) fn clamp_into(area: Rect, p: Point) -> Point {
+    Point::new(
+        p.x.clamp(area.min().x, area.max().x - EDGE_MARGIN_M),
+        p.y.clamp(area.min().y, area.max().y - EDGE_MARGIN_M),
+    )
+}
+
+/// Uniformly random point strictly inside `area`.
+pub(crate) fn random_point(area: Rect, rng: &mut StdRng) -> Point {
+    Point::new(
+        rng.random_range(area.min().x..area.max().x - EDGE_MARGIN_M),
+        rng.random_range(area.min().y..area.max().y - EDGE_MARGIN_M),
+    )
+}
+
+/// Seeds a per-object RNG from a base seed and object index.
+pub(crate) fn object_rng(seed: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Standard normal sample via Box–Muller (avoids a distribution-crate
+/// dependency).
+pub(crate) fn normal_sample<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+pub(crate) fn test_area() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = MobilityKind::Stationary.build(
+            test_area(),
+            Point::new(10.0, 10.0),
+            5.0,
+            1,
+        );
+        let p0 = m.position();
+        for _ in 0..100 {
+            assert_eq!(m.step(1.0), p0);
+        }
+        assert_eq!(m.speed_mps(), 0.0);
+    }
+
+    #[test]
+    fn all_models_stay_inside_area() {
+        let area = test_area();
+        for kind in [
+            MobilityKind::RandomWaypoint,
+            MobilityKind::Manhattan { spacing_m: 100.0 },
+            MobilityKind::GaussMarkov { alpha: 0.8 },
+            MobilityKind::Stationary,
+        ] {
+            let mut m = kind.build(area, Point::new(500.0, 500.0), 30.0, 42);
+            for step in 0..2_000 {
+                let p = m.step(1.0);
+                assert!(
+                    area.contains_half_open(p),
+                    "{kind:?} escaped at step {step}: {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        for kind in [
+            MobilityKind::RandomWaypoint,
+            MobilityKind::Manhattan { spacing_m: 50.0 },
+            MobilityKind::GaussMarkov { alpha: 0.5 },
+        ] {
+            let run = |seed| {
+                let mut m = kind.build(test_area(), Point::new(100.0, 100.0), 10.0, seed);
+                (0..50).map(|_| m.step(1.0)).collect::<Vec<_>>()
+            };
+            assert_eq!(run(7), run(7), "{kind:?} not deterministic");
+            assert_ne!(run(7), run(8), "{kind:?} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn moving_models_actually_move() {
+        for kind in [
+            MobilityKind::RandomWaypoint,
+            MobilityKind::Manhattan { spacing_m: 100.0 },
+            MobilityKind::GaussMarkov { alpha: 0.5 },
+        ] {
+            let mut m = kind.build(test_area(), Point::new(500.0, 500.0), 10.0, 3);
+            let p0 = m.position();
+            let mut total = 0.0;
+            for _ in 0..60 {
+                let before = m.position();
+                let after = m.step(1.0);
+                total += before.distance(after);
+            }
+            assert!(total > 50.0, "{kind:?} moved only {total} m");
+            let _ = p0;
+        }
+    }
+
+    #[test]
+    fn clamp_keeps_strictly_inside() {
+        let area = test_area();
+        let p = clamp_into(area, Point::new(5_000.0, -10.0));
+        assert!(area.contains_half_open(p));
+    }
+}

@@ -1,0 +1,99 @@
+//! The random-waypoint model.
+
+use super::{clamp_into, object_rng, random_point, MobilityModel};
+use hiloc_geo::{Point, Rect};
+use rand::rngs::StdRng;
+
+/// Random waypoint: pick a uniformly random destination inside the
+/// area, travel toward it in a straight line at constant speed, repeat.
+///
+/// The classic mobility model of the ad-hoc networking literature; its
+/// legs cross service-area boundaries regularly, which makes it the
+/// default driver for handover-rate experiments.
+#[derive(Debug)]
+pub struct RandomWaypoint {
+    area: Rect,
+    pos: Point,
+    waypoint: Point,
+    speed_mps: f64,
+    rng: StdRng,
+}
+
+impl RandomWaypoint {
+    /// Creates the model inside `area` starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is negative or non-finite.
+    pub fn new(area: Rect, start: Point, speed_mps: f64, seed: u64) -> Self {
+        assert!(speed_mps >= 0.0 && speed_mps.is_finite());
+        let mut rng = object_rng(seed, 0);
+        let pos = clamp_into(area, start);
+        let waypoint = random_point(area, &mut rng);
+        RandomWaypoint { area, pos, waypoint, speed_mps, rng }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn step(&mut self, dt_s: f64) -> Point {
+        let mut budget = self.speed_mps * dt_s;
+        while budget > 0.0 {
+            let to_go = self.pos.distance(self.waypoint);
+            if to_go <= budget {
+                self.pos = self.waypoint;
+                budget -= to_go;
+                self.waypoint = random_point(self.area, &mut self.rng);
+            } else {
+                let dir = (self.waypoint - self.pos)
+                    .normalized()
+                    .unwrap_or(Point::new(1.0, 0.0));
+                self.pos = clamp_into(self.area, self.pos + dir * budget);
+                budget = 0.0;
+            }
+        }
+        self.pos
+    }
+
+    fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::test_area;
+
+    #[test]
+    fn travels_at_configured_speed() {
+        let mut m = RandomWaypoint::new(test_area(), Point::new(500.0, 500.0), 10.0, 1);
+        let before = m.position();
+        let after = m.step(1.0);
+        // A single leg (no waypoint switch) covers exactly speed*dt.
+        assert!(before.distance(after) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn long_step_crosses_waypoints() {
+        let mut m = RandomWaypoint::new(test_area(), Point::new(0.0, 0.0), 100.0, 2);
+        // A huge step must not hang and must end inside the area.
+        let p = m.step(1_000.0);
+        assert!(test_area().contains_half_open(p));
+    }
+
+    #[test]
+    fn covers_the_area_over_time() {
+        let mut m = RandomWaypoint::new(test_area(), Point::new(0.0, 0.0), 50.0, 3);
+        let mut quadrants = [false; 4];
+        for _ in 0..2_000 {
+            let p = m.step(1.0);
+            let q = (p.x >= 500.0) as usize + 2 * ((p.y >= 500.0) as usize);
+            quadrants[q] = true;
+        }
+        assert!(quadrants.iter().all(|&v| v), "visited {quadrants:?}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Latency/throughput sample collection and summaries.
+
+use std::fmt;
+
+/// A collection of scalar samples (latencies in µs, message counts, …)
+/// with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+/// Summary statistics of a [`Samples`] collection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The q-th quantile (`0 ≤ q ≤ 1`) by nearest-rank; 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let idx = ((self.values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.values[idx]
+    }
+
+    /// Computes the full summary; zeros when empty.
+    pub fn summary(&mut self) -> Summary {
+        if self.values.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let count = self.values.len();
+        let mean = self.values.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min: self.quantile(0.0),
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+            max: self.quantile(1.0),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} max={:.1}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sequence() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 100);
+        assert!((sum.mean - 50.5).abs() < 1e-9);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 100.0);
+        assert!((sum.p50 - 50.0).abs() <= 1.0);
+        assert!((sum.p90 - 90.0).abs() <= 1.0);
+        assert!((sum.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeros() {
+        let mut s = Samples::new();
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.mean, 0.0);
+    }
+
+    #[test]
+    fn interleaved_record_and_quantile() {
+        let mut s = Samples::new();
+        s.record(10.0);
+        assert_eq!(s.quantile(0.5), 10.0);
+        s.record(20.0);
+        s.record(0.0);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 20.0);
+    }
+}

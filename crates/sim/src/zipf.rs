@@ -1,0 +1,116 @@
+//! Zipf-distributed rank sampling (hot spots).
+
+use rand::RngExt;
+
+/// A Zipf(α) sampler over ranks `0..n` via the inverse CDF.
+///
+/// Used to place objects and queries on *hot spots*: rank 0 is the
+/// hottest location, with popularity `∝ 1/(rank+1)^α`.
+///
+/// # Example
+///
+/// ```
+/// use hiloc_sim::Zipf;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let zipf = Zipf::new(100, 1.0);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `alpha ≥ 0`
+    /// (`alpha = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (`n > 0` by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((700..1_300).contains(&c), "count {c} not ~uniform");
+        }
+    }
+
+    #[test]
+    fn skewed_when_alpha_large() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipf::new(100, 1.2);
+        let mut rank0 = 0usize;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                rank0 += 1;
+            }
+        }
+        // Rank 0 should carry well over 1/100 of the mass.
+        assert!(rank0 > 1_000, "rank0 drew {rank0}");
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(5, 0.5);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

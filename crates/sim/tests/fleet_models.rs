@@ -1,0 +1,131 @@
+//! Fleet integration: every mobility model drives a live deployment;
+//! update policies change traffic as expected; the fleet stays
+//! consistent with the service.
+
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{ObjectId, UpdatePolicy, SECOND};
+use hiloc_core::runtime::SimDeployment;
+use hiloc_geo::{Point, Rect};
+use hiloc_sim::mobility::MobilityKind;
+use hiloc_sim::{Fleet, FleetConfig};
+
+fn deployment(seed: u64) -> SimDeployment {
+    let h = HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .unwrap();
+    SimDeployment::new(h, Default::default(), seed)
+}
+
+#[test]
+fn every_mobility_model_runs_against_the_service() {
+    for (kind, expect_handovers) in [
+        (MobilityKind::RandomWaypoint, true),
+        (MobilityKind::Manhattan { spacing_m: 100.0 }, true),
+        (MobilityKind::GaussMarkov { alpha: 0.7 }, true),
+        (MobilityKind::Stationary, false),
+    ] {
+        let mut ls = deployment(1);
+        let cfg = FleetConfig {
+            num_objects: 30,
+            speed_mps: 20.0, // fast, to force leaf crossings quickly
+            mobility: kind,
+            policy: UpdatePolicy::Distance { threshold_m: 10.0 },
+            seed: 42,
+            ..Default::default()
+        };
+        let mut fleet = Fleet::register(cfg, &mut ls).expect("fleet registers");
+        let mut handovers = 0;
+        for _ in 0..60 {
+            let s = fleet.step(&mut ls, 2.0);
+            handovers += s.handovers;
+            assert_eq!(s.deregistered, 0, "{kind:?}: objects must stay inside");
+        }
+        assert_eq!(fleet.alive_count(), 30, "{kind:?}");
+        if expect_handovers {
+            assert!(handovers > 0, "{kind:?}: fast movement must cross leaves");
+        } else {
+            assert_eq!(handovers, 0, "{kind:?}");
+        }
+        // Every object queryable at its current agent, position matches
+        // the fleet's ground truth within the update threshold.
+        for i in 0..fleet.len() {
+            let ld = ls.pos_query(fleet.agent(i), ObjectId(i as u64)).expect("tracked");
+            let truth = fleet.position(i);
+            assert!(
+                ld.pos.distance(truth) <= 10.0 + 1e-6,
+                "{kind:?}: object {i} drifted {} m",
+                ld.pos.distance(truth)
+            );
+        }
+    }
+}
+
+#[test]
+fn update_policies_change_transmission_volume() {
+    let run = |policy: UpdatePolicy| {
+        let mut ls = deployment(2);
+        let cfg = FleetConfig {
+            num_objects: 20,
+            speed_mps: 5.0,
+            mobility: MobilityKind::RandomWaypoint,
+            policy,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut fleet = Fleet::register(cfg, &mut ls).unwrap();
+        let mut updates = 0;
+        for _ in 0..120 {
+            updates += fleet.step(&mut ls, 1.0).updates_sent;
+        }
+        updates
+    };
+    let tight = run(UpdatePolicy::Distance { threshold_m: 5.0 });
+    let loose = run(UpdatePolicy::Distance { threshold_m: 50.0 });
+    assert!(
+        tight > 2 * loose,
+        "tight threshold {tight} must send far more than loose {loose}"
+    );
+    let periodic = run(UpdatePolicy::Periodic { period_us: 10 * SECOND });
+    // 120 s at one report per 10 s per object ≈ 12 × 20 = 240.
+    assert!((200..280).contains(&(periodic as i64)), "periodic sent {periodic}");
+}
+
+#[test]
+fn stationary_fleet_sends_no_updates_and_survives_soft_state() {
+    // Stationary objects never exceed the distance threshold, so the
+    // soft-state TTL would expire them: this is exactly the scenario
+    // where a periodic policy is required. Verify both halves.
+    let h = HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .unwrap();
+    let opts = hiloc_core::node::ServerOptions {
+        sighting_ttl_us: 30 * SECOND,
+        ..Default::default()
+    };
+    let mut ls = SimDeployment::new(h, opts, 3);
+    let cfg = FleetConfig {
+        num_objects: 10,
+        mobility: MobilityKind::Stationary,
+        policy: UpdatePolicy::Periodic { period_us: 10 * SECOND },
+        seed: 9,
+        ..Default::default()
+    };
+    let mut fleet = Fleet::register(cfg, &mut ls).unwrap();
+    let mut updates = 0;
+    for _ in 0..60 {
+        updates += fleet.step(&mut ls, 1.0).updates_sent;
+    }
+    assert!(updates >= 50, "periodic keep-alives must flow, got {updates}");
+    // All objects still registered (keep-alives refreshed the TTL).
+    for i in 0..fleet.len() {
+        assert!(ls.pos_query(fleet.agent(i), ObjectId(i as u64)).is_ok());
+    }
+}

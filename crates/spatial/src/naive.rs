@@ -1,0 +1,151 @@
+//! Linear-scan index: the conformance oracle.
+
+use crate::{candidate_cmp, Entry, ObjectKey, SpatialIndex};
+use hiloc_geo::{Point, Rect};
+use std::collections::HashMap;
+
+/// A trivially correct index that scans every entry on every query.
+///
+/// Used as the oracle in the conformance tests and as the degenerate
+/// baseline in the index ablation benchmark. Do not use it for large
+/// object populations — every operation except point lookup is O(n).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveIndex {
+    entries: HashMap<ObjectKey, Point>,
+}
+
+impl NaiveIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpatialIndex for NaiveIndex {
+    fn insert(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
+        self.entries.insert(key, pos)
+    }
+
+    fn remove(&mut self, key: ObjectKey) -> Option<Point> {
+        self.entries.remove(&key)
+    }
+
+    fn get(&self, key: ObjectKey) -> Option<Point> {
+        self.entries.get(&key).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn query_rect(&self, rect: &Rect, sink: &mut dyn FnMut(Entry)) {
+        for (&key, &pos) in &self.entries {
+            if rect.contains(pos) {
+                sink(Entry::new(key, pos));
+            }
+        }
+    }
+
+    fn nearest_where(
+        &self,
+        p: Point,
+        filter: &mut dyn FnMut(ObjectKey) -> bool,
+    ) -> Option<(Entry, f64)> {
+        let mut best: Option<(Entry, f64)> = None;
+        for (&key, &pos) in &self.entries {
+            if !filter(key) {
+                continue;
+            }
+            let cand = (Entry::new(key, pos), p.distance(pos));
+            match &best {
+                Some(b) if candidate_cmp(&cand, b).is_ge() => {}
+                _ => best = Some(cand),
+            }
+        }
+        best
+    }
+
+    fn k_nearest_where(
+        &self,
+        p: Point,
+        k: usize,
+        filter: &mut dyn FnMut(ObjectKey) -> bool,
+    ) -> Vec<(Entry, f64)> {
+        let mut all: Vec<(Entry, f64)> = self
+            .entries
+            .iter()
+            .filter(|(k2, _)| filter(**k2))
+            .map(|(&key, &pos)| (Entry::new(key, pos), p.distance(pos)))
+            .collect();
+        all.sort_by(candidate_cmp);
+        all.truncate(k);
+        all
+    }
+
+    fn for_each(&self, sink: &mut dyn FnMut(Entry)) {
+        for (&key, &pos) in &self.entries {
+            sink(Entry::new(key, pos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_move_remove() {
+        let mut idx = NaiveIndex::new();
+        assert_eq!(idx.insert(1, Point::new(1.0, 1.0)), None);
+        assert_eq!(idx.insert(1, Point::new(2.0, 2.0)), Some(Point::new(1.0, 1.0)));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(1), Some(Point::new(2.0, 2.0)));
+        assert_eq!(idx.remove(1), Some(Point::new(2.0, 2.0)));
+        assert!(idx.is_empty());
+        assert_eq!(idx.remove(1), None);
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_key() {
+        let mut idx = NaiveIndex::new();
+        idx.insert(5, Point::new(1.0, 0.0));
+        idx.insert(3, Point::new(-1.0, 0.0));
+        let (e, d) = idx.nearest(Point::ORIGIN).unwrap();
+        assert_eq!(e.key, 3);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn nearest_with_filter_skips() {
+        let mut idx = NaiveIndex::new();
+        idx.insert(1, Point::new(1.0, 0.0));
+        idx.insert(2, Point::new(5.0, 0.0));
+        let (e, _) = idx.nearest_where(Point::ORIGIN, &mut |k| k != 1).unwrap();
+        assert_eq!(e.key, 2);
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_truncated() {
+        let mut idx = NaiveIndex::new();
+        for i in 0..10u64 {
+            idx.insert(i, Point::new(i as f64, 0.0));
+        }
+        let got = idx.k_nearest_where(Point::ORIGIN, 3, &mut |_| true);
+        let keys: Vec<_> = got.iter().map(|(e, _)| e.key).collect();
+        assert_eq!(keys, vec![0, 1, 2]);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut idx = NaiveIndex::new();
+        idx.insert(1, Point::ORIGIN);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(Point::ORIGIN), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Conformance suite: every index must agree with the naive oracle under
+//! randomized workloads of inserts, moves, removes and queries.
+
+use hiloc_geo::{Circle, Point, Rect};
+use hiloc_spatial::{Entry, GridIndex, NaiveIndex, PointQuadtree, RTree, SpatialIndex};
+use proptest::prelude::*;
+
+/// A step in a randomized index workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, f64, f64),
+    Remove(u64),
+    QueryRect(f64, f64, f64, f64),
+    QueryCircle(f64, f64, f64),
+    Nearest(f64, f64),
+    NearestFiltered(f64, f64, u64),
+    KNearest(f64, f64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let coord = -100.0..100.0f64;
+    let key = 0u64..40;
+    prop_oneof![
+        4 => (key.clone(), coord.clone(), coord.clone()).prop_map(|(k, x, y)| Op::Insert(k, x, y)),
+        2 => key.clone().prop_map(Op::Remove),
+        2 => (coord.clone(), coord.clone(), coord.clone(), coord.clone())
+            .prop_map(|(a, b, c, d)| Op::QueryRect(a, b, c, d)),
+        1 => (coord.clone(), coord.clone(), 0.5..80.0f64)
+            .prop_map(|(x, y, r)| Op::QueryCircle(x, y, r)),
+        2 => (coord.clone(), coord.clone()).prop_map(|(x, y)| Op::Nearest(x, y)),
+        1 => (coord.clone(), coord.clone(), key).prop_map(|(x, y, k)| Op::NearestFiltered(x, y, k)),
+        1 => (coord.clone(), coord, 1usize..6).prop_map(|(x, y, k)| Op::KNearest(x, y, k)),
+    ]
+}
+
+fn sorted_keys(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort();
+    v
+}
+
+fn collect_rect(idx: &dyn SpatialIndex, rect: &Rect) -> Vec<u64> {
+    let mut out = Vec::new();
+    idx.query_rect(rect, &mut |e: Entry| out.push(e.key));
+    sorted_keys(out)
+}
+
+fn collect_circle(idx: &dyn SpatialIndex, c: &Circle) -> Vec<u64> {
+    let mut out = Vec::new();
+    idx.query_circle(c, &mut |e: Entry| out.push(e.key));
+    sorted_keys(out)
+}
+
+fn run_workload(ops: &[Op], mut subject: Box<dyn SpatialIndex>, name: &str) {
+    let mut oracle = NaiveIndex::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k, x, y) => {
+                let p = Point::new(x, y);
+                let a = subject.insert(k, p);
+                let b = oracle.insert(k, p);
+                assert_eq!(a, b, "[{name}] step {step}: insert return mismatch");
+            }
+            Op::Remove(k) => {
+                let a = subject.remove(k);
+                let b = oracle.remove(k);
+                assert_eq!(a, b, "[{name}] step {step}: remove return mismatch");
+            }
+            Op::QueryRect(ax, ay, bx, by) => {
+                let r = Rect::new(Point::new(ax, ay), Point::new(bx, by));
+                assert_eq!(
+                    collect_rect(subject.as_ref(), &r),
+                    collect_rect(&oracle, &r),
+                    "[{name}] step {step}: rect query mismatch on {r}"
+                );
+            }
+            Op::QueryCircle(x, y, rad) => {
+                let c = Circle::new(Point::new(x, y), rad);
+                assert_eq!(
+                    collect_circle(subject.as_ref(), &c),
+                    collect_circle(&oracle, &c),
+                    "[{name}] step {step}: circle query mismatch"
+                );
+            }
+            Op::Nearest(x, y) => {
+                let p = Point::new(x, y);
+                let a = subject.nearest(p);
+                let b = oracle.nearest(p);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some((ea, da)), Some((eb, db))) => {
+                        assert_eq!(ea.key, eb.key, "[{name}] step {step}: nearest key mismatch");
+                        assert!((da - db).abs() < 1e-9);
+                    }
+                    other => panic!("[{name}] step {step}: nearest presence mismatch {other:?}"),
+                }
+            }
+            Op::NearestFiltered(x, y, excluded) => {
+                let p = Point::new(x, y);
+                let a = subject.nearest_where(p, &mut |k| k != excluded);
+                let b = oracle.nearest_where(p, &mut |k| k != excluded);
+                assert_eq!(
+                    a.map(|(e, _)| e.key),
+                    b.map(|(e, _)| e.key),
+                    "[{name}] step {step}: filtered nearest mismatch"
+                );
+            }
+            Op::KNearest(x, y, k) => {
+                let p = Point::new(x, y);
+                let a: Vec<u64> = subject
+                    .k_nearest_where(p, k, &mut |_| true)
+                    .iter()
+                    .map(|(e, _)| e.key)
+                    .collect();
+                let b: Vec<u64> = oracle
+                    .k_nearest_where(p, k, &mut |_| true)
+                    .iter()
+                    .map(|(e, _)| e.key)
+                    .collect();
+                assert_eq!(a, b, "[{name}] step {step}: k-nearest mismatch");
+            }
+        }
+        assert_eq!(subject.len(), oracle.len(), "[{name}] step {step}: len mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quadtree_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_workload(&ops, Box::new(PointQuadtree::new()), "quadtree");
+    }
+
+    #[test]
+    fn rtree_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_workload(&ops, Box::new(RTree::new()), "rtree");
+    }
+
+    #[test]
+    fn grid_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_workload(&ops, Box::new(GridIndex::new(25.0)), "grid");
+    }
+
+    #[test]
+    fn grid_tiny_cells_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_workload(&ops, Box::new(GridIndex::new(3.0)), "grid-tiny");
+    }
+}
+
+/// Deterministic bulk test at a scale proptest cases do not reach:
+/// mirrors the paper's Table 1 population (uniform random objects), then
+/// cross-checks a batch of queries on all three indexes.
+#[test]
+fn bulk_uniform_population_cross_check() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x1eca7);
+    let mut quad = PointQuadtree::new();
+    let mut rtree = RTree::new();
+    let mut grid = GridIndex::new(500.0);
+    let mut oracle = NaiveIndex::new();
+
+    // 5 000 objects over a 10 km x 10 km area, with 20% later moved and
+    // 10% removed — a miniature of the paper's data-storage workload.
+    for k in 0..5_000u64 {
+        let p = Point::new(rng.random_range(0.0..10_000.0), rng.random_range(0.0..10_000.0));
+        for idx in [
+            &mut quad as &mut dyn SpatialIndex,
+            &mut rtree,
+            &mut grid,
+            &mut oracle,
+        ] {
+            idx.insert(k, p);
+        }
+    }
+    for k in 0..1_000u64 {
+        let p = Point::new(rng.random_range(0.0..10_000.0), rng.random_range(0.0..10_000.0));
+        for idx in [
+            &mut quad as &mut dyn SpatialIndex,
+            &mut rtree,
+            &mut grid,
+            &mut oracle,
+        ] {
+            idx.insert(k * 5, p);
+        }
+    }
+    for k in 0..500u64 {
+        for idx in [
+            &mut quad as &mut dyn SpatialIndex,
+            &mut rtree,
+            &mut grid,
+            &mut oracle,
+        ] {
+            idx.remove(k * 10 + 1);
+        }
+    }
+
+    for _ in 0..50 {
+        let cx = rng.random_range(0.0..10_000.0);
+        let cy = rng.random_range(0.0..10_000.0);
+        let half = rng.random_range(5.0..800.0);
+        let r = Rect::from_center_size(Point::new(cx, cy), half * 2.0, half * 2.0);
+        let expect = collect_rect(&oracle, &r);
+        assert_eq!(collect_rect(&quad, &r), expect, "quadtree rect");
+        assert_eq!(collect_rect(&rtree, &r), expect, "rtree rect");
+        assert_eq!(collect_rect(&grid, &r), expect, "grid rect");
+
+        let p = Point::new(cx, cy);
+        let expect_nn = oracle.nearest(p).map(|(e, _)| e.key);
+        assert_eq!(quad.nearest(p).map(|(e, _)| e.key), expect_nn, "quadtree nn");
+        assert_eq!(rtree.nearest(p).map(|(e, _)| e.key), expect_nn, "rtree nn");
+        assert_eq!(grid.nearest(p).map(|(e, _)| e.key), expect_nn, "grid nn");
+    }
+}

@@ -1,0 +1,451 @@
+//! Durable key→value map: write-ahead log + snapshot.
+//!
+//! This is the embedded substitute for the paper's DB2-backed visitor
+//! database: every mutation is logged before it is acknowledged, and a
+//! background-compactable snapshot bounds recovery time.
+
+use crate::{StorageError, Wal};
+use bytes::{Buf, BufMut};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// How aggressively the map makes writes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync after every mutation — full durability, the paper's
+    /// "persistent registration information" contract.
+    #[default]
+    Always,
+    /// Flush to the OS after every mutation, fsync only on snapshot and
+    /// close. Survives process crashes but not power loss.
+    OsFlush,
+    /// Buffer writes; flush on snapshot/close only. For benchmarks.
+    Buffered,
+}
+
+/// A value that can live in a [`DurableMap`].
+pub trait RecordValue: Sized + Clone {
+    /// Appends the encoded value to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes a value from `buf`, or `None` when malformed.
+    fn decode(buf: &[u8]) -> Option<Self>;
+}
+
+impl RecordValue for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+    fn decode(buf: &[u8]) -> Option<Self> {
+        Some(buf.to_vec())
+    }
+}
+
+const OP_PUT: u8 = 1;
+const OP_DEL: u8 = 2;
+/// Snapshot file magic + version.
+const SNAPSHOT_MAGIC: u32 = 0x4C53_5631; // "LSV1"
+
+/// Runtime statistics of a [`DurableMap`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableMapStats {
+    /// Mutations applied since open.
+    pub mutations: u64,
+    /// Records replayed from the WAL at open.
+    pub replayed: u64,
+    /// Entries loaded from the snapshot at open.
+    pub snapshot_loaded: u64,
+    /// Snapshots written since open.
+    pub snapshots_written: u64,
+}
+
+/// A crash-safe `u64 → V` map backed by a WAL and periodic snapshots.
+///
+/// * `insert`/`remove` append to the WAL (durability per
+///   [`SyncPolicy`]) and update the in-memory image.
+/// * [`DurableMap::compact`] atomically writes a snapshot (`tmp` +
+///   rename) and resets the WAL.
+/// * [`DurableMap::open`] loads the snapshot, replays the WAL and
+///   repairs a torn tail.
+///
+/// # Example
+///
+/// ```no_run
+/// use hiloc_storage::{DurableMap, SyncPolicy};
+///
+/// # fn main() -> Result<(), hiloc_storage::StorageError> {
+/// let mut db: DurableMap<Vec<u8>> = DurableMap::open("/tmp/hiloc-visitors", SyncPolicy::OsFlush)?;
+/// db.insert(42, b"forward-ref:child-3".to_vec())?;
+/// db.compact()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DurableMap<V: RecordValue> {
+    dir: PathBuf,
+    wal: Wal,
+    map: HashMap<u64, V>,
+    policy: SyncPolicy,
+    stats: DurableMapStats,
+}
+
+impl<V: RecordValue> DurableMap<V> {
+    /// Opens (creating if needed) a durable map stored in directory
+    /// `dir`, recovering state from `snapshot.bin` + `wal.log`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or a corrupt snapshot. A corrupt
+    /// WAL *tail* is repaired silently (crash recovery); corrupt WAL
+    /// entries before the tail are impossible by construction.
+    pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut stats = DurableMapStats::default();
+
+        let mut map = HashMap::new();
+        let snap_path = dir.join("snapshot.bin");
+        if snap_path.exists() {
+            let raw = fs::read(&snap_path)?;
+            map = decode_snapshot::<V>(&raw)?;
+            stats.snapshot_loaded = map.len() as u64;
+        }
+
+        let (wal, replayed) = Wal::open(dir.join("wal.log"))?;
+        stats.replayed = replayed.len() as u64;
+        for rec in replayed {
+            apply_record::<V>(&mut map, &rec).ok_or(StorageError::Corrupt {
+                offset: 0,
+                reason: "undecodable WAL record",
+            })?;
+        }
+
+        Ok(DurableMap { dir, wal, map, policy, stats })
+    }
+
+    /// Inserts or replaces the value for `key`, returning the previous
+    /// value. The mutation is logged before the in-memory image changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the WAL write fails; the in-memory state is
+    /// untouched in that case.
+    pub fn insert(&mut self, key: u64, value: V) -> Result<Option<V>, StorageError> {
+        let mut payload = Vec::with_capacity(16);
+        payload.put_u8(OP_PUT);
+        payload.put_u64_le(key);
+        value.encode(&mut payload);
+        self.wal.append(&payload)?;
+        self.apply_policy()?;
+        self.stats.mutations += 1;
+        Ok(self.map.insert(key, value))
+    }
+
+    /// Removes `key`, returning its value when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the WAL write fails.
+    pub fn remove(&mut self, key: u64) -> Result<Option<V>, StorageError> {
+        if !self.map.contains_key(&key) {
+            return Ok(None);
+        }
+        let mut payload = Vec::with_capacity(9);
+        payload.put_u8(OP_DEL);
+        payload.put_u64_le(key);
+        self.wal.append(&payload)?;
+        self.apply_policy()?;
+        self.stats.mutations += 1;
+        Ok(self.map.remove(&key))
+    }
+
+    /// The value for `key`, when present.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.map.get(&key)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.map.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DurableMapStats {
+        self.stats
+    }
+
+    /// Bytes currently in the WAL (drives compaction heuristics).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Writes a snapshot atomically (`snapshot.tmp` → fsync → rename)
+    /// and resets the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure; the previous snapshot remains
+    /// intact in that case.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        let tmp = self.dir.join("snapshot.tmp");
+        let dst = self.dir.join("snapshot.bin");
+        let encoded = encode_snapshot(&self.map);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&encoded)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &dst)?;
+        self.wal.reset()?;
+        self.stats.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs outstanding writes regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when syncing fails.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
+    fn apply_policy(&mut self) -> Result<(), StorageError> {
+        match self.policy {
+            SyncPolicy::Always => self.wal.sync(),
+            SyncPolicy::OsFlush => self.wal.flush(),
+            SyncPolicy::Buffered => Ok(()),
+        }
+    }
+}
+
+fn apply_record<V: RecordValue>(map: &mut HashMap<u64, V>, rec: &[u8]) -> Option<()> {
+    let mut buf = rec;
+    if buf.remaining() < 9 {
+        return None;
+    }
+    let op = buf.get_u8();
+    let key = buf.get_u64_le();
+    match op {
+        OP_PUT => {
+            let value = V::decode(buf)?;
+            map.insert(key, value);
+            Some(())
+        }
+        OP_DEL => {
+            map.remove(&key);
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn encode_snapshot<V: RecordValue>(map: &HashMap<u64, V>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + map.len() * 16);
+    out.put_u32_le(SNAPSHOT_MAGIC);
+    out.put_u64_le(map.len() as u64);
+    for (&k, v) in map {
+        let mut val = Vec::new();
+        v.encode(&mut val);
+        out.put_u64_le(k);
+        out.put_u32_le(val.len() as u32);
+        out.extend_from_slice(&val);
+    }
+    let crc = crate::crc32(&out);
+    out.put_u32_le(crc);
+    out
+}
+
+fn decode_snapshot<V: RecordValue>(raw: &[u8]) -> Result<HashMap<u64, V>, StorageError> {
+    let corrupt = |reason| StorageError::Corrupt { offset: 0, reason };
+    if raw.len() < 16 {
+        return Err(corrupt("snapshot too short"));
+    }
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crate::crc32(body) != stored_crc {
+        return Err(corrupt("snapshot checksum mismatch"));
+    }
+    let mut buf = body;
+    if buf.get_u32_le() != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let count = buf.get_u64_le();
+    let mut map = HashMap::with_capacity(count as usize);
+    for _ in 0..count {
+        if buf.remaining() < 12 {
+            return Err(corrupt("snapshot entry truncated"));
+        }
+        let key = buf.get_u64_le();
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(corrupt("snapshot value truncated"));
+        }
+        let value = V::decode(&buf[..len]).ok_or(corrupt("undecodable snapshot value"))?;
+        buf.advance(len);
+        map.insert(key, value);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("hiloc-dm-{tag}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open(dir: &TempDir) -> DurableMap<Vec<u8>> {
+        DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap()
+    }
+
+    #[test]
+    fn basic_crud_and_recovery() {
+        let dir = TempDir::new("crud");
+        {
+            let mut db = open(&dir);
+            assert!(db.insert(1, b"one".to_vec()).unwrap().is_none());
+            assert_eq!(db.insert(1, b"uno".to_vec()).unwrap().unwrap(), b"one");
+            db.insert(2, b"two".to_vec()).unwrap();
+            assert_eq!(db.remove(2).unwrap().unwrap(), b"two");
+            assert!(db.remove(99).unwrap().is_none());
+            db.sync().unwrap();
+        }
+        let db = open(&dir);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(1).unwrap(), b"uno");
+        assert!(db.get(2).is_none());
+        assert_eq!(db.stats().replayed, 4);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_recovery() {
+        let dir = TempDir::new("snap");
+        {
+            let mut db = open(&dir);
+            for k in 0..100u64 {
+                db.insert(k, vec![k as u8; 8]).unwrap();
+            }
+            db.compact().unwrap();
+            // Post-snapshot mutations live only in the WAL.
+            db.insert(200, b"tail".to_vec()).unwrap();
+            db.remove(5).unwrap();
+            db.sync().unwrap();
+        }
+        let db = open(&dir);
+        assert_eq!(db.len(), 100); // 100 - 1 removed + 1 added
+        assert_eq!(db.stats().snapshot_loaded, 100);
+        assert_eq!(db.stats().replayed, 2);
+        assert!(db.get(5).is_none());
+        assert_eq!(db.get(200).unwrap(), b"tail");
+    }
+
+    #[test]
+    fn compact_resets_wal() {
+        let dir = TempDir::new("compact");
+        let mut db = open(&dir);
+        for k in 0..50u64 {
+            db.insert(k, b"v".to_vec()).unwrap();
+        }
+        assert!(db.wal_bytes() > 0);
+        db.compact().unwrap();
+        assert_eq!(db.wal_bytes(), 0);
+        assert_eq!(db.len(), 50);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let dir = TempDir::new("torn");
+        {
+            let mut db = open(&dir);
+            db.insert(1, b"aaa".to_vec()).unwrap();
+            db.insert(2, b"bbb".to_vec()).unwrap();
+            db.sync().unwrap();
+        }
+        let wal_path = dir.0.join("wal.log");
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+
+        let db = open(&dir);
+        assert_eq!(db.len(), 1);
+        assert!(db.contains_key(1));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error() {
+        let dir = TempDir::new("badsnap");
+        {
+            let mut db = open(&dir);
+            db.insert(1, b"x".to_vec()).unwrap();
+            db.compact().unwrap();
+        }
+        let snap = dir.0.join("snapshot.bin");
+        let mut raw = std::fs::read(&snap).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&snap, &raw).unwrap();
+
+        let res: Result<DurableMap<Vec<u8>>, _> =
+            DurableMap::open(&dir.0, SyncPolicy::OsFlush);
+        assert!(matches!(res, Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn sync_policies_all_work() {
+        for policy in [SyncPolicy::Always, SyncPolicy::OsFlush, SyncPolicy::Buffered] {
+            let dir = TempDir::new("policy");
+            {
+                let mut db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, policy).unwrap();
+                db.insert(7, b"val".to_vec()).unwrap();
+                db.sync().unwrap();
+            }
+            let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, policy).unwrap();
+            assert_eq!(db.get(7).unwrap(), b"val", "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let dir = TempDir::new("iter");
+        let mut db = open(&dir);
+        for k in 0..10u64 {
+            db.insert(k, vec![k as u8]).unwrap();
+        }
+        let mut keys: Vec<u64> = db.iter().map(|(k, _)| k).collect();
+        keys.sort();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+}

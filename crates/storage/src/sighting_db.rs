@@ -1,0 +1,371 @@
+//! The volatile main-memory sighting database.
+
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_spatial::{GridIndex, PointQuadtree, RTree, SpatialIndex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A sighting record as stored by a leaf location server.
+///
+/// Mirrors the paper's `s ∈ S`: object identifier, timestamp, position
+/// and sensor accuracy — plus the soft-state expiration deadline that
+/// the paper attaches to every stored sighting ("each sighting record is
+/// associated with an expiration date, which is extended accordingly
+/// whenever the visitor contacts the location server").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredSighting {
+    /// Object key (the service's object identifier).
+    pub key: u64,
+    /// Position in the local planar frame at `time_us`.
+    pub pos: Point,
+    /// Timestamp of the sighting, microseconds on the service clock.
+    pub time_us: u64,
+    /// Sensor accuracy in meters (worst-case deviation at `time_us`).
+    pub acc_sens_m: f64,
+    /// Soft-state deadline: the record expires at this service time.
+    pub expires_us: u64,
+}
+
+/// The main-memory database of sighting records kept by a leaf server.
+///
+/// Combines the paper's three volatile structures (§5, Fig. 7):
+///
+/// * a **spatial index** over positions — candidates for range and
+///   nearest-neighbor queries;
+/// * a **hash index** over object identifiers — position queries;
+/// * **expiration** tracking implementing the soft-state principle.
+///
+/// Everything lives in volatile memory by design; after a crash the
+/// database is rebuilt from incoming position updates (the paper
+/// measures exactly this rebuild in Table 1's "creating index" row).
+///
+/// # Example
+///
+/// ```
+/// use hiloc_geo::{Point, Rect};
+/// use hiloc_storage::{SightingDb, StoredSighting};
+///
+/// let mut db = SightingDb::new_quadtree();
+/// for i in 0..10u64 {
+///     db.upsert(StoredSighting {
+///         key: i,
+///         pos: Point::new(i as f64 * 10.0, 0.0),
+///         time_us: 0,
+///         acc_sens_m: 5.0,
+///         expires_us: 1_000_000,
+///     });
+/// }
+/// let mut in_range = 0;
+/// db.query_rect(&Rect::new(Point::new(0.0, -1.0), Point::new(45.0, 1.0)), &mut |_| in_range += 1);
+/// assert_eq!(in_range, 5);
+/// ```
+pub struct SightingDb {
+    index: Box<dyn SpatialIndex>,
+    records: HashMap<u64, StoredSighting>,
+    /// Lazy-deletion expiry heap of `(deadline, key, version)`.
+    expiry: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Current heap-entry version per key; stale heap entries are
+    /// skipped on pop.
+    versions: HashMap<u64, u64>,
+    next_version: u64,
+}
+
+impl std::fmt::Debug for SightingDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SightingDb")
+            .field("records", &self.records.len())
+            .field("pending_expiries", &self.expiry.len())
+            .finish()
+    }
+}
+
+impl SightingDb {
+    /// Creates a database indexed by a [`PointQuadtree`] (the paper's
+    /// choice).
+    pub fn new_quadtree() -> Self {
+        Self::with_index(Box::new(PointQuadtree::new()))
+    }
+
+    /// Creates a database indexed by an [`RTree`].
+    pub fn new_rtree() -> Self {
+        Self::with_index(Box::new(RTree::new()))
+    }
+
+    /// Creates a database indexed by a [`GridIndex`] with the given cell
+    /// size in meters.
+    pub fn new_grid(cell_size_m: f64) -> Self {
+        Self::with_index(Box::new(GridIndex::new(cell_size_m)))
+    }
+
+    /// Creates a database over any spatial index implementation.
+    pub fn with_index(index: Box<dyn SpatialIndex>) -> Self {
+        SightingDb {
+            index,
+            records: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            versions: HashMap::new(),
+            next_version: 0,
+        }
+    }
+
+    /// Inserts or replaces the sighting for `s.key`, returning the
+    /// previous record (a position update).
+    pub fn upsert(&mut self, s: StoredSighting) -> Option<StoredSighting> {
+        self.index.insert(s.key, s.pos);
+        self.next_version += 1;
+        self.versions.insert(s.key, self.next_version);
+        self.expiry.push(Reverse((s.expires_us, s.key, self.next_version)));
+        self.records.insert(s.key, s)
+    }
+
+    /// The sighting for `key`, when present (the hash-index path used by
+    /// position queries).
+    pub fn get(&self, key: u64) -> Option<&StoredSighting> {
+        self.records.get(&key)
+    }
+
+    /// Removes the sighting for `key`.
+    pub fn remove(&mut self, key: u64) -> Option<StoredSighting> {
+        let rec = self.records.remove(&key)?;
+        self.index.remove(key);
+        self.versions.remove(&key);
+        Some(rec)
+    }
+
+    /// Number of live sightings.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no sightings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.records.clear();
+        self.expiry.clear();
+        self.versions.clear();
+    }
+
+    /// Pops and returns every sighting whose deadline is at or before
+    /// `now_us` (soft-state expiry). Expired records are removed from
+    /// all indexes.
+    pub fn expire_due(&mut self, now_us: u64) -> Vec<StoredSighting> {
+        let mut out = Vec::new();
+        while let Some(Reverse((deadline, key, version))) = self.expiry.peek().copied() {
+            if deadline > now_us {
+                break;
+            }
+            self.expiry.pop();
+            // Skip entries superseded by a later upsert.
+            if self.versions.get(&key) != Some(&version) {
+                continue;
+            }
+            if let Some(rec) = self.remove(key) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+
+    /// The earliest pending expiry deadline, when any sightings exist.
+    ///
+    /// May return a stale (earlier) deadline for records that were since
+    /// refreshed; callers treat it as a wake-up hint, not a promise.
+    pub fn next_expiry(&self) -> Option<u64> {
+        self.expiry.peek().map(|Reverse((d, _, _))| *d)
+    }
+
+    /// Invokes `sink` for every sighting positioned inside `rect`.
+    pub fn query_rect(&self, rect: &Rect, sink: &mut dyn FnMut(&StoredSighting)) {
+        self.index.query_rect(rect, &mut |e| {
+            if let Some(rec) = self.records.get(&e.key) {
+                sink(rec);
+            }
+        });
+    }
+
+    /// Invokes `sink` for every *candidate* sighting for a range query
+    /// over `region`: all records within the region's bounding rectangle
+    /// enlarged by `margin` meters (the paper's `Enlarge(area, reqAcc)`
+    /// — an object's location area may poke outside the region by up to
+    /// its accuracy). The caller applies the exact overlap predicate.
+    pub fn range_candidates(
+        &self,
+        region: &Region,
+        margin: f64,
+        sink: &mut dyn FnMut(&StoredSighting),
+    ) {
+        let probe = region.bounding_rect().enlarged(margin.max(0.0));
+        self.query_rect(&probe, sink);
+    }
+
+    /// The sighting nearest to `p` among those accepted by `filter`.
+    pub fn nearest_where(
+        &self,
+        p: Point,
+        filter: &mut dyn FnMut(&StoredSighting) -> bool,
+    ) -> Option<(StoredSighting, f64)> {
+        let records = &self.records;
+        let found = self.index.nearest_where(p, &mut |key| {
+            records.get(&key).map(&mut *filter).unwrap_or(false)
+        })?;
+        records.get(&found.0.key).map(|r| (*r, found.1))
+    }
+
+    /// The `k` sightings nearest to `p` among those accepted by
+    /// `filter`, ascending by distance.
+    pub fn k_nearest_where(
+        &self,
+        p: Point,
+        k: usize,
+        filter: &mut dyn FnMut(&StoredSighting) -> bool,
+    ) -> Vec<(StoredSighting, f64)> {
+        let records = &self.records;
+        self.index
+            .k_nearest_where(p, k, &mut |key| {
+                records.get(&key).map(&mut *filter).unwrap_or(false)
+            })
+            .into_iter()
+            .filter_map(|(e, d)| records.get(&e.key).map(|r| (*r, d)))
+            .collect()
+    }
+
+    /// Invokes `sink` for every stored sighting.
+    pub fn for_each(&self, sink: &mut dyn FnMut(&StoredSighting)) {
+        for rec in self.records.values() {
+            sink(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(key: u64, x: f64, y: f64, expires: u64) -> StoredSighting {
+        StoredSighting { key, pos: Point::new(x, y), time_us: 0, acc_sens_m: 10.0, expires_us: expires }
+    }
+
+    #[test]
+    fn upsert_get_remove() {
+        let mut db = SightingDb::new_quadtree();
+        assert!(db.upsert(s(1, 0.0, 0.0, 100)).is_none());
+        let old = db.upsert(s(1, 5.0, 5.0, 200)).unwrap();
+        assert_eq!(old.pos, Point::new(0.0, 0.0));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(1).unwrap().pos, Point::new(5.0, 5.0));
+        assert!(db.remove(1).is_some());
+        assert!(db.is_empty());
+        assert!(db.remove(1).is_none());
+    }
+
+    #[test]
+    fn expiry_in_deadline_order() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(s(1, 0.0, 0.0, 300));
+        db.upsert(s(2, 1.0, 0.0, 100));
+        db.upsert(s(3, 2.0, 0.0, 200));
+        assert_eq!(db.next_expiry(), Some(100));
+
+        let expired = db.expire_due(150);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].key, 2);
+        assert_eq!(db.len(), 2);
+
+        let expired = db.expire_due(1_000);
+        let mut keys: Vec<u64> = expired.iter().map(|r| r.key).collect();
+        keys.sort();
+        assert_eq!(keys, vec![1, 3]);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn refresh_extends_deadline() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(s(1, 0.0, 0.0, 100));
+        // Position update arrives; deadline extended (soft-state refresh).
+        db.upsert(s(1, 1.0, 0.0, 500));
+        let expired = db.expire_due(200);
+        assert!(expired.is_empty(), "stale heap entry must be skipped");
+        assert_eq!(db.len(), 1);
+        let expired = db.expire_due(600);
+        assert_eq!(expired.len(), 1);
+    }
+
+    #[test]
+    fn expiry_after_remove_is_noop() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(s(1, 0.0, 0.0, 100));
+        db.remove(1);
+        assert!(db.expire_due(1_000).is_empty());
+    }
+
+    #[test]
+    fn spatial_queries_see_current_positions() {
+        let mut db = SightingDb::new_rtree();
+        db.upsert(s(1, 0.0, 0.0, 1_000));
+        db.upsert(s(2, 100.0, 100.0, 1_000));
+        db.upsert(s(1, 50.0, 50.0, 1_000)); // moved
+
+        let mut hits = Vec::new();
+        db.query_rect(&Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)), &mut |r| {
+            hits.push(r.key)
+        });
+        assert!(hits.is_empty(), "old position must not linger in index");
+
+        let (nearest, d) = db.nearest_where(Point::new(49.0, 50.0), &mut |_| true).unwrap();
+        assert_eq!(nearest.key, 1);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_with_record_filter() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(StoredSighting { key: 1, pos: Point::new(1.0, 0.0), time_us: 0, acc_sens_m: 100.0, expires_us: 1_000 });
+        db.upsert(StoredSighting { key: 2, pos: Point::new(5.0, 0.0), time_us: 0, acc_sens_m: 5.0, expires_us: 1_000 });
+        // Accuracy-threshold filter, as in the paper's reqAcc handling.
+        let (rec, _) = db
+            .nearest_where(Point::ORIGIN, &mut |r| r.acc_sens_m <= 10.0)
+            .unwrap();
+        assert_eq!(rec.key, 2);
+    }
+
+    #[test]
+    fn range_candidates_include_margin() {
+        let mut db = SightingDb::new_grid(10.0);
+        // Object just outside the region, but within the accuracy margin.
+        db.upsert(s(1, 104.0, 50.0, 1_000));
+        let region = Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)));
+        let mut without = Vec::new();
+        db.range_candidates(&region, 0.0, &mut |r| without.push(r.key));
+        assert!(without.is_empty());
+        let mut with = Vec::new();
+        db.range_candidates(&region, 5.0, &mut |r| with.push(r.key));
+        assert_eq!(with, vec![1]);
+    }
+
+    #[test]
+    fn k_nearest_ordering() {
+        let mut db = SightingDb::new_quadtree();
+        for i in 0..5u64 {
+            db.upsert(s(i, i as f64 * 2.0, 0.0, 1_000));
+        }
+        let got = db.k_nearest_where(Point::ORIGIN, 3, &mut |_| true);
+        let keys: Vec<u64> = got.iter().map(|(r, _)| r.key).collect();
+        assert_eq!(keys, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(s(1, 0.0, 0.0, 100));
+        db.clear();
+        assert!(db.is_empty());
+        assert_eq!(db.next_expiry(), None);
+        assert!(db.expire_due(u64::MAX).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! City guide — the paper's situated-information-space scenario, using
+//! real WGS84 coordinates: pedestrians stroll around central Stuttgart;
+//! the public-transport information service announces a bus delay to
+//! everyone waiting at a station (range query over a geographic area),
+//! and a visitor asks for the nearest other user.
+//!
+//! Demonstrates the geographic boundary: the service's planar frame is
+//! anchored with a [`LocalProjection`]; applications speak latitude and
+//! longitude.
+//!
+//! ```sh
+//! cargo run --example city_guide
+//! ```
+
+use hiloc::core::area::HierarchyBuilder;
+use hiloc::core::model::{ObjectId, RangeQuery, Sighting};
+use hiloc::core::runtime::SimDeployment;
+use hiloc::geo::{GeoPoint, LocalProjection, Point, Rect, Region};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    // Anchor a 2 km x 2 km service area on central Stuttgart (the
+    // paper's home turf). The projection maps WGS84 to service meters.
+    let anchor = GeoPoint::new(48.7758, 9.1829); // Schlossplatz
+    let proj = LocalProjection::new(anchor);
+    let area = Rect::from_center_size(Point::new(0.0, 0.0), 2_000.0, 2_000.0);
+    let hierarchy = HierarchyBuilder::grid(area, 1, 2).build().expect("valid hierarchy");
+    let mut ls = SimDeployment::new(hierarchy, Default::default(), 11);
+
+    // Sixty pedestrians with GPS-grade (10 m) sensors scattered around
+    // the center.
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 0..60u64 {
+        let pos = Point::new(rng.random_range(-900.0..900.0), rng.random_range(-900.0..900.0));
+        let entry = ls.leaf_for(pos);
+        ls.register(entry, Sighting::new(ObjectId(i), 0, pos, 10.0), 25.0, 100.0)
+            .expect("registration succeeds");
+    }
+
+    // The central station, as geographic coordinates.
+    let station_geo = GeoPoint::new(48.7840, 9.1829); // Hauptbahnhof, ~900 m north
+    let station_local = proj.to_local(station_geo);
+    println!("station {station_geo} -> local frame {station_local}");
+
+    // "Bus 42 is delayed — who is waiting within 150 m of the station?"
+    let entry = ls.leaf_for(station_local);
+    let waiting_area = Region::from(Rect::from_center_size(station_local, 300.0, 300.0));
+    let waiting = ls
+        .range_query(entry, RangeQuery::new(waiting_area, 50.0, 0.5))
+        .expect("range query succeeds");
+    println!("announce the delay to {} user(s) near the station:", waiting.objects.len());
+    for (oid, ld) in &waiting.objects {
+        println!("  {oid} at {} (±{} m)", proj.to_geo(ld.pos), ld.acc_m);
+    }
+
+    // A user at the station wants to meet the nearest other user.
+    let nn = ls
+        .neighbor_query(entry, station_local, 50.0, 100.0)
+        .expect("neighbor query succeeds");
+    if let Some((oid, ld)) = nn.nearest {
+        println!(
+            "nearest user to the station: {oid}, {:.0} m away at {}",
+            ld.distance_to(station_local),
+            proj.to_geo(ld.pos),
+        );
+        println!("  {} other user(s) within 100 m of that distance", nn.near_set.len());
+    }
+}

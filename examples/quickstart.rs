@@ -1,0 +1,69 @@
+//! Quickstart: stand up a location service, track an object, and run
+//! all three query types.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hiloc::core::area::HierarchyBuilder;
+use hiloc::core::model::{ObjectId, RangeQuery, Sighting};
+use hiloc::core::runtime::{SimDeployment, UpdateOutcome};
+use hiloc::geo::{Point, Rect, Region};
+
+fn main() {
+    // 1. A 1 km x 1 km service area, split into 2x2 leaf areas — one
+    //    root server and four leaf servers.
+    let hierarchy = HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .expect("valid hierarchy");
+    let mut ls = SimDeployment::new(hierarchy, Default::default(), 42);
+    println!("deployed {} location servers", ls.hierarchy().len());
+
+    // 2. Register a tracked object: desired accuracy 25 m, minimally
+    //    acceptable 100 m.
+    let oid = ObjectId(1);
+    let start = Point::new(120.0, 80.0);
+    let entry = ls.leaf_for(start);
+    let (agent, offered) = ls
+        .register(entry, Sighting::new(oid, 0, start, 10.0), 25.0, 100.0)
+        .expect("registration succeeds");
+    println!("registered {oid} at {start}; agent {agent}, offered accuracy {offered} m");
+
+    // 3. Send a position update that crosses into another leaf area —
+    //    the service hands tracking over transparently.
+    let moved = Point::new(900.0, 80.0);
+    match ls.update(agent, Sighting::new(oid, 1_000_000, moved, 10.0)).expect("update succeeds") {
+        UpdateOutcome::NewAgent { agent, .. } => println!("moved to {moved}; new agent {agent}"),
+        outcome => println!("update outcome: {outcome:?}"),
+    }
+
+    // 4. Position query from any entry server.
+    let ld = ls.pos_query(entry, oid).expect("object is tracked");
+    println!("posQuery  -> {ld}");
+
+    // 5. Range query: everything in the south-east quadrant.
+    let answer = ls
+        .range_query(
+            entry,
+            RangeQuery::new(
+                Region::from(Rect::new(Point::new(500.0, 0.0), Point::new(1_000.0, 500.0))),
+                50.0,
+                0.5,
+            ),
+        )
+        .expect("range query succeeds");
+    println!("rangeQuery -> {} object(s), complete: {}", answer.objects.len(), answer.complete);
+
+    // 6. Nearest-neighbor query.
+    let nn = ls
+        .neighbor_query(entry, Point::new(850.0, 120.0), 100.0, 0.0)
+        .expect("neighbor query succeeds");
+    match nn.nearest {
+        Some((oid, ld)) => println!("neighborQuery -> nearest {oid} at {ld}"),
+        None => println!("neighborQuery -> no qualified object"),
+    }
+}

@@ -1,0 +1,24 @@
+//! # hiloc — a large-scale hierarchical location service
+//!
+//! Facade crate re-exporting the hiloc workspace: a from-scratch Rust
+//! reproduction of *"Architecture of a Large-Scale Location Service"*
+//! (Leonhardi & Rothermel). See the `README.md` for a tour and
+//! `DESIGN.md` for the system inventory.
+//!
+//! * [`geo`] — coordinates, projections, polygons, circle overlap areas.
+//! * [`spatial`] — point quadtree, R-tree, grid indexes.
+//! * [`storage`] — sighting database (volatile) and visitor database
+//!   (durable WAL + snapshots).
+//! * [`net`] — protocol messages, binary codec and transports.
+//! * [`core`] — the location service itself: model, hierarchy, servers,
+//!   algorithms, caching, events, client API and runtimes.
+//! * [`sim`] — mobility models, workload generators and statistics.
+
+#![forbid(unsafe_code)]
+
+pub use hiloc_core as core;
+pub use hiloc_geo as geo;
+pub use hiloc_net as net;
+pub use hiloc_sim as sim;
+pub use hiloc_spatial as spatial;
+pub use hiloc_storage as storage;

@@ -1,0 +1,109 @@
+//! Event-mechanism consistency: notifications must track ground truth
+//! while objects move randomly across leaf boundaries through a watched
+//! area.
+
+use hiloc::core::area::HierarchyBuilder;
+use hiloc::core::events::{EventKind, Predicate};
+use hiloc::core::model::{ObjectId, Sighting};
+use hiloc::core::runtime::{SimDeployment, UpdateOutcome};
+use hiloc::geo::{Point, Rect, Region};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+#[test]
+fn enter_leave_notifications_match_ground_truth() {
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0));
+    let h = HierarchyBuilder::grid(area, 1, 2).build().unwrap();
+    let mut ls = SimDeployment::new(h, Default::default(), 0xE7E7);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // The watched area straddles all four leaves.
+    let watched = Rect::new(Point::new(300.0, 300.0), Point::new(700.0, 700.0));
+    let entry = ls.leaf_for(Point::new(10.0, 10.0));
+    let app = ls.new_client();
+    ls.event_register(entry, app, Predicate::Enter { area: Region::from(watched), oid: None })
+        .unwrap();
+    ls.event_register(entry, app, Predicate::Leave { area: Region::from(watched), oid: None })
+        .unwrap();
+
+    // Objects start outside the watched area.
+    let n = 20u64;
+    let mut agents = Vec::new();
+    let mut inside: HashSet<ObjectId> = HashSet::new();
+    for oid in 0..n {
+        let p = Point::new(rng.random_range(0.0..200.0), rng.random_range(0.0..200.0));
+        let e = ls.leaf_for(p);
+        let (agent, _) =
+            ls.register(e, Sighting::new(ObjectId(oid), 0, p, 5.0), 10.0, 50.0).unwrap();
+        agents.push(agent);
+    }
+    assert!(ls.poll_events(app).is_empty(), "no objects inside yet");
+
+    // Random movement; track expected membership transitions.
+    let mut expected_enters = 0u32;
+    let mut expected_leaves = 0u32;
+    for step in 0..200 {
+        let oid = rng.random_range(0..n);
+        let p = Point::new(rng.random_range(1.0..999.0), rng.random_range(1.0..999.0));
+        let was_inside = inside.contains(&ObjectId(oid));
+        let is_inside = watched.contains(p);
+        if is_inside && !was_inside {
+            expected_enters += 1;
+            inside.insert(ObjectId(oid));
+        } else if !is_inside && was_inside {
+            expected_leaves += 1;
+            inside.remove(&ObjectId(oid));
+        }
+        match ls
+            .update(agents[oid as usize], Sighting::new(ObjectId(oid), step, p, 5.0))
+            .unwrap()
+        {
+            UpdateOutcome::NewAgent { agent, .. } => agents[oid as usize] = agent,
+            UpdateOutcome::Ack { .. } => {}
+            UpdateOutcome::OutOfServiceArea => panic!("inside the service area"),
+        }
+    }
+
+    let fired = ls.poll_events(app);
+    let enters = fired.iter().filter(|(_, k)| matches!(k, EventKind::Entered { .. })).count();
+    let leaves = fired.iter().filter(|(_, k)| matches!(k, EventKind::Left { .. })).count();
+    assert!(expected_enters > 10, "scenario must exercise entries");
+    assert_eq!(enters as u32, expected_enters, "enter notifications");
+    assert_eq!(leaves as u32, expected_leaves, "leave notifications");
+}
+
+#[test]
+fn count_threshold_tracks_aggregate_across_leaves() {
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0));
+    let h = HierarchyBuilder::grid(area, 1, 2).build().unwrap();
+    let mut ls = SimDeployment::new(h, Default::default(), 0xC0);
+
+    // Watched area centered on the four-corner point: each leaf holds a
+    // quarter of it.
+    let watched = Region::from(Rect::new(Point::new(400.0, 400.0), Point::new(600.0, 600.0)));
+    let entry = ls.leaf_for(Point::new(10.0, 10.0));
+    let app = ls.new_client();
+    ls.event_register(entry, app, Predicate::CountAtLeast { area: watched, threshold: 4 })
+        .unwrap();
+
+    // One object per quadrant, placed inside the watched area one at a
+    // time — the threshold only fires once the 4th (aggregated across
+    // all four leaves) arrives.
+    let spots =
+        [Point::new(450.0, 450.0), Point::new(550.0, 450.0), Point::new(450.0, 550.0), Point::new(550.0, 550.0)];
+    for (i, spot) in spots.iter().enumerate() {
+        let e = ls.leaf_for(*spot);
+        ls.register(e, Sighting::new(ObjectId(i as u64), 0, *spot, 5.0), 10.0, 50.0).unwrap();
+        let fired = ls.poll_events(app);
+        if i < 3 {
+            assert!(fired.is_empty(), "below threshold after {} objects", i + 1);
+        } else {
+            assert_eq!(fired.len(), 1);
+            assert!(matches!(fired[0].1, EventKind::CountReached { count: 4 }));
+        }
+    }
+    // Verify the four objects really are on four different leaves.
+    let distinct: HashSet<_> = spots.iter().map(|s| ls.leaf_for(*s)).collect();
+    assert_eq!(distinct.len(), 4);
+}

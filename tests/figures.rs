@@ -1,0 +1,161 @@
+//! Reproduction tests for the paper's worked figures (3, 4 and 6),
+//! checked at the facade level.
+
+use hiloc::core::area::HierarchyBuilder;
+use hiloc::core::model::semantics::{guaranteed_min_distance, overlap, qualifies_for_range};
+use hiloc::core::model::{LocationDescriptor, ObjectId, RangeQuery, Sighting};
+use hiloc::core::runtime::{SimDeployment, UpdateOutcome};
+use hiloc::geo::{Point, Rect, Region};
+
+/// Figure 3: the five-object range-query scenario with
+/// `reqOverlap = 0.3` and an accuracy threshold.
+#[test]
+fn figure3_range_semantics() {
+    let area = Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(200.0, 200.0)));
+    let req_acc = 50.0;
+    let req_overlap = 0.3;
+
+    // o1: location area fully inside — overlap 100%, included.
+    let o1 = LocationDescriptor::new(Point::new(100.0, 100.0), 20.0);
+    assert!((overlap(&area, &o1) - 1.0).abs() < 1e-9);
+    assert!(qualifies_for_range(&area, &o1, req_acc, req_overlap));
+
+    // o2: disjoint — overlap 0%, excluded.
+    let o2 = LocationDescriptor::new(Point::new(400.0, 100.0), 20.0);
+    assert_eq!(overlap(&area, &o2), 0.0);
+    assert!(!qualifies_for_range(&area, &o2, req_acc, req_overlap));
+
+    // o3: ~40% overlap — included at reqOverlap 0.3.
+    let o3 = LocationDescriptor::new(Point::new(200.0 + 3.95, 100.0), 20.0);
+    let ov3 = overlap(&area, &o3);
+    assert!((0.3..0.5).contains(&ov3), "o3 overlap {ov3}");
+    assert!(qualifies_for_range(&area, &o3, req_acc, req_overlap));
+
+    // o4: ~10% overlap — excluded.
+    let o4 = LocationDescriptor::new(Point::new(200.0 + 12.0, 100.0), 20.0);
+    let ov4 = overlap(&area, &o4);
+    assert!(ov4 < 0.2, "o4 overlap {ov4}");
+    assert!(!qualifies_for_range(&area, &o4, req_acc, req_overlap));
+
+    // o5: well inside but accuracy 200 m > reqAcc — excluded.
+    let o5 = LocationDescriptor::new(Point::new(100.0, 50.0), 200.0);
+    assert!(!qualifies_for_range(&area, &o5, req_acc, req_overlap));
+}
+
+/// Figure 4: nearest-neighbor selection, near set, accuracy filter and
+/// the guaranteed-minimal-distance bound — through the full distributed
+/// service.
+#[test]
+fn figure4_nn_semantics() {
+    let area = Rect::new(Point::new(-500.0, -500.0), Point::new(500.0, 500.0));
+    let h = HierarchyBuilder::grid(area, 1, 2).build().unwrap();
+    let mut ls = SimDeployment::new(h, Default::default(), 4);
+
+    let p = Point::new(0.0, 0.0);
+    // o: returned object at distance 100 with accuracy 25.
+    // o1: at 120 — inside the nearQual = 40 ring (120 <= 100 + 40).
+    // o2: at 200 — outside the ring.
+    // o3: nearest of all (42) but offered accuracy 80 > reqAcc = 30.
+    let objs: &[(u64, Point, f64, f64)] = &[
+        (1, Point::new(100.0, 0.0), 25.0, 100.0),
+        (2, Point::new(0.0, 120.0), 25.0, 100.0),
+        (3, Point::new(-200.0, 0.0), 25.0, 100.0),
+        (4, Point::new(30.0, 30.0), 80.0, 200.0),
+    ];
+    for &(oid, pos, des, min) in objs {
+        let entry = ls.leaf_for(pos);
+        ls.register(entry, Sighting::new(ObjectId(oid), 0, pos, 10.0), des, min).unwrap();
+    }
+    ls.run_until_quiet();
+
+    let entry = ls.leaf_for(Point::new(1.0, 1.0));
+    let ans = ls.neighbor_query(entry, p, 30.0, 40.0).unwrap();
+    assert!(ans.complete);
+    let (oid, ld) = ans.nearest.unwrap();
+    assert_eq!(oid, ObjectId(1), "o is the accuracy-qualified nearest");
+    assert_eq!(ld.distance_to(p), 100.0);
+    assert_eq!(guaranteed_min_distance(p, &ld), 75.0); // 100 - 25
+
+    let near_ids: Vec<u64> = ans.near_set.iter().map(|(o, _)| o.0).collect();
+    assert_eq!(near_ids, vec![2], "only o1 is within nearQual");
+}
+
+/// Figure 6: the three message flows across the three-level hierarchy,
+/// verified by exact hop traces.
+#[test]
+fn figure6_flows() {
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(1_600.0, 1_600.0));
+    let h = HierarchyBuilder::binary(area, 2).build().unwrap();
+    assert_eq!(h.len(), 7);
+    let mut ls = SimDeployment::new(h, Default::default(), 6);
+    ls.enable_trace();
+
+    let sw = Point::new(100.0, 100.0);
+    let nw = Point::new(100.0, 1_500.0);
+    let se = Point::new(1_500.0, 100.0);
+    let s3 = ls.leaf_for(sw);
+    let s4 = ls.leaf_for(nw);
+    let s5 = ls.leaf_for(se);
+
+    let (agent, _) = ls.register(s3, Sighting::new(ObjectId(1), 0, sw, 5.0), 10.0, 50.0).unwrap();
+    ls.register(s5, Sighting::new(ObjectId(2), 0, se, 5.0), 10.0, 50.0).unwrap();
+    ls.run_until_quiet();
+
+    // Flow 1 (handover to the sibling leaf): only the old leaf, the
+    // common parent and the new leaf exchange handover messages — the
+    // root is spared, exactly as in the figure.
+    ls.clear_trace();
+    let out = ls.update(agent, Sighting::new(ObjectId(1), 1, nw, 5.0)).unwrap();
+    assert!(matches!(out, UpdateOutcome::NewAgent { agent, .. } if agent == s4));
+    ls.run_until_quiet();
+    let handover_hops: Vec<(String, String)> = ls
+        .trace()
+        .iter()
+        .filter(|t| t.label.starts_with("handover"))
+        .map(|t| (t.from.to_string(), t.to.to_string()))
+        .collect();
+    let parent = ls.hierarchy().server(s3).parent.unwrap();
+    assert_eq!(
+        handover_hops,
+        vec![
+            (s3.to_string(), parent.to_string()),
+            (parent.to_string(), s4.to_string()),
+            (s4.to_string(), parent.to_string()),
+            (parent.to_string(), s3.to_string()),
+        ]
+    );
+
+    // Flow 2 (remote position query): forwarded up to the root (where
+    // the forwarding reference is found), down to the agent, and the
+    // answer returns directly to the entry server.
+    ls.clear_trace();
+    let ld = ls.pos_query(s4, ObjectId(2)).unwrap();
+    assert_eq!(ld.pos, se);
+    let labels: Vec<&str> = ls
+        .trace()
+        .iter()
+        .filter(|t| t.label == "posQueryFwd" || t.label == "posQueryRes")
+        .map(|t| t.label)
+        .collect();
+    assert_eq!(labels, vec!["posQueryFwd"; 4].into_iter().chain(["posQueryRes", "posQueryRes"]).collect::<Vec<_>>());
+    assert!(ls.trace().iter().any(|t| t.to.to_string() == "s0"), "query must reach the root");
+
+    // Flow 3 (range query spanning the east half): both east leaves
+    // produce sub-results sent directly to the entry server s4.
+    ls.clear_trace();
+    let q = RangeQuery::new(
+        Region::from(Rect::new(Point::new(900.0, 100.0), Point::new(1_500.0, 1_500.0))),
+        10.0,
+        0.5,
+    );
+    let ans = ls.range_query(s4, q).unwrap();
+    assert!(ans.complete);
+    let sub_res: Vec<(String, String)> = ls
+        .trace()
+        .iter()
+        .filter(|t| t.label == "rangeQuerySubRes")
+        .map(|t| (t.from.to_string(), t.to.to_string()))
+        .collect();
+    assert_eq!(sub_res.len(), 2);
+    assert!(sub_res.iter().all(|(_, to)| *to == s4.to_string()));
+}

@@ -1,0 +1,129 @@
+//! Property tests: the *distributed* service must agree with a local
+//! brute-force evaluation of the paper's query semantics, for random
+//! populations, random query parameters and random hierarchy shapes.
+
+use hiloc::core::area::HierarchyBuilder;
+use hiloc::core::model::semantics::{qualifies_for_range, select_neighbors};
+use hiloc::core::model::{LocationDescriptor, ObjectId, RangeQuery, Sighting};
+use hiloc::core::runtime::SimDeployment;
+use hiloc::geo::{Point, Rect, Region};
+use proptest::prelude::*;
+
+const AREA: f64 = 1_000.0;
+
+#[derive(Debug, Clone)]
+struct Population {
+    positions: Vec<(f64, f64)>,
+}
+
+fn population() -> impl Strategy<Value = Population> {
+    prop::collection::vec((1.0..AREA - 1.0, 1.0..AREA - 1.0), 1..40)
+        .prop_map(|positions| Population { positions })
+}
+
+fn hierarchy_shape() -> impl Strategy<Value = (u32, u32)> {
+    prop_oneof![Just((0, 2)), Just((1, 2)), Just((2, 2)), Just((1, 3))]
+}
+
+fn deploy(pop: &Population, shape: (u32, u32)) -> (SimDeployment, Vec<(ObjectId, LocationDescriptor)>) {
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(AREA, AREA));
+    let h = HierarchyBuilder::grid(area, shape.0, shape.1).build().unwrap();
+    let mut ls = SimDeployment::new(h, Default::default(), 77);
+    let mut oracle = Vec::new();
+    for (i, &(x, y)) in pop.positions.iter().enumerate() {
+        let p = Point::new(x, y);
+        let entry = ls.leaf_for(p);
+        let oid = ObjectId(i as u64);
+        let (_, offered) =
+            ls.register(entry, Sighting::new(oid, 0, p, 5.0), 25.0, 100.0).unwrap();
+        oracle.push((oid, LocationDescriptor::new(p, offered)));
+    }
+    ls.run_until_quiet();
+    (ls, oracle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Distributed range queries return exactly the objects the
+    /// semantics predicate selects.
+    #[test]
+    fn distributed_range_query_matches_oracle(
+        pop in population(),
+        shape in hierarchy_shape(),
+        cx in 0.0..AREA,
+        cy in 0.0..AREA,
+        extent in 10.0..600.0f64,
+        req_acc in 10.0..200.0f64,
+        req_overlap in 0.1..1.0f64,
+        entry_x in 1.0..AREA - 1.0,
+        entry_y in 1.0..AREA - 1.0,
+    ) {
+        let (mut ls, oracle) = deploy(&pop, shape);
+        let region = Region::from(Rect::from_center_size(Point::new(cx, cy), extent, extent));
+        let query = RangeQuery::new(region.clone(), req_acc, req_overlap);
+        let entry = ls.leaf_for(Point::new(entry_x, entry_y));
+        let ans = ls.range_query(entry, query).unwrap();
+        prop_assert!(ans.complete);
+
+        let mut got: Vec<u64> = ans.objects.iter().map(|(o, _)| o.0).collect();
+        got.sort();
+        let mut expect: Vec<u64> = oracle
+            .iter()
+            .filter(|(_, ld)| qualifies_for_range(&region, ld, req_acc, req_overlap))
+            .map(|(o, _)| o.0)
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Distributed nearest-neighbor queries select the same object and
+    /// near set as the local semantics.
+    #[test]
+    fn distributed_nn_query_matches_oracle(
+        pop in population(),
+        shape in hierarchy_shape(),
+        px in 0.0..AREA,
+        py in 0.0..AREA,
+        req_acc in 10.0..200.0f64,
+        near_qual in 0.0..300.0f64,
+        entry_x in 1.0..AREA - 1.0,
+        entry_y in 1.0..AREA - 1.0,
+    ) {
+        let (mut ls, oracle) = deploy(&pop, shape);
+        let p = Point::new(px, py);
+        let entry = ls.leaf_for(Point::new(entry_x, entry_y));
+        let ans = ls.neighbor_query(entry, p, req_acc, near_qual).unwrap();
+        prop_assert!(ans.complete);
+
+        let (expect_nearest, expect_near) = select_neighbors(p, &oracle, req_acc, near_qual);
+        prop_assert_eq!(
+            ans.nearest.map(|(o, _)| o),
+            expect_nearest.map(|(o, _)| o),
+            "nearest mismatch"
+        );
+        let mut got_near: Vec<u64> = ans.near_set.iter().map(|(o, _)| o.0).collect();
+        got_near.sort();
+        let mut want_near: Vec<u64> = expect_near.iter().map(|(o, _)| o.0).collect();
+        want_near.sort();
+        prop_assert_eq!(got_near, want_near, "near-set mismatch");
+    }
+
+    /// Position queries from arbitrary entries return the registered
+    /// descriptor for every object.
+    #[test]
+    fn distributed_pos_query_matches_oracle(
+        pop in population(),
+        shape in hierarchy_shape(),
+        entry_x in 1.0..AREA - 1.0,
+        entry_y in 1.0..AREA - 1.0,
+    ) {
+        let (mut ls, oracle) = deploy(&pop, shape);
+        let entry = ls.leaf_for(Point::new(entry_x, entry_y));
+        for (oid, ld) in &oracle {
+            let got = ls.pos_query(entry, *oid).unwrap();
+            prop_assert_eq!(got.pos, ld.pos);
+            prop_assert_eq!(got.acc_m, ld.acc_m);
+        }
+    }
+}
