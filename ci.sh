@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI gate for the hiloc workspace.
+#
+# Everything runs with --offline: the workspace has a zero-external-
+# dependency policy (see README.md), and this script proves on every
+# run that no [dependencies] entry outside the workspace has crept in.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> guard: no external dependencies in any manifest"
+bad=$(find . -path ./target -prune -o -name Cargo.toml -print | while read -r m; do
+    awk -v file="$m" '
+        # Track [dependencies]-style sections, including the
+        # [dependencies.<name>] table-header form.
+        /^\[/ {
+            list_section = ($0 ~ /dependencies\]$/)
+            table_section = ($0 ~ /dependencies\.[A-Za-z0-9_-]+\]$/)
+            table_has_path = 0
+            table_header = $0
+        }
+        list_section && /^[a-zA-Z0-9_-]+ *=/ && !/path *=/ { print file ": " $0 }
+        table_section && /^path *=/ { table_has_path = 1 }
+        table_section && /^(version|git|registry) *=/ && !table_has_path {
+            print file ": " table_header " " $0
+        }
+    ' "$m"
+done)
+if [ -n "$bad" ]; then
+    echo "error: found a non-path dependency in a Cargo.toml:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> bench targets compile"
+cargo check --offline --workspace --benches
+
+echo "CI green."

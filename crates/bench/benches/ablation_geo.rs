@@ -2,7 +2,7 @@
 //! range-query qualification (exact circle overlap) and routing
 //! (containment, enlargement, projection).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hiloc_util::bench::{criterion_group, criterion_main, Criterion};
 use hiloc_geo::{Circle, GeoPoint, LocalProjection, Point, Polygon, Rect, Region};
 use std::hint::black_box;
 
@@ -46,7 +46,9 @@ fn bench_geo(c: &mut Criterion) {
         let proj = LocalProjection::new(GeoPoint::new(48.7758, 9.1829));
         let g = GeoPoint::new(48.78, 9.19);
         b.iter(|| {
-            let local = proj.to_local(g);
+            // black_box the input so the constant fold cannot erase the
+            // whole round-trip.
+            let local = proj.to_local(black_box(g));
             black_box(proj.to_geo(local))
         });
     });

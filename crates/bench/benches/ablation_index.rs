@@ -2,7 +2,7 @@
 //! uniform grid vs naive scan, on the Table 1 population, for inserts,
 //! moves, range queries and nearest-neighbor queries.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hiloc_util::bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use hiloc_bench::fixtures::{table1_area, uniform_points};
 use hiloc_geo::{Point, Rect};
 use hiloc_spatial::{GridIndex, NaiveIndex, PointQuadtree, RTree, SpatialIndex};

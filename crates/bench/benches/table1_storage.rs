@@ -1,8 +1,8 @@
-//! Criterion bench for Table 1: per-operation cost of the data-storage
+//! Micro-bench (in-tree harness) for Table 1: per-operation cost of the data-storage
 //! component (insert / update / position query / range queries of three
 //! sizes) on the paper's 10 km × 10 km, 25 000-object population.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hiloc_util::bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use hiloc_bench::fixtures::{populated_db, stored, table1_area, uniform_points};
 use hiloc_core::model::semantics::qualifies_for_range;
 use hiloc_core::model::LocationDescriptor;

@@ -1,4 +1,4 @@
-//! Criterion bench for Table 2: end-to-end cost of the distributed
+//! Micro-bench (in-tree harness) for Table 2: end-to-end cost of the distributed
 //! operations (protocol processing across all involved servers) on the
 //! paper's 1-root / 4-leaf testbed, driven deterministically.
 //!
@@ -6,7 +6,7 @@
 //! message path (no artificial latency); the `experiments table2`
 //! binary measures the concurrent threaded deployment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hiloc_util::bench::{criterion_group, criterion_main, Criterion};
 use hiloc_bench::fixtures::{table2_area, table2_hierarchy, uniform_points};
 use hiloc_core::model::{ObjectId, RangeQuery, Sighting};
 use hiloc_core::runtime::SimDeployment;

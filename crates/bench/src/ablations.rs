@@ -9,8 +9,8 @@ use hiloc_core::runtime::SimDeployment;
 use hiloc_geo::{Point, Rect, Region};
 use hiloc_sim::mobility::MobilityKind;
 use hiloc_sim::{Fleet, FleetConfig, Samples};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 // ------------------------------------------------------- caching (§6.5)
 

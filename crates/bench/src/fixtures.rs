@@ -3,8 +3,8 @@
 use hiloc_core::area::{Hierarchy, HierarchyBuilder};
 use hiloc_geo::{Point, Rect};
 use hiloc_storage::{SightingDb, StoredSighting};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 /// The paper's Table 1 storage setting: a 10 km × 10 km service area.
 pub fn table1_area() -> Rect {

@@ -22,8 +22,8 @@ use hiloc_core::runtime::{SimDeployment, SyncClient, ThreadedDeployment};
 use hiloc_geo::{Point, Rect, Region};
 use hiloc_net::ServerId;
 use hiloc_sim::Samples;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 

@@ -2,12 +2,11 @@
 
 use hiloc_geo::{Point, Rect};
 use hiloc_net::ServerId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A child entry in a server's configuration record (`c.children`):
 /// the child's identity and its service area.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChildRef {
     /// The child server.
     pub id: ServerId,
@@ -18,7 +17,7 @@ pub struct ChildRef {
 /// A location server's configuration record (the paper's `c`, §5):
 /// its service area, parent, children — plus deployment-wide constants
 /// every server knows (the root area).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// This server's identity.
     pub id: ServerId,
@@ -103,7 +102,7 @@ impl std::error::Error for HierarchyError {}
 ///
 /// Server ids are dense (`0..len`), assigned in breadth-first order
 /// with the root as `ServerId(0)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hierarchy {
     servers: Vec<ServerConfig>,
 }
@@ -182,13 +181,39 @@ impl Hierarchy {
     /// Serializes the hierarchy to JSON (the paper keeps each server's
     /// configuration record on persistent storage; hiloc persists the
     /// whole deployment configuration in one readable document).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when serialization fails (never for valid
-    /// hierarchies).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> String {
+        use hiloc_util::json::Json;
+        let servers = self
+            .servers
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("id".into(), Json::Num(f64::from(s.id.0))),
+                    ("area".into(), rect_to_json(&s.area)),
+                    (
+                        "parent".into(),
+                        s.parent.map_or(Json::Null, |p| Json::Num(f64::from(p.0))),
+                    ),
+                    (
+                        "children".into(),
+                        Json::Arr(
+                            s.children
+                                .iter()
+                                .map(|c| {
+                                    Json::Obj(vec![
+                                        ("id".into(), Json::Num(f64::from(c.id.0))),
+                                        ("area".into(), rect_to_json(&c.area)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("root_area".into(), rect_to_json(&s.root_area)),
+                    ("level".into(), Json::Num(f64::from(s.level))),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("servers".into(), Json::Arr(servers))]).to_string_pretty()
     }
 
     /// Deserializes and **validates** a hierarchy from JSON.
@@ -197,7 +222,53 @@ impl Hierarchy {
     ///
     /// Returns a parse error or the first structural violation.
     pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
-        let h: Hierarchy = serde_json::from_str(json)?;
+        use hiloc_util::json::Json;
+        let doc = Json::parse(json)?;
+        let missing = |what: &str| -> Box<dyn std::error::Error + Send + Sync> {
+            format!("missing or invalid field '{what}'").into()
+        };
+        let servers = doc
+            .get("servers")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("servers"))?
+            .iter()
+            .map(|s| {
+                let server_id = |v: &Json| v.as_u64().and_then(|n| u32::try_from(n).ok());
+                let id = s.get("id").and_then(server_id).ok_or_else(|| missing("id"))?;
+                let parent = match s.get("parent") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(ServerId(server_id(v).ok_or_else(|| missing("parent"))?)),
+                };
+                let children = s
+                    .get("children")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| missing("children"))?
+                    .iter()
+                    .map(|c| {
+                        Ok(ChildRef {
+                            id: ServerId(
+                                c.get("id").and_then(server_id).ok_or_else(|| missing("child id"))?,
+                            ),
+                            area: rect_from_json(c.get("area")).ok_or_else(|| missing("child area"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, Box<dyn std::error::Error + Send + Sync>>>()?;
+                Ok(ServerConfig {
+                    id: ServerId(id),
+                    area: rect_from_json(s.get("area")).ok_or_else(|| missing("area"))?,
+                    parent,
+                    children,
+                    root_area: rect_from_json(s.get("root_area"))
+                        .ok_or_else(|| missing("root_area"))?,
+                    level: s
+                        .get("level")
+                        .and_then(Json::as_u64)
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| missing("level"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, Box<dyn std::error::Error + Send + Sync>>>()?;
+        let h = Hierarchy { servers };
         h.validate()?;
         Ok(h)
     }
@@ -210,7 +281,7 @@ impl Hierarchy {
     /// Returns an error on serialization or I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let path = path.as_ref();
-        let json = self.to_json().map_err(std::io::Error::other)?;
+        let json = self.to_json();
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, path)?;
@@ -292,6 +363,26 @@ impl Hierarchy {
         }
         Ok(())
     }
+}
+
+fn rect_to_json(r: &Rect) -> hiloc_util::json::Json {
+    use hiloc_util::json::Json;
+    Json::Obj(vec![
+        ("min_x".into(), Json::Num(r.min().x)),
+        ("min_y".into(), Json::Num(r.min().y)),
+        ("max_x".into(), Json::Num(r.max().x)),
+        ("max_y".into(), Json::Num(r.max().y)),
+    ])
+}
+
+fn rect_from_json(v: Option<&hiloc_util::json::Json>) -> Option<Rect> {
+    use hiloc_util::json::Json;
+    let v = v?;
+    let f = |key: &str| v.get(key).and_then(Json::as_f64);
+    Some(Rect::new(
+        Point::new(f("min_x")?, f("min_y")?),
+        Point::new(f("max_x")?, f("max_y")?),
+    ))
 }
 
 /// Builds regular hierarchies over a rectangular root area.
@@ -548,7 +639,7 @@ mod tests {
     #[test]
     fn json_roundtrip_and_validation() {
         let h = HierarchyBuilder::grid(root_rect(), 2, 2).build().unwrap();
-        let json = h.to_json().unwrap();
+        let json = h.to_json();
         let back = Hierarchy::from_json(&json).unwrap();
         assert_eq!(h, back);
 

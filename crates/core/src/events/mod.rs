@@ -26,10 +26,9 @@ pub use engine::{CoordinatorEvents, LeafObservers, ObserverDelta};
 use crate::model::ObjectId;
 use hiloc_geo::Region;
 use hiloc_net::wire::{self, WireCodec};
-use serde::{Deserialize, Serialize};
 
 /// A predicate an application can register for.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// Fires when the number of tracked objects inside `area` reaches
     /// `threshold` (re-arms when the count drops below it again).
@@ -119,7 +118,7 @@ fn get_opt_oid(buf: &mut &[u8]) -> Option<Option<ObjectId>> {
 }
 
 /// A fired event delivered to the subscriber.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// A [`Predicate::CountAtLeast`] threshold was reached.
     CountReached {

@@ -3,7 +3,6 @@
 use super::{Micros, ObjectId, SECOND};
 use hiloc_geo::{Circle, Point};
 use hiloc_net::Endpoint;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tracked object's location descriptor `ld(o)`: recorded position
@@ -12,7 +11,7 @@ use std::fmt;
 /// The accuracy is "the worst-case deviation of `ld(o).pos` from `o`'s
 /// actual position" — the object is guaranteed to reside inside the
 /// circular *location area* [`LocationDescriptor::location_area`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocationDescriptor {
     /// Recorded position (`ld.pos`), local planar frame.
     pub pos: Point,
@@ -50,7 +49,7 @@ impl fmt::Display for LocationDescriptor {
 
 /// A sighting record `s ∈ S`: one observation of a tracked object by a
 /// positioning system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sighting {
     /// The tracked object (`s.oId`).
     pub oid: ObjectId,
@@ -91,7 +90,7 @@ impl Sighting {
 
 /// Registration information kept for a tracked object (the paper's
 /// `v.regInfo`): who registered it and the negotiated accuracy range.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegInfo {
     /// The registering instance (`reginfo.reg`), notified on accuracy
     /// changes and handovers.

@@ -13,13 +13,12 @@ pub use error::LsError;
 pub use query::{NeighborAnswer, QueryQos, RangeAnswer, RangeQuery};
 pub use update_policy::{LastReport, UpdateDecision, UpdatePolicy};
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a tracked object, unique within the service's
 /// namespace `OId`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct ObjectId(pub u64);
 

@@ -2,11 +2,10 @@
 
 use super::{LocationDescriptor, ObjectId};
 use hiloc_geo::Region;
-use serde::{Deserialize, Serialize};
 
 /// Accuracy-related quality-of-service bounds shared by range and
 /// nearest-neighbor queries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryQos {
     /// Requested accuracy threshold in meters: objects whose descriptor
     /// accuracy is worse (larger) are not considered.
@@ -26,7 +25,7 @@ impl QueryQos {
 }
 
 /// Parameters of a range query: `rangeQuery(a, reqAcc, reqOverlap)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RangeQuery {
     /// The queried geographic area `a`.
     pub area: Region,

@@ -10,10 +10,9 @@
 
 use super::{Micros, SECOND};
 use hiloc_geo::Point;
-use serde::{Deserialize, Serialize};
 
 /// When a tracked object should send a position update to its agent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UpdatePolicy {
     /// Report when the current position deviates from the last reported
     /// one by more than `threshold_m` (the paper's protocol, with

@@ -8,7 +8,7 @@
 //! * [`ThreadedDeployment`] — one OS thread per server over
 //!   [`hiloc_net::ChannelNetwork`]; real wall-clock concurrency for the
 //!   Table 2 measurements.
-//! * [`UdpDeployment`] — one UDP socket and tokio task per server; the
+//! * [`UdpDeployment`] — one UDP socket and OS thread per server; the
 //!   paper's transport, deployable across processes and hosts.
 
 mod sim;

@@ -2,10 +2,10 @@
 //!
 //! The paper's prototype ran its protocols "on top of UDP to achieve
 //! efficient client/server and server/server interactions"; this
-//! runtime does the same with tokio — one socket and one task per
-//! server, datagrams carrying the binary-encoded [`Message`]s. It is
-//! the deployment you would split across real hosts (the address book
-//! is plain socket addresses).
+//! runtime does the same with blocking sockets — one socket and one OS
+//! thread per server, datagrams carrying the binary-encoded
+//! [`Message`]s. It is the deployment you would split across real hosts
+//! (the address book is plain socket addresses).
 
 use crate::area::Hierarchy;
 use crate::model::{
@@ -20,13 +20,13 @@ use hiloc_net::{ClientId, CorrIdGen, Endpoint, Envelope, ServerId, UdpEndpoint, 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tokio::sync::watch;
-use tokio::task::JoinHandle;
 
-/// Upper bound on how long a server task sleeps before re-checking its
-/// timers.
+/// Upper bound on how long a server thread waits for a datagram before
+/// re-checking its timers (and the shutdown flag).
 const MAX_TIMER_NAP: Duration = Duration::from_millis(50);
 
 /// A location service deployed over real UDP sockets (localhost by
@@ -40,22 +40,22 @@ const MAX_TIMER_NAP: Duration = Duration::from_millis(50);
 /// use hiloc_core::runtime::UdpDeployment;
 /// use hiloc_geo::{Point, Rect};
 ///
-/// # async fn demo() -> Result<(), Box<dyn std::error::Error>> {
+/// # fn demo() -> Result<(), Box<dyn std::error::Error>> {
 /// let h = HierarchyBuilder::grid(
 ///     Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)), 1, 2,
 /// ).build()?;
-/// let ls = UdpDeployment::bind(h, Default::default()).await?;
-/// let mut client = ls.client().await?;
+/// let ls = UdpDeployment::bind(h, Default::default())?;
+/// let mut client = ls.client()?;
 /// let entry = ls.leaf_for(Point::new(10.0, 10.0));
-/// client.register(entry, Sighting::new(ObjectId(1), 0, Point::new(10.0, 10.0), 5.0), 10.0, 50.0, 3.0).await?;
-/// ls.shutdown().await;
+/// client.register(entry, Sighting::new(ObjectId(1), 0, Point::new(10.0, 10.0), 5.0), 10.0, 50.0, 3.0)?;
+/// ls.shutdown();
 /// # Ok(())
 /// # }
 /// ```
 pub struct UdpDeployment {
     hierarchy: Hierarchy,
     addrs: HashMap<Endpoint, SocketAddr>,
-    shutdown_tx: watch::Sender<bool>,
+    shutdown: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     epoch: Instant,
     next_client: AtomicU64,
@@ -69,35 +69,35 @@ impl std::fmt::Debug for UdpDeployment {
 
 impl UdpDeployment {
     /// Binds one UDP socket per server on ephemeral localhost ports and
-    /// spawns the server tasks.
+    /// spawns the server threads.
     ///
     /// # Errors
     ///
     /// Returns an error when a socket cannot be bound or a server's
     /// durable store cannot be opened.
-    pub async fn bind(hierarchy: Hierarchy, opts: ServerOptions) -> Result<Self, UdpError> {
+    pub fn bind(hierarchy: Hierarchy, opts: ServerOptions) -> Result<Self, UdpError> {
         let epoch = Instant::now();
         let mut endpoints = Vec::with_capacity(hierarchy.len());
         let mut addrs: HashMap<Endpoint, SocketAddr> = HashMap::new();
         for cfg in hierarchy.servers() {
             let ep: UdpEndpoint<Message> =
-                UdpEndpoint::bind(cfg.id.into(), "127.0.0.1:0".parse().expect("valid addr"))
-                    .await?;
+                UdpEndpoint::bind(cfg.id.into(), "127.0.0.1:0".parse().expect("valid addr"))?;
             addrs.insert(cfg.id.into(), ep.local_addr()?);
             endpoints.push(ep);
         }
-        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let shutdown = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::with_capacity(endpoints.len());
         for (cfg, ep) in hierarchy.servers().iter().zip(endpoints) {
             ep.add_routes(addrs.iter().map(|(e, a)| (*e, *a)));
             let server = LocationServer::new(cfg.clone(), opts.clone())
                 .map_err(|e| UdpError::Io(std::io::Error::other(e.to_string())))?;
-            handles.push(tokio::spawn(server_task(server, ep, epoch, shutdown_rx.clone())));
+            let stop = Arc::clone(&shutdown);
+            handles.push(std::thread::spawn(move || server_loop(server, ep, epoch, stop)));
         }
         Ok(UdpDeployment {
             hierarchy,
             addrs,
-            shutdown_tx,
+            shutdown,
             handles,
             epoch,
             next_client: AtomicU64::new(1 << 52),
@@ -128,16 +128,16 @@ impl UdpDeployment {
         self.epoch.elapsed().as_micros() as Micros
     }
 
-    /// Creates an async client bound to its own UDP socket, with routes
-    /// to every server.
+    /// Creates a client bound to its own UDP socket, with routes to
+    /// every server.
     ///
     /// # Errors
     ///
     /// Returns an error when the client socket cannot be bound.
-    pub async fn client(&self) -> Result<UdpClient, UdpError> {
+    pub fn client(&self) -> Result<UdpClient, UdpError> {
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let ep: UdpEndpoint<Message> =
-            UdpEndpoint::bind(id.into(), "127.0.0.1:0".parse().expect("valid addr")).await?;
+            UdpEndpoint::bind(id.into(), "127.0.0.1:0".parse().expect("valid addr"))?;
         ep.add_routes(self.addrs.iter().map(|(e, a)| (*e, *a)));
         Ok(UdpClient {
             id,
@@ -149,53 +149,59 @@ impl UdpDeployment {
         })
     }
 
-    /// Stops all server tasks.
-    pub async fn shutdown(mut self) {
-        let _ = self.shutdown_tx.send(true);
+    /// Stops all server threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
         for h in self.handles.drain(..) {
-            let _ = h.await;
+            let _ = h.join();
         }
     }
 }
 
-async fn server_task(
+impl Drop for UdpDeployment {
+    fn drop(&mut self) {
+        // Belt and braces: signal the threads even when `shutdown` was
+        // never called, so a dropped deployment does not leak loops.
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn server_loop(
     mut server: LocationServer,
     ep: UdpEndpoint<Message>,
     epoch: Instant,
-    mut shutdown: watch::Receiver<bool>,
+    shutdown: Arc<AtomicBool>,
 ) {
-    loop {
+    while !shutdown.load(Ordering::Relaxed) {
+        // Fire due timers before blocking on the socket.
+        let now = epoch.elapsed().as_micros() as Micros;
+        if server.next_timer().map(|t| t <= now).unwrap_or(false) {
+            for out in server.tick(now) {
+                let _ = ep.send(out);
+            }
+        }
         let now = epoch.elapsed().as_micros() as Micros;
         let nap = match server.next_timer() {
             Some(t) => Duration::from_micros(t.saturating_sub(now)).min(MAX_TIMER_NAP),
             None => MAX_TIMER_NAP,
         };
-        tokio::select! {
-            _ = shutdown.changed() => break,
-            _ = tokio::time::sleep(nap) => {
+        match ep.recv_timeout(nap) {
+            Ok(Some(env)) => {
                 let now = epoch.elapsed().as_micros() as Micros;
-                if server.next_timer().map(|t| t <= now).unwrap_or(false) {
-                    for out in server.tick(now) {
-                        let _ = ep.send(out).await;
-                    }
+                for out in server.handle(now, env) {
+                    let _ = ep.send(out);
                 }
             }
-            received = ep.recv() => {
-                match received {
-                    Ok(env) => {
-                        let now = epoch.elapsed().as_micros() as Micros;
-                        for out in server.handle(now, env) {
-                            let _ = ep.send(out).await;
-                        }
-                    }
-                    Err(_) => break,
-                }
-            }
+            Ok(None) => {} // timer nap elapsed; loop re-checks timers
+            Err(_) => break,
         }
     }
 }
 
-/// An async client of a [`UdpDeployment`].
+/// A blocking client of a [`UdpDeployment`].
 pub struct UdpClient {
     id: ClientId,
     ep: UdpEndpoint<Message>,
@@ -227,17 +233,13 @@ impl UdpClient {
         self.timeout = timeout;
     }
 
-    async fn send(&self, to: ServerId, msg: Message) -> Result<(), LsError> {
+    fn send(&self, to: ServerId, msg: Message) -> Result<(), LsError> {
         self.ep
             .send(Envelope::new(self.id.into(), to.into(), msg))
-            .await
             .map_err(|_| LsError::NoRoute)
     }
 
-    async fn wait_for(
-        &mut self,
-        mut pred: impl FnMut(&Message) -> bool,
-    ) -> Result<Message, LsError> {
+    fn wait_for(&mut self, mut pred: impl FnMut(&Message) -> bool) -> Result<Message, LsError> {
         if let Some(idx) = self.stash.iter().position(&mut pred) {
             return Ok(self.stash.remove(idx).expect("indexed above"));
         }
@@ -247,11 +249,11 @@ impl UdpClient {
             if now >= deadline {
                 return Err(LsError::Timeout);
             }
-            match tokio::time::timeout(deadline - now, self.ep.recv()).await {
-                Err(_) => return Err(LsError::Timeout),
-                Ok(Err(_)) => return Err(LsError::NoRoute),
-                Ok(Ok(env)) if pred(&env.msg) => return Ok(env.msg),
-                Ok(Ok(env)) => self.stash.push_back(env.msg),
+            match self.ep.recv_timeout(deadline - now) {
+                Err(_) => return Err(LsError::NoRoute),
+                Ok(None) => return Err(LsError::Timeout),
+                Ok(Some(env)) if pred(&env.msg) => return Ok(env.msg),
+                Ok(Some(env)) => self.stash.push_back(env.msg),
             }
         }
     }
@@ -261,7 +263,7 @@ impl UdpClient {
     /// # Errors
     ///
     /// [`LsError::AccuracyUnavailable`] or [`LsError::Timeout`].
-    pub async fn register(
+    pub fn register(
         &mut self,
         entry: ServerId,
         sighting: Sighting,
@@ -280,16 +282,12 @@ impl UdpClient {
                 registrant: self.id.into(),
                 corr,
             },
-        )
-        .await?;
-        match self
-            .wait_for(|m| {
-                matches!(m,
-                    Message::RegisterRes { corr: c, .. } | Message::RegisterFailed { corr: c, .. }
-                    if *c == corr)
-            })
-            .await?
-        {
+        )?;
+        match self.wait_for(|m| {
+            matches!(m,
+                Message::RegisterRes { corr: c, .. } | Message::RegisterFailed { corr: c, .. }
+                if *c == corr)
+        })? {
             Message::RegisterRes { agent, offered_acc_m, .. } => Ok((agent, offered_acc_m)),
             Message::RegisterFailed { server, achievable_m, .. } => {
                 Err(LsError::AccuracyUnavailable { server, achievable_m })
@@ -303,22 +301,19 @@ impl UdpClient {
     /// # Errors
     ///
     /// [`LsError::Timeout`] when no response arrives.
-    pub async fn update(
+    pub fn update(
         &mut self,
         agent: ServerId,
         sighting: Sighting,
     ) -> Result<UpdateOutcome, LsError> {
         let oid = sighting.oid;
-        self.send(agent, Message::UpdateReq { sighting }).await?;
-        match self
-            .wait_for(|m| {
-                matches!(m,
-                    Message::UpdateAck { oid: o, .. }
-                    | Message::AgentChanged { oid: o, .. }
-                    | Message::OutOfServiceArea { oid: o } if *o == oid)
-            })
-            .await?
-        {
+        self.send(agent, Message::UpdateReq { sighting })?;
+        match self.wait_for(|m| {
+            matches!(m,
+                Message::UpdateAck { oid: o, .. }
+                | Message::AgentChanged { oid: o, .. }
+                | Message::OutOfServiceArea { oid: o } if *o == oid)
+        })? {
             Message::UpdateAck { offered_acc_m, .. } => Ok(UpdateOutcome::Ack { offered_acc_m }),
             Message::AgentChanged { new_agent, offered_acc_m, .. } => {
                 Ok(UpdateOutcome::NewAgent { agent: new_agent, offered_acc_m })
@@ -333,17 +328,14 @@ impl UdpClient {
     /// # Errors
     ///
     /// [`LsError::UnknownObject`] or [`LsError::Timeout`].
-    pub async fn pos_query(
+    pub fn pos_query(
         &mut self,
         entry: ServerId,
         oid: ObjectId,
     ) -> Result<LocationDescriptor, LsError> {
         let corr = self.corr.next_id();
-        self.send(entry, Message::PosQueryReq { oid, corr }).await?;
-        match self
-            .wait_for(|m| matches!(m, Message::PosQueryRes { corr: c, .. } if *c == corr))
-            .await?
-        {
+        self.send(entry, Message::PosQueryReq { oid, corr })?;
+        match self.wait_for(|m| matches!(m, Message::PosQueryRes { corr: c, .. } if *c == corr))? {
             Message::PosQueryRes { found: Some(ld), .. } => Ok(ld),
             Message::PosQueryRes { found: None, .. } => Err(LsError::UnknownObject(oid)),
             _ => unreachable!("filtered by wait_for"),
@@ -355,17 +347,14 @@ impl UdpClient {
     /// # Errors
     ///
     /// [`LsError::Timeout`] when no answer arrives.
-    pub async fn range_query(
+    pub fn range_query(
         &mut self,
         entry: ServerId,
         query: RangeQuery,
     ) -> Result<RangeAnswer, LsError> {
         let corr = self.corr.next_id();
-        self.send(entry, Message::RangeQueryReq { query, corr }).await?;
-        match self
-            .wait_for(|m| matches!(m, Message::RangeQueryRes { corr: c, .. } if *c == corr))
-            .await?
-        {
+        self.send(entry, Message::RangeQueryReq { query, corr })?;
+        match self.wait_for(|m| matches!(m, Message::RangeQueryRes { corr: c, .. } if *c == corr))? {
             Message::RangeQueryRes { items, complete, .. } => {
                 Ok(RangeAnswer { objects: items, complete })
             }
@@ -378,7 +367,7 @@ impl UdpClient {
     /// # Errors
     ///
     /// [`LsError::Timeout`] when no answer arrives.
-    pub async fn neighbor_query(
+    pub fn neighbor_query(
         &mut self,
         entry: ServerId,
         p: Point,
@@ -386,10 +375,9 @@ impl UdpClient {
         near_qual_m: f64,
     ) -> Result<NeighborAnswer, LsError> {
         let corr = self.corr.next_id();
-        self.send(entry, Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr }).await?;
+        self.send(entry, Message::NeighborQueryReq { p, req_acc_m, near_qual_m, corr })?;
         match self
-            .wait_for(|m| matches!(m, Message::NeighborQueryRes { corr: c, .. } if *c == corr))
-            .await?
+            .wait_for(|m| matches!(m, Message::NeighborQueryRes { corr: c, .. } if *c == corr))?
         {
             Message::NeighborQueryRes { nearest, near_set, complete, .. } => {
                 Ok(NeighborAnswer { nearest, near_set, complete })

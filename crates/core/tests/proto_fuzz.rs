@@ -1,64 +1,71 @@
 //! Codec robustness: the wire decoder must never panic, whatever bytes
 //! arrive, and encode∘decode must be the identity on valid messages
-//! under random mutation of unrelated inputs.
+//! under random mutation of unrelated inputs. Runs on the in-tree
+//! seeded harness ([`hiloc_util::prop`]); case counts mirror the
+//! original proptest configuration.
 
 use hiloc_core::model::{ObjectId, Sighting};
 use hiloc_core::proto::Message;
 use hiloc_geo::Point;
 use hiloc_net::wire::WireCodec;
 use hiloc_net::CorrId;
-use proptest::prelude::*;
+use hiloc_util::prop::check;
+use hiloc_util::rng::RngExt;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: u32 = 512;
 
-    /// Arbitrary bytes: decode returns None or a message, never panics.
-    #[test]
-    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Arbitrary bytes: decode returns None or a message, never panics.
+#[test]
+fn random_bytes_never_panic() {
+    check(CASES, |g| {
+        let bytes = g.bytes(255);
         let _ = Message::from_bytes(&bytes);
-    }
+    });
+}
 
-    /// Valid message bytes with a single flipped byte: decode must not
-    /// panic (it may return None or a different valid message).
-    #[test]
-    fn bit_flipped_messages_never_panic(
-        oid in any::<u64>(),
-        x in -1e6..1e6f64,
-        y in -1e6..1e6f64,
-        acc in 0.0..1e4f64,
-        flip_pos in any::<prop::sample::Index>(),
-        flip_bits in 1u8..=255,
-    ) {
+/// Valid message bytes with a single flipped byte: decode must not
+/// panic (it may return None or a different valid message).
+#[test]
+fn bit_flipped_messages_never_panic() {
+    check(CASES, |g| {
+        let oid = g.random::<u64>();
+        let x = g.random_range(-1e6..1e6);
+        let y = g.random_range(-1e6..1e6);
+        let acc = g.random_range(0.0..1e4);
+        let flip_bits = g.random_range(1u8..=255);
         let msg = Message::UpdateReq {
             sighting: Sighting::new(ObjectId(oid), 123, Point::new(x, y), acc),
         };
         let mut bytes = msg.to_bytes();
-        let idx = flip_pos.index(bytes.len());
+        let idx = g.index(bytes.len());
         bytes[idx] ^= flip_bits;
         let _ = Message::from_bytes(&bytes);
-    }
+    });
+}
 
-    /// Round-trip across the numeric input space.
-    #[test]
-    fn update_roundtrip_across_input_space(
-        oid in any::<u64>(),
-        t in any::<u64>(),
-        x in -1e9..1e9f64,
-        y in -1e9..1e9f64,
-        acc in 0.0..1e6f64,
-    ) {
+/// Round-trip across the numeric input space.
+#[test]
+fn update_roundtrip_across_input_space() {
+    check(CASES, |g| {
+        let oid = g.random::<u64>();
+        let t = g.random::<u64>();
+        let x = g.random_range(-1e9..1e9);
+        let y = g.random_range(-1e9..1e9);
+        let acc = g.random_range(0.0..1e6);
         let msg = Message::UpdateReq {
             sighting: Sighting::new(ObjectId(oid), t, Point::new(x, y), acc),
         };
-        prop_assert_eq!(Message::from_bytes(&msg.to_bytes()), Some(msg));
-    }
+        assert_eq!(Message::from_bytes(&msg.to_bytes()), Some(msg));
+    });
+}
 
-    /// Concatenated messages decode sequentially via `decode` (stream
-    /// framing sanity).
-    #[test]
-    fn sequential_decode_of_concatenated_messages(
-        oids in prop::collection::vec(any::<u64>(), 1..8),
-    ) {
+/// Concatenated messages decode sequentially via `decode` (stream
+/// framing sanity).
+#[test]
+fn sequential_decode_of_concatenated_messages() {
+    check(CASES, |g| {
+        let n = g.random_range(1..8usize);
+        let oids: Vec<u64> = (0..n).map(|_| g.random::<u64>()).collect();
         let mut buf = Vec::new();
         for &oid in &oids {
             Message::PosQueryReq { oid: ObjectId(oid), corr: CorrId(oid ^ 0xFF) }.encode(&mut buf);
@@ -66,8 +73,8 @@ proptest! {
         let mut slice = buf.as_slice();
         for &oid in &oids {
             let got = Message::decode(&mut slice).expect("valid message");
-            prop_assert_eq!(got, Message::PosQueryReq { oid: ObjectId(oid), corr: CorrId(oid ^ 0xFF) });
+            assert_eq!(got, Message::PosQueryReq { oid: ObjectId(oid), corr: CorrId(oid ^ 0xFF) });
         }
-        prop_assert!(slice.is_empty());
-    }
+        assert!(slice.is_empty());
+    });
 }

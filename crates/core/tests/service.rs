@@ -570,8 +570,8 @@ fn many_objects_many_handovers_consistency() {
     // Stress: 200 objects random-walk across the 4 leaves for several
     // rounds; afterwards every object is queryable and the hierarchy
     // is internally consistent.
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use hiloc_util::rng::StdRng;
+    use hiloc_util::rng::{RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let mut ls = ls(testbed());
     let n = 200u64;

@@ -1,5 +1,6 @@
 //! Integration test: the full protocol over real UDP sockets on
-//! localhost (the paper's transport).
+//! localhost (the paper's transport), driven by blocking clients and
+//! OS threads.
 
 use hiloc_core::area::HierarchyBuilder;
 use hiloc_core::model::{LsError, ObjectId, RangeQuery, Sighting};
@@ -16,17 +17,16 @@ fn hierarchy() -> hiloc_core::area::Hierarchy {
     .unwrap()
 }
 
-#[tokio::test]
-async fn full_lifecycle_over_udp() {
-    let ls = UdpDeployment::bind(hierarchy(), Default::default()).await.unwrap();
-    let mut client = ls.client().await.unwrap();
+#[test]
+fn full_lifecycle_over_udp() {
+    let ls = UdpDeployment::bind(hierarchy(), Default::default()).unwrap();
+    let mut client = ls.client().unwrap();
 
     // Register in the SW quadrant.
     let start = Point::new(100.0, 100.0);
     let entry = ls.leaf_for(start);
     let (agent, offered) = client
         .register(entry, Sighting::new(ObjectId(1), 0, start, 10.0), 25.0, 100.0, 3.0)
-        .await
         .unwrap();
     assert_eq!(agent, entry);
     assert_eq!(offered, 25.0);
@@ -34,7 +34,6 @@ async fn full_lifecycle_over_udp() {
     // Update in place.
     let out = client
         .update(agent, Sighting::new(ObjectId(1), 1_000, Point::new(150.0, 150.0), 10.0))
-        .await
         .unwrap();
     assert!(matches!(out, UpdateOutcome::Ack { .. }));
 
@@ -42,7 +41,6 @@ async fn full_lifecycle_over_udp() {
     let moved = Point::new(900.0, 900.0);
     let out = client
         .update(agent, Sighting::new(ObjectId(1), 2_000, moved, 10.0))
-        .await
         .unwrap();
     let new_agent = match out {
         UpdateOutcome::NewAgent { agent, .. } => agent,
@@ -51,7 +49,7 @@ async fn full_lifecycle_over_udp() {
     assert_eq!(new_agent, ls.leaf_for(moved));
 
     // Remote position query from the original entry.
-    let ld = client.pos_query(entry, ObjectId(1)).await.unwrap();
+    let ld = client.pos_query(entry, ObjectId(1)).unwrap();
     assert_eq!(ld.pos, moved);
 
     // Range query spanning the whole area.
@@ -64,48 +62,47 @@ async fn full_lifecycle_over_udp() {
                 0.5,
             ),
         )
-        .await
         .unwrap();
     assert!(ans.complete);
     assert_eq!(ans.objects.len(), 1);
 
     // Nearest neighbor.
-    let nn = client.neighbor_query(entry, Point::new(800.0, 800.0), 50.0, 0.0).await.unwrap();
+    let nn = client.neighbor_query(entry, Point::new(800.0, 800.0), 50.0, 0.0).unwrap();
     assert_eq!(nn.nearest.unwrap().0, ObjectId(1));
 
     // Unknown object.
-    let err = client.pos_query(entry, ObjectId(99)).await.unwrap_err();
+    let err = client.pos_query(entry, ObjectId(99)).unwrap_err();
     assert!(matches!(err, LsError::UnknownObject(_)));
 
-    ls.shutdown().await;
+    ls.shutdown();
 }
 
-#[tokio::test]
-async fn multiple_udp_clients_interleave() {
-    let ls = UdpDeployment::bind(hierarchy(), Default::default()).await.unwrap();
+#[test]
+fn multiple_udp_clients_interleave() {
+    let ls = UdpDeployment::bind(hierarchy(), Default::default()).unwrap();
 
-    // Ten objects registered by ten independent clients concurrently.
-    let mut tasks = Vec::new();
+    // Ten objects registered by ten independent clients concurrently,
+    // each on its own OS thread.
+    let mut threads = Vec::new();
     for i in 0..10u64 {
-        let mut client = ls.client().await.unwrap();
+        let mut client = ls.client().unwrap();
         let entry = ls.leaf_for(Point::new(50.0 + 90.0 * i as f64, 500.0));
-        tasks.push(tokio::spawn(async move {
+        threads.push(std::thread::spawn(move || {
             let pos = Point::new(50.0 + 90.0 * i as f64, 500.0);
             client
                 .register(entry, Sighting::new(ObjectId(i), 0, pos, 10.0), 25.0, 100.0, 1.0)
-                .await
                 .unwrap();
             // Each client immediately queries its own object back.
-            client.pos_query(entry, ObjectId(i)).await.unwrap()
+            client.pos_query(entry, ObjectId(i)).unwrap()
         }));
     }
-    for (i, t) in tasks.into_iter().enumerate() {
-        let ld = t.await.unwrap();
+    for (i, t) in threads.into_iter().enumerate() {
+        let ld = t.join().unwrap();
         assert_eq!(ld.pos.x, 50.0 + 90.0 * i as f64);
     }
 
     // A final range query sees all ten.
-    let mut client = ls.client().await.unwrap();
+    let mut client = ls.client().unwrap();
     let ans = client
         .range_query(
             ls.leaf_for(Point::new(1.0, 1.0)),
@@ -115,10 +112,9 @@ async fn multiple_udp_clients_interleave() {
                 0.5,
             ),
         )
-        .await
         .unwrap();
     assert!(ans.complete);
     assert_eq!(ans.objects.len(), 10);
 
-    ls.shutdown().await;
+    ls.shutdown();
 }

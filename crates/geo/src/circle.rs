@@ -1,7 +1,6 @@
 //! Circles (location areas) and exact circle–polygon intersection.
 
 use crate::{Point, Polygon, Rect, GEO_EPS};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A circle in the local planar frame: the paper's *location area*.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert!((c.area() - std::f64::consts::PI * 4.0).abs() < 1e-12);
 /// assert!(c.contains(Point::new(1.0, 1.0)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Circle {
     /// Center of the location area (`ld.pos`).
     pub center: Point,

@@ -1,6 +1,5 @@
 //! Planar and geographic point types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
@@ -17,7 +16,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// let a = Point::new(3.0, 4.0);
 /// assert_eq!(a.distance(Point::ORIGIN), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Easting in meters.
     pub x: f64,
@@ -183,7 +182,7 @@ impl From<(f64, f64)> for Point {
 /// let d = stuttgart.distance(munich);
 /// assert!((d - 190_000.0).abs() < 10_000.0); // ~190 km apart
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north, in `[-90, 90]`.
     pub lat_deg: f64,

@@ -1,7 +1,6 @@
 //! Simple polygons in the local planar frame.
 
 use crate::{Point, Rect, GEO_EPS};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error returned when a vertex list does not form a usable polygon.
@@ -47,7 +46,7 @@ impl std::error::Error for InvalidPolygon {}
 /// assert_eq!(tri.area(), 50.0);
 /// assert!(tri.contains(Point::new(2.0, 2.0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polygon {
     vertices: Vec<Point>,
 }

@@ -1,7 +1,6 @@
 //! Equirectangular projection between WGS84 and a local planar frame.
 
 use crate::{GeoPoint, Point, EARTH_RADIUS_M};
-use serde::{Deserialize, Serialize};
 
 /// An equirectangular (plate carrée) projection anchored at a reference
 /// point, mapping WGS84 coordinates to a local planar frame in meters.
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let roundtrip = proj.to_geo(p);
 /// assert!((roundtrip.lat_deg - 48.7858).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalProjection {
     anchor: GeoPoint,
     cos_lat: f64,

@@ -1,7 +1,6 @@
 //! Axis-aligned rectangles in the local planar frame.
 
 use crate::Point;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An axis-aligned rectangle in the local frame, in meters.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(r.area(), 50.0);
 /// assert!(r.contains(Point::new(5.0, 2.5)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     min: Point,
     max: Point,

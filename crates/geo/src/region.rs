@@ -1,7 +1,6 @@
 //! Unified area type for service areas and query areas.
 
 use crate::{Circle, Point, Polygon, Rect};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A two-dimensional region in the local frame — either an axis-aligned
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(region.area(), 5_000.0);
 /// assert!(region.contains(Point::new(10.0, 10.0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Region {
     /// An axis-aligned rectangle.
     Rect(Rect),

@@ -2,155 +2,236 @@
 //!
 //! These pin down the invariants the location-service semantics rely on:
 //! intersection areas are bounded by the operand areas, `Enlarge` is
-//! monotone and covering, and the projection round-trips.
+//! monotone and covering, and the projection round-trips. Runs on the
+//! in-tree seeded harness ([`hiloc_util::prop`]); case counts mirror
+//! the original proptest configuration.
 
 use hiloc_geo::{Circle, GeoPoint, LocalProjection, Point, Polygon, Rect, Region};
-use proptest::prelude::*;
+use hiloc_util::prop::{check, Gen};
+use hiloc_util::rng::RngExt;
 
-fn small_coord() -> impl Strategy<Value = f64> {
-    -1_000.0..1_000.0f64
+const CASES: u32 = 256;
+
+fn small_coord(g: &mut Gen) -> f64 {
+    g.random_range(-1_000.0..1_000.0)
 }
 
-fn point() -> impl Strategy<Value = Point> {
-    (small_coord(), small_coord()).prop_map(|(x, y)| Point::new(x, y))
+fn point(g: &mut Gen) -> Point {
+    let x = small_coord(g);
+    let y = small_coord(g);
+    Point::new(x, y)
 }
 
-fn rect() -> impl Strategy<Value = Rect> {
-    (point(), point()).prop_map(|(a, b)| Rect::new(a, b))
+fn rect(g: &mut Gen) -> Rect {
+    let a = point(g);
+    let b = point(g);
+    Rect::new(a, b)
 }
 
-fn circle() -> impl Strategy<Value = Circle> {
-    (point(), 0.1..500.0f64).prop_map(|(c, r)| Circle::new(c, r))
+fn circle(g: &mut Gen) -> Circle {
+    let c = point(g);
+    let r = g.random_range(0.1..500.0);
+    Circle::new(c, r)
 }
 
 /// Convex polygon: a regular polygon, randomly scaled and translated.
-fn convex_polygon() -> impl Strategy<Value = Polygon> {
-    (point(), 1.0..300.0f64, 3usize..12).prop_map(|(c, r, n)| Polygon::regular(c, r, n))
+fn convex_polygon(g: &mut Gen) -> Polygon {
+    let c = point(g);
+    let r = g.random_range(1.0..300.0);
+    let n = g.random_range(3usize..12);
+    Polygon::regular(c, r, n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn rect_intersection_is_commutative_and_bounded(a in rect(), b in rect()) {
+#[test]
+fn rect_intersection_is_commutative_and_bounded() {
+    check(CASES, |g| {
+        let a = rect(g);
+        let b = rect(g);
         let ab = a.intersection_area(&b);
         let ba = b.intersection_area(&a);
-        prop_assert!((ab - ba).abs() < 1e-9);
-        prop_assert!(ab <= a.area() + 1e-9);
-        prop_assert!(ab <= b.area() + 1e-9);
-        prop_assert!(ab >= 0.0);
-    }
+        assert!((ab - ba).abs() < 1e-9);
+        assert!(ab <= a.area() + 1e-9);
+        assert!(ab <= b.area() + 1e-9);
+        assert!(ab >= 0.0);
+    });
+}
 
-    #[test]
-    fn rect_union_contains_both(a in rect(), b in rect()) {
+#[test]
+fn rect_union_contains_both() {
+    check(CASES, |g| {
+        let a = rect(g);
+        let b = rect(g);
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
-    }
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    });
+}
 
-    #[test]
-    fn circle_polygon_intersection_bounded(c in circle(), p in convex_polygon()) {
+#[test]
+fn circle_polygon_intersection_bounded() {
+    check(CASES, |g| {
+        let c = circle(g);
+        let p = convex_polygon(g);
         let a = c.intersection_area_with_polygon(&p);
-        prop_assert!(a >= -1e-9, "negative area {a}");
-        prop_assert!(a <= c.area() * (1.0 + 1e-9) + 1e-9, "{a} > circle {}", c.area());
-        prop_assert!(a <= p.area() * (1.0 + 1e-9) + 1e-9, "{a} > polygon {}", p.area());
-    }
+        assert!(a >= -1e-9, "negative area {a}");
+        assert!(a <= c.area() * (1.0 + 1e-9) + 1e-9, "{a} > circle {}", c.area());
+        assert!(a <= p.area() * (1.0 + 1e-9) + 1e-9, "{a} > polygon {}", p.area());
+    });
+}
 
-    #[test]
-    fn circle_inside_polygon_has_full_overlap(center in point(), r in 0.5..50.0f64) {
+#[test]
+fn circle_inside_polygon_has_full_overlap() {
+    check(CASES, |g| {
+        let center = point(g);
+        let r = g.random_range(0.5..50.0);
         let c = Circle::new(center, r);
         // Polygon is the circle's bounding box enlarged: circle fully inside.
         let p = Polygon::from_rect(&c.bounding_rect().enlarged(1.0));
         let a = c.intersection_area_with_polygon(&p);
-        prop_assert!((a - c.area()).abs() < 1e-6 * c.area().max(1.0));
-    }
+        assert!((a - c.area()).abs() < 1e-6 * c.area().max(1.0));
+    });
+}
 
-    #[test]
-    fn circle_rect_matches_polygon_path(c in circle(), r in rect()) {
-        prop_assume!(r.area() > 1e-6);
+#[test]
+fn circle_rect_matches_polygon_path() {
+    check(CASES, |g| {
+        let c = circle(g);
+        let r = rect(g);
+        if r.area() <= 1e-6 {
+            return;
+        }
         let via_rect = c.intersection_area_with_rect(&r);
         let via_poly = c.intersection_area_with_polygon(&Polygon::from_rect(&r));
-        prop_assert!((via_rect - via_poly).abs() < 1e-6 * via_rect.max(1.0));
-    }
+        assert!((via_rect - via_poly).abs() < 1e-6 * via_rect.max(1.0));
+    });
+}
 
-    #[test]
-    fn circle_circle_lens_symmetric(a in circle(), b in circle()) {
+#[test]
+fn circle_circle_lens_symmetric() {
+    check(CASES, |g| {
+        let a = circle(g);
+        let b = circle(g);
         let ab = a.intersection_area_with_circle(&b);
         let ba = b.intersection_area_with_circle(&a);
-        prop_assert!((ab - ba).abs() < 1e-6 * ab.max(1.0));
-        prop_assert!(ab <= a.area().min(b.area()) * (1.0 + 1e-9) + 1e-9);
-    }
+        assert!((ab - ba).abs() < 1e-6 * ab.max(1.0));
+        assert!(ab <= a.area().min(b.area()) * (1.0 + 1e-9) + 1e-9);
+    });
+}
 
-    #[test]
-    fn polygon_clip_area_bounded(p in convex_polygon(), r in rect()) {
+#[test]
+fn polygon_clip_area_bounded() {
+    check(CASES, |g| {
+        let p = convex_polygon(g);
+        let r = rect(g);
         let a = p.intersection_area_with_rect(&r);
-        prop_assert!(a >= 0.0);
-        prop_assert!(a <= p.area() * (1.0 + 1e-9) + 1e-6);
-        prop_assert!(a <= r.area() * (1.0 + 1e-9) + 1e-6);
-    }
+        assert!(a >= 0.0);
+        assert!(a <= p.area() * (1.0 + 1e-9) + 1e-6);
+        assert!(a <= r.area() * (1.0 + 1e-9) + 1e-6);
+    });
+}
 
-    #[test]
-    fn enlarge_covers_original(p in convex_polygon(), margin in 0.0..100.0f64) {
+#[test]
+fn enlarge_covers_original() {
+    check(CASES, |g| {
+        let p = convex_polygon(g);
+        let margin = g.random_range(0.0..100.0);
         let big = p.enlarged(margin);
         for v in p.vertices() {
-            prop_assert!(big.contains(*v), "vertex {v} escaped enlargement");
+            assert!(big.contains(*v), "vertex {v} escaped enlargement");
         }
-        prop_assert!(big.area() + 1e-9 >= p.area());
-    }
+        assert!(big.area() + 1e-9 >= p.area());
+    });
+}
 
-    #[test]
-    fn enlarge_rect_area_formula(r in rect(), margin in 0.0..100.0f64) {
-        prop_assume!(r.area() > 0.0);
+#[test]
+fn enlarge_rect_area_formula() {
+    check(CASES, |g| {
+        let r = rect(g);
+        let margin = g.random_range(0.0..100.0);
+        if r.area() <= 0.0 {
+            return;
+        }
         let e = r.enlarged(margin);
         let expect = (r.width() + 2.0 * margin) * (r.height() + 2.0 * margin);
-        prop_assert!((e.area() - expect).abs() < 1e-6);
-    }
+        assert!((e.area() - expect).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn projection_roundtrip(x in -20_000.0..20_000.0f64, y in -20_000.0..20_000.0f64) {
+#[test]
+fn projection_roundtrip() {
+    check(CASES, |g| {
+        let x = g.random_range(-20_000.0..20_000.0);
+        let y = g.random_range(-20_000.0..20_000.0);
         let proj = LocalProjection::new(GeoPoint::new(48.7758, 9.1829));
         let p = Point::new(x, y);
         let back = proj.to_local(proj.to_geo(p));
-        prop_assert!(back.distance(p) < 1e-6);
-    }
+        assert!(back.distance(p) < 1e-6);
+    });
+}
 
-    #[test]
-    fn planar_distance_close_to_haversine(x1 in -5_000.0..5_000.0f64, y1 in -5_000.0..5_000.0f64,
-                                          x2 in -5_000.0..5_000.0f64, y2 in -5_000.0..5_000.0f64) {
+#[test]
+fn planar_distance_close_to_haversine() {
+    check(CASES, |g| {
+        let x1 = g.random_range(-5_000.0..5_000.0);
+        let y1 = g.random_range(-5_000.0..5_000.0);
+        let x2 = g.random_range(-5_000.0..5_000.0);
+        let y2 = g.random_range(-5_000.0..5_000.0);
         let proj = LocalProjection::new(GeoPoint::new(48.7758, 9.1829));
         let (a, b) = (Point::new(x1, y1), Point::new(x2, y2));
         let planar = a.distance(b);
-        prop_assume!(planar > 1.0);
+        if planar <= 1.0 {
+            return;
+        }
         let sphere = proj.to_geo(a).distance(proj.to_geo(b));
-        prop_assert!((planar - sphere).abs() / planar < 1e-3, "{planar} vs {sphere}");
-    }
+        assert!((planar - sphere).abs() / planar < 1e-3, "{planar} vs {sphere}");
+    });
+}
 
-    #[test]
-    fn distance_triangle_inequality(a in point(), b in point(), c in point()) {
-        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
-    }
+#[test]
+fn distance_triangle_inequality() {
+    check(CASES, |g| {
+        let a = point(g);
+        let b = point(g);
+        let c = point(g);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    });
+}
 
-    #[test]
-    fn region_overlap_fraction_in_unit_range(c in circle(), r in rect()) {
-        prop_assume!(r.area() > 1e-6);
+#[test]
+fn region_overlap_fraction_in_unit_range() {
+    check(CASES, |g| {
+        let c = circle(g);
+        let r = rect(g);
+        if r.area() <= 1e-6 {
+            return;
+        }
         let region = Region::from(r);
         let frac = region.intersection_area_with_circle(&c) / c.area();
-        prop_assert!((-1e-9..=1.0 + 1e-6).contains(&frac), "overlap fraction {frac}");
-    }
+        assert!((-1e-9..=1.0 + 1e-6).contains(&frac), "overlap fraction {frac}");
+    });
+}
 
-    #[test]
-    fn polygon_contains_centroid_when_convex(p in convex_polygon()) {
-        prop_assert!(p.contains(p.centroid()));
-    }
+#[test]
+fn polygon_contains_centroid_when_convex() {
+    check(CASES, |g| {
+        let p = convex_polygon(g);
+        assert!(p.contains(p.centroid()));
+    });
+}
 
-    #[test]
-    fn rect_distance_zero_iff_contains(r in rect(), p in point()) {
-        prop_assume!(r.area() > 0.0);
-        if r.contains(p) {
-            prop_assert_eq!(r.distance_to_point(p), 0.0);
-        } else {
-            prop_assert!(r.distance_to_point(p) > 0.0);
+#[test]
+fn rect_distance_zero_iff_contains() {
+    check(CASES, |g| {
+        let r = rect(g);
+        let p = point(g);
+        if r.area() <= 0.0 {
+            return;
         }
-    }
+        if r.contains(p) {
+            assert_eq!(r.distance_to_point(p), 0.0);
+        } else {
+            assert!(r.distance_to_point(p) > 0.0);
+        }
+    });
 }

@@ -1,15 +1,15 @@
 //! In-process channel network for threaded wall-clock runs.
 
 use crate::{Endpoint, Envelope};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::RwLock;
+use hiloc_util::sync::channel::{unbounded, Receiver, Sender, TryRecvError};
+use hiloc_util::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// The receiving side of a registered endpoint.
 ///
-/// Wraps a crossbeam receiver; each registered endpoint owns exactly
+/// Wraps an in-tree channel receiver; each registered endpoint owns
 /// one mailbox.
 #[derive(Debug)]
 pub struct Mailbox<M> {

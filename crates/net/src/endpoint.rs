@@ -1,6 +1,5 @@
 //! Addressing: servers and clients.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a location server within one service deployment.
@@ -8,7 +7,7 @@ use std::fmt;
 /// Server ids are assigned by the hierarchy builder in breadth-first
 /// order (the root is always `ServerId(0)`).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct ServerId(pub u32);
 
@@ -24,7 +23,7 @@ impl fmt::Display for ServerId {
 /// so a `ClientId` frequently corresponds to a tracked object id, but
 /// stationary clients (e.g. a fleet-dispatch console) get their own.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct ClientId(pub u64);
 
@@ -35,7 +34,7 @@ impl fmt::Display for ClientId {
 }
 
 /// A network-addressable participant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Endpoint {
     /// A location server.
     Server(ServerId),

@@ -10,10 +10,10 @@
 //!   per-link latency, jitter, loss and duplication, plus full message
 //!   tracing. Used for the reproducible experiments and the
 //!   message-flow tests of the paper's Figure 6.
-//! * [`ChannelNetwork`] — crossbeam channels between OS threads, for
+//! * [`ChannelNetwork`] — in-process channels between OS threads, for
 //!   wall-clock throughput measurements (Table 2).
-//! * [`UdpEndpoint`] — real UDP datagrams via tokio, one envelope per
-//!   datagram, for deployments across processes/hosts.
+//! * [`UdpEndpoint`] — real UDP datagrams over blocking std sockets,
+//!   one envelope per datagram, for deployments across processes/hosts.
 //!
 //! Message payloads are generic: anything implementing [`WireCodec`]
 //! (the protocol itself lives in `hiloc-core`).

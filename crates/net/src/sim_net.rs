@@ -1,8 +1,8 @@
 //! Deterministic virtual-time network simulator.
 
 use crate::{Endpoint, Envelope};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

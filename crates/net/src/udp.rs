@@ -1,16 +1,20 @@
-//! Real UDP transport (tokio): one envelope per datagram.
+//! Real UDP transport (blocking `std::net` sockets): one envelope per
+//! datagram. Concurrency is threads, as in the paper's prototype — the
+//! deployment runtime in `hiloc-core` runs one receive loop per server
+//! thread.
 
 use crate::wire::{self, WireCodec};
 use crate::{Endpoint, Envelope};
 #[cfg(test)]
 use crate::ServerId;
-use parking_lot::RwLock;
+use hiloc_util::sync::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::io::ErrorKind;
 use std::marker::PhantomData;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
-use tokio::net::UdpSocket;
+use std::time::{Duration, Instant};
 
 /// Errors produced by the UDP transport.
 #[derive(Debug)]
@@ -64,6 +68,9 @@ use wire::{get_endpoint, put_endpoint};
 ///
 /// Routes (endpoint → socket address) are added explicitly; a
 /// deployment bootstrapper distributes the address book.
+///
+/// Cloning shares the underlying socket (and its read timeout), so an
+/// endpoint should have a single receiving thread.
 pub struct UdpEndpoint<M> {
     endpoint: Endpoint,
     socket: Arc<UdpSocket>,
@@ -91,6 +98,19 @@ impl<M> Clone for UdpEndpoint<M> {
     }
 }
 
+/// True when the error kind signals an elapsed socket read timeout.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+thread_local! {
+    /// Reusable datagram buffer: receiving is per-thread (one server or
+    /// client loop per thread), so a thread-local avoids a 64 KiB
+    /// zeroed allocation per receive call on the message hot path.
+    static RECV_BUF: std::cell::RefCell<Vec<u8>> =
+        std::cell::RefCell::new(vec![0u8; 65_536]);
+}
+
 impl<M: WireCodec> UdpEndpoint<M> {
     /// Binds `endpoint` to a local socket address (use port 0 for an
     /// ephemeral port).
@@ -98,8 +118,8 @@ impl<M: WireCodec> UdpEndpoint<M> {
     /// # Errors
     ///
     /// Returns an error when binding fails.
-    pub async fn bind(endpoint: Endpoint, addr: SocketAddr) -> Result<Self, UdpError> {
-        let socket = UdpSocket::bind(addr).await?;
+    pub fn bind(endpoint: Endpoint, addr: SocketAddr) -> Result<Self, UdpError> {
+        let socket = UdpSocket::bind(addr)?;
         Ok(UdpEndpoint {
             endpoint,
             socket: Arc::new(socket),
@@ -141,7 +161,7 @@ impl<M: WireCodec> UdpEndpoint<M> {
     ///
     /// Returns an error when the destination has no route, the encoding
     /// exceeds a datagram, or the socket write fails.
-    pub async fn send(&self, env: Envelope<M>) -> Result<(), UdpError> {
+    pub fn send(&self, env: Envelope<M>) -> Result<(), UdpError> {
         let dst = {
             let routes = self.routes.read();
             *routes.get(&env.to).ok_or(UdpError::UnknownRoute(env.to))?
@@ -154,27 +174,63 @@ impl<M: WireCodec> UdpEndpoint<M> {
         if buf.len() > MAX_DATAGRAM {
             return Err(UdpError::TooLarge(buf.len()));
         }
-        self.socket.send_to(&buf, dst).await?;
+        self.socket.send_to(&buf, dst)?;
         Ok(())
     }
 
-    /// Receives the next well-formed envelope, silently skipping
-    /// datagrams that fail to decode (stray or corrupt traffic).
+    /// Blocks until the next well-formed envelope arrives, silently
+    /// skipping datagrams that fail to decode (stray or corrupt
+    /// traffic).
     ///
     /// # Errors
     ///
     /// Returns an error when the socket read fails.
-    pub async fn recv(&self) -> Result<Envelope<M>, UdpError> {
-        let mut buf = vec![0u8; 65_536];
-        loop {
-            let (n, peer) = self.socket.recv_from(&mut buf).await?;
-            if let Some(env) = decode_frame::<M>(&buf[..n]) {
-                // Opportunistically learn the sender's address so
-                // replies work without pre-provisioned routes.
-                self.routes.write().entry(env.from).or_insert(peer);
+    pub fn recv(&self) -> Result<Envelope<M>, UdpError> {
+        self.socket.set_read_timeout(None)?;
+        RECV_BUF.with_borrow_mut(|buf| loop {
+            if let Some(env) = self.recv_step(buf)? {
                 return Ok(env);
             }
+        })
+    }
+
+    /// Waits up to `timeout` for the next well-formed envelope;
+    /// `Ok(None)` when the wait elapses. Stray or corrupt datagrams are
+    /// skipped without consuming the remaining wait.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the socket read fails for a reason other
+    /// than the timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope<M>>, UdpError> {
+        let deadline = Instant::now() + timeout;
+        RECV_BUF.with_borrow_mut(|buf| loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            // A zero read timeout is rejected by the OS; round up.
+            self.socket
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            match self.recv_step(buf) {
+                Ok(Some(env)) => return Ok(Some(env)),
+                Ok(None) => continue, // stray datagram; keep waiting
+                Err(UdpError::Io(ref e)) if is_timeout(e) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        })
+    }
+
+    /// One receive attempt: `Ok(None)` when the datagram was stray.
+    fn recv_step(&self, buf: &mut [u8]) -> Result<Option<Envelope<M>>, UdpError> {
+        let (n, peer) = self.socket.recv_from(buf)?;
+        if let Some(env) = decode_frame::<M>(&buf[..n]) {
+            // Opportunistically learn the sender's address so replies
+            // work without pre-provisioned routes.
+            self.routes.write().entry(env.from).or_insert(peer);
+            return Ok(Some(env));
         }
+        Ok(None)
     }
 }
 
@@ -217,16 +273,14 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn two_endpoints_exchange_messages() {
-        let a: UdpEndpoint<TestMsg> =
-            UdpEndpoint::bind(ServerId(0).into(), "127.0.0.1:0".parse().unwrap())
-                .await
-                .unwrap();
-        let b: UdpEndpoint<TestMsg> =
-            UdpEndpoint::bind(ServerId(1).into(), "127.0.0.1:0".parse().unwrap())
-                .await
-                .unwrap();
+    fn bind(id: u32) -> UdpEndpoint<TestMsg> {
+        UdpEndpoint::bind(ServerId(id).into(), "127.0.0.1:0".parse().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn two_endpoints_exchange_messages() {
+        let a = bind(0);
+        let b = bind(1);
         a.add_route(ServerId(1).into(), b.local_addr().unwrap());
         b.add_route(ServerId(0).into(), a.local_addr().unwrap());
 
@@ -235,9 +289,8 @@ mod tests {
             ServerId(1).into(),
             TestMsg(7, "ping".into()),
         ))
-        .await
         .unwrap();
-        let got = b.recv().await.unwrap();
+        let got = b.recv().unwrap();
         assert_eq!(got.msg, TestMsg(7, "ping".into()));
         assert_eq!(got.from, Endpoint::Server(ServerId(0)));
 
@@ -247,54 +300,74 @@ mod tests {
             ServerId(0).into(),
             TestMsg(8, "pong".into()),
         ))
-        .await
         .unwrap();
-        let back = a.recv().await.unwrap();
+        let back = a.recv().unwrap();
         assert_eq!(back.msg.1, "pong");
     }
 
-    #[tokio::test]
-    async fn unknown_route_is_an_error() {
-        let a: UdpEndpoint<TestMsg> =
-            UdpEndpoint::bind(ServerId(0).into(), "127.0.0.1:0".parse().unwrap())
-                .await
-                .unwrap();
+    #[test]
+    fn unknown_route_is_an_error() {
+        let a = bind(0);
         let err = a
             .send(Envelope::new(
                 ServerId(0).into(),
                 ServerId(9).into(),
                 TestMsg(0, String::new()),
             ))
-            .await
             .unwrap_err();
         assert!(matches!(err, UdpError::UnknownRoute(_)));
     }
 
-    #[tokio::test]
-    async fn stray_datagrams_are_skipped() {
-        let a: UdpEndpoint<TestMsg> =
-            UdpEndpoint::bind(ServerId(0).into(), "127.0.0.1:0".parse().unwrap())
-                .await
-                .unwrap();
-        let raw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn stray_datagrams_are_skipped() {
+        let a = bind(0);
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
         let dst = a.local_addr().unwrap();
-        raw.send_to(b"garbage-not-a-frame", dst).await.unwrap();
+        raw.send_to(b"garbage-not-a-frame", dst).unwrap();
 
         // A valid frame after the garbage is still received.
-        let b: UdpEndpoint<TestMsg> =
-            UdpEndpoint::bind(ServerId(1).into(), "127.0.0.1:0".parse().unwrap())
-                .await
-                .unwrap();
+        let b = bind(1);
         b.add_route(ServerId(0).into(), dst);
         b.send(Envelope::new(
             ServerId(1).into(),
             ServerId(0).into(),
             TestMsg(1, "ok".into()),
         ))
-        .await
         .unwrap();
-        let got = a.recv().await.unwrap();
+        let got = a.recv().unwrap();
         assert_eq!(got.msg.1, "ok");
+    }
+
+    #[test]
+    fn recv_timeout_elapses_quietly() {
+        let a = bind(0);
+        let got = a.recv_timeout(Duration::from_millis(20)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn recv_timeout_skips_stray_datagrams_without_expiring() {
+        let a = bind(0);
+        let dst = a.local_addr().unwrap();
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        raw.send_to(b"garbage-not-a-frame", dst).unwrap();
+
+        // A valid frame arrives after the garbage but well before the
+        // deadline; the stray must not consume the whole wait.
+        let b = bind(1);
+        b.add_route(ServerId(0).into(), dst);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            b.send(Envelope::new(
+                ServerId(1).into(),
+                ServerId(0).into(),
+                TestMsg(2, "late".into()),
+            ))
+            .unwrap();
+        });
+        let got = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.expect("valid frame after stray").msg.1, "late");
+        sender.join().unwrap();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! where variable. The protocol messages themselves live in
 //! `hiloc-core`; this module provides the reusable primitives.
 
-use bytes::{Buf, BufMut};
+use hiloc_util::buf::{Buf, BufMut};
 use hiloc_geo::{Point, Polygon, Rect, Region};
 
 /// A type that can be encoded to / decoded from the hiloc wire format.

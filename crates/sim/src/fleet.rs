@@ -5,8 +5,8 @@ use hiloc_core::model::{LastReport, LsError, ObjectId, Sighting, UpdateDecision,
 use hiloc_core::runtime::{SimDeployment, UpdateOutcome};
 use hiloc_geo::Point;
 use hiloc_net::ServerId;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 /// Configuration of a tracked-object fleet.
 #[derive(Debug, Clone, Copy)]

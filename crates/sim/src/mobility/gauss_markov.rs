@@ -2,7 +2,7 @@
 
 use super::{normal_sample, object_rng, MobilityModel};
 use hiloc_geo::{Point, Rect};
-use rand::rngs::StdRng;
+use hiloc_util::rng::StdRng;
 
 /// Gauss–Markov mobility: each step the velocity is a convex blend of
 /// its previous value, a long-run mean and Gaussian noise:

@@ -2,8 +2,8 @@
 
 use super::{object_rng, MobilityModel};
 use hiloc_geo::{Point, Rect};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::RngExt;
 
 /// Movement along an axis-aligned street grid: objects travel along
 /// streets (grid lines) and may turn at intersections — the canonical

@@ -14,8 +14,8 @@ pub use manhattan::ManhattanGrid;
 pub use random_waypoint::RandomWaypoint;
 
 use hiloc_geo::{Point, Rect};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 /// A mobility model: advances an object's position through time.
 pub trait MobilityModel: Send {

@@ -2,7 +2,7 @@
 
 use super::{clamp_into, object_rng, random_point, MobilityModel};
 use hiloc_geo::{Point, Rect};
-use rand::rngs::StdRng;
+use hiloc_util::rng::StdRng;
 
 /// Random waypoint: pick a uniformly random destination inside the
 /// area, travel toward it in a straight line at constant speed, repeat.

@@ -2,8 +2,8 @@
 
 use hiloc_core::model::ObjectId;
 use hiloc_geo::{Point, Rect};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 /// Relative weights of the operation types in a workload (the paper's
 /// "concrete mix of different types of queries").

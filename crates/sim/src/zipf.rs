@@ -1,6 +1,6 @@
 //! Zipf-distributed rank sampling (hot spots).
 
-use rand::RngExt;
+use hiloc_util::rng::RngExt;
 
 /// A Zipf(α) sampler over ranks `0..n` via the inverse CDF.
 ///
@@ -11,8 +11,8 @@ use rand::RngExt;
 ///
 /// ```
 /// use hiloc_sim::Zipf;
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// use hiloc_util::rng::SeedableRng;
+/// let mut rng = hiloc_util::rng::StdRng::seed_from_u64(1);
 /// let zipf = Zipf::new(100, 1.0);
 /// let r = zipf.sample(&mut rng);
 /// assert!(r < 100);
@@ -67,8 +67,8 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hiloc_util::rng::StdRng;
+    use hiloc_util::rng::SeedableRng;
 
     #[test]
     fn uniform_when_alpha_zero() {

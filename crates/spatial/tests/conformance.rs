@@ -3,7 +3,8 @@
 
 use hiloc_geo::{Circle, Point, Rect};
 use hiloc_spatial::{Entry, GridIndex, NaiveIndex, PointQuadtree, RTree, SpatialIndex};
-use proptest::prelude::*;
+use hiloc_util::prop::{check, Gen};
+use hiloc_util::rng::RngExt;
 
 /// A step in a randomized index workload.
 #[derive(Debug, Clone)]
@@ -17,20 +18,55 @@ enum Op {
     KNearest(f64, f64, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let coord = -100.0..100.0f64;
-    let key = 0u64..40;
-    prop_oneof![
-        4 => (key.clone(), coord.clone(), coord.clone()).prop_map(|(k, x, y)| Op::Insert(k, x, y)),
-        2 => key.clone().prop_map(Op::Remove),
-        2 => (coord.clone(), coord.clone(), coord.clone(), coord.clone())
-            .prop_map(|(a, b, c, d)| Op::QueryRect(a, b, c, d)),
-        1 => (coord.clone(), coord.clone(), 0.5..80.0f64)
-            .prop_map(|(x, y, r)| Op::QueryCircle(x, y, r)),
-        2 => (coord.clone(), coord.clone()).prop_map(|(x, y)| Op::Nearest(x, y)),
-        1 => (coord.clone(), coord.clone(), key).prop_map(|(x, y, k)| Op::NearestFiltered(x, y, k)),
-        1 => (coord.clone(), coord, 1usize..6).prop_map(|(x, y, k)| Op::KNearest(x, y, k)),
-    ]
+/// Weighted as the original proptest strategy: 4 insert, 2 remove,
+/// 2 rect query, 1 circle query, 2 nearest, 1 filtered nearest,
+/// 1 k-nearest.
+fn random_op(g: &mut Gen) -> Op {
+    let coord = |g: &mut Gen| g.random_range(-100.0..100.0);
+    match g.random_range(0..13u32) {
+        0..=3 => {
+            let k = g.random_range(0..40u64);
+            let x = coord(g);
+            let y = coord(g);
+            Op::Insert(k, x, y)
+        }
+        4..=5 => Op::Remove(g.random_range(0..40u64)),
+        6..=7 => {
+            let a = coord(g);
+            let b = coord(g);
+            let c = coord(g);
+            let d = coord(g);
+            Op::QueryRect(a, b, c, d)
+        }
+        8 => {
+            let x = coord(g);
+            let y = coord(g);
+            let r = g.random_range(0.5..80.0);
+            Op::QueryCircle(x, y, r)
+        }
+        9..=10 => {
+            let x = coord(g);
+            let y = coord(g);
+            Op::Nearest(x, y)
+        }
+        11 => {
+            let x = coord(g);
+            let y = coord(g);
+            let k = g.random_range(0..40u64);
+            Op::NearestFiltered(x, y, k)
+        }
+        _ => {
+            let x = coord(g);
+            let y = coord(g);
+            let k = g.random_range(1..6usize);
+            Op::KNearest(x, y, k)
+        }
+    }
+}
+
+fn random_ops(g: &mut Gen, max_len: usize) -> Vec<Op> {
+    let n = g.random_range(1..max_len);
+    (0..n).map(|_| random_op(g)).collect()
 }
 
 fn sorted_keys(mut v: Vec<u64>) -> Vec<u64> {
@@ -123,28 +159,38 @@ fn run_workload(ops: &[Op], mut subject: Box<dyn SpatialIndex>, name: &str) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u32 = 64;
 
-    #[test]
-    fn quadtree_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn quadtree_matches_oracle() {
+    check(CASES, |g| {
+        let ops = random_ops(g, 120);
         run_workload(&ops, Box::new(PointQuadtree::new()), "quadtree");
-    }
+    });
+}
 
-    #[test]
-    fn rtree_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn rtree_matches_oracle() {
+    check(CASES, |g| {
+        let ops = random_ops(g, 120);
         run_workload(&ops, Box::new(RTree::new()), "rtree");
-    }
+    });
+}
 
-    #[test]
-    fn grid_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn grid_matches_oracle() {
+    check(CASES, |g| {
+        let ops = random_ops(g, 120);
         run_workload(&ops, Box::new(GridIndex::new(25.0)), "grid");
-    }
+    });
+}
 
-    #[test]
-    fn grid_tiny_cells_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn grid_tiny_cells_matches_oracle() {
+    check(CASES, |g| {
+        let ops = random_ops(g, 80);
         run_workload(&ops, Box::new(GridIndex::new(3.0)), "grid-tiny");
-    }
+    });
 }
 
 /// Deterministic bulk test at a scale proptest cases do not reach:
@@ -152,8 +198,8 @@ proptest! {
 /// cross-checks a batch of queries on all three indexes.
 #[test]
 fn bulk_uniform_population_cross_check() {
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use hiloc_util::rng::StdRng;
+    use hiloc_util::rng::{RngExt, SeedableRng};
 
     let mut rng = StdRng::seed_from_u64(0x1eca7);
     let mut quad = PointQuadtree::new();

@@ -5,7 +5,7 @@
 //! background-compactable snapshot bounds recovery time.
 
 use crate::{StorageError, Wal};
-use bytes::{Buf, BufMut};
+use hiloc_util::buf::{Buf, BufMut};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;

@@ -1,10 +1,12 @@
 //! Property tests for the durable map: arbitrary operation sequences
 //! (with interleaved compactions and crash-reopens) must match an
 //! in-memory model, and arbitrary WAL-tail truncation must recover a
-//! consistent prefix.
+//! consistent prefix. Runs on the in-tree seeded harness
+//! ([`hiloc_util::prop`]).
 
 use hiloc_storage::{DurableMap, SyncPolicy};
-use proptest::prelude::*;
+use hiloc_util::prop::{check, Gen};
+use hiloc_util::rng::RngExt;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -35,21 +37,22 @@ enum Op {
     Reopen,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0u64..20, prop::collection::vec(any::<u8>(), 0..24))
-            .prop_map(|(k, v)| Op::Insert(k, v)),
-        3 => (0u64..20).prop_map(Op::Remove),
-        1 => Just(Op::Compact),
-        1 => Just(Op::Reopen),
-    ]
+/// Weighted as the original proptest strategy: 5 insert, 3 remove,
+/// 1 compact, 1 reopen.
+fn random_op(g: &mut Gen) -> Op {
+    match g.random_range(0..10u32) {
+        0..=4 => Op::Insert(g.random_range(0..20u64), g.bytes(23)),
+        5..=7 => Op::Remove(g.random_range(0..20u64)),
+        8 => Op::Compact,
+        _ => Op::Reopen,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn durable_map_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn durable_map_matches_model() {
+    check(48, |g| {
+        let n_ops = g.random_range(1..60usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(g)).collect();
         let dir = TempDir::new();
         let mut db: DurableMap<Vec<u8>> =
             DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
@@ -59,12 +62,12 @@ proptest! {
                 Op::Insert(k, v) => {
                     let got = db.insert(k, v.clone()).unwrap();
                     let want = model.insert(k, v);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 Op::Remove(k) => {
                     let got = db.remove(k).unwrap();
                     let want = model.remove(&k);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 Op::Compact => db.compact().unwrap(),
                 Op::Reopen => {
@@ -73,25 +76,35 @@ proptest! {
                     db = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
                 }
             }
-            prop_assert_eq!(db.len(), model.len());
+            assert_eq!(db.len(), model.len());
         }
         // Final recovery check.
         db.sync().unwrap();
         drop(db);
         let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
         for (k, v) in &model {
-            prop_assert_eq!(db.get(*k), Some(v));
+            assert_eq!(db.get(*k), Some(v));
         }
-        prop_assert_eq!(db.len(), model.len());
-    }
+        assert_eq!(db.len(), model.len());
+    });
+}
 
-    /// Truncating the WAL at an arbitrary byte must recover a prefix of
-    /// the applied operations — never a corrupted or reordered state.
-    #[test]
-    fn wal_truncation_recovers_a_prefix(
-        values in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..16), 2..20),
-        cut_fraction in 0.0..1.0f64,
-    ) {
+/// Truncating the WAL at an arbitrary byte must recover a prefix of
+/// the applied operations — never a corrupted or reordered state.
+#[test]
+fn wal_truncation_recovers_a_prefix() {
+    check(48, |g| {
+        let n_values = g.random_range(2..20usize);
+        let values: Vec<Vec<u8>> = (0..n_values)
+            .map(|_| {
+                let len = g.random_range(1..16usize);
+                let mut v = vec![0u8; len];
+                g.fill_bytes(&mut v);
+                v
+            })
+            .collect();
+        let cut_fraction = g.random_range(0.0..1.0);
+
         let dir = TempDir::new();
         {
             let mut db: DurableMap<Vec<u8>> =
@@ -111,13 +124,13 @@ proptest! {
 
         let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
         let n = db.len();
-        prop_assert!(n <= values.len());
+        assert!(n <= values.len());
         // The surviving records are exactly the first n inserts.
         for (i, v) in values.iter().enumerate().take(n) {
-            prop_assert_eq!(db.get(i as u64), Some(v), "prefix property violated");
+            assert_eq!(db.get(i as u64), Some(v), "prefix property violated");
         }
         for i in n..values.len() {
-            prop_assert!(db.get(i as u64).is_none());
+            assert!(db.get(i as u64).is_none());
         }
-    }
+    });
 }

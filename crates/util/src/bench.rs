@@ -1,0 +1,239 @@
+//! Wall-clock micro-benchmark harness.
+//!
+//! Exposes the subset of the `criterion` API the workspace's benches
+//! use — `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`/`iter_batched`, `criterion_group!`/`criterion_main!`
+//! — so the bench sources only change their import line. Measurement is
+//! a plain `Instant` loop: calibrate an iteration count that fills a
+//! ~2 ms sample, take N samples, report min/median/max ns per
+//! iteration to stdout.
+//!
+//! This is deliberately simpler than criterion (no outlier analysis, no
+//! HTML reports); the numbers are for Table 1/2-style comparisons where
+//! an order-of-magnitude-accurate median is what the paper reports.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// How the setup cost of `iter_batched` relates to the routine cost.
+/// Only a hint in criterion; ignored here (setup is always excluded
+/// from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self
+            .sample_size
+            .unwrap_or(self._criterion.default_sample_size);
+        let mut b = Bencher { samples_wanted: samples, ns_per_iter: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.into(), &mut b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op; kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_wanted: usize,
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in calibrated batches.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: double the batch until it fills the
+        // per-sample budget.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || batch >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Re-derive the batch so each sample is ~SAMPLE_TARGET.
+        let batch = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns.max(1.0)).ceil() as u64).max(1);
+        for _ in 0..self.samples_wanted {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.ns_per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples_wanted {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.ns_per_iter.push(start.elapsed().as_nanos() as f64);
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, ns: &mut [f64]) {
+    if ns.is_empty() {
+        println!("bench {group}/{id}: no samples");
+        return;
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = ns[ns.len() / 2];
+    println!(
+        "bench {group}/{id}: median {} (min {}, max {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(ns[0]),
+        fmt_ns(ns[ns.len() - 1]),
+        ns.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns/iter")
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher { samples_wanted: 3, ns_per_iter: Vec::new() };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.ns_per_iter.len(), 3);
+        assert!(b.ns_per_iter.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { samples_wanted: 2, ns_per_iter: Vec::new() };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.ns_per_iter.len(), 2);
+    }
+
+    #[test]
+    fn group_runs_functions() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2e9).contains("s/iter"));
+    }
+}

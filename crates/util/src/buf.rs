@@ -1,0 +1,181 @@
+//! Little-endian byte-buffer extension traits.
+//!
+//! In-tree replacement for the `bytes` crate's `Buf`/`BufMut` pair as
+//! the storage layer uses them: [`BufMut`] appends fixed-width
+//! little-endian values to a `Vec<u8>`, [`Buf`] consumes them from a
+//! `&[u8]`, advancing the slice.
+//!
+//! The reading methods **panic** on underflow, exactly like their
+//! `bytes` namesakes; callers that face hostile input must check
+//! [`Buf::remaining`] first (the wire codec in `hiloc-net` does).
+
+/// Reads fixed-width little-endian values from a byte slice, advancing
+/// it.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty buffer.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+macro_rules! take {
+    ($self:ident, $n:literal) => {{
+        let (head, rest) = $self.split_at($n);
+        let arr: [u8; $n] = head.try_into().expect("split_at returned $n bytes");
+        *$self = rest;
+        arr
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let [b] = take!(self, 1);
+        b
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(take!(self, 2))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(take!(self, 4))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(take!(self, 8))
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(take!(self, 8))
+    }
+}
+
+/// Appends fixed-width little-endian values to a growable buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut v = Vec::new();
+        v.put_u8(0xAB);
+        v.put_u16_le(0x1234);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(u64::MAX - 1);
+        v.put_f64_le(-2.5);
+        let mut r = v.as_slice();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = data.as_slice();
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut v = Vec::new();
+        v.put_u32_le(1);
+        assert_eq!(v, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let data = [1u8];
+        let mut r = data.as_slice();
+        let _ = r.get_u32_le();
+    }
+}

@@ -1,0 +1,155 @@
+//! A small seeded property-test harness.
+//!
+//! In-tree replacement for the way the workspace used `proptest`: each
+//! property is an ordinary `#[test]` that calls [`check`] with a closure
+//! over a [`Gen`]. The harness runs the closure for N cases, each with a
+//! deterministic per-case RNG stream, and on failure reports the case
+//! number and seed so the exact inputs can be replayed:
+//!
+//! ```
+//! use hiloc_util::prop::check;
+//! use hiloc_util::rng::RngExt;
+//!
+//! check(64, |g| {
+//!     let x = g.random_range(-1_000.0..1_000.0);
+//!     assert!(x.abs() <= 1_000.0);
+//! });
+//! ```
+//!
+//! * `HILOC_PROP_CASES` scales the case count (useful in CI vs. local).
+//! * `HILOC_PROP_SEED` replays a failing run's stream.
+//!
+//! There is no shrinking; properties here take scalar inputs whose
+//! failing values are directly readable from the assertion message, and
+//! determinism makes every failure replayable.
+
+use crate::rng::{RngCore, SeedableRng, StdRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default base seed ("HILO" in ASCII).
+const DEFAULT_SEED: u64 = 0x4849_4C4F;
+
+/// Per-case input source: a deterministic RNG (use the
+/// [`RngExt`](crate::rng::RngExt) drawing methods) plus vector helpers.
+#[derive(Debug)]
+pub struct Gen {
+    rng: StdRng,
+    case: u32,
+}
+
+impl RngCore for Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+impl Gen {
+    /// The 0-based case number this generator belongs to.
+    pub fn case(&self) -> u32 {
+        self.case
+    }
+
+    /// A random byte vector with length in `0..=max_len`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        use crate::rng::RngExt;
+        let len = self.random_range(0..=max_len);
+        let mut v = vec![0u8; len];
+        self.fill_bytes(&mut v);
+        v
+    }
+
+    /// A random index into a collection of length `len` (0 when empty).
+    pub fn index(&mut self, len: usize) -> usize {
+        use crate::rng::RngExt;
+        if len == 0 {
+            0
+        } else {
+            self.random_range(0..len)
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Runs `property` for `cases` cases (scaled by `HILOC_PROP_CASES` when
+/// set), each with a deterministic per-case input stream.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the failing case
+/// number and the seed needed to replay it.
+pub fn check<F: FnMut(&mut Gen)>(cases: u32, mut property: F) {
+    let cases = env_u64("HILOC_PROP_CASES").map(|n| n as u32).unwrap_or(cases).max(1);
+    let seed = env_u64("HILOC_PROP_SEED").unwrap_or(DEFAULT_SEED);
+    for case in 0..cases {
+        // Distinct, seed-derived stream per case.
+        let mut g = Gen {
+            rng: StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            case,
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut g))) {
+            eprintln!(
+                "property failed at case {case}/{cases} (base seed {seed:#x}); \
+                 replay with HILOC_PROP_SEED={seed} HILOC_PROP_CASES={cases}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngExt;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0u32;
+        check(17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn cases_get_distinct_streams() {
+        let mut firsts = Vec::new();
+        check(8, |g| firsts.push(g.next_u64()));
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        check(4, |g| a.push(g.random_range(0..1_000_000u64)));
+        check(4, |g| b.push(g.random_range(0..1_000_000u64)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_is_propagated() {
+        let result = std::panic::catch_unwind(|| {
+            check(10, |g| assert!(g.case() < 5, "boom at case {}", g.case()));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bytes_respects_bound() {
+        check(32, |g| {
+            let v = g.bytes(100);
+            assert!(v.len() <= 100);
+        });
+    }
+
+    #[test]
+    fn index_in_bounds() {
+        check(32, |g| {
+            assert!(g.index(7) < 7);
+            assert_eq!(g.index(0), 0);
+        });
+    }
+}

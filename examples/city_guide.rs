@@ -16,8 +16,8 @@ use hiloc::core::area::HierarchyBuilder;
 use hiloc::core::model::{ObjectId, RangeQuery, Sighting};
 use hiloc::core::runtime::SimDeployment;
 use hiloc::geo::{GeoPoint, LocalProjection, Point, Rect, Region};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 fn main() {
     // Anchor a 2 km x 2 km service area on central Stuttgart (the

@@ -2,9 +2,11 @@
 //!
 //! Facade crate re-exporting the hiloc workspace: a from-scratch Rust
 //! reproduction of *"Architecture of a Large-Scale Location Service"*
-//! (Leonhardi & Rothermel). See the `README.md` for a tour and
-//! `DESIGN.md` for the system inventory.
+//! (Leonhardi & Rothermel). See the `README.md` for a tour of the
+//! workspace and its zero-external-dependency policy.
 //!
+//! * [`util`] — std-only substrate: PRNG, buffers, sync, JSON, test
+//!   and bench harnesses (the in-tree substitutes for external crates).
 //! * [`geo`] — coordinates, projections, polygons, circle overlap areas.
 //! * [`spatial`] — point quadtree, R-tree, grid indexes.
 //! * [`storage`] — sighting database (volatile) and visitor database
@@ -22,3 +24,4 @@ pub use hiloc_net as net;
 pub use hiloc_sim as sim;
 pub use hiloc_spatial as spatial;
 pub use hiloc_storage as storage;
+pub use hiloc_util as util;

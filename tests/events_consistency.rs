@@ -7,8 +7,8 @@ use hiloc::core::events::{EventKind, Predicate};
 use hiloc::core::model::{ObjectId, Sighting};
 use hiloc::core::runtime::{SimDeployment, UpdateOutcome};
 use hiloc::geo::{Point, Rect, Region};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 use std::collections::HashSet;
 
 #[test]

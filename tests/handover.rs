@@ -8,8 +8,8 @@ use hiloc::core::node::{ServerOptions, VisitorRecord};
 use hiloc::core::runtime::{SimDeployment, UpdateOutcome};
 use hiloc::geo::{Point, Rect};
 use hiloc::net::ServerId;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
 
 const AREA: f64 = 2_000.0;
 

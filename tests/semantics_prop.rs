@@ -1,28 +1,38 @@
 //! Property tests: the *distributed* service must agree with a local
 //! brute-force evaluation of the paper's query semantics, for random
 //! populations, random query parameters and random hierarchy shapes.
+//! Runs on the in-tree seeded harness ([`hiloc_util::prop`]).
 
 use hiloc::core::area::HierarchyBuilder;
 use hiloc::core::model::semantics::{qualifies_for_range, select_neighbors};
 use hiloc::core::model::{LocationDescriptor, ObjectId, RangeQuery, Sighting};
 use hiloc::core::runtime::SimDeployment;
 use hiloc::geo::{Point, Rect, Region};
-use proptest::prelude::*;
+use hiloc_util::prop::{check, Gen};
+use hiloc_util::rng::RngExt;
 
 const AREA: f64 = 1_000.0;
+const CASES: u32 = 24;
 
 #[derive(Debug, Clone)]
 struct Population {
     positions: Vec<(f64, f64)>,
 }
 
-fn population() -> impl Strategy<Value = Population> {
-    prop::collection::vec((1.0..AREA - 1.0, 1.0..AREA - 1.0), 1..40)
-        .prop_map(|positions| Population { positions })
+fn population(g: &mut Gen) -> Population {
+    let n = g.random_range(1..40usize);
+    let positions = (0..n)
+        .map(|_| {
+            let x = g.random_range(1.0..AREA - 1.0);
+            let y = g.random_range(1.0..AREA - 1.0);
+            (x, y)
+        })
+        .collect();
+    Population { positions }
 }
 
-fn hierarchy_shape() -> impl Strategy<Value = (u32, u32)> {
-    prop_oneof![Just((0, 2)), Just((1, 2)), Just((2, 2)), Just((1, 3))]
+fn hierarchy_shape(g: &mut Gen) -> (u32, u32) {
+    *g.choose(&[(0, 2), (1, 2), (2, 2), (1, 3)]).expect("non-empty")
 }
 
 fn deploy(pop: &Population, shape: (u32, u32)) -> (SimDeployment, Vec<(ObjectId, LocationDescriptor)>) {
@@ -42,29 +52,27 @@ fn deploy(pop: &Population, shape: (u32, u32)) -> (SimDeployment, Vec<(ObjectId,
     (ls, oracle)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Distributed range queries return exactly the objects the semantics
+/// predicate selects.
+#[test]
+fn distributed_range_query_matches_oracle() {
+    check(CASES, |g| {
+        let pop = population(g);
+        let shape = hierarchy_shape(g);
+        let cx = g.random_range(0.0..AREA);
+        let cy = g.random_range(0.0..AREA);
+        let extent = g.random_range(10.0..600.0);
+        let req_acc = g.random_range(10.0..200.0);
+        let req_overlap = g.random_range(0.1..1.0);
+        let entry_x = g.random_range(1.0..AREA - 1.0);
+        let entry_y = g.random_range(1.0..AREA - 1.0);
 
-    /// Distributed range queries return exactly the objects the
-    /// semantics predicate selects.
-    #[test]
-    fn distributed_range_query_matches_oracle(
-        pop in population(),
-        shape in hierarchy_shape(),
-        cx in 0.0..AREA,
-        cy in 0.0..AREA,
-        extent in 10.0..600.0f64,
-        req_acc in 10.0..200.0f64,
-        req_overlap in 0.1..1.0f64,
-        entry_x in 1.0..AREA - 1.0,
-        entry_y in 1.0..AREA - 1.0,
-    ) {
         let (mut ls, oracle) = deploy(&pop, shape);
         let region = Region::from(Rect::from_center_size(Point::new(cx, cy), extent, extent));
         let query = RangeQuery::new(region.clone(), req_acc, req_overlap);
         let entry = ls.leaf_for(Point::new(entry_x, entry_y));
         let ans = ls.range_query(entry, query).unwrap();
-        prop_assert!(ans.complete);
+        assert!(ans.complete);
 
         let mut got: Vec<u64> = ans.objects.iter().map(|(o, _)| o.0).collect();
         got.sort();
@@ -74,30 +82,32 @@ proptest! {
             .map(|(o, _)| o.0)
             .collect();
         expect.sort();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Distributed nearest-neighbor queries select the same object and
-    /// near set as the local semantics.
-    #[test]
-    fn distributed_nn_query_matches_oracle(
-        pop in population(),
-        shape in hierarchy_shape(),
-        px in 0.0..AREA,
-        py in 0.0..AREA,
-        req_acc in 10.0..200.0f64,
-        near_qual in 0.0..300.0f64,
-        entry_x in 1.0..AREA - 1.0,
-        entry_y in 1.0..AREA - 1.0,
-    ) {
+/// Distributed nearest-neighbor queries select the same object and
+/// near set as the local semantics.
+#[test]
+fn distributed_nn_query_matches_oracle() {
+    check(CASES, |g| {
+        let pop = population(g);
+        let shape = hierarchy_shape(g);
+        let px = g.random_range(0.0..AREA);
+        let py = g.random_range(0.0..AREA);
+        let req_acc = g.random_range(10.0..200.0);
+        let near_qual = g.random_range(0.0..300.0);
+        let entry_x = g.random_range(1.0..AREA - 1.0);
+        let entry_y = g.random_range(1.0..AREA - 1.0);
+
         let (mut ls, oracle) = deploy(&pop, shape);
         let p = Point::new(px, py);
         let entry = ls.leaf_for(Point::new(entry_x, entry_y));
         let ans = ls.neighbor_query(entry, p, req_acc, near_qual).unwrap();
-        prop_assert!(ans.complete);
+        assert!(ans.complete);
 
         let (expect_nearest, expect_near) = select_neighbors(p, &oracle, req_acc, near_qual);
-        prop_assert_eq!(
+        assert_eq!(
             ans.nearest.map(|(o, _)| o),
             expect_nearest.map(|(o, _)| o),
             "nearest mismatch"
@@ -106,24 +116,26 @@ proptest! {
         got_near.sort();
         let mut want_near: Vec<u64> = expect_near.iter().map(|(o, _)| o.0).collect();
         want_near.sort();
-        prop_assert_eq!(got_near, want_near, "near-set mismatch");
-    }
+        assert_eq!(got_near, want_near, "near-set mismatch");
+    });
+}
 
-    /// Position queries from arbitrary entries return the registered
-    /// descriptor for every object.
-    #[test]
-    fn distributed_pos_query_matches_oracle(
-        pop in population(),
-        shape in hierarchy_shape(),
-        entry_x in 1.0..AREA - 1.0,
-        entry_y in 1.0..AREA - 1.0,
-    ) {
+/// Position queries from arbitrary entries return the registered
+/// descriptor for every object.
+#[test]
+fn distributed_pos_query_matches_oracle() {
+    check(CASES, |g| {
+        let pop = population(g);
+        let shape = hierarchy_shape(g);
+        let entry_x = g.random_range(1.0..AREA - 1.0);
+        let entry_y = g.random_range(1.0..AREA - 1.0);
+
         let (mut ls, oracle) = deploy(&pop, shape);
         let entry = ls.leaf_for(Point::new(entry_x, entry_y));
         for (oid, ld) in &oracle {
             let got = ls.pos_query(entry, *oid).unwrap();
-            prop_assert_eq!(got.pos, ld.pos);
-            prop_assert_eq!(got.acc_m, ld.acc_m);
+            assert_eq!(got.pos, ld.pos);
+            assert_eq!(got.acc_m, ld.acc_m);
         }
-    }
+    });
 }
