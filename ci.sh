@@ -37,6 +37,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
 
+# Also covered by the workspace run above; repeated as a named gate so
+# a chaos regression is unmissable in the log (the binary is already
+# built — this re-run costs ~2 s).
+echo "==> chaos scenario suite (fixed seeds, bounded virtual time)"
+cargo test -q --offline -p hiloc-sim --test chaos_scenarios
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -18,6 +18,10 @@ pub use pending::{
 };
 pub use visitor::{VisitorDb, VisitorRecord};
 
+/// Re-exported so durability can be configured without a direct
+/// `hiloc-storage` dependency (e.g. by the simulation crate).
+pub use hiloc_storage::SyncPolicy as StorageSyncPolicy;
+
 use crate::area::ServerConfig;
 use crate::cache::{CacheConfig, Caches};
 use crate::events::{CoordinatorEvents, LeafObservers, ObserverDelta};

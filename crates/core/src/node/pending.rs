@@ -9,7 +9,7 @@ use crate::model::{Micros, ObjectId, RangeQuery};
 use crate::proto::ObjectLocation;
 use hiloc_geo::Point;
 use hiloc_net::{CorrId, Endpoint, ServerId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// What a node must do when the handover response passes through it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,18 +133,22 @@ fn coverage_eps(target: f64) -> f64 {
 }
 
 /// All pending operations of one server.
+///
+/// The tables are `BTreeMap`s so deadline scans emit give-up messages
+/// in correlation-id order — a deterministic order is required for
+/// same-seed simulation runs to be bit-for-bit reproducible.
 #[derive(Debug, Default)]
 pub struct Pending {
     /// Old agents awaiting `HandoverRes`.
-    pub handover_origin: HashMap<CorrId, HandoverOrigin>,
+    pub handover_origin: BTreeMap<CorrId, HandoverOrigin>,
     /// Relays awaiting `HandoverRes` to splice the path.
-    pub handover_relay: HashMap<CorrId, HandoverRelay>,
+    pub handover_relay: BTreeMap<CorrId, HandoverRelay>,
     /// Entry servers awaiting `PosQueryRes`.
-    pub pos_wait: HashMap<CorrId, PosWait>,
+    pub pos_wait: BTreeMap<CorrId, PosWait>,
     /// Entry servers gathering range-query sub-results.
-    pub range_gather: HashMap<CorrId, RangeGather>,
+    pub range_gather: BTreeMap<CorrId, RangeGather>,
     /// Entry servers gathering nearest-neighbor candidates.
-    pub nn_gather: HashMap<CorrId, NnGather>,
+    pub nn_gather: BTreeMap<CorrId, NnGather>,
 }
 
 impl Pending {

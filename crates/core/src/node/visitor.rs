@@ -4,7 +4,7 @@ use crate::model::{Micros, ObjectId, RegInfo};
 use hiloc_net::wire;
 use hiloc_net::ServerId;
 use hiloc_storage::{DurableMap, RecordValue, StorageError, SyncPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// A visitor record (paper §5): what a server knows about an object
@@ -87,11 +87,15 @@ impl RecordValue for VisitorRecord {
     }
 }
 
-/// The visitor database: an in-memory map with optional write-ahead
+/// The visitor database: an in-memory ordered map with optional
+/// write-ahead
 /// durability (the paper keeps the visitorDB on persistent storage so
 /// forwarding paths survive failures; simulation runs skip the disk).
 pub struct VisitorDb {
-    mem: HashMap<ObjectId, VisitorRecord>,
+    // A BTreeMap so iteration (keep-alives, stale scans) is in key
+    // order: deterministic emission order is what makes same-seed
+    // simulation runs bit-for-bit reproducible.
+    mem: BTreeMap<ObjectId, VisitorRecord>,
     durable: Option<DurableMap<VisitorRecord>>,
 }
 
@@ -107,7 +111,7 @@ impl std::fmt::Debug for VisitorDb {
 impl VisitorDb {
     /// A volatile visitor database (for simulation).
     pub fn volatile() -> Self {
-        VisitorDb { mem: HashMap::new(), durable: None }
+        VisitorDb { mem: BTreeMap::new(), durable: None }
     }
 
     /// A durable visitor database stored in `dir`, recovering any

@@ -1156,6 +1156,64 @@ mod tests {
         ]
     }
 
+    /// Exhaustive variant index — no wildcard arm, so adding a
+    /// `Message` variant fails compilation here until the variant is
+    /// added to [`sample_messages`] (and thereby to the round-trip,
+    /// label-uniqueness and truncation tests).
+    fn variant_ordinal(m: &Message) -> usize {
+        match m {
+            Message::RegisterReq { .. } => 0,
+            Message::RegisterRes { .. } => 1,
+            Message::RegisterFailed { .. } => 2,
+            Message::CreatePath { .. } => 3,
+            Message::UpdateReq { .. } => 4,
+            Message::UpdateAck { .. } => 5,
+            Message::HandoverReq { .. } => 6,
+            Message::HandoverRes { .. } => 7,
+            Message::HandoverFailed { .. } => 8,
+            Message::AgentChanged { .. } => 9,
+            Message::OutOfServiceArea { .. } => 10,
+            Message::DeregisterReq { .. } => 11,
+            Message::RemovePath { .. } => 12,
+            Message::ChangeAccReq { .. } => 13,
+            Message::ChangeAccRes { .. } => 14,
+            Message::NotifyAvailAcc { .. } => 15,
+            Message::PosQueryReq { .. } => 16,
+            Message::PosQueryFwd { .. } => 17,
+            Message::PosQueryRes { .. } => 18,
+            Message::PosQueryMiss { .. } => 19,
+            Message::RangeQueryReq { .. } => 20,
+            Message::RangeQueryFwd { .. } => 21,
+            Message::RangeQuerySubRes { .. } => 22,
+            Message::RangeQueryRes { .. } => 23,
+            Message::NeighborQueryReq { .. } => 24,
+            Message::NeighborQueryFwd { .. } => 25,
+            Message::NeighborQuerySubRes { .. } => 26,
+            Message::NeighborQueryRes { .. } => 27,
+            Message::EventRegisterReq { .. } => 28,
+            Message::EventRegisterRes { .. } => 29,
+            Message::EventInstall { .. } => 30,
+            Message::EventUninstall { .. } => 31,
+            Message::EventLocalReport { .. } => 32,
+            Message::EventNotify { .. } => 33,
+            Message::EventCancelReq { .. } => 34,
+            Message::PositionProbe { .. } => 35,
+            Message::AgentLookup { .. } => 36,
+        }
+    }
+    const VARIANT_COUNT: usize = 37;
+
+    #[test]
+    fn samples_cover_every_variant() {
+        let mut seen = [false; VARIANT_COUNT];
+        for m in sample_messages() {
+            seen[variant_ordinal(&m)] = true;
+        }
+        let missing: Vec<usize> =
+            seen.iter().enumerate().filter(|(_, s)| !**s).map(|(i, _)| i).collect();
+        assert!(missing.is_empty(), "sample_messages misses variant ordinals {missing:?}");
+    }
+
     #[test]
     fn all_messages_roundtrip() {
         for msg in sample_messages() {
@@ -1166,11 +1224,21 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_unique() {
-        let labels: Vec<&str> = sample_messages().iter().map(|m| m.label()).collect();
-        let set: std::collections::HashSet<&str> = labels.iter().copied().collect();
-        // PosQueryRes and NeighborQueryRes appear twice in samples.
-        assert_eq!(set.len(), labels.len() - 2);
+    fn labels_are_unique_per_variant() {
+        use std::collections::BTreeMap;
+        let mut by_label: BTreeMap<&str, usize> = BTreeMap::new();
+        for m in sample_messages() {
+            let ord = variant_ordinal(&m);
+            if let Some(prev) = by_label.insert(m.label(), ord) {
+                assert_eq!(
+                    prev,
+                    ord,
+                    "label {:?} is shared by two different variants",
+                    m.label()
+                );
+            }
+        }
+        assert_eq!(by_label.len(), VARIANT_COUNT, "every variant needs its own label");
     }
 
     #[test]

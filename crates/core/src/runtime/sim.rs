@@ -70,10 +70,15 @@ pub struct SimDeployment {
     hierarchy: Hierarchy,
     opts: ServerOptions,
     servers: Vec<LocationServer>,
+    /// Crashed servers: their timers do not fire and messages delivered
+    /// to them are blackholed until [`SimDeployment::restart_server`].
+    down: Vec<bool>,
     net: SimNet<Message>,
     inboxes: HashMap<ClientId, VecDeque<Message>>,
     corr: CorrIdGen,
     next_ephemeral_client: u64,
+    /// Messages blackholed at crashed servers.
+    blackholed: u64,
 }
 
 impl std::fmt::Debug for SimDeployment {
@@ -105,7 +110,7 @@ impl SimDeployment {
         faults: FaultPlan,
         seed: u64,
     ) -> Self {
-        let servers = hierarchy
+        let servers: Vec<LocationServer> = hierarchy
             .servers()
             .iter()
             .map(|cfg| {
@@ -113,29 +118,90 @@ impl SimDeployment {
                     .expect("server construction failed")
             })
             .collect();
+        let down = vec![false; servers.len()];
         SimDeployment {
             hierarchy,
             opts,
             servers,
+            down,
             net: SimNet::new(latency, faults, seed),
             inboxes: HashMap::new(),
             corr: CorrIdGen::namespaced(1 << 20),
             next_ephemeral_client: 1 << 40,
+            blackholed: 0,
         }
     }
 
     /// Crash-restarts one server: all volatile state (sightings,
     /// pending operations, caches) is lost; the durable visitor store,
     /// when configured, is recovered from disk — the paper's §5
-    /// restart model.
+    /// restart model. Also brings a server crashed with
+    /// [`SimDeployment::crash_server`] back up.
     ///
     /// # Panics
     ///
     /// Panics when the durable store cannot be reopened.
     pub fn restart_server(&mut self, id: ServerId) {
         let cfg = self.hierarchy.server(id).clone();
+        if !self.down[id.0 as usize] {
+            // Restarting a *running* server: release the durable
+            // store's file handles (flushing any buffered WAL bytes)
+            // before the new instance replays the log — two live
+            // writers on one WAL would interleave records.
+            let mut volatile = self.opts.clone();
+            volatile.durability = None;
+            self.servers[id.0 as usize] = LocationServer::new(cfg.clone(), volatile)
+                .expect("volatile placeholder construction");
+        }
         self.servers[id.0 as usize] =
             LocationServer::new(cfg, self.opts.clone()).expect("server restart failed");
+        self.down[id.0 as usize] = false;
+    }
+
+    /// Crashes one server at the current virtual instant: its in-memory
+    /// state and every in-flight message addressed to it are dropped,
+    /// its timers stop firing, and until [`SimDeployment::restart_server`]
+    /// any message delivered to it is blackholed. Durable state (the
+    /// visitor WAL + snapshot) stays on disk and is replayed on restart.
+    ///
+    /// This models a *process* crash, not power loss: dropping the old
+    /// instance flushes any OS-buffered WAL bytes, so with
+    /// `SyncPolicy::Buffered`/`OsFlush` nothing un-synced is lost here
+    /// (fsync-less power-loss modeling is a ROADMAP item; the
+    /// byte-level torn-tail recovery itself is covered by the storage
+    /// crate's tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server is already down.
+    pub fn crash_server(&mut self, id: ServerId) {
+        assert!(!self.down[id.0 as usize], "server {} is already down", id.0);
+        // Replace the instance with a volatile placeholder immediately:
+        // this releases the durable store's file handles at the crash
+        // instant, so the restart reopens the WAL exclusively.
+        let cfg = self.hierarchy.server(id).clone();
+        let mut volatile = self.opts.clone();
+        volatile.durability = None;
+        self.servers[id.0 as usize] =
+            LocationServer::new(cfg, volatile).expect("volatile placeholder construction");
+        self.down[id.0 as usize] = true;
+        self.net.discard_where(|env| env.to == Endpoint::Server(id));
+    }
+
+    /// Whether a server is currently crashed.
+    pub fn is_down(&self, id: ServerId) -> bool {
+        self.down[id.0 as usize]
+    }
+
+    /// Number of messages blackholed at crashed servers so far.
+    pub fn blackholed(&self) -> u64 {
+        self.blackholed
+    }
+
+    /// Replaces the network fault plan mid-run (heal a partition,
+    /// inject new faults). In-flight messages are unaffected.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.net.set_faults(faults);
     }
 
     /// The deployment's hierarchy.
@@ -143,7 +209,8 @@ impl SimDeployment {
         &self.hierarchy
     }
 
-    /// Read access to a server (stats, databases).
+    /// Read access to a server (stats, databases). While a server is
+    /// crashed this returns its empty volatile placeholder.
     pub fn server(&self, id: ServerId) -> &LocationServer {
         &self.servers[id.0 as usize]
     }
@@ -239,12 +306,17 @@ impl SimDeployment {
         let Some((now, env)) = self.net.next() else { return false };
         match env.to {
             Endpoint::Server(sid) => {
-                let out = self.servers[sid.0 as usize].handle(now, env);
-                for e in out {
-                    self.net.send(e);
+                if self.down[sid.0 as usize] {
+                    // Crashed server: the datagram vanishes.
+                    self.blackholed += 1;
+                } else {
+                    let out = self.servers[sid.0 as usize].handle(now, env);
+                    for e in out {
+                        self.net.send(e);
+                    }
+                    // Fire timers that became due at this instant.
+                    self.fire_due_timers(now);
                 }
-                // Fire timers that became due at this instant.
-                self.fire_due_timers(now);
             }
             Endpoint::Client(cid) => {
                 self.inboxes.entry(cid).or_default().push_back(env.msg);
@@ -253,10 +325,20 @@ impl SimDeployment {
         true
     }
 
+    /// The earliest pending timer across live (non-crashed) servers.
+    fn earliest_timer(&self) -> Option<Micros> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.down[*i])
+            .filter_map(|(_, s)| s.next_timer())
+            .min()
+    }
+
     /// Jumps virtual time to the earliest pending server timer and
     /// fires it; `false` when no timers are pending.
     pub fn step_timer(&mut self) -> bool {
-        let Some(t) = self.servers.iter().filter_map(|s| s.next_timer()).min() else {
+        let Some(t) = self.earliest_timer() else {
             return false;
         };
         self.net.advance_to(t);
@@ -268,6 +350,9 @@ impl SimDeployment {
         loop {
             let mut fired = false;
             for i in 0..self.servers.len() {
+                if self.down[i] {
+                    continue;
+                }
                 if self.servers[i].next_timer().map(|t| t <= now).unwrap_or(false) {
                     for e in self.servers[i].tick(now) {
                         self.net.send(e);
@@ -296,7 +381,7 @@ impl SimDeployment {
     /// state expiry etc.) and draining resulting traffic.
     pub fn advance_time(&mut self, t_us: Micros) {
         loop {
-            let next_timer = self.servers.iter().filter_map(|s| s.next_timer()).min();
+            let next_timer = self.earliest_timer();
             let next_msg = self.net.peek_time();
             match (next_msg, next_timer) {
                 (Some(tm), _) if tm <= t_us => {
@@ -333,7 +418,7 @@ impl SimDeployment {
                 }
             }
             let next_msg = self.net.peek_time();
-            let next_timer = self.servers.iter().filter_map(|s| s.next_timer()).min();
+            let next_timer = self.earliest_timer();
             let next = match (next_msg, next_timer) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),

@@ -622,7 +622,7 @@ fn lossy_network_eventually_times_out_queries() {
         h,
         opts,
         LatencyModel::default(),
-        FaultPlan { drop_prob: 1.0, duplicate_prob: 0.0 },
+        FaultPlan::uniform(1.0, 0.0),
         7,
     );
     let entry = ls.leaf_for(Point::new(100.0, 100.0));
@@ -638,7 +638,7 @@ fn duplicated_messages_do_not_double_count() {
         h,
         ServerOptions::default(),
         LatencyModel::default(),
-        FaultPlan { drop_prob: 0.0, duplicate_prob: 1.0 },
+        FaultPlan::uniform(0.0, 1.0),
         8,
     );
     let entry = ls.leaf_for(Point::new(100.0, 100.0));

@@ -29,7 +29,7 @@ pub mod wire;
 
 pub use channel_net::{ChannelNetwork, Mailbox};
 pub use endpoint::{ClientId, Endpoint, ServerId};
-pub use sim_net::{FaultPlan, LatencyModel, SimNet, TraceEntry};
+pub use sim_net::{FaultPlan, LatencyModel, LatencySpike, LinkFault, Partition, SimNet, TraceEntry};
 pub use udp::{UdpEndpoint, UdpError};
 pub use wire::WireCodec;
 

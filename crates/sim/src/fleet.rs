@@ -1,7 +1,10 @@
 //! A fleet of tracked objects driving a simulated deployment.
 
 use crate::mobility::{MobilityKind, MobilityModel};
-use hiloc_core::model::{LastReport, LsError, ObjectId, Sighting, UpdateDecision, UpdatePolicy, SECOND};
+use hiloc_core::model::{
+    LastReport, LsError, Micros, ObjectId, Sighting, UpdateDecision, UpdatePolicy, SECOND,
+};
+use hiloc_core::proto::Message;
 use hiloc_core::runtime::{SimDeployment, UpdateOutcome};
 use hiloc_geo::Point;
 use hiloc_net::ServerId;
@@ -70,6 +73,36 @@ pub struct StepStats {
     pub handovers: u64,
     /// Objects deregistered (left the service area).
     pub deregistered: u64,
+    /// Updates that got no response (lost messages / crashed agent);
+    /// the object retries on its next report.
+    pub lost: u64,
+}
+
+/// Statistics of one [`Fleet::process_inbox`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InboxStats {
+    /// `AgentChanged` notifications applied (agent pointer fixed).
+    pub agent_changes: u64,
+    /// `PositionProbe`s answered with a fresh update (the client half
+    /// of the paper's §5 restore-on-demand restart path).
+    pub probes_answered: u64,
+    /// `NotifyAvailAcc` accuracy notifications applied.
+    pub acc_notifications: u64,
+    /// Other (stale or duplicate) messages discarded.
+    pub stray: u64,
+}
+
+/// How a [`Fleet`] transmit attempt ended.
+enum TransmitResult {
+    /// Acked by the (unchanged) agent.
+    Acked,
+    /// One or more handovers occurred; the final agent acked.
+    HandedOver,
+    /// The object left the service area and was deregistered.
+    Deregistered,
+    /// No response (message loss, crashed server, or too many
+    /// redirects); the sighting was not confirmed.
+    Lost,
 }
 
 /// A population of tracked objects moving inside a simulated
@@ -177,6 +210,22 @@ impl Fleet {
         self.objects[i].offered_acc_m
     }
 
+    /// The object id of object `i`.
+    pub fn oid(&self, i: usize) -> ObjectId {
+        self.objects[i].oid
+    }
+
+    /// Whether object `i` is still registered.
+    pub fn alive(&self, i: usize) -> bool {
+        self.objects[i].alive
+    }
+
+    /// The last *acknowledged* report of object `i`: the position the
+    /// service has confirmed storing (the chaos oracle's ground truth).
+    pub fn last_report(&self, i: usize) -> LastReport {
+        self.objects[i].last_report
+    }
+
     /// Advances virtual time by `dt_s`, moves every object and
     /// transmits updates per the update policy.
     pub fn step(&mut self, ls: &mut SimDeployment, dt_s: f64) -> StepStats {
@@ -184,7 +233,8 @@ impl Fleet {
         ls.advance_time(target);
         let now = ls.now_us();
         let mut stats = StepStats::default();
-        for obj in &mut self.objects {
+        for idx in 0..self.objects.len() {
+            let obj = &mut self.objects[idx];
             if !obj.alive {
                 continue;
             }
@@ -198,26 +248,136 @@ impl Fleet {
                 continue;
             }
             stats.updates_sent += 1;
+            self.transmit_into(idx, ls, pos, now, &mut stats);
+        }
+        stats
+    }
+
+    /// Forces a fresh position report from every live object regardless
+    /// of the update policy — the settle primitive of the chaos
+    /// harness, and what restores volatile sightings after a restart.
+    pub fn report_all(&mut self, ls: &mut SimDeployment) -> StepStats {
+        let mut stats = StepStats::default();
+        for idx in 0..self.objects.len() {
+            if !self.objects[idx].alive {
+                continue;
+            }
+            let pos = self.objects[idx].model.position();
+            let now = ls.now_us();
+            stats.updates_sent += 1;
+            self.transmit_into(idx, ls, pos, now, &mut stats);
+        }
+        stats
+    }
+
+    /// Drains every object's client inbox, applying asynchronous
+    /// notifications: `AgentChanged` (fix the agent pointer after a
+    /// lost handover notification), `NotifyAvailAcc`, and
+    /// `PositionProbe` — a recovering server asking for a fresh
+    /// position update (paper §5 restore-on-demand), which is answered
+    /// with an immediate report.
+    pub fn process_inbox(&mut self, ls: &mut SimDeployment) -> InboxStats {
+        let mut stats = InboxStats::default();
+        for idx in 0..self.objects.len() {
+            let client = SimDeployment::object_endpoint(self.objects[idx].oid);
+            let msgs = ls.drain_client(client);
+            if !self.objects[idx].alive {
+                continue; // deregistered: discard stale traffic
+            }
+            let mut probed = false;
+            for m in msgs {
+                let obj = &mut self.objects[idx];
+                match m {
+                    Message::AgentChanged { new_agent, offered_acc_m, .. } => {
+                        obj.agent = new_agent;
+                        obj.offered_acc_m = offered_acc_m;
+                        stats.agent_changes += 1;
+                    }
+                    Message::NotifyAvailAcc { offered_acc_m, .. } => {
+                        obj.offered_acc_m = offered_acc_m;
+                        stats.acc_notifications += 1;
+                    }
+                    Message::PositionProbe { .. } => {
+                        probed = true;
+                    }
+                    // A stale OutOfServiceArea (e.g. a duplicate of one
+                    // already consumed by a blocking update) must not
+                    // kill a live registration; real deregistrations
+                    // are seen by the blocking update itself.
+                    _ => stats.stray += 1,
+                }
+            }
+            if probed {
+                stats.probes_answered += 1;
+                let pos = self.objects[idx].model.position();
+                let now = ls.now_us();
+                let mut ignored = StepStats::default();
+                self.transmit_into(idx, ls, pos, now, &mut ignored);
+            }
+        }
+        stats
+    }
+
+    /// Sends a sighting to the object's current agent, following
+    /// `AgentChanged` redirects until a plain ack confirms the sighting
+    /// is stored — the idempotent client-resend protocol the paper's
+    /// UDP deployment relies on. `last_report` is only advanced on that
+    /// final ack, so it always reflects state the service has durably
+    /// observed (which is what the chaos oracle checks against).
+    fn transmit_into(
+        &mut self,
+        idx: usize,
+        ls: &mut SimDeployment,
+        pos: Point,
+        now: Micros,
+        stats: &mut StepStats,
+    ) {
+        match self.transmit(idx, ls, pos, now) {
+            TransmitResult::Acked => stats.acks += 1,
+            TransmitResult::HandedOver => stats.handovers += 1,
+            TransmitResult::Deregistered => stats.deregistered += 1,
+            TransmitResult::Lost => stats.lost += 1,
+        }
+    }
+
+    fn transmit(
+        &mut self,
+        idx: usize,
+        ls: &mut SimDeployment,
+        pos: Point,
+        now: Micros,
+    ) -> TransmitResult {
+        const MAX_REDIRECTS: usize = 4;
+        let mut handed_over = false;
+        for _ in 0..=MAX_REDIRECTS {
+            let obj = &mut self.objects[idx];
             let sighting = Sighting::new(obj.oid, now, pos, self.cfg.acc_sens_m);
             match ls.update(obj.agent, sighting) {
                 Ok(UpdateOutcome::Ack { offered_acc_m }) => {
-                    stats.acks += 1;
                     obj.offered_acc_m = offered_acc_m;
+                    obj.last_report =
+                        LastReport { pos, time_us: now, velocity_mps: obj.velocity_mps };
+                    return if handed_over {
+                        TransmitResult::HandedOver
+                    } else {
+                        TransmitResult::Acked
+                    };
                 }
                 Ok(UpdateOutcome::NewAgent { agent, offered_acc_m }) => {
-                    stats.handovers += 1;
+                    // Redirected: the sighting may not have reached the
+                    // new agent (AgentLookup recovery answers without
+                    // applying it) — re-send until a plain ack.
+                    handed_over = true;
                     obj.agent = agent;
                     obj.offered_acc_m = offered_acc_m;
                 }
                 Ok(UpdateOutcome::OutOfServiceArea) => {
-                    stats.deregistered += 1;
                     obj.alive = false;
-                    continue;
+                    return TransmitResult::Deregistered;
                 }
-                Err(_) => continue, // lost messages: retry next step
+                Err(_) => return TransmitResult::Lost, // retry on the next report
             }
-            obj.last_report = LastReport { pos, time_us: now, velocity_mps: obj.velocity_mps };
         }
-        stats
+        TransmitResult::Lost
     }
 }

@@ -16,19 +16,23 @@
 //! * [`Fleet`] — registers a population of tracked objects against a
 //!   [`SimDeployment`](hiloc_core::runtime::SimDeployment) and moves
 //!   them with a configurable update policy;
-//! * [`Samples`] — latency/throughput summaries (mean, percentiles).
+//! * [`Samples`] — latency/throughput summaries (mean, percentiles);
+//! * [`scenario`] — scripted chaos scenarios (partitions, crashes,
+//!   restarts) with an oracle that checks no registered object is ever
+//!   lost and query answers stay within the accuracy contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mobility;
+pub mod scenario;
 mod stats;
 mod workload;
 mod zipf;
 
 mod fleet;
 
-pub use fleet::{Fleet, FleetConfig, StepStats};
+pub use fleet::{Fleet, FleetConfig, InboxStats, StepStats};
 pub use stats::{Samples, Summary};
 pub use workload::{OpKind, QueryMix, WorkloadGen, WorkloadParams};
 pub use zipf::Zipf;

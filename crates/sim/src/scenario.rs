@@ -1,0 +1,529 @@
+//! Scripted chaos scenarios with an oracle check.
+//!
+//! A [`ScenarioSpec`] drives a seeded [`Fleet`] through a fault
+//! timeline — timed partitions, latency spikes, lossy links (all
+//! scheduled in the [`FaultPlan`]) plus scripted server crashes and
+//! restarts — and then verifies, against an in-memory naive
+//! [`Oracle`], that the service healed:
+//!
+//! * **No registered object is lost** — every object that was never
+//!   deregistered is answerable by a position query routed through the
+//!   hierarchy root.
+//! * **Point answers match the oracle** — the returned position equals
+//!   the last position the service *acknowledged* to the object, and
+//!   the accuracy is within the registration's contract.
+//! * **Range answers match the oracle** — the returned object set
+//!   equals the naive oracle's prediction under the paper's range
+//!   qualification predicate.
+//! * **Durably-acked registrations survive crashes** — on every
+//!   scripted restart, the recovered visitor database is compared
+//!   record-for-record against a snapshot taken at the crash instant.
+//!
+//! Every run is bit-for-bit deterministic given the spec (seed
+//! included), and every failure panics with the seed and the fault
+//! timeline needed to replay it.
+//!
+//! The settle phase leans on the protocol's soft state: ghost records
+//! left behind by handovers interrupted mid-partition expire after the
+//! sighting TTL, and leaf keep-alives re-assert forwarding paths every
+//! refresh period. The harness therefore advances virtual time past
+//! `TTL + 2 × refresh` before the verdict, refreshing live objects
+//! along the way.
+
+use crate::mobility::MobilityKind;
+use crate::{Fleet, FleetConfig};
+use hiloc_core::area::{Hierarchy, HierarchyBuilder};
+use hiloc_core::model::{semantics, LocationDescriptor, Micros, ObjectId, RangeQuery, UpdatePolicy, SECOND};
+use hiloc_core::node::{DurabilityOptions, ServerOptions, StorageSyncPolicy, VisitorRecord};
+use hiloc_core::runtime::SimDeployment;
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_net::{Endpoint, FaultPlan, LatencyModel, ServerId};
+use hiloc_util::tempdir::TempDir;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Soft-state sighting TTL used by scenario deployments.
+pub const SIGHTING_TTL_US: Micros = 60 * SECOND;
+/// Path keep-alive period used by scenario deployments.
+pub const PATH_REFRESH_US: Micros = 15 * SECOND;
+/// Path TTL (must exceed `2 × PATH_REFRESH_US`).
+pub const PATH_TTL_US: Micros = 45 * SECOND;
+/// Distributed-gather deadline used by scenario deployments.
+pub const QUERY_TIMEOUT_US: Micros = SECOND / 2;
+
+/// Every endpoint of the subtree rooted at `root` — the usual building
+/// block for a subtree partition.
+pub fn subtree_endpoints(h: &Hierarchy, root: ServerId) -> Vec<Endpoint> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        out.push(Endpoint::Server(id));
+        for child in &h.server(id).children {
+            stack.push(child.id);
+        }
+    }
+    out
+}
+
+/// A scripted fault action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash a server: volatile state and in-flight messages to it are
+    /// lost; its durable store stays on disk.
+    Crash(ServerId),
+    /// Restart a crashed (or running) server, replaying durable state.
+    /// The harness verifies the recovered visitor records against the
+    /// crash-instant snapshot.
+    Restart(ServerId),
+    /// Replace the fault plan with [`FaultPlan::none`] ahead of
+    /// schedule.
+    HealNetwork,
+}
+
+/// A fault action bound to a step of the scenario clock (applied
+/// before the fleet moves at that step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// The step before which the action fires.
+    pub at_step: u32,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A complete scripted chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Name, printed in failure reports.
+    pub name: String,
+    /// Master seed: placement, mobility, network jitter and fault draws
+    /// all derive from it. Two runs with the same spec are identical.
+    pub seed: u64,
+    /// Side length of the square service area (meters).
+    pub area_m: f64,
+    /// Hierarchy depth below the root.
+    pub levels: u32,
+    /// Grid fan-out per level (`k × k` children).
+    pub fanout: u32,
+    /// Number of tracked objects.
+    pub num_objects: u64,
+    /// Object speed (m/s).
+    pub speed_mps: f64,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// Update-reporting policy.
+    pub policy: UpdatePolicy,
+    /// Virtual seconds per step.
+    pub step_dt_s: f64,
+    /// Number of chaos steps before the settle phase.
+    pub steps: u32,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// The scheduled fault plan (partitions, spikes, loss, reordering).
+    pub faults: FaultPlan,
+    /// Whether visitor databases are durable (required for crash
+    /// scenarios that must not lose registrations).
+    pub durable: bool,
+    /// Scripted crash/restart/heal events.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "unnamed".to_string(),
+            seed: 1,
+            area_m: 1_000.0,
+            levels: 1,
+            fanout: 2,
+            num_objects: 20,
+            speed_mps: 10.0,
+            mobility: MobilityKind::RandomWaypoint,
+            policy: UpdatePolicy::Distance { threshold_m: 10.0 },
+            step_dt_s: 2.0,
+            steps: 20,
+            latency: LatencyModel::default(),
+            faults: FaultPlan::none(),
+            durable: false,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of a green scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRun {
+    /// One line per step/event — two same-seed runs produce identical
+    /// traces, which is how determinism is asserted.
+    pub trace: Vec<String>,
+    /// Objects still registered at the verdict.
+    pub alive: usize,
+    /// Virtual time at the verdict.
+    pub virtual_end_us: Micros,
+    /// Network counters `(sent, delivered, dropped)` at the verdict.
+    pub net_counters: (u64, u64, u64),
+    /// Messages blackholed at crashed servers.
+    pub blackholed: u64,
+}
+
+/// The naive in-memory oracle: for every live object, the position and
+/// accuracy the service last *acknowledged*. Point and range answers
+/// are checked against it with the same qualification predicate the
+/// servers use.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    entries: BTreeMap<ObjectId, LocationDescriptor>,
+}
+
+impl Oracle {
+    /// Builds the oracle from a fleet's acknowledged reports.
+    pub fn from_fleet(fleet: &Fleet) -> Self {
+        let mut entries = BTreeMap::new();
+        for i in 0..fleet.len() {
+            if fleet.alive(i) {
+                entries.insert(
+                    fleet.oid(i),
+                    LocationDescriptor {
+                        pos: fleet.last_report(i).pos,
+                        acc_m: fleet.offered_acc(i),
+                    },
+                );
+            }
+        }
+        Oracle { entries }
+    }
+
+    /// Live objects and their acknowledged descriptors.
+    pub fn entries(&self) -> impl Iterator<Item = (ObjectId, &LocationDescriptor)> {
+        self.entries.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The oracle's answer set for a range query, using the same
+    /// predicate the leaves apply (paper Alg. 6-5).
+    pub fn expect_range(&self, query: &RangeQuery) -> BTreeSet<ObjectId> {
+        self.entries
+            .iter()
+            .filter(|(_, ld)| {
+                semantics::qualifies_for_range(&query.area, ld, query.req_acc_m, query.req_overlap)
+            })
+            .map(|(&oid, _)| oid)
+            .collect()
+    }
+}
+
+type VisitorSnapshot = Vec<(ObjectId, VisitorRecord)>;
+
+fn snapshot_visitors(ls: &SimDeployment, id: ServerId) -> VisitorSnapshot {
+    ls.server(id).visitors().iter().map(|(oid, rec)| (oid, *rec)).collect()
+}
+
+impl ScenarioSpec {
+    /// The hierarchy this scenario deploys — also usable *before*
+    /// [`ScenarioSpec::run`] to pick server ids for partitions and
+    /// crash events (grid construction is deterministic).
+    pub fn hierarchy(&self) -> Hierarchy {
+        let rect =
+            Rect::new(Point::new(0.0, 0.0), Point::new(self.area_m, self.area_m));
+        HierarchyBuilder::grid(rect, self.levels, self.fanout)
+            .build()
+            .expect("scenario grid hierarchy")
+    }
+
+    /// Runs the scenario to its verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics — printing the seed and fault timeline needed to replay —
+    /// when any oracle invariant is violated.
+    pub fn run(&self) -> ScenarioRun {
+        let mut trace = Vec::new();
+        // A mis-scheduled event would otherwise silently never fire and
+        // the scenario would go green without testing what it scripted.
+        for ev in &self.events {
+            assert!(
+                ev.at_step < self.steps,
+                "scenario '{}': event {ev:?} is scheduled at or after the last step ({})",
+                self.name,
+                self.steps
+            );
+        }
+        let _dir_guard;
+        let durability = if self.durable {
+            let guard = TempDir::new(&format!("chaos-{}-{}", self.name, self.seed));
+            let dir = guard.path().to_path_buf();
+            _dir_guard = Some(guard);
+            Some(DurabilityOptions { dir, policy: StorageSyncPolicy::Always })
+        } else {
+            _dir_guard = None;
+            None
+        };
+        let opts = ServerOptions {
+            sighting_ttl_us: SIGHTING_TTL_US,
+            path_refresh_us: PATH_REFRESH_US,
+            path_ttl_us: PATH_TTL_US,
+            query_timeout_us: QUERY_TIMEOUT_US,
+            durability,
+            ..Default::default()
+        };
+        // The fault plan is installed *after* the registration wave:
+        // `Fleet::register` is not retried, and chaos targets the
+        // steady state. Timed windows are still anchored at virtual 0.
+        let mut ls = SimDeployment::with_network(
+            self.hierarchy(),
+            opts,
+            self.latency,
+            FaultPlan::none(),
+            self.seed,
+        );
+        let cfg = FleetConfig {
+            num_objects: self.num_objects,
+            speed_mps: self.speed_mps,
+            mobility: self.mobility,
+            policy: self.policy,
+            seed: self.seed,
+            ..Default::default()
+        };
+        let mut fleet = match Fleet::register(cfg, &mut ls) {
+            Ok(f) => f,
+            Err(e) => self.fail(&trace, &format!("fleet registration failed: {e:?}")),
+        };
+        trace.push(format!(
+            "registered {} objects across {} servers at t={}us",
+            self.num_objects,
+            ls.hierarchy().len(),
+            ls.now_us()
+        ));
+        ls.set_faults(self.faults.clone());
+
+        let mut crash_snapshots: BTreeMap<u32, VisitorSnapshot> = BTreeMap::new();
+        for step in 0..self.steps {
+            let events: Vec<ScenarioEvent> =
+                self.events.iter().filter(|e| e.at_step == step).cloned().collect();
+            for ev in events {
+                self.apply_event(&ev, &mut ls, &mut crash_snapshots, &mut trace);
+            }
+            let inbox = fleet.process_inbox(&mut ls);
+            let s = fleet.step(&mut ls, self.step_dt_s);
+            trace.push(format!(
+                "step {step:>3} t={:>10}us alive={} sent={} acks={} handovers={} lost={} dereg={} \
+                 agent_changes={} probes={}",
+                ls.now_us(),
+                fleet.alive_count(),
+                s.updates_sent,
+                s.acks,
+                s.handovers,
+                s.lost,
+                s.deregistered,
+                inbox.agent_changes,
+                inbox.probes_answered,
+            ));
+        }
+
+        // ---- settle: heal everything, then let the soft state quiesce.
+        for cfg in ls.hierarchy().servers().to_vec() {
+            if ls.is_down(cfg.id) {
+                self.fail(
+                    &trace,
+                    &format!("server {} still down at settle: every Crash needs a Restart", cfg.id.0),
+                );
+            }
+        }
+        ls.set_faults(FaultPlan::none());
+        trace.push(format!("settle: network healed at t={}us", ls.now_us()));
+        // Ghosts (handover leftovers) expire after the sighting TTL and
+        // torn paths are re-asserted by keep-alives every refresh
+        // period; span both while keeping live objects refreshed.
+        let chunk = PATH_REFRESH_US / 2;
+        let chunks = ((SIGHTING_TTL_US + 2 * PATH_REFRESH_US) / chunk + 1) as usize;
+        for _ in 0..chunks {
+            fleet.process_inbox(&mut ls);
+            fleet.report_all(&mut ls);
+            ls.advance_time(ls.now_us() + chunk);
+        }
+        fleet.process_inbox(&mut ls);
+        let last = fleet.report_all(&mut ls);
+        ls.run_until_quiet();
+        if last.updates_sent != last.acks + last.handovers {
+            self.fail(
+                &trace,
+                &format!(
+                    "settle reports must all be acknowledged on a healed network: {last:?}"
+                ),
+            );
+        }
+        trace.push(format!(
+            "settled at t={}us: alive={} final_reports={:?}",
+            ls.now_us(),
+            fleet.alive_count(),
+            last
+        ));
+
+        self.check_invariants(&mut ls, &fleet, &trace);
+
+        ScenarioRun {
+            alive: fleet.alive_count(),
+            virtual_end_us: ls.now_us(),
+            net_counters: ls.net_counters(),
+            blackholed: ls.blackholed(),
+            trace,
+        }
+    }
+
+    fn apply_event(
+        &self,
+        ev: &ScenarioEvent,
+        ls: &mut SimDeployment,
+        crash_snapshots: &mut BTreeMap<u32, VisitorSnapshot>,
+        trace: &mut Vec<String>,
+    ) {
+        match ev.action {
+            FaultAction::Crash(id) => {
+                let snap = snapshot_visitors(ls, id);
+                trace.push(format!(
+                    "event@{}: crash server {} ({} visitor records, t={}us)",
+                    ev.at_step,
+                    id.0,
+                    snap.len(),
+                    ls.now_us()
+                ));
+                crash_snapshots.insert(id.0, snap);
+                ls.crash_server(id);
+            }
+            FaultAction::Restart(id) => {
+                ls.restart_server(id);
+                let recovered = snapshot_visitors(ls, id);
+                trace.push(format!(
+                    "event@{}: restart server {} ({} visitor records recovered, t={}us)",
+                    ev.at_step,
+                    id.0,
+                    recovered.len(),
+                    ls.now_us()
+                ));
+                if let Some(expected) = crash_snapshots.remove(&id.0) {
+                    if self.durable {
+                        if recovered != expected {
+                            self.fail(
+                                trace,
+                                &format!(
+                                    "server {} lost durably-acked records across the crash: \
+                                     expected {expected:?}, recovered {recovered:?}",
+                                    id.0
+                                ),
+                            );
+                        }
+                    } else if !recovered.is_empty() {
+                        self.fail(
+                            trace,
+                            &format!(
+                                "volatile server {} must restart empty, got {recovered:?}",
+                                id.0
+                            ),
+                        );
+                    }
+                }
+            }
+            FaultAction::HealNetwork => {
+                ls.set_faults(FaultPlan::none());
+                trace.push(format!("event@{}: network healed (t={}us)", ev.at_step, ls.now_us()));
+            }
+        }
+    }
+
+    fn check_invariants(&self, ls: &mut SimDeployment, fleet: &Fleet, trace: &[String]) {
+        // Every mobility model stays inside the service area, so a
+        // deregistered object means the service *lost* a registration
+        // (e.g. a crash without durability) and talked the object into
+        // believing it left the area.
+        for i in 0..fleet.len() {
+            if !fleet.alive(i) {
+                self.fail(
+                    trace,
+                    &format!(
+                        "registered object {} was deregistered even though it never left \
+                         the service area — a registration was lost",
+                        fleet.oid(i)
+                    ),
+                );
+            }
+        }
+
+        let oracle = Oracle::from_fleet(fleet);
+        let root = ls.hierarchy().root();
+        let min_acc_m = FleetConfig::default().min_acc_m;
+
+        // Point queries, routed through the root so the whole
+        // forwarding path is exercised.
+        for (oid, expect) in oracle.entries() {
+            let ld = match ls.pos_query(root, oid) {
+                Ok(ld) => ld,
+                Err(e) => self.fail(trace, &format!("registered object {oid} lost: {e:?}")),
+            };
+            let drift = ld.pos.distance(expect.pos);
+            if drift > 1e-6 {
+                self.fail(
+                    trace,
+                    &format!(
+                        "point answer for {oid} off by {drift} m: got {:?}, acked {:?}",
+                        ld.pos, expect.pos
+                    ),
+                );
+            }
+            if !(ld.acc_m.is_finite() && ld.acc_m <= min_acc_m + 1.0) {
+                self.fail(
+                    trace,
+                    &format!(
+                        "accuracy contract violated for {oid}: answered {} m, contract {} m",
+                        ld.acc_m, min_acc_m
+                    ),
+                );
+            }
+        }
+
+        // Range queries: whole area plus the four quadrants.
+        let a = self.area_m;
+        let rects = [
+            Rect::new(Point::new(0.0, 0.0), Point::new(a, a)),
+            Rect::new(Point::new(0.0, 0.0), Point::new(a / 2.0, a / 2.0)),
+            Rect::new(Point::new(a / 2.0, 0.0), Point::new(a, a / 2.0)),
+            Rect::new(Point::new(0.0, a / 2.0), Point::new(a / 2.0, a)),
+            Rect::new(Point::new(a / 2.0, a / 2.0), Point::new(a, a)),
+        ];
+        for rect in rects {
+            let query = RangeQuery::new(Region::from(rect), min_acc_m, 0.5);
+            let ans = match ls.range_query(root, query.clone()) {
+                Ok(a) => a,
+                Err(e) => self.fail(trace, &format!("range query {rect:?} failed: {e:?}")),
+            };
+            if !ans.complete {
+                self.fail(trace, &format!("range query {rect:?} incomplete on a healed network"));
+            }
+            let got: BTreeSet<ObjectId> = ans.objects.iter().map(|(oid, _)| *oid).collect();
+            let want = oracle.expect_range(&query);
+            if got != want {
+                let missing: Vec<_> = want.difference(&got).collect();
+                let extra: Vec<_> = got.difference(&want).collect();
+                self.fail(
+                    trace,
+                    &format!(
+                        "range answer for {rect:?} diverges from the oracle: \
+                         missing {missing:?}, unexpected {extra:?}"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn fail(&self, trace: &[String], msg: &str) -> ! {
+        panic!(
+            "chaos scenario '{name}' failed: {msg}\n\
+             --- replay: re-run this spec with seed={seed} (runs are bit-for-bit deterministic)\n\
+             --- fault timeline:\n{timeline}\n\
+             --- scripted events: {events:?}\n\
+             --- trace ({n} lines):\n{trace}",
+            name = self.name,
+            seed = self.seed,
+            timeline = self.faults.describe(),
+            events = self.events,
+            n = trace.len(),
+            trace = trace.join("\n"),
+        );
+    }
+}

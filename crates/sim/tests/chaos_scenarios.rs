@@ -1,0 +1,173 @@
+//! The seeded chaos scenario suite: scripted partitions, crashes and
+//! restarts driven through the deterministic virtual-time deployment,
+//! with every invariant checked by the in-memory oracle
+//! (`hiloc_sim::scenario`).
+//!
+//! All scenarios use fixed seeds and bounded virtual time, so this
+//! suite is fast and bit-for-bit reproducible — a failing run prints
+//! the seed and fault timeline needed to replay it.
+
+use hiloc_core::model::{UpdatePolicy, SECOND};
+use hiloc_geo::Point;
+use hiloc_net::{FaultPlan, LatencySpike, LinkFault, Partition};
+use hiloc_sim::mobility::MobilityKind;
+use hiloc_sim::scenario::{
+    subtree_endpoints, FaultAction, ScenarioEvent, ScenarioSpec,
+};
+
+/// The acceptance scenario: partition a subtree, crash a leaf agent
+/// mid-partition (with handovers in flight across the cut), heal,
+/// restart, and demand every oracle invariant green.
+fn flagship(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec {
+        name: "partition-crash-restart".to_string(),
+        seed,
+        levels: 2,
+        fanout: 2,
+        num_objects: 32,
+        speed_mps: 20.0, // fast: leaf crossings (and thus handovers) every few steps
+        steps: 26,
+        step_dt_s: 2.0,
+        durable: true,
+        ..Default::default()
+    };
+    let h = spec.hierarchy();
+    // The victim: a leaf agent in the lower-left corner, and the
+    // mid-level subtree containing it, which gets cut off from the rest
+    // of the world (including the root and the tracked objects) for
+    // roughly steps 3–15 of the chaos phase.
+    let victim_leaf = h.leaf_for(Point::new(125.0, 125.0)).expect("in area");
+    let mid = h.server(victim_leaf).parent.expect("leaf has a parent");
+    let cut = subtree_endpoints(&h, mid);
+    spec.faults = FaultPlan::none()
+        .with_partition(Partition::isolate(6 * SECOND, 30 * SECOND, cut));
+    spec.events = vec![
+        // Crash while the partition is active: pending handovers out of
+        // the severed subtree are lost along with the leaf's volatile
+        // state. The durable visitor WAL stays on disk. The partition
+        // heals (t = 30 s) well before the restart at step 20, so the
+        // down server blackholes live traffic in between.
+        ScenarioEvent { at_step: 8, action: FaultAction::Crash(victim_leaf) },
+        ScenarioEvent { at_step: 20, action: FaultAction::Restart(victim_leaf) },
+    ];
+    spec
+}
+
+#[test]
+fn flagship_partition_crash_restart_is_green() {
+    let run = flagship(0xC0FFEE).run();
+    assert_eq!(run.alive, 32, "no object may be falsely deregistered");
+    assert!(run.blackholed > 0, "the crash must actually blackhole traffic");
+    assert!(run.net_counters.2 > 0, "the partition must actually drop messages");
+}
+
+#[test]
+fn flagship_is_deterministic_per_seed() {
+    let a = flagship(7).run();
+    let b = flagship(7).run();
+    assert_eq!(a.trace, b.trace, "same seed must replay the identical trace");
+    assert_eq!(a.net_counters, b.net_counters);
+    assert_eq!(a.virtual_end_us, b.virtual_end_us);
+    let c = flagship(8).run();
+    assert_ne!(a.trace, c.trace, "a different seed must explore a different run");
+}
+
+#[test]
+fn crash_restart_recovers_every_durably_acked_registration() {
+    // Stationary population, so the crashed leaf's registrations are
+    // exactly what must come back from the WAL (the harness compares
+    // the recovered visitor DB record-for-record against the
+    // crash-instant snapshot and fails on any divergence).
+    let mut spec = ScenarioSpec {
+        name: "durable-crash-recovery".to_string(),
+        seed: 42,
+        levels: 1,
+        fanout: 2,
+        num_objects: 16,
+        mobility: MobilityKind::Stationary,
+        policy: UpdatePolicy::Periodic { period_us: 4 * SECOND },
+        steps: 12,
+        durable: true,
+        ..Default::default()
+    };
+    let h = spec.hierarchy();
+    let victim = h.leaf_for(Point::new(100.0, 100.0)).expect("in area");
+    spec.events = vec![
+        ScenarioEvent { at_step: 3, action: FaultAction::Crash(victim) },
+        ScenarioEvent { at_step: 6, action: FaultAction::Restart(victim) },
+    ];
+    let run = spec.run();
+    assert_eq!(run.alive, 16, "durable recovery must lose nobody");
+}
+
+#[test]
+#[should_panic(expected = "chaos scenario")]
+fn oracle_catches_lost_registrations_without_durability() {
+    // Negative control: the same crash on a *volatile* deployment loses
+    // the leaf's registrations for good, and the oracle must say so.
+    let mut spec = ScenarioSpec {
+        name: "volatile-crash-loses-state".to_string(),
+        seed: 42,
+        levels: 1,
+        fanout: 2,
+        num_objects: 16,
+        mobility: MobilityKind::Stationary,
+        policy: UpdatePolicy::Periodic { period_us: 4 * SECOND },
+        steps: 12,
+        durable: false,
+        ..Default::default()
+    };
+    let h = spec.hierarchy();
+    let victim = h.leaf_for(Point::new(100.0, 100.0)).expect("in area");
+    spec.events = vec![
+        ScenarioEvent { at_step: 3, action: FaultAction::Crash(victim) },
+        ScenarioEvent { at_step: 6, action: FaultAction::Restart(victim) },
+    ];
+    let _ = spec.run();
+}
+
+#[test]
+fn reorder_duplicate_loss_storm_keeps_invariants() {
+    let spec = ScenarioSpec {
+        name: "udp-storm".to_string(),
+        seed: 0xBAD5EED,
+        levels: 1,
+        fanout: 3,
+        num_objects: 24,
+        speed_mps: 15.0,
+        steps: 20,
+        faults: FaultPlan::uniform(0.03, 0.05).with_reorder(0.2, 300_000),
+        ..Default::default()
+    };
+    let run = spec.run();
+    assert_eq!(run.alive, 24);
+    assert!(run.net_counters.2 > 0, "the storm must actually drop messages");
+    // Determinism holds under heavy fault-RNG usage too.
+    let again = spec.clone().run();
+    assert_eq!(run.trace, again.trace);
+}
+
+#[test]
+fn dead_uplink_and_latency_spike_heal() {
+    let mut spec = ScenarioSpec {
+        name: "flaky-uplink-spike".to_string(),
+        seed: 99,
+        levels: 2,
+        fanout: 2,
+        num_objects: 20,
+        speed_mps: 12.0,
+        steps: 16,
+        ..Default::default()
+    };
+    let h = spec.hierarchy();
+    let leaf = h.leaf_for(Point::new(900.0, 900.0)).expect("in area");
+    let mid = h.server(leaf).parent.expect("leaf has a parent");
+    let root = h.root();
+    spec.faults = FaultPlan::none()
+        // The mid→root uplink loses 80% of its traffic…
+        .with_link(LinkFault::between(mid.into(), root.into()).with_drop(0.8))
+        // …and everything crawls for a while.
+        .with_spike(LatencySpike::new(4 * SECOND, 12 * SECOND, 200_000));
+    let run = spec.run();
+    assert_eq!(run.alive, 20);
+}

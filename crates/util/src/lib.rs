@@ -18,6 +18,8 @@
 //!   reporting (replaces `proptest` for the invariants we check).
 //! * [`bench`] — a wall-clock micro-benchmark harness exposing the
 //!   subset of the `criterion` API the benches use.
+//! * [`tempdir`] — self-deleting scratch directories for tests and
+//!   durable-store harnesses (replaces `tempfile`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,3 +30,4 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod sync;
+pub mod tempdir;

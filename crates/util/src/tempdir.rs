@@ -1,0 +1,65 @@
+//! Self-deleting scratch directories (replaces the `tempfile` crate
+//! for the subset tests and harnesses need).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory under the system temp dir, removed
+/// (best-effort) on drop.
+///
+/// Uniqueness combines the caller's tag, the process id and a global
+/// counter, so concurrent tests and repeated runs never collide.
+#[derive(Debug)]
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    /// Creates `"$TMPDIR/hiloc-<tag>-<pid>-<n>"`, guaranteed fresh:
+    /// creation fails-on-exists and retries with the next counter
+    /// value, so a stale leftover from a killed process (pid recycling)
+    /// is never silently adopted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no directory can be created.
+    pub fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("hiloc-{tag}-{}-{n}", std::process::id()));
+            match std::fs::create_dir(&dir) {
+                Ok(()) => return TempDir(dir),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => panic!("scratch dir creation failed at {}: {e}", dir.display()),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_removes_on_drop() {
+        let a = TempDir::new("util-test");
+        let b = TempDir::new("util-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("x"), b"y").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+    }
+}

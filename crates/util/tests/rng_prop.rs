@@ -1,0 +1,127 @@
+//! Property tests for `util::rng` — the whole chaos suite leans on
+//! these draws being in-bounds, roughly uniform and deterministic, so
+//! they get their own adversarial coverage beyond the unit tests.
+
+use hiloc_util::prop::check;
+use hiloc_util::rng::{RngCore, RngExt, SeedableRng, StdRng};
+
+#[test]
+fn random_range_stays_in_arbitrary_integer_bounds() {
+    check(256, |g| {
+        let lo: i64 = g.random_range(-1_000_000..1_000_000);
+        let hi: i64 = g.random_range(lo + 1..lo + 2_000_000);
+        let x = g.random_range(lo..hi);
+        assert!((lo..hi).contains(&x), "{x} outside {lo}..{hi}");
+        let y = g.random_range(lo..=hi);
+        assert!((lo..=hi).contains(&y), "{y} outside {lo}..={hi}");
+    });
+}
+
+#[test]
+fn random_range_stays_in_arbitrary_float_bounds() {
+    check(256, |g| {
+        let lo = g.random_range(-1e9..1e9);
+        let span = g.random_range(1e-3..1e9);
+        let hi = lo + span;
+        let x = g.random_range(lo..hi);
+        assert!((lo..hi).contains(&x), "{x} outside {lo}..{hi}");
+    });
+}
+
+#[test]
+fn random_range_hits_extreme_integer_spans() {
+    let mut r = StdRng::seed_from_u64(11);
+    for _ in 0..1_000 {
+        // Full-width inclusive range (span == u64::MAX special case).
+        let _: u64 = r.random_range(0..=u64::MAX);
+        let x = r.random_range(i64::MIN..=i64::MAX);
+        let _ = x;
+        // Single-value ranges always return that value.
+        assert_eq!(r.random_range(7..8u32), 7);
+        assert_eq!(r.random_range(-3..=-3i8), -3);
+    }
+}
+
+#[test]
+fn random_range_buckets_are_roughly_uniform() {
+    const BUCKETS: usize = 16;
+    const DRAWS: usize = 64_000;
+    let mut counts = [0usize; BUCKETS];
+    let mut r = StdRng::seed_from_u64(12);
+    for _ in 0..DRAWS {
+        counts[r.random_range(0..BUCKETS)] += 1;
+    }
+    let mean = DRAWS / BUCKETS;
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            c > mean * 3 / 4 && c < mean * 5 / 4,
+            "bucket {i} count {c} deviates >25% from mean {mean}: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn float_unit_draws_are_roughly_uniform() {
+    const BUCKETS: usize = 10;
+    const DRAWS: usize = 50_000;
+    let mut counts = [0usize; BUCKETS];
+    let mut r = StdRng::seed_from_u64(13);
+    for _ in 0..DRAWS {
+        let x: f64 = r.random();
+        counts[(x * BUCKETS as f64) as usize] += 1;
+    }
+    let mean = DRAWS / BUCKETS;
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            c > mean * 3 / 4 && c < mean * 5 / 4,
+            "bucket {i} count {c} deviates >25% from mean {mean}: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn shuffle_is_a_permutation_of_any_input() {
+    check(128, |g| {
+        let len = g.index(200);
+        let mut v: Vec<u32> = (0..len as u32).map(|i| i * 3).collect();
+        let original = v.clone();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let mut expected = original.clone();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected, "shuffle must preserve the multiset");
+    });
+}
+
+#[test]
+fn shuffle_is_deterministic_per_seed_and_varies_across_seeds() {
+    let shuffled = |seed: u64| {
+        let mut r = StdRng::seed_from_u64(seed);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        v
+    };
+    assert_eq!(shuffled(5), shuffled(5));
+    assert_ne!(shuffled(5), shuffled(6));
+}
+
+#[test]
+fn choose_only_returns_elements_of_the_slice() {
+    check(128, |g| {
+        let len = 1 + g.index(50);
+        let v: Vec<usize> = (0..len).map(|i| i * 7 + 1).collect();
+        let picked = *g.choose(&v).expect("non-empty");
+        assert!(v.contains(&picked));
+    });
+}
+
+#[test]
+fn next_u32_uses_the_high_half() {
+    // The default next_u32 takes the upper 64→32 bits; both halves of
+    // the stream must still look alive.
+    let mut r = StdRng::seed_from_u64(14);
+    let words: Vec<u32> = (0..64).map(|_| r.next_u32()).collect();
+    assert!(words.iter().any(|&w| w != 0));
+    assert!(words.windows(2).any(|w| w[0] != w[1]));
+}

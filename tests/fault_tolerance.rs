@@ -17,7 +17,7 @@ fn lossy_deployment(drop_prob: f64, seed: u64) -> SimDeployment {
         h,
         opts,
         LatencyModel::default(),
-        FaultPlan { drop_prob, duplicate_prob: 0.02 },
+        FaultPlan::uniform(drop_prob, 0.02),
         seed,
     )
 }
@@ -173,7 +173,7 @@ fn soft_state_cleans_up_after_lost_handover() {
         h,
         opts,
         LatencyModel::default(),
-        FaultPlan { drop_prob: 0.3, duplicate_prob: 0.0 },
+        FaultPlan::uniform(0.3, 0.0),
         0x33,
     );
     let p = Point::new(100.0, 100.0);
