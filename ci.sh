@@ -49,4 +49,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> bench targets compile"
 cargo check --offline --workspace --benches
 
+# Keeps the perf harness from bit-rotting: a quick hotpath run must
+# produce a report that the strict util::json validator accepts
+# (schema, positive rates, and the ≤ 2× live memory bound).
+echo "==> bench smoke: experiments hotpath --json --quick + validation"
+cargo build --release --offline -p hiloc-bench
+./target/release/experiments hotpath --json --quick --out target/BENCH_hotpath_smoke.json > /dev/null
+./target/release/experiments validate-bench target/BENCH_hotpath_smoke.json
+
 echo "CI green."

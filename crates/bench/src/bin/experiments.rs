@@ -10,11 +10,15 @@
 //! experiments caching           # §6.5 cache ablation
 //! experiments hierarchy-sweep   # height/fan-out/locality sweep (§8)
 //! experiments update-policy     # update protocol comparison (ref [15])
-//! experiments all               # everything above
+//! experiments hotpath           # update hot-path suite (slab vs legacy)
+//! experiments hotpath --json    # …writing BENCH_hotpath.json (see --out)
+//! experiments validate-bench F  # strict util::json check of a report
+//! experiments all               # everything above (except validate)
 //! experiments all --quick       # reduced sizes (CI-friendly)
 //! ```
 
 use hiloc_bench::figures::{fig3, fig4, fig6, involved_servers};
+use hiloc_bench::hotpath::{self, HotpathConfig};
 use hiloc_bench::table1::IndexChoice;
 use hiloc_bench::{ablations, fmt_rate, print_table, table1, table2};
 use std::time::Duration;
@@ -69,8 +73,35 @@ const SEED: u64 = 0x10CA_7E57;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    // A quick run must never silently clobber the committed full-scale
+    // baseline at the default path.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if quick { "BENCH_hotpath_quick.json" } else { "BENCH_hotpath.json" }.to_string()
+        });
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let cmd = args.iter().find(|a| !a.starts_with('-')).map(String::as_str).unwrap_or("all");
+    let positional: Vec<&str> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter_map(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return None;
+                }
+                if a == "--out" {
+                    skip_next = true;
+                    return None;
+                }
+                (!a.starts_with('-')).then_some(a.as_str())
+            })
+            .collect()
+    };
+    let cmd = positional.first().copied().unwrap_or("all");
 
     match cmd {
         "table1" => run_table1(&scale),
@@ -82,6 +113,14 @@ fn main() {
         "caching" => run_caching(&scale),
         "hierarchy-sweep" => run_sweep(&scale),
         "update-policy" => run_policies(&scale),
+        "hotpath" => run_hotpath(quick, json, &out_path),
+        "validate-bench" => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("usage: experiments validate-bench <BENCH_hotpath.json>");
+                std::process::exit(2);
+            };
+            validate_bench(path);
+        }
         "all" => {
             run_table1(&scale);
             run_table2(&scale);
@@ -92,11 +131,104 @@ fn main() {
             run_caching(&scale);
             run_sweep(&scale);
             run_policies(&scale);
+            run_hotpath(quick, json, &out_path);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: table1 table2 table2-sim fig3 fig4 fig6 caching hierarchy-sweep update-policy all");
+            eprintln!(
+                "known: table1 table2 table2-sim fig3 fig4 fig6 caching hierarchy-sweep \
+                 update-policy hotpath validate-bench all"
+            );
             std::process::exit(2);
+        }
+    }
+}
+
+fn run_hotpath(quick: bool, json: bool, out_path: &str) {
+    let cfg = if quick { HotpathConfig::quick() } else { HotpathConfig::full() };
+    let report = hotpath::run(&cfg);
+
+    for implementation in ["slab", "legacy"] {
+        let table: Vec<Vec<String>> = report
+            .storage
+            .iter()
+            .filter(|r| r.implementation == implementation)
+            .flat_map(|r| {
+                r.rows.iter().map(move |row| {
+                    vec![r.index.to_string(), row.op.to_string(), fmt_rate(row.ops_per_s)]
+                })
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Hot path ({implementation}): {} objects, {} ops/row, local motion",
+                cfg.objects, cfg.ops
+            ),
+            &["index", "operation", "rate"],
+            &table,
+        );
+    }
+    let speedups: Vec<Vec<String>> = report
+        .update_storm_speedup
+        .iter()
+        .map(|(index, x)| vec![index.to_string(), format!("{x:.2}x")])
+        .collect();
+    print_table("Update-storm speedup (slab vs legacy, same binary)", &["index", "speedup"], &speedups);
+    print_table(
+        &format!(
+            "Memory probe: {} updates over {} live records",
+            report.memory.updates, report.memory.live
+        ),
+        &["store", "expiry entries", "arena slots"],
+        &[
+            vec![
+                "slab + wheel".to_string(),
+                report.memory.slab_expiry_entries.to_string(),
+                report.memory.slab_slots.to_string(),
+            ],
+            vec![
+                "legacy heap".to_string(),
+                report.memory.legacy_heap_entries.to_string(),
+                "-".to_string(),
+            ],
+        ],
+    );
+    print_table(
+        &format!(
+            "Leaf update-storm: {} objects, {} updates",
+            report.leaf.objects, report.leaf.updates
+        ),
+        &["protocol", "rate"],
+        &[
+            vec!["UpdateReq (1/datagram)".to_string(), fmt_rate(report.leaf.single_ops_per_s)],
+            vec![
+                format!("UpdateBatch ({}/datagram)", report.leaf.batch),
+                fmt_rate(report.leaf.batch_ops_per_s),
+            ],
+        ],
+    );
+
+    if json {
+        let text = report.to_json(quick).to_string_pretty();
+        hotpath::validate_report(&text).expect("self-produced report must validate");
+        std::fs::write(out_path, text + "\n").expect("write bench report");
+        println!("\nwrote {out_path}");
+    }
+}
+
+fn validate_bench(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate-bench: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match hotpath::validate_report(&text) {
+        Ok(()) => println!("{path}: valid hiloc-bench-hotpath/v1 report"),
+        Err(e) => {
+            eprintln!("validate-bench: {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

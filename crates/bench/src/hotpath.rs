@@ -1,0 +1,929 @@
+//! The update hot-path benchmark: Table 1-style storage workloads plus
+//! a leaf update-storm, with machine-readable JSON output.
+//!
+//! This is the workspace's committed perf baseline (`BENCH_hotpath.json`
+//! at the repo root): every row is measured by *this* binary, including
+//! the **legacy** pre-slab sighting store (`HashMap` records + version
+//! map + lazy-deletion `BinaryHeap`), which is replicated here verbatim
+//! so before/after numbers come from the same build on the same
+//! machine.
+//!
+//! Run `experiments hotpath --json` to regenerate; see the README
+//! "Performance" section for the JSON schema.
+
+use crate::fixtures::{table1_area, uniform_points};
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{ObjectId, Sighting};
+use hiloc_core::node::{LocationServer, ServerOptions};
+use hiloc_core::proto::Message;
+use hiloc_geo::{Point, Rect};
+use hiloc_net::{ClientId, CorrId, Envelope};
+use hiloc_spatial::{GridIndex, RTree, SpatialIndex};
+use hiloc_storage::{SightingDb, StoredSighting};
+use hiloc_util::json::Json;
+use hiloc_util::rng::StdRng;
+use hiloc_util::rng::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+// ------------------------------------------------------- legacy replica
+
+/// The pre-slab sighting store, kept verbatim as the measured "before":
+/// a `HashMap` of records, a parallel version map, and an **unbounded**
+/// lazy-deletion expiry heap — three hash writes, one virtual re-insert
+/// and one heap push per update, with heap memory growing with the
+/// total number of updates between sweeps rather than with live
+/// records.
+struct LegacySightingDb {
+    index: Box<dyn SpatialIndex>,
+    records: HashMap<u64, StoredSighting>,
+    expiry: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    versions: HashMap<u64, u64>,
+    next_version: u64,
+}
+
+impl LegacySightingDb {
+    fn with_index(index: Box<dyn SpatialIndex>) -> Self {
+        LegacySightingDb {
+            index,
+            records: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            versions: HashMap::new(),
+            next_version: 0,
+        }
+    }
+
+    fn upsert(&mut self, s: StoredSighting) -> Option<StoredSighting> {
+        self.index.insert(s.key, s.pos);
+        self.next_version += 1;
+        self.versions.insert(s.key, self.next_version);
+        self.expiry.push(Reverse((s.expires_us, s.key, self.next_version)));
+        self.records.insert(s.key, s)
+    }
+
+    fn get(&self, key: u64) -> Option<&StoredSighting> {
+        self.records.get(&key)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<StoredSighting> {
+        let rec = self.records.remove(&key)?;
+        self.index.remove(key);
+        self.versions.remove(&key);
+        Some(rec)
+    }
+
+    fn expire_due(&mut self, now_us: u64) -> Vec<StoredSighting> {
+        let mut out = Vec::new();
+        while let Some(Reverse((deadline, key, version))) = self.expiry.peek().copied() {
+            if deadline > now_us {
+                break;
+            }
+            self.expiry.pop();
+            if self.versions.get(&key) != Some(&version) {
+                continue;
+            }
+            if let Some(rec) = self.remove(key) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+
+    fn heap_entries(&self) -> usize {
+        self.expiry.len()
+    }
+}
+
+/// The seed's point quadtree, archived for the "before" measurement:
+/// every removal tombstones (childless nodes are never unlinked, no
+/// slot reuse, no tombstone revival), every move is a full
+/// remove + re-insert descent, and rebuilds fire once tombstones
+/// outnumber live nodes. Only the operations the storage workload
+/// drives are replicated; query answers stay oracle-exact.
+#[derive(Default)]
+struct LegacyPointQuadtree {
+    nodes: Vec<LegacyQuadNode>,
+    root: Option<u32>,
+    by_key: HashMap<u64, u32>,
+    tombstones: usize,
+}
+
+struct LegacyQuadNode {
+    key: u64,
+    pos: Point,
+    children: [Option<u32>; 4],
+    deleted: bool,
+}
+
+impl LegacyPointQuadtree {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn quadrant(node_pos: Point, p: Point) -> usize {
+        match (p.x >= node_pos.x, p.y >= node_pos.y) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (true, true) => 3,
+        }
+    }
+
+    fn insert_node(&mut self, key: u64, pos: Point) {
+        let new_id = self.nodes.len() as u32;
+        let node = LegacyQuadNode { key, pos, children: [None; 4], deleted: false };
+        match self.root {
+            None => {
+                self.nodes.push(node);
+                self.root = Some(new_id);
+            }
+            Some(mut cur) => loop {
+                let q = Self::quadrant(self.nodes[cur as usize].pos, pos);
+                match self.nodes[cur as usize].children[q] {
+                    Some(child) => cur = child,
+                    None => {
+                        self.nodes.push(node);
+                        self.nodes[cur as usize].children[q] = Some(new_id);
+                        break;
+                    }
+                }
+            },
+        }
+        self.by_key.insert(key, new_id);
+    }
+
+    fn maybe_rebuild(&mut self) {
+        if self.tombstones <= self.by_key.len() || self.tombstones < 64 {
+            return;
+        }
+        let mut live: Vec<(u64, Point)> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.deleted)
+            .map(|n| (n.key, n.pos))
+            .collect();
+        live.sort_by_key(|(k, _)| k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.nodes.clear();
+        self.by_key.clear();
+        self.root = None;
+        self.tombstones = 0;
+        for (k, p) in live {
+            self.insert_node(k, p);
+        }
+    }
+
+    fn query_rec(&self, id: Option<u32>, rect: &Rect, sink: &mut dyn FnMut(hiloc_spatial::Entry)) {
+        let Some(id) = id else { return };
+        let node = &self.nodes[id as usize];
+        if !node.deleted && rect.contains(node.pos) {
+            sink(hiloc_spatial::Entry::new(node.key, node.pos));
+        }
+        let west = rect.min().x < node.pos.x;
+        let east = rect.max().x >= node.pos.x;
+        let south = rect.min().y < node.pos.y;
+        let north = rect.max().y >= node.pos.y;
+        for (cond, q) in [(west && south, 0), (east && south, 1), (west && north, 2), (east && north, 3)]
+        {
+            if cond {
+                self.query_rec(node.children[q], rect, sink);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for LegacyPointQuadtree {
+    fn insert(&mut self, key: u64, pos: Point) -> Option<Point> {
+        let old = self.remove(key);
+        self.insert_node(key, pos);
+        self.maybe_rebuild();
+        old
+    }
+
+    fn remove(&mut self, key: u64) -> Option<Point> {
+        let id = self.by_key.remove(&key)?;
+        let node = &mut self.nodes[id as usize];
+        node.deleted = true;
+        self.tombstones += 1;
+        let pos = node.pos;
+        self.maybe_rebuild();
+        Some(pos)
+    }
+
+    fn get(&self, key: u64) -> Option<Point> {
+        self.by_key.get(&key).map(|&id| self.nodes[id as usize].pos)
+    }
+
+    fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.by_key.clear();
+        self.root = None;
+        self.tombstones = 0;
+    }
+
+    fn query_rect(&self, rect: &Rect, sink: &mut dyn FnMut(hiloc_spatial::Entry)) {
+        self.query_rec(self.root, rect, sink);
+    }
+
+    fn nearest_where(
+        &self,
+        p: Point,
+        filter: &mut dyn FnMut(u64) -> bool,
+    ) -> Option<(hiloc_spatial::Entry, f64)> {
+        // Linear scan: exact, and never on the benchmarked path.
+        let mut best: Option<(hiloc_spatial::Entry, f64)> = None;
+        for (&key, &id) in &self.by_key {
+            if !filter(key) {
+                continue;
+            }
+            let pos = self.nodes[id as usize].pos;
+            let d = p.distance(pos);
+            let better = match &best {
+                Some((e, bd)) => d < *bd || (d == *bd && key < e.key),
+                None => true,
+            };
+            if better {
+                best = Some((hiloc_spatial::Entry::new(key, pos), d));
+            }
+        }
+        best
+    }
+
+    fn k_nearest_where(
+        &self,
+        p: Point,
+        k: usize,
+        filter: &mut dyn FnMut(u64) -> bool,
+    ) -> Vec<(hiloc_spatial::Entry, f64)> {
+        let mut all: Vec<(hiloc_spatial::Entry, f64)> = self
+            .by_key
+            .iter()
+            .filter(|(key, _)| filter(**key))
+            .map(|(&key, &id)| {
+                let pos = self.nodes[id as usize].pos;
+                (hiloc_spatial::Entry::new(key, pos), p.distance(pos))
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.key.cmp(&b.0.key))
+        });
+        all.truncate(k);
+        all
+    }
+
+    fn for_each(&self, sink: &mut dyn FnMut(hiloc_spatial::Entry)) {
+        for (&key, &id) in &self.by_key {
+            sink(hiloc_spatial::Entry::new(key, self.nodes[id as usize].pos));
+        }
+    }
+}
+
+// ------------------------------------------------------------- config
+
+/// Scale of one hotpath run.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathConfig {
+    /// Live population for the storage workloads (Table 1 uses 25 000).
+    pub objects: usize,
+    /// Updates/queries per storage workload row.
+    pub ops: usize,
+    /// Live population of the memory-bound probe.
+    pub mem_live: usize,
+    /// Total updates of the memory-bound probe (the "1M-update storm").
+    pub mem_updates: usize,
+    /// Tracked objects of the leaf update-storm.
+    pub storm_objects: u64,
+    /// Updates delivered during the leaf update-storm.
+    pub storm_updates: usize,
+    /// Sightings per `UpdateBatch` datagram in the batched storm.
+    pub batch: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HotpathConfig {
+    /// The committed-baseline scale.
+    pub fn full() -> Self {
+        HotpathConfig {
+            objects: 25_000,
+            ops: 200_000,
+            mem_live: 10_000,
+            mem_updates: 1_000_000,
+            storm_objects: 2_000,
+            storm_updates: 100_000,
+            batch: 32,
+            seed: 0x10CA_7E57,
+        }
+    }
+
+    /// CI-friendly scale (the `--quick` bench-smoke gate).
+    pub fn quick() -> Self {
+        HotpathConfig {
+            objects: 2_000,
+            ops: 10_000,
+            mem_live: 1_000,
+            mem_updates: 50_000,
+            storm_objects: 200,
+            storm_updates: 5_000,
+            batch: 32,
+            seed: 0x10CA_7E57,
+        }
+    }
+}
+
+// ------------------------------------------------------------- results
+
+/// One measured operation rate.
+#[derive(Debug, Clone)]
+pub struct OpRate {
+    /// Workload name.
+    pub op: &'static str,
+    /// Measured operations per second.
+    pub ops_per_s: f64,
+}
+
+/// One (index backend, implementation) storage run.
+#[derive(Debug, Clone)]
+pub struct StorageRun {
+    /// Index backend name.
+    pub index: &'static str,
+    /// `"slab"` (this PR) or `"legacy"` (pre-slab baseline).
+    pub implementation: &'static str,
+    /// Measured rows.
+    pub rows: Vec<OpRate>,
+}
+
+/// The memory-bound probe: an update storm over a fixed live set.
+#[derive(Debug, Clone)]
+pub struct MemoryProbe {
+    /// Updates applied.
+    pub updates: usize,
+    /// Live records throughout.
+    pub live: usize,
+    /// Slab expiry-wheel entries after the storm.
+    pub slab_expiry_entries: usize,
+    /// Slab arena slots after the storm.
+    pub slab_slots: usize,
+    /// Legacy lazy-deletion heap entries after the same storm.
+    pub legacy_heap_entries: usize,
+    /// Whether the slab store honored the ≤ 2× live bound.
+    pub bounded: bool,
+}
+
+/// The leaf update-storm: a single location server absorbing updates.
+#[derive(Debug, Clone)]
+pub struct LeafStorm {
+    /// Tracked objects.
+    pub objects: u64,
+    /// Updates delivered.
+    pub updates: usize,
+    /// Updates/s via individual `UpdateReq` datagrams.
+    pub single_ops_per_s: f64,
+    /// Updates/s via coalesced `UpdateBatch` datagrams.
+    pub batch_ops_per_s: f64,
+    /// Sightings per batch datagram.
+    pub batch: usize,
+}
+
+/// A complete hotpath run.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// The scale it ran at.
+    pub config: HotpathConfig,
+    /// Storage-layer runs (every backend × {slab, legacy}).
+    pub storage: Vec<StorageRun>,
+    /// Per-backend slab/legacy speedup on the update-storm row.
+    pub update_storm_speedup: Vec<(&'static str, f64)>,
+    /// The memory-bound probe.
+    pub memory: MemoryProbe,
+    /// The leaf update-storm.
+    pub leaf: LeafStorm,
+}
+
+// ------------------------------------------------------------ workloads
+
+const TTL_US: u64 = 300_000_000; // 300 s soft-state TTL
+/// Virtual clock advance per arriving update: 25 µs ≈ the 40 000
+/// updates/s regime Table 1 measures, so per-object TTL-refresh
+/// intervals (and thus expiry-wheel reschedule distances) have the
+/// shape a loaded leaf actually sees.
+const STEP_US: u64 = 25;
+
+/// Local motion: the next position of `key`, a bounded random step from
+/// its current one — the realistic shape of tracked-object updates (and
+/// what gives the spatial `update` fast paths their hit rate).
+fn local_step(rng: &mut StdRng, area: Rect, pos: Point) -> Point {
+    let dx = rng.random_range(-15.0..15.0);
+    let dy = rng.random_range(-15.0..15.0);
+    Point::new(
+        (pos.x + dx).clamp(area.min().x, area.max().x - 1e-3),
+        (pos.y + dy).clamp(area.min().y, area.max().y - 1e-3),
+    )
+}
+
+/// The operations the storage workload drives — implemented by both
+/// the slab store and the legacy replica so one workload measures both.
+trait StorageLike {
+    fn bench_upsert(&mut self, s: StoredSighting);
+    fn bench_get(&self, key: u64) -> bool;
+    fn bench_expire(&mut self, now_us: u64) -> usize;
+}
+
+impl StorageLike for SightingDb {
+    fn bench_upsert(&mut self, s: StoredSighting) {
+        self.upsert(s);
+    }
+    fn bench_get(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+    fn bench_expire(&mut self, now_us: u64) -> usize {
+        self.expire_due(now_us).len()
+    }
+}
+
+impl StorageLike for LegacySightingDb {
+    fn bench_upsert(&mut self, s: StoredSighting) {
+        self.upsert(s);
+    }
+    fn bench_get(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+    fn bench_expire(&mut self, now_us: u64) -> usize {
+        self.expire_due(now_us).len()
+    }
+}
+
+fn storage_workload(cfg: &HotpathConfig, ops: &mut dyn StorageLike) -> Vec<OpRate> {
+    let area = table1_area();
+    let mut positions = uniform_points(cfg.objects, area, cfg.seed);
+    let mut rows = Vec::new();
+    let mut now = 0u64;
+
+    // Row 1: creating the index (bulk insert of the population).
+    let t0 = Instant::now();
+    for (i, p) in positions.iter().enumerate() {
+        ops.bench_upsert(StoredSighting {
+            key: i as u64,
+            pos: *p,
+            time_us: now,
+            acc_sens_m: 10.0,
+            expires_us: now + TTL_US,
+        });
+    }
+    rows.push(OpRate { op: "insert", ops_per_s: cfg.objects as f64 / t0.elapsed().as_secs_f64() });
+
+    // Row 2: the update storm — local motion with TTL refresh, the
+    // paper's dominant load. The motion trace is generated up front so
+    // the timed loop measures the store, not the RNG.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5707);
+    let storm: Vec<StoredSighting> = (0..cfg.ops)
+        .map(|i| {
+            now += STEP_US;
+            let key = (i * 7919 + 13) % cfg.objects;
+            let next = local_step(&mut rng, area, positions[key]);
+            positions[key] = next;
+            StoredSighting {
+                key: key as u64,
+                pos: next,
+                time_us: now,
+                acc_sens_m: 10.0,
+                expires_us: now + TTL_US,
+            }
+        })
+        .collect();
+    let t0 = Instant::now();
+    for s in &storm {
+        ops.bench_upsert(*s);
+    }
+    rows.push(OpRate { op: "update storm", ops_per_s: cfg.ops as f64 / t0.elapsed().as_secs_f64() });
+
+    // Row 3: position queries (hash-index path).
+    let t0 = Instant::now();
+    let mut found = 0usize;
+    for i in 0..cfg.ops {
+        if ops.bench_get(((i * 104_729 + 7) % cfg.objects) as u64) {
+            found += 1;
+        }
+    }
+    assert_eq!(found, cfg.ops, "every queried object must exist");
+    rows.push(OpRate { op: "pos query", ops_per_s: cfg.ops as f64 / t0.elapsed().as_secs_f64() });
+
+    // Row 4: soft-state expiry of the whole population (every record's
+    // deadline has a stale predecessor from the storm).
+    let t0 = Instant::now();
+    let expired = ops.bench_expire(now + TTL_US + 1);
+    assert_eq!(expired, cfg.objects, "expiry must drain the population");
+    rows.push(OpRate { op: "expire all", ops_per_s: cfg.objects as f64 / t0.elapsed().as_secs_f64() });
+
+    rows
+}
+
+fn slab_db(index: &str) -> SightingDb {
+    match index {
+        "quadtree" => SightingDb::new_quadtree(),
+        "rtree" => SightingDb::new_rtree(),
+        "grid" => SightingDb::new_grid(200.0),
+        other => unreachable!("unknown index {other}"),
+    }
+}
+
+fn legacy_db(index: &str) -> LegacySightingDb {
+    match index {
+        "quadtree" => LegacySightingDb::with_index(Box::new(LegacyPointQuadtree::new())),
+        "rtree" => LegacySightingDb::with_index(Box::new(RTree::new())),
+        "grid" => LegacySightingDb::with_index(Box::new(GridIndex::new(200.0))),
+        other => unreachable!("unknown index {other}"),
+    }
+}
+
+const INDEXES: [&str; 3] = ["quadtree", "rtree", "grid"];
+
+fn run_storage(cfg: &HotpathConfig) -> Vec<StorageRun> {
+    // Best-of-3 per row: the workload is deterministic, so repeated
+    // runs differ only by machine noise — the fastest observation is
+    // the least-disturbed one (standard microbenchmark practice).
+    const REPEATS: usize = 3;
+    let best_of = |rows_per_run: Vec<Vec<OpRate>>| -> Vec<OpRate> {
+        let mut best = rows_per_run[0].clone();
+        for run in &rows_per_run[1..] {
+            for (b, r) in best.iter_mut().zip(run) {
+                debug_assert_eq!(b.op, r.op);
+                b.ops_per_s = b.ops_per_s.max(r.ops_per_s);
+            }
+        }
+        best
+    };
+    let mut runs = Vec::new();
+    for index in INDEXES {
+        let rows = best_of(
+            (0..REPEATS)
+                .map(|_| {
+                    let mut db = slab_db(index);
+                    storage_workload(cfg, &mut db)
+                })
+                .collect(),
+        );
+        runs.push(StorageRun { index, implementation: "slab", rows });
+
+        let rows = best_of(
+            (0..REPEATS)
+                .map(|_| {
+                    let mut db = legacy_db(index);
+                    storage_workload(cfg, &mut db)
+                })
+                .collect(),
+        );
+        runs.push(StorageRun { index, implementation: "legacy", rows });
+    }
+    runs
+}
+
+fn run_memory_probe(cfg: &HotpathConfig) -> MemoryProbe {
+    let area = table1_area();
+    let points = uniform_points(cfg.mem_live, area, cfg.seed ^ 0x3E3);
+    let mut slab = SightingDb::new_grid(200.0);
+    let mut legacy = legacy_db("grid");
+    let mut now = 0u64;
+    for (i, p) in points.iter().enumerate() {
+        let s = StoredSighting {
+            key: i as u64,
+            pos: *p,
+            time_us: 0,
+            acc_sens_m: 10.0,
+            expires_us: TTL_US,
+        };
+        slab.upsert(s);
+        legacy.upsert(s);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3E4);
+    let mut positions = points;
+    for i in 0..cfg.mem_updates {
+        now += 100;
+        let key = i % cfg.mem_live;
+        let next = local_step(&mut rng, area, positions[key]);
+        positions[key] = next;
+        let s = StoredSighting {
+            key: key as u64,
+            pos: next,
+            time_us: now,
+            acc_sens_m: 10.0,
+            expires_us: now + TTL_US,
+        };
+        slab.upsert(s);
+        legacy.upsert(s);
+    }
+    let bound = 2 * cfg.mem_live + 64;
+    MemoryProbe {
+        updates: cfg.mem_updates,
+        live: cfg.mem_live,
+        slab_expiry_entries: slab.expiry_entries(),
+        slab_slots: slab.slot_capacity(),
+        legacy_heap_entries: legacy.heap_entries(),
+        bounded: slab.expiry_entries() <= bound && slab.slot_capacity() <= cfg.mem_live,
+    }
+}
+
+fn run_leaf_storm(cfg: &HotpathConfig) -> LeafStorm {
+    // A single leaf server (1-server hierarchy) absorbing the storm —
+    // the full protocol path: decode-free in-process envelopes, visitor
+    // lookup, sighting upsert, event observers, ack emission.
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(2_000.0, 2_000.0));
+    let hierarchy =
+        HierarchyBuilder::grid(area, 0, 2).build().expect("single-server hierarchy");
+    let cfg_server = hierarchy.servers()[0].clone();
+    let make_server = || {
+        LocationServer::new(cfg_server.clone(), ServerOptions::default())
+            .expect("leaf construction")
+    };
+    let sid = cfg_server.id;
+    let client = ClientId(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF00D);
+    let starts: Vec<Point> = uniform_points(cfg.storm_objects as usize, area, cfg.seed ^ 0xF00E);
+
+    let register = |server: &mut LocationServer| {
+        for (i, p) in starts.iter().enumerate() {
+            let out = server.handle(
+                0,
+                Envelope::new(
+                    client.into(),
+                    sid.into(),
+                    Message::RegisterReq {
+                        sighting: Sighting::new(ObjectId(i as u64), 0, *p, 5.0),
+                        des_acc_m: 10.0,
+                        min_acc_m: 50.0,
+                        max_speed_mps: 10.0,
+                        registrant: client.into(),
+                        corr: CorrId(i as u64),
+                    },
+                ),
+            );
+            assert!(!out.is_empty());
+        }
+    };
+
+    // Pre-generate the storm so both runs replay identical motion.
+    let mut positions = starts.clone();
+    let storm: Vec<Sighting> = (0..cfg.storm_updates)
+        .map(|i| {
+            let key = (i as u64 * 31 + 7) % cfg.storm_objects;
+            let next = local_step(&mut rng, area, positions[key as usize]);
+            positions[key as usize] = next;
+            Sighting::new(ObjectId(key), (i as u64 + 1) * STEP_US, next, 5.0)
+        })
+        .collect();
+
+    // Individual UpdateReq datagrams.
+    let mut server = make_server();
+    register(&mut server);
+    let t0 = Instant::now();
+    for (i, s) in storm.iter().enumerate() {
+        let out = server.handle(
+            (i as u64 + 1) * STEP_US,
+            Envelope::new(client.into(), sid.into(), Message::UpdateReq { sighting: *s }),
+        );
+        debug_assert!(!out.is_empty());
+    }
+    let single = cfg.storm_updates as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(server.stats().updates as usize, cfg.storm_updates);
+
+    // Coalesced UpdateBatch datagrams.
+    let mut server = make_server();
+    register(&mut server);
+    let t0 = Instant::now();
+    for (b, chunk) in storm.chunks(cfg.batch).enumerate() {
+        let now = chunk.last().expect("non-empty chunk").time_us;
+        let out = server.handle(
+            now,
+            Envelope::new(
+                client.into(),
+                sid.into(),
+                Message::UpdateBatch { sightings: chunk.to_vec(), corr: CorrId(b as u64) },
+            ),
+        );
+        debug_assert!(!out.is_empty());
+    }
+    let batched = cfg.storm_updates as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(server.stats().updates as usize, cfg.storm_updates);
+
+    LeafStorm {
+        objects: cfg.storm_objects,
+        updates: cfg.storm_updates,
+        single_ops_per_s: single,
+        batch_ops_per_s: batched,
+        batch: cfg.batch,
+    }
+}
+
+/// Runs the complete hotpath suite.
+pub fn run(cfg: &HotpathConfig) -> HotpathReport {
+    let storage = run_storage(cfg);
+    let update_storm_speedup = INDEXES
+        .iter()
+        .map(|&index| {
+            let rate = |implementation: &str| {
+                storage
+                    .iter()
+                    .find(|r| r.index == index && r.implementation == implementation)
+                    .and_then(|r| r.rows.iter().find(|row| row.op == "update storm"))
+                    .map(|row| row.ops_per_s)
+                    .expect("storm row present")
+            };
+            (index, rate("slab") / rate("legacy"))
+        })
+        .collect();
+    HotpathReport {
+        config: *cfg,
+        storage,
+        update_storm_speedup,
+        memory: run_memory_probe(cfg),
+        leaf: run_leaf_storm(cfg),
+    }
+}
+
+// ----------------------------------------------------------------- json
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn rate(v: f64) -> Json {
+    // Rates are rounded to whole ops/s: sub-op precision is noise and
+    // integers keep the committed baseline diff-friendly.
+    Json::Num(v.round())
+}
+
+impl HotpathReport {
+    /// The machine-readable report (schema documented in the README).
+    pub fn to_json(&self, quick: bool) -> Json {
+        let storage = self
+            .storage
+            .iter()
+            .map(|run| {
+                Json::Obj(vec![
+                    ("index".into(), Json::Str(run.index.into())),
+                    ("impl".into(), Json::Str(run.implementation.into())),
+                    (
+                        "rows".into(),
+                        Json::Arr(
+                            run.rows
+                                .iter()
+                                .map(|r| {
+                                    Json::Obj(vec![
+                                        ("op".into(), Json::Str(r.op.into())),
+                                        ("ops_per_s".into(), rate(r.ops_per_s)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let speedups = self
+            .update_storm_speedup
+            .iter()
+            .map(|(index, x)| {
+                Json::Obj(vec![
+                    ("index".into(), Json::Str((*index).into())),
+                    ("speedup".into(), num((x * 100.0).round() / 100.0)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("hiloc-bench-hotpath/v1".into())),
+            ("quick".into(), Json::Bool(quick)),
+            ("seed".into(), num(self.config.seed as f64)),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("objects".into(), num(self.config.objects as f64)),
+                    ("ops".into(), num(self.config.ops as f64)),
+                    ("mem_live".into(), num(self.config.mem_live as f64)),
+                    ("mem_updates".into(), num(self.config.mem_updates as f64)),
+                    ("storm_objects".into(), num(self.config.storm_objects as f64)),
+                    ("storm_updates".into(), num(self.config.storm_updates as f64)),
+                    ("batch".into(), num(self.config.batch as f64)),
+                ]),
+            ),
+            ("storage".into(), Json::Arr(storage)),
+            ("update_storm_speedup".into(), Json::Arr(speedups)),
+            (
+                "memory".into(),
+                Json::Obj(vec![
+                    ("updates".into(), num(self.memory.updates as f64)),
+                    ("live".into(), num(self.memory.live as f64)),
+                    ("slab_expiry_entries".into(), num(self.memory.slab_expiry_entries as f64)),
+                    ("slab_slots".into(), num(self.memory.slab_slots as f64)),
+                    ("legacy_heap_entries".into(), num(self.memory.legacy_heap_entries as f64)),
+                    ("bounded".into(), Json::Bool(self.memory.bounded)),
+                ]),
+            ),
+            (
+                "leaf_storm".into(),
+                Json::Obj(vec![
+                    ("objects".into(), num(self.leaf.objects as f64)),
+                    ("updates".into(), num(self.leaf.updates as f64)),
+                    ("single_ops_per_s".into(), rate(self.leaf.single_ops_per_s)),
+                    ("batch".into(), num(self.leaf.batch as f64)),
+                    ("batch_ops_per_s".into(), rate(self.leaf.batch_ops_per_s)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Validates a `BENCH_hotpath.json` document: parseable by
+/// [`hiloc_util::json`] and carrying the fields the trajectory tooling
+/// reads. Returns a human-readable error description on failure.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing schema field".to_string())?;
+    if schema != "hiloc-bench-hotpath/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let storage = doc
+        .get("storage")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing storage array".to_string())?;
+    if storage.is_empty() {
+        return Err("empty storage array".to_string());
+    }
+    for run in storage {
+        let rows = run
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "storage run without rows".to_string())?;
+        for row in rows {
+            let rate = row
+                .get("ops_per_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "row without ops_per_s".to_string())?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("non-positive rate {rate}"));
+            }
+        }
+    }
+    for field in ["memory", "leaf_storm"] {
+        if doc.get(field).is_none() {
+            return Err(format!("missing {field} object"));
+        }
+    }
+    if doc.get("memory").and_then(|m| m.get("bounded")).and_then(Json::as_bool) != Some(true) {
+        return Err("memory probe violated the 2x live bound".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HotpathConfig {
+        HotpathConfig {
+            objects: 300,
+            ops: 1_500,
+            mem_live: 100,
+            mem_updates: 5_000,
+            storm_objects: 50,
+            storm_updates: 500,
+            batch: 16,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn tiny_run_produces_valid_json() {
+        let report = run(&tiny());
+        assert_eq!(report.storage.len(), 6, "3 backends x {{slab, legacy}}");
+        let text = report.to_json(true).to_string_pretty();
+        validate_report(&text).expect("self-produced report must validate");
+    }
+
+    #[test]
+    fn legacy_replica_still_has_the_unbounded_heap() {
+        // The regression the slab fixed, demonstrated by the replica:
+        // heap entries grow with total updates, not live records.
+        let probe = run_memory_probe(&tiny());
+        assert!(probe.legacy_heap_entries > 2 * probe.live + 64);
+        assert!(probe.bounded, "slab probe must stay within 2x live");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_report("{").is_err());
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report(r#"{"schema": "hiloc-bench-hotpath/v1"}"#).is_err());
+        let negative = r#"{"schema": "hiloc-bench-hotpath/v1",
+            "storage": [{"rows": [{"op": "x", "ops_per_s": -1}]}]}"#;
+        assert!(validate_report(negative).is_err());
+    }
+}

@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod fixtures;
+pub mod hotpath;
 pub mod table1;
 pub mod table2;
 

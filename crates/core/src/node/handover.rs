@@ -11,6 +11,44 @@ impl LocationServer {
     /// Algorithm 6-2: apply the update locally, or initiate a handover
     /// when the object left this agent's service area.
     pub(crate) fn on_update(&mut self, now: Micros, from: Endpoint, sighting: Sighting) {
+        self.on_update_inner(now, from, sighting, None);
+    }
+
+    /// The batched update protocol (§7's update discussion): applies
+    /// every sighting in arrival order under one WAL group commit —
+    /// any durable writes the batch triggers (keep-alive epoch bumps,
+    /// handover removals) share a single fsync — and answers the plain
+    /// acks as one coalesced [`Message::UpdateBatchAck`] datagram.
+    /// Handovers, deregistrations and agent lookups keep their
+    /// individual messages.
+    pub(crate) fn on_update_batch(
+        &mut self,
+        now: Micros,
+        from: Endpoint,
+        sightings: Vec<Sighting>,
+        corr: CorrId,
+    ) {
+        let mut acks = Vec::with_capacity(sightings.len());
+        self.visitors.begin_group_commit();
+        for sighting in sightings {
+            self.on_update_inner(now, from, sighting, Some(&mut acks));
+        }
+        // The deferred fsync lands before any ack leaves this server:
+        // the outbox is drained only after `handle` returns.
+        self.visitors.end_group_commit();
+        self.emit(from, Message::UpdateBatchAck { acks, time_us: now, corr });
+    }
+
+    /// Shared update path. `batch_acks = None` acknowledges with an
+    /// individual [`Message::UpdateAck`]; `Some` collects the ack for a
+    /// coalesced batch response instead.
+    fn on_update_inner(
+        &mut self,
+        now: Micros,
+        from: Endpoint,
+        sighting: Sighting,
+        batch_acks: Option<&mut Vec<(crate::model::ObjectId, f64)>>,
+    ) {
         let oid = sighting.oid;
         let Some(VisitorRecord::Leaf { offered_acc_m, reg, .. }) = self.visitors.get(oid).copied()
         else {
@@ -31,7 +69,10 @@ impl LocationServer {
             let deltas = self.leaf_events.on_position(oid, sighting.pos);
             self.emit_event_reports(deltas);
             self.stats.updates += 1;
-            self.emit(from, Message::UpdateAck { oid, offered_acc_m, time_us: now });
+            match batch_acks {
+                Some(acks) => acks.push((oid, offered_acc_m)),
+                None => self.emit(from, Message::UpdateAck { oid, offered_acc_m, time_us: now }),
+            }
             return;
         }
 

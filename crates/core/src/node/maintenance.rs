@@ -38,23 +38,29 @@ impl LocationServer {
             self.next_path_maintenance_us = now + self.opts.path_refresh_us.max(1);
             if self.config.is_leaf() {
                 if let Some(p) = self.parent() {
-                    let visitors: Vec<ObjectId> = self
+                    // Refresh the records' own epochs too, so the
+                    // keep-alive epoch chain stays monotone. All
+                    // refreshes land as one atomic WAL batch with a
+                    // single durability round instead of one fsync per
+                    // visitor.
+                    let refreshed: Vec<(ObjectId, super::VisitorRecord)> = self
                         .visitors
                         .iter()
-                        .filter(|(_, r)| matches!(r, super::VisitorRecord::Leaf { .. }))
-                        .map(|(oid, _)| oid)
-                        .collect();
-                    for oid in visitors {
-                        // Refresh the record's own epoch too, so the
-                        // keep-alive epoch chain stays monotone.
-                        if let Some(super::VisitorRecord::Leaf { offered_acc_m, reg, .. }) =
-                            self.visitors.get(oid).copied()
-                        {
-                            self.visitors.apply(
+                        .filter_map(|(oid, r)| match r {
+                            super::VisitorRecord::Leaf { offered_acc_m, reg, .. } => Some((
                                 oid,
-                                super::VisitorRecord::Leaf { offered_acc_m, reg, epoch: now },
-                            );
-                        }
+                                super::VisitorRecord::Leaf {
+                                    offered_acc_m: *offered_acc_m,
+                                    reg: *reg,
+                                    epoch: now,
+                                },
+                            )),
+                            super::VisitorRecord::Forward { .. } => None,
+                        })
+                        .collect();
+                    let oids: Vec<ObjectId> = refreshed.iter().map(|(oid, _)| *oid).collect();
+                    self.visitors.apply_all(refreshed);
+                    for oid in oids {
                         self.emit(p, Message::CreatePath { oid, epoch: now });
                     }
                 }

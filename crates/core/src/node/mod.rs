@@ -280,6 +280,9 @@ impl LocationServer {
                 self.on_change_acc(now, from, oid, des_acc_m, min_acc_m, corr)
             }
             Message::UpdateReq { sighting } => self.on_update(now, from, sighting),
+            Message::UpdateBatch { sightings, corr } => {
+                self.on_update_batch(now, from, sightings, corr)
+            }
             Message::HandoverReq { sighting, reg, epoch, corr } => {
                 self.on_handover_req(now, from, sighting, reg, epoch, corr)
             }
@@ -332,6 +335,7 @@ impl LocationServer {
             Message::RegisterRes { .. }
             | Message::RegisterFailed { .. }
             | Message::UpdateAck { .. }
+            | Message::UpdateBatchAck { .. }
             | Message::AgentChanged { .. }
             | Message::OutOfServiceArea { .. }
             | Message::ChangeAccRes { .. }

@@ -3,7 +3,7 @@
 use crate::model::{Micros, ObjectId, RegInfo};
 use hiloc_net::wire;
 use hiloc_net::ServerId;
-use hiloc_storage::{DurableMap, RecordValue, StorageError, SyncPolicy};
+use hiloc_storage::{BatchOp, DurableMap, RecordValue, StorageError, SyncPolicy};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -177,6 +177,46 @@ impl VisitorDb {
                 rec
             }
             _ => None,
+        }
+    }
+
+    /// Applies a set of records (each epoch-guarded like
+    /// [`VisitorDb::apply`]) and writes every accepted one as a
+    /// **single atomic WAL record** with one durability round — the
+    /// group-commit path for keep-alive refreshes and update batches.
+    /// Returns how many records were accepted.
+    pub fn apply_all(&mut self, records: Vec<(ObjectId, VisitorRecord)>) -> usize {
+        let mut accepted: Vec<BatchOp<VisitorRecord>> = Vec::new();
+        for (oid, record) in records {
+            if let Some(existing) = self.mem.get(&oid) {
+                if existing.epoch() > record.epoch() {
+                    continue;
+                }
+            }
+            self.mem.insert(oid, record);
+            accepted.push(BatchOp::Put(oid.0, record));
+        }
+        let n = accepted.len();
+        if let Some(d) = &mut self.durable {
+            // Same stance as `apply`: durability failures must not
+            // corrupt protocol state.
+            let _ = d.apply_batch(accepted);
+        }
+        n
+    }
+
+    /// Enters WAL group-commit mode (no-op when volatile): mutations
+    /// defer their fsync until [`VisitorDb::end_group_commit`].
+    pub fn begin_group_commit(&mut self) {
+        if let Some(d) = &mut self.durable {
+            d.begin_group_commit();
+        }
+    }
+
+    /// Leaves group-commit mode, performing the single deferred fsync.
+    pub fn end_group_commit(&mut self) {
+        if let Some(d) = &mut self.durable {
+            let _ = d.end_group_commit();
         }
     }
 

@@ -89,6 +89,30 @@ pub enum Message {
         /// Server time of the acknowledgement.
         time_us: Micros,
     },
+    /// A registrant's position updates coalesced into one datagram —
+    /// the batched update protocol of §7's discussion (a stationary
+    /// tracking system or gateway reports many tracked objects at
+    /// once). The leaf applies every sighting, amortizing WAL syncs
+    /// across the batch (group commit), and coalesces the plain acks
+    /// into a single [`Message::UpdateBatchAck`]; handovers and
+    /// deregistrations still produce their individual messages.
+    UpdateBatch {
+        /// The batched sightings, applied in order.
+        sightings: Vec<Sighting>,
+        /// Correlation id, echoed by the batch ack.
+        corr: CorrId,
+    },
+    /// The coalesced acknowledgement for a [`Message::UpdateBatch`]:
+    /// one `(object, offered accuracy)` pair per sighting that was
+    /// applied in place by this agent.
+    UpdateBatchAck {
+        /// Acknowledged objects with their currently offered accuracy.
+        acks: Vec<(ObjectId, f64)>,
+        /// Server time of the acknowledgement.
+        time_us: Micros,
+        /// Correlation id of the batch.
+        corr: CorrId,
+    },
     /// `handoverReq(s, regInfo)` — tracking responsibility transfer,
     /// routed to the leaf containing the new position.
     HandoverReq {
@@ -420,6 +444,8 @@ impl Message {
             Message::CreatePath { .. } => "createPath",
             Message::UpdateReq { .. } => "update",
             Message::UpdateAck { .. } => "updateAck",
+            Message::UpdateBatch { .. } => "updateBatch",
+            Message::UpdateBatchAck { .. } => "updateBatchAck",
             Message::HandoverReq { .. } => "handoverReq",
             Message::HandoverRes { .. } => "handoverRes",
             Message::HandoverFailed { .. } => "handoverFailed",
@@ -451,6 +477,120 @@ impl Message {
             Message::EventCancelReq { .. } => "eventCancelReq",
             Message::PositionProbe { .. } => "positionProbe",
             Message::AgentLookup { .. } => "agentLookup",
+        }
+    }
+}
+
+// ----------------------------------------------------------- exact sizes
+//
+// One helper per composite field, mirroring its `put_*` twin below: the
+// `message_sizes_are_exact` test locks every pair together, so a codec
+// change that forgets its size twin fails immediately.
+
+const OID_LEN: usize = 8;
+const SERVER_LEN: usize = 4;
+const CORR_LEN: usize = 8;
+const SIGHTING_LEN: usize = OID_LEN + 8 + 16 + 8;
+const REG_LEN: usize = wire::ENDPOINT_LEN + 8 + 8 + 8;
+const LD_LEN: usize = 16 + 8;
+
+fn opt_ld_len(ld: &Option<LocationDescriptor>) -> usize {
+    1 + ld.map(|_| LD_LEN).unwrap_or(0)
+}
+
+fn items_len(items: &[ObjectLocation]) -> usize {
+    4 + items.len() * (OID_LEN + LD_LEN)
+}
+
+fn opt_item_len(item: &Option<ObjectLocation>) -> usize {
+    1 + item.map(|_| OID_LEN + LD_LEN).unwrap_or(0)
+}
+
+fn range_query_len(q: &RangeQuery) -> usize {
+    wire::region_encoded_len(&q.area) + 8 + 8
+}
+
+fn oids_len(oids: &[ObjectId]) -> usize {
+    4 + oids.len() * OID_LEN
+}
+
+fn predicate_len(p: &Predicate) -> usize {
+    1 + wire::region_encoded_len(p.area())
+        + match p {
+            Predicate::CountAtLeast { .. } => 4,
+            Predicate::Enter { oid, .. } | Predicate::Leave { oid, .. } => {
+                1 + oid.map(|_| OID_LEN).unwrap_or(0)
+            }
+        }
+}
+
+fn event_kind_len(k: &EventKind) -> usize {
+    1 + match k {
+        EventKind::CountReached { .. } => 4,
+        EventKind::Entered { .. } | EventKind::Left { .. } => OID_LEN,
+    }
+}
+
+impl Message {
+    /// The exact number of bytes [`WireCodec::encode`] appends for this
+    /// message. One-shot encodes ([`WireCodec::to_bytes`]) use it to
+    /// allocate exactly once — no `with_capacity(64)` guess, no
+    /// reallocation for large range results.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Message::RegisterReq { .. } => {
+                SIGHTING_LEN + 8 + 8 + 8 + wire::ENDPOINT_LEN + CORR_LEN
+            }
+            Message::RegisterRes { .. } => SERVER_LEN + 8 + CORR_LEN,
+            Message::RegisterFailed { .. } => SERVER_LEN + 8 + CORR_LEN,
+            Message::CreatePath { .. } => OID_LEN + 8,
+            Message::UpdateReq { .. } => SIGHTING_LEN,
+            Message::UpdateAck { .. } => OID_LEN + 8 + 8,
+            Message::UpdateBatch { sightings, .. } => {
+                4 + sightings.len() * SIGHTING_LEN + CORR_LEN
+            }
+            Message::UpdateBatchAck { acks, .. } => {
+                4 + acks.len() * (OID_LEN + 8) + 8 + CORR_LEN
+            }
+            Message::HandoverReq { .. } => SIGHTING_LEN + REG_LEN + 8 + CORR_LEN,
+            Message::HandoverRes { .. } => OID_LEN + SERVER_LEN + 8 + 8 + CORR_LEN,
+            Message::HandoverFailed { .. } => OID_LEN + 8 + CORR_LEN,
+            Message::AgentChanged { .. } => OID_LEN + SERVER_LEN + 8,
+            Message::OutOfServiceArea { .. } => OID_LEN,
+            Message::DeregisterReq { .. } => OID_LEN,
+            Message::RemovePath { .. } => OID_LEN + 8,
+            Message::ChangeAccReq { .. } => OID_LEN + 8 + 8 + CORR_LEN,
+            Message::ChangeAccRes { .. } => OID_LEN + 1 + 8 + CORR_LEN,
+            Message::NotifyAvailAcc { .. } => OID_LEN + 8,
+            Message::PosQueryReq { .. } => OID_LEN + CORR_LEN,
+            Message::PosQueryFwd { .. } => OID_LEN + SERVER_LEN + 1 + CORR_LEN,
+            Message::PosQueryRes { found, .. } => OID_LEN + opt_ld_len(found) + 8 + 8 + CORR_LEN,
+            Message::PosQueryMiss { .. } => OID_LEN + CORR_LEN,
+            Message::RangeQueryReq { query, .. } => range_query_len(query) + CORR_LEN,
+            Message::RangeQueryFwd { query, .. } => range_query_len(query) + SERVER_LEN + CORR_LEN,
+            Message::RangeQuerySubRes { items, .. } => {
+                items_len(items) + 8 + SERVER_LEN + 32 + CORR_LEN
+            }
+            Message::RangeQueryRes { items, .. } => items_len(items) + 1 + CORR_LEN,
+            Message::NeighborQueryReq { .. } => 16 + 8 + 8 + CORR_LEN,
+            Message::NeighborQueryFwd { .. } => 16 + 8 + 8 + SERVER_LEN + CORR_LEN,
+            Message::NeighborQuerySubRes { items, .. } => {
+                items_len(items) + 8 + SERVER_LEN + 32 + CORR_LEN
+            }
+            Message::NeighborQueryRes { nearest, near_set, .. } => {
+                opt_item_len(nearest) + items_len(near_set) + 1 + CORR_LEN
+            }
+            Message::EventRegisterReq { predicate, .. } => predicate_len(predicate) + CORR_LEN,
+            Message::EventRegisterRes { .. } => 8 + CORR_LEN,
+            Message::EventInstall { predicate, .. } => 8 + SERVER_LEN + predicate_len(predicate),
+            Message::EventUninstall { .. } => 8,
+            Message::EventLocalReport { entered, left, .. } => {
+                8 + SERVER_LEN + 4 + oids_len(entered) + oids_len(left)
+            }
+            Message::EventNotify { kind, .. } => 8 + event_kind_len(kind),
+            Message::EventCancelReq { .. } => 8,
+            Message::PositionProbe { .. } => OID_LEN,
+            Message::AgentLookup { .. } => OID_LEN + wire::ENDPOINT_LEN,
         }
     }
 }
@@ -647,9 +787,15 @@ tags! {
     T_EV_CANCEL = 35;
     T_POS_PROBE = 36;
     T_AGENT_LOOKUP = 37;
+    T_UPDATE_BATCH = 38;
+    T_UPDATE_BATCH_ACK = 39;
 }
 
 impl WireCodec for Message {
+    fn encoded_len(&self) -> Option<usize> {
+        Some(Message::encoded_len(self))
+    }
+
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Message::RegisterReq { sighting, des_acc_m, min_acc_m, max_speed_mps, registrant, corr } => {
@@ -687,6 +833,20 @@ impl WireCodec for Message {
                 put_oid(buf, *oid);
                 wire::put_f64(buf, *offered_acc_m);
                 wire::put_u64(buf, *time_us);
+            }
+            Message::UpdateBatch { sightings, corr } => {
+                wire::put_u8(buf, T_UPDATE_BATCH);
+                wire::put_vec(buf, sightings, put_sighting);
+                put_corr(buf, *corr);
+            }
+            Message::UpdateBatchAck { acks, time_us, corr } => {
+                wire::put_u8(buf, T_UPDATE_BATCH_ACK);
+                wire::put_vec(buf, acks, |b, (oid, acc)| {
+                    put_oid(b, *oid);
+                    wire::put_f64(b, *acc);
+                });
+                wire::put_u64(buf, *time_us);
+                put_corr(buf, *corr);
             }
             Message::HandoverReq { sighting, reg, epoch, corr } => {
                 wire::put_u8(buf, T_HANDOVER_REQ);
@@ -905,6 +1065,17 @@ impl WireCodec for Message {
                 offered_acc_m: wire::get_f64(buf)?,
                 time_us: wire::get_u64(buf)?,
             },
+            T_UPDATE_BATCH => Message::UpdateBatch {
+                sightings: wire::get_vec(buf, MAX_ITEMS, get_sighting)?,
+                corr: get_corr(buf)?,
+            },
+            T_UPDATE_BATCH_ACK => Message::UpdateBatchAck {
+                acks: wire::get_vec(buf, MAX_ITEMS, |b| {
+                    Some((get_oid(b)?, wire::get_f64(b)?))
+                })?,
+                time_us: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
             T_HANDOVER_REQ => Message::HandoverReq {
                 sighting: get_sighting(buf)?,
                 reg: get_reg(buf)?,
@@ -1072,6 +1243,19 @@ mod tests {
             Message::CreatePath { oid: ObjectId(42), epoch: 999 },
             Message::UpdateReq { sighting: s },
             Message::UpdateAck { oid: ObjectId(42), offered_acc_m: 25.0, time_us: 5 },
+            Message::UpdateBatch {
+                sightings: vec![
+                    s,
+                    Sighting::new(ObjectId(43), 123_999, Point::new(11.0, -4.0), 8.0),
+                ],
+                corr: CorrId(88),
+            },
+            Message::UpdateBatch { sightings: vec![], corr: CorrId(89) },
+            Message::UpdateBatchAck {
+                acks: vec![(ObjectId(42), 25.0), (ObjectId(43), 30.0)],
+                time_us: 6,
+                corr: CorrId(88),
+            },
             Message::HandoverReq { sighting: s, reg, epoch: 1_000, corr: CorrId(2) },
             Message::HandoverRes {
                 oid: ObjectId(42),
@@ -1199,9 +1383,11 @@ mod tests {
             Message::EventCancelReq { .. } => 34,
             Message::PositionProbe { .. } => 35,
             Message::AgentLookup { .. } => 36,
+            Message::UpdateBatch { .. } => 37,
+            Message::UpdateBatchAck { .. } => 38,
         }
     }
-    const VARIANT_COUNT: usize = 37;
+    const VARIANT_COUNT: usize = 39;
 
     #[test]
     fn samples_cover_every_variant() {
@@ -1220,6 +1406,26 @@ mod tests {
             let bytes = msg.to_bytes();
             let back = Message::from_bytes(&bytes);
             assert_eq!(back.as_ref(), Some(&msg), "roundtrip failed for {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn message_sizes_are_exact() {
+        for msg in sample_messages() {
+            let bytes = msg.to_bytes();
+            assert_eq!(
+                bytes.len(),
+                msg.encoded_len(),
+                "encoded_len out of sync with encode for {}",
+                msg.label()
+            );
+            // to_bytes must allocate exactly once, with no slack.
+            assert_eq!(
+                bytes.capacity(),
+                msg.encoded_len(),
+                "to_bytes over- or under-allocated for {}",
+                msg.label()
+            );
         }
     }
 

@@ -528,6 +528,36 @@ impl SimDeployment {
         })
     }
 
+    /// Sends a coalesced batch of position updates (one
+    /// [`Message::UpdateBatch`] datagram, e.g. a stationary tracking
+    /// system reporting all of its objects) to `agent` and waits for
+    /// the batch acknowledgement. Returns the `(object, offered
+    /// accuracy)` pairs the agent applied in place; objects that
+    /// triggered a handover or deregistration are missing from the
+    /// returned list and produce their usual individual messages.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no batch ack arrives (lost message or
+    /// crashed agent) — the whole batch is then unconfirmed and the
+    /// caller re-sends it.
+    pub fn update_batch(
+        &mut self,
+        agent: ServerId,
+        sightings: Vec<Sighting>,
+    ) -> Result<Vec<(ObjectId, f64)>, LsError> {
+        let client = self.new_client();
+        let corr = self.corr.next_id();
+        self.send_from(client, agent, Message::UpdateBatch { sightings, corr });
+        let msg = self.wait_for(client, |m| {
+            matches!(m, Message::UpdateBatchAck { corr: c, .. } if *c == corr)
+        })?;
+        match msg {
+            Message::UpdateBatchAck { acks, .. } => Ok(acks),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
     /// Position query (paper §3.2 `posQuery`) via `entry`.
     ///
     /// # Errors

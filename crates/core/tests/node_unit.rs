@@ -165,6 +165,59 @@ fn update_inside_area_acks_with_offered_accuracy() {
 }
 
 #[test]
+fn update_batch_coalesces_acks_and_keeps_individual_failures() {
+    let mut nodes = servers();
+    // Two objects registered at leaf s1; a third is unknown there.
+    nodes[1].handle(0, env(client(), ServerId(1), register_msg(20, Point::new(100.0, 100.0), 1)));
+    nodes[1].handle(0, env(client(), ServerId(1), register_msg(21, Point::new(200.0, 150.0), 2)));
+    let batch = Message::UpdateBatch {
+        sightings: vec![
+            Sighting::new(ObjectId(20), SECOND, Point::new(110.0, 100.0), 5.0),
+            Sighting::new(ObjectId(99), SECOND, Point::new(50.0, 50.0), 5.0), // unknown
+            Sighting::new(ObjectId(21), SECOND, Point::new(205.0, 150.0), 5.0),
+        ],
+        corr: CorrId(77),
+    };
+    let out = nodes[1].handle(SECOND, env(client(), ServerId(1), batch));
+    // One coalesced ack for the two applied sightings, plus the agent
+    // lookup for the unknown object.
+    let ack = out
+        .iter()
+        .find_map(|e| match &e.msg {
+            Message::UpdateBatchAck { acks, time_us, corr } => Some((acks.clone(), *time_us, *corr)),
+            _ => None,
+        })
+        .expect("batch ack emitted");
+    assert_eq!(ack.0, vec![(ObjectId(20), 10.0), (ObjectId(21), 10.0)]);
+    assert_eq!((ack.1, ack.2), (SECOND, CorrId(77)));
+    assert!(out.iter().any(|e| matches!(e.msg, Message::AgentLookup { oid: ObjectId(99), .. })));
+    assert_eq!(nodes[1].stats().updates, 2);
+    assert_eq!(nodes[1].stats().updates_dropped, 1);
+    assert_eq!(nodes[1].sighting_count(), 2);
+
+    // A batched sighting that leaves the area still starts its own
+    // handover while the rest of the batch acks in place.
+    let batch = Message::UpdateBatch {
+        sightings: vec![
+            Sighting::new(ObjectId(20), 2 * SECOND, Point::new(120.0, 100.0), 5.0),
+            Sighting::new(ObjectId(21), 2 * SECOND, Point::new(900.0, 100.0), 5.0), // out of s1
+        ],
+        corr: CorrId(78),
+    };
+    let out = nodes[1].handle(2 * SECOND, env(client(), ServerId(1), batch));
+    assert!(out.iter().any(|e| matches!(e.msg, Message::HandoverReq { .. })));
+    let ack = out
+        .iter()
+        .find_map(|e| match &e.msg {
+            Message::UpdateBatchAck { acks, .. } => Some(acks.clone()),
+            _ => None,
+        })
+        .expect("batch ack emitted");
+    assert_eq!(ack, vec![(ObjectId(20), 10.0)]);
+    assert_eq!(nodes[1].stats().handovers_started, 1);
+}
+
+#[test]
 fn out_of_area_update_starts_handover_without_touching_records_yet() {
     let mut nodes = servers();
     let pos = Point::new(100.0, 100.0);

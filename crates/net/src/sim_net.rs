@@ -545,31 +545,40 @@ impl<M> SimNet<M> {
             1
         };
         let spike_us = self.faults.spike_extra_at(self.now_us);
-        for _ in 0..copies {
-            let mut latency = self
-                .sample_latency(env.from, env.to)
-                .saturating_add(link_extra_us)
-                .saturating_add(spike_us);
-            if self.faults.reorder_prob > 0.0
-                && self.faults.reorder_spread_us > 0
-                && self.rng.random_bool(self.faults.reorder_prob)
-            {
-                latency =
-                    latency.saturating_add(self.rng.random_range(0..=self.faults.reorder_spread_us));
-            }
-            let deliver = self.now_us + latency;
-            if let (Some(trace), Some(labeler)) = (&mut self.trace, self.labeler) {
-                trace.push(TraceEntry {
-                    sent_us: self.now_us,
-                    deliver_us: deliver,
-                    from: env.from,
-                    to: env.to,
-                    label: labeler(&env.msg),
-                });
-            }
-            self.seq += 1;
-            self.queue.push(Reverse((deliver, self.seq, QueuedEnvelope(env.clone()))));
+        // The envelope is *moved* into its queue slot; only fault
+        // duplication pays a clone. The common path is clone-free per
+        // hop.
+        if copies == 2 {
+            self.enqueue(env.clone(), link_extra_us, spike_us);
         }
+        self.enqueue(env, link_extra_us, spike_us);
+    }
+
+    /// Schedules one copy of an envelope, consuming it.
+    fn enqueue(&mut self, env: Envelope<M>, link_extra_us: u64, spike_us: u64) {
+        let mut latency = self
+            .sample_latency(env.from, env.to)
+            .saturating_add(link_extra_us)
+            .saturating_add(spike_us);
+        if self.faults.reorder_prob > 0.0
+            && self.faults.reorder_spread_us > 0
+            && self.rng.random_bool(self.faults.reorder_prob)
+        {
+            latency =
+                latency.saturating_add(self.rng.random_range(0..=self.faults.reorder_spread_us));
+        }
+        let deliver = self.now_us + latency;
+        if let (Some(trace), Some(labeler)) = (&mut self.trace, self.labeler) {
+            trace.push(TraceEntry {
+                sent_us: self.now_us,
+                deliver_us: deliver,
+                from: env.from,
+                to: env.to,
+                label: labeler(&env.msg),
+            });
+        }
+        self.seq += 1;
+        self.queue.push(Reverse((deliver, self.seq, QueuedEnvelope(env))));
     }
 
     /// Schedules a message at an absolute virtual time (used by drivers

@@ -109,6 +109,39 @@ thread_local! {
     /// zeroed allocation per receive call on the message hot path.
     static RECV_BUF: std::cell::RefCell<Vec<u8>> =
         std::cell::RefCell::new(vec![0u8; 65_536]);
+
+    /// Reusable send scratch: each sender thread frames its datagrams
+    /// into this buffer via [`WireCodec::encode_into`] on
+    /// [`EnvelopeFrame`], so a steady update storm encodes without
+    /// allocating per message.
+    static SEND_BUF: std::cell::RefCell<Vec<u8>> =
+        std::cell::RefCell::new(Vec::with_capacity(256));
+}
+
+/// The on-wire shape of one datagram: magic, sender, receiver,
+/// message. One codec impl serves both directions — the send path
+/// frames into the thread-local scratch through
+/// [`WireCodec::encode_into`], the receive path decodes with the
+/// strict whole-input [`WireCodec::from_bytes`].
+struct EnvelopeFrame<M>(Envelope<M>);
+
+impl<M: WireCodec> WireCodec for EnvelopeFrame<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_u16(buf, MAGIC);
+        put_endpoint(buf, self.0.from);
+        put_endpoint(buf, self.0.to);
+        self.0.msg.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if wire::get_u16(buf)? != MAGIC {
+            return None;
+        }
+        let from = get_endpoint(buf)?;
+        let to = get_endpoint(buf)?;
+        let msg = M::decode(buf)?;
+        Some(EnvelopeFrame(Envelope { from, to, msg }))
+    }
 }
 
 impl<M: WireCodec> UdpEndpoint<M> {
@@ -166,16 +199,15 @@ impl<M: WireCodec> UdpEndpoint<M> {
             let routes = self.routes.read();
             *routes.get(&env.to).ok_or(UdpError::UnknownRoute(env.to))?
         };
-        let mut buf = Vec::with_capacity(128);
-        wire::put_u16(&mut buf, MAGIC);
-        put_endpoint(&mut buf, env.from);
-        put_endpoint(&mut buf, env.to);
-        env.msg.encode(&mut buf);
-        if buf.len() > MAX_DATAGRAM {
-            return Err(UdpError::TooLarge(buf.len()));
-        }
-        self.socket.send_to(&buf, dst)?;
-        Ok(())
+        let frame = EnvelopeFrame(env);
+        SEND_BUF.with_borrow_mut(|buf| {
+            frame.encode_into(buf);
+            if buf.len() > MAX_DATAGRAM {
+                return Err(UdpError::TooLarge(buf.len()));
+            }
+            self.socket.send_to(buf, dst)?;
+            Ok(())
+        })
     }
 
     /// Blocks until the next well-formed envelope arrives, silently
@@ -234,18 +266,8 @@ impl<M: WireCodec> UdpEndpoint<M> {
     }
 }
 
-fn decode_frame<M: WireCodec>(mut raw: &[u8]) -> Option<Envelope<M>> {
-    let buf = &mut raw;
-    if wire::get_u16(buf)? != MAGIC {
-        return None;
-    }
-    let from = get_endpoint(buf)?;
-    let to = get_endpoint(buf)?;
-    let msg = M::decode(buf)?;
-    if !buf.is_empty() {
-        return None;
-    }
-    Some(Envelope { from, to, msg })
+fn decode_frame<M: WireCodec>(raw: &[u8]) -> Option<Envelope<M>> {
+    EnvelopeFrame::from_bytes(raw).map(|f| f.0)
 }
 
 #[cfg(test)]

@@ -17,9 +17,26 @@ pub trait WireCodec: Sized {
     /// malformed input (never panics on hostile bytes).
     fn decode(buf: &mut &[u8]) -> Option<Self>;
 
-    /// Convenience: encodes into a fresh buffer.
+    /// Encodes into a reusable scratch buffer: clears `scratch` (its
+    /// capacity is retained) and appends the encoding. The send hot
+    /// path uses this with a per-connection (or per-thread) scratch so
+    /// steady-state encoding performs no allocation.
+    fn encode_into(&self, scratch: &mut Vec<u8>) {
+        scratch.clear();
+        self.encode(scratch);
+    }
+
+    /// The exact number of bytes [`encode`](WireCodec::encode) appends,
+    /// when the type can compute it cheaply. One-shot encodes use it to
+    /// size their allocation exactly; `None` falls back to a guess.
+    fn encoded_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Convenience: encodes into a fresh buffer, sized exactly when
+    /// [`encoded_len`](WireCodec::encoded_len) is available.
     fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(64);
+        let mut buf = Vec::with_capacity(self.encoded_len().unwrap_or(64));
         self.encode(&mut buf);
         buf
     }
@@ -203,6 +220,18 @@ pub fn get_region(buf: &mut &[u8]) -> Option<Region> {
     }
 }
 
+/// Exact encoded size of an [`Endpoint`](crate::Endpoint): tag + id.
+pub const ENDPOINT_LEN: usize = 9;
+
+/// Exact encoded size of a region (tag + rect, or tag + count +
+/// vertices).
+pub fn region_encoded_len(region: &Region) -> usize {
+    match region {
+        Region::Rect(_) => 1 + 32,
+        Region::Polygon(p) => 1 + 4 + 16 * p.vertices().len(),
+    }
+}
+
 /// Encodes a length-prefixed list.
 pub fn put_vec<T>(buf: &mut Vec<u8>, items: &[T], mut put: impl FnMut(&mut Vec<u8>, &T)) {
     put_u32(buf, items.len() as u32);
@@ -298,6 +327,47 @@ mod tests {
         put_u32(&mut buf, u32::MAX); // absurd vertex count
         let mut r = buf.as_slice();
         assert!(get_region(&mut r).is_none());
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity() {
+        struct P(Point);
+        impl WireCodec for P {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                put_point(buf, self.0);
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                get_point(buf).map(P)
+            }
+            fn encoded_len(&self) -> Option<usize> {
+                Some(16)
+            }
+        }
+        let mut scratch = Vec::new();
+        P(Point::new(1.0, 2.0)).encode_into(&mut scratch);
+        assert_eq!(scratch.len(), 16);
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        P(Point::new(3.0, 4.0)).encode_into(&mut scratch);
+        assert_eq!(scratch.len(), 16);
+        assert_eq!((scratch.capacity(), scratch.as_ptr()), (cap, ptr), "no reallocation");
+        // And to_bytes sizes its allocation exactly from encoded_len.
+        let bytes = P(Point::new(5.0, 6.0)).to_bytes();
+        assert_eq!((bytes.len(), bytes.capacity()), (16, 16));
+    }
+
+    #[test]
+    fn region_len_matches_encoding() {
+        let rect = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        let poly = Region::Polygon(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0)])
+                .unwrap(),
+        );
+        for region in [rect, poly] {
+            let mut buf = Vec::new();
+            put_region(&mut buf, &region);
+            assert_eq!(buf.len(), region_encoded_len(&region));
+        }
     }
 
     #[test]

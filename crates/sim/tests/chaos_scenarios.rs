@@ -7,13 +7,18 @@
 //! suite is fast and bit-for-bit reproducible — a failing run prints
 //! the seed and fault timeline needed to replay it.
 
-use hiloc_core::model::{UpdatePolicy, SECOND};
-use hiloc_geo::Point;
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{ObjectId, Sighting, UpdatePolicy, SECOND};
+use hiloc_core::node::{DurabilityOptions, ServerOptions, StorageSyncPolicy, VisitorRecord};
+use hiloc_core::proto::Message;
+use hiloc_core::runtime::SimDeployment;
+use hiloc_geo::{Point, Rect};
 use hiloc_net::{FaultPlan, LatencySpike, LinkFault, Partition};
 use hiloc_sim::mobility::MobilityKind;
 use hiloc_sim::scenario::{
     subtree_endpoints, FaultAction, ScenarioEvent, ScenarioSpec,
 };
+use hiloc_util::tempdir::TempDir;
 
 /// The acceptance scenario: partition a subtree, crash a leaf agent
 /// mid-partition (with handovers in flight across the cut), heal,
@@ -124,6 +129,124 @@ fn oracle_catches_lost_registrations_without_durability() {
         ScenarioEvent { at_step: 6, action: FaultAction::Restart(victim) },
     ];
     let _ = spec.run();
+}
+
+/// The mid-batch crash scenario: a leaf agent crashes with an
+/// `UpdateBatch` on the wire. Batch atomicity at the durable layer
+/// means recovery must expose the durably-acked registrations
+/// record-for-record and *nothing* of the unacknowledged batch — never
+/// a partial application. The gateway's re-send then restores every
+/// sighting and the oracle (acked positions vs. root-routed queries)
+/// goes green.
+fn run_mid_batch_crash(seed: u64) -> Vec<String> {
+    let mut trace = Vec::new();
+    let dir = TempDir::new(&format!("chaos-midbatch-{seed}"));
+    let opts = ServerOptions {
+        sighting_ttl_us: 60 * SECOND,
+        path_refresh_us: 15 * SECOND,
+        path_ttl_us: 45 * SECOND,
+        query_timeout_us: SECOND / 2,
+        durability: Some(DurabilityOptions {
+            dir: dir.path().to_path_buf(),
+            policy: StorageSyncPolicy::Always,
+        }),
+        ..Default::default()
+    };
+    let h = HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .expect("grid hierarchy");
+    let mut ls = SimDeployment::new(h, opts, seed);
+    let leaf = ls.leaf_for(Point::new(100.0, 100.0));
+
+    // A stationary population tracked by one leaf (a gateway reports
+    // them in batches, as a building's tracking system would).
+    let n = 8u64;
+    let pos_of = |k: u64, round: u64| {
+        Point::new(40.0 + (k % 4) as f64 * 30.0 + round as f64, 40.0 + (k / 4) as f64 * 30.0)
+    };
+    for k in 0..n {
+        let (agent, _) = ls
+            .register(leaf, Sighting::new(ObjectId(k), 0, pos_of(k, 0), 5.0), 10.0, 50.0)
+            .expect("registration");
+        assert_eq!(agent, leaf);
+    }
+
+    // Batch 1: fully acknowledged — these positions are the oracle's
+    // ground truth for "durably observed".
+    let now = ls.now_us();
+    let batch1: Vec<Sighting> =
+        (0..n).map(|k| Sighting::new(ObjectId(k), now, pos_of(k, 1), 5.0)).collect();
+    let acks = ls.update_batch(leaf, batch1).expect("batch 1 acked");
+    assert_eq!(acks.len(), n as usize, "whole batch must ack in place");
+    trace.push(format!("batch1 acked {} at t={}us", acks.len(), ls.now_us()));
+
+    let snapshot: Vec<(ObjectId, VisitorRecord)> =
+        ls.server(leaf).visitors().iter().map(|(oid, rec)| (oid, *rec)).collect();
+    assert_eq!(snapshot.len(), n as usize);
+
+    // Batch 2 goes on the wire… and the leaf dies before (or while)
+    // processing it: the in-flight datagram is lost with the crash.
+    let gateway = ls.new_client();
+    let now = ls.now_us();
+    let batch2: Vec<Sighting> =
+        (0..n).map(|k| Sighting::new(ObjectId(k), now, pos_of(k, 2), 5.0)).collect();
+    let corr = ls.next_corr();
+    ls.send_from(gateway, leaf, Message::UpdateBatch { sightings: batch2.clone(), corr });
+    ls.crash_server(leaf);
+    ls.run_until_quiet();
+    trace.push(format!("crashed mid-batch at t={}us", ls.now_us()));
+
+    ls.restart_server(leaf);
+    let recovered: Vec<(ObjectId, VisitorRecord)> =
+        ls.server(leaf).visitors().iter().map(|(oid, rec)| (oid, *rec)).collect();
+    assert_eq!(
+        recovered, snapshot,
+        "WAL replay must recover the durably-acked registrations record-for-record"
+    );
+    // No partial batch after replay: the restarted leaf holds *zero*
+    // batch-2 sightings (its sighting store is volatile; the batch was
+    // never acknowledged, so nothing of it may look applied).
+    assert_eq!(
+        ls.server(leaf).sighting_count(),
+        0,
+        "a never-acked batch must not be partially visible after recovery"
+    );
+    trace.push(format!("recovered {} records, 0 sightings", recovered.len()));
+
+    // The gateway re-sends the unacknowledged batch (idempotent client
+    // re-send, as over UDP); now everything acks and the oracle is
+    // green: every root-routed query answers exactly the acked batch-2
+    // position.
+    let acks = ls.update_batch(leaf, batch2).expect("batch 2 re-send acked");
+    assert_eq!(acks.len(), n as usize);
+    let root = ls.hierarchy().root();
+    for k in 0..n {
+        let ld = ls.pos_query(root, ObjectId(k)).expect("object answerable after recovery");
+        assert_eq!(ld.pos, pos_of(k, 2), "object {k} must answer its re-sent batch position");
+    }
+    trace.push(format!(
+        "resent batch acked; oracle green at t={}us counters={:?} blackholed={}",
+        ls.now_us(),
+        ls.net_counters(),
+        ls.blackholed()
+    ));
+    trace
+}
+
+#[test]
+fn leaf_crash_mid_update_batch_is_atomic_and_recovers() {
+    let trace = run_mid_batch_crash(0xBA7C4);
+    assert_eq!(trace.len(), 4, "scenario phases: {trace:?}");
+}
+
+#[test]
+fn mid_batch_crash_is_deterministic_per_seed() {
+    assert_eq!(run_mid_batch_crash(5), run_mid_batch_crash(5));
+    assert_ne!(run_mid_batch_crash(5), run_mid_batch_crash(6));
 }
 
 #[test]

@@ -79,6 +79,26 @@ impl SpatialIndex for GridIndex {
         old
     }
 
+    fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
+        let Some(old_pos) = self.by_key.insert(key, pos) else {
+            // New key: one cell push, by_key already written.
+            self.cells.entry(self.cell_of(pos)).or_default().push(Entry::new(key, pos));
+            return None;
+        };
+        let old_cell = self.cell_of(old_pos);
+        let new_cell = self.cell_of(pos);
+        if old_cell == new_cell {
+            // In-cell move: rewrite the entry where it sits.
+            let entries = self.cells.get_mut(&old_cell).expect("occupied cell exists");
+            let e = entries.iter_mut().find(|e| e.key == key).expect("entry in its cell");
+            e.pos = pos;
+        } else {
+            self.remove_from_cell(key, old_pos);
+            self.cells.entry(new_cell).or_default().push(Entry::new(key, pos));
+        }
+        Some(old_pos)
+    }
+
     fn remove(&mut self, key: ObjectKey) -> Option<Point> {
         let pos = self.by_key.remove(&key)?;
         self.remove_from_cell(key, pos);
@@ -293,5 +313,25 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn zero_cell_size_panics() {
         let _ = GridIndex::new(0.0);
+    }
+
+    #[test]
+    fn update_moves_within_and_across_cells() {
+        let mut g = GridIndex::new(10.0);
+        assert_eq!(g.update(1, Point::new(2.0, 2.0)), None);
+        // In-cell move: same cell, position rewritten in place.
+        assert_eq!(g.update(1, Point::new(8.0, 3.0)), Some(Point::new(2.0, 2.0)));
+        let mut hits = Vec::new();
+        g.query_rect(&Rect::new(Point::new(7.0, 0.0), Point::new(10.0, 10.0)), &mut |e| {
+            hits.push((e.key, e.pos))
+        });
+        assert_eq!(hits, vec![(1, Point::new(8.0, 3.0))]);
+        // Cross-cell move behaves like insert.
+        assert_eq!(g.update(1, Point::new(55.0, 55.0)), Some(Point::new(8.0, 3.0)));
+        assert_eq!(g.get(1), Some(Point::new(55.0, 55.0)));
+        let mut old = 0;
+        g.query_rect(&Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)), &mut |_| old += 1);
+        assert_eq!(old, 0, "old cell must be vacated");
+        assert_eq!(g.len(), 1);
     }
 }

@@ -86,6 +86,19 @@ pub trait SpatialIndex: Send {
     /// key was already present (i.e. the object moved).
     fn insert(&mut self, key: ObjectKey, pos: Point) -> Option<Point>;
 
+    /// Moves `key` to `pos` — the position-update hot path.
+    ///
+    /// Semantically identical to [`insert`](SpatialIndex::insert), but
+    /// implementations are expected to recognize *local* movement (the
+    /// common case under a sustained update storm) and avoid the full
+    /// remove + re-insert: the grid moves within a cell in place, the
+    /// quadtree mutates a childless node whose routing region still
+    /// contains the point, and the R-tree rewrites the entry when the
+    /// containing leaf MBR still covers it.
+    fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
+        self.insert(key, pos)
+    }
+
     /// Removes `key`, returning its position when present.
     fn remove(&mut self, key: ObjectKey) -> Option<Point>;
 

@@ -13,30 +13,51 @@ const NE: usize = 3;
 #[derive(Debug, Clone)]
 struct Node {
     key: ObjectKey,
+    /// The node's *split point*: fixed at insertion, it defines the
+    /// quadrant decomposition below this node and never moves.
+    split: Point,
+    /// The object's *current position*: free to drift anywhere inside
+    /// `bounds` without restructuring (the update hot path). Always
+    /// inside `bounds`; starts equal to `split`.
     pos: Point,
     children: [Option<u32>; 4],
+    parent: Option<u32>,
     /// Tombstone flag: the node stays in the tree as a split point but
-    /// no longer represents a live object.
+    /// no longer represents a live object. Also marks freed slots
+    /// (which are additionally unlinked and on the free list).
     deleted: bool,
+    /// The node's routing region (quadrant constraints accumulated from
+    /// the root at insertion). Cached so the update fast path is O(1).
+    bounds: QuadBounds,
 }
 
 /// A point quadtree (Samet, *The Design and Analysis of Spatial Data
-/// Structures*): every node stores one data point that splits its region
-/// into four quadrants.
+/// Structures*): every node stores one data point; its insertion
+/// position splits the region into four quadrants.
 ///
 /// This is the index the paper's prototype uses for the sighting
 /// database ("For the spatial index we used a Point Quadtree
 /// implementation, which we found to be very well suited for our
 /// purpose").
 ///
+/// # Update hot path
+///
+/// Position updates are the dominant load of a location server (the
+/// paper measures 41 494 updates/s), so the structure is tuned for
+/// them: each node's **split point** (the routing structure) is
+/// decoupled from the object's **current position**, and the node's
+/// routing region is cached. A move that stays inside the region — the
+/// common case for the local motion of tracked objects — is a single
+/// in-place write, no matter whether the node has children.
+///
 /// # Deletion strategy
 ///
 /// True point-quadtree deletion requires re-inserting entire subtrees.
-/// Position updates are the hot path of a location server (the paper
-/// measures 41 494 updates/s), so this implementation uses tombstones:
-/// deletion marks the node and the tree is rebuilt from the live nodes
-/// once tombstones outnumber them — amortized O(log n) per operation and
-/// a bounded 2× space overhead.
+/// A childless node is unlinked outright (its arena slot is reused;
+/// emptied tombstone ancestors are pruned on the way up). A node with
+/// children is tombstoned: it stays as a split point and the tree is
+/// rebuilt from the live nodes once tombstones outnumber them —
+/// amortized O(log n) per operation and a bounded 2× space overhead.
 ///
 /// # Example
 ///
@@ -55,6 +76,8 @@ struct Node {
 #[derive(Debug, Clone, Default)]
 pub struct PointQuadtree {
     nodes: Vec<Node>,
+    /// Freed arena slots available for reuse.
+    free: Vec<u32>,
     root: Option<u32>,
     /// Key → node index, for O(1) lookup/removal.
     by_key: HashMap<ObjectKey, u32>,
@@ -91,8 +114,8 @@ impl PointQuadtree {
         rec(&self.nodes, self.root)
     }
 
-    fn quadrant(node_pos: Point, p: Point) -> usize {
-        match (p.x >= node_pos.x, p.y >= node_pos.y) {
+    fn quadrant(split: Point, p: Point) -> usize {
+        match (p.x >= split.x, p.y >= split.y) {
             (false, false) => SW,
             (true, false) => SE,
             (false, true) => NW,
@@ -100,29 +123,144 @@ impl PointQuadtree {
         }
     }
 
-    fn insert_node(&mut self, key: ObjectKey, pos: Point) {
-        let new_id = self.nodes.len() as u32;
-        let node = Node { key, pos, children: [None; 4], deleted: false };
-        match self.root {
+    fn alloc(&mut self, node: Node) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = node;
+                id
+            }
             None => {
                 self.nodes.push(node);
-                self.root = Some(new_id);
+                (self.nodes.len() - 1) as u32
             }
-            Some(mut cur) => {
-                loop {
-                    let q = Self::quadrant(self.nodes[cur as usize].pos, pos);
-                    match self.nodes[cur as usize].children[q] {
-                        Some(child) => cur = child,
-                        None => {
-                            self.nodes.push(node);
-                            self.nodes[cur as usize].children[q] = Some(new_id);
-                            break;
-                        }
-                    }
+        }
+    }
+
+    fn insert_node(&mut self, key: ObjectKey, pos: Point) {
+        match self.root {
+            None => {
+                let id = self.alloc(Node {
+                    key,
+                    split: pos,
+                    pos,
+                    children: [None; 4],
+                    parent: None,
+                    deleted: false,
+                    bounds: QuadBounds::unbounded(),
+                });
+                self.root = Some(id);
+                self.by_key.insert(key, id);
+            }
+            Some(root) => self.insert_from(root, key, pos),
+        }
+    }
+
+    /// Inserts below `start`, whose region must contain `pos`. The
+    /// first tombstone on the descent path is revived instead of
+    /// allocating: the object lands on a shallow node with a large
+    /// region — future in-place moves hit more often — and the
+    /// tombstone pool is recycled instead of forcing rebuilds.
+    fn insert_from(&mut self, start: u32, key: ObjectKey, pos: Point) {
+        let mut bounds = self.nodes[start as usize].bounds;
+        let mut cur = start;
+        loop {
+            let n = &mut self.nodes[cur as usize];
+            if n.deleted {
+                n.key = key;
+                n.pos = pos;
+                n.deleted = false;
+                self.tombstones -= 1;
+                self.by_key.insert(key, cur);
+                return;
+            }
+            let q = Self::quadrant(n.split, pos);
+            bounds = bounds.child(n.split, q);
+            match n.children[q] {
+                Some(child) => cur = child,
+                None => {
+                    let id = self.alloc(Node {
+                        key,
+                        split: pos,
+                        pos,
+                        children: [None; 4],
+                        parent: Some(cur),
+                        deleted: false,
+                        bounds,
+                    });
+                    self.nodes[cur as usize].children[q] = Some(id);
+                    self.by_key.insert(key, id);
+                    return;
                 }
             }
         }
-        self.by_key.insert(key, new_id);
+    }
+
+    /// Moves the childless node `id` below `start` (whose region must
+    /// contain `pos`): unlink, then re-link as a fresh leaf with
+    /// `split = pos`. The arena slot, key and `by_key` entry are all
+    /// kept — a miss on the in-place fast path costs an ascent plus a
+    /// short local descent instead of a removal and a root descent.
+    fn relocate(&mut self, id: u32, start: u32, pos: Point) {
+        debug_assert!(self.nodes[id as usize].children.iter().all(Option::is_none));
+        let parent = self.nodes[id as usize]
+            .parent
+            .expect("the root's region is unbounded and never relocates");
+        for slot in &mut self.nodes[parent as usize].children {
+            if *slot == Some(id) {
+                *slot = None;
+            }
+        }
+        let mut bounds = self.nodes[start as usize].bounds;
+        let mut cur = start;
+        loop {
+            let n = &self.nodes[cur as usize];
+            let q = Self::quadrant(n.split, pos);
+            bounds = bounds.child(n.split, q);
+            match n.children[q] {
+                Some(child) => cur = child,
+                None => {
+                    let node = &mut self.nodes[id as usize];
+                    node.split = pos;
+                    node.pos = pos;
+                    node.parent = Some(cur);
+                    node.bounds = bounds;
+                    self.nodes[cur as usize].children[q] = Some(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Unlinks a childless node from its parent, frees its slot, and
+    /// prunes tombstone ancestors that became childless in the process.
+    fn detach(&mut self, mut id: u32) {
+        loop {
+            debug_assert!(self.nodes[id as usize].children.iter().all(Option::is_none));
+            let parent = self.nodes[id as usize].parent;
+            self.nodes[id as usize].deleted = true;
+            self.free.push(id);
+            match parent {
+                None => {
+                    self.root = None;
+                    return;
+                }
+                Some(p) => {
+                    let pn = &mut self.nodes[p as usize];
+                    for slot in &mut pn.children {
+                        if *slot == Some(id) {
+                            *slot = None;
+                        }
+                    }
+                    if pn.deleted && pn.children.iter().all(Option::is_none) {
+                        // The tombstone no longer splits anything.
+                        self.tombstones -= 1;
+                        id = p;
+                        continue;
+                    }
+                    return;
+                }
+            }
+        }
     }
 
     /// Rebuilds the tree from live entries when tombstones dominate.
@@ -135,13 +273,16 @@ impl PointQuadtree {
             return;
         }
         let mut live: Vec<(ObjectKey, Point)> = self
-            .nodes
-            .iter()
-            .filter(|n| !n.deleted)
-            .map(|n| (n.key, n.pos))
+            .by_key
+            .values()
+            .map(|&id| {
+                let n = &self.nodes[id as usize];
+                (n.key, n.pos)
+            })
             .collect();
         live.sort_by_key(|(k, _)| mix64(*k));
         self.nodes.clear();
+        self.free.clear();
         self.by_key.clear();
         self.root = None;
         self.tombstones = 0;
@@ -157,10 +298,10 @@ impl PointQuadtree {
             sink(Entry::new(node.key, node.pos));
         }
         // Quadrant pruning relative to the node's split point.
-        let west = rect.min().x < node.pos.x;
-        let east = rect.max().x >= node.pos.x;
-        let south = rect.min().y < node.pos.y;
-        let north = rect.max().y >= node.pos.y;
+        let west = rect.min().x < node.split.x;
+        let east = rect.max().x >= node.split.x;
+        let south = rect.min().y < node.split.y;
+        let north = rect.max().y >= node.split.y;
         if west && south {
             self.query_rect_rec(node.children[SW], rect, sink);
         }
@@ -177,6 +318,8 @@ impl PointQuadtree {
 
     /// Branch-and-bound nearest search. `bounds` is the region of the
     /// current subtree; children refine it at the node's split point.
+    /// Every node's data position lies inside its region (the in-place
+    /// update invariant), so region pruning stays sound.
     #[allow(clippy::too_many_arguments)]
     fn nearest_rec(
         &self,
@@ -201,10 +344,10 @@ impl PointQuadtree {
             }
         }
         // Visit the quadrant containing p first for early pruning.
-        let first = Self::quadrant(node.pos, p);
+        let first = Self::quadrant(node.split, p);
         let order = [first, first ^ 1, first ^ 2, first ^ 3];
         for q in order {
-            let child_bounds = bounds.child(node.pos, q);
+            let child_bounds = bounds.child(node.split, q);
             if let Some((_, d)) = best {
                 if child_bounds.min_distance(p) > *d {
                     continue;
@@ -262,6 +405,13 @@ impl QuadBounds {
         let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
         (dx * dx + dy * dy).sqrt()
     }
+
+    /// Whether routing `p` from the root reaches this region: quadrant
+    /// choice treats the split value as belonging to the east/north
+    /// side, so regions are half-open (min inclusive, max exclusive).
+    fn routes_here(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x < self.max_x && p.y >= self.min_y && p.y < self.max_y
+    }
 }
 
 /// SplitMix64 finalizer: decorrelates sequential keys for rebuild order.
@@ -276,18 +426,70 @@ impl SpatialIndex for PointQuadtree {
     fn insert(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
         let old = self.remove(key);
         self.insert_node(key, pos);
-        self.maybe_rebuild();
         old
+    }
+
+    fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
+        let Some(&id) = self.by_key.get(&key) else {
+            self.insert_node(key, pos);
+            return None;
+        };
+        // The split point is fixed structure; only the data position
+        // moves. As long as the new position stays inside the node's
+        // cached routing region, queries remain exact — O(1), no
+        // unlink, no tombstone, no rebuild pressure.
+        let node = &mut self.nodes[id as usize];
+        if node.bounds.routes_here(pos) {
+            let old_pos = node.pos;
+            node.pos = pos;
+            return Some(old_pos);
+        }
+        let old_pos = node.pos;
+        // Non-finite coordinates defeat the region algebra (no region
+        // admits NaN, and +∞ escapes even the root's half-open bounds):
+        // take the plain re-insert path, which routes them the same way
+        // the tree always has.
+        if !(pos.x.is_finite() && pos.y.is_finite()) {
+            return self.insert(key, pos);
+        }
+        // Local motion mostly crosses into a *sibling* region: ascend
+        // to the nearest ancestor whose region admits the new point
+        // (the root admits everything) and re-place the object from
+        // there, instead of paying a full root descent.
+        let mut start = self.nodes[id as usize]
+            .parent
+            .expect("the root's region is unbounded and always hits the fast path");
+        while !self.nodes[start as usize].bounds.routes_here(pos) {
+            start = self.nodes[start as usize]
+                .parent
+                .expect("the root's region admits every point");
+        }
+        if self.nodes[id as usize].children.iter().all(Option::is_none) {
+            self.relocate(id, start, pos);
+        } else {
+            // The node splits its subtree and must stay as structure.
+            self.nodes[id as usize].deleted = true;
+            self.tombstones += 1;
+            self.by_key.remove(&key);
+            self.insert_from(start, key, pos);
+            self.maybe_rebuild();
+        }
+        Some(old_pos)
     }
 
     fn remove(&mut self, key: ObjectKey) -> Option<Point> {
         let id = self.by_key.remove(&key)?;
         let node = &mut self.nodes[id as usize];
         debug_assert!(!node.deleted);
-        node.deleted = true;
-        self.tombstones += 1;
         let pos = node.pos;
-        self.maybe_rebuild();
+        if node.children.iter().all(Option::is_none) {
+            // Childless: unlink for real and reuse the slot.
+            self.detach(id);
+        } else {
+            node.deleted = true;
+            self.tombstones += 1;
+            self.maybe_rebuild();
+        }
         Some(pos)
     }
 
@@ -301,6 +503,7 @@ impl SpatialIndex for PointQuadtree {
 
     fn clear(&mut self) {
         self.nodes.clear();
+        self.free.clear();
         self.by_key.clear();
         self.root = None;
         self.tombstones = 0;
@@ -430,6 +633,35 @@ mod tests {
     }
 
     #[test]
+    fn childless_removal_reuses_slots_without_tombstones() {
+        let mut t = PointQuadtree::new();
+        for i in 0..100u64 {
+            t.insert(i, Point::new(i as f64, (i * 13 % 50) as f64));
+        }
+        // Removing in reverse insertion order hits childless nodes
+        // almost exclusively: tombstones stay near zero and the arena
+        // shrinks through the free list.
+        for i in (50..100u64).rev() {
+            t.remove(i);
+        }
+        assert_eq!(t.len(), 50);
+        assert!(
+            t.tombstone_count() <= 5,
+            "reverse removals should mostly unlink, got {} tombstones",
+            t.tombstone_count()
+        );
+        for i in 0..50u64 {
+            assert!(t.get(i).is_some());
+        }
+        // Re-inserting reuses freed slots: the arena must not grow.
+        let before = t.nodes.len();
+        for i in 50..100u64 {
+            t.insert(i, Point::new(i as f64, 1.0));
+        }
+        assert_eq!(t.nodes.len(), before, "freed slots must be reused");
+    }
+
+    #[test]
     fn tombstones_trigger_rebuild() {
         let mut t = PointQuadtree::new();
         for i in 0..500u64 {
@@ -445,6 +677,49 @@ mod tests {
         for i in 400..500u64 {
             assert!(t.get(i).is_some());
         }
+    }
+
+    #[test]
+    fn update_in_place_within_routing_region() {
+        // Root at (0,0); key 2 is the NE child: its routing region is
+        // x >= 0, y >= 0, so NE-quadrant moves rewrite in place.
+        let mut t = tree_with(&[(1, 0.0, 0.0), (2, 5.0, 5.0)]);
+        assert_eq!(t.update(2, Point::new(7.0, 1.0)), Some(Point::new(5.0, 5.0)));
+        assert_eq!(t.tombstone_count(), 0, "in-region move must not tombstone");
+        assert_eq!(t.get(2), Some(Point::new(7.0, 1.0)));
+        let (e, _) = t.nearest(Point::new(7.0, 1.1)).unwrap();
+        assert_eq!(e.key, 2);
+
+        // The root's region is unbounded, so the root moves in place
+        // too — its *split* stays at the origin, keeping key 2's NE
+        // placement valid.
+        assert_eq!(t.update(1, Point::new(-3.0, -4.0)), Some(Point::ORIGIN));
+        assert_eq!(t.get(1), Some(Point::new(-3.0, -4.0)));
+        let mut hits = Vec::new();
+        t.query_rect(&Rect::new(Point::new(-5.0, -5.0), Point::new(0.0, 0.0)), &mut |e| {
+            hits.push(e.key)
+        });
+        assert_eq!(hits, vec![1]);
+
+        // Key 2 crossing into the SW quadrant leaves its region: the
+        // node is re-inserted (childless → unlinked, no tombstone).
+        assert_eq!(t.update(2, Point::new(-1.0, -1.0)), Some(Point::new(7.0, 1.0)));
+        assert_eq!(t.tombstone_count(), 0);
+        assert_eq!(t.get(2), Some(Point::new(-1.0, -1.0)));
+        let mut hits = Vec::new();
+        t.query_rect(&Rect::new(Point::new(-10.0, -10.0), Point::new(10.0, 10.0)), &mut |e| {
+            hits.push(e.key)
+        });
+        hits.sort();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn update_absent_key_inserts() {
+        let mut t = PointQuadtree::new();
+        assert_eq!(t.update(9, Point::new(1.0, 2.0)), None);
+        assert_eq!(t.get(9), Some(Point::new(1.0, 2.0)));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

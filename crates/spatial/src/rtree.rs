@@ -215,6 +215,53 @@ impl RTree {
         self.free.push(id);
     }
 
+    /// Tries to rewrite `key`'s entry in place for a move `old_pos →
+    /// new_pos`. `enclosing` is the MBR stored for the current subtree
+    /// at its parent (`None` at the root, which has no stored MBR).
+    /// In-place rewriting is sound exactly when the new point stays
+    /// inside that MBR: every ancestor rectangle still covers it, so no
+    /// bounding box needs to grow or shrink.
+    fn update_probe(
+        &mut self,
+        id: u32,
+        key: ObjectKey,
+        old_pos: Point,
+        new_pos: Point,
+        enclosing: Option<Rect>,
+    ) -> UpdateProbe {
+        // The leaf arm resolves in place; the internal arm falls
+        // through to indexed iteration (the recursion needs `&mut
+        // self`, and this probe runs once per position update — it
+        // must not allocate).
+        let child_count = match &mut self.nodes[id as usize] {
+            Node::Leaf { entries } => {
+                return match entries.iter_mut().find(|e| e.key == key) {
+                    Some(e) if enclosing.map(|r| r.contains(new_pos)).unwrap_or(true) => {
+                        e.pos = new_pos;
+                        UpdateProbe::Done
+                    }
+                    Some(_) => UpdateProbe::NeedsReinsert,
+                    None => UpdateProbe::NotHere,
+                };
+            }
+            Node::Internal { children } => children.len(),
+        };
+        for i in 0..child_count {
+            let (rect, child) = match &self.nodes[id as usize] {
+                Node::Internal { children } => children[i],
+                Node::Leaf { .. } => unreachable!("node kind is stable"),
+            };
+            if !rect.contains(old_pos) {
+                continue;
+            }
+            match self.update_probe(child, key, old_pos, new_pos, Some(rect)) {
+                UpdateProbe::NotHere => continue,
+                done_or_reinsert => return done_or_reinsert,
+            }
+        }
+        UpdateProbe::NotHere
+    }
+
     fn query_rec(&self, id: u32, rect: &Rect, sink: &mut dyn FnMut(Entry)) {
         match &self.nodes[id as usize] {
             Node::Leaf { entries } => {
@@ -233,6 +280,16 @@ impl RTree {
             }
         }
     }
+}
+
+/// Outcome of an in-place update attempt.
+enum UpdateProbe {
+    /// The key is not in this subtree.
+    NotHere,
+    /// The entry was rewritten in place.
+    Done,
+    /// The entry was found, but the move escapes its leaf MBR.
+    NeedsReinsert,
 }
 
 /// Max-heap item ordered by *descending* distance so the BinaryHeap pops
@@ -290,6 +347,20 @@ impl SpatialIndex for RTree {
             }
         }
         old
+    }
+
+    fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
+        let Some(&old_pos) = self.by_key.get(&key) else {
+            return self.insert(key, pos);
+        };
+        let root = self.root.expect("keyed entry implies a root");
+        match self.update_probe(root, key, old_pos, pos, None) {
+            UpdateProbe::Done => {
+                self.by_key.insert(key, pos);
+                Some(old_pos)
+            }
+            _ => self.insert(key, pos),
+        }
     }
 
     fn remove(&mut self, key: ObjectKey) -> Option<Point> {
@@ -529,6 +600,43 @@ fn pick_next(remaining: &[usize], rect_a: &Rect, rect_b: &Rect, rects: &[Rect]) 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn update_within_leaf_mbr_is_in_place() {
+        let mut t = RTree::new();
+        for i in 0..20u64 {
+            t.insert(i, Point::new((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0));
+        }
+        // Nudge every object slightly — stays inside leaf MBRs for most;
+        // either path must keep queries exact.
+        for i in 0..20u64 {
+            let p = t.get(i).unwrap();
+            let moved = Point::new(p.x + 0.5, p.y + 0.5);
+            assert_eq!(t.update(i, moved), Some(p));
+            assert_eq!(t.get(i), Some(moved));
+        }
+        let mut count = 0;
+        t.query_rect(&Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)), &mut |_| {
+            count += 1
+        });
+        assert_eq!(count, 20);
+        // A long-distance move must relocate, not stretch a stale MBR.
+        let old = t.get(0).unwrap();
+        assert_eq!(t.update(0, Point::new(500.0, 500.0)), Some(old));
+        let mut hits = Vec::new();
+        t.query_rect(&Rect::new(Point::new(499.0, 499.0), Point::new(501.0, 501.0)), &mut |e| {
+            hits.push(e.key)
+        });
+        assert_eq!(hits, vec![0]);
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    fn update_absent_key_inserts() {
+        let mut t = RTree::new();
+        assert_eq!(t.update(3, Point::new(1.0, 1.0)), None);
+        assert_eq!(t.get(3), Some(Point::new(1.0, 1.0)));
+    }
 
     #[test]
     fn split_indices_cover_all() {

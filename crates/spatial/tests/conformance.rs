@@ -10,6 +10,11 @@ use hiloc_util::rng::RngExt;
 #[derive(Debug, Clone)]
 enum Op {
     Insert(u64, f64, f64),
+    /// The hot-path entry point: absolute-position move (teleport).
+    Update(u64, f64, f64),
+    /// A *local* move: the key's current position nudged by a small
+    /// delta, which is what drives the in-place fast paths.
+    Nudge(u64, f64, f64),
     Remove(u64),
     QueryRect(f64, f64, f64, f64),
     QueryCircle(f64, f64, f64),
@@ -23,12 +28,24 @@ enum Op {
 /// 1 k-nearest.
 fn random_op(g: &mut Gen) -> Op {
     let coord = |g: &mut Gen| g.random_range(-100.0..100.0);
-    match g.random_range(0..13u32) {
+    match g.random_range(0..17u32) {
         0..=3 => {
             let k = g.random_range(0..40u64);
             let x = coord(g);
             let y = coord(g);
             Op::Insert(k, x, y)
+        }
+        13..=14 => {
+            let k = g.random_range(0..40u64);
+            let x = coord(g);
+            let y = coord(g);
+            Op::Update(k, x, y)
+        }
+        15..=16 => {
+            let k = g.random_range(0..40u64);
+            let dx = g.random_range(-3.0..3.0);
+            let dy = g.random_range(-3.0..3.0);
+            Op::Nudge(k, dx, dy)
         }
         4..=5 => Op::Remove(g.random_range(0..40u64)),
         6..=7 => {
@@ -95,6 +112,21 @@ fn run_workload(ops: &[Op], mut subject: Box<dyn SpatialIndex>, name: &str) {
                 let a = subject.insert(k, p);
                 let b = oracle.insert(k, p);
                 assert_eq!(a, b, "[{name}] step {step}: insert return mismatch");
+            }
+            Op::Update(k, x, y) => {
+                let p = Point::new(x, y);
+                let a = subject.update(k, p);
+                let b = oracle.insert(k, p);
+                assert_eq!(a, b, "[{name}] step {step}: update return mismatch");
+            }
+            Op::Nudge(k, dx, dy) => {
+                // Nudging the current position keeps most moves inside
+                // their cell/region/MBR, exercising the in-place paths.
+                let Some(cur) = oracle.get(k) else { continue };
+                let p = Point::new(cur.x + dx, cur.y + dy);
+                let a = subject.update(k, p);
+                let b = oracle.insert(k, p);
+                assert_eq!(a, b, "[{name}] step {step}: nudge return mismatch");
             }
             Op::Remove(k) => {
                 let a = subject.remove(k);

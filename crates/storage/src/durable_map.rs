@@ -44,8 +44,20 @@ impl RecordValue for Vec<u8> {
 
 const OP_PUT: u8 = 1;
 const OP_DEL: u8 = 2;
+/// A multi-mutation record: applied all-or-nothing on replay (a torn
+/// tail drops the whole record, never a prefix of its mutations).
+const OP_BATCH: u8 = 3;
 /// Snapshot file magic + version.
 const SNAPSHOT_MAGIC: u32 = 0x4C53_5631; // "LSV1"
+
+/// One mutation of an atomic batch (see [`DurableMap::apply_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOp<V> {
+    /// Insert or replace `key`.
+    Put(u64, V),
+    /// Remove `key`.
+    Del(u64),
+}
 
 /// Runtime statistics of a [`DurableMap`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,6 +100,12 @@ pub struct DurableMap<V: RecordValue> {
     map: HashMap<u64, V>,
     policy: SyncPolicy,
     stats: DurableMapStats,
+    /// Group-commit mode: while active, `SyncPolicy::Always` degrades
+    /// each mutation's fsync to an OS flush; the deferred fsync happens
+    /// once in [`DurableMap::end_group_commit`].
+    group_commit: bool,
+    /// Whether any mutation deferred a sync since the group began.
+    sync_pending: bool,
 }
 
 impl<V: RecordValue> DurableMap<V> {
@@ -121,7 +139,15 @@ impl<V: RecordValue> DurableMap<V> {
             })?;
         }
 
-        Ok(DurableMap { dir, wal, map, policy, stats })
+        Ok(DurableMap {
+            dir,
+            wal,
+            map,
+            policy,
+            stats,
+            group_commit: false,
+            sync_pending: false,
+        })
     }
 
     /// Inserts or replaces the value for `key`, returning the previous
@@ -158,6 +184,82 @@ impl<V: RecordValue> DurableMap<V> {
         self.apply_policy()?;
         self.stats.mutations += 1;
         Ok(self.map.remove(&key))
+    }
+
+    /// Applies several mutations **atomically**: the whole batch is one
+    /// CRC-framed WAL record, so crash recovery replays either all of
+    /// it or none of it — a torn tail can never expose a prefix of the
+    /// batch. One durability round (a single fsync under
+    /// [`SyncPolicy::Always`]) covers every mutation: group commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the WAL write fails; the in-memory state
+    /// is untouched in that case.
+    pub fn apply_batch(&mut self, ops: Vec<BatchOp<V>>) -> Result<(), StorageError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(16 + ops.len() * 24);
+        payload.put_u8(OP_BATCH);
+        payload.put_u32_le(ops.len() as u32);
+        for op in &ops {
+            match op {
+                BatchOp::Put(key, value) => {
+                    payload.put_u8(OP_PUT);
+                    payload.put_u64_le(*key);
+                    // Reserve the length slot, encode in place, then
+                    // backpatch — no temp allocation per value.
+                    let len_at = payload.len();
+                    payload.put_u32_le(0);
+                    let val_at = payload.len();
+                    value.encode(&mut payload);
+                    let len = (payload.len() - val_at) as u32;
+                    payload[len_at..val_at].copy_from_slice(&len.to_le_bytes());
+                }
+                BatchOp::Del(key) => {
+                    payload.put_u8(OP_DEL);
+                    payload.put_u64_le(*key);
+                }
+            }
+        }
+        self.wal.append(&payload)?;
+        self.apply_policy()?;
+        self.stats.mutations += ops.len() as u64;
+        for op in ops {
+            match op {
+                BatchOp::Put(key, value) => {
+                    self.map.insert(key, value);
+                }
+                BatchOp::Del(key) => {
+                    self.map.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enters group-commit mode: until
+    /// [`DurableMap::end_group_commit`], mutations under
+    /// [`SyncPolicy::Always`] flush to the OS but defer the fsync.
+    /// Used to amortize durability cost over a message batch — callers
+    /// must not acknowledge anything before ending the group.
+    pub fn begin_group_commit(&mut self) {
+        self.group_commit = true;
+    }
+
+    /// Leaves group-commit mode, performing the single deferred fsync
+    /// when any mutation was logged during the group.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sync fails.
+    pub fn end_group_commit(&mut self) -> Result<(), StorageError> {
+        self.group_commit = false;
+        if std::mem::take(&mut self.sync_pending) {
+            self.wal.sync()?;
+        }
+        Ok(())
     }
 
     /// The value for `key`, when present.
@@ -228,6 +330,10 @@ impl<V: RecordValue> DurableMap<V> {
 
     fn apply_policy(&mut self) -> Result<(), StorageError> {
         match self.policy {
+            SyncPolicy::Always if self.group_commit => {
+                self.sync_pending = true;
+                self.wal.flush()
+            }
             SyncPolicy::Always => self.wal.sync(),
             SyncPolicy::OsFlush => self.wal.flush(),
             SyncPolicy::Buffered => Ok(()),
@@ -237,19 +343,68 @@ impl<V: RecordValue> DurableMap<V> {
 
 fn apply_record<V: RecordValue>(map: &mut HashMap<u64, V>, rec: &[u8]) -> Option<()> {
     let mut buf = rec;
-    if buf.remaining() < 9 {
+    if buf.remaining() < 1 {
         return None;
     }
-    let op = buf.get_u8();
-    let key = buf.get_u64_le();
-    match op {
+    match buf.get_u8() {
         OP_PUT => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let key = buf.get_u64_le();
             let value = V::decode(buf)?;
             map.insert(key, value);
             Some(())
         }
         OP_DEL => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let key = buf.get_u64_le();
             map.remove(&key);
+            Some(())
+        }
+        OP_BATCH => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let count = buf.get_u32_le();
+            // Decode the whole batch before touching the map: a record
+            // that fails half-way must not apply a prefix.
+            let mut staged: Vec<BatchOp<V>> = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                if buf.remaining() < 9 {
+                    return None;
+                }
+                let op = buf.get_u8();
+                let key = buf.get_u64_le();
+                match op {
+                    OP_PUT => {
+                        if buf.remaining() < 4 {
+                            return None;
+                        }
+                        let len = buf.get_u32_le() as usize;
+                        if buf.remaining() < len {
+                            return None;
+                        }
+                        let value = V::decode(&buf[..len])?;
+                        buf.advance(len);
+                        staged.push(BatchOp::Put(key, value));
+                    }
+                    OP_DEL => staged.push(BatchOp::Del(key)),
+                    _ => return None,
+                }
+            }
+            for op in staged {
+                match op {
+                    BatchOp::Put(key, value) => {
+                        map.insert(key, value);
+                    }
+                    BatchOp::Del(key) => {
+                        map.remove(&key);
+                    }
+                }
+            }
             Some(())
         }
         _ => None,
@@ -435,6 +590,101 @@ mod tests {
             let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, policy).unwrap();
             assert_eq!(db.get(7).unwrap(), b"val", "policy {policy:?}");
         }
+    }
+
+    #[test]
+    fn batch_applies_and_recovers() {
+        let dir = TempDir::new("batch");
+        {
+            let mut db = open(&dir);
+            db.insert(1, b"old".to_vec()).unwrap();
+            db.apply_batch(vec![
+                BatchOp::Put(1, b"new".to_vec()),
+                BatchOp::Put(2, b"two".to_vec()),
+                BatchOp::Del(1),
+                BatchOp::Put(3, b"three".to_vec()),
+            ])
+            .unwrap();
+            assert!(db.get(1).is_none(), "batch ops apply in order");
+            assert_eq!(db.stats().mutations, 5);
+            db.sync().unwrap();
+        }
+        let db = open(&dir);
+        assert_eq!(db.len(), 2);
+        assert!(db.get(1).is_none());
+        assert_eq!(db.get(2).unwrap(), b"two");
+        assert_eq!(db.get(3).unwrap(), b"three");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let dir = TempDir::new("batch0");
+        let mut db = open(&dir);
+        db.apply_batch(Vec::new()).unwrap();
+        assert_eq!(db.wal_bytes(), 0);
+        assert_eq!(db.stats().mutations, 0);
+    }
+
+    #[test]
+    fn torn_batch_is_all_or_nothing() {
+        // Truncate the WAL at *every* byte offset inside the batch
+        // record: recovery must see either the full batch or none of
+        // it — never a prefix of its mutations.
+        let dir = TempDir::new("tornbatch");
+        let base_len;
+        {
+            let mut db = open(&dir);
+            db.insert(10, b"pre".to_vec()).unwrap();
+            db.sync().unwrap();
+            base_len = std::fs::metadata(dir.0.join("wal.log")).unwrap().len();
+            db.apply_batch(vec![
+                BatchOp::Put(1, b"aaaa".to_vec()),
+                BatchOp::Put(2, b"bbbb".to_vec()),
+                BatchOp::Del(10),
+            ])
+            .unwrap();
+            db.sync().unwrap();
+        }
+        let wal_path = dir.0.join("wal.log");
+        let full = std::fs::read(&wal_path).unwrap();
+        for cut in base_len..full.len() as u64 {
+            std::fs::write(&wal_path, &full[..cut as usize]).unwrap();
+            let db = open(&dir);
+            let batch_applied = db.get(1).is_some();
+            if batch_applied {
+                assert_eq!(db.get(2).unwrap(), b"bbbb", "cut {cut}: partial batch visible");
+                assert!(db.get(10).is_none(), "cut {cut}: partial batch visible");
+            } else {
+                assert!(db.get(2).is_none(), "cut {cut}: partial batch visible");
+                assert_eq!(db.get(10).unwrap(), b"pre", "cut {cut}: partial batch visible");
+            }
+        }
+        // And the untruncated log replays the whole batch.
+        std::fs::write(&wal_path, &full).unwrap();
+        let db = open(&dir);
+        assert_eq!(db.get(1).unwrap(), b"aaaa");
+        assert_eq!(db.get(2).unwrap(), b"bbbb");
+        assert!(db.get(10).is_none());
+    }
+
+    #[test]
+    fn group_commit_defers_the_sync_until_end() {
+        let dir = TempDir::new("group");
+        {
+            let mut db: DurableMap<Vec<u8>> =
+                DurableMap::open(&dir.0, SyncPolicy::Always).unwrap();
+            db.begin_group_commit();
+            for k in 0..10u64 {
+                db.insert(k, vec![k as u8]).unwrap();
+            }
+            db.end_group_commit().unwrap();
+        }
+        let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(db.len(), 10, "grouped mutations must all be durable after end");
+        // Idempotent when nothing was written.
+        let mut db = db;
+        db.begin_group_commit();
+        db.end_group_commit().unwrap();
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod sighting_db;
 mod wal;
 
 pub use crc::crc32;
-pub use durable_map::{DurableMap, DurableMapStats, RecordValue, SyncPolicy};
+pub use durable_map::{BatchOp, DurableMap, DurableMapStats, RecordValue, SyncPolicy};
 pub use sighting_db::{SightingDb, StoredSighting};
 pub use wal::{Wal, WalError};
 

@@ -1,9 +1,17 @@
 //! The volatile main-memory sighting database.
+//!
+//! Rebuilt for the allocation-free update hot path: records live in a
+//! slab arena (dense `u32` slots with a free list) and soft-state
+//! expiry is tracked by a coarse-bucket expiry wheel instead of an
+//! unbounded lazy-deletion heap. In steady state a position update
+//! touches the key→slot map once, rewrites the slot in place, moves the
+//! spatial index via its [`SpatialIndex::update`] fast path and pushes
+//! one wheel entry — no per-update allocation once the arena and
+//! buckets are warm.
 
 use hiloc_geo::{Point, Rect, Region};
 use hiloc_spatial::{GridIndex, PointQuadtree, RTree, SpatialIndex};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 /// A sighting record as stored by a leaf location server.
 ///
@@ -26,6 +34,56 @@ pub struct StoredSighting {
     pub expires_us: u64,
 }
 
+/// Expiry-wheel bucket width: deadlines are grouped into `2^22` µs
+/// (≈ 4.2 s) buckets. Coarse buckets keep the wheel dense — soft-state
+/// TTLs are tens to hundreds of seconds — and make the classic wheel
+/// no-op kick in: a refresh whose new deadline lands in the bucket
+/// already scheduled for the record performs **zero** wheel work. The
+/// record's exact deadline always lives in its slot, so expiry remains
+/// microsecond-precise.
+const WHEEL_SHIFT: u32 = 22;
+
+/// Below this many wheel entries, stale-entry compaction is not worth
+/// the rebuild (mirrors the quadtree's tombstone floor).
+const WHEEL_COMPACT_FLOOR: usize = 64;
+
+/// One slab slot. `gen` is bumped whenever the slot's wheel entry is
+/// superseded (a reschedule into a different bucket, or a removal), so
+/// entries minted for an earlier state of the slot — or for a previous
+/// occupant after slot reuse — are recognizably stale. `sched_bucket`
+/// is the bucket of the slot's current (gen-matching) wheel entry; a
+/// refresh into the same bucket keeps the entry and touches nothing.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    rec: StoredSighting,
+    gen: u32,
+    live: bool,
+    sched_bucket: u64,
+}
+
+/// One expiry-wheel entry: the `(slot, gen)` pair it was minted for.
+/// The exact deadline is read from the slot at expiry time (a
+/// same-bucket refresh updates the deadline without touching the
+/// entry).
+#[derive(Debug, Clone, Copy)]
+struct WheelEntry {
+    slot: u32,
+    gen: u32,
+}
+
+/// One wheel bucket: its entries plus a cached lower bound on their
+/// current deadlines, so [`SightingDb::next_expiry`] is O(1) instead
+/// of scanning the bucket. The bound may be stale-early (an entry
+/// refreshed to a later deadline within the bucket does not raise it)
+/// but never stale-late: deadlines only move forward without a push
+/// (the same-bucket skip requires it), and `expire_due` recomputes the
+/// bound from the kept entries whenever it scans the bucket.
+#[derive(Debug, Default)]
+struct Bucket {
+    entries: Vec<WheelEntry>,
+    min_us: u64,
+}
+
 /// The main-memory database of sighting records kept by a leaf server.
 ///
 /// Combines the paper's three volatile structures (§5, Fig. 7):
@@ -38,6 +96,21 @@ pub struct StoredSighting {
 /// Everything lives in volatile memory by design; after a crash the
 /// database is rebuilt from incoming position updates (the paper
 /// measures exactly this rebuild in Table 1's "creating index" row).
+///
+/// # Memory bound
+///
+/// The slab never holds more slots than the peak number of live
+/// records, and the wheel is compacted whenever stale entries would
+/// push it past **2× the live-record count** — so memory is bounded by
+/// the live population, not by the total number of updates ever
+/// received (the pre-slab lazy-deletion heap grew with the latter).
+///
+/// # Determinism
+///
+/// Iteration (`for_each`) walks slots in arena order and expiry
+/// delivers records sorted by `(deadline, key)`, so two runs that issue
+/// the same operations observe identical orders — a property the
+/// deterministic chaos harness relies on.
 ///
 /// # Example
 ///
@@ -61,20 +134,24 @@ pub struct StoredSighting {
 /// ```
 pub struct SightingDb {
     index: Box<dyn SpatialIndex>,
-    records: HashMap<u64, StoredSighting>,
-    /// Lazy-deletion expiry heap of `(deadline, key, version)`.
-    expiry: BinaryHeap<Reverse<(u64, u64, u64)>>,
-    /// Current heap-entry version per key; stale heap entries are
-    /// skipped on pop.
-    versions: HashMap<u64, u64>,
-    next_version: u64,
+    /// The slab arena; slots are reused through `free`.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Key → slot. The only per-key hash map; touched once per update.
+    by_key: HashMap<u64, u32>,
+    /// The expiry wheel: bucket index (`deadline >> WHEEL_SHIFT`) →
+    /// entries. A `BTreeMap` keeps bucket order deterministic and
+    /// handles arbitrarily distant deadlines without a fixed horizon.
+    wheel: BTreeMap<u64, Bucket>,
+    /// Total entries across all buckets (live + not-yet-purged stale).
+    wheel_len: usize,
 }
 
 impl std::fmt::Debug for SightingDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SightingDb")
-            .field("records", &self.records.len())
-            .field("pending_expiries", &self.expiry.len())
+            .field("records", &self.by_key.len())
+            .field("pending_expiries", &self.wheel_len)
             .finish()
     }
 }
@@ -101,69 +178,190 @@ impl SightingDb {
     pub fn with_index(index: Box<dyn SpatialIndex>) -> Self {
         SightingDb {
             index,
-            records: HashMap::new(),
-            expiry: BinaryHeap::new(),
-            versions: HashMap::new(),
-            next_version: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_key: HashMap::new(),
+            wheel: BTreeMap::new(),
+            wheel_len: 0,
         }
     }
 
     /// Inserts or replaces the sighting for `s.key`, returning the
     /// previous record (a position update).
     pub fn upsert(&mut self, s: StoredSighting) -> Option<StoredSighting> {
-        self.index.insert(s.key, s.pos);
-        self.next_version += 1;
-        self.versions.insert(s.key, self.next_version);
-        self.expiry.push(Reverse((s.expires_us, s.key, self.next_version)));
-        self.records.insert(s.key, s)
+        let bucket = s.expires_us >> WHEEL_SHIFT;
+        let old = if let Some(&slot) = self.by_key.get(&s.key) {
+            // Steady-state refresh: rewrite the slot and move the index
+            // in place when the motion is local. When the new deadline
+            // stays in the already-scheduled bucket — the common case
+            // for TTL refreshes under a sustained update stream — the
+            // wheel is not touched at all.
+            let sl = &mut self.slots[slot as usize];
+            debug_assert!(sl.live && sl.rec.key == s.key);
+            let old = sl.rec;
+            sl.rec = s;
+            // The skip also requires a non-shrinking deadline (the
+            // TTL-refresh case), so bucket min bounds stay safe-early.
+            if sl.sched_bucket != bucket || s.expires_us < old.expires_us {
+                sl.gen = sl.gen.wrapping_add(1);
+                sl.sched_bucket = bucket;
+                let gen = sl.gen;
+                self.wheel_push(bucket, slot, gen, s.expires_us);
+            }
+            self.index.update(s.key, s.pos);
+            Some(old)
+        } else {
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    let sl = &mut self.slots[slot as usize];
+                    sl.rec = s;
+                    sl.live = true;
+                    sl.sched_bucket = bucket;
+                    slot
+                }
+                None => {
+                    let slot = self.slots.len() as u32;
+                    self.slots.push(Slot { rec: s, gen: 0, live: true, sched_bucket: bucket });
+                    slot
+                }
+            };
+            self.by_key.insert(s.key, slot);
+            let gen = self.slots[slot as usize].gen;
+            self.index.insert(s.key, s.pos);
+            self.wheel_push(bucket, slot, gen, s.expires_us);
+            None
+        };
+        self.maybe_compact_wheel();
+        old
     }
 
     /// The sighting for `key`, when present (the hash-index path used by
     /// position queries).
     pub fn get(&self, key: u64) -> Option<&StoredSighting> {
-        self.records.get(&key)
+        self.by_key.get(&key).map(|&slot| &self.slots[slot as usize].rec)
     }
 
     /// Removes the sighting for `key`.
     pub fn remove(&mut self, key: u64) -> Option<StoredSighting> {
-        let rec = self.records.remove(&key)?;
+        let slot = self.by_key.remove(&key)?;
+        let sl = &mut self.slots[slot as usize];
+        debug_assert!(sl.live);
+        sl.live = false;
+        // Invalidate any wheel entry still pointing here, including
+        // after the slot is handed to a different key.
+        sl.gen = sl.gen.wrapping_add(1);
+        let rec = sl.rec;
+        self.free.push(slot);
         self.index.remove(key);
-        self.versions.remove(&key);
+        self.maybe_compact_wheel();
         Some(rec)
     }
 
     /// Number of live sightings.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.by_key.len()
     }
 
     /// True when no sightings are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.by_key.is_empty()
+    }
+
+    /// Number of expiry-wheel entries currently held (live + stale).
+    /// Compaction keeps this at most twice [`SightingDb::len`] (plus
+    /// the small compaction floor) — the memory-bound regression tests
+    /// and the hotpath benchmark read it.
+    pub fn expiry_entries(&self) -> usize {
+        self.wheel_len
+    }
+
+    /// Number of slab slots ever allocated (live + free-listed): the
+    /// arena footprint, bounded by the peak live population.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Removes everything.
     pub fn clear(&mut self) {
         self.index.clear();
-        self.records.clear();
-        self.expiry.clear();
-        self.versions.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.by_key.clear();
+        self.wheel.clear();
+        self.wheel_len = 0;
+    }
+
+    fn wheel_push(&mut self, bucket: u64, slot: u32, gen: u32, expires_us: u64) {
+        let b = self.wheel.entry(bucket).or_insert_with(|| Bucket {
+            entries: Vec::new(),
+            min_us: u64::MAX,
+        });
+        b.entries.push(WheelEntry { slot, gen });
+        b.min_us = b.min_us.min(expires_us);
+        self.wheel_len += 1;
+    }
+
+    /// Compacts stale wheel entries whenever they would push the wheel
+    /// past 2× the live-record count: rebuilds the buckets from the
+    /// live slots in arena order (deterministic), restoring the
+    /// one-entry-per-record invariant.
+    fn maybe_compact_wheel(&mut self) {
+        if self.wheel_len <= WHEEL_COMPACT_FLOOR.max(2 * self.by_key.len()) {
+            return;
+        }
+        self.wheel.clear();
+        self.wheel_len = 0;
+        for slot in 0..self.slots.len() as u32 {
+            let sl = self.slots[slot as usize];
+            if sl.live {
+                debug_assert_eq!(sl.sched_bucket, sl.rec.expires_us >> WHEEL_SHIFT);
+                self.wheel_push(sl.sched_bucket, slot, sl.gen, sl.rec.expires_us);
+            }
+        }
     }
 
     /// Pops and returns every sighting whose deadline is at or before
-    /// `now_us` (soft-state expiry). Expired records are removed from
-    /// all indexes.
+    /// `now_us` (soft-state expiry), in `(deadline, key)` order.
+    /// Expired records are removed from all indexes; stale wheel
+    /// entries encountered along the way are purged.
     pub fn expire_due(&mut self, now_us: u64) -> Vec<StoredSighting> {
-        let mut out = Vec::new();
-        while let Some(Reverse((deadline, key, version))) = self.expiry.peek().copied() {
-            if deadline > now_us {
-                break;
+        let due_bucket = now_us >> WHEEL_SHIFT;
+        if self.wheel.range(..=due_bucket).next().is_none() {
+            return Vec::new();
+        }
+        let buckets: Vec<u64> = self.wheel.range(..=due_bucket).map(|(b, _)| *b).collect();
+        let mut due: Vec<(u64, u64)> = Vec::new();
+        for b in buckets {
+            let bucket = self.wheel.remove(&b).expect("bucket listed above");
+            let mut keep = Vec::new();
+            let mut keep_min = u64::MAX;
+            for e in bucket.entries {
+                let sl = &self.slots[e.slot as usize];
+                if !(sl.live && sl.gen == e.gen) {
+                    // Superseded by a rescheduling refresh or a removal.
+                    self.wheel_len -= 1;
+                    continue;
+                }
+                // The entry is current, so the slot's exact deadline
+                // lives in this bucket.
+                if sl.rec.expires_us <= now_us {
+                    self.wheel_len -= 1;
+                    due.push((sl.rec.expires_us, sl.rec.key));
+                } else {
+                    // Same (boundary) bucket, deadline still ahead.
+                    keep_min = keep_min.min(sl.rec.expires_us);
+                    keep.push(e);
+                }
             }
-            self.expiry.pop();
-            // Skip entries superseded by a later upsert.
-            if self.versions.get(&key) != Some(&version) {
-                continue;
+            if !keep.is_empty() {
+                // The recomputed bound is exact, so repeated
+                // hint/expire rounds always advance past `now`.
+                self.wheel.insert(b, Bucket { entries: keep, min_us: keep_min });
             }
+        }
+        due.sort_unstable();
+        let mut out = Vec::with_capacity(due.len());
+        for (_, key) in due {
             if let Some(rec) = self.remove(key) {
                 out.push(rec);
             }
@@ -174,16 +372,26 @@ impl SightingDb {
     /// The earliest pending expiry deadline, when any sightings exist.
     ///
     /// May return a stale (earlier) deadline for records that were since
-    /// refreshed; callers treat it as a wake-up hint, not a promise.
+    /// refreshed; callers treat it as a wake-up hint, not a promise —
+    /// the following [`SightingDb::expire_due`] purges the stale entry,
+    /// so repeated hint/expire rounds always make progress.
     pub fn next_expiry(&self) -> Option<u64> {
-        self.expiry.peek().map(|Reverse((d, _, _))| *d)
+        // The globally earliest deadline lives in the first non-empty
+        // bucket (buckets partition the deadline axis), and its cached
+        // lower bound is O(1) to read. It may be stale-early — entries
+        // superseded or refreshed to later deadlines do not raise it —
+        // which the contract allows, because the expire_due a hint
+        // triggers rescans the bucket and tightens the bound.
+        self.wheel.values().next().map(|b| b.min_us)
     }
 
     /// Invokes `sink` for every sighting positioned inside `rect`.
     pub fn query_rect(&self, rect: &Rect, sink: &mut dyn FnMut(&StoredSighting)) {
+        let slots = &self.slots;
+        let by_key = &self.by_key;
         self.index.query_rect(rect, &mut |e| {
-            if let Some(rec) = self.records.get(&e.key) {
-                sink(rec);
+            if let Some(&slot) = by_key.get(&e.key) {
+                sink(&slots[slot as usize].rec);
             }
         });
     }
@@ -209,11 +417,13 @@ impl SightingDb {
         p: Point,
         filter: &mut dyn FnMut(&StoredSighting) -> bool,
     ) -> Option<(StoredSighting, f64)> {
-        let records = &self.records;
+        let slots = &self.slots;
+        let by_key = &self.by_key;
+        let rec_of = |key: u64| by_key.get(&key).map(|&slot| &slots[slot as usize].rec);
         let found = self.index.nearest_where(p, &mut |key| {
-            records.get(&key).map(&mut *filter).unwrap_or(false)
+            rec_of(key).map(&mut *filter).unwrap_or(false)
         })?;
-        records.get(&found.0.key).map(|r| (*r, found.1))
+        rec_of(found.0.key).map(|r| (*r, found.1))
     }
 
     /// The `k` sightings nearest to `p` among those accepted by
@@ -224,20 +434,25 @@ impl SightingDb {
         k: usize,
         filter: &mut dyn FnMut(&StoredSighting) -> bool,
     ) -> Vec<(StoredSighting, f64)> {
-        let records = &self.records;
+        let slots = &self.slots;
+        let by_key = &self.by_key;
+        let rec_of = |key: u64| by_key.get(&key).map(|&slot| &slots[slot as usize].rec);
         self.index
             .k_nearest_where(p, k, &mut |key| {
-                records.get(&key).map(&mut *filter).unwrap_or(false)
+                rec_of(key).map(&mut *filter).unwrap_or(false)
             })
             .into_iter()
-            .filter_map(|(e, d)| records.get(&e.key).map(|r| (*r, d)))
+            .filter_map(|(e, d)| rec_of(e.key).map(|r| (*r, d)))
             .collect()
     }
 
-    /// Invokes `sink` for every stored sighting.
+    /// Invokes `sink` for every stored sighting, in slab (arena) order —
+    /// deterministic across same-seed runs.
     pub fn for_each(&self, sink: &mut dyn FnMut(&StoredSighting)) {
-        for rec in self.records.values() {
-            sink(rec);
+        for sl in &self.slots {
+            if sl.live {
+                sink(&sl.rec);
+            }
         }
     }
 }
@@ -277,10 +492,27 @@ mod tests {
         assert_eq!(db.len(), 2);
 
         let expired = db.expire_due(1_000);
-        let mut keys: Vec<u64> = expired.iter().map(|r| r.key).collect();
-        keys.sort();
-        assert_eq!(keys, vec![1, 3]);
+        let keys: Vec<u64> = expired.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![3, 1], "expiry must deliver in (deadline, key) order");
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn expiry_across_wheel_buckets() {
+        let mut db = SightingDb::new_quadtree();
+        // Deadlines spread over several 2^20 µs buckets, inserted out
+        // of order.
+        db.upsert(s(1, 0.0, 0.0, 5 << WHEEL_SHIFT));
+        db.upsert(s(2, 1.0, 0.0, 1 << WHEEL_SHIFT));
+        db.upsert(s(3, 2.0, 0.0, (1 << WHEEL_SHIFT) + 7));
+        db.upsert(s(4, 3.0, 0.0, 3 << WHEEL_SHIFT));
+        assert_eq!(db.next_expiry(), Some(1 << WHEEL_SHIFT));
+        let expired = db.expire_due((1 << WHEEL_SHIFT) + 7);
+        let keys: Vec<u64> = expired.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![2, 3]);
+        let expired = db.expire_due(u64::MAX);
+        let keys: Vec<u64> = expired.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![4, 1]);
     }
 
     #[test]
@@ -290,7 +522,7 @@ mod tests {
         // Position update arrives; deadline extended (soft-state refresh).
         db.upsert(s(1, 1.0, 0.0, 500));
         let expired = db.expire_due(200);
-        assert!(expired.is_empty(), "stale heap entry must be skipped");
+        assert!(expired.is_empty(), "stale wheel entry must be skipped");
         assert_eq!(db.len(), 1);
         let expired = db.expire_due(600);
         assert_eq!(expired.len(), 1);
@@ -302,6 +534,45 @@ mod tests {
         db.upsert(s(1, 0.0, 0.0, 100));
         db.remove(1);
         assert!(db.expire_due(1_000).is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_old_deadlines() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(s(1, 0.0, 0.0, 100));
+        db.remove(1);
+        // Key 2 reuses key 1's slot with a much later deadline; the
+        // stale (slot, gen) entry at t=100 must not expire it.
+        db.upsert(s(2, 1.0, 1.0, 900));
+        assert_eq!(db.slot_capacity(), 1, "slot must be reused");
+        assert!(db.expire_due(500).is_empty());
+        let expired = db.expire_due(1_000);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].key, 2);
+    }
+
+    #[test]
+    fn wheel_memory_bounded_by_live_records() {
+        let mut db = SightingDb::new_grid(50.0);
+        let live = 100u64;
+        // An update storm: 10 000 refreshes over 100 live records. The
+        // pre-slab heap grew to ~10 000 entries here.
+        for round in 0..100u64 {
+            for key in 0..live {
+                db.upsert(s(key, (key % 10) as f64, (key / 10) as f64, 1_000 + round));
+            }
+        }
+        assert_eq!(db.len(), live as usize);
+        assert!(
+            db.expiry_entries() <= 2 * live as usize + WHEEL_COMPACT_FLOOR,
+            "wheel grew to {} entries for {} live records",
+            db.expiry_entries(),
+            live
+        );
+        assert_eq!(db.slot_capacity(), live as usize, "slab bounded by peak live set");
+        // And expiry still fires exactly once per live record.
+        assert_eq!(db.expire_due(u64::MAX).len(), live as usize);
+        assert_eq!(db.expiry_entries(), 0);
     }
 
     #[test]
@@ -360,12 +631,25 @@ mod tests {
     }
 
     #[test]
+    fn for_each_in_arena_order() {
+        let mut db = SightingDb::new_quadtree();
+        db.upsert(s(7, 0.0, 0.0, 100));
+        db.upsert(s(3, 1.0, 0.0, 100));
+        db.upsert(s(5, 2.0, 0.0, 100));
+        let mut keys = Vec::new();
+        db.for_each(&mut |r| keys.push(r.key));
+        assert_eq!(keys, vec![7, 3, 5], "arena order = insertion order here");
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut db = SightingDb::new_quadtree();
         db.upsert(s(1, 0.0, 0.0, 100));
         db.clear();
         assert!(db.is_empty());
         assert_eq!(db.next_expiry(), None);
+        assert_eq!(db.expiry_entries(), 0);
+        assert_eq!(db.slot_capacity(), 0);
         assert!(db.expire_due(u64::MAX).is_empty());
     }
 }
