@@ -43,6 +43,10 @@ cargo test -q --offline --workspace
 echo "==> chaos scenario suite (fixed seeds, bounded virtual time)"
 cargo test -q --offline -p hiloc-sim --test chaos_scenarios
 
+echo "==> churn scenario suite (reconfiguration under faults)"
+cargo test -q --offline -p hiloc-sim --test churn_scenarios
+cargo test -q --offline -p hiloc-core --test reconfig
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

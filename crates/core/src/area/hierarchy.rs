@@ -59,13 +59,16 @@ impl ServerConfig {
     }
 }
 
-/// Errors detected by [`Hierarchy::validate`].
+/// Errors detected by [`Hierarchy::validate`] or rejected hierarchy
+/// mutations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HierarchyError {
-    /// The hierarchy has no servers.
+    /// The hierarchy has no (active) servers.
     Empty,
     /// A server references a parent/child id that does not exist.
     DanglingReference(ServerId),
+    /// An active server references a retired one.
+    RetiredReference(ServerId),
     /// A child's recorded parent does not match.
     ParentMismatch(ServerId),
     /// Two sibling areas overlap with positive area.
@@ -78,33 +81,56 @@ pub enum HierarchyError {
     MultipleRoots(ServerId, ServerId),
     /// Recorded level is inconsistent with the tree depth.
     BadLevel(ServerId),
+    /// The operation requires a leaf server.
+    NotALeaf(ServerId),
+    /// The operation requires a non-root server (a root-leaf cannot be
+    /// split or retired — its area is the deployment constant).
+    NoParent(ServerId),
+    /// Leave: no sibling leaf shares a full edge with the leaving
+    /// server, so its area cannot be absorbed into a rectangle.
+    NoMergeableSibling(ServerId),
 }
 
 impl fmt::Display for HierarchyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HierarchyError::Empty => write!(f, "hierarchy has no servers"),
+            HierarchyError::Empty => write!(f, "hierarchy has no active servers"),
             HierarchyError::DanglingReference(s) => write!(f, "{s} references a missing server"),
+            HierarchyError::RetiredReference(s) => write!(f, "{s} references a retired server"),
             HierarchyError::ParentMismatch(s) => write!(f, "{s} has an inconsistent parent link"),
             HierarchyError::SiblingOverlap(a, b) => write!(f, "sibling areas of {a} and {b} overlap"),
             HierarchyError::IncompleteCover(s) => write!(f, "children of {s} do not cover its area"),
             HierarchyError::ChildEscapesParent(s) => write!(f, "a child area of {s} escapes it"),
             HierarchyError::MultipleRoots(a, b) => write!(f, "multiple roots: {a} and {b}"),
             HierarchyError::BadLevel(s) => write!(f, "{s} has an inconsistent level"),
+            HierarchyError::NotALeaf(s) => write!(f, "{s} is not a leaf"),
+            HierarchyError::NoParent(s) => write!(f, "{s} has no parent"),
+            HierarchyError::NoMergeableSibling(s) => {
+                write!(f, "no sibling of {s} can absorb its area into a rectangle")
+            }
         }
     }
 }
 
 impl std::error::Error for HierarchyError {}
 
-/// A validated server hierarchy: the static configuration of a
-/// deployment.
+/// A validated server hierarchy: the configuration of a deployment.
 ///
-/// Server ids are dense (`0..len`), assigned in breadth-first order
-/// with the root as `ServerId(0)`.
+/// Server ids are dense (`0..len`); builders assign them in
+/// breadth-first order with the root as `ServerId(0)`. The hierarchy
+/// is **reconfigurable**: servers can join ([`Hierarchy::split_leaf`])
+/// and leave ([`Hierarchy::retire_leaf`]), and the root role can fail
+/// over to a fresh successor ([`Hierarchy::fail_over_root`]). Retired
+/// servers keep their id slot (ids are never reused — they index the
+/// runtime's server tables) but are excluded from validation, routing
+/// and iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hierarchy {
     servers: Vec<ServerConfig>,
+    /// The current root (the single active parent-less server).
+    root: ServerId,
+    /// Retirement markers, parallel to `servers`.
+    retired: Vec<bool>,
 }
 
 impl Hierarchy {
@@ -115,14 +141,49 @@ impl Hierarchy {
     ///
     /// Returns the first [`HierarchyError`] found.
     pub fn from_configs(servers: Vec<ServerConfig>) -> Result<Self, HierarchyError> {
-        let h = Hierarchy { servers };
+        let retired = vec![false; servers.len()];
+        Self::assemble(servers, retired)
+    }
+
+    /// Finds the root among active servers, then validates.
+    fn assemble(servers: Vec<ServerConfig>, retired: Vec<bool>) -> Result<Self, HierarchyError> {
+        // Ids must be dense and in slot order — every table here and in
+        // the runtimes indexes by id. Checked before any id-indexed
+        // read so a malformed document errors instead of panicking.
+        for (i, s) in servers.iter().enumerate() {
+            if s.id.0 as usize != i {
+                return Err(HierarchyError::DanglingReference(s.id));
+            }
+        }
+        let root = servers
+            .iter()
+            .find(|s| !retired[s.id.0 as usize] && s.parent.is_none())
+            .map(|s| s.id)
+            .ok_or(HierarchyError::Empty)?;
+        let h = Hierarchy { servers, root, retired };
         h.validate()?;
         Ok(h)
     }
 
-    /// The root server's id.
+    /// The current root server's id.
     pub fn root(&self) -> ServerId {
-        ServerId(0)
+        self.root
+    }
+
+    /// Whether `id` has been retired (left the tree; its id slot is
+    /// kept so ids stay dense and are never reused).
+    pub fn is_retired(&self, id: ServerId) -> bool {
+        self.retired[id.0 as usize]
+    }
+
+    /// Iterator over the active (non-retired) configurations.
+    pub fn active(&self) -> impl Iterator<Item = &ServerConfig> {
+        self.servers.iter().filter(|s| !self.retired[s.id.0 as usize])
+    }
+
+    /// Number of active servers.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
     }
 
     /// The configuration record of `id`.
@@ -134,12 +195,14 @@ impl Hierarchy {
         &self.servers[id.0 as usize]
     }
 
-    /// All configuration records, indexed by server id.
+    /// All configuration records — including retired ones — indexed by
+    /// server id (retired servers keep a degenerate record in their
+    /// slot).
     pub fn servers(&self) -> &[ServerConfig] {
         &self.servers
     }
 
-    /// Number of servers.
+    /// Number of server id slots ever allocated (active + retired).
     pub fn len(&self) -> usize {
         self.servers.len()
     }
@@ -149,25 +212,25 @@ impl Hierarchy {
         self.servers.is_empty()
     }
 
-    /// Iterator over leaf configurations.
+    /// Iterator over active leaf configurations.
     pub fn leaves(&self) -> impl Iterator<Item = &ServerConfig> {
-        self.servers.iter().filter(|s| s.is_leaf())
+        self.active().filter(|s| s.is_leaf())
     }
 
     /// The root service area.
     pub fn root_area(&self) -> Rect {
-        self.servers[0].root_area
+        self.server(self.root).root_area
     }
 
     /// Tree height: number of edges from root to the deepest leaf.
     pub fn height(&self) -> u32 {
-        self.servers.iter().map(|s| s.level).max().unwrap_or(0)
+        self.active().map(|s| s.level).max().unwrap_or(0)
     }
 
     /// The leaf server responsible for `p`, or `None` when `p` is
     /// outside the (half-open) root area.
     pub fn leaf_for(&self, p: Point) -> Option<ServerId> {
-        let mut cur = &self.servers[0];
+        let mut cur = self.server(self.root);
         if !cur.contains(p) {
             return None;
         }
@@ -210,6 +273,10 @@ impl Hierarchy {
                     ),
                     ("root_area".into(), rect_to_json(&s.root_area)),
                     ("level".into(), Json::Num(f64::from(s.level))),
+                    (
+                        "retired".into(),
+                        Json::Bool(self.retired[s.id.0 as usize]),
+                    ),
                 ])
             })
             .collect();
@@ -227,6 +294,7 @@ impl Hierarchy {
         let missing = |what: &str| -> Box<dyn std::error::Error + Send + Sync> {
             format!("missing or invalid field '{what}'").into()
         };
+        let mut retired = Vec::new();
         let servers = doc
             .get("servers")
             .and_then(Json::as_array)
@@ -253,6 +321,9 @@ impl Hierarchy {
                         })
                     })
                     .collect::<Result<Vec<_>, Box<dyn std::error::Error + Send + Sync>>>()?;
+                // Back-compat: documents written before reconfiguration
+                // support have no "retired" field.
+                retired.push(s.get("retired").and_then(Json::as_bool).unwrap_or(false));
                 Ok(ServerConfig {
                     id: ServerId(id),
                     area: rect_from_json(s.get("area")).ok_or_else(|| missing("area"))?,
@@ -268,9 +339,7 @@ impl Hierarchy {
                 })
             })
             .collect::<Result<Vec<_>, Box<dyn std::error::Error + Send + Sync>>>()?;
-        let h = Hierarchy { servers };
-        h.validate()?;
-        Ok(h)
+        Ok(Self::assemble(servers, retired)?)
     }
 
     /// Writes the configuration to a file (atomically via a sibling
@@ -299,7 +368,9 @@ impl Hierarchy {
     }
 
     /// Checks the paper's two structural requirements plus link
-    /// consistency; see [`HierarchyError`].
+    /// consistency over the **active** servers (retired servers are
+    /// skipped, but an active server referencing a retired one is an
+    /// error); see [`HierarchyError`].
     ///
     /// # Errors
     ///
@@ -310,10 +381,13 @@ impl Hierarchy {
         }
         let n = self.servers.len() as u32;
         let mut root_seen: Option<ServerId> = None;
-        for s in &self.servers {
+        for s in self.active() {
             if let Some(p) = s.parent {
                 if p.0 >= n {
                     return Err(HierarchyError::DanglingReference(s.id));
+                }
+                if self.retired[p.0 as usize] {
+                    return Err(HierarchyError::RetiredReference(s.id));
                 }
                 let parent = &self.servers[p.0 as usize];
                 if !parent.children.iter().any(|c| c.id == s.id) {
@@ -336,6 +410,9 @@ impl Hierarchy {
             for (i, c) in s.children.iter().enumerate() {
                 if c.id.0 >= n {
                     return Err(HierarchyError::DanglingReference(s.id));
+                }
+                if self.retired[c.id.0 as usize] {
+                    return Err(HierarchyError::RetiredReference(s.id));
                 }
                 let child = &self.servers[c.id.0 as usize];
                 if child.parent != Some(s.id) {
@@ -361,7 +438,175 @@ impl Hierarchy {
                 }
             }
         }
+        if root_seen.is_none() {
+            return Err(HierarchyError::Empty);
+        }
         Ok(())
+    }
+
+    // ------------------------------------------------- reconfiguration
+    //
+    // Every mutation builds a candidate, re-validates it, and only then
+    // replaces `self` — a rejected reshape leaves the tree untouched.
+
+    /// **Join**: a new server enters the tree by splitting the service
+    /// area of the existing leaf `split` along its longer axis. The
+    /// split leaf keeps the lower/left half; the new server takes the
+    /// upper/right half and becomes its sibling (same parent, same
+    /// level). Returns the new server's id (always `len()` before the
+    /// call — callers can predict it when scripting scenarios).
+    ///
+    /// Moving the covered visitor records is the runtime's job (a bulk
+    /// `stateTransfer`); this only reshapes the configuration records.
+    ///
+    /// # Errors
+    ///
+    /// [`HierarchyError::NotALeaf`] / [`HierarchyError::RetiredReference`]
+    /// when `split` cannot be split, [`HierarchyError::NoParent`] for a
+    /// root-leaf (its area is the deployment constant).
+    pub fn split_leaf(&mut self, split: ServerId) -> Result<ServerId, HierarchyError> {
+        let cfg = self.checked_leaf(split)?;
+        let parent = cfg.parent.ok_or(HierarchyError::NoParent(split))?;
+        let area = cfg.area;
+        let (kept, taken) = if area.width() >= area.height() {
+            let cx = area.center().x;
+            (
+                Rect::new(area.min(), Point::new(cx, area.max().y)),
+                Rect::new(Point::new(cx, area.min().y), area.max()),
+            )
+        } else {
+            let cy = area.center().y;
+            (
+                Rect::new(area.min(), Point::new(area.max().x, cy)),
+                Rect::new(Point::new(area.min().x, cy), area.max()),
+            )
+        };
+        let new_id = ServerId(self.servers.len() as u32);
+        let mut next = self.clone();
+        next.servers[split.0 as usize].area = kept;
+        next.servers.push(ServerConfig {
+            id: new_id,
+            area: taken,
+            parent: Some(parent),
+            children: Vec::new(),
+            root_area: cfg.root_area,
+            level: cfg.level,
+        });
+        next.retired.push(false);
+        let pc = &mut next.servers[parent.0 as usize].children;
+        pc.iter_mut().find(|c| c.id == split).expect("validated back-link").area = kept;
+        pc.push(ChildRef { id: new_id, area: taken });
+        next.validate()?;
+        *self = next;
+        Ok(new_id)
+    }
+
+    /// **Leave**: the leaf `id` detaches from the tree. Its area is
+    /// absorbed by a sibling leaf sharing a full edge (so the union is
+    /// again a rectangle); the leaving server is marked retired and its
+    /// configuration record degenerates to an empty area — after any
+    /// restart it can never again accept an update, so every object
+    /// still pointing at it is pushed back into the tree by the
+    /// ordinary handover path. Returns the absorbing sibling.
+    ///
+    /// Draining the visitor records to the absorber (bulk
+    /// `stateTransfer`) is the runtime's job.
+    ///
+    /// # Errors
+    ///
+    /// [`HierarchyError::NoMergeableSibling`] when no sibling leaf can
+    /// absorb the area; [`HierarchyError::NoParent`] for a root-leaf.
+    pub fn retire_leaf(&mut self, id: ServerId) -> Result<ServerId, HierarchyError> {
+        let cfg = self.checked_leaf(id)?;
+        let parent = cfg.parent.ok_or(HierarchyError::NoParent(id))?;
+        let area = cfg.area;
+        let absorber = self.servers[parent.0 as usize]
+            .children
+            .iter()
+            .filter(|c| c.id != id && self.servers[c.id.0 as usize].is_leaf())
+            .find_map(|c| merge_rect(&c.area, &area).map(|u| (c.id, u)))
+            .ok_or(HierarchyError::NoMergeableSibling(id))?;
+        let (absorber, union) = absorber;
+        let mut next = self.clone();
+        next.servers[absorber.0 as usize].area = union;
+        let pc = &mut next.servers[parent.0 as usize].children;
+        pc.retain(|c| c.id != id);
+        pc.iter_mut().find(|c| c.id == absorber).expect("validated back-link").area = union;
+        next.retired[id.0 as usize] = true;
+        // Degenerate retired record: zero area (rejects every position),
+        // parent kept so a restarted straggler still hands its leftover
+        // visitors up into the live tree.
+        next.servers[id.0 as usize].area = Rect::new(area.min(), area.min());
+        next.validate()?;
+        *self = next;
+        Ok(absorber)
+    }
+
+    /// **Root failover**: a fresh successor server takes over the root
+    /// role — same service area, same children — and the old root is
+    /// retired (its id is never reused). Returns the successor's id
+    /// (always `len()` before the call).
+    ///
+    /// Rebuilding the successor's forwarding table (`pathSync` against
+    /// the children, plus the leaves' ordinary keep-alives) is the
+    /// runtime's job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error when the resulting tree is broken
+    /// (cannot happen for a well-formed input).
+    pub fn fail_over_root(&mut self) -> Result<ServerId, HierarchyError> {
+        let old = self.root;
+        let old_cfg = self.server(old).clone();
+        let new_id = ServerId(self.servers.len() as u32);
+        let mut next = self.clone();
+        next.servers.push(ServerConfig {
+            id: new_id,
+            area: old_cfg.area,
+            parent: None,
+            children: old_cfg.children.clone(),
+            root_area: old_cfg.root_area,
+            level: 0,
+        });
+        next.retired.push(false);
+        for c in &old_cfg.children {
+            next.servers[c.id.0 as usize].parent = Some(new_id);
+        }
+        next.retired[old.0 as usize] = true;
+        next.root = new_id;
+        next.validate()?;
+        *self = next;
+        Ok(new_id)
+    }
+
+    /// Shared precondition check for leaf mutations.
+    fn checked_leaf(&self, id: ServerId) -> Result<&ServerConfig, HierarchyError> {
+        if id.0 as usize >= self.servers.len() {
+            return Err(HierarchyError::DanglingReference(id));
+        }
+        if self.retired[id.0 as usize] {
+            return Err(HierarchyError::RetiredReference(id));
+        }
+        let cfg = self.server(id);
+        if !cfg.is_leaf() {
+            return Err(HierarchyError::NotALeaf(id));
+        }
+        Ok(cfg)
+    }
+}
+
+/// The union of two rectangles when they share a full edge (exactly —
+/// reshape areas come from exact midpoint splits, so shared edges are
+/// bit-identical), else `None`.
+fn merge_rect(a: &Rect, b: &Rect) -> Option<Rect> {
+    let same_y = a.min().y == b.min().y && a.max().y == b.max().y;
+    let same_x = a.min().x == b.min().x && a.max().x == b.max().x;
+    let adjacent_x = a.max().x == b.min().x || b.max().x == a.min().x;
+    let adjacent_y = a.max().y == b.min().y || b.max().y == a.min().y;
+    if (same_y && adjacent_x) || (same_x && adjacent_y) {
+        Some(a.union(b))
+    } else {
+        None
     }
 }
 
@@ -608,7 +853,8 @@ mod tests {
         let mut servers = h.servers().to_vec();
         servers[1].area = bad;
         servers[0].children[0].area = bad;
-        h = Hierarchy { servers };
+        let retired = vec![false; servers.len()];
+        h = Hierarchy { servers, root: ServerId(0), retired };
         assert!(matches!(
             h.validate(),
             Err(HierarchyError::SiblingOverlap(_, _) | HierarchyError::IncompleteCover(_))
@@ -647,6 +893,9 @@ mod tests {
         let bad = json.replace("\"level\": 1", "\"level\": 7");
         assert!(Hierarchy::from_json(&bad).is_err());
         assert!(Hierarchy::from_json("not json").is_err());
+        // Out-of-range or permuted ids are an error, not a panic.
+        let bad = json.replace("\"id\": 20", "\"id\": 99");
+        assert!(Hierarchy::from_json(&bad).is_err());
     }
 
     #[test]
@@ -658,6 +907,113 @@ mod tests {
         let back = Hierarchy::load(&path).unwrap();
         assert_eq!(h, back);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_leaf_joins_a_sibling_and_partitions_the_area() {
+        let mut h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let victim = h.leaves().next().unwrap().id;
+        let old_area = h.server(victim).area;
+        let parent = h.server(victim).parent.unwrap();
+        let new_id = h.split_leaf(victim).unwrap();
+        assert_eq!(new_id, ServerId(5), "ids are dense and predictable");
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.leaves().count(), 5);
+        let s = h.server(new_id);
+        assert_eq!(s.parent, Some(parent));
+        assert_eq!(s.level, h.server(victim).level);
+        // The two halves partition the old area exactly.
+        assert_eq!(h.server(victim).area.union(&s.area), old_area);
+        assert!((h.server(victim).area.area() + s.area.area() - old_area.area()).abs() < 1e-9);
+        // Routing reaches both halves.
+        assert_eq!(h.leaf_for(s.area.center()), Some(new_id));
+        assert_eq!(h.leaf_for(h.server(victim).area.center()), Some(victim));
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn retire_leaf_is_the_inverse_of_split() {
+        let mut h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let victim = h.leaves().next().unwrap().id;
+        let old_area = h.server(victim).area;
+        let new_id = h.split_leaf(victim).unwrap();
+        let absorber = h.retire_leaf(new_id).unwrap();
+        assert_eq!(absorber, victim);
+        assert!(h.is_retired(new_id));
+        assert_eq!(h.server(victim).area, old_area);
+        assert_eq!(h.active_count(), 5);
+        assert_eq!(h.len(), 6, "retired slots are kept, ids never reused");
+        // The retired record is degenerate: it contains nothing.
+        assert_eq!(h.server(new_id).area.area(), 0.0);
+        // Retired servers reject further mutations.
+        assert!(matches!(h.split_leaf(new_id), Err(HierarchyError::RetiredReference(_))));
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn retire_leaf_merges_grid_siblings() {
+        // In a fresh 2×2 grid, every leaf has an edge-sharing sibling.
+        let mut h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let victim = h.leaves().next().unwrap().id;
+        let absorber = h.retire_leaf(victim).unwrap();
+        assert_ne!(absorber, victim);
+        assert_eq!(h.leaves().count(), 3);
+        // The absorber now owns the victim's old center.
+        assert_eq!(h.leaf_for(Point::new(250.0, 250.0)), Some(absorber));
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn root_leaf_cannot_split_or_retire() {
+        let mut h = HierarchyBuilder::grid(root_rect(), 0, 2).build().unwrap();
+        assert_eq!(h.split_leaf(ServerId(0)), Err(HierarchyError::NoParent(ServerId(0))));
+        assert_eq!(h.retire_leaf(ServerId(0)), Err(HierarchyError::NoParent(ServerId(0))));
+        let mut h2 = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        assert_eq!(h2.split_leaf(ServerId(0)), Err(HierarchyError::NotALeaf(ServerId(0))));
+    }
+
+    #[test]
+    fn fail_over_root_promotes_a_fresh_successor() {
+        let mut h = HierarchyBuilder::binary(root_rect(), 2).build().unwrap();
+        let old_root = h.root();
+        let children: Vec<ServerId> =
+            h.server(old_root).children.iter().map(|c| c.id).collect();
+        let new_root = h.fail_over_root().unwrap();
+        assert_eq!(new_root, ServerId(7));
+        assert_eq!(h.root(), new_root);
+        assert!(h.is_retired(old_root));
+        assert_eq!(h.server(new_root).area, root_rect());
+        assert_eq!(h.server(new_root).level, 0);
+        for c in children {
+            assert_eq!(h.server(c).parent, Some(new_root));
+        }
+        // Routing still reaches every leaf through the new root.
+        assert!(h.leaf_for(Point::new(10.0, 10.0)).is_some());
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn reconfigured_hierarchy_roundtrips_through_json() {
+        let mut h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let victim = h.leaves().next().unwrap().id;
+        let new_id = h.split_leaf(victim).unwrap();
+        h.retire_leaf(new_id).unwrap();
+        let crashed_root = h.root();
+        let _ = crashed_root;
+        h.fail_over_root().unwrap();
+        let back = Hierarchy::from_json(&h.to_json()).unwrap();
+        assert_eq!(h, back, "retired markers and the moved root must survive JSON");
+        assert_eq!(back.root(), h.root());
+        assert!(back.is_retired(new_id));
+    }
+
+    #[test]
+    fn rejected_mutation_leaves_the_tree_untouched() {
+        let mut h = HierarchyBuilder::grid(root_rect(), 1, 2).build().unwrap();
+        let before = h.clone();
+        assert!(h.split_leaf(ServerId(0)).is_err());
+        assert!(h.retire_leaf(ServerId(99)).is_err());
+        assert_eq!(h, before);
     }
 
     #[test]

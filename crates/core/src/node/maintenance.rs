@@ -38,6 +38,17 @@ impl LocationServer {
             self.next_path_maintenance_us = now + self.opts.path_refresh_us.max(1);
             if self.config.is_leaf() {
                 if let Some(p) = self.parent() {
+                    // Records with a bulk state transfer in flight are
+                    // excluded: bumping their epoch here would make the
+                    // source's copy look newer than the transfer and
+                    // wedge the ack-time removal — the target re-asserts
+                    // their paths itself once it owns them.
+                    let in_transfer: std::collections::BTreeSet<ObjectId> = self
+                        .pending
+                        .transfer_out
+                        .values()
+                        .flat_map(|t| t.oids.iter().copied())
+                        .collect();
                     // Refresh the records' own epochs too, so the
                     // keep-alive epoch chain stays monotone. All
                     // refreshes land as one atomic WAL batch with a
@@ -46,6 +57,7 @@ impl LocationServer {
                     let refreshed: Vec<(ObjectId, super::VisitorRecord)> = self
                         .visitors
                         .iter()
+                        .filter(|(oid, _)| !in_transfer.contains(oid))
                         .filter_map(|(oid, r)| match r {
                             super::VisitorRecord::Leaf { offered_acc_m, reg, .. } => Some((
                                 oid,
@@ -142,6 +154,20 @@ impl LocationServer {
         // retries the handover (soft-state philosophy).
         self.pending.handover_origin.retain(|_, o| o.deadline_us > now);
         self.pending.handover_relay.retain(|_, r| r.deadline_us > now);
+
+        // Bulk state transfers are the opposite of soft state: the
+        // source must not drop its records until the target durably
+        // holds them, so a missing ack means re-send, not give up.
+        let due: Vec<CorrId> = self
+            .pending
+            .transfer_out
+            .iter()
+            .filter(|(_, t)| t.deadline_us <= now)
+            .map(|(c, _)| *c)
+            .collect();
+        for corr in due {
+            self.resend_transfer(now, corr);
+        }
 
         self.drain_outbox()
     }

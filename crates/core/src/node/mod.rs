@@ -10,11 +10,13 @@ mod handover;
 mod maintenance;
 mod pending;
 mod queries;
+mod reconfig;
 mod registration;
 mod visitor;
 
 pub use pending::{
     HandoverOrigin, HandoverRelay, NnGather, Pending, PosWait, RangeGather, RelayAction,
+    TransferOut,
 };
 pub use visitor::{VisitorDb, VisitorRecord};
 
@@ -135,6 +137,16 @@ pub struct ServerStats {
     pub updates_dropped: u64,
     /// Event notifications emitted (as coordinator).
     pub events_fired: u64,
+    /// Bulk state transfers initiated (as reconfiguration source).
+    pub transfers_started: u64,
+    /// Bulk state transfers acked and completed (as source).
+    pub transfers_completed: u64,
+    /// Transfer re-sends after a missing ack.
+    pub transfer_retries: u64,
+    /// Visitor records accepted from bulk transfers (as target).
+    pub transfer_records_in: u64,
+    /// Path-sync responses applied (as a promoted root).
+    pub path_syncs: u64,
 }
 
 /// A location server node (sans-IO).
@@ -330,6 +342,16 @@ impl LocationServer {
             }
             Message::EventCancelReq { event_id } => self.on_event_cancel(from, event_id),
             Message::AgentLookup { oid, object } => self.on_agent_lookup(from, oid, object),
+            Message::StateTransfer { records, epoch, corr } => {
+                self.on_state_transfer(now, from, records, epoch, corr)
+            }
+            Message::StateTransferAck { epoch, corr, .. } => {
+                self.on_state_transfer_ack(epoch, corr)
+            }
+            Message::PathSyncReq { corr } => self.on_path_sync_req(from, corr),
+            Message::PathSyncRes { entries, corr } => {
+                self.on_path_sync_res(from, entries, corr)
+            }
             // Messages addressed to clients/objects; a server receiving
             // one (misrouted or late) ignores it.
             Message::RegisterRes { .. }

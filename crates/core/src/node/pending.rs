@@ -48,6 +48,31 @@ pub struct HandoverOrigin {
     pub deadline_us: Micros,
 }
 
+/// State parked by a source leaf with a bulk state transfer in flight
+/// (hierarchy reconfiguration: a sibling joined and took part of this
+/// leaf's area, or this leaf is draining before it leaves).
+///
+/// Until the target's durable ack arrives, the source **keeps its
+/// records and keeps answering** for them (transfer-in-progress
+/// routing); on deadline the transfer is re-sent with the records'
+/// then-current state and a fresh epoch (idempotent at the target via
+/// the per-object epoch guard). Records that leave by ordinary means
+/// meanwhile (handover, deregistration) simply drop out of the retry.
+#[derive(Debug, Clone)]
+pub struct TransferOut {
+    /// The sibling leaf receiving the records.
+    pub target: ServerId,
+    /// Objects still in flight.
+    pub oids: Vec<ObjectId>,
+    /// Epoch of the last (re-)send; the ack-time removal guard.
+    pub epoch: Micros,
+    /// Re-send deadline.
+    pub deadline_us: Micros,
+    /// Number of re-sends so far; drives the exponential retry
+    /// backoff (deadline doubles per attempt, capped at 8×).
+    pub attempts: u32,
+}
+
 /// State parked by an entry server awaiting a position-query answer.
 #[derive(Debug, Clone)]
 pub struct PosWait {
@@ -149,6 +174,8 @@ pub struct Pending {
     pub range_gather: BTreeMap<CorrId, RangeGather>,
     /// Entry servers gathering nearest-neighbor candidates.
     pub nn_gather: BTreeMap<CorrId, NnGather>,
+    /// Source leaves with a bulk state transfer awaiting its ack.
+    pub transfer_out: BTreeMap<CorrId, TransferOut>,
 }
 
 impl Pending {
@@ -166,6 +193,7 @@ impl Pending {
         self.pos_wait.values().for_each(|x| consider(x.deadline_us));
         self.range_gather.values().for_each(|x| consider(x.deadline_us));
         self.nn_gather.values().for_each(|x| consider(x.deadline_us));
+        self.transfer_out.values().for_each(|x| consider(x.deadline_us));
         min
     }
 
@@ -176,6 +204,7 @@ impl Pending {
             + self.pos_wait.len()
             + self.range_gather.len()
             + self.nn_gather.len()
+            + self.transfer_out.len()
     }
 
     /// True when nothing is parked.

@@ -1,0 +1,307 @@
+//! Hierarchy reconfiguration: live joins, leaves and root failover.
+//!
+//! The paper's tree is static (§4). This module lets it reshape while
+//! serving traffic:
+//!
+//! * **Join** — a new leaf splits a sibling's area; the sibling hands
+//!   the covered visitor records over in one bulk [`Message::StateTransfer`].
+//! * **Leave** — a leaf drains *all* of its records to the sibling
+//!   absorbing its area, then detaches.
+//! * **Root failover** — a fresh successor takes the root role and
+//!   rebuilds its forwarding table from its children (`pathSync`), on
+//!   top of the ordinary leaf keep-alives.
+//!
+//! Correctness leans on two existing mechanisms rather than a
+//! distributed commit:
+//!
+//! 1. **Atomic durable apply** — the target applies the whole transfer
+//!    as one WAL batch record ([`VisitorDb` `apply_all`]), so a crash
+//!    mid-apply recovers to *all-or-nothing*, never a partial batch.
+//! 2. **Per-object epoch guards** — the transfer carries a path-change
+//!    epoch; any newer per-object event (handover, re-registration)
+//!    wins on both sides, at apply time *and* at ack-removal time.
+//!
+//! The source keeps its records — and keeps answering queries and
+//! updates for them — until the target's ack arrives
+//! (*transfer-in-progress routing*), re-sending on a deadline. If
+//! either side crashes mid-transfer, the retry plus the ordinary
+//! per-object handover path (an update whose position falls outside
+//! the shrunk area hands the object over through the tree) converge
+//! the records onto exactly one side.
+
+use super::pending::TransferOut;
+use super::{LocationServer, VisitorRecord};
+use crate::area::ServerConfig;
+use crate::model::{Micros, ObjectId};
+use crate::proto::{Message, TransferRecord};
+use hiloc_net::{CorrId, Endpoint, Envelope, ServerId};
+use hiloc_geo::Rect;
+
+impl LocationServer {
+    /// Installs a new configuration record (the control plane reshaped
+    /// the tree: this server's area shrank or grew, its children or
+    /// parent changed, or it was promoted to root). Visitor records and
+    /// sightings are untouched — moving them is what the bulk state
+    /// transfer is for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the record belongs to a different server.
+    pub fn reconfigure(&mut self, config: ServerConfig) {
+        assert_eq!(config.id, self.config.id, "configuration record for a different server");
+        self.config = config;
+    }
+
+    /// Starts a bulk transfer of this leaf's visitor records to the
+    /// sibling leaf `target`: records whose sighting lies inside
+    /// `area` (a join took that part of this leaf's area), or **all**
+    /// records when `area` is `None` (this leaf is leaving). Returns
+    /// the envelopes to send.
+    ///
+    /// Records without a sighting (restore-on-demand pending after a
+    /// restart) are only included in a drain-all transfer — on an area
+    /// split their position is unknown, so they stay here until the
+    /// object reports and the ordinary handover path moves them.
+    ///
+    /// The records are **not** removed yet: the source keeps answering
+    /// for them until [`Message::StateTransferAck`] arrives, and
+    /// re-sends on a deadline (see `Pending::transfer_out`).
+    pub fn begin_transfer_out(
+        &mut self,
+        now: Micros,
+        target: ServerId,
+        area: Option<Rect>,
+    ) -> Vec<Envelope<Message>> {
+        let records = self.collect_transfer_records(area);
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let corr = self.corr.next_id();
+        let oids: Vec<ObjectId> = records.iter().map(|r| r.oid).collect();
+        self.pending.transfer_out.insert(
+            corr,
+            TransferOut {
+                target,
+                oids,
+                epoch: now,
+                deadline_us: now + self.opts.query_timeout_us,
+                attempts: 0,
+            },
+        );
+        self.stats.transfers_started += 1;
+        self.emit(target, Message::StateTransfer { records, epoch: now, corr });
+        self.drain()
+    }
+
+    /// The shipped form of one visitor's *current* state, or `None`
+    /// when this server no longer holds it as agent.
+    fn transfer_record_for(&self, oid: ObjectId) -> Option<TransferRecord> {
+        let VisitorRecord::Leaf { offered_acc_m, reg, .. } = self.visitors.get(oid)? else {
+            return None;
+        };
+        let sighting = self
+            .sightings
+            .get(oid.0)
+            .map(|s| crate::model::Sighting::new(oid, s.time_us, s.pos, s.acc_sens_m));
+        Some(TransferRecord { oid, reg: *reg, offered_acc_m: *offered_acc_m, sighting })
+    }
+
+    /// The records a transfer send ships. `area = None` means drain
+    /// everything.
+    fn collect_transfer_records(&self, area: Option<Rect>) -> Vec<TransferRecord> {
+        let mut records = Vec::new();
+        for (oid, rec) in self.visitors.iter() {
+            if !matches!(rec, VisitorRecord::Leaf { .. }) {
+                continue;
+            }
+            let r = self.transfer_record_for(oid).expect("matched a Leaf record above");
+            match (area, &r.sighting) {
+                // Area split: only records sighted inside the lost half.
+                (Some(a), Some(s)) if !a.contains_half_open(s.pos) => continue,
+                (Some(_), None) => continue,
+                _ => {}
+            }
+            records.push(r);
+        }
+        records
+    }
+
+    /// Re-collects and re-sends the still-unacked records of a timed
+    /// out transfer with a fresh epoch, backing off exponentially (the
+    /// deadline doubles per attempt, capped at 8× the query timeout).
+    /// Objects that left by ordinary means drop out; an emptied
+    /// transfer is abandoned.
+    pub(crate) fn resend_transfer(&mut self, now: Micros, corr: CorrId) {
+        let Some(mut t) = self.pending.transfer_out.remove(&corr) else { return };
+        let mut records = Vec::new();
+        t.oids.retain(|&oid| match self.transfer_record_for(oid) {
+            Some(r) => {
+                records.push(r);
+                true
+            }
+            None => false, // handed over / deregistered meanwhile
+        });
+        if records.is_empty() {
+            return;
+        }
+        t.epoch = now;
+        t.attempts += 1;
+        let backoff = self.opts.query_timeout_us.saturating_mul(1 << t.attempts.min(3));
+        t.deadline_us = now + backoff;
+        self.stats.transfer_retries += 1;
+        let target = t.target;
+        self.pending.transfer_out.insert(corr, t);
+        self.emit(target, Message::StateTransfer { records, epoch: now, corr });
+    }
+
+    /// Target side: durably apply the whole batch as **one atomic WAL
+    /// record**, re-assert every accepted forwarding path, tell each
+    /// registrant its new agent, and ack. Idempotent: a duplicate or
+    /// stale transfer loses per object against the epoch guard and is
+    /// still acknowledged (the source's removal guard skips newer
+    /// records symmetrically).
+    pub(crate) fn on_state_transfer(
+        &mut self,
+        now: Micros,
+        from: Endpoint,
+        records: Vec<TransferRecord>,
+        epoch: Micros,
+        corr: CorrId,
+    ) {
+        if !self.config.is_leaf() {
+            // Misrouted (transfers run between sibling leaves): ack
+            // nothing so the source keeps the records and retries.
+            return;
+        }
+        let mut accepted: Vec<(ObjectId, VisitorRecord)> = Vec::new();
+        for r in &records {
+            let fresh = self
+                .visitors
+                .get(r.oid)
+                .map(|existing| existing.epoch() <= epoch)
+                .unwrap_or(true);
+            if !fresh {
+                continue; // a newer path change won; skip silently
+            }
+            // Renegotiate against this leaf's own sensor floor (the
+            // same rule the per-object handover applies).
+            let offered = self.offered_for(&r.reg);
+            accepted.push((
+                r.oid,
+                VisitorRecord::Leaf { offered_acc_m: offered, reg: r.reg, epoch },
+            ));
+            if let Some(s) = r.sighting {
+                let stored = self.stored(&s, now);
+                self.sightings.upsert(stored);
+                let deltas = self.leaf_events.on_position(r.oid, s.pos);
+                self.emit_event_reports(deltas);
+            }
+        }
+        let n = accepted.len() as u32;
+        let oids: Vec<ObjectId> = accepted.iter().map(|(oid, _)| *oid).collect();
+        let regs: Vec<(Endpoint, ObjectId, f64)> = accepted
+            .iter()
+            .map(|(oid, rec)| match rec {
+                VisitorRecord::Leaf { reg, offered_acc_m, .. } => {
+                    (reg.registrant, *oid, *offered_acc_m)
+                }
+                VisitorRecord::Forward { .. } => unreachable!("transfers carry leaf records"),
+            })
+            .collect();
+        // One atomic WAL batch + one durability round for the whole
+        // transfer: a torn tail recovers all of it or none of it.
+        self.visitors.apply_all(accepted);
+        self.stats.transfer_records_in += u64::from(n);
+        let me = self.id();
+        for (registrant, oid, offered) in regs {
+            // Proactively fix the object's agent pointer; a lost notice
+            // heals later through the agent-lookup path.
+            self.emit(registrant, Message::AgentChanged { oid, new_agent: me, offered_acc_m: offered });
+        }
+        if let Some(p) = self.parent() {
+            for oid in oids {
+                self.emit(p, Message::CreatePath { oid, epoch });
+            }
+        }
+        self.emit(from, Message::StateTransferAck { accepted: n, epoch, corr });
+    }
+
+    /// Source side: the target durably holds the state of the send
+    /// this ack echoes — drop our copies of exactly that state (one
+    /// atomic WAL batch, guarded by the **acked** epoch, never the
+    /// latest). A delayed ack for an earlier send therefore cannot
+    /// delete a record that changed afterwards: such records stay and
+    /// the transfer keeps retrying them until a current ack lands.
+    pub(crate) fn on_state_transfer_ack(&mut self, epoch: Micros, corr: CorrId) {
+        let Some(t) = self.pending.transfer_out.get(&corr) else {
+            return; // duplicate or late ack for a finished transfer
+        };
+        let guard = epoch.min(t.epoch);
+        let oids = t.oids.clone();
+        let removed = self.visitors.remove_all_if_older(&oids, guard);
+        for oid in &removed {
+            self.sightings.remove(oid.0);
+            let deltas = self.leaf_events.on_remove(*oid);
+            self.emit_event_reports(deltas);
+        }
+        let t = self.pending.transfer_out.get_mut(&corr).expect("present above");
+        t.oids.retain(|oid| !removed.contains(oid));
+        if t.oids.is_empty() || epoch >= t.epoch {
+            // Current ack (or nothing left to move): the transfer is
+            // done — any survivors had newer epochs and stay here
+            // legitimately (they re-registered or handed over since).
+            self.pending.transfer_out.remove(&corr);
+            self.stats.transfers_completed += 1;
+        }
+    }
+
+    /// Starts a forwarding-table rebuild after this server took over
+    /// the root role: ask every child for the set of objects reachable
+    /// through it. Returns the envelopes to send. The leaves' ordinary
+    /// keep-alives rebuild the same state within one refresh period;
+    /// the sync merely gets there faster — a lost request needs no
+    /// retry.
+    pub fn begin_path_sync(&mut self) -> Vec<Envelope<Message>> {
+        let corr = self.corr.next_id();
+        let children: Vec<ServerId> = self.config.children.iter().map(|c| c.id).collect();
+        for child in children {
+            self.emit(child, Message::PathSyncReq { corr });
+        }
+        self.drain()
+    }
+
+    /// Child side of the rebuild: report every visitor record (each
+    /// one means "the path to this object runs through me").
+    pub(crate) fn on_path_sync_req(&mut self, from: Endpoint, corr: CorrId) {
+        let entries: Vec<(ObjectId, Micros)> =
+            self.visitors.iter().map(|(oid, rec)| (oid, rec.epoch())).collect();
+        self.emit(from, Message::PathSyncRes { entries, corr });
+    }
+
+    /// Root side of the rebuild: install a forwarding reference per
+    /// reported object (epoch-guarded, so a racing `createPath` or
+    /// `removePath` with a newer epoch wins).
+    pub(crate) fn on_path_sync_res(
+        &mut self,
+        from: Endpoint,
+        entries: Vec<(ObjectId, Micros)>,
+        _corr: CorrId,
+    ) {
+        let Some(child) = from.as_server() else { return };
+        if !self.config.children.iter().any(|c| c.id == child) {
+            return; // a stray answer from a server that is not our child
+        }
+        for (oid, epoch) in entries {
+            self.visitors.apply(oid, VisitorRecord::Forward { child, epoch });
+        }
+        self.stats.path_syncs += 1;
+    }
+
+    /// The power-loss recovery point of the durable visitor store:
+    /// WAL path plus fsynced byte count (`None` when volatile). The
+    /// simulator truncates the file to that offset after dropping this
+    /// server to model a power loss instead of a process crash.
+    pub fn wal_power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
+        self.visitors.power_loss_point()
+    }
+}

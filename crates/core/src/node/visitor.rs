@@ -220,6 +220,39 @@ impl VisitorDb {
         }
     }
 
+    /// Removes every listed record whose epoch is not newer than
+    /// `epoch` (the same guard as [`VisitorDb::remove_if_older`]),
+    /// logging all accepted removals as a **single atomic WAL record**
+    /// with one durability round — the transfer-completion twin of
+    /// [`VisitorDb::apply_all`]. Returns the removed object ids.
+    pub fn remove_all_if_older(&mut self, oids: &[ObjectId], epoch: Micros) -> Vec<ObjectId> {
+        let mut removed = Vec::new();
+        let mut ops: Vec<BatchOp<VisitorRecord>> = Vec::new();
+        for &oid in oids {
+            match self.mem.get(&oid) {
+                Some(rec) if rec.epoch() <= epoch => {
+                    self.mem.remove(&oid);
+                    ops.push(BatchOp::Del(oid.0));
+                    removed.push(oid);
+                }
+                _ => {}
+            }
+        }
+        if let Some(d) = &mut self.durable {
+            // Same stance as `apply`: durability failures must not
+            // corrupt protocol state.
+            let _ = d.apply_batch(ops);
+        }
+        removed
+    }
+
+    /// The power-loss recovery point of the durable backing: WAL path
+    /// plus fsynced byte count (`None` when volatile). See
+    /// `DurableMap::power_loss_point`.
+    pub fn power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
+        self.durable.as_ref().map(DurableMap::power_loss_point)
+    }
+
     /// Removes the record unconditionally.
     pub fn remove(&mut self, oid: ObjectId) -> Option<VisitorRecord> {
         let rec = self.mem.remove(&oid);
@@ -293,6 +326,18 @@ mod tests {
         assert!(db.get(ObjectId(1)).is_some());
         assert!(db.remove_if_older(ObjectId(1), 100).is_some());
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn batch_remove_respects_epoch_guard() {
+        let mut db = VisitorDb::volatile();
+        db.apply(ObjectId(1), leaf_rec(10));
+        db.apply(ObjectId(2), leaf_rec(10));
+        db.apply(ObjectId(3), leaf_rec(99)); // re-registered after the transfer snapshot
+        let removed = db.remove_all_if_older(&[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)], 50);
+        assert_eq!(removed, vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(db.len(), 1);
+        assert!(db.get(ObjectId(3)).is_some(), "newer record must survive the batch removal");
     }
 
     #[test]

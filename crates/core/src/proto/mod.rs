@@ -21,6 +21,25 @@ const MAX_ITEMS: u32 = 1_000_000;
 /// One `(object, location descriptor)` result pair.
 pub type ObjectLocation = (ObjectId, LocationDescriptor);
 
+/// One visitor's complete agent-side state, moved by a bulk
+/// [`Message::StateTransfer`] during hierarchy reconfiguration (a
+/// server joining or leaving the tree): the registration info the
+/// paper keeps persistent plus the volatile sighting, when the source
+/// still holds one (a freshly restarted source may not — the target
+/// then restores it on demand, §5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// The transferred object.
+    pub oid: ObjectId,
+    /// Registration info (`v.regInfo`), moved verbatim.
+    pub reg: RegInfo,
+    /// Accuracy the source offered (the target renegotiates against
+    /// its own sensor floor and notifies the registrant on change).
+    pub offered_acc_m: f64,
+    /// The source's current sighting, when one exists.
+    pub sighting: Option<Sighting>,
+}
+
 /// A protocol message.
 ///
 /// All positions are in the deployment's local planar frame; the
@@ -432,6 +451,60 @@ pub enum Message {
         /// The tracked object's endpoint (receives the answer).
         object: Endpoint,
     },
+
+    // --------------------------------------- hierarchy reconfiguration
+    //
+    // The paper's tree is static (§4); these messages implement live
+    // reshaping: a joining server receives the visitor records its new
+    // area covers from the sibling it split (bulk handover), a leaving
+    // server drains everything to the sibling absorbing its area, and
+    // a root successor rebuilds its forwarding table from its children.
+    /// Bulk visitor handover from a source leaf to a sibling leaf
+    /// during a join (the source's area was split) or a leave (the
+    /// source drains before detaching). The target applies the whole
+    /// batch as **one atomic WAL record**, re-asserts each forwarding
+    /// path (`createPath` with `epoch`), and acks; the source keeps
+    /// answering for the records — and retries on a timer — until the
+    /// ack arrives, then deletes its copies under the same epoch guard.
+    StateTransfer {
+        /// The transferred visitors.
+        records: Vec<TransferRecord>,
+        /// Path-change epoch of the transfer: stale replays lose
+        /// against any newer per-object path change (handover or
+        /// re-registration) on both sides.
+        epoch: Micros,
+        /// Correlation id, identifying the transfer across retries.
+        corr: CorrId,
+    },
+    /// The target durably applied a [`Message::StateTransfer`].
+    StateTransferAck {
+        /// Records accepted (stale ones are counted out but still
+        /// acknowledged — the source's epoch guard skips them too).
+        accepted: u32,
+        /// Echo of the acknowledged transfer's epoch: the source's
+        /// removal guard must use the epoch of the send this ack
+        /// answers, not its latest — a delayed ack for an earlier
+        /// send must not delete records that changed since.
+        epoch: Micros,
+        /// Correlation id of the transfer.
+        corr: CorrId,
+    },
+    /// A promoted root successor asks a child for the set of visitors
+    /// reachable through it, to rebuild its forwarding table without
+    /// waiting a full keep-alive period.
+    PathSyncReq {
+        /// Correlation id.
+        corr: CorrId,
+    },
+    /// A child's answer to [`Message::PathSyncReq`]: every object it
+    /// has a record for, with the record's path-change epoch. The new
+    /// root installs a forwarding reference per entry (epoch-guarded).
+    PathSyncRes {
+        /// `(object, record epoch)` pairs.
+        entries: Vec<(ObjectId, Micros)>,
+        /// Correlation id.
+        corr: CorrId,
+    },
 }
 
 impl Message {
@@ -477,6 +550,10 @@ impl Message {
             Message::EventCancelReq { .. } => "eventCancelReq",
             Message::PositionProbe { .. } => "positionProbe",
             Message::AgentLookup { .. } => "agentLookup",
+            Message::StateTransfer { .. } => "stateTransfer",
+            Message::StateTransferAck { .. } => "stateTransferAck",
+            Message::PathSyncReq { .. } => "pathSyncReq",
+            Message::PathSyncRes { .. } => "pathSyncRes",
         }
     }
 }
@@ -522,6 +599,19 @@ fn predicate_len(p: &Predicate) -> usize {
                 1 + oid.map(|_| OID_LEN).unwrap_or(0)
             }
         }
+}
+
+fn transfer_records_len(records: &[TransferRecord]) -> usize {
+    4 + records
+        .iter()
+        .map(|r| {
+            OID_LEN + REG_LEN + 8 + 1 + r.sighting.map(|_| SIGHTING_LEN).unwrap_or(0)
+        })
+        .sum::<usize>()
+}
+
+fn path_entries_len(entries: &[(ObjectId, Micros)]) -> usize {
+    4 + entries.len() * (OID_LEN + 8)
 }
 
 fn event_kind_len(k: &EventKind) -> usize {
@@ -591,6 +681,12 @@ impl Message {
             Message::EventCancelReq { .. } => 8,
             Message::PositionProbe { .. } => OID_LEN,
             Message::AgentLookup { .. } => OID_LEN + wire::ENDPOINT_LEN,
+            Message::StateTransfer { records, .. } => {
+                transfer_records_len(records) + 8 + CORR_LEN
+            }
+            Message::StateTransferAck { .. } => 4 + 8 + CORR_LEN,
+            Message::PathSyncReq { .. } => CORR_LEN,
+            Message::PathSyncRes { entries, .. } => path_entries_len(entries) + CORR_LEN,
         }
     }
 }
@@ -735,6 +831,45 @@ fn get_range_query(buf: &mut &[u8]) -> Option<RangeQuery> {
     Some(RangeQuery { area, req_acc_m: req_acc, req_overlap })
 }
 
+fn put_transfer_record(buf: &mut Vec<u8>, r: &TransferRecord) {
+    put_oid(buf, r.oid);
+    put_reg(buf, &r.reg);
+    wire::put_f64(buf, r.offered_acc_m);
+    match &r.sighting {
+        None => wire::put_u8(buf, 0),
+        Some(s) => {
+            wire::put_u8(buf, 1);
+            put_sighting(buf, s);
+        }
+    }
+}
+
+fn get_transfer_record(buf: &mut &[u8]) -> Option<TransferRecord> {
+    let oid = get_oid(buf)?;
+    let reg = get_reg(buf)?;
+    let offered = wire::get_f64(buf)?;
+    if !(offered >= 0.0 && offered.is_finite()) {
+        return None;
+    }
+    let sighting = match wire::get_u8(buf)? {
+        0 => None,
+        1 => Some(get_sighting(buf)?),
+        _ => return None,
+    };
+    Some(TransferRecord { oid, reg, offered_acc_m: offered, sighting })
+}
+
+fn put_path_entries(buf: &mut Vec<u8>, entries: &[(ObjectId, Micros)]) {
+    wire::put_vec(buf, entries, |b, (oid, epoch)| {
+        put_oid(b, *oid);
+        wire::put_u64(b, *epoch);
+    });
+}
+
+fn get_path_entries(buf: &mut &[u8]) -> Option<Vec<(ObjectId, Micros)>> {
+    wire::get_vec(buf, MAX_ITEMS, |b| Some((get_oid(b)?, wire::get_u64(b)?)))
+}
+
 fn put_oids(buf: &mut Vec<u8>, oids: &[ObjectId]) {
     wire::put_vec(buf, oids, |b, o| put_oid(b, *o));
 }
@@ -789,6 +924,10 @@ tags! {
     T_AGENT_LOOKUP = 37;
     T_UPDATE_BATCH = 38;
     T_UPDATE_BATCH_ACK = 39;
+    T_STATE_TRANSFER = 40;
+    T_STATE_TRANSFER_ACK = 41;
+    T_PATH_SYNC_REQ = 42;
+    T_PATH_SYNC_RES = 43;
 }
 
 impl WireCodec for Message {
@@ -1033,6 +1172,27 @@ impl WireCodec for Message {
                 put_oid(buf, *oid);
                 wire::put_endpoint(buf, *object);
             }
+            Message::StateTransfer { records, epoch, corr } => {
+                wire::put_u8(buf, T_STATE_TRANSFER);
+                wire::put_vec(buf, records, put_transfer_record);
+                wire::put_u64(buf, *epoch);
+                put_corr(buf, *corr);
+            }
+            Message::StateTransferAck { accepted, epoch, corr } => {
+                wire::put_u8(buf, T_STATE_TRANSFER_ACK);
+                wire::put_u32(buf, *accepted);
+                wire::put_u64(buf, *epoch);
+                put_corr(buf, *corr);
+            }
+            Message::PathSyncReq { corr } => {
+                wire::put_u8(buf, T_PATH_SYNC_REQ);
+                put_corr(buf, *corr);
+            }
+            Message::PathSyncRes { entries, corr } => {
+                wire::put_u8(buf, T_PATH_SYNC_RES);
+                put_path_entries(buf, entries);
+                put_corr(buf, *corr);
+            }
         }
     }
 
@@ -1212,6 +1372,21 @@ impl WireCodec for Message {
                 oid: get_oid(buf)?,
                 object: wire::get_endpoint(buf)?,
             },
+            T_STATE_TRANSFER => Message::StateTransfer {
+                records: wire::get_vec(buf, MAX_ITEMS, get_transfer_record)?,
+                epoch: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_STATE_TRANSFER_ACK => Message::StateTransferAck {
+                accepted: wire::get_u32(buf)?,
+                epoch: wire::get_u64(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_PATH_SYNC_REQ => Message::PathSyncReq { corr: get_corr(buf)? },
+            T_PATH_SYNC_RES => Message::PathSyncRes {
+                entries: get_path_entries(buf)?,
+                corr: get_corr(buf)?,
+            },
             _ => return None,
         })
     }
@@ -1337,6 +1512,33 @@ mod tests {
             Message::EventCancelReq { event_id: 11 },
             Message::PositionProbe { oid: ObjectId(42) },
             Message::AgentLookup { oid: ObjectId(42), object: ClientId(9).into() },
+            Message::StateTransfer {
+                records: vec![
+                    TransferRecord {
+                        oid: ObjectId(42),
+                        reg,
+                        offered_acc_m: 25.0,
+                        sighting: Some(s),
+                    },
+                    TransferRecord {
+                        // A post-restart record whose sighting was lost.
+                        oid: ObjectId(43),
+                        reg,
+                        offered_acc_m: 30.0,
+                        sighting: None,
+                    },
+                ],
+                epoch: 2_000,
+                corr: CorrId(9),
+            },
+            Message::StateTransfer { records: vec![], epoch: 2_000, corr: CorrId(10) },
+            Message::StateTransferAck { accepted: 2, epoch: 2_000, corr: CorrId(9) },
+            Message::PathSyncReq { corr: CorrId(11) },
+            Message::PathSyncRes {
+                entries: vec![(ObjectId(42), 2_000), (ObjectId(43), 2_001)],
+                corr: CorrId(11),
+            },
+            Message::PathSyncRes { entries: vec![], corr: CorrId(12) },
         ]
     }
 
@@ -1385,9 +1587,13 @@ mod tests {
             Message::AgentLookup { .. } => 36,
             Message::UpdateBatch { .. } => 37,
             Message::UpdateBatchAck { .. } => 38,
+            Message::StateTransfer { .. } => 39,
+            Message::StateTransferAck { .. } => 40,
+            Message::PathSyncReq { .. } => 41,
+            Message::PathSyncRes { .. } => 42,
         }
     }
-    const VARIANT_COUNT: usize = 39;
+    const VARIANT_COUNT: usize = 43;
 
     #[test]
     fn samples_cover_every_variant() {

@@ -19,6 +19,21 @@ use std::collections::{HashMap, VecDeque};
 /// protocol loops in development).
 const MAX_STEPS_PER_OP: usize = 1_000_000;
 
+/// How a scripted crash loses state (see
+/// [`SimDeployment::crash_server_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Process crash: volatile state and in-flight messages are lost,
+    /// but OS-buffered WAL bytes survive (the file handle's buffers
+    /// flush when the process dies gracefully enough for the OS to
+    /// keep its page cache).
+    Process,
+    /// Power loss: additionally drops every WAL byte that was not yet
+    /// fsynced — the durable store recovers exactly the synced prefix,
+    /// with a torn tail repaired by the WAL's usual scan.
+    PowerLoss,
+}
+
 /// The outcome of a position update, as seen by the tracked object.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UpdateOutcome {
@@ -142,6 +157,11 @@ impl SimDeployment {
     ///
     /// Panics when the durable store cannot be reopened.
     pub fn restart_server(&mut self, id: ServerId) {
+        assert!(
+            !self.hierarchy.is_retired(id),
+            "server {} is retired and can never rejoin under that id",
+            id.0
+        );
         let cfg = self.hierarchy.server(id).clone();
         if !self.down[id.0 as usize] {
             // Restarting a *running* server: release the durable
@@ -175,7 +195,25 @@ impl SimDeployment {
     ///
     /// Panics when the server is already down.
     pub fn crash_server(&mut self, id: ServerId) {
+        self.crash_server_with(id, CrashMode::Process);
+    }
+
+    /// [`SimDeployment::crash_server`] with an explicit [`CrashMode`]:
+    /// `PowerLoss` additionally truncates the server's visitor WAL
+    /// back to its last fsynced byte, modeling the page cache dying
+    /// with the machine (with `SyncPolicy::Always` outside a group
+    /// commit nothing acknowledged is ever un-synced, so power loss
+    /// and process crash then coincide).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server is already down.
+    pub fn crash_server_with(&mut self, id: ServerId, mode: CrashMode) {
         assert!(!self.down[id.0 as usize], "server {} is already down", id.0);
+        let loss_point = match mode {
+            CrashMode::Process => None,
+            CrashMode::PowerLoss => self.servers[id.0 as usize].wal_power_loss_point(),
+        };
         // Replace the instance with a volatile placeholder immediately:
         // this releases the durable store's file handles at the crash
         // instant, so the restart reopens the WAL exclusively.
@@ -184,6 +222,16 @@ impl SimDeployment {
         volatile.durability = None;
         self.servers[id.0 as usize] =
             LocationServer::new(cfg, volatile).expect("volatile placeholder construction");
+        if let Some((wal_path, synced)) = loss_point {
+            // The drop above flushed user-space buffers into the page
+            // cache; losing power discards everything past the last
+            // fsync, which truncation models exactly.
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .expect("power-loss truncation: WAL must exist");
+            f.set_len(synced).expect("power-loss truncation");
+        }
         self.down[id.0 as usize] = true;
         self.net.discard_where(|env| env.to == Endpoint::Server(id));
     }
@@ -191,6 +239,126 @@ impl SimDeployment {
     /// Whether a server is currently crashed.
     pub fn is_down(&self, id: ServerId) -> bool {
         self.down[id.0 as usize]
+    }
+
+    /// Whether a server has left the hierarchy for good (a retired
+    /// leaf, or a root replaced by failover). Its id slot remains but
+    /// it can never be restarted.
+    pub fn is_retired(&self, id: ServerId) -> bool {
+        self.hierarchy.is_retired(id)
+    }
+
+    // ------------------------------------------------- reconfiguration
+
+    /// **Join**: a new server enters the running deployment by
+    /// splitting the service area of the existing leaf `split` (see
+    /// [`crate::area::Hierarchy::split_leaf`]). The new server starts
+    /// empty (with its own durable store when durability is on); the
+    /// split leaf immediately initiates a bulk state transfer of the
+    /// covered visitor records, which retries until the newcomer has
+    /// durably acked them. Updates, queries and handovers keep flowing
+    /// throughout. Returns the new server's id.
+    ///
+    /// When `split` is down at the call, only the configuration
+    /// changes: the transfer then happens record-by-record through the
+    /// ordinary handover path once `split` restarts and its objects
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `split` cannot be split (not an active leaf, or a
+    /// root-leaf).
+    pub fn spawn_server(&mut self, split: ServerId) -> ServerId {
+        let new_id = self.hierarchy.split_leaf(split).expect("split_leaf rejected");
+        let cfg = self.hierarchy.server(new_id).clone();
+        self.servers
+            .push(LocationServer::new(cfg, self.opts.clone()).expect("spawned server construction"));
+        self.down.push(false);
+        let parent = self.hierarchy.server(split).parent.expect("split leaf has a parent");
+        self.push_config(split);
+        self.push_config(parent);
+        if !self.down[split.0 as usize] {
+            let now = self.net.now_us();
+            let area = self.hierarchy.server(new_id).area;
+            let out = self.servers[split.0 as usize].begin_transfer_out(now, new_id, Some(area));
+            for e in out {
+                self.net.send(e);
+            }
+        }
+        new_id
+    }
+
+    /// **Leave**: the leaf `id` retires from the running deployment
+    /// (see [`crate::area::Hierarchy::retire_leaf`]): a sibling leaf
+    /// absorbs its area, and `id` drains **all** of its visitor
+    /// records to it in a bulk state transfer (retried until acked).
+    /// The retired server's configuration degenerates to an empty
+    /// area, so even a crash-restart straggler pushes any leftover
+    /// records back into the live tree via ordinary handovers.
+    /// Returns the absorbing sibling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is down (a dead server cannot drain — crash
+    /// scenarios retire it after restart), or when the hierarchy
+    /// rejects the retirement (no mergeable sibling, root-leaf).
+    pub fn retire_server(&mut self, id: ServerId) -> ServerId {
+        assert!(!self.down[id.0 as usize], "server {} is down and cannot drain", id.0);
+        let absorber = self.hierarchy.retire_leaf(id).expect("retire_leaf rejected");
+        let parent = self.hierarchy.server(absorber).parent.expect("absorber has a parent");
+        self.push_config(absorber);
+        self.push_config(parent);
+        self.push_config(id);
+        let now = self.net.now_us();
+        let out = self.servers[id.0 as usize].begin_transfer_out(now, absorber, None);
+        for e in out {
+            self.net.send(e);
+        }
+        absorber
+    }
+
+    /// **Root failover**: a designated successor (a fresh server id)
+    /// takes over the crashed root's role — same area, same children —
+    /// and rebuilds its forwarding table by path-syncing against the
+    /// children (the leaves' ordinary keep-alives rebuild the same
+    /// state within one refresh period regardless). The old root is
+    /// retired and can never return under its id. Returns the
+    /// successor's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the current root is down — failover while the
+    /// root is alive would split the brain.
+    pub fn promote_root(&mut self) -> ServerId {
+        let old = self.hierarchy.root();
+        assert!(
+            self.down[old.0 as usize],
+            "root failover requires the root (server {}) to be down",
+            old.0
+        );
+        let new_id = self.hierarchy.fail_over_root().expect("fail_over_root rejected");
+        let cfg = self.hierarchy.server(new_id).clone();
+        self.servers
+            .push(LocationServer::new(cfg, self.opts.clone()).expect("successor construction"));
+        self.down.push(false);
+        let children: Vec<ServerId> =
+            self.hierarchy.server(new_id).children.iter().map(|c| c.id).collect();
+        for child in children {
+            self.push_config(child);
+        }
+        let out = self.servers[new_id.0 as usize].begin_path_sync();
+        for e in out {
+            self.net.send(e);
+        }
+        new_id
+    }
+
+    /// Installs the hierarchy's current configuration record into the
+    /// running (or placeholder) server instance. Crashed servers get
+    /// theirs on restart, which re-reads the hierarchy.
+    fn push_config(&mut self, id: ServerId) {
+        let cfg = self.hierarchy.server(id).clone();
+        self.servers[id.0 as usize].reconfigure(cfg);
     }
 
     /// Number of messages blackholed at crashed servers so far.
@@ -235,6 +403,11 @@ impl SimDeployment {
             total.probes_sent += st.probes_sent;
             total.updates_dropped += st.updates_dropped;
             total.events_fired += st.events_fired;
+            total.transfers_started += st.transfers_started;
+            total.transfers_completed += st.transfers_completed;
+            total.transfer_retries += st.transfer_retries;
+            total.transfer_records_in += st.transfer_records_in;
+            total.path_syncs += st.path_syncs;
         }
         total
     }

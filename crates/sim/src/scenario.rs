@@ -35,7 +35,7 @@ use crate::{Fleet, FleetConfig};
 use hiloc_core::area::{Hierarchy, HierarchyBuilder};
 use hiloc_core::model::{semantics, LocationDescriptor, Micros, ObjectId, RangeQuery, UpdatePolicy, SECOND};
 use hiloc_core::node::{DurabilityOptions, ServerOptions, StorageSyncPolicy, VisitorRecord};
-use hiloc_core::runtime::SimDeployment;
+use hiloc_core::runtime::{CrashMode, SimDeployment};
 use hiloc_geo::{Point, Rect, Region};
 use hiloc_net::{Endpoint, FaultPlan, LatencyModel, ServerId};
 use hiloc_util::tempdir::TempDir;
@@ -70,6 +70,12 @@ pub enum FaultAction {
     /// Crash a server: volatile state and in-flight messages to it are
     /// lost; its durable store stays on disk.
     Crash(ServerId),
+    /// Crash a server with power loss: like [`FaultAction::Crash`],
+    /// but WAL bytes not yet fsynced are dropped too. (With the
+    /// harness's `SyncPolicy::Always` stores nothing acknowledged is
+    /// ever un-synced, so the record-for-record recovery check still
+    /// applies.)
+    PowerLoss(ServerId),
     /// Restart a crashed (or running) server, replaying durable state.
     /// The harness verifies the recovered visitor records against the
     /// crash-instant snapshot.
@@ -77,6 +83,21 @@ pub enum FaultAction {
     /// Replace the fault plan with [`FaultPlan::none`] ahead of
     /// schedule.
     HealNetwork,
+    /// **Join**: a new server splits the area of the given leaf and
+    /// receives the covered records via bulk state transfer. The new
+    /// id is always the next dense slot (`hierarchy.len()` at apply
+    /// time) — predictable, so fault plans can target it.
+    Spawn {
+        /// The leaf whose area the newcomer splits.
+        split: ServerId,
+    },
+    /// **Leave**: the given leaf drains everything to the sibling
+    /// absorbing its area and detaches.
+    Retire(ServerId),
+    /// **Root failover**: promote a fresh successor over the crashed
+    /// root (the root must have been crashed by an earlier event and
+    /// stays retired forever — no `Restart` for it).
+    PromoteRoot,
 }
 
 /// A fault action bound to a step of the scenario clock (applied
@@ -122,7 +143,13 @@ pub struct ScenarioSpec {
     /// Whether visitor databases are durable (required for crash
     /// scenarios that must not lose registrations).
     pub durable: bool,
-    /// Scripted crash/restart/heal events.
+    /// Issue a position query and a range query through the current
+    /// root every step, mid-chaos, recording the outcomes in the trace
+    /// — "mixed update/query load" for crash and reconfiguration
+    /// scenarios. Mid-chaos answers may time out or be stale (faults
+    /// are active); the settle-phase oracle is what must be green.
+    pub mid_chaos_queries: bool,
+    /// Scripted crash/restart/heal/reshape events.
     pub events: Vec<ScenarioEvent>,
 }
 
@@ -143,6 +170,7 @@ impl Default for ScenarioSpec {
             latency: LatencyModel::default(),
             faults: FaultPlan::none(),
             durable: false,
+            mid_chaos_queries: false,
             events: Vec::new(),
         }
     }
@@ -162,6 +190,10 @@ pub struct ScenarioRun {
     pub net_counters: (u64, u64, u64),
     /// Messages blackholed at crashed servers.
     pub blackholed: u64,
+    /// Aggregated server counters at the verdict (lets scenarios
+    /// assert that the machinery under test — transfers, retries,
+    /// path syncs — actually ran).
+    pub stats: hiloc_core::node::ServerStats,
 }
 
 /// The naive in-memory oracle: for every live object, the position and
@@ -315,11 +347,16 @@ impl ScenarioSpec {
                 inbox.agent_changes,
                 inbox.probes_answered,
             ));
+            if self.mid_chaos_queries {
+                trace.push(self.mid_chaos_query(step, &mut ls));
+            }
         }
 
         // ---- settle: heal everything, then let the soft state quiesce.
+        // Retired servers (left by `Retire`, or a root replaced by
+        // failover) are down for good and exempt.
         for cfg in ls.hierarchy().servers().to_vec() {
-            if ls.is_down(cfg.id) {
+            if ls.is_down(cfg.id) && !ls.is_retired(cfg.id) {
                 self.fail(
                     &trace,
                     &format!("server {} still down at settle: every Crash needs a Restart", cfg.id.0),
@@ -363,8 +400,34 @@ impl ScenarioSpec {
             virtual_end_us: ls.now_us(),
             net_counters: ls.net_counters(),
             blackholed: ls.blackholed(),
+            stats: ls.total_stats(),
             trace,
         }
+    }
+
+    /// One round of mixed query load against the *current* root while
+    /// faults are active. Outcomes go into the trace (deterministic
+    /// per seed); correctness is only demanded of the settled verdict.
+    fn mid_chaos_query(&self, step: u32, ls: &mut SimDeployment) -> String {
+        let root = ls.hierarchy().root();
+        let oid = ObjectId(u64::from(step) % self.num_objects);
+        let pos = match ls.pos_query(root, oid) {
+            Ok(ld) => format!("pos({oid})=({:.1},{:.1})", ld.pos.x, ld.pos.y),
+            Err(e) => format!("pos({oid})=err:{e:?}"),
+        };
+        let a = self.area_m;
+        let quadrant = match step % 4 {
+            0 => Rect::new(Point::new(0.0, 0.0), Point::new(a / 2.0, a / 2.0)),
+            1 => Rect::new(Point::new(a / 2.0, 0.0), Point::new(a, a / 2.0)),
+            2 => Rect::new(Point::new(0.0, a / 2.0), Point::new(a / 2.0, a)),
+            _ => Rect::new(Point::new(a / 2.0, a / 2.0), Point::new(a, a)),
+        };
+        let query = RangeQuery::new(Region::from(quadrant), FleetConfig::default().min_acc_m, 0.5);
+        let range = match ls.range_query(root, query) {
+            Ok(ans) => format!("range={}:{}", ans.objects.len(), ans.complete),
+            Err(e) => format!("range=err:{e:?}"),
+        };
+        format!("query step {step:>3} via root {}: {pos} {range}", root.0)
     }
 
     fn apply_event(
@@ -386,6 +449,47 @@ impl ScenarioSpec {
                 ));
                 crash_snapshots.insert(id.0, snap);
                 ls.crash_server(id);
+            }
+            FaultAction::PowerLoss(id) => {
+                let snap = snapshot_visitors(ls, id);
+                trace.push(format!(
+                    "event@{}: power loss at server {} ({} visitor records, t={}us)",
+                    ev.at_step,
+                    id.0,
+                    snap.len(),
+                    ls.now_us()
+                ));
+                crash_snapshots.insert(id.0, snap);
+                ls.crash_server_with(id, CrashMode::PowerLoss);
+            }
+            FaultAction::Spawn { split } => {
+                let new_id = ls.spawn_server(split);
+                trace.push(format!(
+                    "event@{}: server {} joined, splitting leaf {} (t={}us)",
+                    ev.at_step,
+                    new_id.0,
+                    split.0,
+                    ls.now_us()
+                ));
+            }
+            FaultAction::Retire(id) => {
+                let absorber = ls.retire_server(id);
+                trace.push(format!(
+                    "event@{}: server {} left; sibling {} absorbs its area (t={}us)",
+                    ev.at_step,
+                    id.0,
+                    absorber.0,
+                    ls.now_us()
+                ));
+            }
+            FaultAction::PromoteRoot => {
+                let new_root = ls.promote_root();
+                trace.push(format!(
+                    "event@{}: root failed over to successor {} (t={}us)",
+                    ev.at_step,
+                    new_root.0,
+                    ls.now_us()
+                ));
             }
             FaultAction::Restart(id) => {
                 ls.restart_server(id);

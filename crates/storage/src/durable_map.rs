@@ -297,6 +297,15 @@ impl<V: RecordValue> DurableMap<V> {
         self.wal.len_bytes()
     }
 
+    /// The power-loss recovery point: the WAL file path and the number
+    /// of bytes guaranteed on stable storage. A simulator models power
+    /// loss (as opposed to a process crash, which flushes buffers on
+    /// drop) by truncating the file to that offset *after* dropping
+    /// this map.
+    pub fn power_loss_point(&self) -> (PathBuf, u64) {
+        (self.wal.path().to_path_buf(), self.wal.synced_bytes())
+    }
+
     /// Writes a snapshot atomically (`snapshot.tmp` → fsync → rename)
     /// and resets the WAL.
     ///
@@ -685,6 +694,34 @@ mod tests {
         let mut db = db;
         db.begin_group_commit();
         db.end_group_commit().unwrap();
+    }
+
+    #[test]
+    fn power_loss_point_separates_synced_from_buffered() {
+        let dir = TempDir::new("powerloss");
+        let point;
+        {
+            // OsFlush: mutations reach the OS but are never fsynced.
+            let mut db: DurableMap<Vec<u8>> =
+                DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
+            db.insert(1, b"durable".to_vec()).unwrap();
+            db.sync().unwrap();
+            db.insert(2, b"buffered".to_vec()).unwrap();
+            point = db.power_loss_point();
+            // A process crash (plain drop) keeps both records…
+        }
+        let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
+        assert_eq!(db.len(), 2, "a process crash flushes buffers on drop");
+        drop(db);
+        // …while a power loss drops everything past the synced offset.
+        let (path, synced) = point;
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(synced).unwrap();
+        drop(f);
+        let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(1).unwrap(), b"durable");
+        assert!(db.get(2).is_none(), "the un-fsynced record must be gone");
     }
 
     #[test]

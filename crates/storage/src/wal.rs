@@ -27,6 +27,12 @@ pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
     len_bytes: u64,
+    /// Bytes guaranteed on stable storage (advanced by [`Wal::sync`]
+    /// only). Appends and [`Wal::flush`] leave bytes in OS/user-space
+    /// buffers, which a power loss — unlike a process crash — discards;
+    /// the simulator truncates the file back to this offset to model
+    /// that (see `power_loss_point` on the durable map).
+    synced_bytes: u64,
     records: u64,
 }
 
@@ -84,6 +90,8 @@ impl Wal {
             path,
             writer: BufWriter::new(file),
             len_bytes: offset as u64,
+            // Everything that survived the scan is on disk already.
+            synced_bytes: offset as u64,
             records: records.len() as u64,
         };
         Ok((wal, records))
@@ -118,6 +126,7 @@ impl Wal {
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        self.synced_bytes = self.len_bytes;
         Ok(())
     }
 
@@ -144,6 +153,7 @@ impl Wal {
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
         self.len_bytes = 0;
+        self.synced_bytes = 0;
         self.records = 0;
         Ok(())
     }
@@ -151,6 +161,14 @@ impl Wal {
     /// Size of the log in bytes (including record headers).
     pub fn len_bytes(&self) -> u64 {
         self.len_bytes
+    }
+
+    /// Bytes known to be on stable storage (see [`Wal::sync`]). A
+    /// simulated power loss truncates the file to this offset; a
+    /// simulated process crash keeps everything (the OS flushes
+    /// user-space buffers when the handle drops).
+    pub fn synced_bytes(&self) -> u64 {
+        self.synced_bytes
     }
 
     /// Number of records appended (including replayed ones).
@@ -282,6 +300,32 @@ mod tests {
 
         let (_, replayed) = Wal::open(&path).unwrap();
         assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn synced_bytes_advances_only_on_sync() {
+        let dir = TempDir::new("wal-synced");
+        let path = dir.path().join("wal.log");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        assert_eq!(wal.synced_bytes(), 0);
+        wal.append(b"one").unwrap();
+        assert_eq!(wal.synced_bytes(), 0, "append must not count as durable");
+        wal.flush().unwrap();
+        assert_eq!(wal.synced_bytes(), 0, "an OS flush must not count as durable");
+        wal.sync().unwrap();
+        assert_eq!(wal.synced_bytes(), wal.len_bytes());
+        wal.append(b"two").unwrap();
+        let synced = wal.synced_bytes();
+        assert!(synced < wal.len_bytes());
+        // Truncating to the synced offset (a power loss) leaves a log
+        // that replays exactly the synced prefix.
+        drop(wal);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(synced).unwrap();
+        drop(f);
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, vec![b"one".to_vec()]);
+        assert_eq!(wal.synced_bytes(), synced);
     }
 
     #[test]
