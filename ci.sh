@@ -47,6 +47,15 @@ echo "==> churn scenario suite (reconfiguration under faults)"
 cargo test -q --offline -p hiloc-sim --test churn_scenarios
 cargo test -q --offline -p hiloc-core --test reconfig
 
+# Generative chaos: a fixed-seed batch of 64 generated scenarios (32
+# with the §6.5 caches off, 32 on under bounded-staleness semantics),
+# all oracle-checked, plus the corpus of shrunk reproducers from bugs
+# the fuzzer has already found. Fixed seeds keep the gate bit-for-bit
+# deterministic and CI time bounded; HILOC_FUZZ_CASES scales local runs.
+echo "==> fuzz gate (generated scenarios, caches off+on, shrunk-reproducer corpus)"
+cargo test -q --offline -p hiloc-sim --test fuzz_scenarios
+cargo test -q --offline -p hiloc-sim --test fuzz_regressions
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -569,8 +569,14 @@ impl Hierarchy {
             level: 0,
         });
         next.retired.push(false);
-        for c in &old_cfg.children {
-            next.servers[c.id.0 as usize].parent = Some(new_id);
+        // Everyone pointing at the dead root is repointed: the
+        // successor's children, and retired stragglers (absent from
+        // the children list) whose kept parent is their only way to
+        // push leftover records back into the live tree.
+        for cfg in &mut next.servers {
+            if cfg.parent == Some(old) {
+                cfg.parent = Some(new_id);
+            }
         }
         next.retired[old.0 as usize] = true;
         next.root = new_id;

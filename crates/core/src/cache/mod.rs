@@ -146,6 +146,13 @@ impl Caches {
         self.areas.len()
     }
 
+    /// Drops every cached leaf area — called when a direct scatter
+    /// built from the cache failed to complete (the hierarchy reshaped
+    /// under it); the next sub-results re-learn the current areas.
+    pub fn flush_areas(&mut self) {
+        self.areas.clear();
+    }
+
     // --------------------------------------------------------- agent cache
 
     /// Records the agent currently tracking `oid`.
@@ -176,9 +183,30 @@ impl Caches {
         }
     }
 
-    /// Invalidates a stale agent entry (after a [`crate::proto::Message::PosQueryMiss`]).
+    /// Invalidates a stale agent entry (after a [`crate::proto::Message::PosQueryMiss`],
+    /// or when a direct-to-cached-agent query times out because the
+    /// cached server is gone).
     pub fn forget_agent(&mut self, oid: ObjectId) {
         self.agents.remove(&oid);
+    }
+
+    /// Repoints an *existing* agent entry at `agent` — the invalidation
+    /// hook for path changes this server witnesses first-hand (it
+    /// completed a handover for `oid`, or a bulk state transfer moved
+    /// the record). Unlike [`Caches::learn_agent`] this never grows the
+    /// cache: objects this server was never asked about stay uncached.
+    pub fn patch_agent(&mut self, oid: ObjectId, agent: ServerId) {
+        if !self.config.agent_cache {
+            return;
+        }
+        if let Some(a) = self.agents.get_mut(&oid) {
+            *a = agent;
+        }
+    }
+
+    /// Number of cached agent entries.
+    pub fn agent_entries(&self) -> usize {
+        self.agents.len()
     }
 
     // ------------------------------------------------------ position cache
@@ -228,6 +256,19 @@ impl Caches {
 
     /// Drops a cached position (e.g. on deregistration).
     pub fn forget_position(&mut self, oid: ObjectId) {
+        self.positions.remove(&oid);
+    }
+
+    /// Number of cached position entries.
+    pub fn position_entries(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Drops everything this server cached about `oid` — the hook for
+    /// local removals (deregistration, soft-state expiry): once the
+    /// object is gone, a cached answer would resurrect it.
+    pub fn forget_object(&mut self, oid: ObjectId) {
+        self.agents.remove(&oid);
         self.positions.remove(&oid);
     }
 }

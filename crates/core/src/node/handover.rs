@@ -58,7 +58,7 @@ impl LocationServer {
             // and can retry; tell it to re-register when the service
             // does not know it at all.
             self.stats.updates_dropped += 1;
-            self.route_agent_lookup(oid, from, from);
+            self.route_agent_lookup(now, oid, from, from);
             return;
         };
 
@@ -77,6 +77,20 @@ impl LocationServer {
         }
 
         // Lines 1–6: the object moved out — hand over via the parent.
+        // The old agent stays responsible until the handover completes,
+        // and this update proves the object is alive: refresh the
+        // stored sighting's TTL (position unchanged — the new one lies
+        // outside this leaf) so soft-state expiry cannot deregister an
+        // actively-reporting object while handovers are failing (e.g.
+        // the parent chain is down; a fuzzer find: a 46 s root outage
+        // expired a visitor that reported every 5 s throughout).
+        if let Some(existing) = self.sightings.get(oid.0) {
+            let refreshed = hiloc_storage::StoredSighting {
+                expires_us: now + self.opts.sighting_ttl_us,
+                ..*existing
+            };
+            self.sightings.upsert(refreshed);
+        }
         self.stats.handovers_started += 1;
         match self.parent() {
             Some(p) => {
@@ -194,6 +208,9 @@ impl LocationServer {
                 let deltas = self.leaf_events.on_remove(origin.oid);
                 self.emit_event_reports(deltas);
             }
+            // §6.5: this server witnessed the agent change first-hand —
+            // patch its own entry-role agent cache along with the object.
+            self.caches.patch_agent(oid, new_agent);
             self.stats.handovers_completed += 1;
             self.emit(origin.object, Message::AgentChanged { oid, new_agent, offered_acc_m });
             return;
@@ -220,6 +237,7 @@ impl LocationServer {
     /// `AgentChanged`. `from` guards against bouncing on stale paths.
     pub(crate) fn route_agent_lookup(
         &mut self,
+        now: Micros,
         oid: crate::model::ObjectId,
         object: Endpoint,
         from: Endpoint,
@@ -235,12 +253,28 @@ impl LocationServer {
                 self.emit(child, Message::AgentLookup { oid, object });
             }
             None => match self.parent() {
-                // Came from the parent along a stale reference: do not
-                // bounce back; the object must re-register.
                 Some(p) if Endpoint::Server(p) != from => {
                     self.emit(p, Message::AgentLookup { oid, object });
                 }
-                _ => self.emit(object, Message::OutOfServiceArea { oid }),
+                // Came from the parent along a stale downward
+                // reference (e.g. the parent still points at a drained
+                // leaf because the new agent's `CreatePath` was lost):
+                // stay *silent*. Answering `OutOfServiceArea` here
+                // would deregister a live object; the keep-alive soft
+                // state re-asserts the true path within one refresh
+                // period and the object's retried update then routes
+                // correctly. Found by the scenario fuzzer (a 1-verb
+                // `Retire` timeline under message loss).
+                Some(_) => {}
+                // At the root with no record at all: the object is
+                // unknown service-wide and must re-register — unless
+                // this root just took over and its table is still
+                // warming, in which case the verdict waits out the
+                // grace window (also a fuzzer find: a promoted root
+                // whose pathSync answers were lost deregistered a live
+                // object).
+                None if now < self.lookup_grace_until_us => {}
+                None => self.emit(object, Message::OutOfServiceArea { oid }),
             },
         }
     }
@@ -248,11 +282,12 @@ impl LocationServer {
     /// `AgentLookup` hop: answer as the agent or keep routing.
     pub(crate) fn on_agent_lookup(
         &mut self,
+        now: Micros,
         from: Endpoint,
         oid: crate::model::ObjectId,
         object: Endpoint,
     ) {
-        self.route_agent_lookup(oid, object, from);
+        self.route_agent_lookup(now, oid, object, from);
     }
 
     /// A handover failed at the root (object outside the service area):

@@ -5,7 +5,7 @@ use super::LocationServer;
 use crate::model::semantics::select_neighbors;
 use crate::model::{Micros, ObjectId};
 use crate::proto::Message;
-use hiloc_net::{CorrId, Envelope};
+use hiloc_net::{CorrId, Endpoint, Envelope};
 
 impl LocationServer {
     /// Runs due timers at service time `now`: expires soft-state
@@ -25,6 +25,7 @@ impl LocationServer {
                         self.emit(p, Message::RemovePath { oid, epoch: now });
                     }
                 }
+                self.caches.forget_object(oid);
                 let deltas = self.leaf_events.on_remove(oid);
                 self.emit_event_reports(deltas);
                 self.stats.expired += 1;
@@ -54,26 +55,77 @@ impl LocationServer {
                     // refreshes land as one atomic WAL batch with a
                     // single durability round instead of one fsync per
                     // visitor.
-                    let refreshed: Vec<(ObjectId, super::VisitorRecord)> = self
-                        .visitors
-                        .iter()
-                        .filter(|(oid, _)| !in_transfer.contains(oid))
-                        .filter_map(|(oid, r)| match r {
-                            super::VisitorRecord::Leaf { offered_acc_m, reg, .. } => Some((
+                    //
+                    // Only records with a *backing sighting* get their
+                    // epoch refreshed. A leaf record without one
+                    // (restore-on-demand pending after a restart, or
+                    // shipped sighting-less by a drain transfer) may be
+                    // a zombie — the object could have handed over
+                    // elsewhere while this server was down — and
+                    // refreshing a zombie's epoch would fight the true
+                    // agent's keep-alive at every ancestor forever.
+                    // Such a record still asserts its path, but with
+                    // its *old* epoch (a competing true agent's
+                    // `epoch = now` always outbids it, yet a record
+                    // that is the only copy stays routable, so agent
+                    // lookups can still find it and heal the object's
+                    // pointer); its registrant is probed each period
+                    // (proactive §5 restore-on-demand); and if it is
+                    // still sighting-less one sighting TTL after its
+                    // last epoch, it is dropped with its path — by then
+                    // the object either answered a probe here or lives
+                    // at its real agent. All three cases were found by
+                    // the scenario fuzzer (crash/restart/retire races).
+                    let ttl = self.opts.sighting_ttl_us;
+                    let mut refreshed: Vec<(ObjectId, super::VisitorRecord)> = Vec::new();
+                    let mut pending: Vec<(ObjectId, Micros, Endpoint)> = Vec::new();
+                    let mut zombies: Vec<(ObjectId, Micros)> = Vec::new();
+                    for (oid, r) in self.visitors.iter() {
+                        if in_transfer.contains(&oid) {
+                            continue;
+                        }
+                        let super::VisitorRecord::Leaf { offered_acc_m, reg, epoch } = r else {
+                            continue;
+                        };
+                        if self.sightings.get(oid.0).is_some() {
+                            refreshed.push((
                                 oid,
                                 super::VisitorRecord::Leaf {
                                     offered_acc_m: *offered_acc_m,
                                     reg: *reg,
                                     epoch: now,
                                 },
-                            )),
-                            super::VisitorRecord::Forward { .. } => None,
-                        })
-                        .collect();
+                            ));
+                        } else if epoch.saturating_add(ttl) <= now {
+                            zombies.push((oid, *epoch));
+                        } else {
+                            pending.push((oid, *epoch, reg.registrant));
+                        }
+                    }
                     let oids: Vec<ObjectId> = refreshed.iter().map(|(oid, _)| *oid).collect();
                     self.visitors.apply_all(refreshed);
                     for oid in oids {
                         self.emit(p, Message::CreatePath { oid, epoch: now });
+                    }
+                    for (oid, epoch, registrant) in pending {
+                        self.emit(p, Message::CreatePath { oid, epoch });
+                        self.stats.probes_sent += 1;
+                        self.emit(registrant, Message::PositionProbe { oid });
+                    }
+                    for (oid, epoch) in zombies {
+                        self.visitors.remove(oid);
+                        self.caches.forget_object(oid);
+                        let deltas = self.leaf_events.on_remove(oid);
+                        self.emit_event_reports(deltas);
+                        self.stats.expired += 1;
+                        // The removal carries the zombie's *stale*
+                        // epoch: ancestors whose forwarding record was
+                        // asserted by this zombie (same old epoch) are
+                        // cleaned, while a true agent's newer path
+                        // records survive the epoch guard — a removal
+                        // stamped `now` would tear the live path down
+                        // at every common ancestor.
+                        self.emit(p, Message::RemovePath { oid, epoch });
                     }
                 }
             } else {
@@ -91,7 +143,16 @@ impl LocationServer {
             }
         }
 
-        // Range gathers: answer with the partial result.
+        // Range gathers: a timed-out *cache-direct* scatter means the
+        // cached leaf areas went stale (the hierarchy reshaped, or a
+        // cached leaf died) — flush the area cache and retry once
+        // through the hierarchy before answering. The retry restarts
+        // the gather from this server's own contribution: coverage
+        // collected from pre-reshape answers cannot be mixed with
+        // post-reshape ones (a leaf that answered with its old area
+        // overlaps the newcomer that took half of it, and the
+        // double-count could mark an incomplete answer complete). A
+        // hierarchy-routed gather that times out answers partially.
         let due: Vec<CorrId> = self
             .pending
             .range_gather
@@ -100,7 +161,33 @@ impl LocationServer {
             .map(|(c, _)| *c)
             .collect();
         for corr in due {
-            let g = self.pending.range_gather.remove(&corr).expect("listed above");
+            let mut g = self.pending.range_gather.remove(&corr).expect("listed above");
+            if g.via_cache {
+                self.caches.flush_areas();
+                let probe = Self::probe_rect(&g.query);
+                let targets = self.scatter_targets(&probe, g.client);
+                if !targets.is_empty() {
+                    g.via_cache = false;
+                    g.deadline_us = now + self.opts.query_timeout_us;
+                    g.items.clear();
+                    g.covered_m2 = 0.0;
+                    g.seen_leaves.clear();
+                    if self.config.is_leaf() && self.config.area.intersects(&probe) {
+                        g.items = self.leaf_range_items(&g.query);
+                        g.covered_m2 = probe.intersection_area(&self.config.area);
+                        g.seen_leaves.insert(self.id());
+                    }
+                    let entry = self.id();
+                    for t in targets {
+                        self.emit(
+                            t,
+                            Message::RangeQueryFwd { query: g.query.clone(), entry, corr },
+                        );
+                    }
+                    self.pending.range_gather.insert(corr, g);
+                    continue;
+                }
+            }
             self.stats.gathers_timed_out += 1;
             self.emit(
                 g.client,
@@ -127,7 +214,12 @@ impl LocationServer {
             );
         }
 
-        // Position waits: report the object as (currently) unknown.
+        // Position waits. A timed-out wait whose first attempt went
+        // *directly to a cached agent* (§6.5) must not answer "unknown"
+        // — the cached server may simply be gone (crashed, retired):
+        // invalidate the entry and fall back to the hierarchy, exactly
+        // as a `PosQueryMiss` would. Only a hierarchy-routed wait that
+        // times out reports the object as (currently) unknown.
         let due: Vec<CorrId> = self
             .pending
             .pos_wait
@@ -137,6 +229,11 @@ impl LocationServer {
             .collect();
         for corr in due {
             let w = self.pending.pos_wait.remove(&corr).expect("listed above");
+            if w.via_cache {
+                self.caches.forget_agent(w.oid);
+                self.route_pos_query(w.client, w.oid, corr, now + self.opts.query_timeout_us);
+                continue;
+            }
             self.stats.gathers_timed_out += 1;
             self.emit(
                 w.client,

@@ -168,6 +168,11 @@ pub struct LocationServer {
     /// Next scheduled path-maintenance instant (keep-alives at leaves,
     /// stale-record scans at non-leaves); 0 = not yet scheduled.
     next_path_maintenance_us: Micros,
+    /// Until this instant the server's forwarding table is still
+    /// warming (it just took over the root role) and a record-less
+    /// agent lookup must *not* be answered with `OutOfServiceArea` —
+    /// live paths re-assert themselves within one path TTL.
+    pub(crate) lookup_grace_until_us: Micros,
     outbox: Vec<Envelope<Message>>,
     stats: ServerStats,
 }
@@ -222,6 +227,7 @@ impl LocationServer {
             corr,
             next_event_seq: 0,
             next_path_maintenance_us: 0,
+            lookup_grace_until_us: 0,
             outbox: Vec::new(),
             stats: ServerStats::default(),
         })
@@ -341,7 +347,7 @@ impl LocationServer {
                 self.on_event_report(event_id, leaf, count, &entered, &left)
             }
             Message::EventCancelReq { event_id } => self.on_event_cancel(from, event_id),
-            Message::AgentLookup { oid, object } => self.on_agent_lookup(from, oid, object),
+            Message::AgentLookup { oid, object } => self.on_agent_lookup(now, from, oid, object),
             Message::StateTransfer { records, epoch, corr } => {
                 self.on_state_transfer(now, from, records, epoch, corr)
             }

@@ -102,6 +102,11 @@ pub struct RangeGather {
     pub target_m2: f64,
     /// Leaves already counted (guards against duplicate delivery).
     pub seen_leaves: HashSet<ServerId>,
+    /// True while the scatter went directly to cached leaf areas
+    /// (§6.5): on deadline the entry flushes the area cache and retries
+    /// once through the hierarchy instead of giving up — a stale cache
+    /// must never turn into a wrong (incomplete) answer.
+    pub via_cache: bool,
     /// Give-up deadline.
     pub deadline_us: Micros,
 }
@@ -247,6 +252,7 @@ mod tests {
             covered_m2: 0.999_999_999_9,
             target_m2: 1.0,
             seen_leaves: HashSet::new(),
+            via_cache: false,
             deadline_us: 0,
         };
         assert!(g.is_complete(), "tiny float deficit must still complete");

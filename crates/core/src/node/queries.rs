@@ -102,7 +102,15 @@ impl LocationServer {
         self.route_pos_query(from, oid, corr, deadline_us);
     }
 
-    fn route_pos_query(&mut self, client: Endpoint, oid: ObjectId, corr: CorrId, deadline_us: Micros) {
+    /// Routes a position query through the hierarchy (also the
+    /// fallback path after a cached agent turned out stale or dead).
+    pub(crate) fn route_pos_query(
+        &mut self,
+        client: Endpoint,
+        oid: ObjectId,
+        corr: CorrId,
+        deadline_us: Micros,
+    ) {
         let entry = self.id();
         let next: Option<Endpoint> = match self.visitors.get(oid) {
             Some(VisitorRecord::Forward { child, .. }) => Some(Endpoint::Server(*child)),
@@ -230,6 +238,7 @@ impl LocationServer {
             covered_m2: 0.0,
             target_m2,
             seen_leaves: HashSet::new(),
+            via_cache: false,
             deadline_us: now + self.opts.query_timeout_us,
         };
         if self.config.is_leaf() && self.config.area.intersects(&probe) {
@@ -262,6 +271,7 @@ impl LocationServer {
                 for t in targets {
                     self.emit(t, Message::RangeQueryFwd { query: query.clone(), entry: self.id(), corr });
                 }
+                gather.via_cache = true;
                 self.pending.range_gather.insert(corr, gather);
                 return;
             }

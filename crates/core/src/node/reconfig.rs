@@ -213,6 +213,12 @@ impl LocationServer {
         self.visitors.apply_all(accepted);
         self.stats.transfer_records_in += u64::from(n);
         let me = self.id();
+        for &oid in &oids {
+            // §6.5 re-assertion: this server is the agent now — any
+            // agent-cache entry it holds for the object (from its own
+            // entry-server role) must not keep pointing elsewhere.
+            self.caches.patch_agent(oid, me);
+        }
         for (registrant, oid, offered) in regs {
             // Proactively fix the object's agent pointer; a lost notice
             // heals later through the agent-lookup path.
@@ -238,9 +244,14 @@ impl LocationServer {
         };
         let guard = epoch.min(t.epoch);
         let oids = t.oids.clone();
+        let target = t.target;
         let removed = self.visitors.remove_all_if_older(&oids, guard);
         for oid in &removed {
             self.sightings.remove(oid.0);
+            // §6.5: the record left — repoint any agent-cache entry at
+            // the transfer target so this server's own entry role does
+            // not keep answering direct queries into its stale self.
+            self.caches.patch_agent(*oid, target);
             let deltas = self.leaf_events.on_remove(*oid);
             self.emit_event_reports(deltas);
         }
@@ -261,7 +272,13 @@ impl LocationServer {
     /// keep-alives rebuild the same state within one refresh period;
     /// the sync merely gets there faster — a lost request needs no
     /// retry.
-    pub fn begin_path_sync(&mut self) -> Vec<Envelope<Message>> {
+    ///
+    /// Until one path TTL has passed, the new root's table may be
+    /// missing live paths (sync answers can be lost), so record-less
+    /// agent lookups suspend their `OutOfServiceArea` verdict for that
+    /// grace window rather than deregistering a live object.
+    pub fn begin_path_sync(&mut self, now: Micros) -> Vec<Envelope<Message>> {
+        self.lookup_grace_until_us = now.saturating_add(self.opts.path_ttl_us);
         let corr = self.corr.next_id();
         let children: Vec<ServerId> = self.config.children.iter().map(|c| c.id).collect();
         for child in children {

@@ -173,6 +173,9 @@ impl LocationServer {
     pub(crate) fn remove_locally(&mut self, oid: ObjectId) {
         self.visitors.remove(oid);
         self.sightings.remove(oid.0);
+        // A deregistered object must not be resurrected by a cached
+        // agent pointer or position answer (§6.5 invalidation).
+        self.caches.forget_object(oid);
         let deltas = self.leaf_events.on_remove(oid);
         self.emit_event_reports(deltas);
     }

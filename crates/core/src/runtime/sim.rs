@@ -341,12 +341,22 @@ impl SimDeployment {
         self.servers
             .push(LocationServer::new(cfg, self.opts.clone()).expect("successor construction"));
         self.down.push(false);
-        let children: Vec<ServerId> =
-            self.hierarchy.server(new_id).children.iter().map(|c| c.id).collect();
-        for child in children {
-            self.push_config(child);
+        // Every server whose parent pointer moved gets the new record:
+        // the successor's children, and any *retired* straggler that
+        // pointed at the dead root (its agent-lookup healing path must
+        // not black-hole forever).
+        let repointed: Vec<ServerId> = self
+            .hierarchy
+            .servers()
+            .iter()
+            .filter(|c| c.id != new_id && c.parent == Some(new_id))
+            .map(|c| c.id)
+            .collect();
+        for id in repointed {
+            self.push_config(id);
         }
-        let out = self.servers[new_id.0 as usize].begin_path_sync();
+        let now = self.net.now_us();
+        let out = self.servers[new_id.0 as usize].begin_path_sync(now);
         for e in out {
             self.net.send(e);
         }

@@ -1,0 +1,191 @@
+//! Direct unit tests of the §6.5 leaf-server caches: accuracy-ageing
+//! boundary math, epoch-style capacity flushes for every cache,
+//! per-cache enable flags, and the invalidation hooks (`patch_agent`,
+//! `forget_object`, `flush_areas`) the chaos fuzzer leans on.
+
+use hiloc_core::cache::{CacheConfig, CachedPosition, Caches};
+use hiloc_core::model::{LocationDescriptor, ObjectId, SECOND};
+use hiloc_geo::{Point, Rect};
+use hiloc_net::ServerId;
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+}
+
+fn ld(x: f64, y: f64, acc: f64) -> LocationDescriptor {
+    LocationDescriptor::new(Point::new(x, y), acc)
+}
+
+// ------------------------------------------------------- ageing math
+
+#[test]
+fn aged_accuracy_grows_linearly_with_speed_and_elapsed_time() {
+    let c = CachedPosition { ld: ld(10.0, 20.0, 15.0), time_us: 5 * SECOND, max_speed_mps: 3.0 };
+    // At the sighting instant: unchanged.
+    assert_eq!(c.aged(5 * SECOND), ld(10.0, 20.0, 15.0));
+    // 7 s later: 15 + 3·7 = 36 m; the position never changes.
+    let aged = c.aged(12 * SECOND);
+    assert_eq!(aged.pos, Point::new(10.0, 20.0));
+    assert!((aged.acc_m - 36.0).abs() < 1e-9);
+    // Time running backwards (clock skew) must not shrink the accuracy.
+    assert_eq!(c.aged(0), ld(10.0, 20.0, 15.0));
+}
+
+#[test]
+fn position_served_exactly_at_the_staleness_boundary() {
+    // speed × elapsed lands the aged accuracy *exactly* on the bound:
+    // 20 + 2·40 = 100 = position_max_aged_acc_m — still served (≤).
+    let cfg = CacheConfig { position_max_aged_acc_m: 100.0, ..CacheConfig::all_enabled() };
+    let mut c = Caches::new(cfg);
+    c.learn_position(ObjectId(1), ld(1.0, 2.0, 20.0), 0, 2.0);
+    let got = c.position_for(ObjectId(1), 40 * SECOND).expect("boundary value is still legal");
+    assert!((got.acc_m - 100.0).abs() < 1e-9);
+    // One second past the boundary: stale, dropped, and *stays* gone
+    // even for a later query whose ageing would pass again.
+    assert_eq!(c.position_for(ObjectId(1), 41 * SECOND), None);
+    assert_eq!(c.position_for(ObjectId(1), 0), None);
+    assert_eq!(c.position_entries(), 0, "stale entry must be evicted, not kept");
+}
+
+#[test]
+fn zero_speed_entries_never_age_out() {
+    let mut c = Caches::new(CacheConfig::all_enabled());
+    c.learn_position(ObjectId(9), ld(5.0, 5.0, 30.0), 0, 0.0);
+    let got = c.position_for(ObjectId(9), 3_600 * SECOND).expect("stationary stays fresh");
+    assert!((got.acc_m - 30.0).abs() < 1e-9);
+}
+
+// ----------------------------------------- epoch-style capacity flush
+
+#[test]
+fn agent_cache_capacity_flush_then_insert() {
+    let mut c = Caches::new(CacheConfig { capacity: 4, ..CacheConfig::all_enabled() });
+    for i in 0..4 {
+        c.learn_agent(ObjectId(i), ServerId(i as u32));
+    }
+    assert_eq!(c.agent_entries(), 4);
+    // The overflowing insert flushes the whole cache first (epoch-style
+    // eviction), then stores the newcomer.
+    c.learn_agent(ObjectId(99), ServerId(7));
+    assert_eq!(c.agent_entries(), 1);
+    assert_eq!(c.agent_for(ObjectId(99)), Some(ServerId(7)));
+    assert_eq!(c.agent_for(ObjectId(0)), None, "pre-flush entries are gone");
+}
+
+#[test]
+fn position_cache_capacity_flush_then_insert() {
+    let mut c = Caches::new(CacheConfig { capacity: 3, ..CacheConfig::all_enabled() });
+    for i in 0..3 {
+        c.learn_position(ObjectId(i), ld(i as f64, 0.0, 10.0), 0, 1.0);
+    }
+    assert_eq!(c.position_entries(), 3);
+    c.learn_position(ObjectId(50), ld(5.0, 5.0, 10.0), 0, 1.0);
+    assert_eq!(c.position_entries(), 1);
+    assert!(c.position_for(ObjectId(50), 0).is_some());
+    assert_eq!(c.position_for(ObjectId(0), 0), None);
+}
+
+#[test]
+fn refreshing_an_existing_key_does_not_flush_at_capacity() {
+    let mut c = Caches::new(CacheConfig { capacity: 2, ..CacheConfig::all_enabled() });
+    c.learn_agent(ObjectId(1), ServerId(1));
+    c.learn_agent(ObjectId(2), ServerId(2));
+    // Note: the epoch flush is size-triggered, so overwriting a present
+    // key while full still flushes — this documents the (simple,
+    // paper-adequate) semantics rather than an LRU aspiration.
+    c.learn_agent(ObjectId(1), ServerId(9));
+    assert_eq!(c.agent_for(ObjectId(1)), Some(ServerId(9)));
+}
+
+// --------------------------------------------------- per-cache flags
+
+#[test]
+fn each_cache_flag_gates_only_its_own_cache() {
+    let area_only = CacheConfig { area_cache: true, ..CacheConfig::default() };
+    let mut c = Caches::new(area_only);
+    c.learn_area(ServerId(1), rect(0.0, 0.0, 10.0, 10.0));
+    c.learn_agent(ObjectId(1), ServerId(1));
+    c.learn_position(ObjectId(1), ld(1.0, 1.0, 5.0), 0, 1.0);
+    assert_eq!(c.area_entries(), 1);
+    assert_eq!(c.agent_for(ObjectId(1)), None);
+    assert_eq!(c.position_for(ObjectId(1), 0), None);
+
+    let agent_only = CacheConfig { agent_cache: true, ..CacheConfig::default() };
+    let mut c = Caches::new(agent_only);
+    c.learn_area(ServerId(1), rect(0.0, 0.0, 10.0, 10.0));
+    c.learn_agent(ObjectId(1), ServerId(3));
+    c.learn_position(ObjectId(1), ld(1.0, 1.0, 5.0), 0, 1.0);
+    assert_eq!(c.area_entries(), 0);
+    assert_eq!(c.agent_for(ObjectId(1)), Some(ServerId(3)));
+    assert_eq!(c.position_for(ObjectId(1), 0), None);
+
+    let position_only = CacheConfig { position_cache: true, ..CacheConfig::default() };
+    let mut c = Caches::new(position_only);
+    c.learn_area(ServerId(1), rect(0.0, 0.0, 10.0, 10.0));
+    c.learn_agent(ObjectId(1), ServerId(3));
+    c.learn_position(ObjectId(1), ld(1.0, 1.0, 5.0), 0, 1.0);
+    assert_eq!(c.area_entries(), 0);
+    assert_eq!(c.agent_for(ObjectId(1)), None);
+    assert_eq!(c.position_for(ObjectId(1), 0), Some(ld(1.0, 1.0, 5.0)));
+}
+
+#[test]
+fn disabled_patch_agent_is_inert() {
+    let mut c = Caches::new(CacheConfig::default());
+    c.patch_agent(ObjectId(1), ServerId(5));
+    assert_eq!(c.agent_entries(), 0);
+}
+
+// ------------------------------------------------ invalidation hooks
+
+#[test]
+fn patch_agent_repoints_existing_entries_only() {
+    let mut c = Caches::new(CacheConfig::all_enabled());
+    c.learn_agent(ObjectId(1), ServerId(3));
+    // Known object: repointed (a handover / state transfer happened).
+    c.patch_agent(ObjectId(1), ServerId(8));
+    assert_eq!(c.agent_for(ObjectId(1)), Some(ServerId(8)));
+    // Unknown object: patching must NOT grow the cache.
+    c.patch_agent(ObjectId(2), ServerId(8));
+    assert_eq!(c.agent_entries(), 1);
+    assert_eq!(c.agent_for(ObjectId(2)), None);
+}
+
+#[test]
+fn forget_object_clears_agent_and_position_state() {
+    let mut c = Caches::new(CacheConfig::all_enabled());
+    c.learn_agent(ObjectId(4), ServerId(2));
+    c.learn_position(ObjectId(4), ld(3.0, 3.0, 10.0), 0, 1.0);
+    c.learn_agent(ObjectId(5), ServerId(2));
+    c.forget_object(ObjectId(4));
+    assert_eq!(c.agent_for(ObjectId(4)), None);
+    assert_eq!(c.position_for(ObjectId(4), 0), None);
+    // Unrelated entries survive.
+    assert_eq!(c.agent_for(ObjectId(5)), Some(ServerId(2)));
+}
+
+#[test]
+fn flush_areas_clears_the_area_cache_only() {
+    let mut c = Caches::new(CacheConfig::all_enabled());
+    c.learn_area(ServerId(1), rect(0.0, 0.0, 10.0, 10.0));
+    c.learn_area(ServerId(2), rect(10.0, 0.0, 20.0, 10.0));
+    c.learn_agent(ObjectId(1), ServerId(1));
+    c.flush_areas();
+    assert_eq!(c.area_entries(), 0);
+    let (leaves, covered) = c.leaves_covering(&rect(0.0, 0.0, 20.0, 10.0));
+    assert!(leaves.is_empty());
+    assert_eq!(covered, 0.0);
+    assert_eq!(c.agent_for(ObjectId(1)), Some(ServerId(1)), "agent cache untouched");
+}
+
+#[test]
+fn hit_and_miss_statistics_accumulate_across_caches() {
+    let mut c = Caches::new(CacheConfig::all_enabled());
+    c.learn_agent(ObjectId(1), ServerId(1));
+    c.learn_position(ObjectId(1), ld(0.0, 0.0, 5.0), 0, 1.0);
+    assert!(c.agent_for(ObjectId(1)).is_some()); // hit
+    assert!(c.agent_for(ObjectId(2)).is_none()); // miss
+    assert!(c.position_for(ObjectId(1), 0).is_some()); // hit
+    assert!(c.position_for(ObjectId(2), 0).is_none()); // miss
+    assert_eq!(c.hit_stats(), (2, 2));
+}

@@ -1,0 +1,269 @@
+//! Query-path robustness against duplicated and reordered sub-results.
+//!
+//! The simulated network (and real UDP) can deliver a leaf's range/NN
+//! sub-result twice or out of order. The entry server's gathers must
+//! converge regardless: `seen_leaves` must stop a duplicate delivery
+//! from double-counting coverage, `dedup_items` must keep the first
+//! occurrence of an object reported by two leaves (a handover race),
+//! and a straggler arriving after the gather completed must not
+//! produce a second answer. These tests drive the sans-IO state
+//! machine directly, delivering hand-crafted sub-result envelopes.
+
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{LocationDescriptor, ObjectId, RangeQuery};
+use hiloc_core::node::{LocationServer, ServerOptions};
+use hiloc_core::proto::Message;
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_net::{ClientId, CorrId, Endpoint, Envelope, ServerId};
+
+fn root_server() -> LocationServer {
+    let h = HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0)),
+        1,
+        2,
+    )
+    .build()
+    .unwrap();
+    LocationServer::new(h.servers()[0].clone(), ServerOptions::default()).unwrap()
+}
+
+fn client() -> Endpoint {
+    ClientId(42).into()
+}
+
+fn env(from: ServerId, msg: Message) -> Envelope<Message> {
+    Envelope::new(from.into(), ServerId(0).into(), msg)
+}
+
+fn quadrant(i: u32) -> Rect {
+    let (x0, y0) = match i {
+        1 => (0.0, 0.0),
+        2 => (500.0, 0.0),
+        3 => (0.0, 500.0),
+        _ => (500.0, 500.0),
+    };
+    Rect::new(Point::new(x0, y0), Point::new(x0 + 500.0, y0 + 500.0))
+}
+
+fn ld(x: f64, y: f64, acc: f64) -> LocationDescriptor {
+    LocationDescriptor::new(Point::new(x, y), acc)
+}
+
+fn whole_area_query() -> RangeQuery {
+    RangeQuery::new(
+        Region::from(Rect::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0))),
+        50.0,
+        0.5,
+    )
+}
+
+/// The root scatters a whole-area range query to all four leaves.
+fn start_range_gather(root: &mut LocationServer, corr: CorrId) {
+    let out = root.handle(
+        0,
+        Envelope::new(client(), ServerId(0).into(), Message::RangeQueryReq {
+            query: whole_area_query(),
+            corr,
+        }),
+    );
+    let fwds: Vec<&Envelope<Message>> = out
+        .iter()
+        .filter(|e| matches!(e.msg, Message::RangeQueryFwd { .. }))
+        .collect();
+    assert_eq!(fwds.len(), 4, "whole-area probe scatters to all four leaves");
+    assert_eq!(root.pending_count(), 1);
+}
+
+fn range_sub_res(leaf: u32, items: Vec<(ObjectId, LocationDescriptor)>, corr: CorrId) -> Message {
+    let area = quadrant(leaf);
+    // Covered area: probe ∩ leaf area = the full quadrant (250 000 m²).
+    Message::RangeQuerySubRes {
+        items,
+        covered_area_m2: area.intersection_area(&Rect::new(
+            Point::new(0.0, 0.0),
+            Point::new(1_000.0, 1_000.0),
+        )),
+        leaf: ServerId(leaf),
+        leaf_area: area,
+        corr,
+    }
+}
+
+/// Extracts the single final client answer from a batch of outputs.
+fn final_range_answer(out: &[Envelope<Message>]) -> Option<(Vec<(ObjectId, LocationDescriptor)>, bool)> {
+    let mut found = None;
+    for e in out {
+        if let Message::RangeQueryRes { items, complete, .. } = &e.msg {
+            assert_eq!(e.to, client());
+            assert!(found.is_none(), "more than one final answer emitted");
+            found = Some((items.clone(), *complete));
+        }
+    }
+    found
+}
+
+#[test]
+fn duplicated_sub_result_is_counted_once() {
+    let mut root = root_server();
+    let corr = CorrId(900);
+    start_range_gather(&mut root, corr);
+
+    // Leaf 1's sub-result arrives TWICE (network duplication).
+    let m = range_sub_res(1, vec![(ObjectId(10), ld(100.0, 100.0, 10.0))], corr);
+    assert!(final_range_answer(&root.handle(0, env(ServerId(1), m.clone()))).is_none());
+    assert!(final_range_answer(&root.handle(0, env(ServerId(1), m))).is_none());
+    // Were the duplicate double-counted, coverage would now be
+    // 500 000 m² of the 1 000 000 m² target from one leaf alone; the
+    // gather must still be waiting for the other three leaves.
+    assert_eq!(root.pending_count(), 1);
+
+    for leaf in [2, 3] {
+        let m = range_sub_res(leaf, vec![], corr);
+        assert!(final_range_answer(&root.handle(0, env(ServerId(leaf), m))).is_none());
+    }
+    let m = range_sub_res(4, vec![(ObjectId(11), ld(900.0, 900.0, 10.0))], corr);
+    let out = root.handle(0, env(ServerId(4), m));
+    let (items, complete) = final_range_answer(&out).expect("gather completes on the 4th leaf");
+    assert!(complete);
+    let got: Vec<ObjectId> = items.iter().map(|(oid, _)| *oid).collect();
+    assert_eq!(got, vec![ObjectId(10), ObjectId(11)], "duplicate delivery adds no duplicate item");
+    assert_eq!(root.pending_count(), 0);
+}
+
+#[test]
+fn reordered_sub_results_converge_to_the_same_answer() {
+    // Deliver the leaves' answers in two different orders; the final
+    // object set must be identical (dedup keeps first occurrences, and
+    // completion triggers exactly when coverage closes).
+    let answers = |order: [u32; 4]| {
+        let mut root = root_server();
+        let corr = CorrId(901);
+        start_range_gather(&mut root, corr);
+        let mut finals = Vec::new();
+        for leaf in order {
+            let items = vec![(ObjectId(u64::from(leaf)), ld(100.0, 100.0, 10.0))];
+            let out = root.handle(0, env(ServerId(leaf), range_sub_res(leaf, items, corr)));
+            if let Some((items, complete)) = final_range_answer(&out) {
+                assert!(complete);
+                finals.push(items);
+            }
+        }
+        assert_eq!(finals.len(), 1, "exactly one final answer");
+        let mut got: Vec<ObjectId> = finals[0].iter().map(|(oid, _)| *oid).collect();
+        got.sort_unstable();
+        got
+    };
+    assert_eq!(answers([1, 2, 3, 4]), answers([4, 2, 1, 3]));
+}
+
+#[test]
+fn object_reported_by_two_leaves_keeps_first_descriptor() {
+    // A handover race can leave the same object momentarily qualifying
+    // at two leaves; the answer keeps the first-arrived descriptor.
+    let mut root = root_server();
+    let corr = CorrId(902);
+    start_range_gather(&mut root, corr);
+
+    let first = ld(450.0, 450.0, 10.0);
+    let second = ld(550.0, 550.0, 20.0);
+    root.handle(0, env(ServerId(1), range_sub_res(1, vec![(ObjectId(5), first)], corr)));
+    root.handle(0, env(ServerId(2), range_sub_res(2, vec![], corr)));
+    root.handle(0, env(ServerId(3), range_sub_res(3, vec![], corr)));
+    let out =
+        root.handle(0, env(ServerId(4), range_sub_res(4, vec![(ObjectId(5), second)], corr)));
+    let (items, complete) = final_range_answer(&out).expect("complete");
+    assert!(complete);
+    assert_eq!(items, vec![(ObjectId(5), first)], "first occurrence wins, no duplicates");
+}
+
+#[test]
+fn straggler_after_completion_produces_no_second_answer() {
+    let mut root = root_server();
+    let corr = CorrId(903);
+    start_range_gather(&mut root, corr);
+    for leaf in [1, 2, 3] {
+        root.handle(0, env(ServerId(leaf), range_sub_res(leaf, vec![], corr)));
+    }
+    let out = root.handle(0, env(ServerId(4), range_sub_res(4, vec![], corr)));
+    assert!(final_range_answer(&out).is_some());
+    // A late duplicate of leaf 4's answer (or any other straggler)
+    // finds no pending gather and must be ignored entirely.
+    let out = root.handle(0, env(ServerId(4), range_sub_res(4, vec![], corr)));
+    assert!(out.is_empty(), "straggler after completion: {out:?}");
+}
+
+// ------------------------------------------------------ NN gathering
+
+fn nn_sub_res(leaf: u32, items: Vec<(ObjectId, LocationDescriptor)>, corr: CorrId) -> Message {
+    let area = quadrant(leaf);
+    let probe = Rect::from_center_size(Point::new(500.0, 500.0), 2.0 * 1_500.0, 2.0 * 1_500.0);
+    Message::NeighborQuerySubRes {
+        items,
+        covered_area_m2: area.intersection_area(&probe),
+        leaf: ServerId(leaf),
+        leaf_area: area,
+        corr,
+    }
+}
+
+/// Starts an NN gather at the root with a ring that covers the whole
+/// service area, returning the round correlation id the leaves answer.
+fn start_nn_gather(root: &mut LocationServer, corr: CorrId) -> CorrId {
+    let out = root.handle(
+        0,
+        Envelope::new(client(), ServerId(0).into(), Message::NeighborQueryReq {
+            p: Point::new(500.0, 500.0),
+            req_acc_m: 50.0,
+            near_qual_m: 0.0,
+            corr,
+        }),
+    );
+    let mut round = None;
+    let mut fwds = 0;
+    for e in &out {
+        if let Message::NeighborQueryFwd { radius_m, corr, .. } = e.msg {
+            assert!(radius_m >= 1_000.0, "root-entry seed ring spans its area: {radius_m}");
+            round = Some(corr);
+            fwds += 1;
+        }
+    }
+    assert_eq!(fwds, 4, "ring scatters to all four leaves");
+    round.expect("scatter carries the round corr")
+}
+
+#[test]
+fn nn_gather_converges_under_duplicate_and_reordered_sub_results() {
+    let mut root = root_server();
+    let client_corr = CorrId(910);
+    let round = start_nn_gather(&mut root, client_corr);
+
+    // Out-of-order delivery: leaves 4, 2 first; leaf 2's answer then
+    // arrives AGAIN (duplicate); then 3 and 1 close the ring.
+    let candidate = ld(480.0, 480.0, 10.0);
+    let far = ld(20.0, 20.0, 10.0);
+    assert!(root
+        .handle(0, env(ServerId(4), nn_sub_res(4, vec![(ObjectId(2), far)], round)))
+        .is_empty());
+    let m2 = nn_sub_res(2, vec![(ObjectId(1), candidate)], round);
+    assert!(root.handle(0, env(ServerId(2), m2.clone())).is_empty());
+    assert!(root.handle(0, env(ServerId(2), m2)).is_empty(), "duplicate must not complete the ring");
+    assert!(root.handle(0, env(ServerId(3), nn_sub_res(3, vec![], round))).is_empty());
+    let out = root.handle(0, env(ServerId(1), nn_sub_res(1, vec![], round)));
+
+    let mut answers = 0;
+    for e in &out {
+        if let Message::NeighborQueryRes { nearest, complete, corr, .. } = &e.msg {
+            assert_eq!(e.to, client());
+            assert_eq!(*corr, client_corr, "final answer echoes the client corr");
+            assert!(complete);
+            assert_eq!(nearest.expect("found").0, ObjectId(1), "nearest candidate wins");
+            answers += 1;
+        }
+    }
+    assert_eq!(answers, 1, "exactly one final NN answer: {out:?}");
+    assert_eq!(root.pending_count(), 0);
+
+    // Straggler after the ring closed: ignored.
+    let out = root.handle(0, env(ServerId(4), nn_sub_res(4, vec![], round)));
+    assert!(out.is_empty());
+}

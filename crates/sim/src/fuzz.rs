@@ -1,0 +1,954 @@
+//! Generative chaos: a property-based scenario fuzzer with shrinking.
+//!
+//! The scripted suites (`chaos_scenarios.rs`, `churn_scenarios.rs`)
+//! explore a handful of curated timelines. This module explores the
+//! *space*: a seeded generator emits random but **valid** scenario
+//! timelines — mixed update/query load interleaved with `Partition`,
+//! `LatencySpike`, `Crash`, `PowerLoss`, `Spawn`, `Retire` and
+//! `PromoteRoot` verbs — runs each against the
+//! [`scenario`](crate::scenario) oracle (optionally with the §6.5
+//! caches enabled under bounded-staleness semantics), and on failure
+//! **shrinks** the timeline to a minimal reproducer printed as a
+//! single replayable DSL line.
+//!
+//! Validity is enforced at construction time by replaying every
+//! candidate timeline against a [`Hierarchy`] model: never crash an
+//! already-down server, never restart a retired one, never retire the
+//! last mergeable leaf, never promote over a live root, and close
+//! every crash with a restart (or a root failover) so the settle phase
+//! is reachable. The same checker guards the shrinker, so dropping a
+//! `Crash` also drops its paired `Restart` rather than producing a
+//! nonsense timeline.
+//!
+//! Everything is seed-deterministic: `generate(seed, mode)` always
+//! yields the same spec, a run of that spec always produces the same
+//! trace, and the printed DSL replays the exact scenario via
+//! [`replay_dsl`]. `HILOC_FUZZ_CASES` scales batch sizes for longer
+//! local runs (CI uses the fixed default).
+
+use crate::mobility::MobilityKind;
+use crate::scenario::{subtree_endpoints, FaultAction, ScenarioEvent, ScenarioRun, ScenarioSpec};
+use hiloc_core::area::{Hierarchy, HierarchyBuilder};
+use hiloc_core::cache::CacheConfig;
+use hiloc_core::model::{Micros, UpdatePolicy, SECOND};
+use hiloc_geo::{Point, Rect};
+use hiloc_net::{Endpoint, FaultPlan, LatencySpike, Partition, ServerId};
+use hiloc_util::prop::Gen;
+use hiloc_util::rng::RngExt;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Service-area side length used by every generated scenario (m).
+const AREA_M: f64 = 1_000.0;
+/// Hard cap on the number of servers a timeline may grow to.
+const MAX_SERVERS: usize = 32;
+/// Hard cap on candidate runs one [`shrink`] call may spend.
+const SHRINK_BUDGET: usize = 300;
+
+/// Whether generated scenarios run with the §6.5 caches on, and under
+/// which staleness bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheMode {
+    /// All caches off — the paper's measured prototype.
+    Off,
+    /// Area, agent and position caches on.
+    On {
+        /// The position cache's `position_max_aged_acc_m` bound (m).
+        max_aged_acc_m: f64,
+    },
+}
+
+impl CacheMode {
+    /// The [`CacheConfig`] this mode deploys.
+    pub fn to_config(self) -> CacheConfig {
+        match self {
+            CacheMode::Off => CacheConfig::default(),
+            CacheMode::On { max_aged_acc_m } => CacheConfig {
+                position_max_aged_acc_m: max_aged_acc_m,
+                ..CacheConfig::all_enabled()
+            },
+        }
+    }
+}
+
+/// A generated (or parsed) fuzz scenario: everything needed to rebuild
+/// the exact [`ScenarioSpec`], in a shape the shrinker can mutate and
+/// the DSL can round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzSpec {
+    /// Master seed (placement, mobility, network jitter).
+    pub seed: u64,
+    /// Hierarchy depth below the root.
+    pub levels: u32,
+    /// Grid fan-out per level.
+    pub fanout: u32,
+    /// Number of tracked objects.
+    pub num_objects: u64,
+    /// Object speed (m/s).
+    pub speed_mps: f64,
+    /// Chaos steps before the settle phase.
+    pub steps: u32,
+    /// Virtual seconds per step.
+    pub step_dt_s: f64,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// Update-reporting policy.
+    pub policy: UpdatePolicy,
+    /// Mixed query load through the root during chaos.
+    pub mid_chaos_queries: bool,
+    /// §6.5 cache mode.
+    pub caches: CacheMode,
+    /// Global message-drop probability.
+    pub drop_prob: f64,
+    /// Global message-duplication probability.
+    pub dup_prob: f64,
+    /// Message reordering `(probability, spread_us)`, when enabled.
+    pub reorder: Option<(f64, u64)>,
+    /// Timed partitions: `(start_us, end_us, isolated server ids)`.
+    pub partitions: Vec<(Micros, Micros, Vec<u32>)>,
+    /// Timed latency spikes: `(start_us, end_us, extra_us)`.
+    pub spikes: Vec<(Micros, Micros, Micros)>,
+    /// The scripted timeline verbs.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl FuzzSpec {
+    /// The initial (pre-reshape) hierarchy of this spec.
+    pub fn hierarchy(&self) -> Hierarchy {
+        let rect = Rect::new(Point::new(0.0, 0.0), Point::new(AREA_M, AREA_M));
+        HierarchyBuilder::grid(rect, self.levels, self.fanout).build().expect("fuzz grid")
+    }
+
+    /// The concrete scenario this spec runs.
+    pub fn to_scenario(&self) -> ScenarioSpec {
+        let mut faults = FaultPlan::uniform(self.drop_prob, self.dup_prob);
+        if let Some((p, spread)) = self.reorder {
+            faults = faults.with_reorder(p, spread);
+        }
+        for (start, end, ids) in &self.partitions {
+            let eps: Vec<Endpoint> =
+                ids.iter().map(|&id| Endpoint::Server(ServerId(id))).collect();
+            faults = faults.with_partition(Partition::isolate(*start, *end, eps));
+        }
+        for (start, end, extra) in &self.spikes {
+            faults = faults.with_spike(LatencySpike::new(*start, *end, *extra));
+        }
+        ScenarioSpec {
+            name: format!("fuzz-{}", self.seed),
+            seed: self.seed,
+            area_m: AREA_M,
+            levels: self.levels,
+            fanout: self.fanout,
+            num_objects: self.num_objects,
+            speed_mps: self.speed_mps,
+            mobility: self.mobility,
+            policy: self.policy,
+            step_dt_s: self.step_dt_s,
+            steps: self.steps,
+            faults,
+            durable: true,
+            mid_chaos_queries: self.mid_chaos_queries,
+            caches: self.caches.to_config(),
+            events: self.events.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Whether the timeline is constructible: every verb is legal at
+    /// its step (replayed against a hierarchy model) and every crashed
+    /// server is back up — or retired — before the settle phase.
+    pub fn valid(&self) -> bool {
+        if self.levels == 0
+            || self.fanout < 2
+            || self.steps < 2
+            || self.num_objects == 0
+            || self.events.iter().any(|e| e.at_step >= self.steps)
+        {
+            return false;
+        }
+        let mut model = TimelineModel::new(self.hierarchy());
+        for step in 0..self.steps {
+            for ev in self.events.iter().filter(|e| e.at_step == step) {
+                if !model.try_apply(&ev.action) {
+                    return false;
+                }
+            }
+        }
+        model.closed()
+    }
+}
+
+// --------------------------------------------------------------- model
+
+/// Replays a timeline against the hierarchy the runtime would build,
+/// mirroring `SimDeployment`'s preconditions: which servers are up,
+/// which are retired, and which reshape verbs the tree accepts.
+struct TimelineModel {
+    h: Hierarchy,
+    down: std::collections::BTreeSet<u32>,
+}
+
+impl TimelineModel {
+    fn new(h: Hierarchy) -> Self {
+        TimelineModel { h, down: Default::default() }
+    }
+
+    fn in_range(&self, id: ServerId) -> bool {
+        (id.0 as usize) < self.h.len()
+    }
+
+    /// Applies one verb when it is legal at the current state; `false`
+    /// (state untouched) otherwise.
+    fn try_apply(&mut self, action: &FaultAction) -> bool {
+        match action {
+            FaultAction::Crash(id) | FaultAction::PowerLoss(id) => {
+                if !self.in_range(*id) || self.h.is_retired(*id) || self.down.contains(&id.0) {
+                    return false;
+                }
+                self.down.insert(id.0);
+                true
+            }
+            FaultAction::Restart(id) => {
+                if !self.in_range(*id) || self.h.is_retired(*id) || !self.down.contains(&id.0) {
+                    return false;
+                }
+                self.down.remove(&id.0);
+                true
+            }
+            FaultAction::Spawn { split } => {
+                if !self.in_range(*split) || self.h.len() >= MAX_SERVERS {
+                    return false;
+                }
+                self.h.split_leaf(*split).is_ok()
+            }
+            FaultAction::Retire(id) => {
+                // A down server cannot drain (the runtime asserts).
+                if !self.in_range(*id) || self.down.contains(&id.0) {
+                    return false;
+                }
+                self.h.retire_leaf(*id).is_ok()
+            }
+            FaultAction::PromoteRoot => {
+                // Failover over a live root would split the brain.
+                if !self.down.contains(&self.h.root().0) {
+                    return false;
+                }
+                self.h.fail_over_root().is_ok()
+            }
+            FaultAction::HealNetwork => true,
+        }
+    }
+
+    /// Every still-down server is retired (exempt from the settle
+    /// check); anything else must have been restarted.
+    fn closed(&self) -> bool {
+        self.down.iter().all(|&id| self.h.is_retired(ServerId(id)))
+    }
+
+    fn down_unretired(&self) -> Vec<ServerId> {
+        self.down
+            .iter()
+            .map(|&id| ServerId(id))
+            .filter(|&id| !self.h.is_retired(id))
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------- generator
+
+/// Generates a random, valid fuzz scenario for `seed`. Same seed, same
+/// spec — the seed alone replays the generation bit-for-bit.
+pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
+    let mut g = Gen::for_seed(seed);
+    let levels = if g.chance(0.5) { 1 } else { 2 };
+    let fanout = 2;
+    let steps: u32 = g.random_range(10..=16);
+    let step_dt_s = 2.0;
+    let horizon_us = u64::from(steps) * (step_dt_s as u64) * SECOND;
+
+    let mobility = match g.weighted(&[3, 1, 1]) {
+        0 => MobilityKind::RandomWaypoint,
+        1 => MobilityKind::Manhattan { spacing_m: g.random_range(50.0..200.0) },
+        _ => MobilityKind::GaussMarkov { alpha: g.random_range(0.3..0.9) },
+    };
+    let policy = if g.chance(0.7) {
+        UpdatePolicy::Distance { threshold_m: g.random_range(8.0..16.0) }
+    } else {
+        UpdatePolicy::Periodic { period_us: g.random_range(3..=6u64) * SECOND }
+    };
+
+    let drop_prob = if g.chance(0.5) { g.random_range(0.0..0.10) } else { 0.0 };
+    let dup_prob = if g.chance(0.4) { g.random_range(0.0..0.06) } else { 0.0 };
+    let reorder = if g.chance(0.4) {
+        Some((g.random_range(0.05..0.3), g.random_range(10_000..150_000u64)))
+    } else {
+        None
+    };
+
+    let h0 = {
+        let rect = Rect::new(Point::new(0.0, 0.0), Point::new(AREA_M, AREA_M));
+        HierarchyBuilder::grid(rect, levels, fanout).build().expect("fuzz grid")
+    };
+
+    let mut partitions = Vec::new();
+    for _ in 0..g.weighted(&[4, 3, 1]) {
+        let start = g.random_range(2 * SECOND..(horizon_us * 6 / 10).max(3 * SECOND));
+        let dur = g.random_range(4 * SECOND..=16 * SECOND);
+        let ids: Vec<u32> = if g.chance(0.5) {
+            // Isolate a whole subtree.
+            let all: Vec<ServerId> = h0.servers().iter().map(|c| c.id).collect();
+            let sub = *g.pick(&all[1..]); // never the root's subtree (everything)
+            subtree_endpoints(&h0, sub)
+                .iter()
+                .filter_map(|e| e.as_server().map(|s| s.0))
+                .collect()
+        } else {
+            // Isolate one or two individual servers.
+            let mut ids: Vec<u32> = (0..h0.len() as u32).collect();
+            g.shuffle(&mut ids);
+            ids.truncate(g.random_range(1..=2));
+            ids
+        };
+        partitions.push((start, start + dur, ids));
+    }
+    let mut spikes = Vec::new();
+    for _ in 0..g.weighted(&[3, 1]) {
+        let start = g.random_range(SECOND..(horizon_us * 7 / 10).max(2 * SECOND));
+        let dur = g.random_range(2 * SECOND..=10 * SECOND);
+        spikes.push((start, start + dur, g.random_range(50_000..400_000u64)));
+    }
+
+    // ---- timeline walk: draw verbs only where they are legal *now*,
+    // and schedule the follow-up that keeps the timeline closable
+    // (every crash gets a restart — or, for a root, maybe a failover).
+    let mut model = TimelineModel::new(h0);
+    let mut events: Vec<ScenarioEvent> = Vec::new();
+    let mut scheduled: BTreeMap<u32, Vec<FaultAction>> = BTreeMap::new();
+    let budget = g.random_range(0..=5usize);
+    let mut drawn = 0usize;
+    for step in 1..steps {
+        for action in scheduled.remove(&step).unwrap_or_default() {
+            if model.try_apply(&action) {
+                events.push(ScenarioEvent { at_step: step, action });
+            }
+        }
+        if drawn >= budget || !g.chance(0.55) {
+            continue;
+        }
+        // A crash needs room for its scheduled restart/failover before
+        // the settle phase; reshape verbs are fire-and-forget and may
+        // land on the very last step (late reshapes are exactly where
+        // stale §6.5 cache entries survive into the verdict).
+        let crash_ok = step + 2 < steps;
+        let crashable: Vec<u32> = if crash_ok {
+            model
+                .h
+                .active()
+                .filter(|c| !model.down.contains(&c.id.0))
+                .map(|c| c.id.0)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let splittable: Vec<u32> = if model.h.len() < MAX_SERVERS {
+            model
+                .h
+                .active()
+                .filter(|c| c.is_leaf() && c.parent.is_some())
+                .map(|c| c.id.0)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let retirable: Vec<u32> = model
+            .h
+            .active()
+            .filter(|c| c.is_leaf() && !model.down.contains(&c.id.0))
+            .map(|c| c.id.0)
+            .filter(|&id| model.h.clone().retire_leaf(ServerId(id)).is_ok())
+            .collect();
+        // (kind, weight): 0 = crash, 1 = power loss, 2 = spawn, 3 = retire
+        let weights = [
+            if crashable.is_empty() { 0 } else { 3 },
+            if crashable.is_empty() { 0 } else { 1 },
+            if splittable.is_empty() { 0 } else { 2 },
+            if retirable.is_empty() { 0 } else { 2 },
+        ];
+        if weights.iter().all(|&w| w == 0) {
+            continue;
+        }
+        match g.weighted(&weights) {
+            kind @ (0 | 1) => {
+                let id = ServerId(*g.pick(&crashable));
+                let action = if kind == 0 {
+                    FaultAction::Crash(id)
+                } else {
+                    FaultAction::PowerLoss(id)
+                };
+                if model.try_apply(&action) {
+                    events.push(ScenarioEvent { at_step: step, action });
+                    let at = (step + g.random_range(1..=4u32)).min(steps - 1);
+                    let follow_up = if id == model.h.root() && g.chance(0.5) {
+                        FaultAction::PromoteRoot
+                    } else {
+                        FaultAction::Restart(id)
+                    };
+                    scheduled.entry(at).or_default().push(follow_up);
+                }
+            }
+            2 => {
+                let split = ServerId(*g.pick(&splittable));
+                let action = FaultAction::Spawn { split };
+                if model.try_apply(&action) {
+                    events.push(ScenarioEvent { at_step: step, action });
+                }
+            }
+            _ => {
+                let id = ServerId(*g.pick(&retirable));
+                let action = FaultAction::Retire(id);
+                if model.try_apply(&action) {
+                    events.push(ScenarioEvent { at_step: step, action });
+                }
+            }
+        }
+        drawn += 1;
+    }
+    // Close the timeline: whatever is still down and not retired comes
+    // back up just before the settle phase.
+    for id in model.down_unretired() {
+        let action = FaultAction::Restart(id);
+        if model.try_apply(&action) {
+            events.push(ScenarioEvent { at_step: steps - 1, action });
+        }
+    }
+    debug_assert!(model.closed(), "generator left an unclosable timeline");
+
+    FuzzSpec {
+        seed,
+        levels,
+        fanout,
+        num_objects: g.random_range(6..=14),
+        speed_mps: g.random_range(5.0..20.0),
+        steps,
+        step_dt_s,
+        mobility,
+        policy,
+        mid_chaos_queries: g.chance(0.7),
+        caches,
+        drop_prob,
+        dup_prob,
+        reorder,
+        partitions,
+        spikes,
+        events,
+    }
+}
+
+// -------------------------------------------------------- quiet runner
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+static PANIC_HOOK: Once = Once::new();
+
+/// Runs a spec, converting an oracle panic into `Err(message)` without
+/// spewing the (huge) failure report of every shrink candidate to
+/// stderr. The silencing is thread-local: concurrent tests keep their
+/// normal panic output.
+pub fn run_captured(spec: &FuzzSpec) -> Result<ScenarioRun, String> {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| spec.to_scenario().run()));
+    QUIET_PANICS.with(|q| q.set(false));
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+// ------------------------------------------------------------ shrinker
+
+/// Shrinks a failing spec to a (locally) minimal one that still fails:
+/// drops timeline verbs (singly, then in dependent pairs), strips
+/// faults, shortens the run, thins the fleet and disables the query
+/// load — every candidate re-validated against the timeline model and
+/// re-run against the oracle. Returns the smallest failing spec found
+/// within the shrink budget.
+pub fn shrink(spec: &FuzzSpec) -> FuzzSpec {
+    let mut best = spec.clone();
+    let mut runs = 0usize;
+    let still_fails = |s: &FuzzSpec, runs: &mut usize| -> bool {
+        if *runs >= SHRINK_BUDGET || !s.valid() {
+            return false;
+        }
+        *runs += 1;
+        run_captured(s).is_err()
+    };
+    loop {
+        let mut improved = false;
+
+        // Drop one verb (later verbs first: follow-ups before causes).
+        for i in (0..best.events.len()).rev() {
+            let mut c = best.clone();
+            c.events.remove(i);
+            if still_fails(&c, &mut runs) {
+                best = c;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        // Drop dependent pairs (a crash and its restart/failover).
+        'pairs: for i in 0..best.events.len() {
+            for j in (i + 1..best.events.len()).rev() {
+                let mut c = best.clone();
+                c.events.remove(j);
+                c.events.remove(i);
+                if still_fails(&c, &mut runs) {
+                    best = c;
+                    improved = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Strip network faults wholesale, then piecewise.
+        if best.drop_prob > 0.0
+            || best.dup_prob > 0.0
+            || best.reorder.is_some()
+            || !best.partitions.is_empty()
+            || !best.spikes.is_empty()
+        {
+            let mut c = best.clone();
+            c.drop_prob = 0.0;
+            c.dup_prob = 0.0;
+            c.reorder = None;
+            c.partitions.clear();
+            c.spikes.clear();
+            if still_fails(&c, &mut runs) {
+                best = c;
+                continue;
+            }
+        }
+        for i in (0..best.partitions.len()).rev() {
+            let mut c = best.clone();
+            c.partitions.remove(i);
+            if still_fails(&c, &mut runs) {
+                best = c;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for i in (0..best.spikes.len()).rev() {
+            let mut c = best.clone();
+            c.spikes.remove(i);
+            if still_fails(&c, &mut runs) {
+                best = c;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for (zero_drop, zero_dup, no_reorder) in
+            [(true, false, false), (false, true, false), (false, false, true)]
+        {
+            let mut c = best.clone();
+            if zero_drop {
+                c.drop_prob = 0.0;
+            }
+            if zero_dup {
+                c.dup_prob = 0.0;
+            }
+            if no_reorder {
+                c.reorder = None;
+            }
+            if c != best && still_fails(&c, &mut runs) {
+                best = c;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Shorten the run to just past the last verb.
+        let last_step = best.events.iter().map(|e| e.at_step).max().unwrap_or(0);
+        if last_step + 2 < best.steps {
+            let mut c = best.clone();
+            c.steps = last_step + 2;
+            if still_fails(&c, &mut runs) {
+                best = c;
+                continue;
+            }
+        }
+        // Thin the fleet.
+        for n in [2, best.num_objects / 2] {
+            if n >= 2 && n < best.num_objects {
+                let mut c = best.clone();
+                c.num_objects = n;
+                if still_fails(&c, &mut runs) {
+                    best = c;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
+        // Drop the mid-chaos query load.
+        if best.mid_chaos_queries {
+            let mut c = best.clone();
+            c.mid_chaos_queries = false;
+            if still_fails(&c, &mut runs) {
+                best = c;
+                continue;
+            }
+        }
+        // Flatten the tree.
+        if best.levels > 1 {
+            let mut c = best.clone();
+            c.levels = 1;
+            if still_fails(&c, &mut runs) {
+                best = c;
+                continue;
+            }
+        }
+        break;
+    }
+    best
+}
+
+// ------------------------------------------------------------- the DSL
+
+fn fmt_action(a: &FaultAction) -> String {
+    match a {
+        FaultAction::Crash(id) => format!("crash:{}", id.0),
+        FaultAction::PowerLoss(id) => format!("powerloss:{}", id.0),
+        FaultAction::Restart(id) => format!("restart:{}", id.0),
+        FaultAction::Spawn { split } => format!("spawn:{}", split.0),
+        FaultAction::Retire(id) => format!("retire:{}", id.0),
+        FaultAction::PromoteRoot => "promote".to_string(),
+        FaultAction::HealNetwork => "heal".to_string(),
+    }
+}
+
+fn parse_action(s: &str) -> Result<FaultAction, String> {
+    let (verb, arg) = match s.split_once(':') {
+        Some((v, a)) => (v, Some(a)),
+        None => (s, None),
+    };
+    let id = |a: Option<&str>| -> Result<ServerId, String> {
+        let a = a.ok_or_else(|| format!("verb '{verb}' needs a server id"))?;
+        Ok(ServerId(a.parse::<u32>().map_err(|e| format!("bad server id '{a}': {e}"))?))
+    };
+    match verb {
+        "crash" => Ok(FaultAction::Crash(id(arg)?)),
+        "powerloss" => Ok(FaultAction::PowerLoss(id(arg)?)),
+        "restart" => Ok(FaultAction::Restart(id(arg)?)),
+        "spawn" => Ok(FaultAction::Spawn { split: id(arg)? }),
+        "retire" => Ok(FaultAction::Retire(id(arg)?)),
+        "promote" => Ok(FaultAction::PromoteRoot),
+        "heal" => Ok(FaultAction::HealNetwork),
+        _ => Err(format!("unknown timeline verb '{verb}'")),
+    }
+}
+
+impl FuzzSpec {
+    /// The one-line replay DSL for this spec. Round-trips exactly
+    /// through [`parse_dsl`]: every float is printed in its shortest
+    /// exact form.
+    pub fn to_dsl(&self) -> String {
+        let mut out = vec![
+            format!("seed={}", self.seed),
+            format!("levels={}", self.levels),
+            format!("fanout={}", self.fanout),
+            format!("objects={}", self.num_objects),
+            format!("speed={}", self.speed_mps),
+            format!("steps={}", self.steps),
+            format!("dt={}", self.step_dt_s),
+            match self.mobility {
+                MobilityKind::RandomWaypoint => "mobility=waypoint".to_string(),
+                MobilityKind::Manhattan { spacing_m } => format!("mobility=manhattan:{spacing_m}"),
+                MobilityKind::GaussMarkov { alpha } => format!("mobility=gauss:{alpha}"),
+                MobilityKind::Stationary => "mobility=stationary".to_string(),
+            },
+            match self.policy {
+                UpdatePolicy::Distance { threshold_m } => format!("policy=dist:{threshold_m}"),
+                UpdatePolicy::Periodic { period_us } => format!("policy=period:{period_us}"),
+                UpdatePolicy::DeadReckoning { threshold_m } => format!("policy=dead:{threshold_m}"),
+            },
+            format!("queries={}", u8::from(self.mid_chaos_queries)),
+            match self.caches {
+                CacheMode::Off => "caches=off".to_string(),
+                CacheMode::On { max_aged_acc_m } => format!("caches=on:{max_aged_acc_m}"),
+            },
+        ];
+        if self.drop_prob > 0.0 {
+            out.push(format!("drop={}", self.drop_prob));
+        }
+        if self.dup_prob > 0.0 {
+            out.push(format!("dup={}", self.dup_prob));
+        }
+        if let Some((p, spread)) = self.reorder {
+            out.push(format!("reorder={p}:{spread}"));
+        }
+        for (start, end, ids) in &self.partitions {
+            let ids: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+            out.push(format!("part={start}-{end}:{}", ids.join("+")));
+        }
+        for (start, end, extra) in &self.spikes {
+            out.push(format!("spike={start}-{end}:{extra}"));
+        }
+        for ev in &self.events {
+            out.push(format!("ev={}:{}", ev.at_step, fmt_action(&ev.action)));
+        }
+        out.join(" ")
+    }
+}
+
+/// Parses a replay line produced by [`FuzzSpec::to_dsl`] (as printed
+/// by a failing fuzz batch) back into the exact spec.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token.
+pub fn parse_dsl(dsl: &str) -> Result<FuzzSpec, String> {
+    fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse::<T>().map_err(|e| format!("bad {key}='{v}': {e}"))
+    }
+    let mut spec = FuzzSpec {
+        seed: 0,
+        levels: 1,
+        fanout: 2,
+        num_objects: 8,
+        speed_mps: 10.0,
+        steps: 10,
+        step_dt_s: 2.0,
+        mobility: MobilityKind::RandomWaypoint,
+        policy: UpdatePolicy::Distance { threshold_m: 10.0 },
+        mid_chaos_queries: false,
+        caches: CacheMode::Off,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        reorder: None,
+        partitions: Vec::new(),
+        spikes: Vec::new(),
+        events: Vec::new(),
+    };
+    for token in dsl.split_whitespace() {
+        let (key, value) =
+            token.split_once('=').ok_or_else(|| format!("token '{token}' is not key=value"))?;
+        match key {
+            "seed" => spec.seed = num("seed", value)?,
+            "levels" => spec.levels = num("levels", value)?,
+            "fanout" => spec.fanout = num("fanout", value)?,
+            "objects" => spec.num_objects = num("objects", value)?,
+            "speed" => spec.speed_mps = num("speed", value)?,
+            "steps" => spec.steps = num("steps", value)?,
+            "dt" => spec.step_dt_s = num("dt", value)?,
+            "mobility" => {
+                spec.mobility = match value.split_once(':') {
+                    None if value == "waypoint" => MobilityKind::RandomWaypoint,
+                    None if value == "stationary" => MobilityKind::Stationary,
+                    Some(("manhattan", a)) => {
+                        MobilityKind::Manhattan { spacing_m: num("mobility", a)? }
+                    }
+                    Some(("gauss", a)) => MobilityKind::GaussMarkov { alpha: num("mobility", a)? },
+                    _ => return Err(format!("unknown mobility '{value}'")),
+                }
+            }
+            "policy" => {
+                spec.policy = match value.split_once(':') {
+                    Some(("dist", a)) => UpdatePolicy::Distance { threshold_m: num("policy", a)? },
+                    Some(("period", a)) => UpdatePolicy::Periodic { period_us: num("policy", a)? },
+                    Some(("dead", a)) => {
+                        UpdatePolicy::DeadReckoning { threshold_m: num("policy", a)? }
+                    }
+                    _ => return Err(format!("unknown policy '{value}'")),
+                }
+            }
+            "queries" => spec.mid_chaos_queries = value == "1",
+            "caches" => {
+                spec.caches = match value.split_once(':') {
+                    None if value == "off" => CacheMode::Off,
+                    Some(("on", a)) => CacheMode::On { max_aged_acc_m: num("caches", a)? },
+                    _ => return Err(format!("unknown cache mode '{value}'")),
+                }
+            }
+            "drop" => spec.drop_prob = num("drop", value)?,
+            "dup" => spec.dup_prob = num("dup", value)?,
+            "reorder" => {
+                let (p, spread) =
+                    value.split_once(':').ok_or_else(|| format!("bad reorder '{value}'"))?;
+                spec.reorder = Some((num("reorder", p)?, num("reorder", spread)?));
+            }
+            "part" => {
+                let (window, ids) =
+                    value.split_once(':').ok_or_else(|| format!("bad part '{value}'"))?;
+                let (start, end) =
+                    window.split_once('-').ok_or_else(|| format!("bad part window '{window}'"))?;
+                let ids = ids
+                    .split('+')
+                    .map(|i| num::<u32>("part id", i))
+                    .collect::<Result<Vec<u32>, String>>()?;
+                spec.partitions.push((num("part", start)?, num("part", end)?, ids));
+            }
+            "spike" => {
+                let (window, extra) =
+                    value.split_once(':').ok_or_else(|| format!("bad spike '{value}'"))?;
+                let (start, end) =
+                    window.split_once('-').ok_or_else(|| format!("bad spike window '{window}'"))?;
+                spec.spikes.push((
+                    num("spike", start)?,
+                    num("spike", end)?,
+                    num("spike", extra)?,
+                ));
+            }
+            "ev" => {
+                let (step, verb) =
+                    value.split_once(':').ok_or_else(|| format!("bad ev '{value}'"))?;
+                spec.events.push(ScenarioEvent {
+                    at_step: num("ev step", step)?,
+                    action: parse_action(verb)?,
+                });
+            }
+            _ => return Err(format!("unknown key '{key}'")),
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses and runs a committed reproducer, panicking with the full
+/// oracle report on failure — the regression-corpus entry point.
+///
+/// # Panics
+///
+/// Panics when the DSL is malformed, the timeline is invalid, or the
+/// oracle rejects the run.
+pub fn replay_dsl(dsl: &str) -> ScenarioRun {
+    let spec = parse_dsl(dsl).expect("malformed reproducer DSL");
+    assert!(spec.valid(), "reproducer timeline is not constructible: {dsl}");
+    spec.to_scenario().run()
+}
+
+// --------------------------------------------------------------- batch
+
+/// Aggregates of one green fuzz batch, for gate assertions: the batch
+/// must actually have exercised the machinery, not just idled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Scenarios run (all oracle-green).
+    pub cases: u32,
+    /// Timeline verbs applied across the batch.
+    pub events: u64,
+    /// Scenarios that reshaped the tree (spawn/retire/promote).
+    pub reshapes: u32,
+    /// Scenarios that crashed at least one server.
+    pub crashes: u32,
+    /// §6.5 cache answers served across the batch.
+    pub cache_answers: u64,
+    /// Bulk state transfers completed across the batch.
+    pub transfers_completed: u64,
+    /// Objects alive at the verdicts (sum).
+    pub alive: u64,
+}
+
+/// The case count for a batch: `default`, overridden by the
+/// `HILOC_FUZZ_CASES` environment knob for longer local runs.
+pub fn cases_from_env(default: u32) -> u32 {
+    std::env::var("HILOC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Runs `cases` generated scenarios derived from `base_seed`. Each is
+/// oracle-checked; the first failure is shrunk to a minimal reproducer
+/// and reported as a panic carrying one replayable DSL line.
+///
+/// # Panics
+///
+/// Panics with the shrunk reproducer when any generated scenario
+/// violates an oracle invariant.
+pub fn fuzz_batch(base_seed: u64, cases: u32, caches: CacheMode) -> BatchStats {
+    let mut stats = BatchStats::default();
+    for case in 0..cases {
+        let seed = base_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let spec = generate(seed, caches);
+        debug_assert!(spec.valid(), "generator produced an invalid timeline");
+        match run_captured(&spec) {
+            Ok(run) => {
+                stats.cases += 1;
+                stats.events += spec.events.len() as u64;
+                if spec.events.iter().any(|e| {
+                    matches!(
+                        e.action,
+                        FaultAction::Spawn { .. }
+                            | FaultAction::Retire(_)
+                            | FaultAction::PromoteRoot
+                    )
+                }) {
+                    stats.reshapes += 1;
+                }
+                if spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.action, FaultAction::Crash(_) | FaultAction::PowerLoss(_)))
+                {
+                    stats.crashes += 1;
+                }
+                stats.cache_answers += run.stats.cache_answers;
+                stats.transfers_completed += run.stats.transfers_completed;
+                stats.alive += run.alive as u64;
+            }
+            Err(first_failure) => {
+                let minimal = shrink(&spec);
+                let failure =
+                    run_captured(&minimal).err().unwrap_or_else(|| first_failure.clone());
+                let headline = |s: &str| s.lines().next().unwrap_or("").to_string();
+                panic!(
+                    "fuzzer found a failing scenario (case {case}, seed {seed}, {} verbs; \
+                     shrunk to {} verbs)\n\
+                     --- replay with: hiloc_sim::fuzz::replay_dsl(\"{}\")\n\
+                     --- original failure: {}\n\
+                     --- shrunk failure: {}\n\
+                     --- full shrunk report below --\n{failure}",
+                    spec.events.len(),
+                    minimal.events.len(),
+                    minimal.to_dsl(),
+                    headline(&first_failure),
+                    headline(&failure),
+                );
+            }
+        }
+    }
+    stats
+}

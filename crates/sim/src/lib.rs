@@ -19,11 +19,16 @@
 //! * [`Samples`] — latency/throughput summaries (mean, percentiles);
 //! * [`scenario`] — scripted chaos scenarios (partitions, crashes,
 //!   restarts) with an oracle that checks no registered object is ever
-//!   lost and query answers stay within the accuracy contract.
+//!   lost and query answers stay within the accuracy contract;
+//! * [`fuzz`] — a generative scenario fuzzer: seeded random (but
+//!   valid) fault/reshape timelines run against the same oracle, with
+//!   shrinking to a one-line replayable reproducer, including runs
+//!   with the §6.5 caches enabled under bounded-staleness semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod mobility;
 pub mod scenario;
 mod stats;

@@ -1,0 +1,142 @@
+//! The fuzzer's trophy cabinet: every bug the generative scenario
+//! fuzzer found during its first deployment, committed as the shrunk
+//! reproducer it printed. Each line replays the exact scenario
+//! (`hiloc_sim::fuzz::replay_dsl` panics with the full oracle report
+//! on regression), so a once-found bug stays found forever — and runs
+//! deterministically in a few hundred milliseconds instead of a fuzz
+//! campaign.
+//!
+//! When the fuzzer fails, it prints one `replay_dsl("…")` line; paste
+//! it here (with a short note on the root cause) after fixing the bug.
+
+use hiloc_sim::fuzz::replay_dsl;
+
+/// A 1-verb timeline: `Retire` under message loss. The absorber's
+/// `CreatePath` was dropped, leaving the parent's forwarding record
+/// pointing at the drained leaf; the agent lookup bounced
+/// parent → retired-leaf and the bounce guard answered
+/// `OutOfServiceArea`, deregistering a live object. Fixed by staying
+/// silent on the stale downward bounce (the keep-alive soft state
+/// re-asserts the true path within one refresh period).
+#[test]
+fn retire_under_loss_must_not_deregister_via_stale_lookup_bounce() {
+    replay_dsl(
+        "seed=9194727748050019817 levels=1 fanout=2 objects=12 speed=7.846743528053721 \
+         steps=7 dt=2 mobility=gauss:0.5548785757119858 policy=dist:14.966169950241854 \
+         queries=0 caches=off drop=0.08837711879752685 ev=5:retire:4",
+    );
+}
+
+/// Crash/restart/retire churn with the §6.5 caches on: a leaf that
+/// crashed holding an object recovered the visitor record from its WAL
+/// but not the (volatile) sighting, while the object handed over
+/// elsewhere. The sighting-less zombie record never expired and its
+/// keep-alive out-competed the true agent's path at the root, so
+/// settled queries dead-ended in a probe answer. Fixed by not
+/// refreshing a sighting-less record's epoch (the true agent's
+/// keep-alive then always wins), probing its registrant each period,
+/// and expiring it one sighting TTL after its last epoch.
+#[test]
+fn recovered_sighting_less_record_must_not_outcompete_the_true_agent() {
+    replay_dsl(
+        "seed=18332166918490512748 levels=2 fanout=2 objects=9 speed=9.64462775734929 \
+         steps=15 dt=2 mobility=manhattan:86.3806180405785 policy=dist:15.4191740667678 \
+         queries=1 caches=on:100 drop=0.04749016972082187 dup=0.03317267406271889 \
+         part=9433284-21377213:12 ev=2:crash:7 ev=3:retire:17 ev=5:restart:7 ev=5:crash:14 \
+         ev=6:crash:13 ev=8:restart:13 ev=9:restart:14",
+    );
+}
+
+/// A leaf retired while the root was down, then the root failed over:
+/// the retired straggler's parent pointer still named the dead old
+/// root, so its agent-lookup healing path black-holed forever and one
+/// object's updates could never be acknowledged again. Fixed by
+/// repointing every server (retired ones included) at the successor in
+/// `fail_over_root`.
+#[test]
+fn retired_straggler_must_be_reparented_by_root_failover() {
+    replay_dsl(
+        "seed=10708086180188519127 levels=1 fanout=2 objects=12 speed=19.37619858073283 \
+         steps=10 dt=2 mobility=waypoint policy=dist:14.424641022252153 queries=1 caches=off \
+         drop=0.022528638720660445 reorder=0.07372160851547203:107811 \
+         spike=11272267-16267507:235328 ev=3:spawn:1 ev=4:crash:0 ev=7:retire:2 ev=8:promote",
+    );
+}
+
+/// An agent lookup climbed to a freshly promoted root whose
+/// forwarding table was still warming (its pathSync answers were
+/// lost), and the empty root answered `OutOfServiceArea` for a live
+/// object. Fixed by a lookup grace window: for one path TTL after the
+/// takeover the verdict is suspended — by then every live path has
+/// re-asserted itself.
+#[test]
+fn promoted_root_must_not_deregister_while_its_table_warms() {
+    replay_dsl(
+        "seed=3062123152406860345 levels=1 fanout=2 objects=14 speed=9.156407435266871 \
+         steps=8 dt=2 mobility=waypoint policy=dist:8.523508039963193 queries=1 caches=on:100 \
+         drop=0.07567045287144544 ev=2:powerloss:3 ev=3:restart:3 ev=3:spawn:1 ev=4:crash:0 \
+         ev=6:promote",
+    );
+}
+
+/// The dual of the zombie case: after a crash/restart/retire chain
+/// under partitions, the *absorber's* sighting-less record was the
+/// only copy — an earlier fix stopped such records from asserting
+/// their path at all, so lookups could never reach it, it expired as a
+/// "zombie", and the object was orphaned. Fixed by asserting
+/// sighting-less paths with their *old* (un-refreshed) epoch: a
+/// competing true agent always outbids them, but a sole copy stays
+/// routable until restored or genuinely dead.
+#[test]
+fn sole_sighting_less_record_must_stay_routable_until_restored() {
+    replay_dsl(
+        "seed=11286137664104225144 levels=1 fanout=2 objects=14 speed=18.118898372173447 \
+         steps=8 dt=2 mobility=waypoint policy=dist:11.155473902769042 queries=0 \
+         caches=on:100 reorder=0.0630115597787939:105324 part=6571953-11860631:0+4 \
+         part=10398011-18673247:2+1 ev=1:crash:2 ev=2:restart:2 ev=6:retire:2",
+    );
+}
+
+/// A 46-second root outage: an object kept reporting every 5 s, but
+/// every report needed a handover through the dead root, and in-area
+/// sighting refreshes never happened — soft-state expiry deregistered
+/// an actively-reporting object. Fixed by refreshing the stored
+/// sighting's TTL on *out-of-area* updates too: the old agent stays
+/// responsible (and its record alive) while handovers are failing.
+#[test]
+fn actively_reporting_object_must_survive_a_long_root_outage() {
+    replay_dsl(
+        "seed=12278733189936548146 levels=1 fanout=2 objects=14 speed=16.293990734322534 \
+         steps=15 dt=2 mobility=waypoint policy=period:5000000 queries=1 caches=on:100 \
+         drop=0.07834650278935469 part=12262584-23354924:0 ev=4:crash:0 ev=14:promote",
+    );
+}
+
+/// The mutation-check reproducer (shrunk from a generated 6-verb
+/// timeline when the area-cache fallback was artificially disabled
+/// during development): mid-chaos range queries teach the root all
+/// leaf areas, then a last-step `Spawn` makes the cache stale — the
+/// settled whole-area range query scatters directly to the cached
+/// leaves, misses the newcomer, and must flush + retry through the
+/// hierarchy instead of answering incomplete.
+#[test]
+fn stale_area_cache_scatter_must_fall_back_to_the_hierarchy() {
+    replay_dsl(
+        "seed=1306086411180131317 levels=2 fanout=2 objects=2 speed=14.541653769546976 \
+         steps=16 dt=2 mobility=waypoint policy=period:5000000 queries=1 caches=on:100 \
+         ev=15:spawn:8",
+    );
+}
+
+/// Same class, with churn on both sides: a `PowerLoss`/restart pair
+/// plus a post-learning `Spawn` of the same leaf under message loss
+/// (another shrunk mutation-check find, kept for its different
+/// interleaving).
+#[test]
+fn stale_area_cache_after_powerloss_and_spawn_heals() {
+    replay_dsl(
+        "seed=8709371129873644185 levels=1 fanout=2 objects=3 speed=18.142247921692203 \
+         steps=11 dt=2 mobility=waypoint policy=dist:8.279417934188306 queries=1 \
+         caches=on:100 drop=0.09098861116735472 ev=5:powerloss:1 ev=8:spawn:1 ev=9:restart:1",
+    );
+}

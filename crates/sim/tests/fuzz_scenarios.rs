@@ -1,0 +1,109 @@
+//! The CI fuzz gate: a fixed-seed batch of generated chaos scenarios,
+//! run with the §6.5 caches off and on. Every run is oracle-checked;
+//! a failure shrinks to a minimal reproducer and panics with a single
+//! `replay_dsl` line (paste it into `fuzz_regressions.rs` once fixed).
+//!
+//! The batch is bit-for-bit deterministic — fixed base seeds, and the
+//! generator draws everything from a seeded stream — so CI time is
+//! bounded and a red gate replays locally without guesswork. Longer
+//! exploratory runs: `HILOC_FUZZ_CASES=2000 cargo test -p hiloc-sim
+//! --test fuzz_scenarios`.
+
+use hiloc_sim::fuzz::{cases_from_env, fuzz_batch, generate, parse_dsl, CacheMode};
+
+/// Fixed CI base seeds; together the two gates run ≥ 64 scenarios.
+const BASE_SEED_OFF: u64 = 0x48_49_4C_4F_C0_01;
+const BASE_SEED_ON: u64 = 0x48_49_4C_4F_CA_C4;
+
+#[test]
+fn fuzz_batch_caches_off_is_oracle_green() {
+    let cases = cases_from_env(32);
+    let stats = fuzz_batch(BASE_SEED_OFF, cases, CacheMode::Off);
+    assert_eq!(stats.cases, cases);
+    // The batch must exercise the machinery, not idle: a fixed seed
+    // guarantees these hold deterministically.
+    assert!(stats.events > 0, "no timeline verbs generated: {stats:?}");
+    assert!(stats.reshapes > 0, "no scenario reshaped the tree: {stats:?}");
+    assert!(stats.crashes > 0, "no scenario crashed a server: {stats:?}");
+    assert!(stats.transfers_completed > 0, "no bulk transfer ran: {stats:?}");
+    assert_eq!(stats.cache_answers, 0, "caches off must serve nothing");
+}
+
+#[test]
+fn fuzz_batch_caches_on_is_oracle_green_under_bounded_staleness() {
+    let cases = cases_from_env(32);
+    let stats = fuzz_batch(BASE_SEED_ON, cases, CacheMode::On { max_aged_acc_m: 100.0 });
+    assert_eq!(stats.cases, cases);
+    assert!(stats.events > 0 && stats.reshapes > 0 && stats.crashes > 0, "{stats:?}");
+    // With caches on, the settled double-queries must actually be
+    // served from the §6.5 caches somewhere in the batch — otherwise
+    // the bounded-staleness oracle verified nothing.
+    assert!(stats.cache_answers > 0, "no cache ever answered: {stats:?}");
+}
+
+#[test]
+fn generator_is_deterministic_per_seed() {
+    let a = generate(0xDEAD_BEEF, CacheMode::Off);
+    let b = generate(0xDEAD_BEEF, CacheMode::Off);
+    assert_eq!(a, b, "same seed must generate the identical spec");
+    assert_eq!(a.to_dsl(), b.to_dsl());
+    let c = generate(0xDEAD_BEE0, CacheMode::Off);
+    assert_ne!(a.to_dsl(), c.to_dsl(), "different seeds must explore different scenarios");
+}
+
+#[test]
+fn generated_timelines_are_valid_and_round_trip_through_the_dsl() {
+    for seed in 0..200u64 {
+        let mode = if seed % 2 == 0 {
+            CacheMode::Off
+        } else {
+            CacheMode::On { max_aged_acc_m: 50.0 + seed as f64 }
+        };
+        let spec = generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), mode);
+        assert!(spec.valid(), "generator emitted an invalid timeline for seed {seed}: {spec:?}");
+        let parsed = parse_dsl(&spec.to_dsl())
+            .unwrap_or_else(|e| panic!("DSL round-trip failed for seed {seed}: {e}"));
+        assert_eq!(parsed, spec, "DSL round-trip must be exact (seed {seed})");
+    }
+}
+
+#[test]
+fn dsl_rejects_malformed_input() {
+    assert!(parse_dsl("seed=notanumber").is_err());
+    assert!(parse_dsl("frobnicate=1").is_err());
+    assert!(parse_dsl("ev=3:explode:7").is_err());
+    assert!(parse_dsl("part=12-"). is_err());
+    assert!(parse_dsl("mobility=teleport").is_err());
+}
+
+#[test]
+fn invalid_timelines_are_rejected_by_the_model() {
+    // Crash without restart: unclosable.
+    let s = parse_dsl("seed=1 levels=1 fanout=2 objects=4 steps=6 ev=2:crash:1").unwrap();
+    assert!(!s.valid());
+    // Restart of a server that never crashed.
+    let s = parse_dsl("seed=1 levels=1 fanout=2 objects=4 steps=6 ev=2:restart:1").unwrap();
+    assert!(!s.valid());
+    // Promote over a live root.
+    let s = parse_dsl("seed=1 levels=1 fanout=2 objects=4 steps=6 ev=2:promote").unwrap();
+    assert!(!s.valid());
+    // Retire of a root-leaf's last mergeable sibling chain (root has
+    // no parent — retiring the root itself is never legal).
+    let s = parse_dsl("seed=1 levels=1 fanout=2 objects=4 steps=6 ev=2:retire:0").unwrap();
+    assert!(!s.valid());
+    // Retire of a crashed (draining-impossible) server.
+    let s = parse_dsl(
+        "seed=1 levels=1 fanout=2 objects=4 steps=8 ev=2:crash:1 ev=3:retire:1 ev=5:restart:1",
+    )
+    .unwrap();
+    assert!(!s.valid());
+    // Event scheduled at/after the last step.
+    let s = parse_dsl("seed=1 levels=1 fanout=2 objects=4 steps=6 ev=6:spawn:1").unwrap();
+    assert!(!s.valid());
+    // The same timeline, properly closed, is fine.
+    let s = parse_dsl(
+        "seed=1 levels=1 fanout=2 objects=4 steps=8 ev=2:crash:1 ev=5:restart:1",
+    )
+    .unwrap();
+    assert!(s.valid());
+}

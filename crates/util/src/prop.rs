@@ -44,9 +44,54 @@ impl RngCore for Gen {
 }
 
 impl Gen {
+    /// A standalone generator for `seed`, outside a [`check`] loop —
+    /// the entry point for harnesses (like the scenario fuzzer) that
+    /// manage their own case numbering and print the seed themselves
+    /// so any drawn structure can be regenerated bit-for-bit.
+    pub fn for_seed(seed: u64) -> Self {
+        Gen { rng: StdRng::seed_from_u64(seed), case: 0 }
+    }
+
     /// The 0-based case number this generator belongs to.
     pub fn case(&self) -> u32 {
         self.case
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        use crate::rng::RngExt;
+        self.random_bool(p)
+    }
+
+    /// A uniformly chosen element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        use crate::rng::RngExt;
+        self.choose(items).expect("pick from an empty slice")
+    }
+
+    /// An index drawn with probability proportional to `weights[i]`
+    /// (entries with weight 0 are never drawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or sums to 0.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        use crate::rng::RngExt;
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "weighted pick needs a positive total weight");
+        let mut draw = self.random_range(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        unreachable!("draw < total by construction")
     }
 
     /// A random byte vector with length in `0..=max_len`.
@@ -151,5 +196,47 @@ mod tests {
             assert!(g.index(7) < 7);
             assert_eq!(g.index(0), 0);
         });
+    }
+
+    #[test]
+    fn for_seed_is_deterministic() {
+        let a: Vec<u64> = (0..8).map(|_| Gen::for_seed(99).next_u64()).collect();
+        assert!(a.windows(2).all(|w| w[0] == w[1]), "same seed, same first draw");
+        let mut g = Gen::for_seed(99);
+        let mut h = Gen::for_seed(99);
+        for _ in 0..32 {
+            assert_eq!(g.next_u64(), h.next_u64());
+        }
+        assert_ne!(Gen::for_seed(1).next_u64(), Gen::for_seed(2).next_u64());
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut g = Gen::for_seed(5);
+        for _ in 0..200 {
+            let i = g.weighted(&[0, 3, 0, 1]);
+            assert!(i == 1 || i == 3, "zero-weight arm drawn: {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_hits_every_positive_arm() {
+        let mut g = Gen::for_seed(6);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            seen[g.weighted(&[1, 1, 1])] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn pick_and_chance_draw_from_the_stream() {
+        let mut g = Gen::for_seed(7);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(g.pick(&items)));
+        }
+        let heads = (0..1000).filter(|_| g.chance(0.5)).count();
+        assert!((300..=700).contains(&heads), "fair-ish coin: {heads}");
     }
 }

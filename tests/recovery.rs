@@ -79,9 +79,12 @@ fn position_query_after_restart_probes_and_recovers_on_update() {
 
     // The query cannot be answered yet (sighting lost) — the server
     // asks the registrant for a fresh update (restore-on-demand, §5).
+    // At least one probe is sent for the query itself; the path
+    // keep-alive additionally probes restore-pending records
+    // proactively each refresh period, so the count is a floor.
     let err = ls.pos_query(entry, ObjectId(7)).unwrap_err();
     assert!(matches!(err, LsError::UnknownObject(_)));
-    assert_eq!(ls.server(agent).stats().probes_sent, 1);
+    assert!(ls.server(agent).stats().probes_sent >= 1);
     ls.run_until_quiet(); // let the in-flight probe reach the object
     let probes = ls.drain_client(SimDeployment::object_endpoint(ObjectId(7)));
     assert!(
