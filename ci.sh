@@ -2,34 +2,17 @@
 # CI gate for the hiloc workspace.
 #
 # Everything runs with --offline: the workspace has a zero-external-
-# dependency policy (see README.md), and this script proves on every
-# run that no [dependencies] entry outside the workspace has crept in.
+# dependency policy (see README.md), enforced — along with the
+# determinism, wall-clock, hot-path, and wire-coverage invariants — by
+# the hiloc-lint static analyzer, which gates everything below. The old
+# standalone awk manifest guard lives on as hiloc-lint's `manifest`
+# rule (crates/lint/src/rules/manifest.rs), which also handles `path`
+# appearing after `version` in a dependency table.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> guard: no external dependencies in any manifest"
-bad=$(find . -path ./target -prune -o -name Cargo.toml -print | while read -r m; do
-    awk -v file="$m" '
-        # Track [dependencies]-style sections, including the
-        # [dependencies.<name>] table-header form.
-        /^\[/ {
-            list_section = ($0 ~ /dependencies\]$/)
-            table_section = ($0 ~ /dependencies\.[A-Za-z0-9_-]+\]$/)
-            table_has_path = 0
-            table_header = $0
-        }
-        list_section && /^[a-zA-Z0-9_-]+ *=/ && !/path *=/ { print file ": " $0 }
-        table_section && /^path *=/ { table_has_path = 1 }
-        table_section && /^(version|git|registry) *=/ && !table_has_path {
-            print file ": " table_header " " $0
-        }
-    ' "$m"
-done)
-if [ -n "$bad" ]; then
-    echo "error: found a non-path dependency in a Cargo.toml:" >&2
-    echo "$bad" >&2
-    exit 1
-fi
+echo "==> hiloc-lint (determinism / wallclock / hot_path / manifest / wire)"
+cargo run -q --offline -p hiloc-lint -- check
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace

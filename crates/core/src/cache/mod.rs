@@ -17,7 +17,7 @@
 use crate::model::{LocationDescriptor, Micros, ObjectId, SECOND};
 use hiloc_geo::Rect;
 use hiloc_net::ServerId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which caches are enabled, and the position cache's staleness policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,9 +89,9 @@ impl CachedPosition {
 #[derive(Debug, Default)]
 pub struct Caches {
     config: CacheConfig,
-    areas: HashMap<ServerId, Rect>,
-    agents: HashMap<ObjectId, ServerId>,
-    positions: HashMap<ObjectId, CachedPosition>,
+    areas: BTreeMap<ServerId, Rect>,
+    agents: BTreeMap<ObjectId, ServerId>,
+    positions: BTreeMap<ObjectId, CachedPosition>,
     hits: u64,
     misses: u64,
 }

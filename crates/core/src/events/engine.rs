@@ -4,7 +4,7 @@ use super::{EventKind, Predicate};
 use crate::model::ObjectId;
 use hiloc_geo::Point;
 use hiloc_net::{Endpoint, ServerId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A membership change detected by a leaf observer, to be reported to
 /// the event's coordinator.
@@ -26,13 +26,13 @@ pub struct ObserverDelta {
 struct Observer {
     coordinator: ServerId,
     predicate: Predicate,
-    members: HashSet<ObjectId>,
+    members: BTreeSet<ObjectId>,
 }
 
 /// The observers installed at one leaf server.
 #[derive(Debug, Default)]
 pub struct LeafObservers {
-    installed: HashMap<u64, Observer>,
+    installed: BTreeMap<u64, Observer>,
 }
 
 impl LeafObservers {
@@ -53,7 +53,7 @@ impl LeafObservers {
         current_positions: impl Iterator<Item = (ObjectId, Point)>,
     ) -> ObserverDelta {
         let area = predicate.area().clone();
-        let members: HashSet<ObjectId> = current_positions
+        let members: BTreeSet<ObjectId> = current_positions
             .filter(|(_, pos)| area.contains(*pos))
             .map(|(oid, _)| oid)
             .collect();
@@ -128,13 +128,13 @@ impl LeafObservers {
 struct Coord {
     predicate: Predicate,
     subscriber: Endpoint,
-    leaf_counts: HashMap<ServerId, u32>,
+    leaf_counts: BTreeMap<ServerId, u32>,
     /// Which leaves currently claim each object as a member. An object
     /// crossing an internal leaf boundary *within* the watched area is
     /// briefly claimed by two leaves (the new agent reports Enter
     /// before the old agent reports Leave), so Enter/Leave fire only on
     /// empty↔non-empty transitions of the claim set.
-    claims: HashMap<ObjectId, std::collections::HashSet<ServerId>>,
+    claims: BTreeMap<ObjectId, std::collections::BTreeSet<ServerId>>,
     /// `CountAtLeast` only: true while the threshold has not fired
     /// since the count was last below it.
     armed: bool,
@@ -143,7 +143,7 @@ struct Coord {
 /// The events coordinated by one (entry) server.
 #[derive(Debug, Default)]
 pub struct CoordinatorEvents {
-    events: HashMap<u64, Coord>,
+    events: BTreeMap<u64, Coord>,
 }
 
 impl CoordinatorEvents {
@@ -159,8 +159,8 @@ impl CoordinatorEvents {
             Coord {
                 predicate,
                 subscriber,
-                leaf_counts: HashMap::new(),
-                claims: HashMap::new(),
+                leaf_counts: BTreeMap::new(),
+                claims: BTreeMap::new(),
                 armed: true,
             },
         );

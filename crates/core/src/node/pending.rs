@@ -9,7 +9,7 @@ use crate::model::{Micros, ObjectId, RangeQuery};
 use crate::proto::ObjectLocation;
 use hiloc_geo::Point;
 use hiloc_net::{CorrId, Endpoint, ServerId};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What a node must do when the handover response passes through it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +101,7 @@ pub struct RangeGather {
     /// Target coverage: area of `Enlarge(a) ∩ root area` (m²).
     pub target_m2: f64,
     /// Leaves already counted (guards against duplicate delivery).
-    pub seen_leaves: HashSet<ServerId>,
+    pub seen_leaves: BTreeSet<ServerId>,
     /// True while the scatter went directly to cached leaf areas
     /// (§6.5): on deadline the entry flushes the area cache and retries
     /// once through the hierarchy instead of giving up — a stale cache
@@ -142,7 +142,7 @@ pub struct NnGather {
     /// Target coverage for this round (m²).
     pub target_m2: f64,
     /// Leaves already counted this round.
-    pub seen_leaves: HashSet<ServerId>,
+    pub seen_leaves: BTreeSet<ServerId>,
     /// Number of ring escalations performed.
     pub escalations: u32,
     /// Give-up deadline.
@@ -251,7 +251,7 @@ mod tests {
             items: Vec::new(),
             covered_m2: 0.999_999_999_9,
             target_m2: 1.0,
-            seen_leaves: HashSet::new(),
+            seen_leaves: BTreeSet::new(),
             via_cache: false,
             deadline_us: 0,
         };

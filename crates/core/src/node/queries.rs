@@ -10,7 +10,7 @@ use crate::model::{LocationDescriptor, Micros, ObjectId, RangeQuery};
 use crate::proto::{Message, ObjectLocation};
 use hiloc_geo::{Point, Rect};
 use hiloc_net::{CorrId, Endpoint, ServerId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Outcome of checking whether this server can answer a position query
 /// from its own databases.
@@ -27,7 +27,7 @@ enum LocalAnswer {
 /// Removes duplicate objects (message duplication can deliver a leaf's
 /// sub-result twice) keeping first occurrences.
 pub(crate) fn dedup_items(items: Vec<ObjectLocation>) -> Vec<ObjectLocation> {
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     items.into_iter().filter(|(oid, _)| seen.insert(*oid)).collect()
 }
 
@@ -237,7 +237,7 @@ impl LocationServer {
             items: Vec::new(),
             covered_m2: 0.0,
             target_m2,
-            seen_leaves: HashSet::new(),
+            seen_leaves: BTreeSet::new(),
             via_cache: false,
             deadline_us: now + self.opts.query_timeout_us,
         };
@@ -411,7 +411,7 @@ impl LocationServer {
             items: Vec::new(),
             covered_m2: 0.0,
             target_m2,
-            seen_leaves: HashSet::new(),
+            seen_leaves: BTreeSet::new(),
             escalations,
             deadline_us: now + self.opts.query_timeout_us,
         };

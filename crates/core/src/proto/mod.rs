@@ -626,6 +626,7 @@ impl Message {
     /// message. One-shot encodes ([`WireCodec::to_bytes`]) use it to
     /// allocate exactly once — no `with_capacity(64)` guess, no
     /// reallocation for large range results.
+    // lint:hot_path
     pub fn encoded_len(&self) -> usize {
         1 + match self {
             Message::RegisterReq { .. } => {

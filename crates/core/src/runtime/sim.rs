@@ -13,7 +13,7 @@ use hiloc_net::{
     ClientId, CorrId, CorrIdGen, Endpoint, Envelope, FaultPlan, LatencyModel, ServerId, SimNet,
     TraceEntry,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Safety cap on deliveries per blocking operation (guards against
 /// protocol loops in development).
@@ -89,7 +89,7 @@ pub struct SimDeployment {
     /// to them are blackholed until [`SimDeployment::restart_server`].
     down: Vec<bool>,
     net: SimNet<Message>,
-    inboxes: HashMap<ClientId, VecDeque<Message>>,
+    inboxes: BTreeMap<ClientId, VecDeque<Message>>,
     corr: CorrIdGen,
     next_ephemeral_client: u64,
     /// Messages blackholed at crashed servers.
@@ -140,7 +140,7 @@ impl SimDeployment {
             servers,
             down,
             net: SimNet::new(latency, faults, seed),
-            inboxes: HashMap::new(),
+            inboxes: BTreeMap::new(),
             corr: CorrIdGen::namespaced(1 << 20),
             next_ephemeral_client: 1 << 40,
             blackholed: 0,

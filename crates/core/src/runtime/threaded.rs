@@ -1,5 +1,6 @@
 //! Threaded deployment: one OS thread per location server.
 
+// lint:allow-file(wallclock) real-time deployment runtime: deadlines and shutdown timeouts come from the host clock by design
 use crate::area::Hierarchy;
 use crate::model::{
     LocationDescriptor, LsError, Micros, NeighborAnswer, ObjectId, RangeAnswer, RangeQuery,

@@ -7,6 +7,7 @@
 //! [`Message`]s. It is the deployment you would split across real hosts
 //! (the address book is plain socket addresses).
 
+// lint:allow-file(wallclock) real-time deployment runtime: deadlines and shutdown timeouts come from the host clock by design
 use crate::area::Hierarchy;
 use crate::model::{
     LocationDescriptor, LsError, Micros, NeighborAnswer, ObjectId, RangeAnswer, RangeQuery,
@@ -17,7 +18,7 @@ use crate::proto::Message;
 use crate::runtime::UpdateOutcome;
 use hiloc_geo::Point;
 use hiloc_net::{ClientId, CorrIdGen, Endpoint, Envelope, ServerId, UdpEndpoint, UdpError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,7 +55,7 @@ const MAX_TIMER_NAP: Duration = Duration::from_millis(50);
 /// ```
 pub struct UdpDeployment {
     hierarchy: Hierarchy,
-    addrs: HashMap<Endpoint, SocketAddr>,
+    addrs: BTreeMap<Endpoint, SocketAddr>,
     shutdown: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     epoch: Instant,
@@ -78,7 +79,7 @@ impl UdpDeployment {
     pub fn bind(hierarchy: Hierarchy, opts: ServerOptions) -> Result<Self, UdpError> {
         let epoch = Instant::now();
         let mut endpoints = Vec::with_capacity(hierarchy.len());
-        let mut addrs: HashMap<Endpoint, SocketAddr> = HashMap::new();
+        let mut addrs: BTreeMap<Endpoint, SocketAddr> = BTreeMap::new();
         for cfg in hierarchy.servers() {
             let ep: UdpEndpoint<Message> =
                 UdpEndpoint::bind(cfg.id.into(), "127.0.0.1:0".parse().expect("valid addr"))?;

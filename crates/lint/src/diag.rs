@@ -1,0 +1,44 @@
+//! Diagnostics: what a rule reports.
+
+use std::fmt;
+
+/// One finding, anchored to a `file:line` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings such as a missing guard
+    /// function).
+    pub line: u32,
+    /// The rule that fired (`determinism`, `wallclock`, ...).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(file: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic { file: file.to_string(), line, rule, message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_as_file_line_rule_message() {
+        let d = Diagnostic::new("crates/core/src/lib.rs", 12, "determinism", "HashMap banned");
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/lib.rs:12: [determinism] HashMap banned"
+        );
+    }
+}

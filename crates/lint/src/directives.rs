@@ -1,0 +1,156 @@
+//! In-source `lint:` directives.
+//!
+//! Three forms, all inside ordinary comments:
+//!
+//! * `// lint:allow(<rule>) <reason>` — suppresses `<rule>` on the
+//!   comment's own line and the line directly below it (covering both
+//!   trailing and standalone placement). The reason is mandatory.
+//! * `// lint:allow-file(<rule>) <reason>` — suppresses `<rule>` for
+//!   the whole file. For files that are exceptions by design (e.g. the
+//!   wall-clock reads in the real UDP runtime).
+//! * `// lint:hot_path` — marks the next `fn` item as a hot-path
+//!   region: the `hot_path` rule flags allocating constructs inside it.
+//!
+//! Every allow is tracked: one that suppresses nothing is itself a
+//! diagnostic (`unused-allow`), so the baseline can only shrink.
+
+use crate::lexer::Comment;
+
+/// One `lint:allow(...)` occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the closing parenthesis (trimmed).
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// True for `lint:allow-file`.
+    pub file_scope: bool,
+}
+
+/// All directives of one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// `lint:allow` / `lint:allow-file` entries, in source order.
+    pub allows: Vec<Allow>,
+    /// Lines carrying a `lint:hot_path` marker.
+    pub hot_path_markers: Vec<u32>,
+    /// Malformed directives: `(line, what-is-wrong)`.
+    pub errors: Vec<(u32, String)>,
+}
+
+/// Parses the directives out of a file's comments.
+///
+/// A directive must be the first thing in its comment (`// lint:...`);
+/// a `lint:` mentioned mid-prose — documentation describing the syntax,
+/// say — is never interpreted.
+pub fn parse(_rel: &str, comments: &[Comment]) -> Directives {
+    let mut d = Directives::default();
+    for c in comments {
+        let Some(tail) = c.text.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        if let Some(args) = tail.strip_prefix("allow-file(") {
+            parse_allow(args, c.line, true, &mut d);
+        } else if let Some(args) = tail.strip_prefix("allow(") {
+            parse_allow(args, c.line, false, &mut d);
+        } else if tail.starts_with("hot_path") {
+            d.hot_path_markers.push(c.line);
+        } else {
+            d.errors.push((
+                c.line,
+                format!(
+                    "unrecognized lint directive `lint:{}`",
+                    tail.split_whitespace().next().unwrap_or("")
+                ),
+            ));
+        }
+    }
+    d
+}
+
+fn parse_allow(args: &str, line: u32, file_scope: bool, d: &mut Directives) {
+    let Some(close) = args.find(')') else {
+        d.errors.push((line, "lint:allow missing closing parenthesis".to_string()));
+        return;
+    };
+    let rule = args[..close].trim().to_string();
+    if rule.is_empty() {
+        d.errors.push((line, "lint:allow with empty rule name".to_string()));
+        return;
+    }
+    let reason = args[close + 1..].trim().to_string();
+    if reason.is_empty() {
+        d.errors.push((
+            line,
+            format!("lint:allow({rule}) requires a reason after the parenthesis"),
+        ));
+        return;
+    }
+    d.allows.push(Allow { rule, reason, line, file_scope });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(text: &str) -> Directives {
+        parse(
+            "x.rs",
+            &[Comment { text: text.to_string(), line: 7, trailing: false }],
+        )
+    }
+
+    #[test]
+    fn parses_allow_with_reason() {
+        let d = one(" lint:allow(determinism) lookup-only map, never iterated");
+        assert_eq!(d.allows.len(), 1);
+        let a = &d.allows[0];
+        assert_eq!(a.rule, "determinism");
+        assert_eq!(a.reason, "lookup-only map, never iterated");
+        assert_eq!(a.line, 7);
+        assert!(!a.file_scope);
+        assert!(d.errors.is_empty());
+    }
+
+    #[test]
+    fn parses_allow_file() {
+        let d = one(" lint:allow-file(wallclock) real-time runtime by design");
+        assert!(d.allows[0].file_scope);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let d = one(" lint:allow(determinism)");
+        assert!(d.allows.is_empty());
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.errors[0].1.contains("requires a reason"));
+    }
+
+    #[test]
+    fn hot_path_marker() {
+        let d = one(" lint:hot_path");
+        assert_eq!(d.hot_path_markers, vec![7]);
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let d = one(" lint:frobnicate(x)");
+        assert_eq!(d.errors.len(), 1);
+    }
+
+    #[test]
+    fn plain_mention_of_the_word_lint_is_fine() {
+        let d = one(" the lint gate runs in ci.sh");
+        assert!(d.allows.is_empty());
+        assert!(d.errors.is_empty());
+    }
+
+    #[test]
+    fn mid_prose_syntax_description_is_not_a_directive() {
+        let d = one(" suppress with `lint:allow(determinism) reason` as needed");
+        assert!(d.allows.is_empty());
+        assert!(d.errors.is_empty());
+    }
+}

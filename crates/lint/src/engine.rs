@@ -1,0 +1,276 @@
+//! The engine: runs the rules, applies the allow baseline, and turns
+//! directive problems into diagnostics of their own.
+//!
+//! Allows are tracked: one that suppresses nothing is reported as
+//! `unused lint:allow`, so the baseline can only shrink over time. Meta
+//! diagnostics (malformed directives, unknown rule names, unused
+//! allows) carry the rule name [`META_RULE`] and cannot themselves be
+//! suppressed.
+
+use crate::diag::Diagnostic;
+use crate::directives::{self, Allow};
+use crate::lexer::Comment;
+use crate::rules::{default_rules, known_rule};
+use crate::source::AnalyzedWorkspace;
+
+/// Rule name carried by meta diagnostics; deliberately not a real rule,
+/// so `lint:allow(lint)` is itself an unknown-rule error.
+pub const META_RULE: &str = "lint";
+
+/// One allow with the file it lives in and a use-tracking flag.
+struct AllowEntry {
+    file: String,
+    allow: Allow,
+    used: bool,
+}
+
+/// Runs every rule over the workspace and returns the surviving
+/// diagnostics, sorted by `(file, line)`.
+pub fn check(ws: &AnalyzedWorkspace) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for rule in default_rules() {
+        for f in &ws.rust {
+            rule.check_file(f, &mut raw);
+        }
+        rule.check_workspace(ws, &mut raw);
+    }
+
+    let mut out = Vec::new();
+    let mut entries = collect_allows(ws, &mut out);
+
+    // Filter rule findings through the allow baseline.
+    for d in raw {
+        let suppressed = entries.iter_mut().any(|e| {
+            e.file == d.file
+                && e.allow.rule == d.rule
+                && known_rule(&e.allow.rule)
+                && (e.allow.file_scope
+                    || d.line == e.allow.line
+                    || d.line == e.allow.line + 1)
+                && {
+                    e.used = true;
+                    true
+                }
+        });
+        if !suppressed {
+            out.push(d);
+        }
+    }
+
+    // An allow that suppressed nothing is stale — report it so the
+    // baseline shrinks when the underlying code is fixed.
+    for e in &entries {
+        if known_rule(&e.allow.rule) && !e.used {
+            out.push(Diagnostic::new(
+                &e.file,
+                e.allow.line,
+                META_RULE,
+                format!(
+                    "unused lint:allow{}({}) — it suppresses nothing; remove it",
+                    if e.allow.file_scope { "-file" } else { "" },
+                    e.allow.rule
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out
+}
+
+/// Gathers every allow in the workspace (Rust and manifest files),
+/// emitting meta diagnostics for malformed directives and unknown rule
+/// names along the way.
+fn collect_allows(ws: &AnalyzedWorkspace, out: &mut Vec<Diagnostic>) -> Vec<AllowEntry> {
+    let mut entries = Vec::new();
+    let mut take = |rel: &str, d: directives::Directives| {
+        for (line, msg) in d.errors {
+            out.push(Diagnostic::new(rel, line, META_RULE, msg));
+        }
+        for a in d.allows {
+            if !known_rule(&a.rule) {
+                out.push(Diagnostic::new(
+                    rel,
+                    a.line,
+                    META_RULE,
+                    format!("lint:allow names unknown rule `{}`", a.rule),
+                ));
+            }
+            entries.push(AllowEntry { file: rel.to_string(), allow: a, used: false });
+        }
+    };
+    for f in &ws.rust {
+        // Directives were parsed at lex time; re-borrow them here. The
+        // clone keeps `LexedFile` immutable for the rules.
+        take(
+            &f.rel,
+            directives::Directives {
+                allows: f.directives.allows.clone(),
+                hot_path_markers: Vec::new(),
+                errors: f.directives.errors.clone(),
+            },
+        );
+    }
+    for m in &ws.manifests {
+        take(&m.rel, directives::parse(&m.rel, &toml_comments(&m.text)));
+    }
+    entries
+}
+
+/// The `# ...` comments of a TOML file, shaped like lexer comments so
+/// the same directive grammar applies to manifests.
+fn toml_comments(text: &str) -> Vec<Comment> {
+    let mut comments = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        // A `#` inside a TOML basic string would be misread here, but
+        // no manifest in this workspace puts one there.
+        if let Some(at) = line.find('#') {
+            comments.push(Comment {
+                text: line[at + 1..].to_string(),
+                line: idx as u32 + 1,
+                trailing: !line[..at].trim().is_empty(),
+            });
+        }
+    }
+    comments
+}
+
+/// Every allow on the baseline, formatted one per line for
+/// `hiloc-lint list-allows`.
+pub fn list_allows(ws: &AnalyzedWorkspace) -> Vec<String> {
+    let mut scratch = Vec::new();
+    let mut lines: Vec<String> = collect_allows(ws, &mut scratch)
+        .into_iter()
+        .map(|e| {
+            format!(
+                "{}:{}: allow{}({}) — {}",
+                e.file,
+                e.allow.line,
+                if e.allow.file_scope { "-file" } else { "" },
+                e.allow.rule,
+                e.allow.reason
+            )
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{analyze, SourceFile};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, text)| SourceFile { rel: rel.to_string(), text: text.to_string() })
+            .collect();
+        check(&analyze(&files))
+    }
+
+    #[test]
+    fn finding_surfaces_without_allow() {
+        let d = run(&[("crates/core/src/x.rs", "use std::collections::HashMap;\n")]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "determinism");
+    }
+
+    #[test]
+    fn line_allow_suppresses_own_and_next_line() {
+        let d = run(&[(
+            "crates/core/src/x.rs",
+            "// lint:allow(determinism) lookup-only, never iterated\nuse std::collections::HashMap;\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+        let d = run(&[(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap; // lint:allow(determinism) lookup-only, never iterated\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_later_lines() {
+        let d = run(&[(
+            "crates/core/src/x.rs",
+            "// lint:allow(determinism) first one only\nuse std::collections::HashMap;\n\nstruct S { m: HashMap<u64, u8> }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let d = run(&[(
+            "crates/core/src/rt.rs",
+            "// lint:allow-file(wallclock) real-time runtime by design\nfn a() { Instant::now(); }\nfn b() { SystemTime::now(); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let d = run(&[(
+            "crates/core/src/x.rs",
+            "// lint:allow(determinism) left behind after a fix\nfn a() {}\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, META_RULE);
+        assert!(d[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported_and_does_not_suppress() {
+        let d = run(&[(
+            "crates/core/src/x.rs",
+            "// lint:allow(determinsm) typo\nuse std::collections::HashMap;\n",
+        )]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.rule == META_RULE && x.message.contains("unknown rule")));
+        assert!(d.iter().any(|x| x.rule == "determinism"));
+    }
+
+    #[test]
+    fn malformed_directive_is_reported() {
+        let d = run(&[("crates/core/src/x.rs", "// lint:allow(determinism)\nfn a() {}\n")]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, META_RULE);
+        assert!(d[0].message.contains("requires a reason"));
+    }
+
+    #[test]
+    fn manifest_allow_via_toml_comment() {
+        let d = run(&[(
+            "crates/x/Cargo.toml",
+            "[dependencies]\n# lint:allow(manifest) vendored locally, builds offline\nfoo = \"1.0\"\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn list_allows_reports_reasons() {
+        let files = [(
+            "crates/core/src/x.rs",
+            "// lint:allow(determinism) lookup-only\nuse std::collections::HashMap;\n",
+        )];
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, text)| SourceFile { rel: rel.to_string(), text: text.to_string() })
+            .collect();
+        let allows = list_allows(&analyze(&files));
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].contains("allow(determinism) — lookup-only"));
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_file_then_line() {
+        let d = run(&[
+            ("crates/core/src/b.rs", "struct S { m: HashMap<u64, u8> }\nuse std::collections::HashMap;\n"),
+            ("crates/core/src/a.rs", "use std::collections::HashMap;\n"),
+        ]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].file, "crates/core/src/a.rs");
+        assert!(d[1].line <= d[2].line);
+    }
+}

@@ -1,0 +1,123 @@
+//! The `hiloc-lint` command-line interface.
+//!
+//! ```text
+//! hiloc-lint check [--root PATH]    # run all rules; exit 1 on findings
+//! hiloc-lint list-allows [--root PATH]
+//! hiloc-lint rules                  # print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hiloc_lint::rules::default_rules;
+use hiloc_lint::{analyze, check, list_allows, load_workspace};
+
+const USAGE: &str = "usage: hiloc-lint <check|list-allows|rules> [--root PATH]";
+
+/// `println!` panics if stdout closes early (`hiloc-lint check | head`);
+/// swallow the broken pipe and exit with the already-decided verdict
+/// instead — a truncated reader must not turn findings into a clean exit.
+macro_rules! out {
+    ($verdict:expr, $($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            return $verdict;
+        }
+    };
+}
+
+fn main() -> ExitCode {
+    let mut cmd: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--list-allows" => cmd = Some("list-allows".to_string()),
+            "check" | "list-allows" | "rules" if cmd.is_none() => cmd = Some(a),
+            _ => return usage_error(&format!("unexpected argument `{a}`")),
+        }
+    }
+
+    let cmd = cmd.unwrap_or_else(|| "check".to_string());
+    if cmd == "rules" {
+        for r in default_rules() {
+            out!(ExitCode::SUCCESS, "{:<12} {}", r.name(), r.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("hiloc-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hiloc-lint: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let ws = analyze(&files);
+
+    match cmd.as_str() {
+        "list-allows" => {
+            for line in list_allows(&ws) {
+                out!(ExitCode::SUCCESS, "{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            let diags = check(&ws);
+            let verdict =
+                if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            for d in &diags {
+                out!(verdict, "{d}");
+            }
+            if diags.is_empty() {
+                out!(
+                    verdict,
+                    "hiloc-lint: clean ({} Rust files, {} manifests, {} rules, {} allows)",
+                    ws.rust.len(),
+                    ws.manifests.len(),
+                    default_rules().len(),
+                    list_allows(&ws).len()
+                );
+            } else {
+                eprintln!("hiloc-lint: {} finding(s)", diags.len());
+            }
+            verdict
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hiloc-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

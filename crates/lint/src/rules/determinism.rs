@@ -1,0 +1,128 @@
+//! `determinism` — randomized-iteration containers banned in
+//! replay-sensitive crates.
+//!
+//! Same-seed chaos/fuzz runs must be bit-for-bit identical (ROADMAP
+//! standing constraint; the fuzzer's shrunk reproducers depend on it).
+//! `HashMap`/`HashSet` iteration order varies across processes thanks
+//! to `RandomState`, so one stray hash container whose order reaches a
+//! trace, a wire message or an on-disk snapshot invalidates every
+//! same-seed reproducer. State in the replay-sensitive crates therefore
+//! uses `BTreeMap`/`BTreeSet` (or the sighting slab); genuinely
+//! lookup-only hash maps carry a justified `lint:allow(determinism)`.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::LexedFile;
+
+/// Crate source trees where the ban applies. Everything that feeds the
+/// deterministic simulator or durable state: core, sim, storage, plus
+/// the net layer (trace-visible envelopes) and the spatial indexes
+/// (query results feed wire messages).
+const SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/storage/src/",
+    "crates/net/src/",
+    "crates/spatial/src/",
+];
+
+/// Banned identifiers.
+const BANNED: &[&str] = &["HashMap", "HashSet", "RandomState", "hash_map", "hash_set"];
+
+/// The `determinism` rule.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet/RandomState banned in replay-sensitive crates \
+         (core, sim, storage, net, spatial); use BTreeMap/BTreeSet or a \
+         justified lint:allow(determinism)"
+    }
+
+    fn check_file(&self, file: &LexedFile, out: &mut Vec<Diagnostic>) {
+        if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+            return;
+        }
+        for tok in &file.lexed.tokens {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            if BANNED.contains(&tok.text.as_str()) && !file.in_test_code(tok.line) {
+                out.push(Diagnostic::new(
+                    &file.rel,
+                    tok.line,
+                    self.name(),
+                    format!(
+                        "`{}` has randomized iteration order; use BTreeMap/BTreeSet \
+                         so same-seed runs stay bit-for-bit identical, or justify \
+                         with `lint:allow(determinism) <reason>`",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = LexedFile::new(&SourceFile { rel: rel.into(), text: src.into() });
+        let mut out = Vec::new();
+        Determinism.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hashmap_in_core() {
+        let d = check(
+            "crates/core/src/state.rs",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u8> }\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_free() {
+        assert!(check("crates/bench/src/x.rs", "use std::collections::HashMap;").is_empty());
+        assert!(check("crates/util/src/x.rs", "use std::collections::HashMap;").is_empty());
+    }
+
+    #[test]
+    fn tests_dirs_and_test_modules_are_free() {
+        assert!(check("crates/core/tests/x.rs", "use std::collections::HashMap;").is_empty());
+        let d = check(
+            "crates/core/src/x.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        let d = check(
+            "crates/core/src/x.rs",
+            "// a HashMap would be bad here\nconst W: &str = \"HashMap\";\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn randomstate_and_module_paths_flagged() {
+        let d = check(
+            "crates/storage/src/x.rs",
+            "use std::collections::hash_map::RandomState;\n",
+        );
+        assert_eq!(d.len(), 2); // `hash_map` and `RandomState`
+    }
+}

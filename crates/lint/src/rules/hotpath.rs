@@ -1,0 +1,174 @@
+//! `hot_path` — no allocation in functions marked `// lint:hot_path`.
+//!
+//! PR 3 made the update path allocation-free (slab sighting store,
+//! in-place spatial-index moves, scratch-buffer encodes); this rule
+//! keeps it that way. A marker comment above a function turns the rule
+//! on for that function's body; inside, allocating constructs
+//! (`format!`, `vec![...]`, `Vec::new`, `.clone()`, `.collect()`, ...)
+//! are flagged. Amortized or fault-path-only allocations stay, with a
+//! line-scoped `lint:allow(hot_path) <reason>` saying why they are not
+//! on the steady-state path.
+
+use super::{tokens_match, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::source::LexedFile;
+
+/// Allocating token patterns (see [`tokens_match`] for the notation).
+const BANNED: &[(&[&str], &str)] = &[
+    (&["format", "!"], "format! allocates a String"),
+    (&["vec", "!"], "vec! allocates"),
+    (&["Vec", ":", ":", "new"], "Vec::new defeats buffer reuse"),
+    (&["Vec", ":", ":", "with_capacity"], "Vec::with_capacity allocates"),
+    (&["String", ":", ":", "new"], "String::new defeats buffer reuse"),
+    (&["String", ":", ":", "from"], "String::from allocates"),
+    (&["String", ":", ":", "with_capacity"], "String::with_capacity allocates"),
+    (&["Box", ":", ":", "new"], "Box::new heap-allocates"),
+    (&[".", "clone", "("], ".clone() usually deep-copies"),
+    (&[".", "to_vec", "("], ".to_vec() copies into a fresh Vec"),
+    (&[".", "to_string", "("], ".to_string() allocates a String"),
+    (&[".", "to_owned", "("], ".to_owned() allocates"),
+    (&[".", "collect", "("], ".collect() usually allocates"),
+];
+
+/// The `hot_path` rule.
+pub struct HotPath;
+
+impl Rule for HotPath {
+    fn name(&self) -> &'static str {
+        "hot_path"
+    }
+
+    fn description(&self) -> &'static str {
+        "allocating constructs flagged inside functions marked \
+         `// lint:hot_path` (the PR 3 allocation-free update paths)"
+    }
+
+    fn check_file(&self, file: &LexedFile, out: &mut Vec<Diagnostic>) {
+        let t = &file.lexed.tokens;
+        for &marker_line in &file.directives.hot_path_markers {
+            let Some((body_start, body_end, fn_name)) = marked_fn_body(t, marker_line) else {
+                out.push(Diagnostic::new(
+                    &file.rel,
+                    marker_line,
+                    self.name(),
+                    "dangling lint:hot_path marker: no `fn` found after it",
+                ));
+                continue;
+            };
+            for i in body_start..body_end {
+                for (pat, why) in BANNED {
+                    if tokens_match(t, i, pat) {
+                        out.push(Diagnostic::new(
+                            &file.rel,
+                            t[i].line,
+                            self.name(),
+                            format!(
+                                "{why} inside hot-path fn `{fn_name}`; keep the \
+                                 steady state allocation-free or justify with \
+                                 `lint:allow(hot_path) <reason>`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The token index range `(body_start, body_end)` of the body of the
+/// first `fn` at or after `marker_line`, plus the function's name.
+/// `body_end` is the index of the closing brace (exclusive range start
+/// after the opening brace).
+fn marked_fn_body(t: &[Token], marker_line: u32) -> Option<(usize, usize, String)> {
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].is_ident("fn") && t[i].line >= marker_line {
+            let name = t.get(i + 1).map(|n| n.text.clone()).unwrap_or_default();
+            // Find the body's opening brace. A `;` first means a trait
+            // method signature — no body to check; keep scanning.
+            let mut j = i + 1;
+            while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= t.len() || t[j].is_punct(';') {
+                i = j + 1;
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < t.len() {
+                if t[k].is_punct('{') {
+                    depth += 1;
+                } else if t[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((j + 1, k, name));
+                    }
+                }
+                k += 1;
+            }
+            return Some((j + 1, t.len(), name));
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = LexedFile::new(&SourceFile { rel: "crates/core/src/x.rs".into(), text: src.into() });
+        let mut out = Vec::new();
+        HotPath.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_allocation_in_marked_fn() {
+        let d = check(
+            "// lint:hot_path\nfn hot(&mut self) {\n    let v = Vec::new();\n    let s = format!(\"x\");\n}\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[1].line, 4);
+        assert!(d[0].message.contains("`hot`"));
+    }
+
+    #[test]
+    fn unmarked_fns_are_free() {
+        assert!(check("fn cold() { let v = Vec::new(); }").is_empty());
+    }
+
+    #[test]
+    fn marker_scope_ends_at_fn_close() {
+        let d = check(
+            "// lint:hot_path\nfn hot() { let x = 1; }\nfn cold() { let v = Vec::new(); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn method_calls_flagged() {
+        let d = check("// lint:hot_path\nfn hot(v: &[u8]) { let c = v.to_vec(); }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn dangling_marker_reported() {
+        let d = check("// lint:hot_path\nconst X: u32 = 1;\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("dangling"));
+    }
+
+    #[test]
+    fn nested_braces_stay_in_scope() {
+        let d = check(
+            "// lint:hot_path\nfn hot() { if a { for b in c { x.clone(); } } }\nfn cold() {}\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! `manifest` — the zero-external-dependency policy, as a rule.
+//!
+//! Port of the ci.sh `awk` guard (PR 1): every entry in a
+//! `[dependencies]`-style section of any workspace `Cargo.toml` must be
+//! a `path` dependency. `version`/`git`/`registry` dependencies —
+//! inline or in `[dependencies.<name>]` table form — are flagged. ci.sh
+//! now delegates to this rule; the old awk script is retired.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::source::{AnalyzedWorkspace, SourceFile};
+
+/// The `manifest` rule.
+pub struct Manifest;
+
+impl Rule for Manifest {
+    fn name(&self) -> &'static str {
+        "manifest"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Cargo.toml dependency must be a path dependency \
+         (zero-external-dependency policy)"
+    }
+
+    fn check_workspace(&self, ws: &AnalyzedWorkspace, out: &mut Vec<Diagnostic>) {
+        for m in &ws.manifests {
+            check_manifest(m, out);
+        }
+    }
+}
+
+/// Section state while walking one manifest.
+#[derive(Default)]
+struct TableDep {
+    header: String,
+    has_path: bool,
+    /// First `version`/`git`/`registry` line seen in the table.
+    remote_line: Option<(u32, String)>,
+}
+
+fn check_manifest(m: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut in_list_section = false;
+    let mut table: Option<TableDep> = None;
+
+    let flush_table = |t: Option<TableDep>, out: &mut Vec<Diagnostic>| {
+        if let Some(t) = t {
+            if !t.has_path {
+                if let Some((line, text)) = t.remote_line {
+                    out.push(Diagnostic::new(
+                        &m.rel,
+                        line,
+                        "manifest",
+                        format!(
+                            "non-path dependency `{}` ({}): the workspace builds \
+                             --offline with zero external dependencies",
+                            t.header, text
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+
+    for (idx, raw) in m.text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('[') {
+            flush_table(table.take(), out);
+            in_list_section = false;
+            let header = trimmed.trim_matches(['[', ']']);
+            if header.ends_with("dependencies") {
+                in_list_section = true;
+            } else if is_dep_table(header) {
+                table = Some(TableDep { header: header.to_string(), ..TableDep::default() });
+            }
+            continue;
+        }
+        if let Some(t) = table.as_mut() {
+            if key_of(trimmed) == Some("path") {
+                t.has_path = true;
+            } else if matches!(key_of(trimmed), Some("version" | "git" | "registry"))
+                && t.remote_line.is_none()
+            {
+                t.remote_line = Some((lineno, trimmed.to_string()));
+            }
+            continue;
+        }
+        if in_list_section {
+            if let Some(key) = key_of(trimmed) {
+                if !line.contains("path") {
+                    out.push(Diagnostic::new(
+                        &m.rel,
+                        lineno,
+                        "manifest",
+                        format!(
+                            "non-path dependency `{key}`: the workspace builds \
+                             --offline with zero external dependencies"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    flush_table(table.take(), out);
+}
+
+/// The key of a `key = value` TOML line, or `None`.
+fn key_of(trimmed: &str) -> Option<&str> {
+    let (key, _) = trimmed.split_once('=')?;
+    let key = key.trim();
+    (!key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '"'))
+    .then(|| key.trim_matches('"'))
+}
+
+/// True for `dependencies.<name>`, `dev-dependencies.<name>`, etc.
+fn is_dep_table(header: &str) -> bool {
+    header
+        .rsplit_once('.')
+        .is_some_and(|(prefix, name)| prefix.ends_with("dependencies") && !name.is_empty())
+}
+
+/// Removes a `# comment` tail (TOML basic strings in dependency lines
+/// never contain `#` in this workspace; good enough for a linter).
+fn strip_toml_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(at) => &line[..at],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::analyze;
+
+    fn check(toml: &str) -> Vec<Diagnostic> {
+        let ws = analyze(&[SourceFile { rel: "crates/x/Cargo.toml".into(), text: toml.into() }]);
+        let mut out = Vec::new();
+        Manifest.check_workspace(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_deps_are_fine() {
+        let d = check(
+            "[package]\nname = \"x\"\n[dependencies]\nhiloc-util = { path = \"../util\" }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn version_dep_flagged() {
+        let d = check("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn dev_and_build_dependencies_covered() {
+        let d = check("[dev-dependencies]\nproptest = \"1\"\n[build-dependencies]\ncc = \"1\"\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn table_form_with_path_is_fine_in_any_order() {
+        let d = check("[dependencies.hiloc-util]\nversion = \"0.1\"\npath = \"../util\"\n");
+        assert!(d.is_empty(), "path after version must still count: {d:?}");
+    }
+
+    #[test]
+    fn table_form_without_path_flagged() {
+        let d = check("[dependencies.tokio]\nversion = \"1.0\"\nfeatures = [\"full\"]\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("tokio"));
+    }
+
+    #[test]
+    fn git_dependency_flagged() {
+        let d = check("[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_ignored() {
+        let d = check("[package]\nversion = \"0.1.0\"\n[features]\ndefault = []\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,332 @@
+//! `wire` — every `proto::Message` variant stays fully covered.
+//!
+//! The wire protocol's guard tests (`samples_cover_every_variant`,
+//! `message_sizes_are_exact`, `labels_are_unique_per_variant`) only
+//! protect variants that appear in the guard functions. This rule
+//! closes the gap at the source level: it reads the `Message` enum's
+//! variant list and cross-checks that **each** variant is mentioned in
+//! `label()`, `encoded_len()`, `encode()`, and the test-side
+//! `variant_ordinal()` / `sample_messages()` — and that `VARIANT_COUNT`
+//! equals the real variant count. Adding a message without exact-size
+//! and coverage guards now fails lint, not review.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::source::AnalyzedWorkspace;
+use std::collections::BTreeSet;
+
+/// Where the protocol enum lives.
+const PROTO_FILE: &str = "crates/core/src/proto/mod.rs";
+/// The enum to cross-check.
+const ENUM_NAME: &str = "Message";
+/// Functions every variant must be mentioned in (as `Message::Variant`).
+const REQUIRED_FNS: &[&str] =
+    &["label", "encoded_len", "encode", "variant_ordinal", "sample_messages"];
+
+/// The `wire` rule.
+pub struct WireCoverage;
+
+impl Rule for WireCoverage {
+    fn name(&self) -> &'static str {
+        "wire"
+    }
+
+    fn description(&self) -> &'static str {
+        "every proto::Message variant must appear in label/encoded_len/\
+         encode and the variant-coverage guard tests; VARIANT_COUNT must \
+         match the enum"
+    }
+
+    fn check_workspace(&self, ws: &AnalyzedWorkspace, out: &mut Vec<Diagnostic>) {
+        let Some(file) = ws.rust.iter().find(|f| f.rel == PROTO_FILE) else {
+            return;
+        };
+        let t = &file.lexed.tokens;
+        let Some((variants, enum_line)) = enum_variants(t, ENUM_NAME) else {
+            out.push(Diagnostic::new(
+                &file.rel,
+                0,
+                self.name(),
+                format!("enum `{ENUM_NAME}` not found in {PROTO_FILE}"),
+            ));
+            return;
+        };
+        if variants.is_empty() {
+            out.push(Diagnostic::new(
+                &file.rel,
+                enum_line,
+                self.name(),
+                format!("enum `{ENUM_NAME}` has no variants — parser confused?"),
+            ));
+            return;
+        }
+
+        for fn_name in REQUIRED_FNS {
+            match mentioned_variants(t, fn_name) {
+                None => out.push(Diagnostic::new(
+                    &file.rel,
+                    0,
+                    self.name(),
+                    format!(
+                        "guard function `{fn_name}` not found in {PROTO_FILE}; the \
+                         wire-coverage contract requires it"
+                    ),
+                )),
+                Some(mentioned) => {
+                    for v in &variants {
+                        if !mentioned.contains(v.text.as_str()) {
+                            out.push(Diagnostic::new(
+                                &file.rel,
+                                v.line,
+                                self.name(),
+                                format!(
+                                    "variant `{ENUM_NAME}::{}` is not covered by \
+                                     `{fn_name}` — extend it (and its guard test) \
+                                     before shipping the message",
+                                    v.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        match variant_count_const(t) {
+            None => out.push(Diagnostic::new(
+                &file.rel,
+                0,
+                self.name(),
+                "const VARIANT_COUNT not found; the coverage guard tests need it",
+            )),
+            Some((count, line)) if count != variants.len() => out.push(Diagnostic::new(
+                &file.rel,
+                line,
+                self.name(),
+                format!(
+                    "VARIANT_COUNT is {count} but `{ENUM_NAME}` has {} variants",
+                    variants.len()
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+/// A variant name with the line it is declared on.
+struct Variant {
+    text: String,
+    line: u32,
+}
+
+/// The variant names of `enum <name> { ... }`, with the enum's line.
+fn enum_variants(t: &[Token], name: &str) -> Option<(Vec<Variant>, u32)> {
+    let mut i = 0usize;
+    while i + 2 < t.len() {
+        if t[i].is_ident("enum") && t[i + 1].is_ident(name) && t[i + 2].is_punct('{') {
+            let enum_line = t[i].line;
+            let mut variants = Vec::new();
+            let mut depth = 1i32; // brace depth inside the enum body
+            let mut bracket = 0i32; // attribute [] depth
+            let mut paren = 0i32; // tuple-variant () depth
+            let mut j = i + 3;
+            // A variant name is an identifier at brace depth 1 outside
+            // attributes and parentheses, directly preceded (ignoring
+            // attributes) by `{` or `,`.
+            let mut at_variant_position = true;
+            while j < t.len() && depth > 0 {
+                let tok = &t[j];
+                if tok.is_punct('[') {
+                    bracket += 1;
+                } else if tok.is_punct(']') {
+                    bracket -= 1;
+                } else if bracket == 0 {
+                    if tok.is_punct('{') || tok.is_punct('(') {
+                        if tok.is_punct('{') {
+                            depth += 1;
+                        } else {
+                            paren += 1;
+                        }
+                        at_variant_position = false;
+                    } else if tok.is_punct('}') {
+                        depth -= 1;
+                    } else if tok.is_punct(')') {
+                        paren -= 1;
+                    } else if tok.is_punct(',') && depth == 1 && paren == 0 {
+                        at_variant_position = true;
+                    } else if tok.kind == TokKind::Ident
+                        && depth == 1
+                        && paren == 0
+                        && at_variant_position
+                    {
+                        variants.push(Variant { text: tok.text.clone(), line: tok.line });
+                        at_variant_position = false;
+                    }
+                }
+                j += 1;
+            }
+            return Some((variants, enum_line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Union of `Message::X` idents across every `fn <fn_name>` body, or
+/// `None` when no such function exists.
+fn mentioned_variants<'a>(t: &'a [Token], fn_name: &str) -> Option<BTreeSet<&'a str>> {
+    let mut found_fn = false;
+    let mut mentioned = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 1 < t.len() {
+        if t[i].is_ident("fn") && t[i + 1].is_ident(fn_name) {
+            // Find the body and scan it.
+            let mut j = i + 2;
+            while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                j += 1;
+            }
+            if j < t.len() && t[j].is_punct('{') {
+                found_fn = true;
+                let mut depth = 0i32;
+                while j < t.len() {
+                    if t[j].is_punct('{') {
+                        depth += 1;
+                    } else if t[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if t[j].is_ident(ENUM_NAME)
+                        && j + 3 < t.len()
+                        && t[j + 1].is_punct(':')
+                        && t[j + 2].is_punct(':')
+                        && t[j + 3].kind == TokKind::Ident
+                    {
+                        mentioned.insert(t[j + 3].text.as_str());
+                    }
+                    j += 1;
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    found_fn.then_some(mentioned)
+}
+
+/// The value of `const VARIANT_COUNT: usize = N`, with its line.
+fn variant_count_const(t: &[Token]) -> Option<(usize, u32)> {
+    for i in 0..t.len() {
+        if t[i].is_ident("VARIANT_COUNT") {
+            // Scan forward past `: usize =` to the literal.
+            for k in i + 1..(i + 6).min(t.len()) {
+                if t[k].kind == TokKind::Literal {
+                    let digits: String = t[k]
+                        .text
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect();
+                    if let Ok(n) = digits.parse::<usize>() {
+                        return Some((n, t[i].line));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{analyze, SourceFile};
+
+    fn proto(src: &str) -> Vec<Diagnostic> {
+        let ws = analyze(&[SourceFile { rel: PROTO_FILE.into(), text: src.into() }]);
+        let mut out = Vec::new();
+        WireCoverage.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const COMPLETE: &str = r#"
+pub enum Message {
+    /// Doc.
+    Ping { n: u64 },
+    Pong { n: u64 },
+}
+impl Message {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+        }
+    }
+    pub fn encoded_len(&self) -> usize {
+        match self { Message::Ping { .. } => 9, Message::Pong { .. } => 9 }
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self { Message::Ping { .. } => {}, Message::Pong { .. } => {} }
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn sample_messages() -> Vec<Message> {
+        vec![Message::Ping { n: 1 }, Message::Pong { n: 2 }]
+    }
+    fn variant_ordinal(m: &Message) -> usize {
+        match m { Message::Ping { .. } => 0, Message::Pong { .. } => 1 }
+    }
+    const VARIANT_COUNT: usize = 2;
+}
+"#;
+
+    #[test]
+    fn complete_coverage_is_clean() {
+        let d = proto(COMPLETE);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn variant_missing_from_label_flagged() {
+        let src = COMPLETE.replace("Message::Pong { .. } => \"pong\",", "");
+        let d = proto(&src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Message::Pong"));
+        assert!(d[0].message.contains("`label`"));
+    }
+
+    #[test]
+    fn variant_count_drift_flagged() {
+        let src = COMPLETE.replace("VARIANT_COUNT: usize = 2", "VARIANT_COUNT: usize = 3");
+        let d = proto(&src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("VARIANT_COUNT is 3"));
+    }
+
+    #[test]
+    fn missing_guard_fn_flagged() {
+        let src = COMPLETE.replace("fn variant_ordinal", "fn renamed_ordinal");
+        let d = proto(&src);
+        assert!(d.iter().any(|x| x.message.contains("`variant_ordinal` not found")), "{d:?}");
+    }
+
+    #[test]
+    fn new_variant_without_guards_flagged_everywhere() {
+        let src = COMPLETE.replace(
+            "Pong { n: u64 },",
+            "Pong { n: u64 },\n    Probe { n: u64 },",
+        );
+        let d = proto(&src);
+        // Missing from all 5 required functions, plus VARIANT_COUNT drift.
+        assert_eq!(d.len(), 6, "{d:?}");
+    }
+
+    #[test]
+    fn other_workspaces_without_proto_are_fine() {
+        let ws = analyze(&[SourceFile { rel: "crates/x/src/lib.rs".into(), text: "fn a() {}".into() }]);
+        let mut out = Vec::new();
+        WireCoverage.check_workspace(&ws, &mut out);
+        assert!(out.is_empty());
+    }
+}

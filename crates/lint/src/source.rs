@@ -1,0 +1,218 @@
+//! The workspace model the rules operate on.
+//!
+//! A [`Workspace`] is a list of files (Rust sources and `Cargo.toml`
+//! manifests) identified by workspace-relative paths. The real run
+//! loads it from disk; the fixture tests build it in memory — the rules
+//! cannot tell the difference, which is what makes known-bad fixtures
+//! and mutation tests cheap.
+
+use crate::directives::{self, Directives};
+use crate::lexer::{self, Lexed};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One input file, identified by its path relative to the workspace
+/// root (always with `/` separators).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, e.g. `crates/core/src/lib.rs`.
+    pub rel: String,
+    /// The file's full text.
+    pub text: String,
+}
+
+/// A Rust source file after lexing and directive extraction.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Tokens and comments.
+    pub lexed: Lexed,
+    /// Parsed `lint:` directives.
+    pub directives: Directives,
+    /// Half-open line ranges `[start, end)` covered by `#[cfg(test)]`
+    /// modules; file-scoped rules skip tokens inside them (in-file test
+    /// modules may legitimately use `HashMap` oracles, like the
+    /// top-level `tests/` directories they mirror).
+    pub test_line_ranges: Vec<(u32, u32)>,
+}
+
+impl LexedFile {
+    /// Lexes `file` and extracts directives.
+    pub fn new(file: &SourceFile) -> Self {
+        let lexed = lexer::lex(&file.text);
+        let directives = directives::parse(&file.rel, &lexed.comments);
+        let test_line_ranges = find_cfg_test_ranges(&lexed);
+        LexedFile { rel: file.rel.clone(), lexed, directives, test_line_ranges }
+    }
+
+    /// True when `line` lies inside a `#[cfg(test)]` module.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_line_ranges.iter().any(|&(s, e)| line >= s && line < e)
+    }
+}
+
+/// The analyzed workspace: lexed Rust sources plus raw manifests.
+#[derive(Debug)]
+pub struct AnalyzedWorkspace {
+    /// Lexed `.rs` files.
+    pub rust: Vec<LexedFile>,
+    /// `Cargo.toml` files, raw.
+    pub manifests: Vec<SourceFile>,
+}
+
+/// Builds the analyzed form of a set of input files.
+pub fn analyze(files: &[SourceFile]) -> AnalyzedWorkspace {
+    let mut rust = Vec::new();
+    let mut manifests = Vec::new();
+    for f in files {
+        if f.rel.ends_with(".rs") {
+            rust.push(LexedFile::new(f));
+        } else if f.rel.ends_with("Cargo.toml") {
+            manifests.push(f.clone());
+        }
+    }
+    AnalyzedWorkspace { rust, manifests }
+}
+
+/// Loads the workspace from disk: every `*.rs` under the crate source
+/// trees plus every `Cargo.toml`, excluding `target/` and the lint
+/// fixture corpus (whose files are known-bad on purpose).
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") || name == "Cargo.toml" {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walked path under root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = fs::read_to_string(&path)?;
+                files.push(SourceFile { rel, text });
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// Line ranges of `#[cfg(test)] mod <name> { ... }` items, found by a
+/// token scan: the attribute sequence `# [ cfg ( test ) ]` followed by
+/// a `mod` whose body braces are then matched by depth.
+fn find_cfg_test_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].is_punct('#')
+            && matches(t, i + 1, &["[", "cfg", "(", "test", ")", "]"])
+        {
+            // Skip any further attributes between the cfg and the item.
+            let mut j = i + 7;
+            while j < t.len() && t[j].is_punct('#') {
+                // Skip a balanced `[...]` attribute.
+                if j + 1 < t.len() && t[j + 1].is_punct('[') {
+                    let mut depth = 0i32;
+                    j += 1;
+                    while j < t.len() {
+                        if t[j].is_punct('[') {
+                            depth += 1;
+                        } else if t[j].is_punct(']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if j < t.len() && (t[j].is_ident("mod") || t[j].is_ident("pub")) {
+                // Find the opening brace of the item, then match it.
+                let mut k = j;
+                while k < t.len() && !t[k].is_punct('{') && !t[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < t.len() && t[k].is_punct('{') {
+                    let start_line = t[i].line;
+                    let mut depth = 0i32;
+                    while k < t.len() {
+                        if t[k].is_punct('{') {
+                            depth += 1;
+                        } else if t[k].is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let end_line = if k < t.len() { t[k].line + 1 } else { u32::MAX };
+                    ranges.push((start_line, end_line));
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// True when tokens starting at `from` spell the given idents/puncts.
+fn matches(t: &[lexer::Token], from: usize, pat: &[&str]) -> bool {
+    if from + pat.len() > t.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, p)| {
+        let tok = &t[from + k];
+        if p.len() == 1 && !p.chars().next().unwrap().is_ascii_alphanumeric() {
+            tok.is_punct(p.chars().next().unwrap())
+        } else {
+            tok.is_ident(p)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = LexedFile::new(&SourceFile { rel: "x.rs".into(), text: src.into() });
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn b() {}\n}\n";
+        let f = LexedFile::new(&SourceFile { rel: "x.rs".into(), text: src.into() });
+        assert!(f.in_test_code(4));
+    }
+
+    #[test]
+    fn non_test_cfg_not_masked() {
+        let src = "#[cfg(feature = \"x\")]\nmod m {\n    fn b() {}\n}\n";
+        let f = LexedFile::new(&SourceFile { rel: "x.rs".into(), text: src.into() });
+        assert!(!f.in_test_code(3));
+    }
+}

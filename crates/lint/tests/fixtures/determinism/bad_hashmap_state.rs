@@ -1,0 +1,17 @@
+//@ path: crates/core/src/node/fixture.rs
+//@ expect: determinism 1
+//@ expect: determinism 6
+//@ expect: determinism 11
+use std::collections::HashMap;
+
+use crate::model::ObjectId;
+
+struct NodeState {
+    observers: HashMap<u64, ObjectId>,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState { observers: HashMap::new() }
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/storage/src/fixture.rs
+// lint:allow(determinism) lookup-only index; never iterated
+use std::collections::HashMap;
+
+struct SlotIndex {
+    // lint:allow(determinism) O(1) key lookup; iteration goes through the arena
+    by_key: HashMap<u64, u32>,
+}

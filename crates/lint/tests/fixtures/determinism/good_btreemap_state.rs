@@ -1,0 +1,14 @@
+//@ path: crates/core/src/node/fixture.rs
+use std::collections::BTreeMap;
+
+use crate::model::ObjectId;
+
+struct NodeState {
+    observers: BTreeMap<u64, ObjectId>,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState { observers: BTreeMap::new() }
+    }
+}

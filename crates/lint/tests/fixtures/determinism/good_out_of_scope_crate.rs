@@ -1,0 +1,10 @@
+//@ path: crates/bench/src/fixture.rs
+use std::collections::HashMap;
+
+fn histogram(samples: &[u64]) -> HashMap<u64, u64> {
+    let mut h = HashMap::new();
+    for &s in samples {
+        *h.entry(s).or_insert(0) += 1;
+    }
+    h
+}

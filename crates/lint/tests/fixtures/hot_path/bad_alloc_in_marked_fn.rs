@@ -1,0 +1,10 @@
+//@ path: crates/storage/src/fixture.rs
+//@ expect: hot_path 3
+//@ expect: hot_path 4
+// lint:hot_path
+pub fn upsert(buf: &mut Vec<u8>, rec: &[u8]) {
+    let copy = rec.to_vec();
+    let label = format!("{} bytes", copy.len());
+    let _ = label;
+    buf.extend_from_slice(rec);
+}

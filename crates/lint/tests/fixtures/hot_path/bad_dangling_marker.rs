@@ -1,0 +1,4 @@
+//@ path: crates/storage/src/fixture.rs
+//@ expect: hot_path 1
+// lint:hot_path
+const WHEEL_SHIFT: u64 = 20;

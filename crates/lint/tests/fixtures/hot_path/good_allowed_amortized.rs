@@ -1,0 +1,8 @@
+//@ path: crates/storage/src/fixture.rs
+// lint:hot_path
+pub fn wheel_push(buckets: &mut Vec<Vec<u32>>, slot: u32) {
+    if buckets.is_empty() {
+        buckets.push(Vec::new()); // lint:allow(hot_path) amortized: one bucket, reused for its lifetime
+    }
+    buckets[0].push(slot);
+}

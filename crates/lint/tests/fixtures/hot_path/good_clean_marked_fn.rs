@@ -1,0 +1,10 @@
+//@ path: crates/storage/src/fixture.rs
+// lint:hot_path
+pub fn upsert(buf: &mut Vec<u8>, rec: &[u8]) {
+    buf.clear();
+    buf.extend_from_slice(rec);
+}
+
+pub fn cold_path() -> Vec<u8> {
+    Vec::with_capacity(64)
+}

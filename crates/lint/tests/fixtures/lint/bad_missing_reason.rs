@@ -1,0 +1,9 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: lint 1
+//@ expect: determinism 2
+// lint:allow(determinism)
+use std::collections::HashMap;
+
+struct S {
+    m: u64,
+}

@@ -1,0 +1,4 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: lint 1
+// lint:allow(determinsm) typo in the rule name
+pub fn nothing() {}

@@ -1,0 +1,8 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: lint 1
+// lint:allow(determinism) left behind after the map was converted
+use std::collections::BTreeMap;
+
+struct S {
+    m: BTreeMap<u64, u8>,
+}

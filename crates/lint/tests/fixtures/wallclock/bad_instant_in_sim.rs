@@ -1,0 +1,9 @@
+//@ path: crates/sim/src/fixture.rs
+//@ expect: wallclock 4
+use std::time::Instant;
+
+fn step(now_us: u64) -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    now_us + 1
+}

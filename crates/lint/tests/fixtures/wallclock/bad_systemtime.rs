@@ -1,0 +1,6 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: wallclock 2
+fn stamp() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}

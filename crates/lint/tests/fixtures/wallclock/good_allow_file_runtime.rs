@@ -1,0 +1,7 @@
+//@ path: crates/core/src/runtime/fixture.rs
+// lint:allow-file(wallclock) real-time runtime fixture: deadlines come from the host clock
+use std::time::Instant;
+
+fn recv_deadline() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/bench/src/fixture.rs
+use std::time::Instant;
+
+pub fn measure(f: impl FnOnce()) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos()
+}

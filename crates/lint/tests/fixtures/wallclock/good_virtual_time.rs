@@ -1,0 +1,4 @@
+//@ path: crates/core/src/fixture.rs
+pub fn deadline(now_us: u64, ttl_us: u64) -> u64 {
+    now_us.saturating_add(ttl_us)
+}

@@ -1,0 +1,54 @@
+//@ path: crates/core/src/proto/mod.rs
+//@ expect: wire 5
+//@ expect: wire 5
+//@ expect: wire 5
+//@ expect: wire 5
+//@ expect: wire 5
+//@ expect: wire 35
+pub enum Message {
+    /// A liveness probe.
+    Ping { n: u64 },
+    Pong { n: u64 },
+    Probe { n: u64 },
+}
+
+impl Message {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+        }
+    }
+
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::Ping { .. } => 9,
+            Message::Pong { .. } => 9,
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Ping { .. } => buf.push(0),
+            Message::Pong { .. } => buf.push(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VARIANT_COUNT: usize = 2;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![Message::Ping { n: 1 }, Message::Pong { n: 2 }]
+    }
+
+    fn variant_ordinal(m: &Message) -> usize {
+        match m {
+            Message::Ping { .. } => 0,
+            Message::Pong { .. } => 1,
+        }
+    }
+}

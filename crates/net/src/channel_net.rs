@@ -3,7 +3,7 @@
 use crate::{Endpoint, Envelope};
 use hiloc_util::sync::channel::{unbounded, Receiver, Sender, TryRecvError};
 use hiloc_util::sync::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -73,7 +73,7 @@ impl<M> Mailbox<M> {
 /// ```
 #[derive(Debug)]
 pub struct ChannelNetwork<M> {
-    routes: Arc<RwLock<HashMap<Endpoint, Sender<Envelope<M>>>>>,
+    routes: Arc<RwLock<BTreeMap<Endpoint, Sender<Envelope<M>>>>>,
 }
 
 impl<M> Clone for ChannelNetwork<M> {
@@ -91,7 +91,7 @@ impl<M> Default for ChannelNetwork<M> {
 impl<M> ChannelNetwork<M> {
     /// Creates an empty network.
     pub fn new() -> Self {
-        ChannelNetwork { routes: Arc::new(RwLock::new(HashMap::new())) }
+        ChannelNetwork { routes: Arc::new(RwLock::new(BTreeMap::new())) }
     }
 
     /// Registers `endpoint`, returning its mailbox.

@@ -524,6 +524,7 @@ impl<M> SimNet<M> {
 
     /// Sends an envelope, scheduling its delivery per the latency model
     /// and fault plan.
+    // lint:hot_path
     pub fn send(&mut self, env: Envelope<M>)
     where
         M: Clone,
@@ -549,7 +550,7 @@ impl<M> SimNet<M> {
         // duplication pays a clone. The common path is clone-free per
         // hop.
         if copies == 2 {
-            self.enqueue(env.clone(), link_extra_us, spike_us);
+            self.enqueue(env.clone(), link_extra_us, spike_us); // lint:allow(hot_path) fault-duplication path only; common path moves the envelope
         }
         self.enqueue(env, link_extra_us, spike_us);
     }

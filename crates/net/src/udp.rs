@@ -3,12 +3,13 @@
 //! deployment runtime in `hiloc-core` runs one receive loop per server
 //! thread.
 
+// lint:allow-file(wallclock) real transport: receive deadlines are genuine wall-clock timeouts
 use crate::wire::{self, WireCodec};
 use crate::{Endpoint, Envelope};
 #[cfg(test)]
 use crate::ServerId;
 use hiloc_util::sync::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::ErrorKind;
 use std::marker::PhantomData;
@@ -74,7 +75,7 @@ use wire::{get_endpoint, put_endpoint};
 pub struct UdpEndpoint<M> {
     endpoint: Endpoint,
     socket: Arc<UdpSocket>,
-    routes: Arc<RwLock<HashMap<Endpoint, SocketAddr>>>,
+    routes: Arc<RwLock<BTreeMap<Endpoint, SocketAddr>>>,
     _marker: PhantomData<fn(M) -> M>,
 }
 
@@ -156,7 +157,7 @@ impl<M: WireCodec> UdpEndpoint<M> {
         Ok(UdpEndpoint {
             endpoint,
             socket: Arc::new(socket),
-            routes: Arc::new(RwLock::new(HashMap::new())),
+            routes: Arc::new(RwLock::new(BTreeMap::new())),
             _marker: PhantomData,
         })
     }

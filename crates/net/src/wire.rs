@@ -21,6 +21,7 @@ pub trait WireCodec: Sized {
     /// capacity is retained) and appends the encoding. The send hot
     /// path uses this with a per-connection (or per-thread) scratch so
     /// steady-state encoding performs no allocation.
+    // lint:hot_path
     fn encode_into(&self, scratch: &mut Vec<u8>) {
         scratch.clear();
         self.encode(scratch);

@@ -5,6 +5,7 @@
 //! fixed-seed gate in `tests/fuzz_scenarios.rs`; this binary is for
 //! longer local hunts across many base seeds.
 
+// lint:allow-file(wallclock) local campaign driver measuring its own elapsed time; not part of a deterministic run
 use hiloc_sim::fuzz::{fuzz_batch, CacheMode};
 
 fn main() {

@@ -2,6 +2,7 @@
 
 use crate::{candidate_cmp, Entry, ObjectKey, SpatialIndex};
 use hiloc_geo::{Point, Rect};
+// lint:allow(determinism) import for the lookup-only maps annotated below
 use std::collections::HashMap;
 
 /// A uniform grid over the plane with fixed-size square cells.
@@ -28,7 +29,9 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     cell_size: f64,
+    // lint:allow(determinism) addressed by computed cell coords; ranged scans and max-reductions only, order never observable
     cells: HashMap<(i64, i64), Vec<Entry>>,
+    // lint:allow(determinism) O(1) lookups on the hot update path; for_each snapshots and sorts before emitting
     by_key: HashMap<ObjectKey, Point>,
 }
 
@@ -43,6 +46,7 @@ impl GridIndex {
             cell_size > 0.0 && cell_size.is_finite(),
             "cell size must be positive and finite"
         );
+        // lint:allow(determinism) constructors for the annotated lookup-only maps
         GridIndex { cell_size, cells: HashMap::new(), by_key: HashMap::new() }
     }
 
@@ -79,6 +83,7 @@ impl SpatialIndex for GridIndex {
         old
     }
 
+    // lint:hot_path
     fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
         let Some(old_pos) = self.by_key.insert(key, pos) else {
             // New key: one cell push, by_key already written.
@@ -193,7 +198,7 @@ impl SpatialIndex for GridIndex {
         filter: &mut dyn FnMut(ObjectKey) -> bool,
     ) -> Vec<(Entry, f64)> {
         let mut result: Vec<(Entry, f64)> = Vec::with_capacity(k);
-        let mut taken: std::collections::HashSet<ObjectKey> = std::collections::HashSet::new();
+        let mut taken: std::collections::BTreeSet<ObjectKey> = std::collections::BTreeSet::new();
         for _ in 0..k {
             match self.nearest_where(p, &mut |key| !taken.contains(&key) && filter(key)) {
                 Some(c) => {
@@ -207,7 +212,12 @@ impl SpatialIndex for GridIndex {
     }
 
     fn for_each(&self, sink: &mut dyn FnMut(Entry)) {
-        for (&key, &pos) in &self.by_key {
+        // Snapshot and sort so emission order is independent of the
+        // map's hash state (full scans are cold; determinism wins).
+        let mut live: Vec<(ObjectKey, Point)> =
+            self.by_key.iter().map(|(&k, &p)| (k, p)).collect();
+        live.sort_unstable_by_key(|&(k, _)| k);
+        for (key, pos) in live {
             sink(Entry::new(key, pos));
         }
     }
@@ -231,6 +241,7 @@ fn ring_cells(radius: i64) -> Vec<(i64, i64)> {
 }
 
 /// Chebyshev distance from `origin` to the farthest occupied cell.
+// lint:allow(determinism) max over keys is order-independent
 fn worst_radius(cells: &HashMap<(i64, i64), Vec<Entry>>, origin: (i64, i64)) -> i64 {
     cells
         .keys()

@@ -2,7 +2,7 @@
 
 use crate::{candidate_cmp, Entry, ObjectKey, SpatialIndex};
 use hiloc_geo::{Point, Rect};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A trivially correct index that scans every entry on every query.
 ///
@@ -11,7 +11,7 @@ use std::collections::HashMap;
 /// object populations — every operation except point lookup is O(n).
 #[derive(Debug, Clone, Default)]
 pub struct NaiveIndex {
-    entries: HashMap<ObjectKey, Point>,
+    entries: BTreeMap<ObjectKey, Point>,
 }
 
 impl NaiveIndex {

@@ -2,6 +2,7 @@
 
 use crate::{candidate_cmp, Entry, ObjectKey, SpatialIndex};
 use hiloc_geo::{Point, Rect};
+// lint:allow(determinism) import for the lookup-only key map annotated below
 use std::collections::HashMap;
 
 /// Child quadrant indexes: SW, SE, NW, NE relative to a node's point.
@@ -80,6 +81,7 @@ pub struct PointQuadtree {
     free: Vec<u32>,
     root: Option<u32>,
     /// Key → node index, for O(1) lookup/removal.
+    // lint:allow(determinism) lookups only; maybe_rebuild sorts by mixed key before reinserting
     by_key: HashMap<ObjectKey, u32>,
     tombstones: usize,
 }
@@ -429,6 +431,7 @@ impl SpatialIndex for PointQuadtree {
         old
     }
 
+    // lint:hot_path
     fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
         let Some(&id) = self.by_key.get(&key) else {
             self.insert_node(key, pos);
@@ -534,7 +537,7 @@ impl SpatialIndex for PointQuadtree {
         // practice (near-neighbor sets), so this trades a log factor for
         // simplicity and exact tie-break parity with the oracle.
         let mut result: Vec<(Entry, f64)> = Vec::with_capacity(k);
-        let mut taken: std::collections::HashSet<ObjectKey> = std::collections::HashSet::new();
+        let mut taken: std::collections::BTreeSet<ObjectKey> = std::collections::BTreeSet::new();
         for _ in 0..k {
             let next = self.nearest_where(p, &mut |key| !taken.contains(&key) && filter(key));
             match next {

@@ -4,6 +4,7 @@ use crate::{candidate_cmp, Entry, ObjectKey, SpatialIndex};
 use hiloc_geo::{Point, Rect};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+// lint:allow(determinism) import for the lookup-only key map annotated below
 use std::collections::HashMap;
 
 /// Maximum entries per node.
@@ -41,6 +42,7 @@ enum Node {
 pub struct RTree {
     nodes: Vec<Node>,
     root: Option<u32>,
+    // lint:allow(determinism) O(1) lookups; for_each snapshots and sorts before emitting
     by_key: HashMap<ObjectKey, Point>,
     free: Vec<u32>,
 }
@@ -349,6 +351,7 @@ impl SpatialIndex for RTree {
         old
     }
 
+    // lint:hot_path
     fn update(&mut self, key: ObjectKey, pos: Point) -> Option<Point> {
         let Some(&old_pos) = self.by_key.get(&key) else {
             return self.insert(key, pos);
@@ -442,7 +445,12 @@ impl SpatialIndex for RTree {
     }
 
     fn for_each(&self, sink: &mut dyn FnMut(Entry)) {
-        for (&key, &pos) in &self.by_key {
+        // Snapshot and sort so emission order is independent of the
+        // map's hash state (full scans are cold; determinism wins).
+        let mut live: Vec<(ObjectKey, Point)> =
+            self.by_key.iter().map(|(&k, &p)| (k, p)).collect();
+        live.sort_unstable_by_key(|&(k, _)| k);
+        for (key, pos) in live {
             sink(Entry::new(key, pos));
         }
     }

@@ -6,7 +6,7 @@
 
 use crate::{StorageError, Wal};
 use hiloc_util::buf::{Buf, BufMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -97,7 +97,7 @@ pub struct DurableMapStats {
 pub struct DurableMap<V: RecordValue> {
     dir: PathBuf,
     wal: Wal,
-    map: HashMap<u64, V>,
+    map: BTreeMap<u64, V>,
     policy: SyncPolicy,
     stats: DurableMapStats,
     /// Group-commit mode: while active, `SyncPolicy::Always` degrades
@@ -122,7 +122,7 @@ impl<V: RecordValue> DurableMap<V> {
         fs::create_dir_all(&dir)?;
         let mut stats = DurableMapStats::default();
 
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let snap_path = dir.join("snapshot.bin");
         if snap_path.exists() {
             let raw = fs::read(&snap_path)?;
@@ -282,7 +282,7 @@ impl<V: RecordValue> DurableMap<V> {
         self.map.is_empty()
     }
 
-    /// Iterates over `(key, value)` pairs in unspecified order.
+    /// Iterates over `(key, value)` pairs in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
         self.map.iter().map(|(&k, v)| (k, v))
     }
@@ -350,7 +350,7 @@ impl<V: RecordValue> DurableMap<V> {
     }
 }
 
-fn apply_record<V: RecordValue>(map: &mut HashMap<u64, V>, rec: &[u8]) -> Option<()> {
+fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Option<()> {
     let mut buf = rec;
     if buf.remaining() < 1 {
         return None;
@@ -420,7 +420,7 @@ fn apply_record<V: RecordValue>(map: &mut HashMap<u64, V>, rec: &[u8]) -> Option
     }
 }
 
-fn encode_snapshot<V: RecordValue>(map: &HashMap<u64, V>) -> Vec<u8> {
+fn encode_snapshot<V: RecordValue>(map: &BTreeMap<u64, V>) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 + map.len() * 16);
     out.put_u32_le(SNAPSHOT_MAGIC);
     out.put_u64_le(map.len() as u64);
@@ -436,7 +436,7 @@ fn encode_snapshot<V: RecordValue>(map: &HashMap<u64, V>) -> Vec<u8> {
     out
 }
 
-fn decode_snapshot<V: RecordValue>(raw: &[u8]) -> Result<HashMap<u64, V>, StorageError> {
+fn decode_snapshot<V: RecordValue>(raw: &[u8]) -> Result<BTreeMap<u64, V>, StorageError> {
     let corrupt = |reason| StorageError::Corrupt { offset: 0, reason };
     if raw.len() < 16 {
         return Err(corrupt("snapshot too short"));
@@ -451,7 +451,7 @@ fn decode_snapshot<V: RecordValue>(raw: &[u8]) -> Result<HashMap<u64, V>, Storag
         return Err(corrupt("bad snapshot magic"));
     }
     let count = buf.get_u64_le();
-    let mut map = HashMap::with_capacity(count as usize);
+    let mut map = BTreeMap::new();
     for _ in 0..count {
         if buf.remaining() < 12 {
             return Err(corrupt("snapshot entry truncated"));

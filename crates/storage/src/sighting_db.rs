@@ -11,6 +11,7 @@
 
 use hiloc_geo::{Point, Rect, Region};
 use hiloc_spatial::{GridIndex, PointQuadtree, RTree, SpatialIndex};
+// lint:allow(determinism) import for the lookup-only slot map annotated below
 use std::collections::{BTreeMap, HashMap};
 
 /// A sighting record as stored by a leaf location server.
@@ -138,6 +139,7 @@ pub struct SightingDb {
     slots: Vec<Slot>,
     free: Vec<u32>,
     /// Key → slot. The only per-key hash map; touched once per update.
+    // lint:allow(determinism) O(1) key → slot lookup on the hot path; never iterated (for_each walks the slab arena)
     by_key: HashMap<u64, u32>,
     /// The expiry wheel: bucket index (`deadline >> WHEEL_SHIFT`) →
     /// entries. A `BTreeMap` keeps bucket order deterministic and
@@ -180,6 +182,7 @@ impl SightingDb {
             index,
             slots: Vec::new(),
             free: Vec::new(),
+            // lint:allow(determinism) constructor for the annotated lookup-only map
             by_key: HashMap::new(),
             wheel: BTreeMap::new(),
             wheel_len: 0,
@@ -188,6 +191,7 @@ impl SightingDb {
 
     /// Inserts or replaces the sighting for `s.key`, returning the
     /// previous record (a position update).
+    // lint:hot_path
     pub fn upsert(&mut self, s: StoredSighting) -> Option<StoredSighting> {
         let bucket = s.expires_us >> WHEEL_SHIFT;
         let old = if let Some(&slot) = self.by_key.get(&s.key) {
@@ -237,6 +241,7 @@ impl SightingDb {
 
     /// The sighting for `key`, when present (the hash-index path used by
     /// position queries).
+    // lint:hot_path
     pub fn get(&self, key: u64) -> Option<&StoredSighting> {
         self.by_key.get(&key).map(|&slot| &self.slots[slot as usize].rec)
     }
@@ -291,9 +296,10 @@ impl SightingDb {
         self.wheel_len = 0;
     }
 
+    // lint:hot_path
     fn wheel_push(&mut self, bucket: u64, slot: u32, gen: u32, expires_us: u64) {
         let b = self.wheel.entry(bucket).or_insert_with(|| Bucket {
-            entries: Vec::new(),
+            entries: Vec::new(), // lint:allow(hot_path) amortized: one empty bucket per wheel slot, reused for its lifetime
             min_us: u64::MAX,
         });
         b.entries.push(WheelEntry { slot, gen });

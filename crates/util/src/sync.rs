@@ -8,6 +8,7 @@
 //! channel with queue introspection and disconnect semantics, standing
 //! in for `crossbeam::channel`.
 
+// lint:allow-file(wallclock) condvar wait timeouts are genuine wall-clock deadlines
 use std::sync::TryLockError;
 
 /// A mutual-exclusion lock that does not surface poisoning.
