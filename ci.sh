@@ -53,4 +53,12 @@ cargo build --release --offline -p hiloc-bench
 ./target/release/experiments hotpath --json --quick --out target/BENCH_hotpath_smoke.json > /dev/null
 ./target/release/experiments validate-bench target/BENCH_hotpath_smoke.json
 
+# The macro benchmark at CI scale: 20k objects over 21 servers through
+# the full register/update/query pipeline, cache ablation included.
+# validate-bench dispatches on the schema field, so the same command
+# gates both report kinds.
+echo "==> bench smoke: experiments macro --json --quick + validation"
+./target/release/experiments macro --json --quick --out target/BENCH_macro_smoke.json > /dev/null
+./target/release/experiments validate-bench target/BENCH_macro_smoke.json
+
 echo "CI green."

@@ -12,13 +12,17 @@
 //! experiments update-policy     # update protocol comparison (ref [15])
 //! experiments hotpath           # update hot-path suite (slab vs legacy)
 //! experiments hotpath --json    # …writing BENCH_hotpath.json (see --out)
+//! experiments macro             # million-object macro benchmark
+//! experiments macro --json      # …writing BENCH_macro.json (see --out)
 //! experiments validate-bench F  # strict util::json check of a report
+//!                               # (dispatches on the schema field)
 //! experiments all               # everything above (except validate)
 //! experiments all --quick       # reduced sizes (CI-friendly)
 //! ```
 
 use hiloc_bench::figures::{fig3, fig4, fig6, involved_servers};
 use hiloc_bench::hotpath::{self, HotpathConfig};
+use hiloc_bench::macro_bench::{self, MacroConfig};
 use hiloc_bench::table1::IndexChoice;
 use hiloc_bench::{ablations, fmt_rate, print_table, table1, table2};
 use std::time::Duration;
@@ -74,16 +78,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    // A quick run must never silently clobber the committed full-scale
+    // A quick run must never silently clobber a committed full-scale
     // baseline at the default path.
-    let out_path = args
+    let out_override = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| {
-            if quick { "BENCH_hotpath_quick.json" } else { "BENCH_hotpath.json" }.to_string()
-        });
+        .cloned();
+    let default_out = |stem: &str| {
+        out_override.clone().unwrap_or_else(|| {
+            if quick { format!("BENCH_{stem}_quick.json") } else { format!("BENCH_{stem}.json") }
+        })
+    };
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let positional: Vec<&str> = {
         let mut skip_next = false;
@@ -113,10 +119,11 @@ fn main() {
         "caching" => run_caching(&scale),
         "hierarchy-sweep" => run_sweep(&scale),
         "update-policy" => run_policies(&scale),
-        "hotpath" => run_hotpath(quick, json, &out_path),
+        "hotpath" => run_hotpath(quick, json, &default_out("hotpath")),
+        "macro" => run_macro(quick, json, &default_out("macro")),
         "validate-bench" => {
             let Some(path) = positional.get(1) else {
-                eprintln!("usage: experiments validate-bench <BENCH_hotpath.json>");
+                eprintln!("usage: experiments validate-bench <BENCH_*.json>");
                 std::process::exit(2);
             };
             validate_bench(path);
@@ -131,13 +138,14 @@ fn main() {
             run_caching(&scale);
             run_sweep(&scale);
             run_policies(&scale);
-            run_hotpath(quick, json, &out_path);
+            run_hotpath(quick, json, &default_out("hotpath"));
+            run_macro(quick, json, &default_out("macro"));
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "known: table1 table2 table2-sim fig3 fig4 fig6 caching hierarchy-sweep \
-                 update-policy hotpath validate-bench all"
+                 update-policy hotpath macro validate-bench all"
             );
             std::process::exit(2);
         }
@@ -216,6 +224,87 @@ fn run_hotpath(quick: bool, json: bool, out_path: &str) {
     }
 }
 
+fn run_macro(quick: bool, json: bool, out_path: &str) {
+    let cfg = if quick { MacroConfig::quick() } else { MacroConfig::full() };
+    let report = macro_bench::run(&cfg);
+
+    print_table(
+        &format!(
+            "Macro benchmark: {} objects, {} servers ({} levels), {:.1} km area",
+            report.config.objects,
+            report.servers,
+            report.config.total_levels(),
+            report.config.area_m / 1_000.0
+        ),
+        &["phase", "ops", "wall", "rate"],
+        &[
+            vec![
+                "register".to_string(),
+                report.register.ops.to_string(),
+                format!("{:.2} s", report.register.wall_s),
+                fmt_rate(report.register.ops as f64 / report.register.wall_s),
+            ],
+            vec![
+                format!("updates ({} steps)", report.updates.steps),
+                report.updates.sent.to_string(),
+                format!("{:.2} s", report.updates.wall_s),
+                fmt_rate(report.updates.sent as f64 / report.updates.wall_s),
+            ],
+        ],
+    );
+    let phases: Vec<Vec<String>> = report
+        .query_phases
+        .iter()
+        .flat_map(|p| {
+            let hit_rate = {
+                let total = p.cache_hits + p.cache_misses;
+                if total == 0 { 0.0 } else { p.cache_hits as f64 / total as f64 }
+            };
+            [("pos", &p.pos), ("range", &p.range), ("nn", &p.nn)].map(|(kind, s)| {
+                vec![
+                    format!("caches {}", p.caches),
+                    kind.to_string(),
+                    s.count.to_string(),
+                    format!("{:.1} ms", s.p50 / 1_000.0),
+                    format!("{:.1} ms", s.p90 / 1_000.0),
+                    format!("{:.1} ms", s.p99 / 1_000.0),
+                    format!("{:.1}%", hit_rate * 100.0),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        "Macro query phases: Zipf-skewed mix, virtual time",
+        &["phase", "kind", "count", "p50", "p90", "p99", "cache hits"],
+        &phases,
+    );
+    let levels: Vec<Vec<String>> = report
+        .levels
+        .iter()
+        .map(|l| {
+            vec![
+                l.level.to_string(),
+                l.servers.to_string(),
+                l.update_msgs_in.to_string(),
+                l.query_off_msgs_in.to_string(),
+                l.query_on_msgs_in.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Per-level message amplification (msgs consumed per phase)",
+        &["level", "servers", "updates", "queries (caches off)", "queries (caches on)"],
+        &levels,
+    );
+
+    if json {
+        let text = report.to_json(quick).to_string_pretty();
+        macro_bench::validate_report(&text).expect("self-produced report must validate");
+        std::fs::write(out_path, text + "\n").expect("write bench report");
+        println!("\nwrote {out_path}");
+    }
+}
+
 fn validate_bench(path: &str) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -224,8 +313,20 @@ fn validate_bench(path: &str) {
             std::process::exit(1);
         }
     };
-    match hotpath::validate_report(&text) {
-        Ok(()) => println!("{path}: valid hiloc-bench-hotpath/v1 report"),
+    // Dispatch on the schema field so one command validates every
+    // report kind the workspace commits.
+    let schema = hiloc_util::json::Json::parse(&text)
+        .ok()
+        .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(str::to_string)));
+    let result = match schema.as_deref() {
+        Some("hiloc-bench-macro/v1") => macro_bench::validate_report(&text),
+        _ => hotpath::validate_report(&text),
+    };
+    match result {
+        Ok(()) => println!(
+            "{path}: valid {} report",
+            schema.as_deref().unwrap_or("hiloc-bench-hotpath/v1")
+        ),
         Err(e) => {
             eprintln!("validate-bench: {path}: {e}");
             std::process::exit(1);

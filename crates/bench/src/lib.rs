@@ -11,6 +11,7 @@ pub mod ablations;
 pub mod figures;
 pub mod fixtures;
 pub mod hotpath;
+pub mod macro_bench;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,765 @@
+//! The macro benchmark: the city at full load.
+//!
+//! A 4-level hierarchy of dozens of servers over the deterministic
+//! [`SimDeployment`], a million tracked objects split across the three
+//! mobility models, Zipf-skewed position/range/nearest-neighbor query
+//! load entering at Zipf-hot leaves — everything end-to-end through
+//! the real node/message path. Measured: sustained registration and
+//! update throughput (wall clock), query latency percentiles (virtual
+//! time), per-level message amplification, and the §6.5 cache hit
+//! rates with caches off vs. on.
+//!
+//! Run `experiments macro --json` to regenerate the committed
+//! `BENCH_macro.json`; `--quick` runs the CI smoke scale. See the
+//! README "Performance" section for the `hiloc-bench-macro/v1` schema.
+
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::cache::CacheConfig;
+use hiloc_core::model::{ObjectId, RangeQuery, SECOND};
+use hiloc_core::node::ServerOptions;
+use hiloc_core::runtime::{LevelStats, SimDeployment};
+use hiloc_geo::{Point, Rect, Region};
+use hiloc_net::ServerId;
+use hiloc_sim::mobility::MobilityKind;
+use hiloc_sim::{Fleet, FleetConfig, Samples, Summary, Zipf};
+use hiloc_util::json::Json;
+use hiloc_util::rng::{RngExt, SeedableRng, StdRng};
+use std::time::Instant;
+
+// ------------------------------------------------------------- config
+
+/// Scale of one macro run.
+#[derive(Debug, Clone, Copy)]
+pub struct MacroConfig {
+    /// Tracked objects, split across the three mobility models.
+    pub objects: u64,
+    /// Hierarchy depth below the root.
+    pub levels: u32,
+    /// Grid fan-out per level (`k × k` children).
+    pub fanout: u32,
+    /// Side length of the square service area (meters).
+    pub area_m: f64,
+    /// Zipf exponent of object popularity and leaf hotness.
+    pub zipf_alpha: f64,
+    /// Object speed (m/s).
+    pub speed_mps: f64,
+    /// Mobility steps of the update phase.
+    pub update_steps: u32,
+    /// Virtual seconds per mobility step. At the default `Distance
+    /// { 15 m }` policy the step displacement must exceed 15 m or no
+    /// update transmits.
+    pub step_dt_s: f64,
+    /// Queries per query phase (one phase with caches off, one on).
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl MacroConfig {
+    /// The committed-baseline scale: a million objects over 85 servers
+    /// (4 hierarchy levels, 64 leaves) on a ~40 km × 40 km area.
+    pub fn full() -> Self {
+        MacroConfig {
+            objects: 1_000_000,
+            levels: 3,
+            fanout: 2,
+            area_m: 40_960.0,
+            zipf_alpha: 0.9,
+            speed_mps: 0.83, // 3 km/h, the paper's pedestrian estimate
+            update_steps: 2,
+            step_dt_s: 20.0,
+            queries: 2_000,
+            seed: 0x10CA_7E57,
+        }
+    }
+
+    /// CI-friendly scale (the `--quick` bench-smoke gate): 20k objects
+    /// over 21 servers.
+    pub fn quick() -> Self {
+        MacroConfig {
+            objects: 20_000,
+            levels: 2,
+            fanout: 2,
+            area_m: 10_240.0,
+            zipf_alpha: 0.9,
+            speed_mps: 0.83,
+            update_steps: 1,
+            step_dt_s: 20.0,
+            queries: 400,
+            seed: 0x10CA_7E57,
+        }
+    }
+
+    /// Total hierarchy levels including the root.
+    pub fn total_levels(&self) -> u32 {
+        self.levels + 1
+    }
+}
+
+// ------------------------------------------------------------- results
+
+/// Wall-clock throughput of one load phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Operations performed.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+}
+
+impl Throughput {
+    fn per_s(&self) -> f64 {
+        self.ops as f64 / self.wall_s
+    }
+}
+
+/// Aggregate of the update phase.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdatePhase {
+    /// Mobility steps driven.
+    pub steps: u32,
+    /// Updates transmitted (per the update policy).
+    pub sent: u64,
+    /// Updates acknowledged in place.
+    pub acks: u64,
+    /// Updates that triggered a handover.
+    pub handovers: u64,
+    /// Updates that got no response.
+    pub lost: u64,
+    /// Objects deregistered (left the service area).
+    pub deregistered: u64,
+    /// Wall-clock seconds of the phase.
+    pub wall_s: f64,
+}
+
+/// One Zipf query phase (identical sequence per phase; only the cache
+/// configuration differs).
+#[derive(Debug, Clone)]
+pub struct QueryPhase {
+    /// `"off"` or `"on"`.
+    pub caches: &'static str,
+    /// Position-query latency (virtual µs).
+    pub pos: Summary,
+    /// Range-query latency (virtual µs).
+    pub range: Summary,
+    /// Nearest-neighbor latency (virtual µs).
+    pub nn: Summary,
+    /// Failed queries (timeouts, unknown objects). Must be zero on a
+    /// healthy network.
+    pub errors: u64,
+    /// Network messages sent during the phase.
+    pub msgs_sent: u64,
+    /// Server-emitted messages by direction: `(up, down, peer,
+    /// client)`.
+    pub msgs_dir: (u64, u64, u64, u64),
+    /// §6.5 cache hits during the phase.
+    pub cache_hits: u64,
+    /// §6.5 cache misses during the phase.
+    pub cache_misses: u64,
+}
+
+impl QueryPhase {
+    fn queries(&self) -> u64 {
+        self.pos.count as u64 + self.range.count as u64 + self.nn.count as u64
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-level message consumption, one row per phase snapshot delta —
+/// the amplification data: how many messages each hierarchy level
+/// absorbs per operation of each phase.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelRow {
+    /// Hierarchy level (0 = root).
+    pub level: u32,
+    /// Servers on this level.
+    pub servers: usize,
+    /// Messages consumed during the update phase.
+    pub update_msgs_in: u64,
+    /// Messages consumed during the caches-off query phase.
+    pub query_off_msgs_in: u64,
+    /// Messages consumed during the caches-on query phase.
+    pub query_on_msgs_in: u64,
+}
+
+/// A complete macro run.
+#[derive(Debug, Clone)]
+pub struct MacroReport {
+    /// The scale it ran at.
+    pub config: MacroConfig,
+    /// Servers in the hierarchy.
+    pub servers: usize,
+    /// Leaf servers in the hierarchy.
+    pub leaf_servers: usize,
+    /// Registration throughput.
+    pub register: Throughput,
+    /// The update phase.
+    pub updates: UpdatePhase,
+    /// The two query phases: caches off, then caches on.
+    pub query_phases: Vec<QueryPhase>,
+    /// Per-level message amplification.
+    pub levels: Vec<LevelRow>,
+}
+
+// ------------------------------------------------------------ workload
+
+/// Spreads Zipf rank `r` (popular = small) over the object-id space so
+/// hot objects land in different fleets, mobility models and areas.
+/// 7919 is prime, so the map is a bijection whenever it does not
+/// divide `objects` (asserted at setup).
+fn rank_to_oid(rank: usize, objects: u64) -> ObjectId {
+    ObjectId((rank as u64).wrapping_mul(7919) % objects)
+}
+
+fn server_opts() -> ServerOptions {
+    // Every blocking client op advances virtual time by an RTT, so a
+    // million-object run spans virtual *hours*. Stretch the soft-state
+    // windows accordingly: nothing may mass-expire mid-run, and no
+    // keep-alive storm may drown the measured load (the paper's
+    // prototype measured steady-state traffic without keep-alives).
+    ServerOptions {
+        sighting_ttl_us: 8 * 3600 * SECOND,
+        path_refresh_us: 2 * 3600 * SECOND,
+        path_ttl_us: 5 * 3600 * SECOND,
+        query_timeout_us: SECOND / 2,
+        ..Default::default()
+    }
+}
+
+fn build_deployment(cfg: &MacroConfig) -> SimDeployment {
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(cfg.area_m, cfg.area_m));
+    let h = HierarchyBuilder::grid(area, cfg.levels, cfg.fanout)
+        .build()
+        .expect("macro hierarchy");
+    SimDeployment::new(h, server_opts(), cfg.seed)
+}
+
+/// Registers the population: three fleets, one per mobility model,
+/// sharing the deployment through disjoint object-id ranges.
+fn register_fleets(cfg: &MacroConfig, ls: &mut SimDeployment) -> (Vec<Fleet>, Throughput) {
+    let models = [
+        MobilityKind::RandomWaypoint,
+        MobilityKind::Manhattan { spacing_m: 100.0 },
+        MobilityKind::GaussMarkov { alpha: 0.75 },
+    ];
+    let third = cfg.objects / 3;
+    let counts = [cfg.objects - 2 * third, third, third];
+    let mut first_oid = 0u64;
+    let mut fleets = Vec::new();
+    let t0 = Instant::now();
+    for (i, (model, count)) in models.into_iter().zip(counts).enumerate() {
+        let fleet = Fleet::register(
+            FleetConfig {
+                num_objects: count,
+                speed_mps: cfg.speed_mps,
+                mobility: model,
+                seed: cfg.seed ^ (i as u64 + 1),
+                first_oid,
+                ..Default::default()
+            },
+            ls,
+        )
+        .expect("macro registration");
+        first_oid += count;
+        fleets.push(fleet);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // The slab-growth headroom check (the satellite u32 conversion
+    // fix): no leaf may be anywhere near the u32 slot-index ceiling,
+    // or the next scale-up would hit the checked-conversion panic.
+    let headroom = u64::from(u32::MAX / 4);
+    assert!(cfg.objects <= headroom, "population {} exceeds the slot headroom {headroom}", cfg.objects);
+    for server_cfg in ls.hierarchy().servers().to_vec() {
+        let slots = ls.server(server_cfg.id).sighting_slot_capacity();
+        assert!(
+            (slots as u64) <= headroom,
+            "server {} uses {slots} slab slots — too close to the u32 slot-index ceiling",
+            server_cfg.id.0
+        );
+    }
+    (fleets, Throughput { ops: cfg.objects, wall_s })
+}
+
+fn run_updates(cfg: &MacroConfig, ls: &mut SimDeployment, fleets: &mut [Fleet]) -> UpdatePhase {
+    let mut agg = UpdatePhase {
+        steps: cfg.update_steps,
+        sent: 0,
+        acks: 0,
+        handovers: 0,
+        lost: 0,
+        deregistered: 0,
+        wall_s: 0.0,
+    };
+    let t0 = Instant::now();
+    for _ in 0..cfg.update_steps {
+        for fleet in fleets.iter_mut() {
+            fleet.process_inbox(ls);
+            let s = fleet.step(ls, cfg.step_dt_s);
+            agg.sent += s.updates_sent;
+            agg.acks += s.acks;
+            agg.handovers += s.handovers;
+            agg.lost += s.lost;
+            agg.deregistered += s.deregistered;
+        }
+    }
+    agg.wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(agg.lost, 0, "no update may be lost on a healthy network");
+    assert!(agg.sent > 0, "the update phase must actually transmit");
+    agg
+}
+
+/// One Zipf query phase. Both phases run this with the *same* seed, so
+/// the caches-on phase answers the byte-identical query sequence — the
+/// only variable is the cache configuration.
+fn run_queries(cfg: &MacroConfig, ls: &mut SimDeployment, caches: &'static str) -> QueryPhase {
+    let leaves: Vec<ServerId> = ls
+        .hierarchy()
+        .servers()
+        .iter()
+        .filter(|c| c.is_leaf())
+        .map(|c| c.id)
+        .collect();
+    let zipf_leaf = Zipf::new(leaves.len(), cfg.zipf_alpha);
+    let zipf_obj = Zipf::new(cfg.objects as usize, cfg.zipf_alpha);
+    let min_acc_m = FleetConfig::default().min_acc_m;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0000_C17F);
+
+    let net_before = ls.net_counters().0;
+    let stats_before = ls.total_stats();
+    let (hits_before, misses_before) = ls.cache_hit_stats();
+
+    let (mut pos, mut range, mut nn) = (Samples::new(), Samples::new(), Samples::new());
+    let mut errors = 0u64;
+    for _ in 0..cfg.queries {
+        // Queries enter at a Zipf-hot leaf: clients ask their local
+        // server, and load concentrates where the objects (and the
+        // paper's locality argument) are.
+        let entry = leaves[zipf_leaf.sample(&mut rng)];
+        let kind: f64 = rng.random();
+        let t0 = ls.now_us();
+        if kind < 0.7 {
+            let oid = rank_to_oid(zipf_obj.sample(&mut rng), cfg.objects);
+            match ls.pos_query(entry, oid) {
+                Ok(_) => pos.record((ls.now_us() - t0) as f64),
+                Err(_) => errors += 1,
+            }
+        } else if kind < 0.9 {
+            // A hot cell: half a leaf's side, centered on a Zipf-hot
+            // leaf — the "where is everyone downtown" query.
+            let hot = ls.hierarchy().server(leaves[zipf_leaf.sample(&mut rng)]).area;
+            let side = (hot.max().x - hot.min().x) / 2.0;
+            let cell = Rect::from_center_size(hot.center(), side, side);
+            match ls.range_query(entry, RangeQuery::new(Region::from(cell), min_acc_m, 0.5)) {
+                Ok(_) => range.record((ls.now_us() - t0) as f64),
+                Err(_) => errors += 1,
+            }
+        } else {
+            let p = ls.hierarchy().server(leaves[zipf_leaf.sample(&mut rng)]).area.center();
+            match ls.neighbor_query(entry, p, min_acc_m, min_acc_m / 2.0) {
+                Ok(_) => nn.record((ls.now_us() - t0) as f64),
+                Err(_) => errors += 1,
+            }
+        }
+    }
+
+    let after = ls.total_stats();
+    let delta = after.minus(&stats_before);
+    let (hits, misses) = ls.cache_hit_stats();
+    QueryPhase {
+        caches,
+        pos: pos.summary(),
+        range: range.summary(),
+        nn: nn.summary(),
+        errors,
+        msgs_sent: ls.net_counters().0 - net_before,
+        msgs_dir: (delta.msgs_up, delta.msgs_down, delta.msgs_peer, delta.msgs_client),
+        cache_hits: hits - hits_before,
+        cache_misses: misses - misses_before,
+    }
+}
+
+fn level_delta(after: &[LevelStats], before: &[LevelStats]) -> Vec<(u32, usize, u64)> {
+    after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| {
+            assert_eq!(a.level, b.level);
+            (a.level, a.servers, a.stats.minus(&b.stats).msgs_in)
+        })
+        .collect()
+}
+
+/// Runs the complete macro benchmark.
+pub fn run(cfg: &MacroConfig) -> MacroReport {
+    assert!(!cfg.objects.is_multiple_of(7919), "rank spreading needs gcd(7919, objects) = 1");
+    let mut ls = build_deployment(cfg);
+    let servers = ls.hierarchy().len();
+    let leaf_servers = ls.hierarchy().servers().iter().filter(|c| c.is_leaf()).count();
+
+    let (mut fleets, register) = register_fleets(cfg, &mut ls);
+    let after_register = ls.level_stats();
+
+    let updates = run_updates(cfg, &mut ls, &mut fleets);
+    let after_updates = ls.level_stats();
+
+    let off = run_queries(cfg, &mut ls, "off");
+    let after_off = ls.level_stats();
+
+    // The ablation switch: §6.5 caches on, from cold (the toggle
+    // resets cache state), against the identical query sequence.
+    ls.set_caches(CacheConfig::all_enabled());
+    let on = run_queries(cfg, &mut ls, "on");
+    let after_on = ls.level_stats();
+
+    let upd = level_delta(&after_updates, &after_register);
+    let qoff = level_delta(&after_off, &after_updates);
+    let qon = level_delta(&after_on, &after_off);
+    let levels = upd
+        .iter()
+        .zip(&qoff)
+        .zip(&qon)
+        .map(|((u, o), n)| LevelRow {
+            level: u.0,
+            servers: u.1,
+            update_msgs_in: u.2,
+            query_off_msgs_in: o.2,
+            query_on_msgs_in: n.2,
+        })
+        .collect();
+
+    MacroReport {
+        config: *cfg,
+        servers,
+        leaf_servers,
+        register,
+        updates,
+        query_phases: vec![off, on],
+        levels,
+    }
+}
+
+// ----------------------------------------------------------------- json
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn rate(v: f64) -> Json {
+    // Whole ops/s: sub-op precision is machine noise and integers keep
+    // the committed baseline diff-friendly.
+    Json::Num(v.round())
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::Obj(vec![
+        ("count".into(), num(s.count as f64)),
+        ("p50_us".into(), num(s.p50.round())),
+        ("p90_us".into(), num(s.p90.round())),
+        ("p99_us".into(), num(s.p99.round())),
+    ])
+}
+
+impl MacroReport {
+    /// The machine-readable report (schema documented in the README).
+    pub fn to_json(&self, quick: bool) -> Json {
+        let phases = self
+            .query_phases
+            .iter()
+            .map(|p| {
+                let (up, down, peer, client) = p.msgs_dir;
+                Json::Obj(vec![
+                    ("caches".into(), Json::Str(p.caches.into())),
+                    ("pos".into(), summary_json(&p.pos)),
+                    ("range".into(), summary_json(&p.range)),
+                    ("nn".into(), summary_json(&p.nn)),
+                    ("errors".into(), num(p.errors as f64)),
+                    (
+                        "msgs_per_query".into(),
+                        num((p.msgs_sent as f64 / p.queries() as f64 * 100.0).round() / 100.0),
+                    ),
+                    (
+                        "msgs".into(),
+                        Json::Obj(vec![
+                            ("up".into(), num(up as f64)),
+                            ("down".into(), num(down as f64)),
+                            ("peer".into(), num(peer as f64)),
+                            ("client".into(), num(client as f64)),
+                        ]),
+                    ),
+                    (
+                        "cache".into(),
+                        Json::Obj(vec![
+                            ("hits".into(), num(p.cache_hits as f64)),
+                            ("misses".into(), num(p.cache_misses as f64)),
+                            (
+                                "hit_rate".into(),
+                                num((p.hit_rate() * 1_000.0).round() / 1_000.0),
+                            ),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let levels = self
+            .levels
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("level".into(), num(f64::from(l.level))),
+                    ("servers".into(), num(l.servers as f64)),
+                    ("update_msgs_in".into(), num(l.update_msgs_in as f64)),
+                    ("query_off_msgs_in".into(), num(l.query_off_msgs_in as f64)),
+                    ("query_on_msgs_in".into(), num(l.query_on_msgs_in as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("hiloc-bench-macro/v1".into())),
+            ("quick".into(), Json::Bool(quick)),
+            ("seed".into(), num(self.config.seed as f64)),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("objects".into(), num(self.config.objects as f64)),
+                    ("levels".into(), num(f64::from(self.config.levels))),
+                    ("total_levels".into(), num(f64::from(self.config.total_levels()))),
+                    ("fanout".into(), num(f64::from(self.config.fanout))),
+                    ("servers".into(), num(self.servers as f64)),
+                    ("leaf_servers".into(), num(self.leaf_servers as f64)),
+                    ("area_m".into(), num(self.config.area_m)),
+                    ("zipf_alpha".into(), num(self.config.zipf_alpha)),
+                    ("speed_mps".into(), num(self.config.speed_mps)),
+                    ("update_steps".into(), num(f64::from(self.config.update_steps))),
+                    ("step_dt_s".into(), num(self.config.step_dt_s)),
+                    ("queries".into(), num(self.config.queries as f64)),
+                ]),
+            ),
+            (
+                "register".into(),
+                Json::Obj(vec![
+                    ("ops".into(), num(self.register.ops as f64)),
+                    ("wall_s".into(), num((self.register.wall_s * 1_000.0).round() / 1_000.0)),
+                    ("per_s".into(), rate(self.register.per_s())),
+                ]),
+            ),
+            (
+                "updates".into(),
+                Json::Obj(vec![
+                    ("steps".into(), num(f64::from(self.updates.steps))),
+                    ("sent".into(), num(self.updates.sent as f64)),
+                    ("acks".into(), num(self.updates.acks as f64)),
+                    ("handovers".into(), num(self.updates.handovers as f64)),
+                    ("lost".into(), num(self.updates.lost as f64)),
+                    ("deregistered".into(), num(self.updates.deregistered as f64)),
+                    ("wall_s".into(), num((self.updates.wall_s * 1_000.0).round() / 1_000.0)),
+                    (
+                        "per_s".into(),
+                        rate(self.updates.sent as f64 / self.updates.wall_s),
+                    ),
+                ]),
+            ),
+            ("query_phases".into(), Json::Arr(phases)),
+            ("levels".into(), Json::Arr(levels)),
+        ])
+    }
+}
+
+/// Validates a `BENCH_macro.json` document: parseable by
+/// [`hiloc_util::json`], schema-correct, and — for a full-scale run —
+/// at the committed-baseline scale (≥ 1M objects, ≥ 4 hierarchy
+/// levels, ≥ 24 servers). Returns a human-readable error on failure.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing schema field".to_string())?;
+    if schema != "hiloc-bench-macro/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let quick = doc
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| "missing quick flag".to_string())?;
+
+    let cfg_num = |field: &str| {
+        doc.get("config")
+            .and_then(|c| c.get(field))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing config.{field}"))
+    };
+    let objects = cfg_num("objects")?;
+    let total_levels = cfg_num("total_levels")?;
+    let servers = cfg_num("servers")?;
+    if !quick {
+        if objects < 1_000_000.0 {
+            return Err(format!("full run must track >= 1M objects, got {objects}"));
+        }
+        if total_levels < 4.0 {
+            return Err(format!("full run must span >= 4 hierarchy levels, got {total_levels}"));
+        }
+        if servers < 24.0 {
+            return Err(format!("full run must involve >= 24 servers, got {servers}"));
+        }
+    }
+
+    for phase in ["register", "updates"] {
+        let per_s = doc
+            .get(phase)
+            .and_then(|p| p.get("per_s"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing {phase}.per_s"))?;
+        if !(per_s.is_finite() && per_s > 0.0) {
+            return Err(format!("non-positive {phase}.per_s {per_s}"));
+        }
+    }
+
+    let phases = doc
+        .get("query_phases")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing query_phases array".to_string())?;
+    if phases.len() != 2 {
+        return Err(format!("expected 2 query phases (off, on), got {}", phases.len()));
+    }
+    for (phase, want) in phases.iter().zip(["off", "on"]) {
+        let caches = phase
+            .get("caches")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "query phase without caches tag".to_string())?;
+        if caches != want {
+            return Err(format!("query phase order: expected caches={want:?}, got {caches:?}"));
+        }
+        if phase.get("errors").and_then(Json::as_f64) != Some(0.0) {
+            return Err(format!("query phase {want:?} reported errors"));
+        }
+        for kind in ["pos", "range", "nn"] {
+            let k = phase
+                .get(kind)
+                .ok_or_else(|| format!("query phase without {kind} summary"))?;
+            let get = |f: &str| {
+                k.get(f)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("missing {kind}.{f}"))
+            };
+            if get("count")? <= 0.0 {
+                return Err(format!("query phase {want:?} ran no {kind} queries"));
+            }
+            let (p50, p90, p99) = (get("p50_us")?, get("p90_us")?, get("p99_us")?);
+            for v in [p50, p90, p99] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("{kind} percentile {v} is not a positive latency"));
+                }
+            }
+            if !(p50 <= p90 && p90 <= p99) {
+                return Err(format!("{kind} percentiles not monotone: {p50}/{p90}/{p99}"));
+            }
+        }
+        let cache_num = |f: &str| {
+            phase
+                .get("cache")
+                .and_then(|c| c.get(f))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing cache.{f}"))
+        };
+        let (hits, misses, hit_rate) =
+            (cache_num("hits")?, cache_num("misses")?, cache_num("hit_rate")?);
+        if !(0.0..=1.0).contains(&hit_rate) {
+            return Err(format!("cache hit rate {hit_rate} outside [0, 1]"));
+        }
+        match want {
+            "off" if hits != 0.0 => {
+                return Err(format!("caches-off phase reported {hits} cache hits"))
+            }
+            "on" if hits + misses <= 0.0 => {
+                return Err("caches-on phase never consulted a cache".to_string())
+            }
+            "on" if hits <= 0.0 => {
+                return Err("caches-on phase never hit a cache".to_string())
+            }
+            _ => {}
+        }
+    }
+
+    let levels = doc
+        .get("levels")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing levels array".to_string())?;
+    if (levels.len() as f64) != total_levels {
+        return Err(format!(
+            "levels array has {} rows for {total_levels} hierarchy levels",
+            levels.len()
+        ));
+    }
+    for l in levels {
+        for field in ["level", "servers", "update_msgs_in", "query_off_msgs_in", "query_on_msgs_in"]
+        {
+            if l.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("level row without {field}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MacroConfig {
+        MacroConfig {
+            objects: 600,
+            levels: 1,
+            fanout: 2,
+            area_m: 2_000.0,
+            zipf_alpha: 0.9,
+            speed_mps: 0.83,
+            update_steps: 1,
+            step_dt_s: 20.0,
+            queries: 60,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn tiny_run_produces_valid_json() {
+        let report = run(&tiny());
+        assert_eq!(report.servers, 5, "1 root + 4 leaves");
+        assert_eq!(report.query_phases.len(), 2);
+        let text = report.to_json(true).to_string_pretty();
+        validate_report(&text).expect("self-produced report must validate");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_report("{").is_err());
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report(r#"{"schema": "hiloc-bench-hotpath/v1"}"#).is_err());
+        assert!(validate_report(r#"{"schema": "hiloc-bench-macro/v1"}"#).is_err());
+        // A full-scale report below the committed floor must fail.
+        let report = run(&tiny());
+        let text = report.to_json(false).to_string_pretty();
+        assert!(validate_report(&text).is_err(), "tiny scale must not pass as a full run");
+    }
+
+    #[test]
+    fn rank_spreading_is_a_bijection_at_committed_scales() {
+        for objects in [MacroConfig::full().objects, MacroConfig::quick().objects, 600] {
+            assert!(!objects.is_multiple_of(7919));
+            let mut seen = vec![false; objects as usize];
+            for rank in 0..objects as usize {
+                let oid = rank_to_oid(rank, objects);
+                assert!(!seen[oid.0 as usize], "collision at rank {rank}");
+                seen[oid.0 as usize] = true;
+            }
+        }
+    }
+}

@@ -111,6 +111,20 @@ pub struct ServerStats {
     pub msgs_in: u64,
     /// Messages produced.
     pub msgs_out: u64,
+    /// Messages produced **upward** (to this server's parent) — the
+    /// hierarchy-climbing share of the traffic. Grouped by server
+    /// level, these counters are what the macro benchmark reports as
+    /// per-level message amplification.
+    pub msgs_up: u64,
+    /// Messages produced **downward** (to one of this server's
+    /// children).
+    pub msgs_down: u64,
+    /// Messages produced to a non-adjacent server (handover peers,
+    /// bulk-transfer targets, agent-lookup shortcuts).
+    pub msgs_peer: u64,
+    /// Messages produced to client endpoints (answers, acks,
+    /// notifications, probes).
+    pub msgs_client: u64,
     /// Successful registrations performed (as agent).
     pub registrations: u64,
     /// Position updates applied.
@@ -147,6 +161,53 @@ pub struct ServerStats {
     pub transfer_records_in: u64,
     /// Path-sync responses applied (as a promoted root).
     pub path_syncs: u64,
+}
+
+/// Applies `f` to every counter pair of two stats values — the single
+/// field list behind [`ServerStats::add`] and [`ServerStats::minus`],
+/// so a new counter only has to be enumerated once.
+fn stats_zip(a: &mut ServerStats, b: &ServerStats, f: impl Fn(&mut u64, u64)) {
+    f(&mut a.msgs_in, b.msgs_in);
+    f(&mut a.msgs_out, b.msgs_out);
+    f(&mut a.msgs_up, b.msgs_up);
+    f(&mut a.msgs_down, b.msgs_down);
+    f(&mut a.msgs_peer, b.msgs_peer);
+    f(&mut a.msgs_client, b.msgs_client);
+    f(&mut a.registrations, b.registrations);
+    f(&mut a.updates, b.updates);
+    f(&mut a.handovers_started, b.handovers_started);
+    f(&mut a.handovers_completed, b.handovers_completed);
+    f(&mut a.pos_answered, b.pos_answered);
+    f(&mut a.sub_results, b.sub_results);
+    f(&mut a.gathers_completed, b.gathers_completed);
+    f(&mut a.gathers_timed_out, b.gathers_timed_out);
+    f(&mut a.expired, b.expired);
+    f(&mut a.cache_answers, b.cache_answers);
+    f(&mut a.probes_sent, b.probes_sent);
+    f(&mut a.updates_dropped, b.updates_dropped);
+    f(&mut a.events_fired, b.events_fired);
+    f(&mut a.transfers_started, b.transfers_started);
+    f(&mut a.transfers_completed, b.transfers_completed);
+    f(&mut a.transfer_retries, b.transfer_retries);
+    f(&mut a.transfer_records_in, b.transfer_records_in);
+    f(&mut a.path_syncs, b.path_syncs);
+}
+
+impl ServerStats {
+    /// Adds every counter of `other` into `self` (fleet/level
+    /// aggregation).
+    pub fn add(&mut self, other: &ServerStats) {
+        stats_zip(self, other, |a, b| *a += b);
+    }
+
+    /// The counter-wise difference `self − earlier`, saturating at
+    /// zero — per-phase deltas for benchmarks (a restarted server's
+    /// counters reset, hence saturating rather than panicking).
+    pub fn minus(&self, earlier: &ServerStats) -> ServerStats {
+        let mut out = *self;
+        stats_zip(&mut out, earlier, |a, b| *a = a.saturating_sub(b));
+        out
+    }
 }
 
 /// A location server node (sans-IO).
@@ -251,6 +312,23 @@ impl LocationServer {
     /// Cache hit/miss counters.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.caches.hit_stats()
+    }
+
+    /// Replaces the §6.5 cache configuration at runtime, dropping all
+    /// learned entries and hit/miss counters — the cache-ablation
+    /// switch: a benchmark measures a deployment with caches off, flips
+    /// them on, and re-measures without rebuilding a million
+    /// registrations.
+    pub fn set_cache_config(&mut self, cfg: CacheConfig) {
+        self.opts.caches = cfg;
+        self.caches = Caches::new(cfg);
+    }
+
+    /// Number of slab slots the sighting database ever allocated (its
+    /// arena footprint) — exposed so large-scale harnesses can assert
+    /// headroom below the slab's `u32` slot-index limit.
+    pub fn sighting_slot_capacity(&self) -> usize {
+        self.sightings.slot_capacity()
     }
 
     /// Number of visitor records.
@@ -385,7 +463,23 @@ impl LocationServer {
     }
 
     pub(crate) fn emit(&mut self, to: impl Into<Endpoint>, msg: Message) {
-        self.outbox.push(Envelope::new(self.me(), to.into(), msg));
+        let to = to.into();
+        // Classify by direction relative to this node's place in the
+        // hierarchy — the per-level counters behind the macro
+        // benchmark's message-amplification report.
+        match to {
+            Endpoint::Client(_) => self.stats.msgs_client += 1,
+            Endpoint::Server(sid) => {
+                if self.config.parent == Some(sid) {
+                    self.stats.msgs_up += 1;
+                } else if self.config.children.iter().any(|c| c.id == sid) {
+                    self.stats.msgs_down += 1;
+                } else {
+                    self.stats.msgs_peer += 1;
+                }
+            }
+        }
+        self.outbox.push(Envelope::new(self.me(), to, msg));
     }
 
     pub(crate) fn me(&self) -> Endpoint {

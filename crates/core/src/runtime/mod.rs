@@ -15,6 +15,6 @@ mod sim;
 mod threaded;
 mod udp;
 
-pub use sim::{CrashMode, SimDeployment, UpdateOutcome};
+pub use sim::{CrashMode, LevelStats, SimDeployment, UpdateOutcome};
 pub use threaded::{SyncClient, ThreadedDeployment};
 pub use udp::{UdpClient, UdpDeployment};

@@ -34,6 +34,18 @@ pub enum CrashMode {
     PowerLoss,
 }
 
+/// Per-hierarchy-level aggregate of server counters (see
+/// [`SimDeployment::level_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Hierarchy level (0 = root; the deepest level is the leaves).
+    pub level: u32,
+    /// Servers configured at this level (including retired ones).
+    pub servers: usize,
+    /// Their summed counters.
+    pub stats: ServerStats,
+}
+
 /// The outcome of a position update, as seen by the tracked object.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UpdateOutcome {
@@ -397,29 +409,51 @@ impl SimDeployment {
     pub fn total_stats(&self) -> ServerStats {
         let mut total = ServerStats::default();
         for s in &self.servers {
-            let st = s.stats();
-            total.msgs_in += st.msgs_in;
-            total.msgs_out += st.msgs_out;
-            total.registrations += st.registrations;
-            total.updates += st.updates;
-            total.handovers_started += st.handovers_started;
-            total.handovers_completed += st.handovers_completed;
-            total.pos_answered += st.pos_answered;
-            total.sub_results += st.sub_results;
-            total.gathers_completed += st.gathers_completed;
-            total.gathers_timed_out += st.gathers_timed_out;
-            total.expired += st.expired;
-            total.cache_answers += st.cache_answers;
-            total.probes_sent += st.probes_sent;
-            total.updates_dropped += st.updates_dropped;
-            total.events_fired += st.events_fired;
-            total.transfers_started += st.transfers_started;
-            total.transfers_completed += st.transfers_completed;
-            total.transfer_retries += st.transfer_retries;
-            total.transfer_records_in += st.transfer_records_in;
-            total.path_syncs += st.path_syncs;
+            total.add(&s.stats());
         }
         total
+    }
+
+    /// Stats aggregated **per hierarchy level** (level 0 = root,
+    /// deepest level = leaves), in ascending level order. Retired
+    /// servers still contribute their counters at their old level —
+    /// the traffic they handled happened. This is the data source for
+    /// the macro benchmark's per-level message-amplification report.
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        let mut by_level: BTreeMap<u32, LevelStats> = BTreeMap::new();
+        for cfg in self.hierarchy.servers() {
+            let entry = by_level
+                .entry(cfg.level)
+                .or_insert(LevelStats { level: cfg.level, servers: 0, stats: ServerStats::default() });
+            entry.servers += 1;
+            entry.stats.add(&self.servers[cfg.id.0 as usize].stats());
+        }
+        by_level.into_values().collect()
+    }
+
+    /// §6.5 cache hit/miss counters summed over all servers.
+    pub fn cache_hit_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in &self.servers {
+            let (h, m) = s.cache_stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
+    }
+
+    /// Switches every server's §6.5 cache configuration at runtime,
+    /// dropping learned entries and hit/miss counters (servers start
+    /// cold under the new config). Future restarts inherit the new
+    /// configuration too. This is the cache-ablation switch: measure
+    /// with caches off, flip them on, re-measure — without rebuilding
+    /// the deployment's registrations.
+    pub fn set_caches(&mut self, cfg: crate::cache::CacheConfig) {
+        self.opts.caches = cfg;
+        for s in &mut self.servers {
+            s.set_cache_config(cfg);
+        }
     }
 
     /// Current virtual time (microseconds).

@@ -31,6 +31,11 @@ pub struct FleetConfig {
     pub policy: UpdatePolicy,
     /// RNG seed (placement + per-object models).
     pub seed: u64,
+    /// First object id: objects get ids `first_oid..first_oid +
+    /// num_objects`. Lets several fleets (e.g. one per mobility model
+    /// in the macro benchmark) share one deployment without id
+    /// collisions.
+    pub first_oid: u64,
 }
 
 impl Default for FleetConfig {
@@ -44,6 +49,7 @@ impl Default for FleetConfig {
             mobility: MobilityKind::RandomWaypoint,
             policy: UpdatePolicy::Distance { threshold_m: 15.0 },
             seed: 0,
+            first_oid: 0,
         }
     }
 }
@@ -158,7 +164,7 @@ impl Fleet {
                 rng.random_range(area.min().y..area.max().y - 1e-3),
             );
             let model = cfg.mobility.build(area, start, cfg.speed_mps, cfg.seed ^ (i + 1));
-            let oid = ObjectId(i);
+            let oid = ObjectId(cfg.first_oid + i);
             let entry = ls.leaf_for(start);
             let (agent, offered) = ls.register_with_speed(
                 entry,

@@ -98,6 +98,10 @@ pub struct FuzzSpec {
     pub policy: UpdatePolicy,
     /// Mixed query load through the root during chaos.
     pub mid_chaos_queries: bool,
+    /// Use the macro-benchmark query mix (Zipf-skewed pos/range/NN
+    /// entering at hot leaves) instead of the root round. Only
+    /// meaningful when `mid_chaos_queries` is set.
+    pub macro_mix: bool,
     /// §6.5 cache mode.
     pub caches: CacheMode,
     /// Global message-drop probability.
@@ -150,6 +154,7 @@ impl FuzzSpec {
             faults,
             durable: true,
             mid_chaos_queries: self.mid_chaos_queries,
+            macro_mix: self.macro_mix,
             caches: self.caches.to_config(),
             events: self.events.clone(),
             ..Default::default()
@@ -436,6 +441,7 @@ pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
         mobility,
         policy,
         mid_chaos_queries: g.chance(0.7),
+        macro_mix: g.chance(0.35),
         caches,
         drop_prob,
         dup_prob,
@@ -619,6 +625,15 @@ pub fn shrink(spec: &FuzzSpec) -> FuzzSpec {
         if improved {
             continue;
         }
+        // Fall back from the macro query mix to the simple root round.
+        if best.macro_mix {
+            let mut c = best.clone();
+            c.macro_mix = false;
+            if still_fails(&c, &mut runs) {
+                best = c;
+                continue;
+            }
+        }
         // Drop the mid-chaos query load.
         if best.mid_chaos_queries {
             let mut c = best.clone();
@@ -702,6 +717,7 @@ impl FuzzSpec {
                 UpdatePolicy::DeadReckoning { threshold_m } => format!("policy=dead:{threshold_m}"),
             },
             format!("queries={}", u8::from(self.mid_chaos_queries)),
+            format!("mix={}", u8::from(self.macro_mix)),
             match self.caches {
                 CacheMode::Off => "caches=off".to_string(),
                 CacheMode::On { max_aged_acc_m } => format!("caches=on:{max_aged_acc_m}"),
@@ -754,6 +770,7 @@ pub fn parse_dsl(dsl: &str) -> Result<FuzzSpec, String> {
         mobility: MobilityKind::RandomWaypoint,
         policy: UpdatePolicy::Distance { threshold_m: 10.0 },
         mid_chaos_queries: false,
+        macro_mix: false,
         caches: CacheMode::Off,
         drop_prob: 0.0,
         dup_prob: 0.0,
@@ -795,6 +812,7 @@ pub fn parse_dsl(dsl: &str) -> Result<FuzzSpec, String> {
                 }
             }
             "queries" => spec.mid_chaos_queries = value == "1",
+            "mix" => spec.macro_mix = value == "1",
             "caches" => {
                 spec.caches = match value.split_once(':') {
                     None if value == "off" => CacheMode::Off,

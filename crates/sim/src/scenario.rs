@@ -150,6 +150,14 @@ pub struct ScenarioSpec {
     /// scenarios. Mid-chaos answers may time out or be stale (faults
     /// are active); the settle-phase oracle is what must be green.
     pub mid_chaos_queries: bool,
+    /// With [`ScenarioSpec::mid_chaos_queries`] on, drive the **macro
+    /// workload mix** each step instead of the simple root pos+range
+    /// pair: Zipf-skewed position, range and nearest-neighbor queries
+    /// entering at Zipf-hot *leaves* — the scaled-down shape of the
+    /// macro benchmark's query load, so the bench harness's workload
+    /// is itself chaos-proven. Ignored when `mid_chaos_queries` is
+    /// off.
+    pub macro_mix: bool,
     /// §6.5 cache configuration for every server. All off by default
     /// (the paper's measured prototype). With caches *on* the oracle
     /// switches to **bounded-staleness** point semantics: an answer
@@ -161,6 +169,14 @@ pub struct ScenarioSpec {
     pub caches: CacheConfig,
     /// Scripted crash/restart/heal/reshape events.
     pub events: Vec<ScenarioEvent>,
+    /// Multiplies the soft-state windows (sighting TTL, path refresh
+    /// and path TTL — *not* the query timeout). Every blocking client
+    /// op advances virtual time by an RTT, so a step over a large
+    /// population spans virtual *minutes*; at the default windows
+    /// (tuned for tens of objects) a crashed leaf's sightings would
+    /// expire before a scripted restart ever fires. Values ≤ 1 mean
+    /// "unscaled".
+    pub time_scale: u32,
 }
 
 impl Default for ScenarioSpec {
@@ -181,8 +197,10 @@ impl Default for ScenarioSpec {
             faults: FaultPlan::none(),
             durable: false,
             mid_chaos_queries: false,
+            macro_mix: false,
             caches: CacheConfig::default(),
             events: Vec::new(),
+            time_scale: 1,
         }
     }
 }
@@ -205,6 +223,11 @@ pub struct ScenarioRun {
     /// assert that the machinery under test — transfers, retries,
     /// path syncs — actually ran).
     pub stats: hiloc_core::node::ServerStats,
+    /// Virtual-time latency of each mid-chaos query round (empty when
+    /// `mid_chaos_queries` is off). Feed into
+    /// [`crate::stats::Samples`] to assert percentile sanity under
+    /// faults.
+    pub query_latency_us: Vec<Micros>,
 }
 
 /// The naive in-memory oracle: for every live object, the position and
@@ -319,10 +342,11 @@ impl ScenarioSpec {
             _dir_guard = None;
             None
         };
+        let scale = Micros::from(self.time_scale.max(1));
         let opts = ServerOptions {
-            sighting_ttl_us: SIGHTING_TTL_US,
-            path_refresh_us: PATH_REFRESH_US,
-            path_ttl_us: PATH_TTL_US,
+            sighting_ttl_us: SIGHTING_TTL_US * scale,
+            path_refresh_us: PATH_REFRESH_US * scale,
+            path_ttl_us: PATH_TTL_US * scale,
             query_timeout_us: QUERY_TIMEOUT_US,
             durability,
             caches: self.caches,
@@ -359,6 +383,7 @@ impl ScenarioSpec {
         ls.set_faults(self.faults.clone());
 
         let mut crash_snapshots: BTreeMap<u32, VisitorSnapshot> = BTreeMap::new();
+        let mut query_latency_us: Vec<Micros> = Vec::new();
         for step in 0..self.steps {
             let events: Vec<ScenarioEvent> =
                 self.events.iter().filter(|e| e.at_step == step).cloned().collect();
@@ -381,7 +406,13 @@ impl ScenarioSpec {
                 inbox.probes_answered,
             ));
             if self.mid_chaos_queries {
-                trace.push(self.mid_chaos_query(step, &mut ls));
+                let t0 = ls.now_us();
+                trace.push(if self.macro_mix {
+                    self.macro_mix_query(step, &mut ls)
+                } else {
+                    self.mid_chaos_query(step, &mut ls)
+                });
+                query_latency_us.push(ls.now_us() - t0);
             }
         }
 
@@ -401,8 +432,8 @@ impl ScenarioSpec {
         // Ghosts (handover leftovers) expire after the sighting TTL and
         // torn paths are re-asserted by keep-alives every refresh
         // period; span both while keeping live objects refreshed.
-        let chunk = PATH_REFRESH_US / 2;
-        let chunks = ((SIGHTING_TTL_US + 2 * PATH_REFRESH_US) / chunk + 1) as usize;
+        let chunk = PATH_REFRESH_US * scale / 2;
+        let chunks = ((SIGHTING_TTL_US * scale + 2 * PATH_REFRESH_US * scale) / chunk + 1) as usize;
         for _ in 0..chunks {
             fleet.process_inbox(&mut ls);
             fleet.report_all(&mut ls);
@@ -434,6 +465,7 @@ impl ScenarioSpec {
             net_counters: ls.net_counters(),
             blackholed: ls.blackholed(),
             stats: ls.total_stats(),
+            query_latency_us,
             trace,
         }
     }
@@ -461,6 +493,51 @@ impl ScenarioSpec {
             Err(e) => format!("range=err:{e:?}"),
         };
         format!("query step {step:>3} via root {}: {pos} {range}", root.0)
+    }
+
+    /// One round of the **macro workload mix** while faults are active:
+    /// a Zipf-skewed position query, a hot-cell range query and a
+    /// hot-cell nearest-neighbor query, each entering at a Zipf-hot
+    /// leaf (clients query their local leaf; popularity is skewed).
+    /// Outcomes go into the trace — mid-chaos they may time out or be
+    /// stale (the entry leaf may even be crashed); the settled oracle
+    /// is the verdict. Deterministic per `(seed, step)`.
+    fn macro_mix_query(&self, step: u32, ls: &mut SimDeployment) -> String {
+        use hiloc_util::rng::{SeedableRng, StdRng};
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (u64::from(step) << 24) ^ 0x00AC_0517);
+        let leaves: Vec<ServerId> = ls
+            .hierarchy()
+            .servers()
+            .iter()
+            .filter(|c| c.is_leaf() && !ls.hierarchy().is_retired(c.id))
+            .map(|c| c.id)
+            .collect();
+        let zipf_leaf = crate::Zipf::new(leaves.len(), 0.9);
+        let zipf_obj = crate::Zipf::new(self.num_objects as usize, 0.9);
+        let min_acc_m = FleetConfig::default().min_acc_m;
+
+        let entry = leaves[zipf_leaf.sample(&mut rng)];
+        let oid = ObjectId(zipf_obj.sample(&mut rng) as u64);
+        let pos = match ls.pos_query(entry, oid) {
+            Ok(ld) => format!("pos({oid})=({:.1},{:.1})", ld.pos.x, ld.pos.y),
+            Err(e) => format!("pos({oid})=err:{e:?}"),
+        };
+
+        let hot = ls.hierarchy().server(leaves[zipf_leaf.sample(&mut rng)]).area;
+        let side = (hot.max().x - hot.min().x).max(hot.max().y - hot.min().y);
+        let cell = Rect::from_center_size(hot.center(), side / 2.0, side / 2.0);
+        let query = RangeQuery::new(Region::from(cell), min_acc_m, 0.5);
+        let range = match ls.range_query(entry, query) {
+            Ok(ans) => format!("range={}:{}", ans.objects.len(), ans.complete),
+            Err(e) => format!("range=err:{e:?}"),
+        };
+
+        let p = ls.hierarchy().server(leaves[zipf_leaf.sample(&mut rng)]).area.center();
+        let nn = match ls.neighbor_query(entry, p, min_acc_m, min_acc_m / 2.0) {
+            Ok(ans) => format!("nn={:?}:{}", ans.nearest.map(|(o, _)| o), ans.complete),
+            Err(e) => format!("nn=err:{e:?}"),
+        };
+        format!("macro step {step:>3} via leaf {}: {pos} {range} {nn}", entry.0)
     }
 
     fn apply_event(

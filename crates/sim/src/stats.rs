@@ -64,7 +64,15 @@ impl Samples {
         self.values[idx]
     }
 
-    /// Computes the full summary; zeros when empty.
+    /// Computes the full summary.
+    ///
+    /// **Empty-collection semantics:** with zero samples every field is
+    /// an explicit `0.0` (and `count == 0`), never `NaN` — the naive
+    /// `sum / count` mean would be `0.0 / 0.0`. Consumers that must
+    /// distinguish "no samples" from "all-zero samples" check `count`;
+    /// machine-readable reports (the macro benchmark's
+    /// `BENCH_macro.json`) rely on this to stay valid JSON, which has
+    /// no NaN literal.
     pub fn summary(&mut self) -> Summary {
         if self.values.is_empty() {
             return Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
@@ -113,12 +121,56 @@ mod tests {
         assert!((sum.p99 - 99.0).abs() <= 1.0);
     }
 
+    /// Regression: the mean of zero samples is `0/0`; without the
+    /// explicit empty case every field of the summary would be NaN and
+    /// poison any JSON report built from it. Every field must be
+    /// exactly zero (`assert_eq` would reject NaN, which compares
+    /// unequal to everything including itself).
     #[test]
-    fn empty_summary_is_zeros() {
+    fn empty_summary_is_zeros_not_nan() {
         let mut s = Samples::new();
         let sum = s.summary();
         assert_eq!(sum.count, 0);
-        assert_eq!(sum.mean, 0.0);
+        assert_eq!(
+            sum,
+            Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 }
+        );
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    /// Nearest-rank percentiles of a single sample: every percentile
+    /// *is* that sample.
+    #[test]
+    fn single_sample_summary() {
+        let mut s = Samples::new();
+        s.record(42.0);
+        let sum = s.summary();
+        assert_eq!(sum.count, 1);
+        assert_eq!(sum.mean, 42.0);
+        assert_eq!(sum.min, 42.0);
+        assert_eq!(sum.p50, 42.0);
+        assert_eq!(sum.p90, 42.0);
+        assert_eq!(sum.p99, 42.0);
+        assert_eq!(sum.max, 42.0);
+    }
+
+    /// Nearest-rank percentiles of two samples: index
+    /// `round((n-1) · q)` puts p50/p90/p99 on the *upper* sample
+    /// (round(0.5) = 1 under round-half-away-from-zero) and min on the
+    /// lower.
+    #[test]
+    fn two_sample_percentile_ranks() {
+        let mut s = Samples::new();
+        s.record(10.0);
+        s.record(20.0);
+        let sum = s.summary();
+        assert_eq!(sum.count, 2);
+        assert_eq!(sum.mean, 15.0);
+        assert_eq!(sum.min, 10.0);
+        assert_eq!(sum.p50, 20.0);
+        assert_eq!(sum.p90, 20.0);
+        assert_eq!(sum.p99, 20.0);
+        assert_eq!(sum.max, 20.0);
     }
 
     #[test]

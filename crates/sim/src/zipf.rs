@@ -56,7 +56,19 @@ impl Zipf {
 
     /// Draws a rank in `0..n`.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random();
+        self.rank_for(rng.random())
+    }
+
+    /// The rank whose CDF interval contains `u` — the inverse-CDF
+    /// lookup behind [`Zipf::sample`], exposed so edge draws can be
+    /// tested directly.
+    ///
+    /// The `Err` branch of the binary search is clamped to `n - 1`:
+    /// after normalization `cdf.last()` can round *below* 1.0 (large
+    /// `n` sums millions of terms), so a draw in
+    /// `(cdf.last(), 1.0]` would otherwise return the out-of-range
+    /// rank `n`.
+    pub fn rank_for(&self, u: f64) -> usize {
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
@@ -67,6 +79,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hiloc_util::prop::check;
     use hiloc_util::rng::StdRng;
     use hiloc_util::rng::SeedableRng;
 
@@ -112,5 +125,31 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    /// Regression (macro-bench scale): at `n = 1_000_000` the
+    /// normalized CDF's last entry rounds below 1.0, so a draw in
+    /// `(cdf.last(), 1.0]` hits the `Err(n)` branch of the binary
+    /// search — without the clamp, `sample` would return the
+    /// out-of-range rank `n` and index one past the object population.
+    #[test]
+    fn rank_stays_in_range_for_edge_draws_at_macro_scale() {
+        let n = 1_000_000;
+        let z = Zipf::new(n, 0.9);
+        // The exact edge values, including u = 1.0 itself.
+        for u in [1.0, 1.0 - f64::EPSILON, 0.999_999_999_999_999_9] {
+            assert!(z.rank_for(u) < n, "u={u} produced rank {}", z.rank_for(u));
+        }
+        // Property: hammer draws approaching 1.0 from below at ever
+        // finer spacing; every rank must stay in range, and draws at or
+        // beyond the CDF tail must clamp to exactly n - 1.
+        check(256, |g| {
+            let exp = g.random_range(1.0..16.0);
+            let u: f64 = 1.0 - 10f64.powf(-exp);
+            let r = z.rank_for(u);
+            assert!(r < n, "u={u} produced rank {r}");
+        });
+        assert_eq!(z.rank_for(1.0), n - 1);
+        assert_eq!(z.rank_for(f64::INFINITY), n - 1);
     }
 }

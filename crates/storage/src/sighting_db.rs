@@ -158,6 +158,26 @@ impl std::fmt::Debug for SightingDb {
     }
 }
 
+/// The slot index for a slab about to grow past `len` slots.
+///
+/// Slot indices are `u32` (half the per-record footprint of `usize` in
+/// the wheel and free list). A plain `as u32` would silently wrap once
+/// the slab crosses 2³² slots and corrupt the free list / expiry wheel
+/// by aliasing slot 0 — detect it and fail loudly instead. One leaf
+/// holding 4 billion live sightings is far beyond any deployment this
+/// crate targets (the macro benchmark asserts capacity headroom at
+/// setup); the right fix at that scale is sharding the leaf, not wider
+/// indices.
+fn checked_slot_index(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| {
+        panic!(
+            "SightingDb slab exceeded {} slots — u32 slot indices would wrap \
+             and corrupt the free list; shard this leaf's service area instead",
+            u32::MAX
+        )
+    })
+}
+
 impl SightingDb {
     /// Creates a database indexed by a [`PointQuadtree`] (the paper's
     /// choice).
@@ -224,7 +244,7 @@ impl SightingDb {
                     slot
                 }
                 None => {
-                    let slot = self.slots.len() as u32;
+                    let slot = checked_slot_index(self.slots.len());
                     self.slots.push(Slot { rec: s, gen: 0, live: true, sched_bucket: bucket });
                     slot
                 }
@@ -657,5 +677,24 @@ mod tests {
         assert_eq!(db.expiry_entries(), 0);
         assert_eq!(db.slot_capacity(), 0);
         assert!(db.expire_due(u64::MAX).is_empty());
+    }
+
+    /// Regression: slab growth converted `slots.len()` with a plain
+    /// `as u32`. In-range lengths must map to their exact index…
+    #[test]
+    fn slot_index_conversion_is_exact_in_range() {
+        assert_eq!(checked_slot_index(0), 0);
+        assert_eq!(checked_slot_index(12_345), 12_345);
+        assert_eq!(checked_slot_index(u32::MAX as usize), u32::MAX);
+    }
+
+    /// …and a slab at 2³² slots must fail loudly: the unchecked cast
+    /// wrapped to slot 0, aliasing a live record and corrupting the
+    /// free list. (Tested on the factored-out conversion — allocating
+    /// four billion slots in a test is not an option.)
+    #[test]
+    #[should_panic(expected = "shard this leaf")]
+    fn slot_index_past_u32_panics_instead_of_wrapping() {
+        let _ = checked_slot_index(u32::MAX as usize + 1);
     }
 }
