@@ -3,7 +3,8 @@
 #
 # Everything runs with --offline: the workspace has a zero-external-
 # dependency policy (see README.md), enforced — along with the
-# determinism, wall-clock, hot-path, and wire-coverage invariants — by
+# determinism, wall-clock, hot-path, wire-coverage, and HLC-order
+# invariants — by
 # the hiloc-lint static analyzer, which gates everything below. The old
 # standalone awk manifest guard lives on as hiloc-lint's `manifest`
 # rule (crates/lint/src/rules/manifest.rs), which also handles `path`
@@ -11,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> hiloc-lint (determinism / wallclock / hot_path / manifest / wire)"
+echo "==> hiloc-lint (determinism / wallclock / hot_path / manifest / wire / hlc)"
 cargo run -q --offline -p hiloc-lint -- check
 
 echo "==> cargo build --release --offline"
@@ -39,6 +40,17 @@ echo "==> fuzz gate (generated scenarios, caches off+on, shrunk-reproducer corpu
 cargo test -q --offline -p hiloc-sim --test fuzz_scenarios
 cargo test -q --offline -p hiloc-sim --test fuzz_regressions
 
+# The replication chaos gate: fixed-seed generated scenarios with the
+# replication subsystem deployed (warm standbys streaming deltas, k=2
+# leaf replica rings) and the generator biased at the new verbs —
+# root/standby crashes and PromoteStandby. Every warm promotion is
+# oracle-checked against the stream's durably-acked watermark, and the
+# end-to-end replication + replica-WAL torn-tail suites ride along.
+echo "==> replication gate (standby streams, promotions, replica rings)"
+cargo test -q --offline -p hiloc-sim --test fuzz_replication
+cargo test -q --offline -p hiloc-core --test replication
+cargo test -q --offline -p hiloc-core --test replica_torn_tail
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -60,5 +72,12 @@ cargo build --release --offline -p hiloc-bench
 echo "==> bench smoke: experiments macro --json --quick + validation"
 ./target/release/experiments macro --json --quick --out target/BENCH_macro_smoke.json > /dev/null
 ./target/release/experiments validate-bench target/BENCH_macro_smoke.json
+
+# The committed full-scale baseline must carry the failover-blackout
+# metric; for non-quick reports the validator also enforces the
+# acceptance ratio (warm standby adoption >= 10x faster than the cold
+# pathSync rebuild).
+echo "==> committed BENCH_macro.json validates (incl. failover_blackout_us)"
+./target/release/experiments validate-bench BENCH_macro.json
 
 echo "CI green."

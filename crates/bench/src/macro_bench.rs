@@ -6,8 +6,9 @@
 //! load entering at Zipf-hot leaves — everything end-to-end through
 //! the real node/message path. Measured: sustained registration and
 //! update throughput (wall clock), query latency percentiles (virtual
-//! time), per-level message amplification, and the §6.5 cache hit
-//! rates with caches off vs. on.
+//! time), per-level message amplification, the §6.5 cache hit rates
+//! with caches off vs. on, and the root-failover blackout — a cold
+//! pathSync rebuild vs. a warm standby adoption.
 //!
 //! Run `experiments macro --json` to regenerate the committed
 //! `BENCH_macro.json`; `--quick` runs the CI smoke scale. See the
@@ -190,6 +191,26 @@ pub struct LevelRow {
     pub query_on_msgs_in: u64,
 }
 
+/// Root-failover blackout: virtual µs from the promotion until the
+/// first successful cross-root position query, measured twice on the
+/// same deployment — first **cold** (no standby: the successor
+/// rebuilds its table by chunked `pathSync`, silent behind the lookup
+/// barrier meanwhile), then **warm** (a standby has been streaming the
+/// forwarding table and promotion is O(1) adoption).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPhase {
+    /// Blackout of the cold (pathSync-rebuild) promotion.
+    pub cold_blackout_us: u64,
+    /// Blackout of the warm (standby-adoption) promotion.
+    pub warm_blackout_us: u64,
+}
+
+impl FailoverPhase {
+    fn speedup(&self) -> f64 {
+        self.cold_blackout_us as f64 / (self.warm_blackout_us.max(1)) as f64
+    }
+}
+
 /// A complete macro run.
 #[derive(Debug, Clone)]
 pub struct MacroReport {
@@ -207,6 +228,8 @@ pub struct MacroReport {
     pub query_phases: Vec<QueryPhase>,
     /// Per-level message amplification.
     pub levels: Vec<LevelRow>,
+    /// The failover phase: cold vs. warm promotion blackout.
+    pub failover: FailoverPhase,
 }
 
 // ------------------------------------------------------------ workload
@@ -387,6 +410,74 @@ fn run_queries(cfg: &MacroConfig, ls: &mut SimDeployment, caches: &'static str) 
     }
 }
 
+/// Picks the worst-case query that must route through the root: the
+/// entry leaf is the bottom-left corner of the area, the probe object
+/// lives under the opposite top-level subtree (top-right corner) — so
+/// the lookup has to climb to the root — and it is the *highest* oid
+/// of that subtree. `pathSync` chunks stream in oid order, so a cold
+/// successor learns this record in the far child's **last** chunk: the
+/// probe stays blacked out for the whole rebuild, not until some early
+/// chunk happens to carry it.
+fn cross_root_probe(cfg: &MacroConfig, ls: &SimDeployment) -> (ServerId, ObjectId) {
+    let entry = ls.leaf_for(Point::new(cfg.area_m * 0.01, cfg.area_m * 0.01));
+    let far_leaf = ls.leaf_for(Point::new(cfg.area_m * 0.99, cfg.area_m * 0.99));
+    assert_ne!(entry, far_leaf, "macro hierarchies always span multiple leaves");
+    let root = ls.hierarchy().root();
+    let mut far_top = far_leaf;
+    while let Some(p) = ls.hierarchy().server(far_top).parent {
+        if p == root {
+            break;
+        }
+        far_top = p;
+    }
+    let oid = ls
+        .server(far_top)
+        .visitors()
+        .iter()
+        .map(|(oid, _)| oid)
+        .last()
+        .expect("the far subtree hosts part of the population");
+    (entry, oid)
+}
+
+/// Crashes the current root, promotes over it, and measures the
+/// blackout: virtual µs from the promotion until the cross-root probe
+/// query first succeeds. Each failed attempt costs at least the query
+/// timeout of virtual time, which is exactly what a client at the
+/// entry leaf experiences.
+fn measure_blackout(ls: &mut SimDeployment, entry: ServerId, oid: ObjectId) -> u64 {
+    ls.crash_server(ls.hierarchy().root());
+    ls.promote_root();
+    let t0 = ls.now_us();
+    for _ in 0..10_000 {
+        if ls.pos_query(entry, oid).is_ok() {
+            return ls.now_us() - t0;
+        }
+    }
+    panic!("cross-root probe never recovered after the promotion");
+}
+
+/// The failover phase, run last on the already-loaded deployment (the
+/// §6.5 caches are switched back off first, so the probe cannot be
+/// answered from a cache and genuinely crosses the root):
+///
+/// 1. **cold** — no standby exists yet; the successor rebuilds its
+///    forwarding table by chunked `pathSync` behind the lookup
+///    barrier, and the probe blacks out until the rebuild completes.
+/// 2. **warm** — replication is then enabled, the standby's delta
+///    stream catches up (setup, not blackout), and the same
+///    crash + promotion is O(1) adoption of the streamed table.
+fn run_failover(cfg: &MacroConfig, ls: &mut SimDeployment) -> FailoverPhase {
+    ls.set_caches(CacheConfig::default());
+    let (entry, oid) = cross_root_probe(cfg, ls);
+    let cold_blackout_us = measure_blackout(ls, entry, oid);
+
+    ls.enable_replication();
+    ls.run_until_quiet();
+    let warm_blackout_us = measure_blackout(ls, entry, oid);
+    FailoverPhase { cold_blackout_us, warm_blackout_us }
+}
+
 fn level_delta(after: &[LevelStats], before: &[LevelStats]) -> Vec<(u32, usize, u64)> {
     after
         .iter()
@@ -420,6 +511,8 @@ pub fn run(cfg: &MacroConfig) -> MacroReport {
     let on = run_queries(cfg, &mut ls, "on");
     let after_on = ls.level_stats();
 
+    let failover = run_failover(cfg, &mut ls);
+
     let upd = level_delta(&after_updates, &after_register);
     let qoff = level_delta(&after_off, &after_updates);
     let qon = level_delta(&after_on, &after_off);
@@ -444,6 +537,7 @@ pub fn run(cfg: &MacroConfig) -> MacroReport {
         updates,
         query_phases: vec![off, on],
         levels,
+        failover,
     }
 }
 
@@ -568,6 +662,17 @@ impl MacroReport {
                 ]),
             ),
             ("query_phases".into(), Json::Arr(phases)),
+            (
+                "failover_blackout_us".into(),
+                Json::Obj(vec![
+                    ("cold".into(), num(self.failover.cold_blackout_us as f64)),
+                    ("warm".into(), num(self.failover.warm_blackout_us as f64)),
+                    (
+                        "speedup".into(),
+                        num((self.failover.speedup() * 10.0).round() / 10.0),
+                    ),
+                ]),
+            ),
             ("levels".into(), Json::Arr(levels)),
         ])
     }
@@ -689,6 +794,28 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         }
     }
 
+    let fo_num = |field: &str| {
+        doc.get("failover_blackout_us")
+            .and_then(|f| f.get(field))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing failover_blackout_us.{field}"))
+    };
+    let (cold, warm) = (fo_num("cold")?, fo_num("warm")?);
+    for (name, v) in [("cold", cold), ("warm", warm)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("failover_blackout_us.{name} {v} is not a positive duration"));
+        }
+    }
+    // The tentpole acceptance gate: at full scale the warm promotion
+    // must be at least 10x faster than the cold pathSync rebuild. (At
+    // toy scales the rebuild can finish within one RTT, so the ratio
+    // is only meaningful — and only enforced — on full runs.)
+    if !quick && cold < 10.0 * warm {
+        return Err(format!(
+            "full run: warm blackout {warm}us must be >= 10x below the cold rebuild {cold}us"
+        ));
+    }
+
     let levels = doc
         .get("levels")
         .and_then(Json::as_array)
@@ -734,6 +861,8 @@ mod tests {
         let report = run(&tiny());
         assert_eq!(report.servers, 5, "1 root + 4 leaves");
         assert_eq!(report.query_phases.len(), 2);
+        assert!(report.failover.cold_blackout_us > 0);
+        assert!(report.failover.warm_blackout_us > 0);
         let text = report.to_json(true).to_string_pretty();
         validate_report(&text).expect("self-produced report must validate");
     }

@@ -585,6 +585,74 @@ impl Hierarchy {
         Ok(new_id)
     }
 
+    /// Reserves a server-id slot for a **warm standby** of `template`
+    /// (any active non-leaf): the slot holds a copy of the template's
+    /// configuration but is marked retired, so it takes no part in
+    /// routing or validation until [`Hierarchy::fail_over_root_to`]
+    /// activates it. Returns the reserved id (always `len()` before
+    /// the call). The runtime keeps a live server instance in the slot
+    /// and streams forwarding-table deltas into it.
+    ///
+    /// # Errors
+    ///
+    /// [`HierarchyError::NotALeaf`] is never returned here; the call
+    /// fails with [`HierarchyError::RetiredReference`] when `template`
+    /// is retired and [`HierarchyError::DanglingReference`] when the
+    /// id is out of range.
+    pub fn reserve_standby(&mut self, template: ServerId) -> Result<ServerId, HierarchyError> {
+        if template.0 as usize >= self.servers.len() {
+            return Err(HierarchyError::DanglingReference(template));
+        }
+        if self.retired[template.0 as usize] {
+            return Err(HierarchyError::RetiredReference(template));
+        }
+        let new_id = ServerId(self.servers.len() as u32);
+        let mut cfg = self.server(template).clone();
+        cfg.id = new_id;
+        self.servers.push(cfg);
+        self.retired.push(true);
+        Ok(new_id)
+    }
+
+    /// **Warm root failover**: a previously reserved standby slot (see
+    /// [`Hierarchy::reserve_standby`]) takes over the root role. Unlike
+    /// [`Hierarchy::fail_over_root`] no fresh id is allocated — the
+    /// standby's slot is activated in place, with its configuration
+    /// rebuilt from the old root's *current* record (children may have
+    /// changed since designation; the runtime's delta stream tracked
+    /// those changes in the standby's forwarding table already).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error when the resulting tree is broken.
+    pub fn fail_over_root_to(&mut self, standby: ServerId) -> Result<(), HierarchyError> {
+        if standby.0 as usize >= self.servers.len() {
+            return Err(HierarchyError::DanglingReference(standby));
+        }
+        let old = self.root;
+        let old_cfg = self.server(old).clone();
+        let mut next = self.clone();
+        next.servers[standby.0 as usize] = ServerConfig {
+            id: standby,
+            area: old_cfg.area,
+            parent: None,
+            children: old_cfg.children.clone(),
+            root_area: old_cfg.root_area,
+            level: 0,
+        };
+        next.retired[standby.0 as usize] = false;
+        for cfg in &mut next.servers {
+            if cfg.parent == Some(old) && cfg.id != standby {
+                cfg.parent = Some(standby);
+            }
+        }
+        next.retired[old.0 as usize] = true;
+        next.root = standby;
+        next.validate()?;
+        *self = next;
+        Ok(())
+    }
+
     /// Shared precondition check for leaf mutations.
     fn checked_leaf(&self, id: ServerId) -> Result<&ServerConfig, HierarchyError> {
         if id.0 as usize >= self.servers.len() {

@@ -4,12 +4,14 @@
 
 mod descriptor;
 mod error;
+mod hlc;
 mod query;
 pub mod semantics;
 mod update_policy;
 
 pub use descriptor::{LocationDescriptor, RegInfo, Sighting};
 pub use error::LsError;
+pub use hlc::{Hlc, HlcClock};
 pub use query::{NeighborAnswer, QueryQos, RangeAnswer, RangeQuery};
 pub use update_policy::{LastReport, UpdateDecision, UpdatePolicy};
 

@@ -3,7 +3,7 @@
 
 use super::pending::{HandoverOrigin, HandoverRelay, RelayAction};
 use super::{LocationServer, VisitorRecord};
-use crate::model::{Micros, RegInfo, Sighting};
+use crate::model::{Hlc, Micros, RegInfo, Sighting};
 use crate::proto::Message;
 use hiloc_net::{CorrId, Endpoint};
 
@@ -69,6 +69,11 @@ impl LocationServer {
             let deltas = self.leaf_events.on_position(oid, sighting.pos);
             self.emit_event_reports(deltas);
             self.stats.updates += 1;
+            // k=2: the fresh sighting streams to the replica sibling at
+            // the record's *current* stamp (an in-place refresh is not
+            // a path change; equal stamps apply, so the replica's copy
+            // still advances).
+            self.repl_note_leaf(now, oid);
             match batch_acks {
                 Some(acks) => acks.push((oid, offered_acc_m)),
                 None => self.emit(from, Message::UpdateAck { oid, offered_acc_m, time_us: now }),
@@ -103,12 +108,13 @@ impl LocationServer {
                         deadline_us: now + self.opts.query_timeout_us,
                     },
                 );
-                self.emit(p, Message::HandoverReq { sighting, reg, epoch: now, corr });
+                let epoch = self.stamp(now);
+                self.emit(p, Message::HandoverReq { sighting, reg, epoch, corr });
             }
             None => {
                 // Single-server deployment: the object left the root
                 // service area and is deregistered (paper §4).
-                self.remove_locally(oid);
+                self.remove_locally(now, oid);
                 self.emit(from, Message::OutOfServiceArea { oid });
             }
         }
@@ -122,7 +128,7 @@ impl LocationServer {
         from: Endpoint,
         sighting: Sighting,
         reg: RegInfo,
-        epoch: Micros,
+        epoch: Hlc,
         corr: CorrId,
     ) {
         let oid = sighting.oid;
@@ -137,6 +143,8 @@ impl LocationServer {
                 self.sightings.upsert(stored);
                 let deltas = self.leaf_events.on_position(oid, sighting.pos);
                 self.emit_event_reports(deltas);
+                // k=2: the adopted record streams to the replica.
+                self.repl_note_leaf(now, oid);
                 self.emit(
                     from,
                     Message::HandoverRes { oid, new_agent: self.id(), offered_acc_m: offered, epoch, corr },
@@ -181,7 +189,9 @@ impl LocationServer {
                     // Root and still outside: the object left the
                     // service area entirely. Drop the root's own record
                     // and fail the handover down the chain.
-                    self.visitors.remove_if_older(oid, epoch);
+                    if self.visitors.remove_if_older(oid, epoch).is_some() {
+                        self.repl_note_remove(now, oid, epoch);
+                    }
                     self.emit(from, Message::HandoverFailed { oid, epoch, corr });
                 }
             }
@@ -192,11 +202,11 @@ impl LocationServer {
     /// pointers; the old agent finally tells the object its new agent.
     pub(crate) fn on_handover_res(
         &mut self,
-        _now: Micros,
+        now: Micros,
         oid: crate::model::ObjectId,
         new_agent: hiloc_net::ServerId,
         offered_acc_m: f64,
-        epoch: Micros,
+        epoch: Hlc,
         corr: CorrId,
     ) {
         if let Some(origin) = self.pending.handover_origin.remove(&corr) {
@@ -207,6 +217,8 @@ impl LocationServer {
                 self.sightings.remove(origin.oid.0);
                 let deltas = self.leaf_events.on_remove(origin.oid);
                 self.emit_event_reports(deltas);
+                // k=2: the object moved away — retire its replica copy.
+                self.repl_note_remove(now, origin.oid, epoch);
             }
             // §6.5: this server witnessed the agent change first-hand —
             // patch its own entry-role agent cache along with the object.
@@ -218,10 +230,14 @@ impl LocationServer {
         if let Some(relay) = self.pending.handover_relay.remove(&corr) {
             match relay.action {
                 RelayAction::SetForward(child) => {
-                    self.visitors.apply(oid, VisitorRecord::Forward { child, epoch });
+                    if self.visitors.apply(oid, VisitorRecord::Forward { child, epoch }) {
+                        self.repl_note_forward(now, oid, child, epoch);
+                    }
                 }
                 RelayAction::RemoveRecord => {
-                    self.visitors.remove_if_older(oid, epoch);
+                    if self.visitors.remove_if_older(oid, epoch).is_some() {
+                        self.repl_note_remove(now, oid, epoch);
+                    }
                 }
             }
             self.emit(
@@ -237,7 +253,7 @@ impl LocationServer {
     /// `AgentChanged`. `from` guards against bouncing on stale paths.
     pub(crate) fn route_agent_lookup(
         &mut self,
-        now: Micros,
+        _now: Micros,
         oid: crate::model::ObjectId,
         object: Endpoint,
         from: Endpoint,
@@ -268,12 +284,16 @@ impl LocationServer {
                 Some(_) => {}
                 // At the root with no record at all: the object is
                 // unknown service-wide and must re-register — unless
-                // this root just took over and its table is still
-                // warming, in which case the verdict waits out the
-                // grace window (also a fuzzer find: a promoted root
-                // whose pathSync answers were lost deregistered a live
-                // object).
-                None if now < self.lookup_grace_until_us => {}
+                // this root's forwarding table is provably still
+                // warming (a cold promotion's chunked `pathSync` pulls
+                // are open), in which case the verdict waits for the
+                // rebuild to finish. The barrier replaces the PR 4
+                // wall-clock grace window: it lifts exactly when every
+                // child answered `done`, never earlier (the pulls
+                // retry indefinitely) and never later. A warm-standby
+                // promotion adopts its table O(1) and runs no
+                // `pathSync` at all, so it never suspends verdicts.
+                None if self.path_sync_in_progress() => {}
                 None => self.emit(object, Message::OutOfServiceArea { oid }),
             },
         }
@@ -294,9 +314,9 @@ impl LocationServer {
     /// unwind the path, removing records, and deregister the object.
     pub(crate) fn on_handover_failed(
         &mut self,
-        _now: Micros,
+        now: Micros,
         oid: crate::model::ObjectId,
-        epoch: Micros,
+        epoch: Hlc,
         corr: CorrId,
     ) {
         if let Some(origin) = self.pending.handover_origin.remove(&corr) {
@@ -304,13 +324,16 @@ impl LocationServer {
                 self.sightings.remove(origin.oid.0);
                 let deltas = self.leaf_events.on_remove(origin.oid);
                 self.emit_event_reports(deltas);
+                self.repl_note_remove(now, origin.oid, epoch);
             }
             self.emit(origin.object, Message::OutOfServiceArea { oid });
             return;
         }
         if let Some(relay) = self.pending.handover_relay.remove(&corr) {
             // Every relay on a failed handover is on the old path.
-            self.visitors.remove_if_older(oid, epoch);
+            if self.visitors.remove_if_older(oid, epoch).is_some() {
+                self.repl_note_remove(now, oid, epoch);
+            }
             self.emit(relay.reply_to, Message::HandoverFailed { oid, epoch, corr });
         }
     }

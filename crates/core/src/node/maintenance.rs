@@ -20,10 +20,15 @@ impl LocationServer {
         if self.config.is_leaf() {
             for rec in self.sightings.expire_due(now) {
                 let oid = ObjectId(rec.key);
-                if self.visitors.remove(oid).is_some() {
+                if let Some(removed) = self.visitors.remove(oid) {
+                    let epoch = self.stamp(now);
                     if let Some(p) = self.parent() {
-                        self.emit(p, Message::RemovePath { oid, epoch: now });
+                        self.emit(p, Message::RemovePath { oid, epoch });
                     }
+                    // k=2: expire the replica's copy too (at the dead
+                    // record's own stamp, so a racing re-registration
+                    // with a newer stamp survives at the replica).
+                    self.repl_note_remove(now, oid, removed.epoch());
                 }
                 self.caches.forget_object(oid);
                 let deltas = self.leaf_events.on_remove(oid);
@@ -37,19 +42,27 @@ impl LocationServer {
         // lost RemovePath must not leave zombies forever).
         if self.next_path_maintenance_us <= now {
             self.next_path_maintenance_us = now + self.opts.path_refresh_us.max(1);
+            // Replica soft state: shadow records the agent stopped
+            // refreshing must not serve stale answers forever.
+            self.replicas.sweep_expired(now, self.opts.sighting_ttl_us);
             if self.config.is_leaf() {
                 if let Some(p) = self.parent() {
                     // Records with a bulk state transfer in flight are
                     // excluded: bumping their epoch here would make the
                     // source's copy look newer than the transfer and
                     // wedge the ack-time removal — the target re-asserts
-                    // their paths itself once it owns them.
-                    let in_transfer: std::collections::BTreeSet<ObjectId> = self
+                    // their paths itself once it owns them. Records with
+                    // a buffered or in-flight *replica delta* are
+                    // excluded for the same reason: the stream's acked
+                    // watermark must never claim a newer stamp than the
+                    // sink durably holds.
+                    let mut in_transfer: std::collections::BTreeSet<ObjectId> = self
                         .pending
                         .transfer_out
                         .values()
                         .flat_map(|t| t.oids.iter().copied())
                         .collect();
+                    in_transfer.extend(self.repl_inflight_oids());
                     // Refresh the records' own epochs too, so the
                     // keep-alive epoch chain stays monotone. All
                     // refreshes land as one atomic WAL batch with a
@@ -77,9 +90,15 @@ impl LocationServer {
                     // at its real agent. All three cases were found by
                     // the scenario fuzzer (crash/restart/retire races).
                     let ttl = self.opts.sighting_ttl_us;
+                    // One HLC stamp for the whole refresh batch: a
+                    // per-record stamp would burn the logical counter
+                    // 4096 times per millisecond at million-object
+                    // scale and drift the physical field; one stamp
+                    // keeps the batch atomic in arbitration order too.
+                    let stamp = self.stamp(now);
                     let mut refreshed: Vec<(ObjectId, super::VisitorRecord)> = Vec::new();
-                    let mut pending: Vec<(ObjectId, Micros, Endpoint)> = Vec::new();
-                    let mut zombies: Vec<(ObjectId, Micros)> = Vec::new();
+                    let mut pending: Vec<(ObjectId, crate::model::Hlc, Endpoint)> = Vec::new();
+                    let mut zombies: Vec<(ObjectId, crate::model::Hlc)> = Vec::new();
                     for (oid, r) in self.visitors.iter() {
                         if in_transfer.contains(&oid) {
                             continue;
@@ -93,10 +112,10 @@ impl LocationServer {
                                 super::VisitorRecord::Leaf {
                                     offered_acc_m: *offered_acc_m,
                                     reg: *reg,
-                                    epoch: now,
+                                    epoch: stamp,
                                 },
                             ));
-                        } else if epoch.saturating_add(ttl) <= now {
+                        } else if epoch.physical_us().saturating_add(ttl) <= now {
                             zombies.push((oid, *epoch));
                         } else {
                             pending.push((oid, *epoch, reg.registrant));
@@ -105,7 +124,7 @@ impl LocationServer {
                     let oids: Vec<ObjectId> = refreshed.iter().map(|(oid, _)| *oid).collect();
                     self.visitors.apply_all(refreshed);
                     for oid in oids {
-                        self.emit(p, Message::CreatePath { oid, epoch: now });
+                        self.emit(p, Message::CreatePath { oid, epoch: stamp });
                     }
                     for (oid, epoch, registrant) in pending {
                         self.emit(p, Message::CreatePath { oid, epoch });
@@ -118,6 +137,7 @@ impl LocationServer {
                         let deltas = self.leaf_events.on_remove(oid);
                         self.emit_event_reports(deltas);
                         self.stats.expired += 1;
+                        self.repl_note_remove(now, oid, epoch);
                         // The removal carries the zombie's *stale*
                         // epoch: ancestors whose forwarding record was
                         // asserted by this zombie (same old epoch) are
@@ -128,17 +148,29 @@ impl LocationServer {
                         self.emit(p, Message::RemovePath { oid, epoch });
                     }
                 }
-            } else {
+            } else if !self.repl.standby_mode {
+                // A warm standby skips this sweep entirely: it mirrors
+                // a source whose keep-alives never reach it, so every
+                // stamp it holds looks stale from here — only streamed
+                // removals may delete mirrored records, or promotion
+                // would lose durably-acked state (found by the
+                // replication fuzzer: a crashed leaf's WAL-recovered
+                // records re-assert their *old* epoch, the standby
+                // expired them locally, and a later promotion broke
+                // the acked-watermark contract).
                 let ttl = self.opts.path_ttl_us;
-                let stale: Vec<ObjectId> = self
+                let stale: Vec<(ObjectId, crate::model::Hlc)> = self
                     .visitors
                     .iter()
-                    .filter(|(_, r)| r.epoch().saturating_add(ttl) <= now)
-                    .map(|(oid, _)| oid)
+                    .filter(|(_, r)| r.epoch().physical_us().saturating_add(ttl) <= now)
+                    .map(|(oid, r)| (oid, r.epoch()))
                     .collect();
-                for oid in stale {
+                for (oid, epoch) in stale {
                     self.visitors.remove(oid);
                     self.stats.expired += 1;
+                    // The standby drops the zombie at its stale stamp
+                    // too — a live path's newer stamp survives there.
+                    self.repl_note_remove(now, oid, epoch);
                 }
             }
         }
@@ -266,6 +298,24 @@ impl LocationServer {
             self.resend_transfer(now, corr);
         }
 
+        // Cold-promotion pathSync pulls retry the same way: the barrier
+        // in `route_agent_lookup` stays up until every child chunk
+        // stream completes, so a lost request must be re-asked.
+        let due: Vec<CorrId> = self
+            .pending
+            .path_sync
+            .iter()
+            .filter(|(_, s)| s.deadline_us <= now)
+            .map(|(c, _)| *c)
+            .collect();
+        for corr in due {
+            self.resend_path_sync(now, corr);
+        }
+
+        // Replication delta stream: resend the in-flight batch if its
+        // ack is overdue (at-least-once; the sink's HLC guard dedups).
+        self.repl_tick(now);
+
         self.drain_outbox()
     }
 
@@ -279,7 +329,8 @@ impl LocationServer {
         } else {
             Some(self.next_path_maintenance_us)
         };
-        [expiry, deadline, maintenance].into_iter().flatten().min()
+        let repl = self.repl_next_deadline();
+        [expiry, deadline, maintenance, repl].into_iter().flatten().min()
     }
 
     fn drain_outbox(&mut self) -> Vec<Envelope<Message>> {

@@ -12,13 +12,18 @@ mod pending;
 mod queries;
 mod reconfig;
 mod registration;
+mod replica;
+mod replication;
 mod visitor;
 
 pub use pending::{
-    HandoverOrigin, HandoverRelay, NnGather, Pending, PosWait, RangeGather, RelayAction,
-    TransferOut,
+    HandoverOrigin, HandoverRelay, NnGather, PathSyncOut, Pending, PosWait, RangeGather,
+    RelayAction, TransferOut,
 };
+pub use replica::{ReplicaDb, ReplicaValue};
 pub use visitor::{VisitorDb, VisitorRecord};
+
+use replication::Replication;
 
 /// Re-exported so durability can be configured without a direct
 /// `hiloc-storage` dependency (e.g. by the simulation crate).
@@ -27,7 +32,9 @@ pub use hiloc_storage::SyncPolicy as StorageSyncPolicy;
 use crate::area::ServerConfig;
 use crate::cache::{CacheConfig, Caches};
 use crate::events::{CoordinatorEvents, LeafObservers, ObserverDelta};
-use crate::model::{LocationDescriptor, Micros, ObjectId, RangeQuery, RegInfo, Sighting, SECOND};
+use crate::model::{
+    Hlc, HlcClock, LocationDescriptor, Micros, ObjectId, RangeQuery, RegInfo, Sighting, SECOND,
+};
 use crate::proto::{Message, ObjectLocation};
 use hiloc_geo::{Point, Rect};
 use hiloc_net::{CorrIdGen, Endpoint, Envelope, ServerId};
@@ -86,6 +93,11 @@ pub struct ServerOptions {
     pub index: IndexKind,
     /// Visitor-database durability; `None` keeps it in memory.
     pub durability: Option<DurabilityOptions>,
+    /// Bounded-staleness window for answers served from a leaf replica
+    /// record (k=2 replication): a replica answers a position query
+    /// only while its shipped sighting is at most this old, and only
+    /// when §6.5 caching is on — the same approximate-answer contract.
+    pub replica_staleness_us: Micros,
 }
 
 impl Default for ServerOptions {
@@ -100,6 +112,7 @@ impl Default for ServerOptions {
             caches: CacheConfig::default(),
             index: IndexKind::Quadtree,
             durability: None,
+            replica_staleness_us: 30 * SECOND,
         }
     }
 }
@@ -161,6 +174,14 @@ pub struct ServerStats {
     pub transfer_records_in: u64,
     /// Path-sync responses applied (as a promoted root).
     pub path_syncs: u64,
+    /// Replication delta batches sent (as stream source).
+    pub deltas_sent: u64,
+    /// Delta batch re-sends after a missing ack.
+    pub delta_retries: u64,
+    /// Delta records durably applied (as standby or replica).
+    pub delta_records_in: u64,
+    /// Position queries answered from the leaf replica table.
+    pub replica_answers: u64,
 }
 
 /// Applies `f` to every counter pair of two stats values — the single
@@ -191,6 +212,10 @@ fn stats_zip(a: &mut ServerStats, b: &ServerStats, f: impl Fn(&mut u64, u64)) {
     f(&mut a.transfer_retries, b.transfer_retries);
     f(&mut a.transfer_records_in, b.transfer_records_in);
     f(&mut a.path_syncs, b.path_syncs);
+    f(&mut a.deltas_sent, b.deltas_sent);
+    f(&mut a.delta_retries, b.delta_retries);
+    f(&mut a.delta_records_in, b.delta_records_in);
+    f(&mut a.replica_answers, b.replica_answers);
 }
 
 impl ServerStats {
@@ -229,11 +254,14 @@ pub struct LocationServer {
     /// Next scheduled path-maintenance instant (keep-alives at leaves,
     /// stale-record scans at non-leaves); 0 = not yet scheduled.
     next_path_maintenance_us: Micros,
-    /// Until this instant the server's forwarding table is still
-    /// warming (it just took over the root role) and a record-less
-    /// agent lookup must *not* be answered with `OutOfServiceArea` —
-    /// live paths re-assert themselves within one path TTL.
-    pub(crate) lookup_grace_until_us: Micros,
+    /// The hybrid logical clock stamping every path change this server
+    /// originates; incoming stamps are merged in [`LocationServer::handle`]
+    /// so a fresh local stamp always outbids anything stored here.
+    clock: HlcClock,
+    /// Replication stream state (source sink + receiver attachment).
+    repl: Replication,
+    /// The k=2 leaf replica table this server holds for a sibling.
+    replicas: ReplicaDb,
     outbox: Vec<Envelope<Message>>,
     stats: ServerStats,
 }
@@ -267,15 +295,19 @@ impl LocationServer {
             IndexKind::RTree => SightingDb::new_rtree(),
             IndexKind::Grid(cell) => SightingDb::new_grid(cell),
         };
-        let visitors = match &opts.durability {
-            None => VisitorDb::volatile(),
+        let (visitors, replicas) = match &opts.durability {
+            None => (VisitorDb::volatile(), ReplicaDb::volatile()),
             Some(d) => {
                 let dir = d.dir.join(format!("server-{}", config.id.0));
-                VisitorDb::durable(dir, d.policy)?
+                // The replica table logs into its own subdirectory: a
+                // torn tail in one WAL never corrupts the other.
+                let replicas = ReplicaDb::durable(dir.join("replica"), d.policy)?;
+                (VisitorDb::durable(dir, d.policy)?, replicas)
             }
         };
         let caches = Caches::new(opts.caches);
         let corr = CorrIdGen::namespaced(config.id.0 as u64 + 1);
+        let clock = HlcClock::new(config.id.0 as u16);
         Ok(LocationServer {
             config,
             opts,
@@ -288,7 +320,9 @@ impl LocationServer {
             corr,
             next_event_seq: 0,
             next_path_maintenance_us: 0,
-            lookup_grace_until_us: 0,
+            clock,
+            repl: Replication::default(),
+            replicas,
             outbox: Vec::new(),
             stats: ServerStats::default(),
         })
@@ -351,27 +385,47 @@ impl LocationServer {
         &self.visitors
     }
 
-    /// Compacts the durable visitor store (no-op when volatile).
+    /// Direct read access to the leaf replica table (diagnostics/tests).
+    pub fn replicas(&self) -> &ReplicaDb {
+        &self.replicas
+    }
+
+    /// Number of replica records held for a sibling leaf.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The power-loss recovery point of the durable replica table
+    /// (`None` when volatile or empty-logged) — the replica twin of
+    /// [`LocationServer::wal_power_loss_point`].
+    pub fn replica_power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
+        self.replicas.power_loss_point()
+    }
+
+    /// Compacts the durable visitor store and replica table (no-op
+    /// when volatile).
     ///
     /// # Errors
     ///
     /// Returns an error when the snapshot cannot be written.
     pub fn compact(&mut self) -> Result<(), StorageError> {
-        self.visitors.compact()
+        self.visitors.compact()?;
+        self.replicas.compact()
     }
 
     /// Processes one incoming envelope at service time `now`, returning
     /// the envelopes to send.
     pub fn handle(&mut self, now: Micros, env: Envelope<Message>) -> Vec<Envelope<Message>> {
         self.stats.msgs_in += 1;
+        self.observe_epochs(&env.msg);
         let from = env.from;
         match env.msg {
             Message::RegisterReq { sighting, des_acc_m, min_acc_m, max_speed_mps, registrant, corr } => {
                 self.on_register_req(now, sighting, des_acc_m, min_acc_m, max_speed_mps, registrant, corr)
             }
-            Message::CreatePath { oid, epoch } => self.on_create_path(from, oid, epoch),
+            Message::CreatePath { oid, epoch } => self.on_create_path(now, from, oid, epoch),
             Message::DeregisterReq { oid } => self.on_deregister(now, oid),
-            Message::RemovePath { oid, epoch } => self.on_remove_path(oid, epoch),
+            Message::RemovePath { oid, epoch } => self.on_remove_path(now, oid, epoch),
             Message::ChangeAccReq { oid, des_acc_m, min_acc_m, corr } => {
                 self.on_change_acc(now, from, oid, des_acc_m, min_acc_m, corr)
             }
@@ -430,11 +484,17 @@ impl LocationServer {
                 self.on_state_transfer(now, from, records, epoch, corr)
             }
             Message::StateTransferAck { epoch, corr, .. } => {
-                self.on_state_transfer_ack(epoch, corr)
+                self.on_state_transfer_ack(now, epoch, corr)
             }
-            Message::PathSyncReq { corr } => self.on_path_sync_req(from, corr),
-            Message::PathSyncRes { entries, corr } => {
-                self.on_path_sync_res(from, entries, corr)
+            Message::PathSyncReq { after, corr } => self.on_path_sync_req(from, after, corr),
+            Message::PathSyncRes { entries, done, corr } => {
+                self.on_path_sync_res(now, from, entries, done, corr)
+            }
+            Message::FwdDelta { stream, seq, replica, records, corr } => {
+                self.on_fwd_delta(from, stream, seq, replica, records, corr)
+            }
+            Message::FwdDeltaAck { stream, seq, applied, corr } => {
+                self.on_fwd_delta_ack(now, stream, seq, applied, corr)
             }
             // Messages addressed to clients/objects; a server receiving
             // one (misrouted or late) ignores it.
@@ -456,6 +516,45 @@ impl LocationServer {
     }
 
     // ------------------------------------------------------------ helpers
+
+    /// A fresh HLC stamp at service time `now`, strictly greater than
+    /// every stamp this server produced or observed — the replication
+    /// era's replacement for `epoch: now`.
+    pub(crate) fn stamp(&mut self, now: Micros) -> Hlc {
+        self.clock.now(now)
+    }
+
+    /// Merges every HLC stamp an incoming message carries into the
+    /// local clock, **before** the message is dispatched: any stamp
+    /// this server issues afterwards outbids every record the message
+    /// could have installed — the invariant all epoch-guard sites rely
+    /// on when they overwrite previously-accepted remote state.
+    fn observe_epochs(&mut self, msg: &Message) {
+        match msg {
+            Message::CreatePath { epoch, .. }
+            | Message::RemovePath { epoch, .. }
+            | Message::HandoverReq { epoch, .. }
+            | Message::HandoverRes { epoch, .. }
+            | Message::HandoverFailed { epoch, .. }
+            | Message::StateTransfer { epoch, .. }
+            | Message::StateTransferAck { epoch, .. } => self.clock.observe(*epoch),
+            Message::PathSyncRes { entries, .. } => {
+                for (_, epoch) in entries {
+                    self.clock.observe(*epoch);
+                }
+            }
+            Message::FwdDelta { records, .. } => {
+                for r in records {
+                    match r.body {
+                        crate::proto::DeltaBody::Forward { epoch, .. }
+                        | crate::proto::DeltaBody::Leaf { epoch, .. }
+                        | crate::proto::DeltaBody::Remove { epoch } => self.clock.observe(epoch),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 
     fn drain(&mut self) -> Vec<Envelope<Message>> {
         self.stats.msgs_out += self.outbox.len() as u64;

@@ -5,7 +5,7 @@
 //! operation that awaits a response parks its continuation here, keyed
 //! by correlation id, with a deadline enforced by the maintenance tick.
 
-use crate::model::{Micros, ObjectId, RangeQuery};
+use crate::model::{Hlc, Micros, ObjectId, RangeQuery};
 use crate::proto::ObjectLocation;
 use hiloc_geo::Point;
 use hiloc_net::{CorrId, Endpoint, ServerId};
@@ -32,7 +32,7 @@ pub struct HandoverRelay {
     /// Action to perform when the response passes through.
     pub action: RelayAction,
     /// Path-change epoch of the handover.
-    pub epoch: Micros,
+    pub epoch: Hlc,
     /// Give-up deadline.
     pub deadline_us: Micros,
 }
@@ -65,11 +65,28 @@ pub struct TransferOut {
     /// Objects still in flight.
     pub oids: Vec<ObjectId>,
     /// Epoch of the last (re-)send; the ack-time removal guard.
-    pub epoch: Micros,
+    pub epoch: Hlc,
     /// Re-send deadline.
     pub deadline_us: Micros,
     /// Number of re-sends so far; drives the exponential retry
     /// backoff (deadline doubles per attempt, capped at 8×).
+    pub attempts: u32,
+}
+
+/// State parked by a reconfiguring non-leaf pulling one child's
+/// forwarding entries in chunks (`pathSync`). Unlike soft-state
+/// gathers, a cold table rebuild must not give up: a missed chunk is
+/// re-requested from the same cursor with capped exponential backoff.
+#[derive(Debug, Clone)]
+pub struct PathSyncOut {
+    /// The child being drained.
+    pub child: ServerId,
+    /// Resume cursor: last object id received (exclusive), `None`
+    /// for the first chunk.
+    pub after: Option<ObjectId>,
+    /// Re-request deadline.
+    pub deadline_us: Micros,
+    /// Number of re-requests so far (drives the backoff cap).
     pub attempts: u32,
 }
 
@@ -181,6 +198,8 @@ pub struct Pending {
     pub nn_gather: BTreeMap<CorrId, NnGather>,
     /// Source leaves with a bulk state transfer awaiting its ack.
     pub transfer_out: BTreeMap<CorrId, TransferOut>,
+    /// Reconfiguring non-leaves pulling forwarding tables in chunks.
+    pub path_sync: BTreeMap<CorrId, PathSyncOut>,
 }
 
 impl Pending {
@@ -199,6 +218,7 @@ impl Pending {
         self.range_gather.values().for_each(|x| consider(x.deadline_us));
         self.nn_gather.values().for_each(|x| consider(x.deadline_us));
         self.transfer_out.values().for_each(|x| consider(x.deadline_us));
+        self.path_sync.values().for_each(|x| consider(x.deadline_us));
         min
     }
 
@@ -210,6 +230,7 @@ impl Pending {
             + self.range_gather.len()
             + self.nn_gather.len()
             + self.transfer_out.len()
+            + self.path_sync.len()
     }
 
     /// True when nothing is parked.

@@ -48,6 +48,30 @@ impl LocationServer {
         }
     }
 
+    /// k=2 replica read path (bounded staleness, §6.5 contract): a
+    /// leaf holding a *shadow copy* of the visitor — streamed from the
+    /// sibling agent — may answer directly, within the same opt-in
+    /// that legitimizes cache answers. The answer's accuracy is the
+    /// offered accuracy widened by the sighting's age (the object may
+    /// have moved at up to `max_speed_mps` since the copy was taken),
+    /// so the client gets an honest error bound, not a stale promise.
+    fn replica_answer(
+        &self,
+        oid: ObjectId,
+        now: Micros,
+    ) -> Option<(LocationDescriptor, Micros, f64)> {
+        if !self.caches.config().position_cache {
+            return None;
+        }
+        let copy = self.replicas.get(oid)?;
+        let s = copy.sighting.as_ref()?;
+        if s.time_us.saturating_add(self.opts.replica_staleness_us) < now {
+            return None;
+        }
+        let acc = copy.offered_acc_m.max(s.aged_accuracy(copy.reg.max_speed_mps, now));
+        Some((LocationDescriptor { pos: s.pos, acc_m: acc }, s.time_us, copy.reg.max_speed_mps))
+    }
+
     // ------------------------------------------------------ position query
 
     /// Algorithm 6-4, entry side: answer locally, from a cache, or
@@ -78,6 +102,15 @@ impl LocationServer {
                 return;
             }
             LocalAnswer::NotHere => {}
+        }
+        // k=2 replica shadow copy (bounded staleness, see above).
+        if let Some((ld, t, v)) = self.replica_answer(oid, now) {
+            self.stats.replica_answers += 1;
+            self.emit(
+                from,
+                Message::PosQueryRes { oid, found: Some(ld), time_us: t, max_speed_mps: v, corr },
+            );
+            return;
         }
         // §6.5 position cache.
         if let Some(ld) = self.caches.position_for(oid, now) {

@@ -29,13 +29,18 @@
 //! the shrunk area hands the object over through the tree) converge
 //! the records onto exactly one side.
 
-use super::pending::TransferOut;
+use super::pending::{PathSyncOut, TransferOut};
 use super::{LocationServer, VisitorRecord};
 use crate::area::ServerConfig;
-use crate::model::{Micros, ObjectId};
+use crate::model::{Hlc, Micros, ObjectId};
 use crate::proto::{Message, TransferRecord};
 use hiloc_net::{CorrId, Endpoint, Envelope, ServerId};
 use hiloc_geo::Rect;
+
+/// Records per `pathSync` chunk: large enough that a small table syncs
+/// in one round trip, small enough that a million-entry rebuild never
+/// ships one unbounded datagram.
+pub(crate) const PATH_SYNC_CHUNK: usize = 512;
 
 impl LocationServer {
     /// Installs a new configuration record (the control plane reshaped
@@ -77,19 +82,20 @@ impl LocationServer {
             return Vec::new();
         }
         let corr = self.corr.next_id();
+        let epoch = self.stamp(now);
         let oids: Vec<ObjectId> = records.iter().map(|r| r.oid).collect();
         self.pending.transfer_out.insert(
             corr,
             TransferOut {
                 target,
                 oids,
-                epoch: now,
+                epoch,
                 deadline_us: now + self.opts.query_timeout_us,
                 attempts: 0,
             },
         );
         self.stats.transfers_started += 1;
-        self.emit(target, Message::StateTransfer { records, epoch: now, corr });
+        self.emit(target, Message::StateTransfer { records, epoch, corr });
         self.drain()
     }
 
@@ -144,14 +150,15 @@ impl LocationServer {
         if records.is_empty() {
             return;
         }
-        t.epoch = now;
+        let epoch = self.stamp(now);
+        t.epoch = epoch;
         t.attempts += 1;
         let backoff = self.opts.query_timeout_us.saturating_mul(1 << t.attempts.min(3));
         t.deadline_us = now + backoff;
         self.stats.transfer_retries += 1;
         let target = t.target;
         self.pending.transfer_out.insert(corr, t);
-        self.emit(target, Message::StateTransfer { records, epoch: now, corr });
+        self.emit(target, Message::StateTransfer { records, epoch, corr });
     }
 
     /// Target side: durably apply the whole batch as **one atomic WAL
@@ -165,7 +172,7 @@ impl LocationServer {
         now: Micros,
         from: Endpoint,
         records: Vec<TransferRecord>,
-        epoch: Micros,
+        epoch: Hlc,
         corr: CorrId,
     ) {
         if !self.config.is_leaf() {
@@ -225,9 +232,13 @@ impl LocationServer {
             self.emit(registrant, Message::AgentChanged { oid, new_agent: me, offered_acc_m: offered });
         }
         if let Some(p) = self.parent() {
-            for oid in oids {
-                self.emit(p, Message::CreatePath { oid, epoch });
+            for oid in &oids {
+                self.emit(p, Message::CreatePath { oid: *oid, epoch });
             }
+        }
+        // k=2: the adopted records join this leaf's replica stream.
+        for oid in oids {
+            self.repl_note_leaf(now, oid);
         }
         self.emit(from, Message::StateTransferAck { accepted: n, epoch, corr });
     }
@@ -238,7 +249,7 @@ impl LocationServer {
     /// latest). A delayed ack for an earlier send therefore cannot
     /// delete a record that changed afterwards: such records stay and
     /// the transfer keeps retrying them until a current ack lands.
-    pub(crate) fn on_state_transfer_ack(&mut self, epoch: Micros, corr: CorrId) {
+    pub(crate) fn on_state_transfer_ack(&mut self, now: Micros, epoch: Hlc, corr: CorrId) {
         let Some(t) = self.pending.transfer_out.get(&corr) else {
             return; // duplicate or late ack for a finished transfer
         };
@@ -254,6 +265,8 @@ impl LocationServer {
             self.caches.patch_agent(*oid, target);
             let deltas = self.leaf_events.on_remove(*oid);
             self.emit_event_reports(deltas);
+            // k=2: the record moved away — retire its replica copy.
+            self.repl_note_remove(now, *oid, guard);
         }
         let t = self.pending.transfer_out.get_mut(&corr).expect("present above");
         t.oids.retain(|oid| !removed.contains(oid));
@@ -267,51 +280,112 @@ impl LocationServer {
     }
 
     /// Starts a forwarding-table rebuild after this server took over
-    /// the root role: ask every child for the set of objects reachable
-    /// through it. Returns the envelopes to send. The leaves' ordinary
-    /// keep-alives rebuild the same state within one refresh period;
-    /// the sync merely gets there faster — a lost request needs no
-    /// retry.
+    /// the root role: pull from every child, in chunks, the set of
+    /// objects reachable through it. Returns the envelopes to send.
     ///
-    /// Until one path TTL has passed, the new root's table may be
-    /// missing live paths (sync answers can be lost), so record-less
-    /// agent lookups suspend their `OutOfServiceArea` verdict for that
-    /// grace window rather than deregistering a live object.
+    /// Unlike the original fire-and-forget sync, each per-child pull is
+    /// a parked operation (`Pending::path_sync`) re-requested from its
+    /// cursor with capped exponential backoff until the child reports
+    /// `done` — and **while any pull is open, record-less agent lookups
+    /// stay silent** (see `route_agent_lookup`): the table is provably
+    /// still warming, so an `OutOfServiceArea` verdict would be
+    /// premature. That pending-set barrier replaces the old wall-clock
+    /// grace window: it ends exactly when the rebuild ends instead of
+    /// one path TTL later, and it cannot end early.
     pub fn begin_path_sync(&mut self, now: Micros) -> Vec<Envelope<Message>> {
-        self.lookup_grace_until_us = now.saturating_add(self.opts.path_ttl_us);
-        let corr = self.corr.next_id();
         let children: Vec<ServerId> = self.config.children.iter().map(|c| c.id).collect();
         for child in children {
-            self.emit(child, Message::PathSyncReq { corr });
+            let corr = self.corr.next_id();
+            self.pending.path_sync.insert(
+                corr,
+                PathSyncOut {
+                    child,
+                    after: None,
+                    deadline_us: now + self.opts.query_timeout_us,
+                    attempts: 0,
+                },
+            );
+            self.emit(child, Message::PathSyncReq { after: None, corr });
         }
         self.drain()
     }
 
-    /// Child side of the rebuild: report every visitor record (each
-    /// one means "the path to this object runs through me").
-    pub(crate) fn on_path_sync_req(&mut self, from: Endpoint, corr: CorrId) {
-        let entries: Vec<(ObjectId, Micros)> =
-            self.visitors.iter().map(|(oid, rec)| (oid, rec.epoch())).collect();
-        self.emit(from, Message::PathSyncRes { entries, corr });
+    /// True while a `pathSync` rebuild is still pulling chunks — the
+    /// warming barrier for agent-lookup verdicts.
+    pub fn path_sync_in_progress(&self) -> bool {
+        !self.pending.path_sync.is_empty()
+    }
+
+    /// Child side of the rebuild: report the next chunk of visitor
+    /// records after the cursor (each one means "the path to this
+    /// object runs through me").
+    pub(crate) fn on_path_sync_req(
+        &mut self,
+        from: Endpoint,
+        after: Option<ObjectId>,
+        corr: CorrId,
+    ) {
+        let mut entries: Vec<(ObjectId, Hlc)> = Vec::new();
+        let mut done = true;
+        for (oid, rec) in self.visitors.iter_after(after) {
+            if entries.len() == PATH_SYNC_CHUNK {
+                done = false;
+                break;
+            }
+            entries.push((oid, rec.epoch()));
+        }
+        self.emit(from, Message::PathSyncRes { entries, done, corr });
     }
 
     /// Root side of the rebuild: install a forwarding reference per
     /// reported object (epoch-guarded, so a racing `createPath` or
-    /// `removePath` with a newer epoch wins).
+    /// `removePath` with a newer stamp wins), then pull the next chunk
+    /// from the cursor, or close this child's pull on `done`.
     pub(crate) fn on_path_sync_res(
         &mut self,
+        now: Micros,
         from: Endpoint,
-        entries: Vec<(ObjectId, Micros)>,
-        _corr: CorrId,
+        entries: Vec<(ObjectId, Hlc)>,
+        done: bool,
+        corr: CorrId,
     ) {
         let Some(child) = from.as_server() else { return };
-        if !self.config.children.iter().any(|c| c.id == child) {
-            return; // a stray answer from a server that is not our child
+        let Some(sync) = self.pending.path_sync.get(&corr) else {
+            return; // late or duplicated chunk for a finished pull
+        };
+        if sync.child != child {
+            return; // a stray answer from a server we did not ask
         }
+        let cursor = entries.last().map(|(oid, _)| *oid);
         for (oid, epoch) in entries {
-            self.visitors.apply(oid, VisitorRecord::Forward { child, epoch });
+            if self.visitors.apply(oid, VisitorRecord::Forward { child, epoch }) {
+                // The promoted root may itself feed a fresh standby.
+                self.repl_note_forward(now, oid, child, epoch);
+            }
         }
-        self.stats.path_syncs += 1;
+        if done || cursor.is_none() {
+            self.pending.path_sync.remove(&corr);
+            self.stats.path_syncs += 1;
+            return;
+        }
+        let sync = self.pending.path_sync.get_mut(&corr).expect("present above");
+        sync.after = cursor;
+        sync.attempts = 0;
+        sync.deadline_us = now + self.opts.query_timeout_us;
+        self.emit(child, Message::PathSyncReq { after: cursor, corr });
+    }
+
+    /// Re-requests a timed-out `pathSync` chunk from its cursor with
+    /// capped exponential backoff. A cold rebuild must not give up: the
+    /// barrier it implements (see [`LocationServer::begin_path_sync`])
+    /// only lifts when every child has answered `done`.
+    pub(crate) fn resend_path_sync(&mut self, now: Micros, corr: CorrId) {
+        let Some(sync) = self.pending.path_sync.get_mut(&corr) else { return };
+        sync.attempts += 1;
+        let backoff = self.opts.query_timeout_us.saturating_mul(1 << sync.attempts.min(3));
+        sync.deadline_us = now + backoff;
+        let (child, after) = (sync.child, sync.after);
+        self.emit(child, Message::PathSyncReq { after, corr });
     }
 
     /// The power-loss recovery point of the durable visitor store:

@@ -2,7 +2,7 @@
 //! management (paper §6.1 / Alg. 6-1).
 
 use super::{LocationServer, VisitorRecord};
-use crate::model::{Micros, ObjectId, RegInfo, Sighting};
+use crate::model::{Hlc, Micros, ObjectId, RegInfo, Sighting};
 use crate::proto::Message;
 use hiloc_net::{CorrId, Endpoint};
 
@@ -64,26 +64,30 @@ impl LocationServer {
         }
         let offered = self.offered_for(&reg);
         let oid = sighting.oid;
-        self.visitors.apply(oid, VisitorRecord::Leaf { offered_acc_m: offered, reg, epoch: now });
+        let epoch = self.stamp(now);
+        self.visitors.apply(oid, VisitorRecord::Leaf { offered_acc_m: offered, reg, epoch });
         let stored = self.stored(&sighting, now);
         self.sightings.upsert(stored);
         let deltas = self.leaf_events.on_position(oid, sighting.pos);
         self.emit_event_reports(deltas);
         if let Some(p) = self.parent() {
-            self.emit(p, Message::CreatePath { oid, epoch: now });
+            self.emit(p, Message::CreatePath { oid, epoch });
         }
+        // k=2: the fresh registration streams to the replica sibling.
+        self.repl_note_leaf(now, oid);
         self.stats.registrations += 1;
         self.emit(registrant, Message::RegisterRes { agent: self.id(), offered_acc_m: offered, corr });
     }
 
     /// `createPath` (Alg. 6-1, second block): record a forwarding
     /// reference to the sending child and continue towards the root.
-    pub(crate) fn on_create_path(&mut self, from: Endpoint, oid: ObjectId, epoch: Micros) {
+    pub(crate) fn on_create_path(&mut self, now: Micros, from: Endpoint, oid: ObjectId, epoch: Hlc) {
         let Some(child) = from.as_server() else { return };
         if self.visitors.apply(oid, VisitorRecord::Forward { child, epoch }) {
             if let Some(p) = self.parent() {
                 self.emit(p, Message::CreatePath { oid, epoch });
             }
+            self.repl_note_forward(now, oid, child, epoch);
         }
     }
 
@@ -91,9 +95,10 @@ impl LocationServer {
     pub(crate) fn on_deregister(&mut self, now: Micros, oid: ObjectId) {
         match self.visitors.get(oid).copied() {
             Some(VisitorRecord::Leaf { .. }) => {
-                self.remove_locally(oid);
+                let epoch = self.stamp(now);
+                self.remove_locally(now, oid);
                 if let Some(p) = self.parent() {
-                    self.emit(p, Message::RemovePath { oid, epoch: now });
+                    self.emit(p, Message::RemovePath { oid, epoch });
                 }
             }
             Some(VisitorRecord::Forward { child, .. }) => {
@@ -111,11 +116,12 @@ impl LocationServer {
 
     /// `removePath`: tear down the forwarding path bottom-up, guarded
     /// by the path-change epoch against racing re-registrations.
-    pub(crate) fn on_remove_path(&mut self, oid: ObjectId, epoch: Micros) {
+    pub(crate) fn on_remove_path(&mut self, now: Micros, oid: ObjectId, epoch: Hlc) {
         if self.visitors.remove_if_older(oid, epoch).is_some() {
             if let Some(p) = self.parent() {
                 self.emit(p, Message::RemovePath { oid, epoch });
             }
+            self.repl_note_remove(now, oid, epoch);
         }
     }
 
@@ -123,7 +129,7 @@ impl LocationServer {
     /// agent; the response goes to the registering instance.
     pub(crate) fn on_change_acc(
         &mut self,
-        _now: Micros,
+        now: Micros,
         _from: Endpoint,
         oid: ObjectId,
         des_acc_m: f64,
@@ -146,6 +152,8 @@ impl LocationServer {
                     oid,
                     VisitorRecord::Leaf { offered_acc_m: offered, reg: candidate, epoch },
                 );
+                // k=2: the renegotiated accuracy streams to the replica.
+                self.repl_note_leaf(now, oid);
                 self.emit(
                     candidate.registrant,
                     Message::ChangeAccRes { oid, ok: true, offered_acc_m: offered, corr },
@@ -169,9 +177,15 @@ impl LocationServer {
     }
 
     /// Removes an object's local state at a leaf: visitor record,
-    /// sighting and event memberships.
-    pub(crate) fn remove_locally(&mut self, oid: ObjectId) {
-        self.visitors.remove(oid);
+    /// sighting, event memberships and the replica sibling's copy.
+    pub(crate) fn remove_locally(&mut self, now: Micros, oid: ObjectId) {
+        if let Some(rec) = self.visitors.remove(oid) {
+            // The removal ships at the removed record's own stamp: the
+            // replica's guard (`copy.epoch <= stamp` deletes) drops
+            // exactly the state this removal saw, while any newer
+            // re-registration racing through the stream survives.
+            self.repl_note_remove(now, oid, rec.epoch());
+        }
         self.sightings.remove(oid.0);
         // A deregistered object must not be resurrected by a cached
         // agent pointer or position answer (§6.5 invalidation).

@@ -1,6 +1,6 @@
 //! The visitor database: per-object records with durable backing.
 
-use crate::model::{Micros, ObjectId, RegInfo};
+use crate::model::{Hlc, ObjectId, RegInfo};
 use hiloc_net::wire;
 use hiloc_net::ServerId;
 use hiloc_storage::{BatchOp, DurableMap, RecordValue, StorageError, SyncPolicy};
@@ -19,23 +19,24 @@ pub enum VisitorRecord {
         offered_acc_m: f64,
         /// Registration information (`v.regInfo`).
         reg: RegInfo,
-        /// Logical time of the last path change, guarding against
-        /// stale create/remove races.
-        epoch: Micros,
+        /// Hybrid-logical-clock stamp of the last path change,
+        /// guarding against stale create/remove races and arbitrating
+        /// between replicas (last writer wins, node id tie-break).
+        epoch: Hlc,
     },
     /// Stored by non-leaf servers: the child next on the path to the
     /// object's agent (`v.forwardRef`).
     Forward {
         /// The next-hop child server.
         child: ServerId,
-        /// Logical time of the last path change.
-        epoch: Micros,
+        /// Hybrid-logical-clock stamp of the last path change.
+        epoch: Hlc,
     },
 }
 
 impl VisitorRecord {
-    /// The record's path-change epoch.
-    pub fn epoch(&self) -> Micros {
+    /// The record's path-change stamp.
+    pub fn epoch(&self) -> Hlc {
         match self {
             VisitorRecord::Leaf { epoch, .. } | VisitorRecord::Forward { epoch, .. } => *epoch,
         }
@@ -52,12 +53,12 @@ impl RecordValue for VisitorRecord {
                 wire::put_f64(buf, reg.des_acc_m);
                 wire::put_f64(buf, reg.min_acc_m);
                 wire::put_f64(buf, reg.max_speed_mps);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
             }
             VisitorRecord::Forward { child, epoch } => {
                 wire::put_u8(buf, 1);
                 wire::put_u32(buf, child.0);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
             }
         }
     }
@@ -71,7 +72,7 @@ impl RecordValue for VisitorRecord {
                 let des = wire::get_f64(b)?;
                 let min = wire::get_f64(b)?;
                 let vmax = wire::get_f64(b)?;
-                let epoch = wire::get_u64(b)?;
+                let epoch = Hlc(wire::get_u64(b)?);
                 Some(VisitorRecord::Leaf {
                     offered_acc_m: offered,
                     reg: RegInfo { registrant, des_acc_m: des, min_acc_m: min, max_speed_mps: vmax },
@@ -80,7 +81,7 @@ impl RecordValue for VisitorRecord {
             }
             1 => Some(VisitorRecord::Forward {
                 child: ServerId(wire::get_u32(b)?),
-                epoch: wire::get_u64(b)?,
+                epoch: Hlc(wire::get_u64(b)?),
             }),
             _ => None,
         }
@@ -146,6 +147,21 @@ impl VisitorDb {
         self.mem.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Iterates records with ids strictly greater than `after`
+    /// (`None` starts at the beginning) — the cursor behind chunked
+    /// path-sync pulls.
+    pub fn iter_after(
+        &self,
+        after: Option<ObjectId>,
+    ) -> impl Iterator<Item = (ObjectId, &VisitorRecord)> {
+        use std::ops::Bound;
+        let lower = match after {
+            None => Bound::Unbounded,
+            Some(oid) => Bound::Excluded(oid),
+        };
+        self.mem.range((lower, Bound::Unbounded)).map(|(&k, v)| (k, v))
+    }
+
     /// Inserts or replaces a record **iff** the existing record is not
     /// newer (`existing.epoch <= record.epoch`). Returns whether the
     /// record was applied.
@@ -167,7 +183,7 @@ impl VisitorDb {
 
     /// Removes the record **iff** it is not newer than `epoch`.
     /// Returns the removed record.
-    pub fn remove_if_older(&mut self, oid: ObjectId, epoch: Micros) -> Option<VisitorRecord> {
+    pub fn remove_if_older(&mut self, oid: ObjectId, epoch: Hlc) -> Option<VisitorRecord> {
         match self.mem.get(&oid) {
             Some(rec) if rec.epoch() <= epoch => {
                 let rec = self.mem.remove(&oid);
@@ -225,7 +241,7 @@ impl VisitorDb {
     /// logging all accepted removals as a **single atomic WAL record**
     /// with one durability round — the transfer-completion twin of
     /// [`VisitorDb::apply_all`]. Returns the removed object ids.
-    pub fn remove_all_if_older(&mut self, oids: &[ObjectId], epoch: Micros) -> Vec<ObjectId> {
+    pub fn remove_all_if_older(&mut self, oids: &[ObjectId], epoch: Hlc) -> Vec<ObjectId> {
         let mut removed = Vec::new();
         let mut ops: Vec<BatchOp<VisitorRecord>> = Vec::new();
         for &oid in oids {
@@ -286,12 +302,12 @@ mod tests {
         RegInfo::new(ClientId(5).into(), 10.0, 50.0, 2.0)
     }
 
-    fn leaf_rec(epoch: Micros) -> VisitorRecord {
-        VisitorRecord::Leaf { offered_acc_m: 10.0, reg: reg(), epoch }
+    fn leaf_rec(epoch: u64) -> VisitorRecord {
+        VisitorRecord::Leaf { offered_acc_m: 10.0, reg: reg(), epoch: Hlc(epoch) }
     }
 
-    fn fwd_rec(child: u32, epoch: Micros) -> VisitorRecord {
-        VisitorRecord::Forward { child: ServerId(child), epoch }
+    fn fwd_rec(child: u32, epoch: u64) -> VisitorRecord {
+        VisitorRecord::Forward { child: ServerId(child), epoch: Hlc(epoch) }
     }
 
     #[test]
@@ -322,9 +338,9 @@ mod tests {
         let mut db = VisitorDb::volatile();
         db.apply(ObjectId(1), fwd_rec(1, 100));
         // A stale RemovePath must not tear down a newer path.
-        assert!(db.remove_if_older(ObjectId(1), 50).is_none());
+        assert!(db.remove_if_older(ObjectId(1), Hlc(50)).is_none());
         assert!(db.get(ObjectId(1)).is_some());
-        assert!(db.remove_if_older(ObjectId(1), 100).is_some());
+        assert!(db.remove_if_older(ObjectId(1), Hlc(100)).is_some());
         assert!(db.is_empty());
     }
 
@@ -334,7 +350,7 @@ mod tests {
         db.apply(ObjectId(1), leaf_rec(10));
         db.apply(ObjectId(2), leaf_rec(10));
         db.apply(ObjectId(3), leaf_rec(99)); // re-registered after the transfer snapshot
-        let removed = db.remove_all_if_older(&[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)], 50);
+        let removed = db.remove_all_if_older(&[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)], Hlc(50));
         assert_eq!(removed, vec![ObjectId(1), ObjectId(2)]);
         assert_eq!(db.len(), 1);
         assert!(db.get(ObjectId(3)).is_some(), "newer record must survive the batch removal");

@@ -10,7 +10,7 @@
 //! messages (§6.5).
 
 use crate::events::{EventKind, Predicate};
-use crate::model::{LocationDescriptor, Micros, ObjectId, RangeQuery, RegInfo, Sighting};
+use crate::model::{Hlc, LocationDescriptor, Micros, ObjectId, RangeQuery, RegInfo, Sighting};
 use hiloc_geo::{Point, Rect};
 use hiloc_net::wire::{self, WireCodec};
 use hiloc_net::{CorrId, Endpoint, ServerId};
@@ -86,9 +86,9 @@ pub enum Message {
     CreatePath {
         /// The newly registered object.
         oid: ObjectId,
-        /// Path-change epoch (service time) guarding against stale
-        /// create/remove races.
-        epoch: Micros,
+        /// Path-change stamp (hybrid logical clock) guarding against
+        /// stale create/remove races.
+        epoch: Hlc,
     },
 
     // ------------------------------------------------ update & handover
@@ -139,8 +139,8 @@ pub enum Message {
         sighting: Sighting,
         /// Registration info, moved to the new agent.
         reg: RegInfo,
-        /// Path-change epoch.
-        epoch: Micros,
+        /// Path-change stamp.
+        epoch: Hlc,
         /// Correlation id (allocated by the old agent).
         corr: CorrId,
     },
@@ -153,8 +153,8 @@ pub enum Message {
         new_agent: ServerId,
         /// Accuracy offered by the new agent.
         offered_acc_m: f64,
-        /// Path-change epoch.
-        epoch: Micros,
+        /// Path-change stamp.
+        epoch: Hlc,
         /// Correlation id.
         corr: CorrId,
     },
@@ -165,8 +165,8 @@ pub enum Message {
     HandoverFailed {
         /// The object.
         oid: ObjectId,
-        /// Path-change epoch.
-        epoch: Micros,
+        /// Path-change stamp.
+        epoch: Hlc,
         /// Correlation id.
         corr: CorrId,
     },
@@ -196,8 +196,8 @@ pub enum Message {
     RemovePath {
         /// The object.
         oid: ObjectId,
-        /// Path-change epoch of the removal.
-        epoch: Micros,
+        /// Path-change stamp of the removal.
+        epoch: Hlc,
     },
 
     // ------------------------------------------------ accuracy management
@@ -469,10 +469,10 @@ pub enum Message {
     StateTransfer {
         /// The transferred visitors.
         records: Vec<TransferRecord>,
-        /// Path-change epoch of the transfer: stale replays lose
+        /// Path-change stamp of the transfer: stale replays lose
         /// against any newer per-object path change (handover or
         /// re-registration) on both sides.
-        epoch: Micros,
+        epoch: Hlc,
         /// Correlation id, identifying the transfer across retries.
         corr: CorrId,
     },
@@ -481,29 +481,121 @@ pub enum Message {
         /// Records accepted (stale ones are counted out but still
         /// acknowledged — the source's epoch guard skips them too).
         accepted: u32,
-        /// Echo of the acknowledged transfer's epoch: the source's
-        /// removal guard must use the epoch of the send this ack
+        /// Echo of the acknowledged transfer's stamp: the source's
+        /// removal guard must use the stamp of the send this ack
         /// answers, not its latest — a delayed ack for an earlier
         /// send must not delete records that changed since.
-        epoch: Micros,
+        epoch: Hlc,
         /// Correlation id of the transfer.
         corr: CorrId,
     },
-    /// A promoted root successor asks a child for the set of visitors
-    /// reachable through it, to rebuild its forwarding table without
-    /// waiting a full keep-alive period.
+    /// A promoted root successor asks a child for a chunk of the
+    /// visitors reachable through it, to rebuild its forwarding table
+    /// without waiting a full keep-alive period. Chunked as a cursor
+    /// pull: `after` names the last object already received (`None`
+    /// starts the scan), and the child answers with the next chunk in
+    /// object-id order.
     PathSyncReq {
+        /// Resume cursor: only records with ids strictly greater are
+        /// returned.
+        after: Option<ObjectId>,
         /// Correlation id.
         corr: CorrId,
     },
-    /// A child's answer to [`Message::PathSyncReq`]: every object it
-    /// has a record for, with the record's path-change epoch. The new
-    /// root installs a forwarding reference per entry (epoch-guarded).
+    /// A child's answer to [`Message::PathSyncReq`]: the next chunk
+    /// of objects it has records for, with each record's path-change
+    /// stamp. The new root installs a forwarding reference per entry
+    /// (epoch-guarded) and pulls again from the last id until `done`.
     PathSyncRes {
-        /// `(object, record epoch)` pairs.
-        entries: Vec<(ObjectId, Micros)>,
+        /// `(object, record stamp)` pairs, ascending by object id.
+        entries: Vec<(ObjectId, Hlc)>,
+        /// True when no records remain past this chunk.
+        done: bool,
         /// Correlation id.
         corr: CorrId,
+    },
+
+    // ------------------------------------------------------- replication
+    /// A batch of forwarding-table / visitor-record deltas streamed to
+    /// a warm standby (roots and mid-nodes) or to a sibling replica
+    /// leaf (k=2 leaf replication). Exactly one batch per stream is in
+    /// flight; the source retries it with backoff (like
+    /// [`Message::StateTransfer`]) until the ack arrives, and every
+    /// record is HLC-guarded at the receiver, so replayed batches are
+    /// idempotent.
+    FwdDelta {
+        /// Stream id (the designation stamp's raw bits): a receiver
+        /// ignores batches from a stream it was never attached to, so
+        /// deltas from a deposed source cannot corrupt a fresh stream.
+        stream: u64,
+        /// Batch sequence number within the stream (diagnostic; the
+        /// per-record stamps carry the ordering).
+        seq: u64,
+        /// True when the receiver holds these as leaf *replica*
+        /// records (side table serving bounded-staleness reads)
+        /// rather than adopting them into its own visitor table.
+        replica: bool,
+        /// The batched deltas.
+        records: Vec<DeltaRecord>,
+        /// Correlation id, identifying the batch across retries.
+        corr: CorrId,
+    },
+    /// The receiver durably applied a [`Message::FwdDelta`] batch.
+    FwdDeltaAck {
+        /// Echo of the batch's stream id.
+        stream: u64,
+        /// Echo of the batch's sequence number.
+        seq: u64,
+        /// Records accepted (stale ones are counted out but still
+        /// acknowledged — the sender's watermark keeps the stamp it
+        /// sent either way).
+        applied: u32,
+        /// Correlation id of the batch.
+        corr: CorrId,
+    },
+}
+
+/// One replicated record change inside a [`Message::FwdDelta`] batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRecord {
+    /// The object whose record changed.
+    pub oid: ObjectId,
+    /// The change itself.
+    pub body: DeltaBody,
+}
+
+/// What a [`DeltaRecord`] replicates. Every variant carries the HLC
+/// stamp that arbitrates it at the receiver: apply iff not older than
+/// the copy already held (ties resolve by the stamp's node id, so
+/// every replica picks the same winner).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaBody {
+    /// A non-leaf forwarding reference (standby streams).
+    Forward {
+        /// The next-hop child server.
+        child: ServerId,
+        /// The record's path-change stamp.
+        epoch: Hlc,
+    },
+    /// A leaf visitor record plus its current sighting (replica
+    /// streams) — everything a sibling needs to serve a
+    /// bounded-staleness position read or adopt the record on
+    /// failover.
+    Leaf {
+        /// Registration info.
+        reg: RegInfo,
+        /// Accuracy the agent currently offers.
+        offered_acc_m: f64,
+        /// The record's path-change stamp.
+        epoch: Hlc,
+        /// The agent's current sighting, when one exists.
+        sighting: Option<Sighting>,
+    },
+    /// The record was removed (deregistration, handover away,
+    /// soft-state expiry).
+    Remove {
+        /// Stamp of the removal.
+        epoch: Hlc,
     },
 }
 
@@ -554,6 +646,8 @@ impl Message {
             Message::StateTransferAck { .. } => "stateTransferAck",
             Message::PathSyncReq { .. } => "pathSyncReq",
             Message::PathSyncRes { .. } => "pathSyncRes",
+            Message::FwdDelta { .. } => "fwdDelta",
+            Message::FwdDeltaAck { .. } => "fwdDeltaAck",
         }
     }
 }
@@ -610,8 +704,25 @@ fn transfer_records_len(records: &[TransferRecord]) -> usize {
         .sum::<usize>()
 }
 
-fn path_entries_len(entries: &[(ObjectId, Micros)]) -> usize {
+fn path_entries_len(entries: &[(ObjectId, Hlc)]) -> usize {
     4 + entries.len() * (OID_LEN + 8)
+}
+
+fn delta_records_len(records: &[DeltaRecord]) -> usize {
+    4 + records
+        .iter()
+        .map(|r| {
+            OID_LEN
+                + 1
+                + match &r.body {
+                    DeltaBody::Forward { .. } => SERVER_LEN + 8,
+                    DeltaBody::Leaf { sighting, .. } => {
+                        REG_LEN + 8 + 8 + 1 + sighting.map(|_| SIGHTING_LEN).unwrap_or(0)
+                    }
+                    DeltaBody::Remove { .. } => 8,
+                }
+        })
+        .sum::<usize>()
 }
 
 fn event_kind_len(k: &EventKind) -> usize {
@@ -686,8 +797,12 @@ impl Message {
                 transfer_records_len(records) + 8 + CORR_LEN
             }
             Message::StateTransferAck { .. } => 4 + 8 + CORR_LEN,
-            Message::PathSyncReq { .. } => CORR_LEN,
-            Message::PathSyncRes { entries, .. } => path_entries_len(entries) + CORR_LEN,
+            Message::PathSyncReq { after, .. } => {
+                1 + after.map(|_| OID_LEN).unwrap_or(0) + CORR_LEN
+            }
+            Message::PathSyncRes { entries, .. } => path_entries_len(entries) + 1 + CORR_LEN,
+            Message::FwdDelta { records, .. } => 8 + 8 + 1 + delta_records_len(records) + CORR_LEN,
+            Message::FwdDeltaAck { .. } => 8 + 8 + 4 + CORR_LEN,
         }
     }
 }
@@ -860,15 +975,70 @@ fn get_transfer_record(buf: &mut &[u8]) -> Option<TransferRecord> {
     Some(TransferRecord { oid, reg, offered_acc_m: offered, sighting })
 }
 
-fn put_path_entries(buf: &mut Vec<u8>, entries: &[(ObjectId, Micros)]) {
+fn put_path_entries(buf: &mut Vec<u8>, entries: &[(ObjectId, Hlc)]) {
     wire::put_vec(buf, entries, |b, (oid, epoch)| {
         put_oid(b, *oid);
-        wire::put_u64(b, *epoch);
+        wire::put_u64(b, epoch.0);
     });
 }
 
-fn get_path_entries(buf: &mut &[u8]) -> Option<Vec<(ObjectId, Micros)>> {
-    wire::get_vec(buf, MAX_ITEMS, |b| Some((get_oid(b)?, wire::get_u64(b)?)))
+fn get_path_entries(buf: &mut &[u8]) -> Option<Vec<(ObjectId, Hlc)>> {
+    wire::get_vec(buf, MAX_ITEMS, |b| Some((get_oid(b)?, Hlc(wire::get_u64(b)?))))
+}
+
+fn put_delta_record(buf: &mut Vec<u8>, r: &DeltaRecord) {
+    put_oid(buf, r.oid);
+    match &r.body {
+        DeltaBody::Forward { child, epoch } => {
+            wire::put_u8(buf, 0);
+            put_server(buf, *child);
+            wire::put_u64(buf, epoch.0);
+        }
+        DeltaBody::Leaf { reg, offered_acc_m, epoch, sighting } => {
+            wire::put_u8(buf, 1);
+            put_reg(buf, reg);
+            wire::put_f64(buf, *offered_acc_m);
+            wire::put_u64(buf, epoch.0);
+            match sighting {
+                None => wire::put_u8(buf, 0),
+                Some(s) => {
+                    wire::put_u8(buf, 1);
+                    put_sighting(buf, s);
+                }
+            }
+        }
+        DeltaBody::Remove { epoch } => {
+            wire::put_u8(buf, 2);
+            wire::put_u64(buf, epoch.0);
+        }
+    }
+}
+
+fn get_delta_record(buf: &mut &[u8]) -> Option<DeltaRecord> {
+    let oid = get_oid(buf)?;
+    let body = match wire::get_u8(buf)? {
+        0 => DeltaBody::Forward {
+            child: get_server(buf)?,
+            epoch: Hlc(wire::get_u64(buf)?),
+        },
+        1 => {
+            let reg = get_reg(buf)?;
+            let offered = wire::get_f64(buf)?;
+            if !(offered >= 0.0 && offered.is_finite()) {
+                return None;
+            }
+            let epoch = Hlc(wire::get_u64(buf)?);
+            let sighting = match wire::get_u8(buf)? {
+                0 => None,
+                1 => Some(get_sighting(buf)?),
+                _ => return None,
+            };
+            DeltaBody::Leaf { reg, offered_acc_m: offered, epoch, sighting }
+        }
+        2 => DeltaBody::Remove { epoch: Hlc(wire::get_u64(buf)?) },
+        _ => return None,
+    };
+    Some(DeltaRecord { oid, body })
 }
 
 fn put_oids(buf: &mut Vec<u8>, oids: &[ObjectId]) {
@@ -929,6 +1099,8 @@ tags! {
     T_STATE_TRANSFER_ACK = 41;
     T_PATH_SYNC_REQ = 42;
     T_PATH_SYNC_RES = 43;
+    T_FWD_DELTA = 44;
+    T_FWD_DELTA_ACK = 45;
 }
 
 impl WireCodec for Message {
@@ -962,7 +1134,7 @@ impl WireCodec for Message {
             Message::CreatePath { oid, epoch } => {
                 wire::put_u8(buf, T_CREATE_PATH);
                 put_oid(buf, *oid);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
             }
             Message::UpdateReq { sighting } => {
                 wire::put_u8(buf, T_UPDATE_REQ);
@@ -992,7 +1164,7 @@ impl WireCodec for Message {
                 wire::put_u8(buf, T_HANDOVER_REQ);
                 put_sighting(buf, sighting);
                 put_reg(buf, reg);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
                 put_corr(buf, *corr);
             }
             Message::HandoverRes { oid, new_agent, offered_acc_m, epoch, corr } => {
@@ -1000,13 +1172,13 @@ impl WireCodec for Message {
                 put_oid(buf, *oid);
                 put_server(buf, *new_agent);
                 wire::put_f64(buf, *offered_acc_m);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
                 put_corr(buf, *corr);
             }
             Message::HandoverFailed { oid, epoch, corr } => {
                 wire::put_u8(buf, T_HANDOVER_FAILED);
                 put_oid(buf, *oid);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
                 put_corr(buf, *corr);
             }
             Message::AgentChanged { oid, new_agent, offered_acc_m } => {
@@ -1026,7 +1198,7 @@ impl WireCodec for Message {
             Message::RemovePath { oid, epoch } => {
                 wire::put_u8(buf, T_REMOVE_PATH);
                 put_oid(buf, *oid);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
             }
             Message::ChangeAccReq { oid, des_acc_m, min_acc_m, corr } => {
                 wire::put_u8(buf, T_CHANGE_ACC_REQ);
@@ -1176,22 +1348,45 @@ impl WireCodec for Message {
             Message::StateTransfer { records, epoch, corr } => {
                 wire::put_u8(buf, T_STATE_TRANSFER);
                 wire::put_vec(buf, records, put_transfer_record);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
                 put_corr(buf, *corr);
             }
             Message::StateTransferAck { accepted, epoch, corr } => {
                 wire::put_u8(buf, T_STATE_TRANSFER_ACK);
                 wire::put_u32(buf, *accepted);
-                wire::put_u64(buf, *epoch);
+                wire::put_u64(buf, epoch.0);
                 put_corr(buf, *corr);
             }
-            Message::PathSyncReq { corr } => {
+            Message::PathSyncReq { after, corr } => {
                 wire::put_u8(buf, T_PATH_SYNC_REQ);
+                match after {
+                    None => wire::put_u8(buf, 0),
+                    Some(oid) => {
+                        wire::put_u8(buf, 1);
+                        put_oid(buf, *oid);
+                    }
+                }
                 put_corr(buf, *corr);
             }
-            Message::PathSyncRes { entries, corr } => {
+            Message::PathSyncRes { entries, done, corr } => {
                 wire::put_u8(buf, T_PATH_SYNC_RES);
                 put_path_entries(buf, entries);
+                wire::put_bool(buf, *done);
+                put_corr(buf, *corr);
+            }
+            Message::FwdDelta { stream, seq, replica, records, corr } => {
+                wire::put_u8(buf, T_FWD_DELTA);
+                wire::put_u64(buf, *stream);
+                wire::put_u64(buf, *seq);
+                wire::put_bool(buf, *replica);
+                wire::put_vec(buf, records, put_delta_record);
+                put_corr(buf, *corr);
+            }
+            Message::FwdDeltaAck { stream, seq, applied, corr } => {
+                wire::put_u8(buf, T_FWD_DELTA_ACK);
+                wire::put_u64(buf, *stream);
+                wire::put_u64(buf, *seq);
+                wire::put_u32(buf, *applied);
                 put_corr(buf, *corr);
             }
         }
@@ -1218,7 +1413,7 @@ impl WireCodec for Message {
                 corr: get_corr(buf)?,
             },
             T_CREATE_PATH => {
-                Message::CreatePath { oid: get_oid(buf)?, epoch: wire::get_u64(buf)? }
+                Message::CreatePath { oid: get_oid(buf)?, epoch: Hlc(wire::get_u64(buf)?) }
             }
             T_UPDATE_REQ => Message::UpdateReq { sighting: get_sighting(buf)? },
             T_UPDATE_ACK => Message::UpdateAck {
@@ -1240,19 +1435,19 @@ impl WireCodec for Message {
             T_HANDOVER_REQ => Message::HandoverReq {
                 sighting: get_sighting(buf)?,
                 reg: get_reg(buf)?,
-                epoch: wire::get_u64(buf)?,
+                epoch: Hlc(wire::get_u64(buf)?),
                 corr: get_corr(buf)?,
             },
             T_HANDOVER_RES => Message::HandoverRes {
                 oid: get_oid(buf)?,
                 new_agent: get_server(buf)?,
                 offered_acc_m: wire::get_f64(buf)?,
-                epoch: wire::get_u64(buf)?,
+                epoch: Hlc(wire::get_u64(buf)?),
                 corr: get_corr(buf)?,
             },
             T_HANDOVER_FAILED => Message::HandoverFailed {
                 oid: get_oid(buf)?,
-                epoch: wire::get_u64(buf)?,
+                epoch: Hlc(wire::get_u64(buf)?),
                 corr: get_corr(buf)?,
             },
             T_AGENT_CHANGED => Message::AgentChanged {
@@ -1263,7 +1458,7 @@ impl WireCodec for Message {
             T_OUT_OF_AREA => Message::OutOfServiceArea { oid: get_oid(buf)? },
             T_DEREGISTER => Message::DeregisterReq { oid: get_oid(buf)? },
             T_REMOVE_PATH => {
-                Message::RemovePath { oid: get_oid(buf)?, epoch: wire::get_u64(buf)? }
+                Message::RemovePath { oid: get_oid(buf)?, epoch: Hlc(wire::get_u64(buf)?) }
             }
             T_CHANGE_ACC_REQ => Message::ChangeAccReq {
                 oid: get_oid(buf)?,
@@ -1375,17 +1570,38 @@ impl WireCodec for Message {
             },
             T_STATE_TRANSFER => Message::StateTransfer {
                 records: wire::get_vec(buf, MAX_ITEMS, get_transfer_record)?,
-                epoch: wire::get_u64(buf)?,
+                epoch: Hlc(wire::get_u64(buf)?),
                 corr: get_corr(buf)?,
             },
             T_STATE_TRANSFER_ACK => Message::StateTransferAck {
                 accepted: wire::get_u32(buf)?,
-                epoch: wire::get_u64(buf)?,
+                epoch: Hlc(wire::get_u64(buf)?),
                 corr: get_corr(buf)?,
             },
-            T_PATH_SYNC_REQ => Message::PathSyncReq { corr: get_corr(buf)? },
+            T_PATH_SYNC_REQ => Message::PathSyncReq {
+                after: match wire::get_u8(buf)? {
+                    0 => None,
+                    1 => Some(get_oid(buf)?),
+                    _ => return None,
+                },
+                corr: get_corr(buf)?,
+            },
             T_PATH_SYNC_RES => Message::PathSyncRes {
                 entries: get_path_entries(buf)?,
+                done: wire::get_bool(buf)?,
+                corr: get_corr(buf)?,
+            },
+            T_FWD_DELTA => Message::FwdDelta {
+                stream: wire::get_u64(buf)?,
+                seq: wire::get_u64(buf)?,
+                replica: wire::get_bool(buf)?,
+                records: wire::get_vec(buf, MAX_ITEMS, get_delta_record)?,
+                corr: get_corr(buf)?,
+            },
+            T_FWD_DELTA_ACK => Message::FwdDeltaAck {
+                stream: wire::get_u64(buf)?,
+                seq: wire::get_u64(buf)?,
+                applied: wire::get_u32(buf)?,
                 corr: get_corr(buf)?,
             },
             _ => return None,
@@ -1416,7 +1632,7 @@ mod tests {
             },
             Message::RegisterRes { agent: ServerId(4), offered_acc_m: 25.0, corr: CorrId(77) },
             Message::RegisterFailed { server: ServerId(4), achievable_m: 80.0, corr: CorrId(1) },
-            Message::CreatePath { oid: ObjectId(42), epoch: 999 },
+            Message::CreatePath { oid: ObjectId(42), epoch: Hlc(999) },
             Message::UpdateReq { sighting: s },
             Message::UpdateAck { oid: ObjectId(42), offered_acc_m: 25.0, time_us: 5 },
             Message::UpdateBatch {
@@ -1432,19 +1648,19 @@ mod tests {
                 time_us: 6,
                 corr: CorrId(88),
             },
-            Message::HandoverReq { sighting: s, reg, epoch: 1_000, corr: CorrId(2) },
+            Message::HandoverReq { sighting: s, reg, epoch: Hlc(1_000), corr: CorrId(2) },
             Message::HandoverRes {
                 oid: ObjectId(42),
                 new_agent: ServerId(5),
                 offered_acc_m: 30.0,
-                epoch: 1_000,
+                epoch: Hlc(1_000),
                 corr: CorrId(2),
             },
-            Message::HandoverFailed { oid: ObjectId(42), epoch: 1, corr: CorrId(3) },
+            Message::HandoverFailed { oid: ObjectId(42), epoch: Hlc(1), corr: CorrId(3) },
             Message::AgentChanged { oid: ObjectId(42), new_agent: ServerId(5), offered_acc_m: 30.0 },
             Message::OutOfServiceArea { oid: ObjectId(42) },
             Message::DeregisterReq { oid: ObjectId(42) },
-            Message::RemovePath { oid: ObjectId(42), epoch: 1_500 },
+            Message::RemovePath { oid: ObjectId(42), epoch: Hlc(1_500) },
             Message::ChangeAccReq { oid: ObjectId(42), des_acc_m: 10.0, min_acc_m: 50.0, corr: CorrId(4) },
             Message::ChangeAccRes { oid: ObjectId(42), ok: true, offered_acc_m: 10.0, corr: CorrId(4) },
             Message::NotifyAvailAcc { oid: ObjectId(42), offered_acc_m: 40.0 },
@@ -1529,17 +1745,63 @@ mod tests {
                         sighting: None,
                     },
                 ],
-                epoch: 2_000,
+                epoch: Hlc(2_000),
                 corr: CorrId(9),
             },
-            Message::StateTransfer { records: vec![], epoch: 2_000, corr: CorrId(10) },
-            Message::StateTransferAck { accepted: 2, epoch: 2_000, corr: CorrId(9) },
-            Message::PathSyncReq { corr: CorrId(11) },
+            Message::StateTransfer { records: vec![], epoch: Hlc(2_000), corr: CorrId(10) },
+            Message::StateTransferAck { accepted: 2, epoch: Hlc(2_000), corr: CorrId(9) },
+            Message::PathSyncReq { after: None, corr: CorrId(11) },
+            Message::PathSyncReq { after: Some(ObjectId(42)), corr: CorrId(11) },
             Message::PathSyncRes {
-                entries: vec![(ObjectId(42), 2_000), (ObjectId(43), 2_001)],
+                entries: vec![(ObjectId(42), Hlc(2_000)), (ObjectId(43), Hlc(2_001))],
+                done: false,
                 corr: CorrId(11),
             },
-            Message::PathSyncRes { entries: vec![], corr: CorrId(12) },
+            Message::PathSyncRes { entries: vec![], done: true, corr: CorrId(12) },
+            Message::FwdDelta {
+                stream: 7,
+                seq: 3,
+                replica: false,
+                records: vec![
+                    DeltaRecord {
+                        oid: ObjectId(42),
+                        body: DeltaBody::Forward { child: ServerId(5), epoch: Hlc(3_000) },
+                    },
+                    DeltaRecord {
+                        oid: ObjectId(43),
+                        body: DeltaBody::Remove { epoch: Hlc(3_001) },
+                    },
+                ],
+                corr: CorrId(13),
+            },
+            Message::FwdDelta {
+                stream: 7,
+                seq: 4,
+                replica: true,
+                records: vec![
+                    DeltaRecord {
+                        oid: ObjectId(42),
+                        body: DeltaBody::Leaf {
+                            reg,
+                            offered_acc_m: 25.0,
+                            epoch: Hlc(3_002),
+                            sighting: Some(s),
+                        },
+                    },
+                    DeltaRecord {
+                        oid: ObjectId(44),
+                        body: DeltaBody::Leaf {
+                            reg,
+                            offered_acc_m: 30.0,
+                            epoch: Hlc(3_003),
+                            sighting: None,
+                        },
+                    },
+                ],
+                corr: CorrId(14),
+            },
+            Message::FwdDelta { stream: 7, seq: 5, replica: false, records: vec![], corr: CorrId(15) },
+            Message::FwdDeltaAck { stream: 7, seq: 3, applied: 2, corr: CorrId(13) },
         ]
     }
 
@@ -1592,9 +1854,11 @@ mod tests {
             Message::StateTransferAck { .. } => 40,
             Message::PathSyncReq { .. } => 41,
             Message::PathSyncRes { .. } => 42,
+            Message::FwdDelta { .. } => 43,
+            Message::FwdDeltaAck { .. } => 44,
         }
     }
-    const VARIANT_COUNT: usize = 43;
+    const VARIANT_COUNT: usize = 45;
 
     #[test]
     fn samples_cover_every_variant() {

@@ -106,6 +106,14 @@ pub struct SimDeployment {
     next_ephemeral_client: u64,
     /// Messages blackholed at crashed servers.
     blackholed: u64,
+    /// Warm standbys: `of → standby slot` (see
+    /// [`SimDeployment::designate_standby`]). Standby slots are marked
+    /// retired in the hierarchy until promotion activates them.
+    standbys: BTreeMap<ServerId, ServerId>,
+    /// Whether [`SimDeployment::enable_replication`] ran: promotions
+    /// then re-designate standbys and joins wire into the leaf
+    /// replica ring.
+    replication: bool,
 }
 
 impl std::fmt::Debug for SimDeployment {
@@ -156,6 +164,8 @@ impl SimDeployment {
             corr: CorrIdGen::namespaced(1 << 20),
             next_ephemeral_client: 1 << 40,
             blackholed: 0,
+            standbys: BTreeMap::new(),
+            replication: false,
         }
     }
 
@@ -169,8 +179,12 @@ impl SimDeployment {
     ///
     /// Panics when the durable store cannot be reopened.
     pub fn restart_server(&mut self, id: ServerId) {
+        // A standby slot is marked retired in the hierarchy (it takes
+        // no part in routing until promoted) but its server instance
+        // is live — it crash-restarts like any other.
+        let is_standby = self.standbys.values().any(|s| *s == id);
         assert!(
-            !self.hierarchy.is_retired(id),
+            is_standby || !self.hierarchy.is_retired(id),
             "server {} is retired and can never rejoin under that id",
             id.0
         );
@@ -187,6 +201,12 @@ impl SimDeployment {
         }
         self.servers[id.0 as usize] =
             LocationServer::new(cfg, self.opts.clone()).expect("server restart failed");
+        if is_standby {
+            // The fresh instance must resume the passive role: its
+            // source re-streams a full snapshot on the live stream,
+            // and local expiry stays off until promotion.
+            self.servers[id.0 as usize].enter_standby_mode();
+        }
         self.down[id.0 as usize] = false;
     }
 
@@ -226,6 +246,14 @@ impl SimDeployment {
             CrashMode::Process => None,
             CrashMode::PowerLoss => self.servers[id.0 as usize].wal_power_loss_point(),
         };
+        // The replica sibling copies live in their own WAL
+        // (`server-N/replica/`): power loss tears both logs
+        // independently — a torn replica tail must not take the
+        // visitor log with it, and vice versa.
+        let replica_loss_point = match mode {
+            CrashMode::Process => None,
+            CrashMode::PowerLoss => self.servers[id.0 as usize].replica_power_loss_point(),
+        };
         // Replace the instance with a volatile placeholder immediately:
         // this releases the durable store's file handles at the crash
         // instant, so the restart reopens the WAL exclusively.
@@ -234,7 +262,7 @@ impl SimDeployment {
         volatile.durability = None;
         self.servers[id.0 as usize] =
             LocationServer::new(cfg, volatile).expect("volatile placeholder construction");
-        if let Some((wal_path, synced)) = loss_point {
+        for (wal_path, synced) in loss_point.into_iter().chain(replica_loss_point) {
             // The drop above flushed user-space buffers into the page
             // cache; losing power discards everything past the last
             // fsync, which truncation models exactly.
@@ -296,6 +324,35 @@ impl SimDeployment {
             for e in out {
                 self.net.send(e);
             }
+            if self.replication {
+                // Wire the newcomer into the sibling replica ring,
+                // keeping the one-source-per-target invariant: the
+                // split leaf now streams to the newcomer, the newcomer
+                // to the split leaf's previous buddy (or back to the
+                // split leaf when it had none).
+                let mut sends = Vec::new();
+                match self.servers[split.0 as usize].replication_sink() {
+                    Some((tgt, true)) => {
+                        sends.extend(
+                            self.servers[new_id.0 as usize].set_replication_sink(now, tgt, true),
+                        );
+                        sends.extend(
+                            self.servers[split.0 as usize].set_replication_sink(now, new_id, true),
+                        );
+                    }
+                    _ => {
+                        sends.extend(
+                            self.servers[split.0 as usize].set_replication_sink(now, new_id, true),
+                        );
+                        sends.extend(
+                            self.servers[new_id.0 as usize].set_replication_sink(now, split, true),
+                        );
+                    }
+                }
+                for e in sends {
+                    self.net.send(e);
+                }
+            }
         }
         new_id
     }
@@ -329,13 +386,20 @@ impl SimDeployment {
         absorber
     }
 
-    /// **Root failover**: a designated successor (a fresh server id)
-    /// takes over the crashed root's role — same area, same children —
-    /// and rebuilds its forwarding table by path-syncing against the
-    /// children (the leaves' ordinary keep-alives rebuild the same
-    /// state within one refresh period regardless). The old root is
-    /// retired and can never return under its id. Returns the
-    /// successor's id.
+    /// **Root failover**: a successor takes over the crashed root's
+    /// role — same area, same children. When a live **warm standby**
+    /// is designated (see [`SimDeployment::designate_standby`]), the
+    /// promotion is O(1): the standby's slot is activated in place and
+    /// its streamed forwarding table is adopted as-is — no `pathSync`,
+    /// no rebuild window. Without one (or with the standby also dead),
+    /// a fresh server id is allocated and its table is rebuilt by
+    /// chunked `pathSync` pulls against the children; until every pull
+    /// completes, record-less agent lookups at the new root stay
+    /// silent. The old root is retired and can never return under its
+    /// id. Returns the successor's id.
+    ///
+    /// With [`SimDeployment::enable_replication`] active, a warm
+    /// promotion also designates a fresh standby for the new root.
     ///
     /// # Panics
     ///
@@ -348,6 +412,33 @@ impl SimDeployment {
             "root failover requires the root (server {}) to be down",
             old.0
         );
+        if let Some(standby) = self.standbys.remove(&old) {
+            if !self.down[standby.0 as usize] {
+                // Warm path: O(1) table adoption.
+                self.hierarchy
+                    .fail_over_root_to(standby)
+                    .expect("fail_over_root_to rejected");
+                self.push_config(standby);
+                let now = self.net.now_us();
+                self.servers[standby.0 as usize].leave_standby_mode(now);
+                let repointed: Vec<ServerId> = self
+                    .hierarchy
+                    .servers()
+                    .iter()
+                    .filter(|c| c.id != standby && c.parent == Some(standby))
+                    .map(|c| c.id)
+                    .collect();
+                for id in repointed {
+                    self.push_config(id);
+                }
+                if self.replication {
+                    self.designate_standby(standby);
+                }
+                return standby;
+            }
+            // The standby died with the root: its slot stays retired
+            // forever; fall through to the cold rebuild path.
+        }
         let new_id = self.hierarchy.fail_over_root().expect("fail_over_root rejected");
         let cfg = self.hierarchy.server(new_id).clone();
         self.servers
@@ -372,7 +463,93 @@ impl SimDeployment {
         for e in out {
             self.net.send(e);
         }
+        if self.replication {
+            self.designate_standby(new_id);
+        }
         new_id
+    }
+
+    // --------------------------------------------------------- replication
+
+    /// Turns on the replication subsystem for the whole deployment:
+    /// every non-leaf gets a warm standby streaming its forwarding
+    /// table ([`SimDeployment::designate_standby`]), and sibling
+    /// leaves under each parent form a replica ring (`leaf[i]` streams
+    /// its visitor records to `leaf[i+1 mod n]`, so every replica
+    /// target has exactly one source and queries at the sibling can be
+    /// served from the shadow copy within the bounded-staleness
+    /// contract). Subsequent joins wire into the ring; promotions
+    /// re-designate standbys.
+    pub fn enable_replication(&mut self) {
+        assert!(!self.replication, "replication already enabled");
+        self.replication = true;
+        let non_leaves: Vec<ServerId> = self
+            .hierarchy
+            .active()
+            .filter(|c| !c.is_leaf())
+            .map(|c| c.id)
+            .collect();
+        for id in non_leaves {
+            self.designate_standby(id);
+        }
+        // Leaf rings, grouped by parent, in id order for determinism.
+        let mut by_parent: BTreeMap<ServerId, Vec<ServerId>> = BTreeMap::new();
+        for cfg in self.hierarchy.active().filter(|c| c.is_leaf()) {
+            if let Some(p) = cfg.parent {
+                by_parent.entry(p).or_default().push(cfg.id);
+            }
+        }
+        let now = self.net.now_us();
+        for (_, group) in by_parent {
+            if group.len() < 2 {
+                continue;
+            }
+            for (i, &leaf) in group.iter().enumerate() {
+                let buddy = group[(i + 1) % group.len()];
+                let out = self.servers[leaf.0 as usize].set_replication_sink(now, buddy, true);
+                for e in out {
+                    self.net.send(e);
+                }
+            }
+        }
+    }
+
+    /// Designates a **warm standby** for the active non-leaf `of`: a
+    /// fresh server instance in a reserved (hierarchy-retired) slot,
+    /// to which `of` streams its forwarding table — the full snapshot
+    /// now, deltas as records change. Returns the standby's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `of` is a leaf, down, retired, or already has a
+    /// standby.
+    pub fn designate_standby(&mut self, of: ServerId) -> ServerId {
+        assert!(!self.hierarchy.server(of).is_leaf(), "standbys shadow non-leaves");
+        assert!(!self.down[of.0 as usize], "server {} is down", of.0);
+        assert!(!self.standbys.contains_key(&of), "server {} already has a standby", of.0);
+        let standby = self.hierarchy.reserve_standby(of).expect("reserve_standby rejected");
+        let cfg = self.hierarchy.server(standby).clone();
+        let mut server = LocationServer::new(cfg, self.opts.clone()).expect("standby construction");
+        server.enter_standby_mode();
+        self.servers.push(server);
+        self.down.push(false);
+        self.standbys.insert(of, standby);
+        let now = self.net.now_us();
+        let out = self.servers[of.0 as usize].set_replication_sink(now, standby, false);
+        for e in out {
+            self.net.send(e);
+        }
+        standby
+    }
+
+    /// The designated standby for `of`, when one exists.
+    pub fn standby_of(&self, of: ServerId) -> Option<ServerId> {
+        self.standbys.get(&of).copied()
+    }
+
+    /// Whether [`SimDeployment::enable_replication`] ran.
+    pub fn replication_enabled(&self) -> bool {
+        self.replication
     }
 
     /// Installs the hierarchy's current configuration record into the

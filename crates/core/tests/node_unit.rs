@@ -3,7 +3,7 @@
 //! outputs — the paper's pseudocode, line by line.
 
 use hiloc_core::area::HierarchyBuilder;
-use hiloc_core::model::{ObjectId, Sighting, SECOND};
+use hiloc_core::model::{Hlc, ObjectId, Sighting, SECOND};
 use hiloc_core::node::{LocationServer, ServerOptions, VisitorRecord};
 use hiloc_core::proto::Message;
 use hiloc_geo::{Point, Rect};
@@ -92,7 +92,7 @@ fn create_path_propagates_until_root() {
     let mut nodes = servers();
     let out = nodes[0].handle(
         0,
-        env(ServerId(1).into(), ServerId(0), Message::CreatePath { oid: ObjectId(4), epoch: 5 }),
+        env(ServerId(1).into(), ServerId(0), Message::CreatePath { oid: ObjectId(4), epoch: Hlc(5) }),
     );
     // Root has no parent: path ends here.
     assert!(out.is_empty());
@@ -104,7 +104,7 @@ fn create_path_propagates_until_root() {
     // A stale CreatePath (older epoch) is ignored and not propagated.
     let out = nodes[0].handle(
         1,
-        env(ServerId(2).into(), ServerId(0), Message::CreatePath { oid: ObjectId(4), epoch: 3 }),
+        env(ServerId(2).into(), ServerId(0), Message::CreatePath { oid: ObjectId(4), epoch: Hlc(3) }),
     );
     assert!(out.is_empty());
     assert!(matches!(
@@ -319,7 +319,7 @@ fn late_handover_response_is_ignored() {
                 oid: ObjectId(1),
                 new_agent: ServerId(2),
                 offered_acc_m: 10.0,
-                epoch: 1,
+                epoch: Hlc(1),
                 corr: CorrId(999), // no pending entry
             },
         ),
@@ -361,19 +361,19 @@ fn remove_path_stops_at_newer_records() {
     let mut nodes = servers();
     nodes[0].handle(
         0,
-        env(ServerId(1).into(), ServerId(0), Message::CreatePath { oid: ObjectId(8), epoch: 100 }),
+        env(ServerId(1).into(), ServerId(0), Message::CreatePath { oid: ObjectId(8), epoch: Hlc(100) }),
     );
     // A stale removal (epoch 50) must neither remove nor forward.
     let out = nodes[0].handle(
         1,
-        env(ServerId(1).into(), ServerId(0), Message::RemovePath { oid: ObjectId(8), epoch: 50 }),
+        env(ServerId(1).into(), ServerId(0), Message::RemovePath { oid: ObjectId(8), epoch: Hlc(50) }),
     );
     assert!(out.is_empty());
     assert!(nodes[0].visitors().get(ObjectId(8)).is_some());
     // A current removal works.
     nodes[0].handle(
         2,
-        env(ServerId(1).into(), ServerId(0), Message::RemovePath { oid: ObjectId(8), epoch: 100 }),
+        env(ServerId(1).into(), ServerId(0), Message::RemovePath { oid: ObjectId(8), epoch: Hlc(100) }),
     );
     assert!(nodes[0].visitors().get(ObjectId(8)).is_none());
 }

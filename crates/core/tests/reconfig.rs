@@ -7,7 +7,7 @@
 //! scenario suite; these tests pin the mechanics in isolation.
 
 use hiloc_core::area::HierarchyBuilder;
-use hiloc_core::model::{ObjectId, RegInfo, Sighting};
+use hiloc_core::model::{Hlc, ObjectId, RegInfo, Sighting};
 use hiloc_core::node::{
     DurabilityOptions, ServerOptions, StorageSyncPolicy, VisitorDb, VisitorRecord,
 };
@@ -185,7 +185,7 @@ fn transfer_record_torn_tail_is_all_or_nothing_at_every_offset() {
         .map(|k| {
             (
                 ObjectId(k),
-                VisitorRecord::Leaf { offered_acc_m: 10.0, reg, epoch: 7_000 },
+                VisitorRecord::Leaf { offered_acc_m: 10.0, reg, epoch: Hlc(7_000) },
             )
         })
         .collect();
@@ -294,7 +294,9 @@ fn stale_transfer_ack_cannot_delete_a_newer_re_registration() {
         let p = Point::new(300.0 + k as f64 * 50.0, 100.0);
         ls.register(victim, Sighting::new(ObjectId(k), 0, p, 5.0), 10.0, 50.0).unwrap();
     }
-    let e1 = ls.now_us(); // epoch of the join's first transfer send
+    // A stamp no newer than the join's first transfer send: same
+    // millisecond, minimal logical/node fields.
+    let e1 = Hlc::from_parts(ls.now_us() / 1_000, 0, 0);
     let newcomer = ls.spawn_server(victim);
     // The target dies: the transfer never lands, retries bump the
     // pending epoch past everything below.

@@ -1,0 +1,206 @@
+//! `hlc` — the hybrid-logical-clock stamp's comparison must stay
+//! total and deterministic.
+//!
+//! Replica convergence rests on one property: every server, replaying
+//! any interleaving, resolves a conflict between two `Hlc` stamps the
+//! same way. That holds because `Hlc` is a single packed `u64`
+//! (`[ms:42][logical:12][node:10]`) whose **derived** integer order is
+//! exactly the lexicographic `(physical ms, logical counter, node id)`
+//! comparison — total (no NaN-style incomparable values) and identical
+//! on every replica. A hand-written `Ord`/`PartialOrd`/`PartialEq`
+//! impl, a float field, or a dropped derive would silently turn
+//! last-writer-wins into first-writer-sometimes-wins, so the shape of
+//! the declaration is enforced at the source level.
+
+use super::{tokens_match, Rule};
+use crate::diag::Diagnostic;
+use crate::source::LexedFile;
+
+/// Where the stamp (and anything shadowing it) may live: the crates
+/// whose state reaches wire messages, WALs, or replica tables.
+const SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/storage/src/",
+    "crates/net/src/",
+    "crates/spatial/src/",
+];
+
+/// Derives the declaration must carry for the order to be total and
+/// consistent with equality.
+const REQUIRED_DERIVES: &[&str] = &["PartialEq", "Eq", "PartialOrd", "Ord"];
+
+/// Traits whose hand-written impls for `Hlc` are banned: each one
+/// could diverge from the derived integer order.
+const ORDER_TRAITS: &[&str] = &["PartialEq", "Eq", "PartialOrd", "Ord"];
+
+/// The `hlc` rule.
+pub struct HlcOrder;
+
+impl Rule for HlcOrder {
+    fn name(&self) -> &'static str {
+        "hlc"
+    }
+
+    fn description(&self) -> &'static str {
+        "Hlc's comparison must stay the derived total integer order: one \
+         packed `pub u64` field, derive(PartialEq, Eq, PartialOrd, Ord), \
+         and no hand-written order/equality impls"
+    }
+
+    fn check_file(&self, file: &LexedFile, out: &mut Vec<Diagnostic>) {
+        if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+            return;
+        }
+        let t = &file.lexed.tokens;
+        for i in 0..t.len() {
+            if file.in_test_code(t[i].line) {
+                continue;
+            }
+            // Hand-written order/equality impls.
+            if t[i].is_ident("impl") {
+                for tr in ORDER_TRAITS {
+                    if tokens_match(t, i, &["impl", tr, "for", "Hlc"]) {
+                        out.push(Diagnostic::new(
+                            &file.rel,
+                            t[i].line,
+                            self.name(),
+                            format!(
+                                "hand-written `impl {tr} for Hlc`: the stamp's order \
+                                 must stay the derived integer order, or replicas \
+                                 stop resolving conflicts identically"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // The declaration itself.
+            if tokens_match(t, i, &["struct", "Hlc"]) {
+                self.check_declaration(file, i, out);
+            }
+        }
+    }
+}
+
+impl HlcOrder {
+    /// Checks one `struct Hlc` declaration at token index `i`: the
+    /// field must be exactly `(pub u64)` and the preceding derive list
+    /// must carry every order-relevant derive.
+    fn check_declaration(&self, file: &LexedFile, i: usize, out: &mut Vec<Diagnostic>) {
+        let t = &file.lexed.tokens;
+        let line = t[i].line;
+
+        if !tokens_match(t, i, &["struct", "Hlc", "(", "pub", "u64", ")"]) {
+            out.push(Diagnostic::new(
+                &file.rel,
+                line,
+                self.name(),
+                "Hlc must stay a single packed `pub u64` field: any other shape \
+                 (floats above all) breaks the total, deterministic derived order",
+            ));
+        }
+
+        // The derive list: scan back over the attribute tokens, but
+        // never across a previous item (`;`, `{`, `}`).
+        let window_start = i.saturating_sub(64);
+        let mut derive_pos = None;
+        for j in (window_start..i).rev() {
+            if [';', '{', '}'].iter().any(|&c| t[j].is_punct(c)) {
+                break;
+            }
+            if t[j].is_ident("derive") {
+                derive_pos = Some(j);
+                break;
+            }
+        }
+        let derived: Vec<&str> = derive_pos
+            .map(|j| {
+                t[j + 1..i]
+                    .iter()
+                    .filter(|tok| tok.kind == crate::lexer::TokKind::Ident)
+                    .map(|tok| tok.text.as_str())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let missing: Vec<&str> = REQUIRED_DERIVES
+            .iter()
+            .filter(|d| !derived.contains(d))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            out.push(Diagnostic::new(
+                &file.rel,
+                line,
+                self.name(),
+                format!(
+                    "Hlc must derive {} (missing: {}) so its comparison stays \
+                     total and consistent with equality",
+                    REQUIRED_DERIVES.join(", "),
+                    missing.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = LexedFile::new(&SourceFile { rel: rel.into(), text: src.into() });
+        let mut out = Vec::new();
+        HlcOrder.check_file(&f, &mut out);
+        out
+    }
+
+    const GOOD: &str = "#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]\n\
+                        pub struct Hlc(pub u64);\n";
+
+    #[test]
+    fn the_real_declaration_shape_is_clean() {
+        assert!(check("crates/core/src/model/hlc.rs", GOOD).is_empty());
+    }
+
+    #[test]
+    fn manual_order_impls_are_flagged() {
+        for tr in ORDER_TRAITS {
+            let src = format!("{GOOD}impl {tr} for Hlc {{}}\n");
+            let d = check("crates/core/src/model/hlc.rs", &src);
+            assert_eq!(d.len(), 1, "{tr}: {d:?}");
+            assert_eq!(d[0].line, 3);
+        }
+    }
+
+    #[test]
+    fn float_field_is_flagged() {
+        let d = check(
+            "crates/core/src/model/hlc.rs",
+            "#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]\n\
+             pub struct Hlc(pub f64);\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn missing_derives_are_flagged_without_crossing_items() {
+        let d = check(
+            "crates/core/src/model/hlc.rs",
+            "#[derive(PartialEq, Eq, PartialOrd, Ord)]\n\
+             pub struct Other(u8);\n\
+             #[derive(Debug, Clone, Copy, PartialEq)]\n\
+             pub struct Hlc(pub u64);\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("missing: Eq, PartialOrd, Ord"), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_scope_and_test_code_are_free() {
+        assert!(check("crates/bench/src/x.rs", "impl Ord for Hlc {}\n").is_empty());
+        let src = format!("fn a() {{}}\n#[cfg(test)]\nmod tests {{\n{GOOD}impl Ord for Hlc {{}}\n}}\n");
+        assert!(check("crates/core/src/x.rs", &src).is_empty());
+    }
+}

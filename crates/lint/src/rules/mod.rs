@@ -4,12 +4,14 @@ use crate::diag::Diagnostic;
 use crate::source::{AnalyzedWorkspace, LexedFile};
 
 mod determinism;
+mod hlc;
 mod hotpath;
 mod manifest;
 mod wallclock;
 mod wire;
 
 pub use determinism::Determinism;
+pub use hlc::HlcOrder;
 pub use hotpath::HotPath;
 pub use manifest::Manifest;
 pub use wallclock::WallClock;
@@ -45,6 +47,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(HotPath),
         Box::new(Manifest),
         Box::new(WireCoverage),
+        Box::new(HlcOrder),
     ]
 }
 

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/model/hlc.rs
+//@ expect: hlc 4
+// A float stamp: NaN makes the order partial, so two replicas can
+// disagree on which of two conflicting sightings wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Hlc(pub f64);

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/model/hlc.rs
+//@ expect: hlc 6
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hlc(pub u64);
+
+// A "helpful" physical-time-only order: ties on the same millisecond
+// now resolve differently on different replicas.
+impl Ord for Hlc {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.0 >> 22).cmp(&(other.0 >> 22))
+    }
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/model/hlc.rs
+//@ expect: hlc 4
+// Equality without an order: every comparison site would fall back to
+// ad-hoc field peeks, each a chance to diverge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hlc(pub u64);

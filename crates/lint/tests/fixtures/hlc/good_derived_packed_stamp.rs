@@ -1,0 +1,11 @@
+//@ path: crates/core/src/model/hlc.rs
+/// The real declaration shape: one packed `u64`, full derive set —
+/// the derived integer order is the total last-writer-wins order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hlc(pub u64);
+
+impl Hlc {
+    pub fn physical_ms(self) -> u64 {
+        self.0 >> 22
+    }
+}

@@ -86,7 +86,7 @@ fn deleting_a_variant_guard_arm_fails_the_gate() {
         .expect("proto module present");
     // Drop one variant's mention from encoded_len — as if the guard
     // arm had been deleted during a refactor.
-    let arm = "Message::PathSyncRes { entries, .. } => path_entries_len(entries) + CORR_LEN,";
+    let arm = "Message::PathSyncRes { entries, .. } => path_entries_len(entries) + 1 + CORR_LEN,";
     assert!(proto.text.contains(arm), "encoded_len arm for PathSyncRes moved?");
     proto.text = proto.text.replacen(arm, "", 1);
     let diags = check(&analyze(&files));

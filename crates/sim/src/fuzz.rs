@@ -5,7 +5,7 @@
 //! *space*: a seeded generator emits random but **valid** scenario
 //! timelines — mixed update/query load interleaved with `Partition`,
 //! `LatencySpike`, `Crash`, `PowerLoss`, `Spawn`, `Retire` and
-//! `PromoteRoot` verbs — runs each against the
+//! `PromoteStandby` verbs — runs each against the
 //! [`scenario`](crate::scenario) oracle (optionally with the §6.5
 //! caches enabled under bounded-staleness semantics), and on failure
 //! **shrinks** the timeline to a minimal reproducer printed as a
@@ -104,6 +104,10 @@ pub struct FuzzSpec {
     pub macro_mix: bool,
     /// §6.5 cache mode.
     pub caches: CacheMode,
+    /// Deploy the replication subsystem (warm standbys + leaf replica
+    /// rings). Standby slots shift every later-spawned server id, so
+    /// the validity model mirrors the reservation exactly.
+    pub replication: bool,
     /// Global message-drop probability.
     pub drop_prob: f64,
     /// Global message-duplication probability.
@@ -156,6 +160,7 @@ impl FuzzSpec {
             mid_chaos_queries: self.mid_chaos_queries,
             macro_mix: self.macro_mix,
             caches: self.caches.to_config(),
+            replication: self.replication,
             events: self.events.clone(),
             ..Default::default()
         }
@@ -173,7 +178,11 @@ impl FuzzSpec {
         {
             return false;
         }
-        let mut model = TimelineModel::new(self.hierarchy());
+        let mut model = if self.replication {
+            TimelineModel::new_replicated(self.hierarchy())
+        } else {
+            TimelineModel::new(self.hierarchy())
+        };
         for step in 0..self.steps {
             for ev in self.events.iter().filter(|e| e.at_step == step) {
                 if !model.try_apply(&ev.action) {
@@ -189,19 +198,53 @@ impl FuzzSpec {
 
 /// Replays a timeline against the hierarchy the runtime would build,
 /// mirroring `SimDeployment`'s preconditions: which servers are up,
-/// which are retired, and which reshape verbs the tree accepts.
+/// which are retired, which reshape verbs the tree accepts — and,
+/// with replication on, the standby-slot reservations
+/// (`SimDeployment::enable_replication` / `designate_standby`), since
+/// every reserved slot shifts the id the next `Spawn` or cold
+/// failover allocates.
 struct TimelineModel {
     h: Hierarchy,
     down: std::collections::BTreeSet<u32>,
+    /// Warm-standby slots (`shadowed non-leaf → standby`), mirrored
+    /// from the runtime when `replication` is set.
+    standbys: BTreeMap<u32, u32>,
+    replication: bool,
 }
 
 impl TimelineModel {
     fn new(h: Hierarchy) -> Self {
-        TimelineModel { h, down: Default::default() }
+        TimelineModel { h, down: Default::default(), standbys: BTreeMap::new(), replication: false }
+    }
+
+    /// Mirrors `SimDeployment::enable_replication`: one standby slot
+    /// reserved per active non-leaf, in id order.
+    fn new_replicated(h: Hierarchy) -> Self {
+        let mut model = TimelineModel::new(h);
+        model.replication = true;
+        let non_leaves: Vec<ServerId> =
+            model.h.active().filter(|c| !c.is_leaf()).map(|c| c.id).collect();
+        for of in non_leaves {
+            let slot = model.h.reserve_standby(of).expect("standby reservation");
+            model.standbys.insert(of.0, slot.0);
+        }
+        model
     }
 
     fn in_range(&self, id: ServerId) -> bool {
         (id.0 as usize) < self.h.len()
+    }
+
+    /// Whether `id` is a reserved standby slot: hierarchy-retired, but
+    /// with a live server instance that crashes and restarts normally.
+    fn is_standby_slot(&self, id: ServerId) -> bool {
+        self.standbys.values().any(|&s| s == id.0)
+    }
+
+    /// Live standby slots — crash targets the plain `active()` walk
+    /// misses.
+    fn live_standbys(&self) -> Vec<u32> {
+        self.standbys.values().copied().filter(|s| !self.down.contains(s)).collect()
     }
 
     /// Applies one verb when it is legal at the current state; `false`
@@ -209,14 +252,20 @@ impl TimelineModel {
     fn try_apply(&mut self, action: &FaultAction) -> bool {
         match action {
             FaultAction::Crash(id) | FaultAction::PowerLoss(id) => {
-                if !self.in_range(*id) || self.h.is_retired(*id) || self.down.contains(&id.0) {
+                if !self.in_range(*id)
+                    || (self.h.is_retired(*id) && !self.is_standby_slot(*id))
+                    || self.down.contains(&id.0)
+                {
                     return false;
                 }
                 self.down.insert(id.0);
                 true
             }
             FaultAction::Restart(id) => {
-                if !self.in_range(*id) || self.h.is_retired(*id) || !self.down.contains(&id.0) {
+                if !self.in_range(*id)
+                    || (self.h.is_retired(*id) && !self.is_standby_slot(*id))
+                    || !self.down.contains(&id.0)
+                {
                     return false;
                 }
                 self.down.remove(&id.0);
@@ -235,12 +284,36 @@ impl TimelineModel {
                 }
                 self.h.retire_leaf(*id).is_ok()
             }
-            FaultAction::PromoteRoot => {
+            FaultAction::PromoteStandby => {
                 // Failover over a live root would split the brain.
-                if !self.down.contains(&self.h.root().0) {
+                let old = self.h.root();
+                if !self.down.contains(&old.0) {
                     return false;
                 }
-                self.h.fail_over_root().is_ok()
+                // Mirror `SimDeployment::promote_root` exactly: the
+                // mapping is consumed either way; a live standby is
+                // adopted in place (no new id), a dead or absent one
+                // falls back to a freshly allocated successor — and
+                // with replication on, the new root gets a fresh
+                // reserved slot in both cases.
+                let new_root = match self.standbys.remove(&old.0) {
+                    Some(standby) if !self.down.contains(&standby) => {
+                        let standby = ServerId(standby);
+                        if self.h.fail_over_root_to(standby).is_err() {
+                            return false;
+                        }
+                        standby
+                    }
+                    _ => match self.h.fail_over_root() {
+                        Ok(id) => id,
+                        Err(_) => return false,
+                    },
+                };
+                if self.replication {
+                    let slot = self.h.reserve_standby(new_root).expect("standby reservation");
+                    self.standbys.insert(new_root.0, slot.0);
+                }
+                true
             }
             FaultAction::HealNetwork => true,
         }
@@ -266,6 +339,18 @@ impl TimelineModel {
 /// Generates a random, valid fuzz scenario for `seed`. Same seed, same
 /// spec — the seed alone replays the generation bit-for-bit.
 pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
+    generate_with(seed, caches, false)
+}
+
+/// [`generate`] with the replication subsystem deployed. The timeline
+/// walk then models the standby-slot reservations, adds live standbys
+/// to the crash pool (a standby dying mid-delta-stream is exactly the
+/// race worth fuzzing), biases crashes toward the root and its
+/// shadow, and prefers a `PromoteStandby` follow-up over a root
+/// restart — the campaign must *exercise* promotions, not trip over
+/// them by luck. With `replication = false` the draw sequence is
+/// bit-identical to [`generate`].
+pub fn generate_with(seed: u64, caches: CacheMode, replication: bool) -> FuzzSpec {
     let mut g = Gen::for_seed(seed);
     let levels = if g.chance(0.5) { 1 } else { 2 };
     let fanout = 2;
@@ -328,7 +413,8 @@ pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
     // ---- timeline walk: draw verbs only where they are legal *now*,
     // and schedule the follow-up that keeps the timeline closable
     // (every crash gets a restart — or, for a root, maybe a failover).
-    let mut model = TimelineModel::new(h0);
+    let mut model =
+        if replication { TimelineModel::new_replicated(h0) } else { TimelineModel::new(h0) };
     let mut events: Vec<ScenarioEvent> = Vec::new();
     let mut scheduled: BTreeMap<u32, Vec<FaultAction>> = BTreeMap::new();
     let budget = g.random_range(0..=5usize);
@@ -348,12 +434,17 @@ pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
         // stale §6.5 cache entries survive into the verdict).
         let crash_ok = step + 2 < steps;
         let crashable: Vec<u32> = if crash_ok {
-            model
+            let mut ids: Vec<u32> = model
                 .h
                 .active()
                 .filter(|c| !model.down.contains(&c.id.0))
                 .map(|c| c.id.0)
-                .collect()
+                .collect();
+            // Standby slots are retired in the hierarchy but live as
+            // processes — with replication on they crash too.
+            ids.extend(model.live_standbys());
+            ids.sort_unstable();
+            ids
         } else {
             Vec::new()
         };
@@ -386,7 +477,27 @@ pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
         }
         match g.weighted(&weights) {
             kind @ (0 | 1) => {
-                let id = ServerId(*g.pick(&crashable));
+                // With replication, steer half the crashes at the root
+                // or its standby: those are the draws that put the
+                // delta stream, the watermark and the promotion path
+                // under fire.
+                let hot: Vec<u32> = if replication {
+                    let root = model.h.root().0;
+                    let mut hot: Vec<u32> = crashable
+                        .iter()
+                        .copied()
+                        .filter(|&id| id == root || model.standbys.get(&root) == Some(&id))
+                        .collect();
+                    hot.sort_unstable();
+                    hot
+                } else {
+                    Vec::new()
+                };
+                let id = if !hot.is_empty() && g.chance(0.5) {
+                    ServerId(*g.pick(&hot))
+                } else {
+                    ServerId(*g.pick(&crashable))
+                };
                 let action = if kind == 0 {
                     FaultAction::Crash(id)
                 } else {
@@ -395,8 +506,9 @@ pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
                 if model.try_apply(&action) {
                     events.push(ScenarioEvent { at_step: step, action });
                     let at = (step + g.random_range(1..=4u32)).min(steps - 1);
-                    let follow_up = if id == model.h.root() && g.chance(0.5) {
-                        FaultAction::PromoteRoot
+                    let promote_p = if replication { 0.85 } else { 0.5 };
+                    let follow_up = if id == model.h.root() && g.chance(promote_p) {
+                        FaultAction::PromoteStandby
                     } else {
                         FaultAction::Restart(id)
                     };
@@ -443,6 +555,7 @@ pub fn generate(seed: u64, caches: CacheMode) -> FuzzSpec {
         mid_chaos_queries: g.chance(0.7),
         macro_mix: g.chance(0.35),
         caches,
+        replication,
         drop_prob,
         dup_prob,
         reorder,
@@ -643,6 +756,17 @@ pub fn shrink(spec: &FuzzSpec) -> FuzzSpec {
                 continue;
             }
         }
+        // Strip the replication subsystem: a failure that survives
+        // this is an ordinary protocol bug, not a replication one.
+        // (Standby-slot ids shift, so re-validation may veto it.)
+        if best.replication {
+            let mut c = best.clone();
+            c.replication = false;
+            if still_fails(&c, &mut runs) {
+                best = c;
+                continue;
+            }
+        }
         // Flatten the tree.
         if best.levels > 1 {
             let mut c = best.clone();
@@ -666,7 +790,7 @@ fn fmt_action(a: &FaultAction) -> String {
         FaultAction::Restart(id) => format!("restart:{}", id.0),
         FaultAction::Spawn { split } => format!("spawn:{}", split.0),
         FaultAction::Retire(id) => format!("retire:{}", id.0),
-        FaultAction::PromoteRoot => "promote".to_string(),
+        FaultAction::PromoteStandby => "promote".to_string(),
         FaultAction::HealNetwork => "heal".to_string(),
     }
 }
@@ -686,7 +810,7 @@ fn parse_action(s: &str) -> Result<FaultAction, String> {
         "restart" => Ok(FaultAction::Restart(id(arg)?)),
         "spawn" => Ok(FaultAction::Spawn { split: id(arg)? }),
         "retire" => Ok(FaultAction::Retire(id(arg)?)),
-        "promote" => Ok(FaultAction::PromoteRoot),
+        "promote" => Ok(FaultAction::PromoteStandby),
         "heal" => Ok(FaultAction::HealNetwork),
         _ => Err(format!("unknown timeline verb '{verb}'")),
     }
@@ -723,6 +847,9 @@ impl FuzzSpec {
                 CacheMode::On { max_aged_acc_m } => format!("caches=on:{max_aged_acc_m}"),
             },
         ];
+        if self.replication {
+            out.push("repl=1".to_string());
+        }
         if self.drop_prob > 0.0 {
             out.push(format!("drop={}", self.drop_prob));
         }
@@ -772,6 +899,7 @@ pub fn parse_dsl(dsl: &str) -> Result<FuzzSpec, String> {
         mid_chaos_queries: false,
         macro_mix: false,
         caches: CacheMode::Off,
+        replication: false,
         drop_prob: 0.0,
         dup_prob: 0.0,
         reorder: None,
@@ -820,6 +948,7 @@ pub fn parse_dsl(dsl: &str) -> Result<FuzzSpec, String> {
                     _ => return Err(format!("unknown cache mode '{value}'")),
                 }
             }
+            "repl" => spec.replication = value == "1",
             "drop" => spec.drop_prob = num("drop", value)?,
             "dup" => spec.dup_prob = num("dup", value)?,
             "reorder" => {
@@ -888,6 +1017,8 @@ pub struct BatchStats {
     pub events: u64,
     /// Scenarios that reshaped the tree (spawn/retire/promote).
     pub reshapes: u32,
+    /// Scenarios that promoted over a crashed root.
+    pub promotions: u32,
     /// Scenarios that crashed at least one server.
     pub crashes: u32,
     /// §6.5 cache answers served across the batch.
@@ -917,10 +1048,28 @@ pub fn cases_from_env(default: u32) -> u32 {
 /// Panics with the shrunk reproducer when any generated scenario
 /// violates an oracle invariant.
 pub fn fuzz_batch(base_seed: u64, cases: u32, caches: CacheMode) -> BatchStats {
+    fuzz_batch_with(base_seed, cases, caches, false)
+}
+
+/// [`fuzz_batch`] over [`generate_with`]: with `replication` set,
+/// every generated scenario deploys warm standbys and the leaf replica
+/// rings, and the generator's bias steers the timelines at the new
+/// verbs (root/standby crashes, `PromoteStandby`).
+///
+/// # Panics
+///
+/// Panics with the shrunk reproducer when any generated scenario
+/// violates an oracle invariant.
+pub fn fuzz_batch_with(
+    base_seed: u64,
+    cases: u32,
+    caches: CacheMode,
+    replication: bool,
+) -> BatchStats {
     let mut stats = BatchStats::default();
     for case in 0..cases {
         let seed = base_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let spec = generate(seed, caches);
+        let spec = generate_with(seed, caches, replication);
         debug_assert!(spec.valid(), "generator produced an invalid timeline");
         match run_captured(&spec) {
             Ok(run) => {
@@ -931,10 +1080,13 @@ pub fn fuzz_batch(base_seed: u64, cases: u32, caches: CacheMode) -> BatchStats {
                         e.action,
                         FaultAction::Spawn { .. }
                             | FaultAction::Retire(_)
-                            | FaultAction::PromoteRoot
+                            | FaultAction::PromoteStandby
                     )
                 }) {
                     stats.reshapes += 1;
+                }
+                if spec.events.iter().any(|e| matches!(e.action, FaultAction::PromoteStandby)) {
+                    stats.promotions += 1;
                 }
                 if spec
                     .events

@@ -34,7 +34,9 @@ use crate::mobility::MobilityKind;
 use crate::{Fleet, FleetConfig};
 use hiloc_core::area::{Hierarchy, HierarchyBuilder};
 use hiloc_core::cache::CacheConfig;
-use hiloc_core::model::{semantics, LocationDescriptor, Micros, ObjectId, RangeQuery, UpdatePolicy, SECOND};
+use hiloc_core::model::{
+    semantics, Hlc, LocationDescriptor, Micros, ObjectId, RangeQuery, UpdatePolicy, SECOND,
+};
 use hiloc_core::node::{DurabilityOptions, ServerOptions, StorageSyncPolicy, VisitorRecord};
 use hiloc_core::runtime::{CrashMode, SimDeployment};
 use hiloc_geo::{Point, Rect, Region};
@@ -95,10 +97,16 @@ pub enum FaultAction {
     /// **Leave**: the given leaf drains everything to the sibling
     /// absorbing its area and detaches.
     Retire(ServerId),
-    /// **Root failover**: promote a fresh successor over the crashed
-    /// root (the root must have been crashed by an earlier event and
-    /// stays retired forever — no `Restart` for it).
-    PromoteRoot,
+    /// **Root failover**: promote a successor over the crashed root
+    /// (the root must have been crashed by an earlier event and stays
+    /// retired forever — no `Restart` for it). With
+    /// [`ScenarioSpec::replication`] on and the root's warm standby
+    /// alive, this is an O(1) adoption of the streamed table and the
+    /// harness checks the **promotion contract**: no durably-acked
+    /// record of the stream may be missing from the promoted table.
+    /// Without a (live) standby a fresh successor rebuilds via chunked
+    /// `pathSync`.
+    PromoteStandby,
 }
 
 /// A fault action bound to a step of the scenario clock (applied
@@ -169,6 +177,11 @@ pub struct ScenarioSpec {
     pub caches: CacheConfig,
     /// Scripted crash/restart/heal/reshape events.
     pub events: Vec<ScenarioEvent>,
+    /// Deploys the replication subsystem: a warm standby streaming
+    /// each non-leaf's forwarding table, and the k=2 sibling replica
+    /// ring among the leaves (see
+    /// [`SimDeployment::enable_replication`]).
+    pub replication: bool,
     /// Multiplies the soft-state windows (sighting TTL, path refresh
     /// and path TTL — *not* the query timeout). Every blocking client
     /// op advances virtual time by an RTT, so a step over a large
@@ -199,6 +212,7 @@ impl Default for ScenarioSpec {
             mid_chaos_queries: false,
             macro_mix: false,
             caches: CacheConfig::default(),
+            replication: false,
             events: Vec::new(),
             time_scale: 1,
         }
@@ -370,6 +384,15 @@ impl ScenarioSpec {
             seed: self.seed,
             ..Default::default()
         };
+        if self.replication {
+            // Before the registration wave: every change then streams
+            // as a delta rather than riding the designation snapshot.
+            ls.enable_replication();
+            trace.push(format!(
+                "replication enabled: root standby = server {}",
+                ls.standby_of(ls.hierarchy().root()).map(|s| s.0).unwrap_or(u32::MAX)
+            ));
+        }
         let mut fleet = match Fleet::register(cfg, &mut ls) {
             Ok(f) => f,
             Err(e) => self.fail(&trace, &format!("fleet registration failed: {e:?}")),
@@ -383,12 +406,13 @@ impl ScenarioSpec {
         ls.set_faults(self.faults.clone());
 
         let mut crash_snapshots: BTreeMap<u32, VisitorSnapshot> = BTreeMap::new();
+        let mut root_watermark: Option<(ServerId, BTreeMap<ObjectId, Hlc>)> = None;
         let mut query_latency_us: Vec<Micros> = Vec::new();
         for step in 0..self.steps {
             let events: Vec<ScenarioEvent> =
                 self.events.iter().filter(|e| e.at_step == step).cloned().collect();
             for ev in events {
-                self.apply_event(&ev, &mut ls, &mut crash_snapshots, &mut trace);
+                self.apply_event(&ev, &mut ls, &mut crash_snapshots, &mut root_watermark, &mut trace);
             }
             let inbox = fleet.process_inbox(&mut ls);
             let s = fleet.step(&mut ls, self.step_dt_s);
@@ -545,8 +569,18 @@ impl ScenarioSpec {
         ev: &ScenarioEvent,
         ls: &mut SimDeployment,
         crash_snapshots: &mut BTreeMap<u32, VisitorSnapshot>,
+        root_watermark: &mut Option<(ServerId, BTreeMap<ObjectId, Hlc>)>,
         trace: &mut Vec<String>,
     ) {
+        // Crashing the *root* freezes its stream's durably-acked
+        // watermark: a later `PromoteStandby` that adopts this stream's
+        // sink is checked against exactly this snapshot.
+        let snapshot_watermark = |ls: &SimDeployment, id: ServerId| {
+            if id != ls.hierarchy().root() {
+                return None;
+            }
+            ls.server(id).replication_acked().map(|(t, acked)| (t, acked.clone()))
+        };
         match ev.action {
             FaultAction::Crash(id) => {
                 let snap = snapshot_visitors(ls, id);
@@ -558,6 +592,7 @@ impl ScenarioSpec {
                     ls.now_us()
                 ));
                 crash_snapshots.insert(id.0, snap);
+                *root_watermark = snapshot_watermark(ls, id).or(root_watermark.take());
                 ls.crash_server(id);
             }
             FaultAction::PowerLoss(id) => {
@@ -570,6 +605,7 @@ impl ScenarioSpec {
                     ls.now_us()
                 ));
                 crash_snapshots.insert(id.0, snap);
+                *root_watermark = snapshot_watermark(ls, id).or(root_watermark.take());
                 ls.crash_server_with(id, CrashMode::PowerLoss);
             }
             FaultAction::Spawn { split } => {
@@ -592,14 +628,49 @@ impl ScenarioSpec {
                     ls.now_us()
                 ));
             }
-            FaultAction::PromoteRoot => {
+            FaultAction::PromoteStandby => {
+                let warm = ls.standby_of(ls.hierarchy().root()).map(|s| !ls.is_down(s));
                 let new_root = ls.promote_root();
                 trace.push(format!(
-                    "event@{}: root failed over to successor {} (t={}us)",
+                    "event@{}: root failed over to successor {} ({}, t={}us)",
                     ev.at_step,
                     new_root.0,
+                    match warm {
+                        Some(true) => "warm standby adoption",
+                        Some(false) => "standby dead, cold pathSync",
+                        None => "no standby, cold pathSync",
+                    },
                     ls.now_us()
                 ));
+                // Promotion contract: when the promoted server is the
+                // crashed root's stream sink, every durably-acked
+                // record must have survived adoption with at least its
+                // acked stamp. Only meaningful with durable stores —
+                // a volatile standby legitimately restarts empty.
+                if let Some((target, watermark)) = root_watermark.take() {
+                    if self.durable && new_root == target {
+                        for (oid, stamp) in watermark {
+                            let ok = ls
+                                .server(new_root)
+                                .visitors()
+                                .get(oid)
+                                .map(|rec| rec.epoch() >= stamp)
+                                .unwrap_or(false);
+                            if !ok {
+                                self.fail(
+                                    trace,
+                                    &format!(
+                                        "promotion lost durably-acked record {oid} \
+                                         (acked stamp {stamp}): the standby acknowledged \
+                                         it but the promoted table does not hold it\n\
+                                         record dump:\n{}",
+                                        record_dump(ls, oid)
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
             }
             FaultAction::Restart(id) => {
                 ls.restart_server(id);

@@ -175,7 +175,7 @@ fn root_failover(seed: u64) -> ScenarioSpec {
     let root = spec.hierarchy().root();
     spec.events = vec![
         ScenarioEvent { at_step: 4, action: FaultAction::Crash(root) },
-        ScenarioEvent { at_step: 8, action: FaultAction::PromoteRoot },
+        ScenarioEvent { at_step: 8, action: FaultAction::PromoteStandby },
     ];
     spec
 }

@@ -66,17 +66,32 @@ fn retired_straggler_must_be_reparented_by_root_failover() {
 /// An agent lookup climbed to a freshly promoted root whose
 /// forwarding table was still warming (its pathSync answers were
 /// lost), and the empty root answered `OutOfServiceArea` for a live
-/// object. Fixed by a lookup grace window: for one path TTL after the
-/// takeover the verdict is suspended — by then every live path has
-/// re-asserted itself.
+/// object. Originally fixed by a wall-clock grace window; now the
+/// cold path suspends the verdict exactly while its chunked
+/// `pathSync` pulls are outstanding (retried until every child
+/// answers), and the warm path makes the window disappear entirely:
+/// with replication on, promotion is O(1) adoption of the standby's
+/// streamed table — the same timeline then runs **zero** pathSyncs.
 #[test]
 fn promoted_root_must_not_deregister_while_its_table_warms() {
-    replay_dsl(
+    const TIMELINE: &str =
         "seed=3062123152406860345 levels=1 fanout=2 objects=14 speed=9.156407435266871 \
          steps=8 dt=2 mobility=waypoint policy=dist:8.523508039963193 queries=1 caches=on:100 \
          drop=0.07567045287144544 ev=2:powerloss:3 ev=3:restart:3 ev=3:spawn:1 ev=4:crash:0 \
-         ev=6:promote",
+         ev=6:promote";
+    // Cold path: the successor rebuilds via pathSync behind the
+    // lookup barrier, and no object is lost meanwhile.
+    let cold = replay_dsl(TIMELINE);
+    assert!(cold.stats.path_syncs > 0, "cold promotion must rebuild via pathSync: {:?}", cold.stats);
+    // Warm path — the O(1)-promotion invariant: same timeline with a
+    // standby streaming the root's table; adoption needs no rebuild.
+    let warm = replay_dsl(&format!("{TIMELINE} repl=1"));
+    assert_eq!(
+        warm.stats.path_syncs, 0,
+        "a warm promotion must adopt the streamed table, not rebuild: {:?}",
+        warm.stats
     );
+    assert!(warm.stats.deltas_sent > 0, "the standby stream must have run: {:?}", warm.stats);
 }
 
 /// The dual of the zombie case: after a crash/restart/retire chain
@@ -138,5 +153,42 @@ fn stale_area_cache_after_powerloss_and_spawn_heals() {
         "seed=8709371129873644185 levels=1 fanout=2 objects=3 speed=18.142247921692203 \
          steps=11 dt=2 mobility=waypoint policy=dist:8.279417934188306 queries=1 \
          caches=on:100 drop=0.09098861116735472 ev=5:powerloss:1 ev=8:spawn:1 ev=9:restart:1",
+    );
+}
+
+/// A standby must never apply its own soft-state expiry: leaf 3
+/// crashed at ~5s and its WAL-recovered records re-asserted their
+/// paths at their *old* epoch (by design — a true agent's keep-alive
+/// must outbid a zombie), so the root's record for o0 legitimately
+/// kept its 0ms registration stamp. The standby mirrored it, then its
+/// local stale-path sweep expired it at `stamp + path_ttl` — while
+/// the source's acked watermark still durably claimed it — and the
+/// promotion at 50s lost a durably-acked record. Fixed by suspending
+/// the non-leaf stale-path sweep on servers in standby mode (only
+/// streamed removals delete mirrored records); promotion re-arms the
+/// sweep one refresh period later so keep-alives can re-stamp the
+/// adopted table first.
+#[test]
+fn standby_must_not_locally_expire_mirrored_records_before_promotion() {
+    replay_dsl(
+        "seed=3904684955054830002 levels=1 fanout=2 objects=7 speed=16.85606318094014 \
+         steps=13 dt=2 mobility=waypoint policy=dist:11.457241684437188 queries=1 mix=0 \
+         caches=off repl=1 part=17689530-29876606:0+4 ev=1:crash:3 ev=2:retire:1 \
+         ev=3:spawn:4 ev=5:restart:3 ev=7:crash:0 ev=11:promote",
+    );
+}
+
+/// Same class at depth 2 with caches, drop, partition and a latency
+/// spike (the campaign's other shrunk find, kept for its different
+/// interleaving): the mirrored stamps went stale behind a partition
+/// and the standby's sweep raced the promotion.
+#[test]
+fn standby_expiry_race_with_partition_and_spike_stays_green() {
+    replay_dsl(
+        "seed=14127374373618269239 levels=2 fanout=2 objects=14 speed=13.780347195425687 \
+         steps=13 dt=2 mobility=gauss:0.39499571547369966 policy=dist:8.152332902497918 \
+         queries=0 mix=0 caches=on:100 repl=1 drop=0.07649529401409451 \
+         part=13578216-24493370:6+13 spike=14622751-22121400:76024 ev=8:crash:0 \
+         ev=12:promote",
     );
 }
