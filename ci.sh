@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> hiloc-lint (determinism / wallclock / hot_path / manifest / wire / hlc)"
+echo "==> hiloc-lint (determinism / wallclock / durability / hot_path / manifest / wire / hlc)"
 cargo run -q --offline -p hiloc-lint -- check
 
 echo "==> cargo build --release --offline"
@@ -66,7 +66,9 @@ cargo build --release --offline -p hiloc-bench
 ./target/release/experiments validate-bench target/BENCH_hotpath_smoke.json
 
 # The macro benchmark at CI scale: 20k objects over 21 servers through
-# the full register/update/query pipeline, cache ablation included.
+# the full register/update/query pipeline, cache ablation and the
+# storage-recovery phase included (the validator requires the
+# checkpointed reopen to beat full-log replay even at smoke scale).
 # validate-bench dispatches on the schema field, so the same command
 # gates both report kinds.
 echo "==> bench smoke: experiments macro --json --quick + validation"
@@ -74,10 +76,11 @@ echo "==> bench smoke: experiments macro --json --quick + validation"
 ./target/release/experiments validate-bench target/BENCH_macro_smoke.json
 
 # The committed full-scale baseline must carry the failover-blackout
-# metric; for non-quick reports the validator also enforces the
-# acceptance ratio (warm standby adoption >= 10x faster than the cold
-# pathSync rebuild).
-echo "==> committed BENCH_macro.json validates (incl. failover_blackout_us)"
+# and storage-recovery metrics; for non-quick reports the validator
+# also enforces the acceptance ratios (warm standby adoption >= 10x
+# faster than the cold pathSync rebuild; checkpointed recovery beats
+# full-log replay and stays history-independent across a doubled log).
+echo "==> committed BENCH_macro.json validates (incl. failover_blackout_us, recovery_us)"
 ./target/release/experiments validate-bench BENCH_macro.json
 
 echo "CI green."

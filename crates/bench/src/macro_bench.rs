@@ -23,8 +23,10 @@ use hiloc_geo::{Point, Rect, Region};
 use hiloc_net::ServerId;
 use hiloc_sim::mobility::MobilityKind;
 use hiloc_sim::{Fleet, FleetConfig, Samples, Summary, Zipf};
+use hiloc_storage::{DurableMap, SyncPolicy};
 use hiloc_util::json::Json;
 use hiloc_util::rng::{RngExt, SeedableRng, StdRng};
+use hiloc_util::tempdir::TempDir;
 use std::time::Instant;
 
 // ------------------------------------------------------------- config
@@ -211,6 +213,37 @@ impl FailoverPhase {
     }
 }
 
+/// Storage-engine recovery: wall-clock µs to reopen a [`DurableMap`]
+/// whose WAL holds a long mutation history over a bounded live set —
+/// **cold** (no checkpoint: the whole log replays, O(history)) vs
+/// **checkpointed** (snapshot + empty WAL suffix, O(live set)) — then
+/// both again after doubling the history, which pins the asymptotics:
+/// the cold replay must lengthen with the log while the checkpointed
+/// open must not.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPhase {
+    /// Mutations in the baseline history.
+    pub ops: u64,
+    /// Keys alive at recovery time (the history overwrites them).
+    pub live_entries: u64,
+    /// Reopen µs with the full baseline log, no checkpoint.
+    pub cold_full_log_us: u64,
+    /// Reopen µs after a checkpoint of the same history.
+    pub checkpointed_us: u64,
+    /// Mutations in the doubled history.
+    pub ops_2x: u64,
+    /// Reopen µs with the doubled log, no checkpoint.
+    pub cold_full_log_2x_us: u64,
+    /// Reopen µs after a checkpoint of the doubled history.
+    pub checkpointed_2x_us: u64,
+}
+
+impl RecoveryPhase {
+    fn speedup(&self) -> f64 {
+        self.cold_full_log_us as f64 / (self.checkpointed_us.max(1)) as f64
+    }
+}
+
 /// A complete macro run.
 #[derive(Debug, Clone)]
 pub struct MacroReport {
@@ -230,6 +263,8 @@ pub struct MacroReport {
     pub levels: Vec<LevelRow>,
     /// The failover phase: cold vs. warm promotion blackout.
     pub failover: FailoverPhase,
+    /// The storage-recovery phase: full-log vs. checkpointed reopen.
+    pub recovery: RecoveryPhase,
 }
 
 // ------------------------------------------------------------ workload
@@ -478,6 +513,75 @@ fn run_failover(cfg: &MacroConfig, ls: &mut SimDeployment) -> FailoverPhase {
     FailoverPhase { cold_blackout_us, warm_blackout_us }
 }
 
+/// Appends `ops` put mutations cycling over `live` keys (every key is
+/// overwritten ~`ops / live` times, so the log grows with history
+/// while the live set stays bounded — the visitor-table write pattern
+/// under mobility). Auto-checkpointing is off so the WAL keeps the
+/// whole history.
+fn write_history(db: &mut DurableMap<Vec<u8>>, live: u64, ops: std::ops::Range<u64>) {
+    for i in ops {
+        let mut v = vec![0u8; 24];
+        v[..8].copy_from_slice(&i.to_le_bytes());
+        db.insert(i % live, v).expect("recovery-bench insert");
+    }
+}
+
+/// Reopens the engine in `dir` and returns (wall µs, records replayed).
+fn timed_open(dir: &std::path::Path) -> (u64, u64) {
+    let t0 = Instant::now();
+    let db: DurableMap<Vec<u8>> =
+        DurableMap::open(dir, SyncPolicy::Buffered).expect("recovery-bench reopen");
+    let us = t0.elapsed().as_micros().max(1) as u64;
+    (us, db.stats().replayed)
+}
+
+/// The recovery phase: measures cold (full-log) vs. checkpointed
+/// reopen at 1x and 2x history. Storage-level — it runs against a
+/// [`DurableMap`] directly rather than through the deployment, because
+/// the quantity under test is the engine's recovery path, not the
+/// protocol above it.
+fn run_recovery(cfg: &MacroConfig) -> RecoveryPhase {
+    let live = (cfg.objects / 20).clamp(500, 50_000);
+    let ops = live * 10;
+    let dir = TempDir::new("macro-recovery");
+    let base = dir.path().join("base");
+    let doubled = dir.path().join("doubled");
+
+    let mut phase = RecoveryPhase {
+        ops,
+        live_entries: live,
+        cold_full_log_us: 0,
+        checkpointed_us: 0,
+        ops_2x: ops * 2,
+        cold_full_log_2x_us: 0,
+        checkpointed_2x_us: 0,
+    };
+    for (dir, total, cold_us, ck_us) in [
+        (&base, ops, &mut phase.cold_full_log_us, &mut phase.checkpointed_us),
+        (&doubled, ops * 2, &mut phase.cold_full_log_2x_us, &mut phase.checkpointed_2x_us),
+    ] {
+        let mut db: DurableMap<Vec<u8>> =
+            DurableMap::open(dir, SyncPolicy::Buffered).expect("recovery-bench open");
+        db.set_auto_checkpoint(None);
+        write_history(&mut db, live, 0..total);
+        drop(db);
+
+        let (us, replayed) = timed_open(dir);
+        assert_eq!(replayed, total, "cold reopen must replay the whole history");
+        *cold_us = us;
+
+        let mut db: DurableMap<Vec<u8>> =
+            DurableMap::open(dir, SyncPolicy::Buffered).expect("recovery-bench open");
+        db.compact().expect("recovery-bench checkpoint");
+        drop(db);
+
+        let (us, replayed) = timed_open(dir);
+        assert_eq!(replayed, 0, "checkpointed reopen must replay nothing");
+        *ck_us = us;
+    }
+    phase
+}
+
 fn level_delta(after: &[LevelStats], before: &[LevelStats]) -> Vec<(u32, usize, u64)> {
     after
         .iter()
@@ -512,6 +616,7 @@ pub fn run(cfg: &MacroConfig) -> MacroReport {
     let after_on = ls.level_stats();
 
     let failover = run_failover(cfg, &mut ls);
+    let recovery = run_recovery(cfg);
 
     let upd = level_delta(&after_updates, &after_register);
     let qoff = level_delta(&after_off, &after_updates);
@@ -538,6 +643,7 @@ pub fn run(cfg: &MacroConfig) -> MacroReport {
         query_phases: vec![off, on],
         levels,
         failover,
+        recovery,
     }
 }
 
@@ -671,6 +777,22 @@ impl MacroReport {
                         "speedup".into(),
                         num((self.failover.speedup() * 10.0).round() / 10.0),
                     ),
+                ]),
+            ),
+            (
+                "recovery_us".into(),
+                Json::Obj(vec![
+                    ("ops".into(), num(self.recovery.ops as f64)),
+                    ("live_entries".into(), num(self.recovery.live_entries as f64)),
+                    ("cold_full_log".into(), num(self.recovery.cold_full_log_us as f64)),
+                    ("checkpointed".into(), num(self.recovery.checkpointed_us as f64)),
+                    (
+                        "speedup".into(),
+                        num((self.recovery.speedup() * 10.0).round() / 10.0),
+                    ),
+                    ("ops_2x".into(), num(self.recovery.ops_2x as f64)),
+                    ("cold_full_log_2x".into(), num(self.recovery.cold_full_log_2x_us as f64)),
+                    ("checkpointed_2x".into(), num(self.recovery.checkpointed_2x_us as f64)),
                 ]),
             ),
             ("levels".into(), Json::Arr(levels)),
@@ -816,6 +938,63 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         ));
     }
 
+    let rec_num = |field: &str| {
+        doc.get("recovery_us")
+            .and_then(|r| r.get(field))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing recovery_us.{field}"))
+    };
+    let (r_ops, r_ops_2x) = (rec_num("ops")?, rec_num("ops_2x")?);
+    let (r_cold, r_ck) = (rec_num("cold_full_log")?, rec_num("checkpointed")?);
+    let (r_cold_2x, r_ck_2x) = (rec_num("cold_full_log_2x")?, rec_num("checkpointed_2x")?);
+    for (name, v) in [
+        ("ops", r_ops),
+        ("ops_2x", r_ops_2x),
+        ("live_entries", rec_num("live_entries")?),
+        ("cold_full_log", r_cold),
+        ("checkpointed", r_ck),
+        ("cold_full_log_2x", r_cold_2x),
+        ("checkpointed_2x", r_ck_2x),
+    ] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("recovery_us.{name} {v} is not positive"));
+        }
+    }
+    if r_ops_2x < 2.0 * r_ops {
+        return Err(format!("recovery_us.ops_2x {r_ops_2x} is not a doubled history of {r_ops}"));
+    }
+    // The tentpole gate: a checkpointed reopen loads the snapshot and
+    // replays only the WAL suffix, so it must beat full-log replay at
+    // both history lengths — and, on full runs, doubling the history
+    // must lengthen the cold replay while leaving the checkpointed
+    // reopen flat (within wall-clock noise). Quick runs skip the
+    // asymptotic checks only because their absolute times are small
+    // enough for scheduler noise to invert them.
+    if r_ck >= r_cold {
+        return Err(format!(
+            "checkpointed recovery {r_ck}us must beat full-log replay {r_cold}us"
+        ));
+    }
+    if r_ck_2x >= r_cold_2x {
+        return Err(format!(
+            "checkpointed recovery {r_ck_2x}us must beat full-log replay {r_cold_2x}us (2x)"
+        ));
+    }
+    if !quick {
+        if r_cold_2x <= r_cold {
+            return Err(format!(
+                "full run: doubling the history must lengthen full-log replay \
+                 ({r_cold}us -> {r_cold_2x}us)"
+            ));
+        }
+        if r_ck_2x >= 3.0 * r_ck {
+            return Err(format!(
+                "full run: checkpointed recovery must be history-independent, \
+                 got {r_ck}us -> {r_ck_2x}us across a doubled log"
+            ));
+        }
+    }
+
     let levels = doc
         .get("levels")
         .and_then(Json::as_array)
@@ -863,6 +1042,11 @@ mod tests {
         assert_eq!(report.query_phases.len(), 2);
         assert!(report.failover.cold_blackout_us > 0);
         assert!(report.failover.warm_blackout_us > 0);
+        assert!(
+            report.recovery.checkpointed_us < report.recovery.cold_full_log_us,
+            "checkpointed reopen must beat full-log replay: {:?}",
+            report.recovery
+        );
         let text = report.to_json(true).to_string_pretty();
         validate_report(&text).expect("self-produced report must validate");
     }

@@ -395,11 +395,11 @@ impl LocationServer {
         self.replicas.len()
     }
 
-    /// The power-loss recovery point of the durable replica table
-    /// (`None` when volatile or empty-logged) — the replica twin of
-    /// [`LocationServer::wal_power_loss_point`].
-    pub fn replica_power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
-        self.replicas.power_loss_point()
+    /// The power-loss recovery points of the durable replica table
+    /// (empty when volatile) — the replica twin of
+    /// [`LocationServer::wal_power_loss_points`].
+    pub fn replica_power_loss_points(&self) -> Vec<(std::path::PathBuf, u64)> {
+        self.replicas.power_loss_points()
     }
 
     /// Compacts the durable visitor store and replica table (no-op

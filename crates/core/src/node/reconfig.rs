@@ -388,11 +388,12 @@ impl LocationServer {
         self.emit(child, Message::PathSyncReq { after, corr });
     }
 
-    /// The power-loss recovery point of the durable visitor store:
-    /// WAL path plus fsynced byte count (`None` when volatile). The
-    /// simulator truncates the file to that offset after dropping this
-    /// server to model a power loss instead of a process crash.
-    pub fn wal_power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
-        self.visitors.power_loss_point()
+    /// The power-loss recovery points of the durable visitor store:
+    /// for each engine file (WAL, page file, checkpoint manifest), the
+    /// byte count guaranteed on stable storage (empty when volatile).
+    /// The simulator truncates each file to its offset after dropping
+    /// this server to model a power loss instead of a process crash.
+    pub fn wal_power_loss_points(&self) -> Vec<(std::path::PathBuf, u64)> {
+        self.visitors.power_loss_points()
     }
 }

@@ -113,8 +113,11 @@ impl ReplicaDb {
     ///
     /// Returns an error when the store cannot be opened or is corrupt.
     pub fn durable(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StorageError> {
-        let map = DurableMap::open(dir, policy)?;
-        let mem = map.iter().map(|(k, v)| (ObjectId(k), *v)).collect();
+        let mut map = DurableMap::open(dir, policy)?;
+        let mut mem = BTreeMap::new();
+        map.for_each(|k, v| {
+            mem.insert(ObjectId(k), *v);
+        })?;
         Ok(ReplicaDb { mem, durable: Some(map) })
     }
 
@@ -200,10 +203,10 @@ impl ReplicaDb {
         n
     }
 
-    /// The power-loss recovery point of the durable backing (`None`
+    /// The power-loss recovery points of the durable backing (empty
     /// when volatile).
-    pub fn power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
-        self.durable.as_ref().map(DurableMap::power_loss_point)
+    pub fn power_loss_points(&self) -> Vec<(std::path::PathBuf, u64)> {
+        self.durable.as_ref().map(DurableMap::power_loss_points).unwrap_or_default()
     }
 
     /// Compacts the durable backing (no-op when volatile).

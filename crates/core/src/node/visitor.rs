@@ -122,8 +122,11 @@ impl VisitorDb {
     ///
     /// Returns an error when the store cannot be opened or is corrupt.
     pub fn durable(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StorageError> {
-        let map = DurableMap::open(dir, policy)?;
-        let mem = map.iter().map(|(k, v)| (ObjectId(k), *v)).collect();
+        let mut map = DurableMap::open(dir, policy)?;
+        let mut mem = BTreeMap::new();
+        map.for_each(|k, v| {
+            mem.insert(ObjectId(k), *v);
+        })?;
         Ok(VisitorDb { mem, durable: Some(map) })
     }
 
@@ -262,11 +265,11 @@ impl VisitorDb {
         removed
     }
 
-    /// The power-loss recovery point of the durable backing: WAL path
-    /// plus fsynced byte count (`None` when volatile). See
-    /// `DurableMap::power_loss_point`.
-    pub fn power_loss_point(&self) -> Option<(std::path::PathBuf, u64)> {
-        self.durable.as_ref().map(DurableMap::power_loss_point)
+    /// The power-loss recovery points of the durable backing: for each
+    /// engine file, the byte count guaranteed on stable storage (empty
+    /// when volatile). See `DurableMap::power_loss_points`.
+    pub fn power_loss_points(&self) -> Vec<(std::path::PathBuf, u64)> {
+        self.durable.as_ref().map(DurableMap::power_loss_points).unwrap_or_default()
     }
 
     /// Removes the record unconditionally.

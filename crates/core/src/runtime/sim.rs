@@ -231,49 +231,71 @@ impl SimDeployment {
     }
 
     /// [`SimDeployment::crash_server`] with an explicit [`CrashMode`]:
-    /// `PowerLoss` additionally truncates the server's visitor WAL
+    /// `PowerLoss` additionally truncates every file of the server's
+    /// storage engine (visitor WAL, page file and checkpoint manifest)
     /// back to its last fsynced byte, modeling the page cache dying
     /// with the machine (with `SyncPolicy::Always` outside a group
     /// commit nothing acknowledged is ever un-synced, so power loss
-    /// and process crash then coincide).
+    /// and process crash then coincide). Because the checkpoint commit
+    /// fsyncs pages before renaming the manifest and only then resets
+    /// the WAL, a power loss landing *between* those steps leaves a
+    /// stale-generation WAL next to a newer manifest — a state
+    /// recovery must (and does) arbitrate, covered by the fuzzer's
+    /// checkpoint/power-loss pairing.
     ///
     /// # Panics
     ///
     /// Panics when the server is already down.
     pub fn crash_server_with(&mut self, id: ServerId, mode: CrashMode) {
         assert!(!self.down[id.0 as usize], "server {} is already down", id.0);
-        let loss_point = match mode {
-            CrashMode::Process => None,
-            CrashMode::PowerLoss => self.servers[id.0 as usize].wal_power_loss_point(),
-        };
-        // The replica sibling copies live in their own WAL
-        // (`server-N/replica/`): power loss tears both logs
+        // The replica sibling copies live in their own engine directory
+        // (`server-N/replica/`): power loss tears both stores
         // independently — a torn replica tail must not take the
         // visitor log with it, and vice versa.
-        let replica_loss_point = match mode {
-            CrashMode::Process => None,
-            CrashMode::PowerLoss => self.servers[id.0 as usize].replica_power_loss_point(),
+        let loss_points = match mode {
+            CrashMode::Process => Vec::new(),
+            CrashMode::PowerLoss => {
+                let server = &self.servers[id.0 as usize];
+                let mut points = server.wal_power_loss_points();
+                points.extend(server.replica_power_loss_points());
+                points
+            }
         };
         // Replace the instance with a volatile placeholder immediately:
         // this releases the durable store's file handles at the crash
-        // instant, so the restart reopens the WAL exclusively.
+        // instant, so the restart reopens the engine exclusively.
         let cfg = self.hierarchy.server(id).clone();
         let mut volatile = self.opts.clone();
         volatile.durability = None;
         self.servers[id.0 as usize] =
             LocationServer::new(cfg, volatile).expect("volatile placeholder construction");
-        for (wal_path, synced) in loss_point.into_iter().chain(replica_loss_point) {
+        for (path, synced) in loss_points {
             // The drop above flushed user-space buffers into the page
             // cache; losing power discards everything past the last
             // fsync, which truncation models exactly.
             let f = std::fs::OpenOptions::new()
                 .write(true)
-                .open(&wal_path)
-                .expect("power-loss truncation: WAL must exist");
+                .open(&path)
+                .expect("power-loss truncation: engine file must exist");
             f.set_len(synced).expect("power-loss truncation");
         }
         self.down[id.0 as usize] = true;
         self.net.discard_where(|env| env.to == Endpoint::Server(id));
+    }
+
+    /// Takes a storage-engine checkpoint on a running server: hot
+    /// visitor/replica entries flush to the page file, the manifest
+    /// commits, and the WAL truncates behind it. A no-op for volatile
+    /// deployments. Pairing this with a [`CrashMode::PowerLoss`] crash
+    /// in the same instant is how scenarios (and the fuzzer) land
+    /// power losses across the checkpoint commit boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server is down or the checkpoint write fails.
+    pub fn checkpoint_server(&mut self, id: ServerId) {
+        assert!(!self.down[id.0 as usize], "server {} is down", id.0);
+        self.servers[id.0 as usize].compact().expect("checkpoint failed");
     }
 
     /// Whether a server is currently crashed.

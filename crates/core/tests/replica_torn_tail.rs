@@ -46,17 +46,19 @@ fn replica_wal_recovers_whole_batch_prefix_at_every_byte_offset() {
         db.apply_batch(vec![(ObjectId(3), v3)], &[(ObjectId(1), v1.epoch)]);
         db.apply_batch(Vec::new(), &[(ObjectId(2), v2.epoch)]);
     }
-    // Batch-record end offsets, derived from the golden log: each
-    // replayed payload cost `8 (len + crc header) + payload` bytes.
+    // Batch-record end offsets, derived from the golden log: records
+    // start after the 16-byte file header, and each replayed payload
+    // cost `8 (len + crc header) + payload` bytes.
     let wal_src = golden.join("wal.log");
     let ends: Vec<usize> = {
         let probe = dir.path().join("probe.log");
         std::fs::copy(&wal_src, &probe).unwrap();
-        let (_, payloads) = Wal::open(&probe).unwrap();
+        let (_, replay) = Wal::open(&probe).unwrap();
+        let payloads = replay.collect_records().unwrap();
         assert_eq!(payloads.len(), 3, "three batches → three WAL records");
         payloads
             .iter()
-            .scan(0usize, |acc, p| {
+            .scan(16usize, |acc, p| {
                 *acc += 8 + p.len();
                 Some(*acc)
             })

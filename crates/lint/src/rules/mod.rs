@@ -4,6 +4,7 @@ use crate::diag::Diagnostic;
 use crate::source::{AnalyzedWorkspace, LexedFile};
 
 mod determinism;
+mod durability;
 mod hlc;
 mod hotpath;
 mod manifest;
@@ -11,6 +12,7 @@ mod wallclock;
 mod wire;
 
 pub use determinism::Determinism;
+pub use durability::Durability;
 pub use hlc::HlcOrder;
 pub use hotpath::HotPath;
 pub use manifest::Manifest;
@@ -44,6 +46,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(Determinism),
         Box::new(WallClock),
+        Box::new(Durability),
         Box::new(HotPath),
         Box::new(Manifest),
         Box::new(WireCoverage),

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/node/fixture.rs
+//@ expect: durability 4
+//@ expect: durability 9
+use std::fs::File;
+
+fn persist(f: &File) -> std::io::Result<()> {
+    f.sync_all()
+}
+
+fn persist_contents(path: &std::path::Path) -> std::io::Result<()> {
+    let f = File::open(path)?;
+    f.sync_data()
+}

@@ -1,0 +1,7 @@
+//@ path: crates/storage/src/fixture.rs
+use std::fs::File;
+
+pub fn commit(f: &File) -> std::io::Result<()> {
+    f.sync_data()?;
+    f.sync_all()
+}

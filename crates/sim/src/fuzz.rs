@@ -271,6 +271,13 @@ impl TimelineModel {
                 self.down.remove(&id.0);
                 true
             }
+            FaultAction::Checkpoint(id) => {
+                // Legal on any live server; leaves the timeline state
+                // untouched (a checkpoint changes only on-disk layout).
+                self.in_range(*id)
+                    && (!self.h.is_retired(*id) || self.is_standby_slot(*id))
+                    && !self.down.contains(&id.0)
+            }
             FaultAction::Spawn { split } => {
                 if !self.in_range(*split) || self.h.len() >= MAX_SERVERS {
                     return false;
@@ -433,7 +440,7 @@ pub fn generate_with(seed: u64, caches: CacheMode, replication: bool) -> FuzzSpe
         // land on the very last step (late reshapes are exactly where
         // stale §6.5 cache entries survive into the verdict).
         let crash_ok = step + 2 < steps;
-        let crashable: Vec<u32> = if crash_ok {
+        let live: Vec<u32> = {
             let mut ids: Vec<u32> = model
                 .h
                 .active()
@@ -445,9 +452,8 @@ pub fn generate_with(seed: u64, caches: CacheMode, replication: bool) -> FuzzSpe
             ids.extend(model.live_standbys());
             ids.sort_unstable();
             ids
-        } else {
-            Vec::new()
         };
+        let crashable: Vec<u32> = if crash_ok { live.clone() } else { Vec::new() };
         let splittable: Vec<u32> = if model.h.len() < MAX_SERVERS {
             model
                 .h
@@ -465,12 +471,15 @@ pub fn generate_with(seed: u64, caches: CacheMode, replication: bool) -> FuzzSpe
             .map(|c| c.id.0)
             .filter(|&id| model.h.clone().retire_leaf(ServerId(id)).is_ok())
             .collect();
-        // (kind, weight): 0 = crash, 1 = power loss, 2 = spawn, 3 = retire
+        // (kind, weight): 0 = crash, 1 = power loss, 2 = spawn,
+        // 3 = retire, 4 = checkpoint (often paired with an immediate
+        // power loss — the across-the-commit-boundary draw)
         let weights = [
             if crashable.is_empty() { 0 } else { 3 },
             if crashable.is_empty() { 0 } else { 1 },
             if splittable.is_empty() { 0 } else { 2 },
             if retirable.is_empty() { 0 } else { 2 },
+            if live.is_empty() { 0 } else { 2 },
         ];
         if weights.iter().all(|&w| w == 0) {
             continue;
@@ -522,11 +531,37 @@ pub fn generate_with(seed: u64, caches: CacheMode, replication: bool) -> FuzzSpe
                     events.push(ScenarioEvent { at_step: step, action });
                 }
             }
-            _ => {
+            3 => {
                 let id = ServerId(*g.pick(&retirable));
                 let action = FaultAction::Retire(id);
                 if model.try_apply(&action) {
                     events.push(ScenarioEvent { at_step: step, action });
+                }
+            }
+            _ => {
+                // A storage checkpoint — and, half the time, a power
+                // loss on the same server in the same step, so the loss
+                // lands right across the checkpoint commit boundary
+                // (manifest committed, WAL truncation maybe lost): the
+                // recovery-generation-arbitration case.
+                let id = ServerId(*g.pick(&live));
+                let action = FaultAction::Checkpoint(id);
+                if model.try_apply(&action) {
+                    events.push(ScenarioEvent { at_step: step, action });
+                    if crash_ok && g.chance(0.5) {
+                        let loss = FaultAction::PowerLoss(id);
+                        if model.try_apply(&loss) {
+                            events.push(ScenarioEvent { at_step: step, action: loss });
+                            let at = (step + g.random_range(1..=4u32)).min(steps - 1);
+                            let promote_p = if replication { 0.85 } else { 0.5 };
+                            let follow_up = if id == model.h.root() && g.chance(promote_p) {
+                                FaultAction::PromoteStandby
+                            } else {
+                                FaultAction::Restart(id)
+                            };
+                            scheduled.entry(at).or_default().push(follow_up);
+                        }
+                    }
                 }
             }
         }
@@ -790,6 +825,7 @@ fn fmt_action(a: &FaultAction) -> String {
         FaultAction::Restart(id) => format!("restart:{}", id.0),
         FaultAction::Spawn { split } => format!("spawn:{}", split.0),
         FaultAction::Retire(id) => format!("retire:{}", id.0),
+        FaultAction::Checkpoint(id) => format!("checkpoint:{}", id.0),
         FaultAction::PromoteStandby => "promote".to_string(),
         FaultAction::HealNetwork => "heal".to_string(),
     }
@@ -810,6 +846,7 @@ fn parse_action(s: &str) -> Result<FaultAction, String> {
         "restart" => Ok(FaultAction::Restart(id(arg)?)),
         "spawn" => Ok(FaultAction::Spawn { split: id(arg)? }),
         "retire" => Ok(FaultAction::Retire(id(arg)?)),
+        "checkpoint" => Ok(FaultAction::Checkpoint(id(arg)?)),
         "promote" => Ok(FaultAction::PromoteStandby),
         "heal" => Ok(FaultAction::HealNetwork),
         _ => Err(format!("unknown timeline verb '{verb}'")),
@@ -1021,6 +1058,13 @@ pub struct BatchStats {
     pub promotions: u32,
     /// Scenarios that crashed at least one server.
     pub crashes: u32,
+    /// Scenarios that checkpointed a durable server mid-run.
+    pub checkpoints: u32,
+    /// Scenarios where a checkpoint was immediately followed by a
+    /// same-step power loss on the same server — the loss lands right
+    /// across the checkpoint commit boundary, exercising recovery
+    /// generation arbitration.
+    pub checkpoint_cuts: u32,
     /// §6.5 cache answers served across the batch.
     pub cache_answers: u64,
     /// Bulk state transfers completed across the batch.
@@ -1094,6 +1138,18 @@ pub fn fuzz_batch_with(
                     .any(|e| matches!(e.action, FaultAction::Crash(_) | FaultAction::PowerLoss(_)))
                 {
                     stats.crashes += 1;
+                }
+                if spec.events.iter().any(|e| matches!(e.action, FaultAction::Checkpoint(_))) {
+                    stats.checkpoints += 1;
+                }
+                if spec.events.windows(2).any(|w| {
+                    matches!(
+                        (&w[0].action, &w[1].action),
+                        (FaultAction::Checkpoint(a), FaultAction::PowerLoss(b))
+                            if a == b && w[0].at_step == w[1].at_step
+                    )
+                }) {
+                    stats.checkpoint_cuts += 1;
                 }
                 stats.cache_answers += run.stats.cache_answers;
                 stats.transfers_completed += run.stats.transfers_completed;

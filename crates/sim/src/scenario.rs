@@ -83,6 +83,14 @@ pub enum FaultAction {
     /// The harness verifies the recovered visitor records against the
     /// crash-instant snapshot.
     Restart(ServerId),
+    /// Checkpoint a running server's storage engine: flush hot entries
+    /// to the page file, commit the manifest, truncate the WAL. A
+    /// no-op for volatile deployments. Scheduling a
+    /// [`FaultAction::PowerLoss`] for the same server in the same step
+    /// lands the loss right at the checkpoint commit boundary — the
+    /// recovery-arbitration case the generation-stamped WAL exists
+    /// for.
+    Checkpoint(ServerId),
     /// Replace the fault plan with [`FaultPlan::none`] ahead of
     /// schedule.
     HealNetwork,
@@ -704,6 +712,15 @@ impl ScenarioSpec {
                         );
                     }
                 }
+            }
+            FaultAction::Checkpoint(id) => {
+                ls.checkpoint_server(id);
+                trace.push(format!(
+                    "event@{}: checkpoint at server {} (t={}us)",
+                    ev.at_step,
+                    id.0,
+                    ls.now_us()
+                ));
             }
             FaultAction::HealNetwork => {
                 ls.set_faults(FaultPlan::none());

@@ -26,6 +26,11 @@ fn fuzz_batch_caches_off_is_oracle_green() {
     assert!(stats.reshapes > 0, "no scenario reshaped the tree: {stats:?}");
     assert!(stats.crashes > 0, "no scenario crashed a server: {stats:?}");
     assert!(stats.transfers_completed > 0, "no bulk transfer ran: {stats:?}");
+    assert!(stats.checkpoints > 0, "no scenario checkpointed a server: {stats:?}");
+    assert!(
+        stats.checkpoint_cuts > 0,
+        "no power loss landed across a checkpoint boundary: {stats:?}"
+    );
     assert_eq!(stats.cache_answers, 0, "caches off must serve nothing");
 }
 
@@ -67,6 +72,26 @@ fn generated_timelines_are_valid_and_round_trip_through_the_dsl() {
     }
 }
 
+/// A hand-written checkpoint-boundary cut: the leaf checkpoints, then
+/// loses power in the same step — the manifest may be committed while
+/// the WAL truncation is lost, so recovery must arbitrate the storage
+/// generations instead of replaying a stale log over the snapshot.
+/// The fuzzer draws this pairing itself (see the gate assertions
+/// above); this pins one exact instance deterministically.
+#[test]
+fn power_loss_across_a_checkpoint_boundary_recovers_cleanly() {
+    let spec = parse_dsl(
+        "seed=7 levels=1 fanout=2 objects=8 steps=10 queries=1 caches=off \
+         ev=3:checkpoint:1 ev=3:powerloss:1 ev=6:restart:1 ev=7:checkpoint:2 \
+         ev=7:powerloss:2 ev=9:restart:2",
+    )
+    .unwrap();
+    assert!(spec.valid(), "checkpoint+powerloss timeline must be constructible");
+    let run = hiloc_sim::fuzz::run_captured(&spec)
+        .unwrap_or_else(|report| panic!("checkpoint-boundary cut went red:\n{report}"));
+    assert!(run.alive > 0, "no object survived the run");
+}
+
 #[test]
 fn dsl_rejects_malformed_input() {
     assert!(parse_dsl("seed=notanumber").is_err());
@@ -94,6 +119,13 @@ fn invalid_timelines_are_rejected_by_the_model() {
     // Retire of a crashed (draining-impossible) server.
     let s = parse_dsl(
         "seed=1 levels=1 fanout=2 objects=4 steps=8 ev=2:crash:1 ev=3:retire:1 ev=5:restart:1",
+    )
+    .unwrap();
+    assert!(!s.valid());
+    // Checkpoint of a crashed server: nothing to flush until restart.
+    let s = parse_dsl(
+        "seed=1 levels=1 fanout=2 objects=4 steps=8 ev=2:crash:1 ev=3:checkpoint:1 \
+         ev=5:restart:1",
     )
     .unwrap();
     assert!(!s.valid());

@@ -1,0 +1,292 @@
+//! The checkpoint manifest: the durable root of the paged engine.
+//!
+//! A manifest is one self-contained, CRC-sealed file
+//! (`checkpoint.bin`) recording, for checkpoint generation *g*:
+//!
+//! * every live key with the [`PageAddr`] and payload CRC of its
+//!   record in `pages.bin`,
+//! * the page allocator's state (page count, free list, pack tail),
+//! * the tombstone tracker's per-page dead-byte counts.
+//!
+//! Commit protocol: page writes are fsynced first, then the manifest
+//! is written to `checkpoint.tmp`, fsynced, renamed over
+//! `checkpoint.bin`, and the directory is fsynced — the rename is the
+//! atomic commit point. The WAL is only then reset and stamped with
+//! generation *g*, so recovery can arbitrate (see
+//! `DurableMap::open`): a WAL still carrying generation *g − 1* lost
+//! power between the two steps, and every one of its records is
+//! already covered by the manifest.
+//!
+//! A torn or bit-flipped manifest is **an error, not a repair**: the
+//! WAL prefix it replaced is gone, so there is nothing to fall back
+//! to. (A leftover `checkpoint.tmp` — a checkpoint that never reached
+//! its commit point — is deleted silently; the previous manifest is
+//! still the truth.)
+
+use crate::page::PageAddr;
+use crate::{crc32, StorageError};
+use hiloc_util::buf::{Buf, BufMut};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic ("HCK1").
+const MANIFEST_MAGIC: u32 = 0x4843_4B31;
+/// Committed manifest file name.
+pub const MANIFEST_FILE: &str = "checkpoint.bin";
+/// Staging name; never read, deleted on open.
+const MANIFEST_TMP: &str = "checkpoint.tmp";
+/// Bytes per index entry: key + page + offset + len + crc.
+const ENTRY_BYTES: usize = 8 + 4 + 2 + 4 + 4;
+
+/// In-memory image of one checkpoint manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint generation (monotonic, matches the WAL header).
+    pub generation: u64,
+    /// Live keys with their page addresses and payload CRCs, in
+    /// ascending key order.
+    pub entries: Vec<(u64, PageAddr, u32)>,
+    /// Pages the page file holds.
+    pub num_pages: u32,
+    /// Wholly free pages.
+    pub free: BTreeSet<u32>,
+    /// The pack page and its fill offset, when one is open.
+    pub tail: Option<(u32, u32)>,
+    /// Tombstoned bytes per page.
+    pub dead: BTreeMap<u32, u32>,
+}
+
+fn encode(m: &Manifest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + m.entries.len() * ENTRY_BYTES);
+    out.put_u32_le(MANIFEST_MAGIC);
+    out.put_u64_le(m.generation);
+    out.put_u32_le(m.num_pages);
+    out.put_u64_le(m.entries.len() as u64);
+    for (key, addr, crc) in &m.entries {
+        out.put_u64_le(*key);
+        out.put_u32_le(addr.page);
+        out.put_u16_le(addr.offset);
+        out.put_u32_le(addr.len);
+        out.put_u32_le(*crc);
+    }
+    out.put_u32_le(m.free.len() as u32);
+    for &page in &m.free {
+        out.put_u32_le(page);
+    }
+    match m.tail {
+        Some((page, fill)) => {
+            out.put_u8(1);
+            out.put_u32_le(page);
+            out.put_u32_le(fill);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u32_le(m.dead.len() as u32);
+    for (&page, &bytes) in &m.dead {
+        out.put_u32_le(page);
+        out.put_u32_le(bytes);
+    }
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out
+}
+
+fn decode(raw: &[u8]) -> Result<Manifest, StorageError> {
+    let corrupt = |reason| StorageError::Corrupt { offset: 0, reason };
+    if raw.len() < 4 + 8 + 4 + 8 + 4 {
+        return Err(corrupt("manifest too short"));
+    }
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(corrupt("manifest checksum mismatch"));
+    }
+    let mut buf = body;
+    if buf.get_u32_le() != MANIFEST_MAGIC {
+        return Err(corrupt("bad manifest magic"));
+    }
+    let generation = buf.get_u64_le();
+    let num_pages = buf.get_u32_le();
+    let entry_count = buf.get_u64_le();
+    if (entry_count as usize).checked_mul(ENTRY_BYTES).is_none_or(|n| n > buf.remaining()) {
+        return Err(corrupt("manifest entry count exceeds file size"));
+    }
+    let mut entries = Vec::with_capacity(entry_count as usize);
+    for _ in 0..entry_count {
+        let key = buf.get_u64_le();
+        let page = buf.get_u32_le();
+        let offset = buf.get_u16_le();
+        let len = buf.get_u32_le();
+        let crc = buf.get_u32_le();
+        entries.push((key, PageAddr { page, offset, len }, crc));
+    }
+    if buf.remaining() < 4 {
+        return Err(corrupt("manifest free list truncated"));
+    }
+    let free_count = buf.get_u32_le();
+    if (free_count as usize).checked_mul(4).is_none_or(|n| n > buf.remaining()) {
+        return Err(corrupt("manifest free list truncated"));
+    }
+    let mut free = BTreeSet::new();
+    for _ in 0..free_count {
+        free.insert(buf.get_u32_le());
+    }
+    if buf.remaining() < 1 {
+        return Err(corrupt("manifest tail truncated"));
+    }
+    let tail = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("manifest tail truncated"));
+            }
+            Some((buf.get_u32_le(), buf.get_u32_le()))
+        }
+        _ => return Err(corrupt("bad manifest tail flag")),
+    };
+    if buf.remaining() < 4 {
+        return Err(corrupt("manifest dead map truncated"));
+    }
+    let dead_count = buf.get_u32_le();
+    if (dead_count as usize).checked_mul(8).is_none_or(|n| n > buf.remaining()) {
+        return Err(corrupt("manifest dead map truncated"));
+    }
+    let mut dead = BTreeMap::new();
+    for _ in 0..dead_count {
+        let page = buf.get_u32_le();
+        let bytes = buf.get_u32_le();
+        dead.insert(page, bytes);
+    }
+    if buf.remaining() != 0 {
+        return Err(corrupt("manifest trailing bytes"));
+    }
+    Ok(Manifest { generation, entries, num_pages, free, tail, dead })
+}
+
+/// Loads the committed manifest, or `None` when no checkpoint was
+/// ever taken. A leftover staging file is removed.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Corrupt`] when the manifest fails its
+/// checksum or structure checks — the pre-checkpoint WAL is gone, so
+/// a damaged manifest is unrecoverable data loss, never silently an
+/// empty database.
+pub fn load(dir: &Path) -> Result<Option<Manifest>, StorageError> {
+    let _ = fs::remove_file(dir.join(MANIFEST_TMP));
+    let path = dir.join(MANIFEST_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let raw = fs::read(&path)?;
+    decode(&raw).map(Some)
+}
+
+/// Writes and commits a manifest: staging file, fsync, rename,
+/// directory fsync.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure; the previous manifest stays
+/// committed in that case.
+pub fn write(dir: &Path, m: &Manifest) -> Result<(), StorageError> {
+    let tmp = dir.join(MANIFEST_TMP);
+    let dst = dir.join(MANIFEST_FILE);
+    let encoded = encode(m);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&encoded)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &dst)?;
+    // The rename itself must survive power loss: fsync the directory.
+    fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::tests::TempDir;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 9,
+            entries: vec![
+                (1, PageAddr { page: 0, offset: 0, len: 40 }, 0xDEAD),
+                (7, PageAddr { page: 0, offset: 40, len: 3 }, 0xBEEF),
+                (9, PageAddr { page: 2, offset: 0, len: 9000 }, 0xF00D),
+            ],
+            num_pages: 5,
+            free: [1].into_iter().collect(),
+            tail: Some((4, 43)),
+            dead: [(0, 12)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let dir = TempDir::new("ckpt-rt");
+        assert!(load(dir.path()).unwrap().is_none(), "no checkpoint yet");
+        write(dir.path(), &sample()).unwrap();
+        assert_eq!(load(dir.path()).unwrap().unwrap(), sample());
+    }
+
+    #[test]
+    fn empty_manifest_round_trips() {
+        let dir = TempDir::new("ckpt-empty");
+        let m = Manifest {
+            generation: 1,
+            entries: Vec::new(),
+            num_pages: 0,
+            free: BTreeSet::new(),
+            tail: None,
+            dead: BTreeMap::new(),
+        };
+        write(dir.path(), &m).unwrap();
+        assert_eq!(load(dir.path()).unwrap().unwrap(), m);
+    }
+
+    #[test]
+    fn stale_staging_file_is_removed_and_ignored() {
+        let dir = TempDir::new("ckpt-tmp");
+        write(dir.path(), &sample()).unwrap();
+        fs::write(dir.path().join(MANIFEST_TMP), b"half a newer checkpoint").unwrap();
+        assert_eq!(load(dir.path()).unwrap().unwrap(), sample());
+        assert!(!dir.path().join(MANIFEST_TMP).exists());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_an_error_never_a_partial_load() {
+        let dir = TempDir::new("ckpt-torn");
+        write(dir.path(), &sample()).unwrap();
+        let full = fs::read(dir.path().join(MANIFEST_FILE)).unwrap();
+        for cut in 0..full.len() {
+            fs::write(dir.path().join(MANIFEST_FILE), &full[..cut]).unwrap();
+            match load(dir.path()) {
+                Err(StorageError::Corrupt { .. }) => {}
+                other => panic!("cut at byte {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        fs::write(dir.path().join(MANIFEST_FILE), &full).unwrap();
+        assert_eq!(load(dir.path()).unwrap().unwrap(), sample(), "untruncated file loads");
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let dir = TempDir::new("ckpt-flip");
+        write(dir.path(), &sample()).unwrap();
+        let full = fs::read(dir.path().join(MANIFEST_FILE)).unwrap();
+        for pos in 0..full.len() {
+            let mut bad = full.clone();
+            bad[pos] ^= 0x40;
+            fs::write(dir.path().join(MANIFEST_FILE), &bad).unwrap();
+            assert!(
+                matches!(load(dir.path()), Err(StorageError::Corrupt { .. })),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+}

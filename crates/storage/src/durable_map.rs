@@ -1,14 +1,37 @@
-//! Durable key→value map: write-ahead log + snapshot.
+//! Durable key→value map: write-ahead log + checkpointed page store.
 //!
 //! This is the embedded substitute for the paper's DB2-backed visitor
 //! database: every mutation is logged before it is acknowledged, and a
-//! background-compactable snapshot bounds recovery time.
+//! checkpoint bounds both recovery time and disk usage.
+//!
+//! # Engine layout
+//!
+//! Three files per map directory:
+//!
+//! * `wal.log` — the write-ahead log (see `wal.rs`). Holds only the
+//!   mutations since the last checkpoint; truncated at every
+//!   checkpoint and stamped with the checkpoint's generation.
+//! * `pages.bin` — fixed-size pages holding the checkpointed ("cold")
+//!   records (see `page.rs`), with a free-list allocator and tombstoned
+//!   dead space reclaimed by compaction (see `tombstone.rs`).
+//! * `checkpoint.bin` — the CRC-sealed manifest: the key→page index,
+//!   the allocator state and the dead-space counts (see
+//!   `checkpoint.rs`).
+//!
+//! In memory the map keeps one [`Slot`] per key: **hot** entries
+//! (mutated since the last checkpoint) hold their value; **cold**
+//! entries hold only a page address, their bytes living on disk and
+//! read back through a small page cache. Recovery is *load the
+//! manifest index + replay the WAL suffix* — its cost follows the live
+//! state and the suffix length, never the total history.
 
-use crate::{StorageError, Wal};
+use crate::checkpoint::{self, Manifest};
+use crate::page::{PageAddr, PageStore};
+use crate::tombstone::DeadSpace;
+use crate::{crc32, StorageError, Wal};
 use hiloc_util::buf::{Buf, BufMut};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// How aggressively the map makes writes durable.
@@ -18,10 +41,10 @@ pub enum SyncPolicy {
     /// "persistent registration information" contract.
     #[default]
     Always,
-    /// Flush to the OS after every mutation, fsync only on snapshot and
-    /// close. Survives process crashes but not power loss.
+    /// Flush to the OS after every mutation, fsync only on checkpoint
+    /// and close. Survives process crashes but not power loss.
     OsFlush,
-    /// Buffer writes; flush on snapshot/close only. For benchmarks.
+    /// Buffer writes; flush on checkpoint/close only. For benchmarks.
     Buffered,
 }
 
@@ -47,8 +70,11 @@ const OP_DEL: u8 = 2;
 /// A multi-mutation record: applied all-or-nothing on replay (a torn
 /// tail drops the whole record, never a prefix of its mutations).
 const OP_BATCH: u8 = 3;
-/// Snapshot file magic + version.
-const SNAPSHOT_MAGIC: u32 = 0x4C53_5631; // "LSV1"
+
+/// WAL bytes that trigger an automatic checkpoint (unless overridden
+/// via [`DurableMap::set_auto_checkpoint`]): the log stays bounded
+/// over weeks of uptime without any caller-side compaction schedule.
+pub const DEFAULT_AUTO_CHECKPOINT_BYTES: u64 = 8 * 1024 * 1024;
 
 /// One mutation of an atomic batch (see [`DurableMap::apply_batch`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -64,22 +90,38 @@ pub enum BatchOp<V> {
 pub struct DurableMapStats {
     /// Mutations applied since open.
     pub mutations: u64,
-    /// Records replayed from the WAL at open.
+    /// Records replayed from the WAL at open (the suffix since the
+    /// last checkpoint — never the whole history).
     pub replayed: u64,
-    /// Entries loaded from the snapshot at open.
+    /// Entries indexed from the checkpoint manifest at open.
     pub snapshot_loaded: u64,
-    /// Snapshots written since open.
+    /// Checkpoints written since open (explicit and automatic).
     pub snapshots_written: u64,
+    /// Cold records read back from the page file since open.
+    pub cold_reads: u64,
 }
 
-/// A crash-safe `u64 → V` map backed by a WAL and periodic snapshots.
+/// One key's state: mutated since the last checkpoint (value in
+/// memory) or checkpointed (value on a page, CRC-sealed).
+#[derive(Debug, Clone)]
+enum Slot<V> {
+    Hot(V),
+    Cold(PageAddr, u32),
+}
+
+/// A crash-safe `u64 → V` map backed by a WAL, a paged cold store and
+/// checkpoint manifests.
 ///
 /// * `insert`/`remove` append to the WAL (durability per
-///   [`SyncPolicy`]) and update the in-memory image.
-/// * [`DurableMap::compact`] atomically writes a snapshot (`tmp` +
-///   rename) and resets the WAL.
-/// * [`DurableMap::open`] loads the snapshot, replays the WAL and
-///   repairs a torn tail.
+///   [`SyncPolicy`]) and update the in-memory index.
+/// * [`DurableMap::compact`] takes a checkpoint: hot entries are
+///   flushed to pages, condemned pages are rewritten, the manifest is
+///   committed atomically (`tmp` + fsync + rename + dir fsync) and the
+///   WAL truncates behind it. Runs automatically once the WAL passes
+///   the auto-checkpoint threshold.
+/// * [`DurableMap::open`] loads the manifest index, arbitrates the
+///   WAL's generation against the manifest's and replays only the WAL
+///   suffix, streaming record by record.
 ///
 /// # Example
 ///
@@ -97,7 +139,16 @@ pub struct DurableMapStats {
 pub struct DurableMap<V: RecordValue> {
     dir: PathBuf,
     wal: Wal,
-    map: BTreeMap<u64, V>,
+    index: BTreeMap<u64, Slot<V>>,
+    pages: PageStore,
+    dead: DeadSpace,
+    /// Extent pages whose records died since the last checkpoint.
+    /// They are still referenced by the *durable* manifest, so they
+    /// must not be reused (or truncated) until the next checkpoint
+    /// commits a manifest that records them as free.
+    pending_free: BTreeSet<u32>,
+    /// Current checkpoint generation (0 before the first checkpoint).
+    generation: u64,
     policy: SyncPolicy,
     stats: DurableMapStats,
     /// Group-commit mode: while active, `SyncPolicy::Always` degrades
@@ -106,58 +157,105 @@ pub struct DurableMap<V: RecordValue> {
     group_commit: bool,
     /// Whether any mutation deferred a sync since the group began.
     sync_pending: bool,
+    /// Automatic checkpoint threshold on WAL record bytes, or `None`
+    /// to checkpoint only on explicit [`DurableMap::compact`] calls.
+    auto_checkpoint_bytes: Option<u64>,
 }
 
 impl<V: RecordValue> DurableMap<V> {
     /// Opens (creating if needed) a durable map stored in directory
-    /// `dir`, recovering state from `snapshot.bin` + `wal.log`.
+    /// `dir`, recovering state from `checkpoint.bin` + `pages.bin` +
+    /// `wal.log`.
+    ///
+    /// Generation arbitration: a WAL stamped with the manifest's
+    /// generation is the post-checkpoint suffix and is replayed; a WAL
+    /// one generation *behind* lost power between the manifest commit
+    /// and the WAL truncation — every record in it is already covered
+    /// by the manifest, so it is discarded, not replayed; a WAL *ahead*
+    /// of the manifest means the committed manifest was lost, which is
+    /// unrecoverable.
     ///
     /// # Errors
     ///
-    /// Returns an error on I/O failure or a corrupt snapshot. A corrupt
-    /// WAL *tail* is repaired silently (crash recovery); corrupt WAL
-    /// entries before the tail are impossible by construction.
+    /// Returns an error on I/O failure or a corrupt/lost checkpoint. A
+    /// corrupt WAL *tail* is repaired silently (crash recovery);
+    /// corrupt WAL entries before the tail are impossible by
+    /// construction.
     pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let mut stats = DurableMapStats::default();
 
-        let mut map = BTreeMap::new();
-        let snap_path = dir.join("snapshot.bin");
-        if snap_path.exists() {
-            let raw = fs::read(&snap_path)?;
-            map = decode_snapshot::<V>(&raw)?;
-            stats.snapshot_loaded = map.len() as u64;
-        }
+        let manifest = checkpoint::load(&dir)?;
+        let mut pages = PageStore::open(dir.join("pages.bin"))?;
+        let mut index: BTreeMap<u64, Slot<V>> = BTreeMap::new();
+        let mut dead = DeadSpace::new();
+        let generation = match manifest {
+            Some(m) => {
+                pages.restore(m.num_pages, m.free, m.tail)?;
+                dead = DeadSpace::from_pairs(m.dead);
+                stats.snapshot_loaded = m.entries.len() as u64;
+                for (key, addr, crc) in m.entries {
+                    index.insert(key, Slot::Cold(addr, crc));
+                }
+                m.generation
+            }
+            None => {
+                pages.restore(0, BTreeSet::new(), None)?;
+                0
+            }
+        };
+        // Trailing free pages can be trimmed right away: the loaded
+        // manifest is the only one that exists, and it does not
+        // reference them.
+        pages.shrink(&BTreeSet::new())?;
 
-        let (wal, replayed) = Wal::open(dir.join("wal.log"))?;
-        stats.replayed = replayed.len() as u64;
-        for rec in replayed {
-            apply_record::<V>(&mut map, &rec).ok_or(StorageError::Corrupt {
+        let (mut wal, mut replay) = Wal::open(dir.join("wal.log"))?;
+        let mut pending_free = BTreeSet::new();
+        if wal.generation() == generation {
+            while let Some(rec) = replay.next_record()? {
+                apply_record::<V>(&mut index, &mut dead, &mut pending_free, rec).ok_or(
+                    StorageError::Corrupt { offset: 0, reason: "undecodable WAL record" },
+                )?;
+                stats.replayed += 1;
+            }
+        } else if wal.generation() < generation {
+            // Power loss between the manifest commit and the WAL
+            // truncation: the stale log is fully covered by the
+            // manifest. Finish the interrupted truncation now.
+            drop(replay);
+            wal.reset(generation)?;
+        } else {
+            return Err(StorageError::Corrupt {
                 offset: 0,
-                reason: "undecodable WAL record",
-            })?;
+                reason: "WAL generation ahead of the checkpoint manifest",
+            });
         }
 
         Ok(DurableMap {
             dir,
             wal,
-            map,
+            index,
+            pages,
+            dead,
+            pending_free,
+            generation,
             policy,
             stats,
             group_commit: false,
             sync_pending: false,
+            auto_checkpoint_bytes: Some(DEFAULT_AUTO_CHECKPOINT_BYTES),
         })
     }
 
-    /// Inserts or replaces the value for `key`, returning the previous
-    /// value. The mutation is logged before the in-memory image changes.
+    /// Inserts or replaces the value for `key`. The mutation is logged
+    /// before the in-memory index changes.
     ///
     /// # Errors
     ///
-    /// Returns an error when the WAL write fails; the in-memory state is
-    /// untouched in that case.
-    pub fn insert(&mut self, key: u64, value: V) -> Result<Option<V>, StorageError> {
+    /// Returns an error when the WAL write fails; the in-memory state
+    /// is untouched in that case.
+    pub fn insert(&mut self, key: u64, value: V) -> Result<(), StorageError> {
         let mut payload = Vec::with_capacity(16);
         payload.put_u8(OP_PUT);
         payload.put_u64_le(key);
@@ -165,17 +263,20 @@ impl<V: RecordValue> DurableMap<V> {
         self.wal.append(&payload)?;
         self.apply_policy()?;
         self.stats.mutations += 1;
-        Ok(self.map.insert(key, value))
+        let old = self.index.insert(key, Slot::Hot(value));
+        self.note_dead(old);
+        self.maybe_auto_checkpoint()
     }
 
-    /// Removes `key`, returning its value when present.
+    /// Removes `key`, returning whether it was present. The old bytes
+    /// are tombstoned, to be reclaimed when their page is compacted.
     ///
     /// # Errors
     ///
     /// Returns an error when the WAL write fails.
-    pub fn remove(&mut self, key: u64) -> Result<Option<V>, StorageError> {
-        if !self.map.contains_key(&key) {
-            return Ok(None);
+    pub fn remove(&mut self, key: u64) -> Result<bool, StorageError> {
+        if !self.index.contains_key(&key) {
+            return Ok(false);
         }
         let mut payload = Vec::with_capacity(9);
         payload.put_u8(OP_DEL);
@@ -183,7 +284,10 @@ impl<V: RecordValue> DurableMap<V> {
         self.wal.append(&payload)?;
         self.apply_policy()?;
         self.stats.mutations += 1;
-        Ok(self.map.remove(&key))
+        let old = self.index.remove(&key);
+        self.note_dead(old);
+        self.maybe_auto_checkpoint()?;
+        Ok(true)
     }
 
     /// Applies several mutations **atomically**: the whole batch is one
@@ -229,14 +333,16 @@ impl<V: RecordValue> DurableMap<V> {
         for op in ops {
             match op {
                 BatchOp::Put(key, value) => {
-                    self.map.insert(key, value);
+                    let old = self.index.insert(key, Slot::Hot(value));
+                    self.note_dead(old);
                 }
                 BatchOp::Del(key) => {
-                    self.map.remove(&key);
+                    let old = self.index.remove(&key);
+                    self.note_dead(old);
                 }
             }
         }
-        Ok(())
+        self.maybe_auto_checkpoint()
     }
 
     /// Enters group-commit mode: until
@@ -259,32 +365,83 @@ impl<V: RecordValue> DurableMap<V> {
         if std::mem::take(&mut self.sync_pending) {
             self.wal.sync()?;
         }
-        Ok(())
+        self.maybe_auto_checkpoint()
     }
 
-    /// The value for `key`, when present.
-    pub fn get(&self, key: u64) -> Option<&V> {
-        self.map.get(&key)
+    /// The value for `key`, when present. Hot values are cloned from
+    /// memory; cold values are read back from the page file (through
+    /// the page cache) and checksum-verified.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a cold read fails or the stored bytes are
+    /// corrupt.
+    pub fn get(&mut self, key: u64) -> Result<Option<V>, StorageError> {
+        match self.index.get(&key) {
+            None => Ok(None),
+            Some(Slot::Hot(v)) => Ok(Some(v.clone())),
+            Some(&Slot::Cold(addr, crc)) => self.read_cold(addr, crc).map(Some),
+        }
     }
 
     /// True when `key` is present.
     pub fn contains_key(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.index.contains_key(&key)
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// True when no entries exist.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.is_empty()
     }
 
-    /// Iterates over `(key, value)` pairs in ascending key order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.map.iter().map(|(&k, v)| (k, v))
+    /// All keys in ascending order (index-only — no page reads).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Entries checkpointed to the page file (as opposed to hot ones
+    /// held in memory).
+    pub fn cold_entries(&self) -> usize {
+        self.index.values().filter(|s| matches!(s, Slot::Cold(..))).count()
+    }
+
+    /// Visits every `(key, value)` pair in ascending key order,
+    /// streaming cold records back from the page file one page at a
+    /// time — the recovery path callers use to rebuild their in-memory
+    /// tier without the map ever holding every value at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a cold read fails or stored bytes are
+    /// corrupt.
+    pub fn for_each(&mut self, mut f: impl FnMut(u64, &V)) -> Result<(), StorageError> {
+        let mut buf = Vec::new();
+        for (&key, slot) in self.index.iter() {
+            match slot {
+                Slot::Hot(v) => f(key, v),
+                Slot::Cold(addr, crc) => {
+                    self.pages.read(addr, &mut buf)?;
+                    if crc32(&buf) != *crc {
+                        return Err(StorageError::Corrupt {
+                            offset: 0,
+                            reason: "cold record checksum mismatch",
+                        });
+                    }
+                    let v = V::decode(&buf).ok_or(StorageError::Corrupt {
+                        offset: 0,
+                        reason: "undecodable cold record",
+                    })?;
+                    self.stats.cold_reads += 1;
+                    f(key, &v);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Current statistics.
@@ -292,38 +449,149 @@ impl<V: RecordValue> DurableMap<V> {
         self.stats
     }
 
-    /// Bytes currently in the WAL (drives compaction heuristics).
+    /// Record bytes currently in the WAL (drives the auto-checkpoint
+    /// heuristic; 0 right after a checkpoint).
     pub fn wal_bytes(&self) -> u64 {
-        self.wal.len_bytes()
+        self.wal.data_bytes()
     }
 
-    /// The power-loss recovery point: the WAL file path and the number
-    /// of bytes guaranteed on stable storage. A simulator models power
-    /// loss (as opposed to a process crash, which flushes buffers on
-    /// drop) by truncating the file to that offset *after* dropping
-    /// this map.
-    pub fn power_loss_point(&self) -> (PathBuf, u64) {
-        (self.wal.path().to_path_buf(), self.wal.synced_bytes())
+    /// The current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
-    /// Writes a snapshot atomically (`snapshot.tmp` → fsync → rename)
-    /// and resets the WAL.
+    /// Pages the cold store currently holds (disk usage =
+    /// `num_pages × 4096` + WAL + manifest).
+    pub fn num_pages(&self) -> u32 {
+        self.pages.num_pages()
+    }
+
+    /// Overrides the automatic checkpoint threshold (WAL record bytes;
+    /// `None` disables automatic checkpoints entirely).
+    pub fn set_auto_checkpoint(&mut self, bytes: Option<u64>) {
+        self.auto_checkpoint_bytes = bytes;
+    }
+
+    /// The power-loss recovery points: for each of the map's files,
+    /// the number of bytes guaranteed on stable storage. A simulator
+    /// models power loss (as opposed to a process crash, which flushes
+    /// buffers on drop) by truncating each file to its offset *after*
+    /// dropping this map. The WAL point moves with [`Wal::sync`]; the
+    /// page-store point moves with the checkpoint's page fsync; the
+    /// manifest is rename-committed, so its point is always its full
+    /// length.
+    pub fn power_loss_points(&self) -> Vec<(PathBuf, u64)> {
+        let mut points = vec![
+            (self.wal.path().to_path_buf(), self.wal.synced_bytes()),
+            (self.pages.path().to_path_buf(), self.pages.synced_len()),
+        ];
+        let manifest = self.dir.join(checkpoint::MANIFEST_FILE);
+        if let Ok(meta) = fs::metadata(&manifest) {
+            points.push((manifest, meta.len()));
+        }
+        points
+    }
+
+    /// Takes a checkpoint: rewrites condemned pages, flushes every hot
+    /// entry to the page file, commits a new manifest atomically and
+    /// truncates the WAL behind it. Afterwards every entry is cold and
+    /// recovery replays nothing.
     ///
     /// # Errors
     ///
-    /// Returns an error on I/O failure; the previous snapshot remains
-    /// intact in that case.
+    /// Returns an error on I/O failure; the previous checkpoint (and
+    /// the WAL) remain intact in that case.
     pub fn compact(&mut self) -> Result<(), StorageError> {
-        let tmp = self.dir.join("snapshot.tmp");
-        let dst = self.dir.join("snapshot.bin");
-        let encoded = encode_snapshot(&self.map);
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&encoded)?;
-            f.sync_data()?;
+        // 1. Condemned pages (≥ half dead): read their survivors back
+        //    so they rewrite into fresh pages and the page can be
+        //    freed.
+        let condemned = self.dead.condemned();
+        if !condemned.is_empty() {
+            // A condemned tail must stop accepting records *now*: the
+            // flush below would otherwise pack into a page this very
+            // checkpoint records as free.
+            if let Some((tail_page, _)) = self.pages.tail() {
+                if condemned.binary_search(&tail_page).is_ok() {
+                    self.pages.drop_tail();
+                }
+            }
+            self.rehome_page_records(|addr| condemned.binary_search(&addr.page).is_ok())?;
         }
-        fs::rename(&tmp, &dst)?;
-        self.wal.reset()?;
+
+        // 1b. Pull-down: when free pages sit below the highest live
+        //     pack page, trailing truncation alone can never reclaim
+        //     the gap. Re-home that one page per checkpoint — the
+        //     highest live page index decreases monotonically, so
+        //     repeated checkpoints converge on a dense file.
+        let mut pulled = None;
+        let highest_live = self
+            .index
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Cold(addr, _) if !addr.is_extent() => Some(addr.page),
+                _ => None,
+            })
+            .max();
+        if let (Some(hi), Some(&lo)) = (highest_live, self.pages.free_pages().iter().next()) {
+            if lo < hi {
+                if self.pages.tail().is_some_and(|(tail_page, _)| tail_page == hi) {
+                    self.pages.drop_tail();
+                }
+                self.rehome_page_records(|addr| addr.page == hi)?;
+                pulled = Some(hi);
+            }
+        }
+
+        // 2. Flush the hot tier: only entries mutated (or re-homed)
+        //    since the last checkpoint touch the disk — checkpoint
+        //    cost follows the delta, not the database size.
+        let mut buf = Vec::new();
+        for slot in self.index.values_mut() {
+            if let Slot::Hot(v) = slot {
+                buf.clear();
+                v.encode(&mut buf);
+                let addr = self.pages.place(buf.len() as u32, &mut self.dead);
+                self.pages.write(&addr, &buf)?;
+                *slot = Slot::Cold(addr, crc32(&buf));
+            }
+        }
+
+        // 3. Free what this checkpoint made unreferenced. These pages
+        //    are still referenced by the *old* manifest, so they were
+        //    not reused above and must not be truncated below.
+        let mut protect = std::mem::take(&mut self.pending_free);
+        protect.extend(condemned.iter().copied());
+        protect.extend(pulled);
+        for &page in &protect {
+            self.pages.free_page(page);
+        }
+        for &page in condemned.iter().chain(pulled.iter()) {
+            self.dead.clear_page(page);
+        }
+        self.pages.shrink(&protect)?;
+
+        // 4. Commit: pages first, then the manifest, then the WAL —
+        //    the ordering the generation arbitration in `open` relies
+        //    on.
+        self.pages.sync()?;
+        let manifest = Manifest {
+            generation: self.generation + 1,
+            entries: self
+                .index
+                .iter()
+                .map(|(&k, slot)| match slot {
+                    Slot::Cold(addr, crc) => (k, *addr, *crc),
+                    Slot::Hot(_) => unreachable!("hot entries were flushed above"),
+                })
+                .collect(),
+            num_pages: self.pages.num_pages(),
+            free: self.pages.free_pages().clone(),
+            tail: self.pages.tail(),
+            dead: self.dead.iter().collect(),
+        };
+        checkpoint::write(&self.dir, &manifest)?;
+        self.wal.reset(self.generation + 1)?;
+        self.generation += 1;
         self.stats.snapshots_written += 1;
         Ok(())
     }
@@ -335,6 +603,71 @@ impl<V: RecordValue> DurableMap<V> {
     /// Returns an error when syncing fails.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         self.wal.sync()
+    }
+
+    /// Reads every packed record whose address matches `doomed` back
+    /// into the hot tier, so the next flush rewrites it elsewhere and
+    /// its old page can be freed.
+    fn rehome_page_records(
+        &mut self,
+        doomed: impl Fn(&PageAddr) -> bool,
+    ) -> Result<(), StorageError> {
+        let victims: Vec<(u64, PageAddr, u32)> = self
+            .index
+            .iter()
+            .filter_map(|(&k, slot)| match slot {
+                Slot::Cold(addr, crc) if !addr.is_extent() && doomed(addr) => {
+                    Some((k, *addr, *crc))
+                }
+                _ => None,
+            })
+            .collect();
+        for (key, addr, crc) in victims {
+            let v = self.read_cold(addr, crc)?;
+            self.index.insert(key, Slot::Hot(v));
+        }
+        Ok(())
+    }
+
+    fn read_cold(&mut self, addr: PageAddr, crc: u32) -> Result<V, StorageError> {
+        let mut buf = Vec::with_capacity(addr.len as usize);
+        self.pages.read(&addr, &mut buf)?;
+        if crc32(&buf) != crc {
+            return Err(StorageError::Corrupt {
+                offset: 0,
+                reason: "cold record checksum mismatch",
+            });
+        }
+        self.stats.cold_reads += 1;
+        V::decode(&buf)
+            .ok_or(StorageError::Corrupt { offset: 0, reason: "undecodable cold record" })
+    }
+
+    /// Accounts for a replaced or removed slot: cold pack bytes are
+    /// tombstoned; cold extents queue their pages for release at the
+    /// next checkpoint commit.
+    fn note_dead(&mut self, old: Option<Slot<V>>) {
+        if let Some(Slot::Cold(addr, _)) = old {
+            if addr.is_extent() {
+                for page in addr.page..addr.page + addr.extent_pages() {
+                    self.pending_free.insert(page);
+                }
+            } else {
+                self.dead.add(addr.page, addr.len);
+            }
+        }
+    }
+
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), StorageError> {
+        if self.group_commit {
+            return Ok(());
+        }
+        if let Some(threshold) = self.auto_checkpoint_bytes {
+            if self.wal.data_bytes() >= threshold {
+                self.compact()?;
+            }
+        }
+        Ok(())
     }
 
     fn apply_policy(&mut self) -> Result<(), StorageError> {
@@ -350,7 +683,26 @@ impl<V: RecordValue> DurableMap<V> {
     }
 }
 
-fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Option<()> {
+/// Replays one WAL record into the index. Mutations mirror the live
+/// paths exactly: overwritten or deleted cold entries tombstone their
+/// bytes, dead extents queue for release.
+fn apply_record<V: RecordValue>(
+    index: &mut BTreeMap<u64, Slot<V>>,
+    dead: &mut DeadSpace,
+    pending_free: &mut BTreeSet<u32>,
+    rec: &[u8],
+) -> Option<()> {
+    let mut note_dead = |old: Option<Slot<V>>, dead: &mut DeadSpace| {
+        if let Some(Slot::Cold(addr, _)) = old {
+            if addr.is_extent() {
+                for page in addr.page..addr.page + addr.extent_pages() {
+                    pending_free.insert(page);
+                }
+            } else {
+                dead.add(addr.page, addr.len);
+            }
+        }
+    };
     let mut buf = rec;
     if buf.remaining() < 1 {
         return None;
@@ -362,7 +714,8 @@ fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Optio
             }
             let key = buf.get_u64_le();
             let value = V::decode(buf)?;
-            map.insert(key, value);
+            let old = index.insert(key, Slot::Hot(value));
+            note_dead(old, dead);
             Some(())
         }
         OP_DEL => {
@@ -370,7 +723,8 @@ fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Optio
                 return None;
             }
             let key = buf.get_u64_le();
-            map.remove(&key);
+            let old = index.remove(&key);
+            note_dead(old, dead);
             Some(())
         }
         OP_BATCH => {
@@ -378,8 +732,8 @@ fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Optio
                 return None;
             }
             let count = buf.get_u32_le();
-            // Decode the whole batch before touching the map: a record
-            // that fails half-way must not apply a prefix.
+            // Decode the whole batch before touching the index: a
+            // record that fails half-way must not apply a prefix.
             let mut staged: Vec<BatchOp<V>> = Vec::with_capacity(count as usize);
             for _ in 0..count {
                 if buf.remaining() < 9 {
@@ -407,10 +761,12 @@ fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Optio
             for op in staged {
                 match op {
                     BatchOp::Put(key, value) => {
-                        map.insert(key, value);
+                        let old = index.insert(key, Slot::Hot(value));
+                        note_dead(old, dead);
                     }
                     BatchOp::Del(key) => {
-                        map.remove(&key);
+                        let old = index.remove(&key);
+                        note_dead(old, dead);
                     }
                 }
             }
@@ -420,78 +776,18 @@ fn apply_record<V: RecordValue>(map: &mut BTreeMap<u64, V>, rec: &[u8]) -> Optio
     }
 }
 
-fn encode_snapshot<V: RecordValue>(map: &BTreeMap<u64, V>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + map.len() * 16);
-    out.put_u32_le(SNAPSHOT_MAGIC);
-    out.put_u64_le(map.len() as u64);
-    for (&k, v) in map {
-        let mut val = Vec::new();
-        v.encode(&mut val);
-        out.put_u64_le(k);
-        out.put_u32_le(val.len() as u32);
-        out.extend_from_slice(&val);
-    }
-    let crc = crate::crc32(&out);
-    out.put_u32_le(crc);
-    out
-}
-
-fn decode_snapshot<V: RecordValue>(raw: &[u8]) -> Result<BTreeMap<u64, V>, StorageError> {
-    let corrupt = |reason| StorageError::Corrupt { offset: 0, reason };
-    if raw.len() < 16 {
-        return Err(corrupt("snapshot too short"));
-    }
-    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
-    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
-    if crate::crc32(body) != stored_crc {
-        return Err(corrupt("snapshot checksum mismatch"));
-    }
-    let mut buf = body;
-    if buf.get_u32_le() != SNAPSHOT_MAGIC {
-        return Err(corrupt("bad snapshot magic"));
-    }
-    let count = buf.get_u64_le();
-    let mut map = BTreeMap::new();
-    for _ in 0..count {
-        if buf.remaining() < 12 {
-            return Err(corrupt("snapshot entry truncated"));
-        }
-        let key = buf.get_u64_le();
-        let len = buf.get_u32_le() as usize;
-        if buf.remaining() < len {
-            return Err(corrupt("snapshot value truncated"));
-        }
-        let value = V::decode(&buf[..len]).ok_or(corrupt("undecodable snapshot value"))?;
-        buf.advance(len);
-        map.insert(key, value);
-    }
-    Ok(map)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    struct TempDir(PathBuf);
-    impl TempDir {
-        fn new(tag: &str) -> Self {
-            use std::sync::atomic::{AtomicU64, Ordering};
-            static COUNTER: AtomicU64 = AtomicU64::new(0);
-            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let dir = std::env::temp_dir()
-                .join(format!("hiloc-dm-{tag}-{}-{n}", std::process::id()));
-            std::fs::create_dir_all(&dir).unwrap();
-            TempDir(dir)
-        }
-    }
-    impl Drop for TempDir {
-        fn drop(&mut self) {
-            let _ = std::fs::remove_dir_all(&self.0);
-        }
-    }
+    use crate::page::PAGE_SIZE;
+    use crate::wal::tests::TempDir;
 
     fn open(dir: &TempDir) -> DurableMap<Vec<u8>> {
-        DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap()
+        DurableMap::open(dir.path(), SyncPolicy::OsFlush).unwrap()
+    }
+
+    fn get(db: &mut DurableMap<Vec<u8>>, key: u64) -> Option<Vec<u8>> {
+        db.get(key).unwrap()
     }
 
     #[test]
@@ -499,22 +795,22 @@ mod tests {
         let dir = TempDir::new("crud");
         {
             let mut db = open(&dir);
-            assert!(db.insert(1, b"one".to_vec()).unwrap().is_none());
-            assert_eq!(db.insert(1, b"uno".to_vec()).unwrap().unwrap(), b"one");
+            db.insert(1, b"one".to_vec()).unwrap();
+            db.insert(1, b"uno".to_vec()).unwrap();
             db.insert(2, b"two".to_vec()).unwrap();
-            assert_eq!(db.remove(2).unwrap().unwrap(), b"two");
-            assert!(db.remove(99).unwrap().is_none());
+            assert!(db.remove(2).unwrap());
+            assert!(!db.remove(99).unwrap(), "removing an absent key is a no-op");
             db.sync().unwrap();
         }
-        let db = open(&dir);
+        let mut db = open(&dir);
         assert_eq!(db.len(), 1);
-        assert_eq!(db.get(1).unwrap(), b"uno");
-        assert!(db.get(2).is_none());
+        assert_eq!(get(&mut db, 1).unwrap(), b"uno");
+        assert!(get(&mut db, 2).is_none());
         assert_eq!(db.stats().replayed, 4);
     }
 
     #[test]
-    fn snapshot_plus_wal_recovery() {
+    fn checkpoint_plus_wal_suffix_recovery() {
         let dir = TempDir::new("snap");
         {
             let mut db = open(&dir);
@@ -522,17 +818,48 @@ mod tests {
                 db.insert(k, vec![k as u8; 8]).unwrap();
             }
             db.compact().unwrap();
-            // Post-snapshot mutations live only in the WAL.
+            // Post-checkpoint mutations live only in the WAL.
             db.insert(200, b"tail".to_vec()).unwrap();
             db.remove(5).unwrap();
             db.sync().unwrap();
         }
-        let db = open(&dir);
+        let mut db = open(&dir);
         assert_eq!(db.len(), 100); // 100 - 1 removed + 1 added
         assert_eq!(db.stats().snapshot_loaded, 100);
-        assert_eq!(db.stats().replayed, 2);
-        assert!(db.get(5).is_none());
-        assert_eq!(db.get(200).unwrap(), b"tail");
+        assert_eq!(db.stats().replayed, 2, "only the WAL suffix replays");
+        assert_eq!(db.cold_entries(), 99, "checkpointed entries stay cold on recovery");
+        assert!(get(&mut db, 5).is_none());
+        assert_eq!(get(&mut db, 200).unwrap(), b"tail");
+    }
+
+    #[test]
+    fn restart_after_checkpoint_replays_only_the_suffix() {
+        // The acceptance assertion: the pre-checkpoint WAL prefix is
+        // gone from disk and recovery touches only the suffix.
+        let dir = TempDir::new("suffix");
+        let wal_after_history;
+        {
+            let mut db = open(&dir);
+            for k in 0..500u64 {
+                db.insert(k, vec![0xAB; 16]).unwrap();
+            }
+            db.sync().unwrap();
+            wal_after_history = std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
+            db.compact().unwrap();
+            db.insert(1000, b"suffix-1".to_vec()).unwrap();
+            db.insert(1001, b"suffix-2".to_vec()).unwrap();
+            db.sync().unwrap();
+        }
+        let wal_now = std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
+        assert!(
+            wal_now < wal_after_history / 10,
+            "the pre-checkpoint prefix must be truncated on disk \
+             ({wal_now} bytes left of {wal_after_history})"
+        );
+        let db = open(&dir);
+        assert_eq!(db.stats().replayed, 2, "recovery replays exactly the post-checkpoint suffix");
+        assert_eq!(db.stats().snapshot_loaded, 500);
+        assert_eq!(db.len(), 502);
     }
 
     #[test]
@@ -546,6 +873,8 @@ mod tests {
         db.compact().unwrap();
         assert_eq!(db.wal_bytes(), 0);
         assert_eq!(db.len(), 50);
+        assert_eq!(db.cold_entries(), 50);
+        assert_eq!(db.generation(), 1);
     }
 
     #[test]
@@ -557,7 +886,7 @@ mod tests {
             db.insert(2, b"bbb".to_vec()).unwrap();
             db.sync().unwrap();
         }
-        let wal_path = dir.0.join("wal.log");
+        let wal_path = dir.path().join("wal.log");
         let len = std::fs::metadata(&wal_path).unwrap().len();
         let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
         f.set_len(len - 2).unwrap();
@@ -569,22 +898,70 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_is_an_error() {
+    fn corrupt_manifest_is_an_error() {
         let dir = TempDir::new("badsnap");
         {
             let mut db = open(&dir);
             db.insert(1, b"x".to_vec()).unwrap();
             db.compact().unwrap();
         }
-        let snap = dir.0.join("snapshot.bin");
+        let snap = dir.path().join("checkpoint.bin");
         let mut raw = std::fs::read(&snap).unwrap();
         let mid = raw.len() / 2;
         raw[mid] ^= 0xFF;
         std::fs::write(&snap, &raw).unwrap();
 
         let res: Result<DurableMap<Vec<u8>>, _> =
-            DurableMap::open(&dir.0, SyncPolicy::OsFlush);
+            DurableMap::open(dir.path(), SyncPolicy::OsFlush);
         assert!(matches!(res, Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn lost_manifest_behind_a_newer_wal_is_an_error() {
+        let dir = TempDir::new("lostsnap");
+        {
+            let mut db = open(&dir);
+            db.insert(1, b"x".to_vec()).unwrap();
+            db.compact().unwrap();
+            db.insert(2, b"y".to_vec()).unwrap();
+            db.sync().unwrap();
+        }
+        std::fs::remove_file(dir.path().join("checkpoint.bin")).unwrap();
+        let res: Result<DurableMap<Vec<u8>>, _> =
+            DurableMap::open(dir.path(), SyncPolicy::OsFlush);
+        assert!(
+            matches!(res, Err(StorageError::Corrupt { .. })),
+            "a WAL generation ahead of the manifest must not silently lose the checkpoint"
+        );
+    }
+
+    #[test]
+    fn stale_wal_behind_the_manifest_is_discarded_not_replayed() {
+        // Simulates a power loss between the manifest rename and the
+        // WAL truncation: the old WAL (generation g) survives next to
+        // a generation-g+1 manifest that already covers every record
+        // in it.
+        let dir = TempDir::new("stalewal");
+        let wal_path = dir.path().join("wal.log");
+        let stale_wal;
+        {
+            let mut db = open(&dir);
+            db.insert(1, b"covered".to_vec()).unwrap();
+            db.insert(2, b"also-covered".to_vec()).unwrap();
+            db.sync().unwrap();
+            stale_wal = std::fs::read(&wal_path).unwrap();
+            db.compact().unwrap();
+        }
+        // Put the pre-checkpoint WAL back: generation 0 vs manifest 1.
+        std::fs::write(&wal_path, &stale_wal).unwrap();
+        let mut db = open(&dir);
+        assert_eq!(db.stats().replayed, 0, "a stale WAL must not be replayed");
+        assert_eq!(db.len(), 2);
+        assert_eq!(get(&mut db, 1).unwrap(), b"covered");
+        assert_eq!(db.generation(), 1);
+        // And the interrupted truncation finished: the WAL is empty
+        // and restamped.
+        assert_eq!(db.wal_bytes(), 0);
     }
 
     #[test]
@@ -592,12 +969,13 @@ mod tests {
         for policy in [SyncPolicy::Always, SyncPolicy::OsFlush, SyncPolicy::Buffered] {
             let dir = TempDir::new("policy");
             {
-                let mut db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, policy).unwrap();
+                let mut db: DurableMap<Vec<u8>> =
+                    DurableMap::open(dir.path(), policy).unwrap();
                 db.insert(7, b"val".to_vec()).unwrap();
                 db.sync().unwrap();
             }
-            let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, policy).unwrap();
-            assert_eq!(db.get(7).unwrap(), b"val", "policy {policy:?}");
+            let mut db: DurableMap<Vec<u8>> = DurableMap::open(dir.path(), policy).unwrap();
+            assert_eq!(db.get(7).unwrap().unwrap(), b"val", "policy {policy:?}");
         }
     }
 
@@ -614,15 +992,15 @@ mod tests {
                 BatchOp::Put(3, b"three".to_vec()),
             ])
             .unwrap();
-            assert!(db.get(1).is_none(), "batch ops apply in order");
+            assert!(get(&mut db, 1).is_none(), "batch ops apply in order");
             assert_eq!(db.stats().mutations, 5);
             db.sync().unwrap();
         }
-        let db = open(&dir);
+        let mut db = open(&dir);
         assert_eq!(db.len(), 2);
-        assert!(db.get(1).is_none());
-        assert_eq!(db.get(2).unwrap(), b"two");
-        assert_eq!(db.get(3).unwrap(), b"three");
+        assert!(get(&mut db, 1).is_none());
+        assert_eq!(get(&mut db, 2).unwrap(), b"two");
+        assert_eq!(get(&mut db, 3).unwrap(), b"three");
     }
 
     #[test]
@@ -645,7 +1023,7 @@ mod tests {
             let mut db = open(&dir);
             db.insert(10, b"pre".to_vec()).unwrap();
             db.sync().unwrap();
-            base_len = std::fs::metadata(dir.0.join("wal.log")).unwrap().len();
+            base_len = std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
             db.apply_batch(vec![
                 BatchOp::Put(1, b"aaaa".to_vec()),
                 BatchOp::Put(2, b"bbbb".to_vec()),
@@ -654,26 +1032,26 @@ mod tests {
             .unwrap();
             db.sync().unwrap();
         }
-        let wal_path = dir.0.join("wal.log");
+        let wal_path = dir.path().join("wal.log");
         let full = std::fs::read(&wal_path).unwrap();
         for cut in base_len..full.len() as u64 {
             std::fs::write(&wal_path, &full[..cut as usize]).unwrap();
-            let db = open(&dir);
-            let batch_applied = db.get(1).is_some();
+            let mut db = open(&dir);
+            let batch_applied = get(&mut db, 1).is_some();
             if batch_applied {
-                assert_eq!(db.get(2).unwrap(), b"bbbb", "cut {cut}: partial batch visible");
-                assert!(db.get(10).is_none(), "cut {cut}: partial batch visible");
+                assert_eq!(get(&mut db, 2).unwrap(), b"bbbb", "cut {cut}: partial batch visible");
+                assert!(get(&mut db, 10).is_none(), "cut {cut}: partial batch visible");
             } else {
-                assert!(db.get(2).is_none(), "cut {cut}: partial batch visible");
-                assert_eq!(db.get(10).unwrap(), b"pre", "cut {cut}: partial batch visible");
+                assert!(get(&mut db, 2).is_none(), "cut {cut}: partial batch visible");
+                assert_eq!(get(&mut db, 10).unwrap(), b"pre", "cut {cut}: partial batch visible");
             }
         }
         // And the untruncated log replays the whole batch.
         std::fs::write(&wal_path, &full).unwrap();
-        let db = open(&dir);
-        assert_eq!(db.get(1).unwrap(), b"aaaa");
-        assert_eq!(db.get(2).unwrap(), b"bbbb");
-        assert!(db.get(10).is_none());
+        let mut db = open(&dir);
+        assert_eq!(get(&mut db, 1).unwrap(), b"aaaa");
+        assert_eq!(get(&mut db, 2).unwrap(), b"bbbb");
+        assert!(get(&mut db, 10).is_none());
     }
 
     #[test]
@@ -681,14 +1059,15 @@ mod tests {
         let dir = TempDir::new("group");
         {
             let mut db: DurableMap<Vec<u8>> =
-                DurableMap::open(&dir.0, SyncPolicy::Always).unwrap();
+                DurableMap::open(dir.path(), SyncPolicy::Always).unwrap();
             db.begin_group_commit();
             for k in 0..10u64 {
                 db.insert(k, vec![k as u8]).unwrap();
             }
             db.end_group_commit().unwrap();
         }
-        let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::Always).unwrap();
+        let db: DurableMap<Vec<u8>> =
+            DurableMap::open(dir.path(), SyncPolicy::Always).unwrap();
         assert_eq!(db.len(), 10, "grouped mutations must all be durable after end");
         // Idempotent when nothing was written.
         let mut db = db;
@@ -697,42 +1076,192 @@ mod tests {
     }
 
     #[test]
-    fn power_loss_point_separates_synced_from_buffered() {
+    fn power_loss_points_separate_synced_from_buffered() {
         let dir = TempDir::new("powerloss");
-        let point;
+        let points;
         {
             // OsFlush: mutations reach the OS but are never fsynced.
             let mut db: DurableMap<Vec<u8>> =
-                DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
+                DurableMap::open(dir.path(), SyncPolicy::OsFlush).unwrap();
             db.insert(1, b"durable".to_vec()).unwrap();
             db.sync().unwrap();
             db.insert(2, b"buffered".to_vec()).unwrap();
-            point = db.power_loss_point();
+            points = db.power_loss_points();
             // A process crash (plain drop) keeps both records…
         }
-        let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
+        let db: DurableMap<Vec<u8>> =
+            DurableMap::open(dir.path(), SyncPolicy::OsFlush).unwrap();
         assert_eq!(db.len(), 2, "a process crash flushes buffers on drop");
         drop(db);
-        // …while a power loss drops everything past the synced offset.
-        let (path, synced) = point;
-        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
-        f.set_len(synced).unwrap();
-        drop(f);
-        let db: DurableMap<Vec<u8>> = DurableMap::open(&dir.0, SyncPolicy::OsFlush).unwrap();
+        // …while a power loss drops everything past the synced offsets.
+        for (path, synced) in points {
+            if path.exists() {
+                let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+                f.set_len(synced).unwrap();
+            }
+        }
+        let mut db: DurableMap<Vec<u8>> =
+            DurableMap::open(dir.path(), SyncPolicy::OsFlush).unwrap();
         assert_eq!(db.len(), 1);
-        assert_eq!(db.get(1).unwrap(), b"durable");
-        assert!(db.get(2).is_none(), "the un-fsynced record must be gone");
+        assert_eq!(get(&mut db, 1).unwrap(), b"durable");
+        assert!(get(&mut db, 2).is_none(), "the un-fsynced record must be gone");
     }
 
     #[test]
-    fn iter_visits_everything() {
-        let dir = TempDir::new("iter");
+    fn power_loss_right_after_a_checkpoint_loses_nothing() {
+        // The checkpoint-boundary ordering: after compact() returns,
+        // truncating every file to its power-loss point must recover
+        // the full checkpointed state.
+        let dir = TempDir::new("ckpt-loss");
+        let points;
+        {
+            let mut db = open(&dir);
+            for k in 0..40u64 {
+                db.insert(k, vec![k as u8; 32]).unwrap();
+            }
+            db.compact().unwrap();
+            points = db.power_loss_points();
+        }
+        for (path, synced) in points {
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(synced).unwrap();
+        }
+        let mut db = open(&dir);
+        assert_eq!(db.len(), 40);
+        assert_eq!(db.stats().replayed, 0);
+        for k in 0..40u64 {
+            assert_eq!(get(&mut db, k).unwrap(), vec![k as u8; 32]);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_hot_and_cold_entries() {
+        let dir = TempDir::new("foreach");
         let mut db = open(&dir);
         for k in 0..10u64 {
             db.insert(k, vec![k as u8]).unwrap();
         }
-        let mut keys: Vec<u64> = db.iter().map(|(k, _)| k).collect();
-        keys.sort();
-        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+        db.compact().unwrap(); // 0..10 now cold
+        for k in 10..15u64 {
+            db.insert(k, vec![k as u8]).unwrap();
+        }
+        let mut seen = Vec::new();
+        db.for_each(|k, v| seen.push((k, v.clone()))).unwrap();
+        assert_eq!(seen.len(), 15);
+        for (i, (k, v)) in seen.iter().enumerate() {
+            assert_eq!(*k, i as u64, "ascending key order");
+            assert_eq!(v, &vec![i as u8]);
+        }
+        assert!(db.stats().cold_reads >= 10);
+    }
+
+    #[test]
+    fn cold_reads_come_back_from_the_page_file() {
+        let dir = TempDir::new("cold");
+        let mut db = open(&dir);
+        db.insert(5, b"cold-value".to_vec()).unwrap();
+        db.compact().unwrap();
+        assert_eq!(db.cold_entries(), 1);
+        assert_eq!(db.stats().cold_reads, 0);
+        assert_eq!(get(&mut db, 5).unwrap(), b"cold-value");
+        assert_eq!(db.stats().cold_reads, 1);
+    }
+
+    #[test]
+    fn tombstoned_pages_are_reclaimed_by_compaction() {
+        let dir = TempDir::new("reclaim");
+        let mut db = open(&dir);
+        // Fill several pages, then kill most of the records.
+        let val = vec![0xCD; 512];
+        for k in 0..64u64 {
+            db.insert(k, val.clone()).unwrap();
+        }
+        db.compact().unwrap();
+        let pages_full = db.num_pages();
+        assert!(pages_full >= 8, "64 × 512 B must span multiple pages");
+        for k in 0..60u64 {
+            db.remove(k).unwrap();
+        }
+        db.compact().unwrap(); // survivors rewritten, condemned pages freed
+        db.compact().unwrap(); // pull-down moves survivors into the freed space
+        db.compact().unwrap(); // trailing pages (protected last cycle) truncated
+        assert!(
+            db.num_pages() <= 2,
+            "4 surviving records must fit in a couple of pages, got {}",
+            db.num_pages()
+        );
+        let disk = std::fs::metadata(dir.path().join("pages.bin")).unwrap().len();
+        assert!(
+            disk <= u64::from(PAGE_SIZE) * 2,
+            "reclaimed pages must shrink the file, got {disk} bytes"
+        );
+        // Everything still reads back.
+        for k in 60..64u64 {
+            assert_eq!(get(&mut db, k).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn oversized_records_live_in_extents_and_free_on_death() {
+        let dir = TempDir::new("extent");
+        let big = vec![0x5A; PAGE_SIZE as usize * 2 + 17];
+        let mut db = open(&dir);
+        db.insert(1, big.clone()).unwrap();
+        db.insert(2, b"small".to_vec()).unwrap();
+        db.compact().unwrap();
+        assert_eq!(get(&mut db, 1).unwrap(), big);
+        // Recovery reads the extent back too.
+        drop(db);
+        let mut db = open(&dir);
+        assert_eq!(get(&mut db, 1).unwrap(), big);
+        // Kill the extent: three checkpoints later (free, pull down
+        // the survivor, truncate) the disk is down to one page.
+        db.remove(1).unwrap();
+        db.compact().unwrap();
+        db.compact().unwrap();
+        db.compact().unwrap();
+        let disk = std::fs::metadata(dir.path().join("pages.bin")).unwrap().len();
+        assert!(
+            disk <= u64::from(PAGE_SIZE),
+            "dead extent pages must be reclaimed, got {disk} bytes"
+        );
+        assert_eq!(get(&mut db, 2).unwrap(), b"small");
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_the_wal() {
+        let dir = TempDir::new("auto");
+        let mut db = open(&dir);
+        db.set_auto_checkpoint(Some(1024));
+        for k in 0..200u64 {
+            db.insert(k % 20, vec![k as u8; 32]).unwrap();
+            assert!(db.wal_bytes() < 2048, "the WAL must stay bounded");
+        }
+        assert!(db.stats().snapshots_written >= 2, "auto-checkpoints must have fired");
+        drop(db);
+        let mut db = open(&dir);
+        assert_eq!(db.len(), 20);
+        for k in 0..20u64 {
+            assert!(get(&mut db, k).is_some());
+        }
+    }
+
+    #[test]
+    fn group_commit_defers_the_auto_checkpoint() {
+        let dir = TempDir::new("auto-group");
+        let mut db: DurableMap<Vec<u8>> =
+            DurableMap::open(dir.path(), SyncPolicy::Always).unwrap();
+        db.set_auto_checkpoint(Some(64));
+        db.begin_group_commit();
+        for k in 0..20u64 {
+            db.insert(k, vec![1; 16]).unwrap();
+        }
+        assert_eq!(
+            db.stats().snapshots_written,
+            0,
+            "no checkpoint may fire inside a commit group"
+        );
+        db.end_group_commit().unwrap();
+        assert!(db.stats().snapshots_written >= 1, "the deferred checkpoint fires at group end");
     }
 }

@@ -12,9 +12,15 @@
 //!   survive crashes.
 //!
 //! The paper's prototype used IBM DB2 via JDBC for the persistent part;
-//! this crate substitutes an embedded write-ahead log + snapshot store
-//! ([`DurableMap`]) that exercises the identical code path: a durable
-//! write before acknowledging any path change, and recovery on restart.
+//! this crate substitutes an embedded storage engine ([`DurableMap`])
+//! that exercises the identical code path: a durable write before
+//! acknowledging any path change, and recovery on restart. The engine
+//! is a write-ahead log in front of a paged cold store with
+//! checkpoint manifests — the WAL truncates behind every checkpoint,
+//! so disk usage follows the *live* visitor set and recovery replays
+//! only the suffix since the last checkpoint, never the full update
+//! history (see `durable_map.rs` for the layout and `checkpoint.rs`
+//! for the commit protocol).
 //!
 //! # Example
 //!
@@ -36,15 +42,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod crc;
 mod durable_map;
+mod page;
 mod sighting_db;
+mod tombstone;
 mod wal;
 
 pub use crc::crc32;
-pub use durable_map::{BatchOp, DurableMap, DurableMapStats, RecordValue, SyncPolicy};
+pub use durable_map::{
+    BatchOp, DurableMap, DurableMapStats, RecordValue, SyncPolicy, DEFAULT_AUTO_CHECKPOINT_BYTES,
+};
+pub use page::{PageAddr, PAGE_SIZE};
 pub use sighting_db::{SightingDb, StoredSighting};
-pub use wal::{Wal, WalError};
+pub use wal::{Wal, WalError, WalReplay};
 
 /// Errors produced by the durable storage layer.
 #[derive(Debug)]

@@ -1,0 +1,464 @@
+//! Fixed-size pages on disk, a free-list allocator and a small read
+//! cache — the cold tier under [`crate::DurableMap`].
+//!
+//! Records checkpointed out of memory are packed into 4 KiB pages in
+//! `pages.bin`. The page file carries **no self-describing metadata**:
+//! which byte ranges are live, which pages are free and where the
+//! current pack page stands is recorded exclusively by the checkpoint
+//! manifest (`checkpoint.rs`), which is only renamed into place *after*
+//! the page writes it references are fsynced. That ordering is the
+//! crash-safety argument: a power loss mid-checkpoint leaves the old
+//! manifest pointing only at page ranges that were never overwritten
+//! (freed pages are not reused until the manifest that records them as
+//! free is durable).
+//!
+//! Records larger than one page get an exclusive extent of contiguous
+//! pages; everything else is packed tail-first. Reads of packed records
+//! go through a small FIFO page cache so cold scans (recovery, spills)
+//! touch the disk once per page, not once per record.
+
+use crate::tombstone::DeadSpace;
+use crate::StorageError;
+use std::collections::{BTreeSet, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Bytes per page.
+pub const PAGE_SIZE: u32 = 4096;
+/// Pages held by the read cache (64 × 4 KiB = 256 KiB).
+const CACHE_PAGES: usize = 64;
+
+/// Location of one record's payload inside the page file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageAddr {
+    /// First page of the record.
+    pub page: u32,
+    /// Byte offset inside the page (always 0 for multi-page extents).
+    pub offset: u16,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl PageAddr {
+    /// True when the record occupies an exclusive extent of whole
+    /// pages rather than a slice of a shared pack page.
+    pub fn is_extent(&self) -> bool {
+        self.len > PAGE_SIZE
+    }
+
+    /// Number of pages an extent covers (1 for packed records).
+    pub fn extent_pages(&self) -> u32 {
+        if self.is_extent() {
+            self.len.div_ceil(PAGE_SIZE)
+        } else {
+            1
+        }
+    }
+
+    fn file_offset(&self) -> u64 {
+        u64::from(self.page) * u64::from(PAGE_SIZE) + u64::from(self.offset)
+    }
+}
+
+/// The on-disk page file plus its in-memory allocation state.
+#[derive(Debug)]
+pub struct PageStore {
+    path: PathBuf,
+    file: File,
+    /// Pages the file logically holds (the manifest's view; the file
+    /// on disk is kept at exactly this length on restore).
+    num_pages: u32,
+    /// Wholly unreferenced pages, reusable for new placements.
+    free: BTreeSet<u32>,
+    /// The current pack page and its fill offset.
+    tail: Option<(u32, u32)>,
+    /// File length guaranteed on stable storage (advanced by
+    /// [`PageStore::sync`]; the simulator truncates to this to model a
+    /// power loss, exactly like the WAL's `synced_bytes`).
+    synced_len: u64,
+    cache: std::collections::BTreeMap<u32, Vec<u8>>,
+    cache_fifo: VecDeque<u32>,
+}
+
+impl PageStore {
+    /// Opens (or creates) the page file. The store starts logically
+    /// empty; call [`PageStore::restore`] with the manifest's
+    /// allocation state before reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        Ok(PageStore {
+            path,
+            file,
+            num_pages: 0,
+            free: BTreeSet::new(),
+            tail: None,
+            synced_len: 0,
+            cache: std::collections::BTreeMap::new(),
+            cache_fifo: VecDeque::new(),
+        })
+    }
+
+    /// Adopts the allocation state recorded by a checkpoint manifest
+    /// and trims the file to exactly that many pages — anything beyond
+    /// is unreferenced garbage from a checkpoint that never committed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when truncation fails.
+    pub fn restore(
+        &mut self,
+        num_pages: u32,
+        free: BTreeSet<u32>,
+        tail: Option<(u32, u32)>,
+    ) -> Result<(), StorageError> {
+        self.num_pages = num_pages;
+        self.free = free;
+        self.tail = tail;
+        let len = u64::from(num_pages) * u64::from(PAGE_SIZE);
+        if self.file.metadata()?.len() != len {
+            self.file.set_len(len)?;
+        }
+        self.synced_len = len;
+        self.cache.clear();
+        self.cache_fifo.clear();
+        Ok(())
+    }
+
+    /// Reserves space for a `len`-byte record and returns its address.
+    /// Space only — the caller writes via [`PageStore::write`]. When a
+    /// partially filled pack page is retired (the record did not fit),
+    /// its slack is charged to `dead`, since nothing will ever fill it.
+    pub fn place(&mut self, len: u32, dead: &mut DeadSpace) -> PageAddr {
+        if len > PAGE_SIZE {
+            let page = self.alloc_extent(len.div_ceil(PAGE_SIZE));
+            return PageAddr { page, offset: 0, len };
+        }
+        match self.tail {
+            Some((page, fill)) if PAGE_SIZE - fill >= len => {
+                self.tail = Some((page, fill + len));
+                PageAddr { page, offset: fill as u16, len }
+            }
+            retired => {
+                if let Some((page, fill)) = retired {
+                    dead.add(page, PAGE_SIZE - fill);
+                }
+                let page = self.alloc_extent(1);
+                self.tail = Some((page, len));
+                PageAddr { page, offset: 0, len }
+            }
+        }
+    }
+
+    /// Writes a record's payload at its reserved address.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the write fails.
+    pub fn write(&mut self, addr: &PageAddr, bytes: &[u8]) -> Result<(), StorageError> {
+        debug_assert_eq!(bytes.len() as u32, addr.len);
+        self.file.write_all_at(bytes, addr.file_offset())?;
+        for page in addr.page..addr.page + addr.extent_pages() {
+            self.invalidate(page);
+        }
+        Ok(())
+    }
+
+    /// Reads a record's payload into `out` (replacing its contents).
+    /// Packed records go through the page cache; extents read straight
+    /// from the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the read fails.
+    pub fn read(&mut self, addr: &PageAddr, out: &mut Vec<u8>) -> Result<(), StorageError> {
+        out.resize(addr.len as usize, 0);
+        if addr.is_extent() {
+            self.file.read_exact_at(out, addr.file_offset())?;
+            return Ok(());
+        }
+        let page = self.load_page(addr.page)?;
+        let start = addr.offset as usize;
+        out.copy_from_slice(&page[start..start + addr.len as usize]);
+        Ok(())
+    }
+
+    /// Returns `page` (and the rest of an extent starting there) to the
+    /// free list. The file space becomes reusable at the *next*
+    /// checkpoint commit — callers must not hand freed pages back to
+    /// [`PageStore::place`] before the manifest recording them as free
+    /// is durable (see the module docs).
+    pub fn free_page(&mut self, page: u32) {
+        self.free.insert(page);
+        self.invalidate(page);
+        if let Some((tail_page, _)) = self.tail {
+            if tail_page == page {
+                self.tail = None;
+            }
+        }
+    }
+
+    /// Retires the current pack page without charging its slack:
+    /// callers drop the tail when the page is about to be freed
+    /// entirely (condemned or pulled down during compaction), so that
+    /// no new record packs into a page that is on its way out.
+    pub fn drop_tail(&mut self) {
+        self.tail = None;
+    }
+
+    /// Truncates trailing free pages off the file. Pages in `protect`
+    /// (freed since the last durable manifest, so still referenced by
+    /// it) are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when truncation fails.
+    pub fn shrink(&mut self, protect: &BTreeSet<u32>) -> Result<(), StorageError> {
+        let before = self.num_pages;
+        while self.num_pages > 0 {
+            let last = self.num_pages - 1;
+            if !self.free.contains(&last) || protect.contains(&last) {
+                break;
+            }
+            self.free.remove(&last);
+            self.invalidate(last);
+            self.num_pages -= 1;
+        }
+        if self.num_pages != before {
+            self.file.set_len(u64::from(self.num_pages) * u64::from(PAGE_SIZE))?;
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the file and advances the durable watermark.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sync fails.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_all()?;
+        self.synced_len = u64::from(self.num_pages) * u64::from(PAGE_SIZE);
+        Ok(())
+    }
+
+    /// File length guaranteed on stable storage.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// The page file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Pages the file logically holds.
+    pub fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    /// Snapshot of the free list (for the checkpoint manifest).
+    pub fn free_pages(&self) -> &BTreeSet<u32> {
+        &self.free
+    }
+
+    /// The current pack page and fill (for the checkpoint manifest).
+    pub fn tail(&self) -> Option<(u32, u32)> {
+        self.tail
+    }
+
+    /// Finds `n` contiguous pages: first fit from the free list, else
+    /// fresh pages at the end of the file.
+    fn alloc_extent(&mut self, n: u32) -> u32 {
+        let mut run_start = 0u32;
+        let mut run_len = 0u32;
+        let mut prev: Option<u32> = None;
+        for &p in &self.free {
+            match prev {
+                Some(q) if p == q + 1 => run_len += 1,
+                _ => {
+                    run_start = p;
+                    run_len = 1;
+                }
+            }
+            prev = Some(p);
+            if run_len == n {
+                for page in run_start..run_start + n {
+                    self.free.remove(&page);
+                }
+                return run_start;
+            }
+        }
+        let start = self.num_pages;
+        self.num_pages += n;
+        start
+    }
+
+    fn invalidate(&mut self, page: u32) {
+        if self.cache.remove(&page).is_some() {
+            self.cache_fifo.retain(|&p| p != page);
+        }
+    }
+
+    fn load_page(&mut self, page: u32) -> Result<&Vec<u8>, StorageError> {
+        if !self.cache.contains_key(&page) {
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            // The tail page may end before a full page of file exists;
+            // the unwritten remainder reads as zeros.
+            let mut filled = 0usize;
+            let base = u64::from(page) * u64::from(PAGE_SIZE);
+            while filled < buf.len() {
+                let n = self.file.read_at(&mut buf[filled..], base + filled as u64)?;
+                if n == 0 {
+                    break;
+                }
+                filled += n;
+            }
+            while self.cache.len() >= CACHE_PAGES {
+                match self.cache_fifo.pop_front() {
+                    Some(old) => {
+                        self.cache.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.cache.insert(page, buf);
+            self.cache_fifo.push_back(page);
+        }
+        Ok(self.cache.get(&page).expect("just inserted"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::tests::TempDir;
+
+    fn store(dir: &TempDir) -> PageStore {
+        PageStore::open(dir.path().join("pages.bin")).unwrap()
+    }
+
+    #[test]
+    fn packs_small_records_into_one_page() {
+        let dir = TempDir::new("page-pack");
+        let mut ps = store(&dir);
+        let mut dead = DeadSpace::new();
+        let a = ps.place(100, &mut dead);
+        let b = ps.place(200, &mut dead);
+        assert_eq!((a.page, a.offset), (0, 0));
+        assert_eq!((b.page, b.offset), (0, 100));
+        ps.write(&a, &[7u8; 100]).unwrap();
+        ps.write(&b, &[9u8; 200]).unwrap();
+        let mut out = Vec::new();
+        ps.read(&a, &mut out).unwrap();
+        assert_eq!(out, vec![7u8; 100]);
+        ps.read(&b, &mut out).unwrap();
+        assert_eq!(out, vec![9u8; 200]);
+        assert_eq!(ps.num_pages(), 1);
+    }
+
+    #[test]
+    fn retiring_a_pack_page_charges_the_slack() {
+        let dir = TempDir::new("page-slack");
+        let mut ps = store(&dir);
+        let mut dead = DeadSpace::new();
+        let a = ps.place(PAGE_SIZE - 10, &mut dead);
+        // Does not fit in the 10 spare bytes: page 0 retires.
+        let b = ps.place(100, &mut dead);
+        assert_eq!(a.page, 0);
+        assert_eq!((b.page, b.offset), (1, 0));
+        assert_eq!(dead.bytes(0), 10, "the unfillable slack is tombstoned");
+    }
+
+    #[test]
+    fn large_records_get_contiguous_extents() {
+        let dir = TempDir::new("page-extent");
+        let mut ps = store(&dir);
+        let mut dead = DeadSpace::new();
+        let len = PAGE_SIZE * 2 + 100;
+        let addr = ps.place(len, &mut dead);
+        assert!(addr.is_extent());
+        assert_eq!(addr.extent_pages(), 3);
+        assert_eq!(addr.offset, 0);
+        let payload: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        ps.write(&addr, &payload).unwrap();
+        let mut out = Vec::new();
+        ps.read(&addr, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn free_pages_are_reused_contiguously() {
+        let dir = TempDir::new("page-reuse");
+        let mut ps = store(&dir);
+        let mut dead = DeadSpace::new();
+        for _ in 0..4 {
+            ps.place(PAGE_SIZE, &mut dead);
+        }
+        assert_eq!(ps.num_pages(), 4);
+        ps.free_page(1);
+        ps.free_page(2);
+        // A 2-page extent fits exactly in the freed run.
+        let addr = ps.place(PAGE_SIZE + 1, &mut dead);
+        assert_eq!(addr.page, 1);
+        assert_eq!(ps.num_pages(), 4, "no growth when the free list serves");
+        // No contiguous run left: the next extent grows the file.
+        ps.free_page(0);
+        let addr = ps.place(PAGE_SIZE + 1, &mut dead);
+        assert_eq!(addr.page, 4);
+        assert_eq!(ps.num_pages(), 6);
+    }
+
+    #[test]
+    fn shrink_trims_trailing_free_pages_but_respects_protect() {
+        let dir = TempDir::new("page-shrink");
+        let mut ps = store(&dir);
+        let mut dead = DeadSpace::new();
+        for _ in 0..4 {
+            ps.place(PAGE_SIZE, &mut dead);
+        }
+        ps.free_page(2);
+        ps.free_page(3);
+        let protect: BTreeSet<u32> = [3].into_iter().collect();
+        ps.shrink(&protect).unwrap();
+        assert_eq!(ps.num_pages(), 4, "page 3 is still referenced by the old manifest");
+        ps.shrink(&BTreeSet::new()).unwrap();
+        assert_eq!(ps.num_pages(), 2);
+        assert!(ps.free_pages().is_empty());
+    }
+
+    #[test]
+    fn restore_trims_uncommitted_garbage() {
+        let dir = TempDir::new("page-restore");
+        let path = dir.path().join("pages.bin");
+        let mut ps = PageStore::open(&path).unwrap();
+        let mut dead = DeadSpace::new();
+        let a = ps.place(50, &mut dead);
+        ps.write(&a, &[1u8; 50]).unwrap();
+        drop(ps);
+        // A manifest that knows only about 0 pages: the write above
+        // never committed.
+        let mut ps = PageStore::open(&path).unwrap();
+        ps.restore(0, BTreeSet::new(), None).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn cache_survives_writes_via_invalidation() {
+        let dir = TempDir::new("page-cache");
+        let mut ps = store(&dir);
+        let mut dead = DeadSpace::new();
+        let a = ps.place(64, &mut dead);
+        ps.write(&a, &[1u8; 64]).unwrap();
+        let mut out = Vec::new();
+        ps.read(&a, &mut out).unwrap(); // populates the cache
+        ps.write(&a, &[2u8; 64]).unwrap(); // must invalidate it
+        ps.read(&a, &mut out).unwrap();
+        assert_eq!(out, vec![2u8; 64], "stale cached page served after a write");
+    }
+}

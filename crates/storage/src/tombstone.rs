@@ -1,0 +1,103 @@
+//! Dead-space accounting for the page store.
+//!
+//! Deletes and overwrites never rewrite a page in place — the old
+//! bytes simply stop being referenced ("tombstoned") and are counted
+//! here, per page. At checkpoint time, pages whose dead ratio crosses
+//! [`DeadSpace::CONDEMN_NUM`]`/`[`DeadSpace::CONDEMN_DEN`] are
+//! *condemned*: their surviving records are rewritten into fresh pages
+//! and the page returns to the free list. That is the reclamation path
+//! the WAL alone never had — deregistered objects used to live in the
+//! log forever.
+
+use crate::page::PAGE_SIZE;
+use std::collections::BTreeMap;
+
+/// Per-page tombstoned-byte counts (deterministic iteration order, so
+/// condemnation — and therefore page layout — is identical across
+/// same-seed runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeadSpace {
+    dead: BTreeMap<u32, u32>,
+}
+
+impl DeadSpace {
+    /// A page is condemned when `dead * DEN >= PAGE_SIZE * NUM`.
+    pub const CONDEMN_NUM: u32 = 1;
+    /// See [`DeadSpace::CONDEMN_NUM`].
+    pub const CONDEMN_DEN: u32 = 2;
+
+    /// An empty tracker.
+    pub fn new() -> Self {
+        DeadSpace::default()
+    }
+
+    /// Records `bytes` of a page's content as dead (an overwritten or
+    /// deleted record's payload, or the slack left when a pack page is
+    /// retired with space that will never be filled).
+    pub fn add(&mut self, page: u32, bytes: u32) {
+        if bytes > 0 {
+            *self.dead.entry(page).or_insert(0) += bytes;
+        }
+    }
+
+    /// Forgets a page entirely (it was freed or rewritten).
+    pub fn clear_page(&mut self, page: u32) {
+        self.dead.remove(&page);
+    }
+
+    /// Pages whose dead ratio crosses the condemnation threshold, in
+    /// ascending page order.
+    pub fn condemned(&self) -> Vec<u32> {
+        self.dead
+            .iter()
+            .filter(|(_, &bytes)| bytes * Self::CONDEMN_DEN >= PAGE_SIZE * Self::CONDEMN_NUM)
+            .map(|(&page, _)| page)
+            .collect()
+    }
+
+    /// Dead bytes currently tracked for `page`.
+    #[cfg(test)]
+    pub fn bytes(&self, page: u32) -> u32 {
+        self.dead.get(&page).copied().unwrap_or(0)
+    }
+
+    /// All `(page, dead_bytes)` pairs (for the checkpoint manifest).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.dead.iter().map(|(&p, &b)| (p, b))
+    }
+
+    /// Rebuilds the tracker from manifest pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        DeadSpace { dead: pairs.into_iter().filter(|&(_, b)| b > 0).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condemns_at_half_page() {
+        let mut dead = DeadSpace::new();
+        dead.add(3, PAGE_SIZE / 2 - 1);
+        assert!(dead.condemned().is_empty());
+        dead.add(3, 1);
+        assert_eq!(dead.condemned(), vec![3]);
+        dead.add(1, PAGE_SIZE);
+        assert_eq!(dead.condemned(), vec![1, 3], "ascending page order");
+        dead.clear_page(3);
+        assert_eq!(dead.condemned(), vec![1]);
+        assert_eq!(dead.bytes(3), 0);
+    }
+
+    #[test]
+    fn round_trips_through_pairs() {
+        let mut dead = DeadSpace::new();
+        dead.add(7, 100);
+        dead.add(2, 40);
+        dead.add(9, 0); // zero entries are dropped
+        let pairs: Vec<_> = dead.iter().collect();
+        assert_eq!(pairs, vec![(2, 40), (7, 100)]);
+        assert_eq!(DeadSpace::from_pairs(pairs), dead);
+    }
+}

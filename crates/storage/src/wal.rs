@@ -2,7 +2,7 @@
 
 use crate::{crc32, StorageError};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Error alias for WAL operations.
@@ -13,88 +13,215 @@ const RECORD_HEADER: usize = 8;
 /// Refuse to read records larger than this (a corrupt length field
 /// would otherwise cause a huge allocation).
 const MAX_RECORD: u32 = 16 * 1024 * 1024;
+/// File header: `[magic u32][generation u64][reserved u32]`.
+pub(crate) const WAL_HEADER: usize = 16;
+/// File magic ("HWL1").
+const WAL_MAGIC: u32 = 0x4857_4C31;
 
 /// An append-only log of length-prefixed, CRC-checked records.
 ///
-/// Format per record: `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+/// The file starts with a 16-byte header `[magic: u32 LE]
+/// [generation: u64 LE][reserved: u32 LE]`; the generation ties the log
+/// to the checkpoint that preceded it (see `checkpoint.rs`), so
+/// recovery can tell a fresh post-checkpoint log from a stale
+/// pre-checkpoint one after a power loss between the two steps of a
+/// compaction. Each record is `[len: u32 LE][crc32(payload): u32 LE]
+/// [payload]`.
+///
 /// On open, the log is scanned; a truncated or corrupt tail (the result
 /// of a crash mid-append) is detected and the file is truncated back to
 /// the last valid record, matching the recovery behavior expected of
 /// the visitor database ("the objects' forwarding paths are supposed to
-/// survive system failures").
+/// survive system failures"). The scan streams through a fixed buffer —
+/// replay memory is one record, not the whole history.
 #[derive(Debug)]
 pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
+    generation: u64,
     len_bytes: u64,
     /// Bytes guaranteed on stable storage (advanced by [`Wal::sync`]
     /// only). Appends and [`Wal::flush`] leave bytes in OS/user-space
     /// buffers, which a power loss — unlike a process crash — discards;
     /// the simulator truncates the file back to this offset to model
-    /// that (see `power_loss_point` on the durable map).
+    /// that (see `power_loss_points` on the durable map).
     synced_bytes: u64,
     records: u64,
+}
+
+/// Streaming reader over the valid records found by [`Wal::open`].
+///
+/// Yields one payload at a time into a reused internal buffer, so
+/// replaying an arbitrarily long log needs memory for only the largest
+/// single record — the fix for the old API that materialized the whole
+/// history as `Vec<Vec<u8>>`.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// `None` when the log held no valid records.
+    reader: Option<BufReader<File>>,
+    /// Byte offset of the next unread record header.
+    pos: u64,
+    /// End of the validated prefix; nothing at or past this offset is
+    /// replayed.
+    end: u64,
+    buf: Vec<u8>,
+}
+
+impl WalReplay {
+    fn empty() -> Self {
+        WalReplay { reader: None, pos: 0, end: 0, buf: Vec::new() }
+    }
+
+    /// The next record payload, or `None` after the last one. The
+    /// returned slice borrows the reader's internal buffer and is
+    /// invalidated by the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or when the file changed under
+    /// the reader since the validating scan (checksum mismatch).
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, WalError> {
+        let Some(reader) = self.reader.as_mut().filter(|_| self.pos < self.end) else {
+            return Ok(None);
+        };
+        let mut header = [0u8; RECORD_HEADER];
+        reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        self.buf.resize(len as usize, 0);
+        reader.read_exact(&mut self.buf)?;
+        if crc32(&self.buf) != crc {
+            return Err(StorageError::Corrupt {
+                offset: self.pos,
+                reason: "WAL record changed between scan and replay",
+            });
+        }
+        self.pos += (RECORD_HEADER + len as usize) as u64;
+        Ok(Some(&self.buf))
+    }
+
+    /// Collects every remaining record (test/tooling convenience; the
+    /// production replay path streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when [`WalReplay::next_record`] does.
+    pub fn collect_records(mut self) -> Result<Vec<Vec<u8>>, WalError> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec.to_vec());
+        }
+        Ok(out)
+    }
 }
 
 impl Wal {
     /// Opens (or creates) the log at `path`, validating existing
     /// records and truncating a corrupt tail.
     ///
-    /// Returns the WAL and the payloads of all valid records.
+    /// Returns the WAL and a streaming reader over all valid records.
+    /// A missing or damaged file header (shorter than 16 bytes, or bad
+    /// magic) is tail damage of the most extreme kind: the log is reset
+    /// to an empty generation-0 file.
     ///
     /// # Errors
     ///
     /// Returns an error when the file cannot be opened, read or
     /// truncated. Corrupt tails are *not* errors — they are repaired.
-    pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<Vec<u8>>), WalError> {
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalReplay), WalError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
 
-        let mut raw = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut raw)?;
+        let file_len = file.metadata()?.len();
+        let mut header = [0u8; WAL_HEADER];
+        let generation = if file_len >= WAL_HEADER as u64 {
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut header)?;
+            let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            if magic == WAL_MAGIC {
+                Some(u64::from_le_bytes(header[4..12].try_into().unwrap()))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
 
-        let mut records = Vec::new();
-        let mut offset = 0usize;
-        while raw.len() - offset >= RECORD_HEADER {
-            let len = u32::from_le_bytes(raw[offset..offset + 4].try_into().unwrap());
-            let crc = u32::from_le_bytes(raw[offset + 4..offset + 8].try_into().unwrap());
+        let generation = match generation {
+            Some(g) => g,
+            None => {
+                // Empty file or damaged header: start a fresh gen-0 log.
+                file.set_len(0)?;
+                write_header(&mut file, 0)?;
+                0
+            }
+        };
+
+        // Streaming validation scan: find the longest valid record
+        // prefix without materializing payloads.
+        let mut reader = BufReader::new(&mut file);
+        reader.seek(SeekFrom::Start(WAL_HEADER as u64))?;
+        let mut valid = WAL_HEADER as u64;
+        let mut records = 0u64;
+        let mut scratch = Vec::new();
+        loop {
+            let mut rec_header = [0u8; RECORD_HEADER];
+            match reader.read_exact(&mut rec_header) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let len = u32::from_le_bytes(rec_header[0..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(rec_header[4..8].try_into().unwrap());
             if len > MAX_RECORD {
                 break; // corrupt length; treat as tail damage
             }
-            let start = offset + RECORD_HEADER;
-            let end = start + len as usize;
-            if end > raw.len() {
-                break; // truncated mid-record
+            scratch.resize(len as usize, 0);
+            match reader.read_exact(&mut scratch) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
             }
-            let payload = &raw[start..end];
-            if crc32(payload) != crc {
+            if crc32(&scratch) != crc {
                 break; // corrupt payload
             }
-            records.push(payload.to_vec());
-            offset = end;
+            valid += (RECORD_HEADER + len as usize) as u64;
+            records += 1;
         }
+        drop(reader);
 
-        if offset < raw.len() {
+        if valid < file.metadata()?.len() {
             // Repair: drop the damaged tail.
-            file.set_len(offset as u64)?;
+            file.set_len(valid)?;
         }
         drop(file);
+
+        let replay = if records == 0 {
+            WalReplay::empty()
+        } else {
+            let replay_file = File::open(&path)?;
+            let mut reader = BufReader::new(replay_file);
+            reader.seek(SeekFrom::Start(WAL_HEADER as u64))?;
+            WalReplay {
+                reader: Some(reader),
+                pos: WAL_HEADER as u64,
+                end: valid,
+                buf: Vec::new(),
+            }
+        };
 
         let file = OpenOptions::new().append(true).open(&path)?;
         let wal = Wal {
             path,
             writer: BufWriter::new(file),
-            len_bytes: offset as u64,
+            generation,
+            len_bytes: valid,
             // Everything that survived the scan is on disk already.
-            synced_bytes: offset as u64,
-            records: records.len() as u64,
+            synced_bytes: valid,
+            records,
         };
-        Ok((wal, records))
+        Ok((wal, replay))
     }
 
     /// Appends one record. The record is buffered; call [`Wal::sync`]
@@ -140,27 +267,43 @@ impl Wal {
         Ok(())
     }
 
-    /// Truncates the log to zero records (used after a snapshot).
+    /// Truncates the log to zero records and stamps it with
+    /// `generation` (the generation of the checkpoint that made the old
+    /// records redundant). The new header is fsynced before the call
+    /// returns.
     ///
     /// # Errors
     ///
     /// Returns an error when truncation fails.
-    pub fn reset(&mut self) -> Result<(), WalError> {
+    pub fn reset(&mut self, generation: u64) -> Result<(), WalError> {
         self.writer.flush()?;
-        let file = OpenOptions::new().write(true).open(&self.path)?;
+        let mut file = OpenOptions::new().write(true).open(&self.path)?;
         file.set_len(0)?;
-        file.sync_data()?;
+        write_header(&mut file, generation)?;
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
-        self.len_bytes = 0;
-        self.synced_bytes = 0;
+        self.generation = generation;
+        self.len_bytes = WAL_HEADER as u64;
+        self.synced_bytes = WAL_HEADER as u64;
         self.records = 0;
         Ok(())
     }
 
-    /// Size of the log in bytes (including record headers).
+    /// The log's generation (stamped at the last [`Wal::reset`], 0 for
+    /// a fresh log).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Size of the log in bytes (header plus records).
     pub fn len_bytes(&self) -> u64 {
         self.len_bytes
+    }
+
+    /// Record bytes in the log, excluding the file header — the number
+    /// that drives compaction heuristics (0 right after a reset).
+    pub fn data_bytes(&self) -> u64 {
+        self.len_bytes.saturating_sub(WAL_HEADER as u64)
     }
 
     /// Bytes known to be on stable storage (see [`Wal::sync`]). A
@@ -182,10 +325,19 @@ impl Wal {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+fn write_header(file: &mut File, generation: u64) -> Result<(), WalError> {
+    let mut header = [0u8; WAL_HEADER];
+    header[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+    header[4..12].copy_from_slice(&generation.to_le_bytes());
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&header)?;
+    file.sync_data()?;
+    Ok(())
+}
 
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
 
     /// Minimal unique temp-dir helper (no external tempfile crate).
     pub(crate) struct TempDir(pub PathBuf);
@@ -213,24 +365,50 @@ mod tests {
         }
     }
 
+    fn open_collect(path: &Path) -> (Wal, Vec<Vec<u8>>) {
+        let (wal, replay) = Wal::open(path).unwrap();
+        (wal, replay.collect_records().unwrap())
+    }
+
     #[test]
     fn roundtrip_records() {
         let dir = TempDir::new("wal-roundtrip");
         let path = dir.path().join("wal.log");
         {
-            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            let (mut wal, replayed) = open_collect(&path);
             assert!(replayed.is_empty());
             wal.append(b"alpha").unwrap();
             wal.append(b"").unwrap();
             wal.append(&[0u8; 1024]).unwrap();
             wal.sync().unwrap();
         }
-        let (wal, replayed) = Wal::open(&path).unwrap();
+        let (wal, replayed) = open_collect(&path);
         assert_eq!(replayed.len(), 3);
         assert_eq!(replayed[0], b"alpha");
         assert_eq!(replayed[1], b"");
         assert_eq!(replayed[2], vec![0u8; 1024]);
         assert_eq!(wal.record_count(), 3);
+    }
+
+    #[test]
+    fn replay_streams_one_record_at_a_time() {
+        let dir = TempDir::new("wal-stream");
+        let path = dir.path().join("wal.log");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for i in 0..100u32 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_, mut replay) = Wal::open(&path).unwrap();
+        let mut seen = 0u32;
+        while let Some(rec) = replay.next_record().unwrap() {
+            assert_eq!(rec, seen.to_le_bytes());
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+        assert!(replay.next_record().unwrap().is_none(), "exhausted reader stays exhausted");
     }
 
     #[test]
@@ -249,13 +427,13 @@ mod tests {
         f.set_len(full - 3).unwrap();
         drop(f);
 
-        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        let (mut wal, replayed) = open_collect(&path);
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0], b"first");
         // The log is usable after repair.
         wal.append(b"third").unwrap();
         wal.sync().unwrap();
-        let (_, replayed) = Wal::open(&path).unwrap();
+        let (_, replayed) = open_collect(&path);
         assert_eq!(replayed.len(), 2);
         assert_eq!(replayed[1], b"third");
     }
@@ -272,13 +450,13 @@ mod tests {
         }
         // Flip a byte in the second record's payload.
         let mut raw = std::fs::read(&path).unwrap();
-        let second_payload_start = 8 + 8 + 8; // header+payload, header
+        let second_payload_start = WAL_HEADER + 8 + 8 + 8; // file header, header+payload, header
         raw[second_payload_start + 2] ^= 0xFF;
         let mut f = OpenOptions::new().write(true).open(&path).unwrap();
         f.write_all(&raw).unwrap();
         drop(f);
 
-        let (_, replayed) = Wal::open(&path).unwrap();
+        let (_, replayed) = open_collect(&path);
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0], b"aaaaaaaa");
     }
@@ -298,8 +476,28 @@ mod tests {
         f.write_all(&[0u8; 20]).unwrap();
         drop(f);
 
-        let (_, replayed) = Wal::open(&path).unwrap();
+        let (_, replayed) = open_collect(&path);
         assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn damaged_file_header_resets_the_log() {
+        let dir = TempDir::new("wal-header");
+        let path = dir.path().join("wal.log");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"doomed").unwrap();
+            wal.sync().unwrap();
+        }
+        // Clobber the magic: the whole log is untrustworthy.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[0] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+
+        let (wal, replayed) = open_collect(&path);
+        assert!(replayed.is_empty());
+        assert_eq!(wal.generation(), 0);
+        assert_eq!(wal.data_bytes(), 0);
     }
 
     #[test]
@@ -307,11 +505,15 @@ mod tests {
         let dir = TempDir::new("wal-synced");
         let path = dir.path().join("wal.log");
         let (mut wal, _) = Wal::open(&path).unwrap();
-        assert_eq!(wal.synced_bytes(), 0);
+        assert_eq!(wal.synced_bytes(), WAL_HEADER as u64);
         wal.append(b"one").unwrap();
-        assert_eq!(wal.synced_bytes(), 0, "append must not count as durable");
+        assert_eq!(wal.synced_bytes(), WAL_HEADER as u64, "append must not count as durable");
         wal.flush().unwrap();
-        assert_eq!(wal.synced_bytes(), 0, "an OS flush must not count as durable");
+        assert_eq!(
+            wal.synced_bytes(),
+            WAL_HEADER as u64,
+            "an OS flush must not count as durable"
+        );
         wal.sync().unwrap();
         assert_eq!(wal.synced_bytes(), wal.len_bytes());
         wal.append(b"two").unwrap();
@@ -323,23 +525,27 @@ mod tests {
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(synced).unwrap();
         drop(f);
-        let (wal, replayed) = Wal::open(&path).unwrap();
+        let (wal, replayed) = open_collect(&path);
         assert_eq!(replayed, vec![b"one".to_vec()]);
         assert_eq!(wal.synced_bytes(), synced);
     }
 
     #[test]
-    fn reset_empties_log() {
+    fn reset_stamps_the_generation() {
         let dir = TempDir::new("wal-reset");
         let path = dir.path().join("wal.log");
         let (mut wal, _) = Wal::open(&path).unwrap();
+        assert_eq!(wal.generation(), 0);
         wal.append(b"x").unwrap();
         wal.sync().unwrap();
-        wal.reset().unwrap();
-        assert_eq!(wal.len_bytes(), 0);
+        wal.reset(7).unwrap();
+        assert_eq!(wal.data_bytes(), 0);
+        assert_eq!(wal.generation(), 7);
         wal.append(b"y").unwrap();
         wal.sync().unwrap();
-        let (_, replayed) = Wal::open(&path).unwrap();
+        drop(wal);
+        let (wal, replayed) = open_collect(&path);
         assert_eq!(replayed, vec![b"y".to_vec()]);
+        assert_eq!(wal.generation(), 7, "the generation survives a reopen");
     }
 }

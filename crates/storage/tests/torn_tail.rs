@@ -7,11 +7,17 @@
 //! sightings on demand after a restart — so its "recovery" is the
 //! probe/update path exercised by the chaos scenario suite in
 //! `crates/sim`; the durable structures tested here are the [`Wal`]
-//! and the [`DurableMap`] backing the visitor database.)
+//! and the [`DurableMap`] backing the visitor database. The checkpoint
+//! manifest gets the same every-offset treatment in
+//! `crates/storage/src/checkpoint.rs`, where torn means *error*, not
+//! repair.)
 
 use hiloc_storage::{DurableMap, SyncPolicy, Wal};
 use hiloc_util::tempdir::TempDir;
 use std::path::Path;
+
+/// Bytes the WAL file header occupies: magic + generation + reserved.
+const WAL_HEADER: usize = 16;
 
 /// Bytes a WAL record occupies on disk: `[len][crc]` header + payload.
 fn record_size(payload: &[u8]) -> usize {
@@ -37,12 +43,13 @@ fn wal_recovers_longest_valid_prefix_at_every_byte_offset() {
         wal.sync().unwrap();
     }
     let full = std::fs::metadata(&golden).unwrap().len() as usize;
-    assert_eq!(full, payloads.iter().map(|p| record_size(p)).sum::<usize>());
+    assert_eq!(full, WAL_HEADER + payloads.iter().map(|p| record_size(p)).sum::<usize>());
 
-    // Record end offsets, to map a cut to the surviving prefix.
+    // Record end offsets, to map a cut to the surviving prefix. A cut
+    // inside the 16-byte file header resets the log to empty.
     let ends: Vec<usize> = payloads
         .iter()
-        .scan(0usize, |acc, p| {
+        .scan(WAL_HEADER, |acc, p| {
             *acc += record_size(p);
             Some(*acc)
         })
@@ -51,8 +58,9 @@ fn wal_recovers_longest_valid_prefix_at_every_byte_offset() {
     for cut in 0..=full {
         let torn = dir.path().join(format!("torn-{cut}.log"));
         truncate_copy(&golden, &torn, cut);
-        let (mut wal, replayed) = Wal::open(&torn)
+        let (mut wal, replay) = Wal::open(&torn)
             .unwrap_or_else(|e| panic!("cut at byte {cut}: open must repair, got {e:?}"));
+        let replayed = replay.collect_records().unwrap();
         let survivors = ends.iter().filter(|&&e| e <= cut).count();
         assert_eq!(replayed.len(), survivors, "cut at byte {cut}");
         for (i, p) in payloads.iter().take(survivors).enumerate() {
@@ -62,7 +70,8 @@ fn wal_recovers_longest_valid_prefix_at_every_byte_offset() {
         wal.append(b"post-repair").unwrap();
         wal.sync().unwrap();
         drop(wal);
-        let (_, again) = Wal::open(&torn).unwrap();
+        let (_, replay) = Wal::open(&torn).unwrap();
+        let again = replay.collect_records().unwrap();
         assert_eq!(again.len(), survivors + 1, "cut at byte {cut}");
         assert_eq!(again.last().unwrap(), b"post-repair");
         std::fs::remove_file(&torn).unwrap();
@@ -86,10 +95,10 @@ fn durable_map_recovers_longest_valid_prefix_at_every_byte_offset() {
     let op_sizes = [8 + 1 + 8 + 3, 8 + 1 + 8 + 10, 8 + 1 + 8, 8 + 1 + 8 + 5];
     let wal_src = golden.join("wal.log");
     let full = std::fs::metadata(&wal_src).unwrap().len() as usize;
-    assert_eq!(full, op_sizes.iter().sum::<usize>());
+    assert_eq!(full, WAL_HEADER + op_sizes.iter().sum::<usize>());
     let ends: Vec<usize> = op_sizes
         .iter()
-        .scan(0usize, |acc, s| {
+        .scan(WAL_HEADER, |acc, s| {
             *acc += s;
             Some(*acc)
         })
@@ -123,9 +132,9 @@ fn durable_map_recovers_longest_valid_prefix_at_every_byte_offset() {
 }
 
 #[test]
-fn torn_tail_after_snapshot_only_loses_tail_mutations() {
-    // A snapshot plus a torn WAL tail: the snapshot state must be
-    // intact and only the torn tail record lost.
+fn torn_tail_after_checkpoint_only_loses_tail_mutations() {
+    // A checkpoint plus a torn WAL tail: the checkpointed state must
+    // be intact and only the torn tail record lost.
     let dir = TempDir::new("snap");
     let home = dir.path().join("db");
     {
@@ -140,10 +149,11 @@ fn torn_tail_after_snapshot_only_loses_tail_mutations() {
     let full = std::fs::metadata(&wal).unwrap().len();
     // Cut mid-record (the exhaustive per-byte scan lives above).
     let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
-    f.set_len(full / 2).unwrap();
+    f.set_len(WAL_HEADER as u64 + (full - WAL_HEADER as u64) / 2).unwrap();
     drop(f);
     let db: DurableMap<Vec<u8>> = DurableMap::open(&home, SyncPolicy::Always).unwrap();
-    assert_eq!(db.len(), 20, "snapshot entries survive a torn WAL tail");
+    assert_eq!(db.len(), 20, "checkpoint entries survive a torn WAL tail");
     assert!(!db.contains_key(100), "the torn tail mutation is gone");
     assert_eq!(db.stats().snapshot_loaded, 20);
+    assert_eq!(db.stats().replayed, 0);
 }
