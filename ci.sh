@@ -51,6 +51,17 @@ cargo test -q --offline -p hiloc-sim --test fuzz_replication
 cargo test -q --offline -p hiloc-core --test replication
 cargo test -q --offline -p hiloc-core --test replica_torn_tail
 
+# The real-runtime fuzz gate: fixed-seed generated plans driven against
+# the *sharded threaded* and *UDP* deployments — real threads, real
+# sockets — with crash, partition-by-drop, restart and overload-burst
+# verbs. The oracle re-establishes every object after the timeline
+# heals and requires its last acked position back bit-for-bit; the
+# overload seed must actually shed at a tiny bounded inbox. The sharded
+# runtime's chaos-surface unit suite rides along.
+echo "==> real-runtime fuzz gate (threaded + UDP: crash / partition / restart / shed)"
+cargo test -q --offline -p hiloc-sim --test real_runtime_fuzz
+cargo test -q --offline -p hiloc-core --test sharded_runtime
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -82,5 +93,14 @@ echo "==> bench smoke: experiments macro --json --quick + validation"
 # full-log replay and stays history-independent across a doubled log).
 echo "==> committed BENCH_macro.json validates (incl. failover_blackout_us, recovery_us)"
 ./target/release/experiments validate-bench BENCH_macro.json
+
+# The benchmark trajectory: walks the git history of the committed
+# BENCH_*.json baselines, prints the per-PR metric table, and fails if
+# the newest snapshot regressed a headline metric by more than 25%
+# against the previous commit (baselines come from different machines,
+# so the gate hunts collapses, not noise). Outside a git checkout the
+# tool degrades to a note and the gate passes.
+echo "==> benchmark trajectory (per-PR baselines, regression check)"
+./target/release/experiments trajectory --check --tolerance 0.25
 
 echo "CI green."

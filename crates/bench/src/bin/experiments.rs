@@ -16,6 +16,10 @@
 //! experiments macro --json      # …writing BENCH_macro.json (see --out)
 //! experiments validate-bench F  # strict util::json check of a report
 //!                               # (dispatches on the schema field)
+//! experiments trajectory        # per-PR table of committed baselines
+//!                               # (walks git history of BENCH_*.json)
+//! experiments trajectory --check [--tolerance 0.25]
+//!                               # …failing on metric regressions
 //! experiments all               # everything above (except validate)
 //! experiments all --quick       # reduced sizes (CI-friendly)
 //! ```
@@ -128,6 +132,25 @@ fn main() {
             };
             validate_bench(path);
         }
+        "trajectory" => {
+            let check = args.iter().any(|a| a == "--check");
+            let tolerance = args
+                .iter()
+                .position(|a| a == "--tolerance")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|t| t.parse::<f64>().ok())
+                .unwrap_or(0.25);
+            let files: Vec<&str> = {
+                let rest: Vec<&str> = positional
+                    .iter()
+                    .skip(1)
+                    .copied()
+                    .filter(|f| f.parse::<f64>().is_err())
+                    .collect();
+                if rest.is_empty() { vec!["BENCH_macro.json", "BENCH_hotpath.json"] } else { rest }
+            };
+            run_trajectory(&files, check, tolerance);
+        }
         "all" => {
             run_table1(&scale);
             run_table2(&scale);
@@ -145,7 +168,7 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "known: table1 table2 table2-sim fig3 fig4 fig6 caching hierarchy-sweep \
-                 update-policy hotpath macro validate-bench all"
+                 update-policy hotpath macro validate-bench trajectory all"
             );
             std::process::exit(2);
         }
@@ -296,12 +319,64 @@ fn run_macro(quick: bool, json: bool, out_path: &str) {
         &["level", "servers", "updates", "queries (caches off)", "queries (caches on)"],
         &levels,
     );
+    let shard_rows: Vec<Vec<String>> = report
+        .shard_scaling
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                r.ops.to_string(),
+                format!("{:.2} s", r.wall_s),
+                format!("{:.3} s", r.max_busy_s),
+                format!("{:.3} s", r.busy_total_s),
+                fmt_rate(r.ops as f64 / r.max_busy_s.max(1e-9)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Shard scaling: threaded runtime, batched updates (host parallelism {})",
+            report.shard_scaling.host_parallelism
+        ),
+        &["shards", "ops", "wall", "max shard busy", "total busy", "ops/busy-s (critical path)"],
+        &shard_rows,
+    );
 
     if json {
         let text = report.to_json(quick).to_string_pretty();
         macro_bench::validate_report(&text).expect("self-produced report must validate");
         std::fs::write(out_path, text + "\n").expect("write bench report");
         println!("\nwrote {out_path}");
+    }
+}
+
+fn run_trajectory(files: &[&str], check: bool, tolerance: f64) {
+    let mut failed = false;
+    for file in files {
+        match hiloc_bench::trajectory::collect(file) {
+            Ok(t) if t.rows.is_empty() => {
+                println!("{file}: no committed history (skipping)");
+            }
+            Ok(t) => {
+                println!("\n{}", t.render());
+                if check {
+                    match t.check(tolerance) {
+                        Ok(()) => println!("{file}: no regression beyond {tolerance}"),
+                        Err(e) => {
+                            eprintln!("trajectory: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            // No git history available (exported tree, shallow CI
+            // checkout): the table is impossible, not wrong.
+            Err(e) => println!("{file}: trajectory unavailable ({e})"),
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -14,6 +14,7 @@ pub mod hotpath;
 pub mod macro_bench;
 pub mod table1;
 pub mod table2;
+pub mod trajectory;
 
 use std::fmt::Display;
 

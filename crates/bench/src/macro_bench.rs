@@ -15,10 +15,10 @@
 //! README "Performance" section for the `hiloc-bench-macro/v1` schema.
 
 use hiloc_core::area::HierarchyBuilder;
-use hiloc_core::cache::CacheConfig;
-use hiloc_core::model::{ObjectId, RangeQuery, SECOND};
+use hiloc_core::cache::{CacheConfig, CacheStats, HitMiss};
+use hiloc_core::model::{ObjectId, RangeQuery, Sighting, SECOND};
 use hiloc_core::node::ServerOptions;
-use hiloc_core::runtime::{LevelStats, SimDeployment};
+use hiloc_core::runtime::{LevelStats, ShardSpec, SimDeployment, ThreadedDeployment};
 use hiloc_geo::{Point, Rect, Region};
 use hiloc_net::ServerId;
 use hiloc_sim::mobility::MobilityKind;
@@ -27,7 +27,7 @@ use hiloc_storage::{DurableMap, SyncPolicy};
 use hiloc_util::json::Json;
 use hiloc_util::rng::{RngExt, SeedableRng, StdRng};
 use hiloc_util::tempdir::TempDir;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ------------------------------------------------------------- config
 
@@ -131,6 +131,13 @@ pub struct UpdatePhase {
     pub lost: u64,
     /// Objects deregistered (left the service area).
     pub deregistered: u64,
+    /// Updates transmitted but unresolved when the phase closed:
+    /// `sent - acks - handovers - deregistered - lost`. The blocking
+    /// sim resolves every update in place, so this is zero there — the
+    /// field makes the accounting identity explicit instead of leaving
+    /// a silent `sent != acks` gap in the report (the gap is handovers,
+    /// not loss, and the validator now enforces that).
+    pub in_flight: u64,
     /// Wall-clock seconds of the phase.
     pub wall_s: f64,
 }
@@ -159,6 +166,12 @@ pub struct QueryPhase {
     pub cache_hits: u64,
     /// §6.5 cache misses during the phase.
     pub cache_misses: u64,
+    /// The ablation detail: the same counters broken down per cache
+    /// (area / agent / position), full precision.
+    pub by_cache: CacheStats,
+    /// Per-query-kind attribution of the cache traffic, indexed
+    /// `[pos, range, nn]` — which kind of query drove which cache.
+    pub by_kind: [CacheStats; 3],
 }
 
 impl QueryPhase {
@@ -244,6 +257,59 @@ impl RecoveryPhase {
     }
 }
 
+/// One shard count of the shard-scaling phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRow {
+    /// Event-loop shards the deployment ran with.
+    pub shards: usize,
+    /// Batched update operations acknowledged.
+    pub ops: u64,
+    /// Wall-clock seconds of the load (includes the client's side).
+    pub wall_s: f64,
+    /// Busy seconds of the busiest shard — the critical path.
+    pub max_busy_s: f64,
+    /// Busy seconds summed over all shards.
+    pub busy_total_s: f64,
+}
+
+impl ShardRow {
+    /// Critical-path throughput: acked ops per busiest-shard busy
+    /// second.
+    fn per_busy_s(&self) -> f64 {
+        self.ops as f64 / self.max_busy_s.max(1e-9)
+    }
+}
+
+/// The shard-scaling phase of the tentpole runtime fix: the identical
+/// per-leaf `UpdateBatch` load against sharded [`ThreadedDeployment`]s
+/// at 1, 2 and 4 shards. The scaling figure is **critical-path
+/// throughput** — acked ops per busiest-shard busy second — which
+/// measures how evenly `server id % shards` spreads the work and is
+/// independent of how many cores the bench host happens to have
+/// (`host_parallelism` records that honestly; wall clock on a 1-core
+/// host cannot improve with shard count, busy-time balance can).
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// `std::thread::available_parallelism()` of the bench host.
+    pub host_parallelism: usize,
+    /// One row per shard count (1, 2, 4).
+    pub rows: Vec<ShardRow>,
+}
+
+impl ShardScaling {
+    fn per_busy_at(&self, shards: usize) -> Option<f64> {
+        self.rows.iter().find(|r| r.shards == shards).map(ShardRow::per_busy_s)
+    }
+
+    /// Critical-path speedup of 4 shards over 1.
+    fn speedup_4x(&self) -> f64 {
+        match (self.per_busy_at(1), self.per_busy_at(4)) {
+            (Some(one), Some(four)) if one > 0.0 => four / one,
+            _ => 0.0,
+        }
+    }
+}
+
 /// A complete macro run.
 #[derive(Debug, Clone)]
 pub struct MacroReport {
@@ -265,6 +331,9 @@ pub struct MacroReport {
     pub failover: FailoverPhase,
     /// The storage-recovery phase: full-log vs. checkpointed reopen.
     pub recovery: RecoveryPhase,
+    /// The shard-scaling phase: the event-driven runtime at 1/2/4
+    /// shards under identical batched update load.
+    pub shard_scaling: ShardScaling,
 }
 
 // ------------------------------------------------------------ workload
@@ -275,6 +344,16 @@ pub struct MacroReport {
 /// divide `objects` (asserted at setup).
 fn rank_to_oid(rank: usize, objects: u64) -> ObjectId {
     ObjectId((rank as u64).wrapping_mul(7919) % objects)
+}
+
+/// Field-wise `after - before` of two per-cache counter snapshots.
+fn cache_delta(after: &CacheStats, before: &CacheStats) -> CacheStats {
+    let d = |a: HitMiss, b: HitMiss| HitMiss { hits: a.hits - b.hits, misses: a.misses - b.misses };
+    CacheStats {
+        area: d(after.area, before.area),
+        agent: d(after.agent, before.agent),
+        position: d(after.position, before.position),
+    }
 }
 
 fn server_opts() -> ServerOptions {
@@ -355,6 +434,7 @@ fn run_updates(cfg: &MacroConfig, ls: &mut SimDeployment, fleets: &mut [Fleet]) 
         handovers: 0,
         lost: 0,
         deregistered: 0,
+        in_flight: 0,
         wall_s: 0.0,
     };
     let t0 = Instant::now();
@@ -370,6 +450,13 @@ fn run_updates(cfg: &MacroConfig, ls: &mut SimDeployment, fleets: &mut [Fleet]) 
         }
     }
     agg.wall_s = t0.elapsed().as_secs_f64();
+    let resolved = agg.acks + agg.handovers + agg.deregistered + agg.lost;
+    assert!(
+        resolved <= agg.sent,
+        "update accounting: {resolved} resolutions exceed {} transmissions",
+        agg.sent
+    );
+    agg.in_flight = agg.sent - resolved;
     assert_eq!(agg.lost, 0, "no update may be lost on a healthy network");
     assert!(agg.sent > 0, "the update phase must actually transmit");
     agg
@@ -394,8 +481,10 @@ fn run_queries(cfg: &MacroConfig, ls: &mut SimDeployment, caches: &'static str) 
     let net_before = ls.net_counters().0;
     let stats_before = ls.total_stats();
     let (hits_before, misses_before) = ls.cache_hit_stats();
+    let detail_before = ls.cache_stats_by_cache();
 
     let (mut pos, mut range, mut nn) = (Samples::new(), Samples::new(), Samples::new());
+    let mut by_kind = [CacheStats::default(); 3];
     let mut errors = 0u64;
     for _ in 0..cfg.queries {
         // Queries enter at a Zipf-hot leaf: clients ask their local
@@ -404,6 +493,7 @@ fn run_queries(cfg: &MacroConfig, ls: &mut SimDeployment, caches: &'static str) 
         let entry = leaves[zipf_leaf.sample(&mut rng)];
         let kind: f64 = rng.random();
         let t0 = ls.now_us();
+        let detail_q = ls.cache_stats_by_cache();
         if kind < 0.7 {
             let oid = rank_to_oid(zipf_obj.sample(&mut rng), cfg.objects);
             match ls.pos_query(entry, oid) {
@@ -427,6 +517,11 @@ fn run_queries(cfg: &MacroConfig, ls: &mut SimDeployment, caches: &'static str) 
                 Err(_) => errors += 1,
             }
         }
+        // Attribute the cache traffic of this query to its kind. The
+        // sim is single-threaded, so the snapshot delta around the
+        // blocking call is exactly this query's footprint.
+        let k = if kind < 0.7 { 0 } else if kind < 0.9 { 1 } else { 2 };
+        by_kind[k].add(&cache_delta(&ls.cache_stats_by_cache(), &detail_q));
     }
 
     let after = ls.total_stats();
@@ -442,6 +537,8 @@ fn run_queries(cfg: &MacroConfig, ls: &mut SimDeployment, caches: &'static str) 
         msgs_dir: (delta.msgs_up, delta.msgs_down, delta.msgs_peer, delta.msgs_client),
         cache_hits: hits - hits_before,
         cache_misses: misses - misses_before,
+        by_cache: cache_delta(&ls.cache_stats_by_cache(), &detail_before),
+        by_kind,
     }
 }
 
@@ -582,6 +679,109 @@ fn run_recovery(cfg: &MacroConfig) -> RecoveryPhase {
     phase
 }
 
+/// The shard-scaling phase: deploys the *threaded* runtime (real
+/// threads, channel transport, bounded inboxes) over a 1-level
+/// fanout-2 grid at 1, 2 and 4 shards, registers the same per-leaf
+/// population into each, and drives identical rounds of per-leaf
+/// `UpdateBatch` load. Busy time is snapshotted after registration so
+/// the rows measure steady-state update work only.
+fn run_shard_scaling(cfg: &MacroConfig) -> ShardScaling {
+    let per_leaf = (cfg.objects / 500).clamp(100, 2_000);
+    let rounds = if cfg.objects >= 500_000 { 10 } else { 2 };
+    let side = 2_000.0;
+    let margin = 50.0;
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(side, side));
+        let h = HierarchyBuilder::grid(area, 1, 2).build().expect("shard-scaling hierarchy");
+        let leaves: Vec<(ServerId, Rect)> = h
+            .servers()
+            .iter()
+            .filter(|c| c.is_leaf())
+            .map(|c| (c.id, c.area))
+            .collect();
+        let ls = ThreadedDeployment::new_sharded(
+            h,
+            server_opts(),
+            ShardSpec { shards, ..Default::default() },
+        );
+        let mut client = ls.client();
+        client.set_timeout(Duration::from_secs(30));
+
+        // Identical seed per shard count: every deployment sees the
+        // byte-identical registration and update load.
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0005_44D5);
+        let jiggle = |rng: &mut StdRng, r: &Rect| {
+            Point::new(
+                rng.random_range(r.min().x + margin..r.max().x - margin),
+                rng.random_range(r.min().y + margin..r.max().y - margin),
+            )
+        };
+        let mut oid = 0u64;
+        for (leaf, rect) in &leaves {
+            for _ in 0..per_leaf {
+                let s = Sighting::new(ObjectId(oid), ls.now_us(), jiggle(&mut rng, rect), 5.0);
+                let (agent, _) = client
+                    .register(*leaf, s, 10.0, 50.0, cfg.speed_mps)
+                    .expect("shard-scaling registration");
+                assert_eq!(agent, *leaf, "objects register inside their leaf");
+                oid += 1;
+            }
+        }
+
+        let busy0 = ls.shard_busy();
+        let mut ops = 0u64;
+        let t0 = Instant::now();
+        for (li, (leaf, rect)) in leaves.iter().enumerate() {
+            for _ in 0..rounds {
+                let base = li as u64 * per_leaf;
+                let sightings: Vec<Sighting> = (0..per_leaf)
+                    .map(|i| {
+                        Sighting::new(
+                            ObjectId(base + i),
+                            ls.now_us(),
+                            jiggle(&mut rng, rect),
+                            5.0,
+                        )
+                    })
+                    .collect();
+                let n = sightings.len();
+                let acks =
+                    client.update_batch(*leaf, sightings).expect("shard-scaling update batch");
+                assert_eq!(acks.len(), n, "every batched update must be acked");
+                ops += acks.len() as u64;
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let busy1 = ls.shard_busy();
+        let deltas: Vec<f64> = busy1
+            .iter()
+            .zip(&busy0)
+            .map(|(a, b)| (*a - *b).as_secs_f64())
+            .collect();
+        let max_busy_s = deltas.iter().cloned().fold(0.0, f64::max);
+        let busy_total_s = deltas.iter().sum();
+        let stats = ls.shutdown();
+        if std::env::var_os("HILOC_SHARD_DEBUG").is_some() {
+            eprintln!("shards={shards} busy={deltas:?}");
+            for (i, s) in stats.iter().enumerate() {
+                eprintln!(
+                    "  server {i}: in={} up={} down={} peer={} client={}",
+                    s.msgs_in, s.msgs_up, s.msgs_down, s.msgs_peer, s.msgs_client
+                );
+            }
+        }
+        let shed: u64 = stats.iter().map(|s| s.inbox_shed).sum();
+        assert_eq!(shed, 0, "the blocking scaling load must not overflow default inboxes");
+        assert_eq!(ops, leaves.len() as u64 * per_leaf * rounds);
+        rows.push(ShardRow { shards, ops, wall_s, max_busy_s, busy_total_s });
+    }
+    ShardScaling {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows,
+    }
+}
+
 fn level_delta(after: &[LevelStats], before: &[LevelStats]) -> Vec<(u32, usize, u64)> {
     after
         .iter()
@@ -617,6 +817,7 @@ pub fn run(cfg: &MacroConfig) -> MacroReport {
 
     let failover = run_failover(cfg, &mut ls);
     let recovery = run_recovery(cfg);
+    let shard_scaling = run_shard_scaling(cfg);
 
     let upd = level_delta(&after_updates, &after_register);
     let qoff = level_delta(&after_off, &after_updates);
@@ -644,6 +845,7 @@ pub fn run(cfg: &MacroConfig) -> MacroReport {
         levels,
         failover,
         recovery,
+        shard_scaling,
     }
 }
 
@@ -657,6 +859,21 @@ fn rate(v: f64) -> Json {
     // Whole ops/s: sub-op precision is machine noise and integers keep
     // the committed baseline diff-friendly.
     Json::Num(v.round())
+}
+
+fn hit_miss_json(h: &HitMiss) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), num(h.hits as f64)),
+        ("misses".into(), num(h.misses as f64)),
+    ])
+}
+
+fn cache_stats_json(c: &CacheStats) -> Json {
+    Json::Obj(vec![
+        ("area".into(), hit_miss_json(&c.area)),
+        ("agent".into(), hit_miss_json(&c.agent)),
+        ("position".into(), hit_miss_json(&c.position)),
+    ])
 }
 
 fn summary_json(s: &Summary) -> Json {
@@ -703,6 +920,20 @@ impl MacroReport {
                             (
                                 "hit_rate".into(),
                                 num((p.hit_rate() * 1_000.0).round() / 1_000.0),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "cache_detail".into(),
+                        Json::Obj(vec![
+                            ("by_cache".into(), cache_stats_json(&p.by_cache)),
+                            (
+                                "by_kind".into(),
+                                Json::Obj(vec![
+                                    ("pos".into(), cache_stats_json(&p.by_kind[0])),
+                                    ("range".into(), cache_stats_json(&p.by_kind[1])),
+                                    ("nn".into(), cache_stats_json(&p.by_kind[2])),
+                                ]),
                             ),
                         ]),
                     ),
@@ -760,6 +991,7 @@ impl MacroReport {
                     ("handovers".into(), num(self.updates.handovers as f64)),
                     ("lost".into(), num(self.updates.lost as f64)),
                     ("deregistered".into(), num(self.updates.deregistered as f64)),
+                    ("in_flight".into(), num(self.updates.in_flight as f64)),
                     ("wall_s".into(), num((self.updates.wall_s * 1_000.0).round() / 1_000.0)),
                     (
                         "per_s".into(),
@@ -793,6 +1025,47 @@ impl MacroReport {
                     ("ops_2x".into(), num(self.recovery.ops_2x as f64)),
                     ("cold_full_log_2x".into(), num(self.recovery.cold_full_log_2x_us as f64)),
                     ("checkpointed_2x".into(), num(self.recovery.checkpointed_2x_us as f64)),
+                ]),
+            ),
+            (
+                "shard_scaling".into(),
+                Json::Obj(vec![
+                    (
+                        "host_parallelism".into(),
+                        num(self.shard_scaling.host_parallelism as f64),
+                    ),
+                    (
+                        "rows".into(),
+                        Json::Arr(
+                            self.shard_scaling
+                                .rows
+                                .iter()
+                                .map(|r| {
+                                    Json::Obj(vec![
+                                        ("shards".into(), num(r.shards as f64)),
+                                        ("ops".into(), num(r.ops as f64)),
+                                        (
+                                            "wall_s".into(),
+                                            num((r.wall_s * 1e6).round() / 1e6),
+                                        ),
+                                        (
+                                            "max_busy_s".into(),
+                                            num((r.max_busy_s * 1e6).round() / 1e6),
+                                        ),
+                                        (
+                                            "busy_total_s".into(),
+                                            num((r.busy_total_s * 1e6).round() / 1e6),
+                                        ),
+                                        ("per_busy_s".into(), rate(r.per_busy_s())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "speedup_4x".into(),
+                        num((self.shard_scaling.speedup_4x() * 100.0).round() / 100.0),
+                    ),
                 ]),
             ),
             ("levels".into(), Json::Arr(levels)),
@@ -848,6 +1121,32 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         if !(per_s.is_finite() && per_s > 0.0) {
             return Err(format!("non-positive {phase}.per_s {per_s}"));
         }
+    }
+
+    // The update-accounting identity: every transmitted update must be
+    // accounted for by exactly one outcome. The committed baseline's
+    // `sent != acks` gap is handovers — this rejects any report where
+    // the books don't balance (the bug this field was added to fix:
+    // the gap used to be unexplained while `lost` claimed 0).
+    let upd_num = |field: &str| {
+        doc.get("updates")
+            .and_then(|u| u.get(field))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing updates.{field}"))
+    };
+    let (sent, acks) = (upd_num("sent")?, upd_num("acks")?);
+    let (handovers, lost) = (upd_num("handovers")?, upd_num("lost")?);
+    let (dereg, in_flight) = (upd_num("deregistered")?, upd_num("in_flight")?);
+    if sent != acks + handovers + dereg + lost + in_flight {
+        return Err(format!(
+            "update accounting identity violated: sent {sent} != acks {acks} + handovers \
+             {handovers} + deregistered {dereg} + lost {lost} + in_flight {in_flight}"
+        ));
+    }
+    if !quick && in_flight != 0.0 {
+        return Err(format!(
+            "full run: the blocking sim resolves every update in place, got in_flight {in_flight}"
+        ));
     }
 
     let phases = doc
@@ -913,6 +1212,54 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                 return Err("caches-on phase never hit a cache".to_string())
             }
             _ => {}
+        }
+
+        // The ablation detail must be internally consistent: per-cache
+        // counters sum to the phase totals, and per-kind attribution
+        // sums back to the per-cache counters.
+        let detail = phase
+            .get("cache_detail")
+            .ok_or_else(|| "query phase without cache_detail".to_string())?;
+        let hm = |node: &Json, path: &str, cache: &str| -> Result<(f64, f64), String> {
+            let get = |f: &str| {
+                node.get(cache)
+                    .and_then(|c| c.get(f))
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("missing cache_detail {path}.{cache}.{f}"))
+            };
+            Ok((get("hits")?, get("misses")?))
+        };
+        let by_cache = detail
+            .get("by_cache")
+            .ok_or_else(|| "cache_detail without by_cache".to_string())?;
+        let by_kind = detail
+            .get("by_kind")
+            .ok_or_else(|| "cache_detail without by_kind".to_string())?;
+        let (mut total_h, mut total_m) = (0.0, 0.0);
+        for cache in ["area", "agent", "position"] {
+            let (h, m) = hm(by_cache, "by_cache", cache)?;
+            total_h += h;
+            total_m += m;
+            let (mut kh, mut km) = (0.0, 0.0);
+            for kind in ["pos", "range", "nn"] {
+                let node = by_kind
+                    .get(kind)
+                    .ok_or_else(|| format!("cache_detail.by_kind without {kind}"))?;
+                let (h2, m2) = hm(node, kind, cache)?;
+                kh += h2;
+                km += m2;
+            }
+            if kh != h || km != m {
+                return Err(format!(
+                    "cache_detail.{cache}: per-kind sum {kh}/{km} != by_cache {h}/{m}"
+                ));
+            }
+        }
+        if total_h != hits || total_m != misses {
+            return Err(format!(
+                "cache_detail totals {total_h}/{total_m} disagree with cache \
+                 counters {hits}/{misses}"
+            ));
         }
     }
 
@@ -995,6 +1342,51 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         }
     }
 
+    let ss = doc.get("shard_scaling").ok_or_else(|| "missing shard_scaling".to_string())?;
+    let hp = ss
+        .get("host_parallelism")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing shard_scaling.host_parallelism".to_string())?;
+    if hp < 1.0 {
+        return Err(format!("shard_scaling.host_parallelism {hp} below 1"));
+    }
+    let rows = ss
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing shard_scaling.rows".to_string())?;
+    let mut counts = Vec::new();
+    for row in rows {
+        let row_num = |f: &str| {
+            row.get(f).and_then(Json::as_f64).ok_or_else(|| format!("shard row without {f}"))
+        };
+        counts.push(row_num("shards")?);
+        for f in ["ops", "wall_s", "max_busy_s", "busy_total_s", "per_busy_s"] {
+            let v = row_num(f)?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("shard row {f} {v} is not positive"));
+            }
+        }
+    }
+    if counts != [1.0, 2.0, 4.0] {
+        return Err(format!("shard_scaling must cover shards [1, 2, 4], got {counts:?}"));
+    }
+    let speedup = ss
+        .get("speedup_4x")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing shard_scaling.speedup_4x".to_string())?;
+    if !(speedup.is_finite() && speedup > 0.0) {
+        return Err(format!("shard_scaling.speedup_4x {speedup} is not positive"));
+    }
+    // The tentpole gate: at full scale, 4 shards must deliver >= 2.5x
+    // the 1-shard critical-path (busiest-shard busy-time) throughput.
+    // Quick/tiny loads are small enough for busy-time deltas to be
+    // scheduler noise, so the ratio is only enforced on full runs.
+    if !quick && speedup < 2.5 {
+        return Err(format!(
+            "full run: 4-shard critical-path speedup {speedup} is below the 2.5x gate"
+        ));
+    }
+
     let levels = doc
         .get("levels")
         .and_then(Json::as_array)
@@ -1040,6 +1432,8 @@ mod tests {
         let report = run(&tiny());
         assert_eq!(report.servers, 5, "1 root + 4 leaves");
         assert_eq!(report.query_phases.len(), 2);
+        assert_eq!(report.updates.in_flight, 0, "the blocking sim leaves nothing in flight");
+        assert_eq!(report.shard_scaling.rows.len(), 3, "shard counts 1, 2, 4");
         assert!(report.failover.cold_blackout_us > 0);
         assert!(report.failover.warm_blackout_us > 0);
         assert!(
@@ -1049,6 +1443,17 @@ mod tests {
         );
         let text = report.to_json(true).to_string_pretty();
         validate_report(&text).expect("self-produced report must validate");
+    }
+
+    #[test]
+    #[ignore = "full-scale shard phase (~minutes); run explicitly before committing a baseline"]
+    fn full_scale_shard_scaling_hits_the_gate() {
+        let ss = run_shard_scaling(&MacroConfig::full());
+        assert!(
+            ss.speedup_4x() >= 2.5,
+            "4-shard critical-path speedup {:.2} below the 2.5x gate: {ss:?}",
+            ss.speedup_4x()
+        );
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Per-PR benchmark trajectory: walks the git history of the committed
+//! `BENCH_macro.json` / `BENCH_hotpath.json` baselines and renders how
+//! the headline metrics moved commit over commit — the growth log of
+//! the repo, readable without checking anything out.
+//!
+//! Std-only: history comes from `git log` / `git show` via
+//! [`std::process::Command`], documents are parsed with
+//! [`hiloc_util::json`]. Extraction is deliberately *tolerant* —
+//! metrics added in later PRs (e.g. `shard_scaling`) are simply absent
+//! from older snapshots, and a row shows `-` there instead of failing.
+//!
+//! `experiments trajectory` prints the tables;
+//! `experiments trajectory --check [--tolerance 0.25]` additionally
+//! compares the newest snapshot against the previous one and fails on
+//! any metric that regressed beyond the tolerance — the CI gate that
+//! keeps a PR from silently committing a worse baseline.
+
+use hiloc_util::json::Json;
+use std::process::Command;
+
+/// A metric column: where it lives in the document and which direction
+/// is better.
+struct MetricSpec {
+    /// Column label.
+    name: &'static str,
+    /// `true` if larger values are improvements.
+    higher_is_better: bool,
+    /// Pulls the value out of a parsed report, `None` when the
+    /// snapshot predates the metric.
+    extract: fn(&Json) -> Option<f64>,
+}
+
+fn path_f64(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = doc;
+    for seg in path {
+        node = node.get(seg)?;
+    }
+    node.as_f64()
+}
+
+fn macro_metrics() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec {
+            name: "reg/s",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["register", "per_s"]),
+        },
+        MetricSpec {
+            name: "upd/s",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["updates", "per_s"]),
+        },
+        MetricSpec {
+            name: "pos p50 us (on)",
+            higher_is_better: false,
+            extract: |d| {
+                let phases = d.get("query_phases").and_then(Json::as_array)?;
+                let on = phases
+                    .iter()
+                    .find(|p| p.get("caches").and_then(Json::as_str) == Some("on"))?;
+                path_f64(on, &["pos", "p50_us"])
+            },
+        },
+        MetricSpec {
+            name: "hit rate",
+            higher_is_better: true,
+            extract: |d| {
+                let phases = d.get("query_phases").and_then(Json::as_array)?;
+                let on = phases
+                    .iter()
+                    .find(|p| p.get("caches").and_then(Json::as_str) == Some("on"))?;
+                path_f64(on, &["cache", "hit_rate"])
+            },
+        },
+        MetricSpec {
+            name: "failover x",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["failover_blackout_us", "speedup"]),
+        },
+        MetricSpec {
+            name: "recovery x",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["recovery_us", "speedup"]),
+        },
+        MetricSpec {
+            name: "shard 4x",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["shard_scaling", "speedup_4x"]),
+        },
+    ]
+}
+
+fn hotpath_metrics() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec {
+            name: "storm x (quadtree)",
+            higher_is_better: true,
+            extract: |d| {
+                let rows = d.get("update_storm_speedup").and_then(Json::as_array)?;
+                rows.iter()
+                    .find(|r| r.get("index").and_then(Json::as_str) == Some("quadtree"))
+                    .and_then(|r| path_f64(r, &["speedup"]))
+            },
+        },
+        MetricSpec {
+            name: "leaf single/s",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["leaf_storm", "single_ops_per_s"]),
+        },
+        MetricSpec {
+            name: "leaf batch/s",
+            higher_is_better: true,
+            extract: |d| path_f64(d, &["leaf_storm", "batch_ops_per_s"]),
+        },
+    ]
+}
+
+fn metrics_for(file: &str) -> Vec<MetricSpec> {
+    if file.contains("macro") { macro_metrics() } else { hotpath_metrics() }
+}
+
+/// One committed snapshot of a baseline file.
+pub struct TrajectoryRow {
+    /// Abbreviated commit hash.
+    pub commit: String,
+    /// First line of the commit message.
+    pub subject: String,
+    /// Metric values in spec order; `None` where the snapshot predates
+    /// the metric (or the document did not parse).
+    pub values: Vec<Option<f64>>,
+}
+
+/// The walked history of one baseline file, oldest first.
+pub struct Trajectory {
+    /// The baseline file (repo-relative).
+    pub file: String,
+    /// Metric column labels.
+    pub columns: Vec<&'static str>,
+    /// Whether each column improves upward.
+    pub higher_is_better: Vec<bool>,
+    /// One row per commit that touched the file.
+    pub rows: Vec<TrajectoryRow>,
+}
+
+fn git(args: &[&str]) -> Result<String, String> {
+    let out = Command::new("git")
+        .args(args)
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git {} failed: {}",
+            args.first().copied().unwrap_or(""),
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    String::from_utf8(out.stdout).map_err(|e| format!("git output not utf-8: {e}"))
+}
+
+/// Walks the git history of `file` (oldest first) and extracts the
+/// metric row from every committed snapshot.
+pub fn collect(file: &str) -> Result<Trajectory, String> {
+    let specs = metrics_for(file);
+    let log = git(&["log", "--reverse", "--format=%h%x09%s", "--", file])?;
+    let mut rows = Vec::new();
+    for line in log.lines() {
+        let (commit, subject) = line.split_once('\t').unwrap_or((line, ""));
+        // A commit can touch the file by deleting it; `git show` then
+        // fails and the snapshot is skipped rather than fatal.
+        let Ok(text) = git(&["show", &format!("{commit}:{file}")]) else {
+            continue;
+        };
+        let doc = Json::parse(&text).ok();
+        let values = specs
+            .iter()
+            .map(|s| doc.as_ref().and_then(|d| (s.extract)(d)))
+            .collect();
+        rows.push(TrajectoryRow {
+            commit: commit.to_string(),
+            subject: subject.to_string(),
+            values,
+        });
+    }
+    Ok(Trajectory {
+        file: file.to_string(),
+        columns: specs.iter().map(|s| s.name).collect(),
+        higher_is_better: specs.iter().map(|s| s.higher_is_better).collect(),
+        rows,
+    })
+}
+
+fn fmt_cell(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(x) if x.abs() >= 1_000.0 => format!("{x:.0}"),
+        Some(x) => format!("{x:.2}"),
+    }
+}
+
+impl Trajectory {
+    /// Renders the per-PR ASCII table (oldest commit first).
+    pub fn render(&self) -> String {
+        let mut head = vec!["commit".to_string(), "subject".to_string()];
+        head.extend(self.columns.iter().map(|c| c.to_string()));
+        let mut body: Vec<Vec<String>> = Vec::new();
+        for row in &self.rows {
+            let mut cells = vec![row.commit.clone(), truncate(&row.subject, 44)];
+            cells.extend(row.values.iter().map(|v| fmt_cell(*v)));
+            body.push(cells);
+        }
+        let widths: Vec<usize> = head
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                body.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(h.len())
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let sep = format!(
+            "|{}|",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        );
+        let mut out = format!("## {} trajectory\n\n", self.file);
+        out.push_str(&fmt_row(&head));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in body {
+            out.push_str(&fmt_row(&row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compares the newest snapshot against the previous one and
+    /// reports every metric that regressed beyond `tolerance`
+    /// (fractional: `0.25` allows a 25% move in the wrong direction —
+    /// committed baselines come from different machines, so the gate
+    /// hunts collapses, not noise). Metrics missing on either side are
+    /// skipped: a newly added metric has no baseline to regress from.
+    pub fn check(&self, tolerance: f64) -> Result<(), String> {
+        let [.., prev, last] = self.rows.as_slice() else {
+            return Ok(()); // fewer than two snapshots: nothing to compare
+        };
+        let mut failures = Vec::new();
+        for (i, name) in self.columns.iter().enumerate() {
+            let (Some(old), Some(new)) = (prev.values[i], last.values[i]) else {
+                continue;
+            };
+            if old <= 0.0 {
+                continue;
+            }
+            let regressed = if self.higher_is_better[i] {
+                new < old * (1.0 - tolerance)
+            } else {
+                new > old * (1.0 + tolerance)
+            };
+            if regressed {
+                failures.push(format!(
+                    "{}: {name} regressed {} -> {} ({} vs {prev_c} within {tol}%)",
+                    self.file,
+                    fmt_cell(Some(old)),
+                    fmt_cell(Some(new)),
+                    last.commit,
+                    prev_c = prev.commit,
+                    tol = (tolerance * 100.0).round()
+                ));
+            }
+        }
+        if failures.is_empty() { Ok(()) } else { Err(failures.join("\n")) }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_macro_doc(with_shards: bool) -> Json {
+        let mut text = String::from(
+            r#"{"schema":"hiloc-bench-macro/v1",
+               "register":{"per_s":30000},
+               "updates":{"per_s":90000},
+               "query_phases":[
+                 {"caches":"off","pos":{"p50_us":900},"cache":{"hit_rate":0}},
+                 {"caches":"on","pos":{"p50_us":500},"cache":{"hit_rate":0.8}}],
+               "failover_blackout_us":{"speedup":100.0},
+               "recovery_us":{"speedup":8.0}"#,
+        );
+        if with_shards {
+            text.push_str(r#","shard_scaling":{"speedup_4x":3.4}"#);
+        }
+        text.push('}');
+        Json::parse(&text).expect("fixture parses")
+    }
+
+    fn rows_from(docs: &[(&str, Json)]) -> Trajectory {
+        let specs = macro_metrics();
+        Trajectory {
+            file: "BENCH_macro.json".into(),
+            columns: specs.iter().map(|s| s.name).collect(),
+            higher_is_better: specs.iter().map(|s| s.higher_is_better).collect(),
+            rows: docs
+                .iter()
+                .map(|(c, d)| TrajectoryRow {
+                    commit: (*c).to_string(),
+                    subject: format!("commit {c}"),
+                    values: specs.iter().map(|s| (s.extract)(d)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn extraction_is_tolerant_of_missing_metrics() {
+        let t = rows_from(&[("aaa", fake_macro_doc(false)), ("bbb", fake_macro_doc(true))]);
+        let shard_col = t.columns.iter().position(|c| *c == "shard 4x").unwrap();
+        assert_eq!(t.rows[0].values[shard_col], None, "old snapshot predates the metric");
+        assert_eq!(t.rows[1].values[shard_col], Some(3.4));
+        // A newly appearing metric has no baseline: check passes.
+        t.check(0.25).expect("new metric must not trip the gate");
+        let table = t.render();
+        assert!(table.contains("aaa") && table.contains('-'), "missing cell renders as -:\n{table}");
+    }
+
+    #[test]
+    fn check_flags_collapses_and_allows_noise() {
+        let mut improved = fake_macro_doc(true);
+        // 10% faster registration: inside any sane tolerance.
+        if let Json::Obj(fields) = &mut improved {
+            for (k, v) in fields.iter_mut() {
+                if k == "register" {
+                    *v = Json::parse(r#"{"per_s":33000}"#).unwrap();
+                }
+            }
+        }
+        let t = rows_from(&[("old", fake_macro_doc(true)), ("new", improved)]);
+        t.check(0.25).expect("improvement passes");
+
+        let mut collapsed = fake_macro_doc(true);
+        if let Json::Obj(fields) = &mut collapsed {
+            for (k, v) in fields.iter_mut() {
+                if k == "updates" {
+                    *v = Json::parse(r#"{"per_s":40000}"#).unwrap();
+                }
+            }
+        }
+        let t = rows_from(&[("old", fake_macro_doc(true)), ("new", collapsed)]);
+        let err = t.check(0.25).expect_err("a >25% collapse must fail");
+        assert!(err.contains("upd/s"), "names the metric: {err}");
+    }
+
+    #[test]
+    fn single_snapshot_passes_check() {
+        let t = rows_from(&[("solo", fake_macro_doc(true))]);
+        t.check(0.1).expect("one snapshot has nothing to regress from");
+    }
+}

@@ -85,6 +85,50 @@ impl CachedPosition {
     }
 }
 
+/// Hit/miss counters of one cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through (absent, stale, or aged out).
+    pub misses: u64,
+}
+
+impl HitMiss {
+    fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+}
+
+/// Per-cache hit/miss breakdown — the §6.5 ablation observable: which
+/// of the three caches actually earns its memory under a given
+/// workload.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Area cache (range-query direct scatter).
+    pub area: HitMiss,
+    /// Agent cache (direct-to-agent position queries).
+    pub agent: HitMiss,
+    /// Position cache (aged locally-answered position queries).
+    pub position: HitMiss,
+}
+
+impl CacheStats {
+    /// Folds another breakdown into this one (fleet aggregation).
+    pub fn add(&mut self, other: &CacheStats) {
+        self.area.hits += other.area.hits;
+        self.area.misses += other.area.misses;
+        self.agent.hits += other.agent.hits;
+        self.agent.misses += other.agent.misses;
+        self.position.hits += other.position.hits;
+        self.position.misses += other.position.misses;
+    }
+}
+
 /// The cache state of one (leaf) location server.
 #[derive(Debug, Default)]
 pub struct Caches {
@@ -92,8 +136,7 @@ pub struct Caches {
     areas: BTreeMap<ServerId, Rect>,
     agents: BTreeMap<ObjectId, ServerId>,
     positions: BTreeMap<ObjectId, CachedPosition>,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl Caches {
@@ -109,7 +152,24 @@ impl Caches {
 
     /// `(hits, misses)` across all three caches.
     pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        let s = &self.stats;
+        (
+            s.area.hits + s.agent.hits + s.position.hits,
+            s.area.misses + s.agent.misses + s.position.misses,
+        )
+    }
+
+    /// The per-cache hit/miss breakdown.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Records the outcome of one area-cache consultation. The
+    /// covered-enough decision lives in the range-query path (it knows
+    /// the probe's coverage target), so it reports the verdict here
+    /// rather than this module guessing it.
+    pub fn record_area(&mut self, hit: bool) {
+        self.stats.area.record(hit);
     }
 
     // ---------------------------------------------------------- area cache
@@ -173,11 +233,11 @@ impl Caches {
         }
         match self.agents.get(&oid) {
             Some(&a) => {
-                self.hits += 1;
+                self.stats.agent.record(true);
                 Some(a)
             }
             None => {
-                self.misses += 1;
+                self.stats.agent.record(false);
                 None
             }
         }
@@ -239,16 +299,16 @@ impl Caches {
             Some(c) => {
                 let aged = c.aged(now);
                 if aged.acc_m <= self.config.position_max_aged_acc_m {
-                    self.hits += 1;
+                    self.stats.position.record(true);
                     Some(aged)
                 } else {
                     self.positions.remove(&oid);
-                    self.misses += 1;
+                    self.stats.position.record(false);
                     None
                 }
             }
             None => {
-                self.misses += 1;
+                self.stats.position.record(false);
                 None
             }
         }

@@ -182,6 +182,13 @@ pub struct ServerStats {
     pub delta_records_in: u64,
     /// Position queries answered from the leaf replica table.
     pub replica_answers: u64,
+    /// Messages addressed to this server that a runtime dropped at a
+    /// full bounded inbox (overload shedding). The sans-IO server
+    /// never increments this itself — the sharded deployment runtime
+    /// attributes its per-destination shed counters here at snapshot
+    /// time, so overload shows up in the same per-server ledger as
+    /// everything else.
+    pub inbox_shed: u64,
 }
 
 /// Applies `f` to every counter pair of two stats values — the single
@@ -216,6 +223,7 @@ fn stats_zip(a: &mut ServerStats, b: &ServerStats, f: impl Fn(&mut u64, u64)) {
     f(&mut a.delta_retries, b.delta_retries);
     f(&mut a.delta_records_in, b.delta_records_in);
     f(&mut a.replica_answers, b.replica_answers);
+    f(&mut a.inbox_shed, b.inbox_shed);
 }
 
 impl ServerStats {
@@ -343,9 +351,14 @@ impl LocationServer {
         self.stats
     }
 
-    /// Cache hit/miss counters.
+    /// Cache hit/miss counters summed across the three §6.5 caches.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.caches.hit_stats()
+    }
+
+    /// Per-cache (area / agent / position) hit/miss breakdown.
+    pub fn cache_stats_detail(&self) -> crate::cache::CacheStats {
+        self.caches.stats()
     }
 
     /// Replaces the §6.5 cache configuration at runtime, dropping all

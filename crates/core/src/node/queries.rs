@@ -300,7 +300,9 @@ impl LocationServer {
                     covered += inter;
                 }
             }
-            if !targets.is_empty() && covered + 1e-9 * target_m2.max(1.0) >= target_m2 {
+            let hit = !targets.is_empty() && covered + 1e-9 * target_m2.max(1.0) >= target_m2;
+            self.caches.record_area(hit);
+            if hit {
                 for t in targets {
                     self.emit(t, Message::RangeQueryFwd { query: query.clone(), entry: self.id(), corr });
                 }

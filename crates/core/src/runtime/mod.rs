@@ -5,16 +5,24 @@
 //! * [`SimDeployment`] — deterministic virtual-time simulation over
 //!   [`hiloc_net::SimNet`]; reproducible experiments, message-flow
 //!   tracing (Figure 6 tests), fault injection.
-//! * [`ThreadedDeployment`] — one OS thread per server over
-//!   [`hiloc_net::ChannelNetwork`]; real wall-clock concurrency for the
-//!   Table 2 measurements.
-//! * [`UdpDeployment`] — one UDP socket and OS thread per server; the
-//!   paper's transport, deployable across processes and hosts.
+//! * [`ThreadedDeployment`] — sharded event loops over
+//!   [`hiloc_net::ChannelNetwork`] with bounded, shedding inboxes;
+//!   real wall-clock concurrency for the Table 2 measurements.
+//! * [`UdpDeployment`] — sharded event loops, one batched UDP socket
+//!   per shard; the paper's transport, deployable across processes and
+//!   hosts.
+//!
+//! Both real-transport runtimes share the [`sharded`] engine: servers
+//! partitioned across per-core shards by id, batch rx/tx, and the
+//! crash / partition-by-drop / restart verbs the scenario fuzzer
+//! drives.
 
+mod sharded;
 mod sim;
 mod threaded;
 mod udp;
 
+pub use sharded::ShardSpec;
 pub use sim::{CrashMode, LevelStats, SimDeployment, UpdateOutcome};
 pub use threaded::{SyncClient, ThreadedDeployment};
 pub use udp::{UdpClient, UdpDeployment};

@@ -1,0 +1,547 @@
+//! The sharded, event-driven deployment engine behind
+//! [`ThreadedDeployment`](crate::runtime::ThreadedDeployment) and
+//! [`UdpDeployment`](crate::runtime::UdpDeployment).
+//!
+//! Instead of one blocking socket and one OS thread per server, the
+//! engine runs **one event loop per shard**: servers are partitioned
+//! across shards by server id (`id % shards`), which — because every
+//! leaf owns a disjoint service area and objects map to leaves by
+//! area — partitions visitor/object state across cores the same way
+//! the slab store decouples storage from index. Each loop:
+//!
+//! 1. applies pending control commands (crash / restart / snapshot),
+//! 2. fires due timers on its local servers,
+//! 3. naps until the earliest local timer (bounded by [`MAX_NAP`]),
+//! 4. drains a **batch** of envelopes from its transport in one wait
+//!    (`recv_batch`: one timed receive, then non-blocking syscalls or
+//!    `try_recv` until empty), and
+//! 5. dispatches the batch, looping same-shard server→server traffic
+//!    through an in-memory queue without ever touching the transport.
+//!
+//! Inboxes are **bounded**: the channel transport backs every shard
+//! with `util::sync::channel::bounded(inbox_cap)` and sheds (drops +
+//! counts) on overflow instead of accumulating without limit; the UDP
+//! transport's bound is the kernel socket buffer. Shed envelopes are
+//! attributed to their *destination* server and surface as
+//! [`ServerStats::inbox_shed`] in snapshots and shutdown stats.
+//!
+//! The loop also keeps a per-shard **busy time**: wall clock spent
+//! processing (timers + dispatch), excluding the nap waits. Busy time
+//! is the scaling metric the macro bench's shard phase reports — on a
+//! host with at least as many cores as shards it is the wall clock of
+//! the critical-path shard, and unlike wall clock it measures load
+//! balance honestly even when CI pins everything to one core.
+
+// lint:allow-file(wallclock) real-time event-loop runtime: naps, busy-time accounting and command deadlines come from the host clock by design
+use crate::area::Hierarchy;
+use crate::model::Micros;
+use crate::node::{LocationServer, ServerOptions, ServerStats};
+use crate::proto::Message;
+use hiloc_net::{Endpoint, Envelope, ServerId};
+use hiloc_util::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hiloc_util::sync::RwLock;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on one event-loop nap: commands (crash, snapshot,
+/// shutdown) are observed within this latency even on an idle shard.
+pub(crate) const MAX_NAP: Duration = Duration::from_millis(10);
+
+/// How a deployment is cut into event-loop shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards; `0` resolves to the host's available
+    /// parallelism (capped at the server count).
+    pub shards: usize,
+    /// Bounded inbox capacity per shard (channel transport); overflow
+    /// is shed, not queued.
+    pub inbox_cap: usize,
+    /// Maximum envelopes drained from the transport per wakeup.
+    pub batch_max: usize,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec { shards: 0, inbox_cap: 4096, batch_max: 256 }
+    }
+}
+
+impl ShardSpec {
+    /// The effective shard count for `n_servers` servers.
+    pub fn resolve(&self, n_servers: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        };
+        let raw = if self.shards == 0 { auto() } else { self.shards };
+        raw.clamp(1, n_servers.max(1))
+    }
+
+    /// The partitioning rule: which shard owns server `id`.
+    pub fn shard_of(id: ServerId, shards: usize) -> usize {
+        id.0 as usize % shards
+    }
+}
+
+/// Deployment-wide chaos + overload accounting, shared by every shard
+/// and client of one deployment.
+pub(crate) struct Shared {
+    /// Server id → partition group; empty map = fully connected.
+    /// Server↔server envelopes crossing groups are dropped
+    /// (partition-by-drop); client traffic is unaffected.
+    partition: RwLock<BTreeMap<u32, u32>>,
+    /// Fast path: skips the partition read lock while no partition is
+    /// installed (the common case on the message hot path).
+    partition_active: AtomicBool,
+    /// Envelopes dropped by the partition filter.
+    partition_dropped: AtomicU64,
+    /// Per-destination-server shed counters (indexed by `id.0`):
+    /// envelopes dropped because the destination's bounded inbox was
+    /// full.
+    shed: Vec<AtomicU64>,
+}
+
+impl Shared {
+    pub(crate) fn new(n_servers: usize) -> Arc<Self> {
+        Arc::new(Shared {
+            partition: RwLock::new(BTreeMap::new()),
+            partition_active: AtomicBool::new(false),
+            partition_dropped: AtomicU64::new(0),
+            shed: (0..n_servers).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Installs a partition: servers listed in different groups can no
+    /// longer exchange messages. Unlisted servers stay connected to
+    /// everyone.
+    pub(crate) fn set_partition(&self, groups: &[Vec<ServerId>]) {
+        let mut map = self.partition.write();
+        map.clear();
+        for (g, members) in groups.iter().enumerate() {
+            for id in members {
+                map.insert(id.0, g as u32);
+            }
+        }
+        self.partition_active.store(!map.is_empty(), Ordering::Release);
+    }
+
+    /// Heals any installed partition.
+    pub(crate) fn clear_partition(&self) {
+        self.partition.write().clear();
+        self.partition_active.store(false, Ordering::Release);
+    }
+
+    /// True when the filter drops an envelope from `from` to `to`.
+    pub(crate) fn partitioned(&self, from: Endpoint, to: Endpoint) -> bool {
+        if !self.partition_active.load(Ordering::Acquire) {
+            return false;
+        }
+        let (Endpoint::Server(a), Endpoint::Server(b)) = (from, to) else {
+            return false;
+        };
+        let map = self.partition.read();
+        matches!((map.get(&a.0), map.get(&b.0)), (Some(x), Some(y)) if x != y)
+    }
+
+    /// Records one shed envelope addressed to server `id`.
+    pub(crate) fn record_shed(&self, id: ServerId) {
+        if let Some(c) = self.shed.get(id.0 as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Shed count attributed to server `id`.
+    pub(crate) fn shed_for(&self, id: ServerId) -> u64 {
+        self.shed.get(id.0 as usize).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Total envelopes shed at full inboxes, all destinations.
+    pub(crate) fn shed_total(&self) -> u64 {
+        self.shed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total envelopes dropped by the partition filter.
+    pub(crate) fn partition_dropped(&self) -> u64 {
+        self.partition_dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_partition_drop(&self) {
+        self.partition_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of handing an envelope to a shard's transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxOutcome {
+    /// Enqueued / written out.
+    Delivered,
+    /// Destination inbox full; the envelope was dropped.
+    Shed,
+    /// No route / destination gone; the envelope was dropped.
+    Dropped,
+}
+
+/// What a shard needs from its wire: batch receive with a bounded
+/// wait, and a non-blocking send.
+pub(crate) trait ShardTransport: Send + 'static {
+    /// Sends one envelope leaving this shard.
+    fn send(&mut self, env: Envelope<Message>) -> TxOutcome;
+
+    /// Waits up to `nap` for traffic, then drains up to `max`
+    /// envelopes into `out` without blocking. Returns `false` when the
+    /// transport is dead and the shard should exit.
+    fn recv_batch(&mut self, nap: Duration, max: usize, out: &mut Vec<Envelope<Message>>) -> bool;
+}
+
+/// Control-plane messages to one shard. Commands ride a separate
+/// unbounded channel so a flooded data inbox can never wedge chaos
+/// verbs or shutdown.
+pub(crate) enum Command {
+    /// Drop the server's in-memory state (flushing durable buffers);
+    /// subsequent envelopes to it are blackholed. Replies `false` when
+    /// the server is not on this shard or already down.
+    Crash(ServerId, Sender<bool>),
+    /// Rebuild the server from its config (+ durable state when the
+    /// deployment has durability configured). Also restarts a
+    /// *running* server (crash-restart in one verb).
+    Restart(ServerId, Sender<bool>),
+    /// Report per-server stats of live local servers (shed counters
+    /// folded in by the deployment) and this shard's busy time.
+    Snapshot(Sender<ShardSnapshot>),
+}
+
+/// One shard's answer to [`Command::Snapshot`].
+pub(crate) struct ShardSnapshot {
+    /// Stats of the shard's *live* servers.
+    pub stats: Vec<(ServerId, ServerStats)>,
+    /// Wall clock this shard spent processing (timers + dispatch),
+    /// excluding transport waits.
+    pub busy: Duration,
+}
+
+/// One server slot on a shard; `server: None` = crashed.
+struct Slot {
+    id: ServerId,
+    server: Option<LocationServer>,
+}
+
+/// A single event-loop shard. Generic over the transport so the
+/// channel (threaded) and UDP deployments share the loop verbatim.
+pub(crate) struct Shard<T: ShardTransport> {
+    transport: T,
+    slots: Vec<Slot>,
+    /// Server id → index into `slots`.
+    local: BTreeMap<u32, usize>,
+    hierarchy: Arc<Hierarchy>,
+    opts: ServerOptions,
+    shared: Arc<Shared>,
+    cmd_rx: Receiver<Command>,
+    shutdown: Arc<AtomicBool>,
+    epoch: Instant,
+    batch_max: usize,
+    busy: Duration,
+    /// Same-shard forwarding queue: outputs addressed to a local
+    /// server loop here instead of through the transport.
+    local_q: VecDeque<Envelope<Message>>,
+}
+
+impl<T: ShardTransport> Shard<T> {
+    #[allow(clippy::too_many_arguments)] // internal constructor, called from two deployments
+    pub(crate) fn new(
+        transport: T,
+        servers: Vec<LocationServer>,
+        hierarchy: Arc<Hierarchy>,
+        opts: ServerOptions,
+        shared: Arc<Shared>,
+        cmd_rx: Receiver<Command>,
+        shutdown: Arc<AtomicBool>,
+        epoch: Instant,
+        batch_max: usize,
+    ) -> Self {
+        let mut slots = Vec::with_capacity(servers.len());
+        let mut local = BTreeMap::new();
+        for server in servers {
+            let id = server.id();
+            local.insert(id.0, slots.len());
+            slots.push(Slot { id, server: Some(server) });
+        }
+        Shard {
+            transport,
+            slots,
+            local,
+            hierarchy,
+            opts,
+            shared,
+            cmd_rx,
+            shutdown,
+            epoch,
+            batch_max: batch_max.max(1),
+            busy: Duration::ZERO,
+            local_q: VecDeque::new(),
+        }
+    }
+
+    fn now_us(&self) -> Micros {
+        self.epoch.elapsed().as_micros() as Micros
+    }
+
+    /// Runs the event loop until shutdown; returns the final stats of
+    /// the shard's live servers.
+    pub(crate) fn run(mut self) -> Vec<(ServerId, ServerStats)> {
+        let mut rxbuf: Vec<Envelope<Message>> = Vec::with_capacity(self.batch_max);
+        loop {
+            while let Ok(cmd) = self.cmd_rx.try_recv() {
+                self.apply(cmd);
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+
+            let t0 = Instant::now();
+            self.fire_timers();
+            self.drain_local();
+            self.busy += t0.elapsed();
+
+            let nap = self.nap();
+            rxbuf.clear();
+            if !self.transport.recv_batch(nap, self.batch_max, &mut rxbuf) {
+                break;
+            }
+            if !rxbuf.is_empty() {
+                let t1 = Instant::now();
+                self.local_q.extend(rxbuf.drain(..));
+                self.drain_local();
+                self.busy += t1.elapsed();
+            }
+        }
+        self.slots
+            .iter()
+            .filter_map(|s| s.server.as_ref().map(|sv| (s.id, sv.stats())))
+            .collect()
+    }
+
+    /// Time until the earliest live local timer, bounded by [`MAX_NAP`].
+    fn nap(&self) -> Duration {
+        let now = self.now_us();
+        let mut nap = MAX_NAP;
+        for slot in &self.slots {
+            if let Some(server) = &slot.server {
+                if let Some(t) = server.next_timer() {
+                    nap = nap.min(Duration::from_micros(t.saturating_sub(now)));
+                }
+            }
+        }
+        nap
+    }
+
+    fn fire_timers(&mut self) {
+        let now = self.now_us();
+        for i in 0..self.slots.len() {
+            let due = self.slots[i]
+                .server
+                .as_ref()
+                .and_then(|s| s.next_timer())
+                .map(|t| t <= now)
+                .unwrap_or(false);
+            if due {
+                let outs = self.slots[i].server.as_mut().expect("checked above").tick(now);
+                for out in outs {
+                    self.route(out);
+                }
+            }
+        }
+    }
+
+    /// Dispatches queued envelopes to local servers until the queue is
+    /// empty (protocol chains terminate, so this cannot loop forever).
+    fn drain_local(&mut self) {
+        while let Some(env) = self.local_q.pop_front() {
+            let Endpoint::Server(sid) = env.to else {
+                // Client-addressed envelopes never enter the local
+                // queue via `route`; a transport can still deliver a
+                // stray one — drop it.
+                continue;
+            };
+            let Some(&i) = self.local.get(&sid.0) else {
+                // Misrouted (not our shard): drop, UDP semantics.
+                continue;
+            };
+            let Some(server) = self.slots[i].server.as_mut() else {
+                continue; // crashed server: blackhole
+            };
+            let now = self.epoch.elapsed().as_micros() as Micros;
+            let outs = server.handle(now, env);
+            for out in outs {
+                self.route(out);
+            }
+        }
+    }
+
+    /// Routes one outbound envelope: partition filter, then same-shard
+    /// loopback or the transport. Sheds are attributed to the
+    /// destination server.
+    fn route(&mut self, env: Envelope<Message>) {
+        if self.shared.partitioned(env.from, env.to) {
+            self.shared.record_partition_drop();
+            return;
+        }
+        if let Endpoint::Server(sid) = env.to {
+            if self.local.contains_key(&sid.0) {
+                self.local_q.push_back(env);
+                return;
+            }
+            if self.transport.send(env) == TxOutcome::Shed {
+                self.shared.record_shed(sid);
+            }
+            return;
+        }
+        let _ = self.transport.send(env);
+    }
+
+    fn apply(&mut self, cmd: Command) {
+        match cmd {
+            Command::Crash(id, ack) => {
+                let ok = match self.local.get(&id.0) {
+                    Some(&i) if self.slots[i].server.is_some() => {
+                        // Dropping the instance releases durable file
+                        // handles (flushing buffered WAL bytes) — a
+                        // process crash, mirroring SimDeployment.
+                        self.slots[i].server = None;
+                        // Queued envelopes to it blackhole at dispatch.
+                        true
+                    }
+                    _ => false,
+                };
+                let _ = ack.send(ok);
+            }
+            Command::Restart(id, ack) => {
+                let ok = match self.local.get(&id.0) {
+                    Some(&i) => {
+                        // Drop any live instance first so the durable
+                        // engine reopens exclusively.
+                        self.slots[i].server = None;
+                        let cfg = self.hierarchy.server(id).clone();
+                        let server = LocationServer::new(cfg, self.opts.clone())
+                            .expect("server restart failed");
+                        self.slots[i].server = Some(server);
+                        true
+                    }
+                    None => false,
+                };
+                let _ = ack.send(ok);
+            }
+            Command::Snapshot(reply) => {
+                let stats = self
+                    .slots
+                    .iter()
+                    .filter_map(|s| s.server.as_ref().map(|sv| (s.id, sv.stats())))
+                    .collect();
+                let _ = reply.send(ShardSnapshot { stats, busy: self.busy });
+            }
+        }
+    }
+}
+
+/// Deployment-side handle to a fleet of shards: owns the command
+/// channels and joins the loops on shutdown.
+pub(crate) struct ShardSet {
+    pub(crate) shared: Arc<Shared>,
+    cmd_txs: Vec<Sender<Command>>,
+    /// Server id (`id.0`) → owning shard index.
+    owner: Vec<usize>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<Vec<(ServerId, ServerStats)>>>,
+}
+
+/// How long the deployment waits for a shard to answer a command
+/// before giving up (a shard observes commands within [`MAX_NAP`]).
+const COMMAND_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl ShardSet {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        shutdown: Arc<AtomicBool>,
+        owner: Vec<usize>,
+        cmd_txs: Vec<Sender<Command>>,
+        handles: Vec<std::thread::JoinHandle<Vec<(ServerId, ServerStats)>>>,
+    ) -> Self {
+        ShardSet { shared, cmd_txs, owner, shutdown, handles }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.cmd_txs.len()
+    }
+
+    fn command_to_owner(&self, id: ServerId, make: impl FnOnce(Sender<bool>) -> Command) -> bool {
+        let Some(&shard) = self.owner.get(id.0 as usize) else {
+            return false;
+        };
+        let (ack_tx, ack_rx) = unbounded();
+        if self.cmd_txs[shard].send(make(ack_tx)).is_err() {
+            return false;
+        }
+        matches!(ack_rx.recv_timeout(COMMAND_TIMEOUT), Ok(true))
+    }
+
+    /// Crashes `id` (process crash: state dropped, inbox blackholed).
+    pub(crate) fn crash_server(&self, id: ServerId) -> bool {
+        self.command_to_owner(id, |ack| Command::Crash(id, ack))
+    }
+
+    /// Restarts `id` from config + durable state.
+    pub(crate) fn restart_server(&self, id: ServerId) -> bool {
+        self.command_to_owner(id, |ack| Command::Restart(id, ack))
+    }
+
+    /// Per-server stats of every live server, shed counters folded in,
+    /// ordered by server id. Also returns per-shard busy time.
+    pub(crate) fn snapshot(&self) -> (Vec<(ServerId, ServerStats)>, Vec<Duration>) {
+        let mut stats: Vec<(ServerId, ServerStats)> = Vec::new();
+        let mut busy = vec![Duration::ZERO; self.cmd_txs.len()];
+        for (i, tx) in self.cmd_txs.iter().enumerate() {
+            let (reply_tx, reply_rx) = unbounded();
+            if tx.send(Command::Snapshot(reply_tx)).is_err() {
+                continue;
+            }
+            match reply_rx.recv_timeout(COMMAND_TIMEOUT) {
+                Ok(snap) => {
+                    busy[i] = snap.busy;
+                    stats.extend(snap.stats);
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {}
+            }
+        }
+        for (id, s) in stats.iter_mut() {
+            s.inbox_shed = self.shared.shed_for(*id);
+        }
+        stats.sort_by_key(|(id, _)| id.0);
+        (stats, busy)
+    }
+
+    /// Signals shutdown, joins every shard, and returns final stats
+    /// (shed folded in) ordered by server id.
+    pub(crate) fn shutdown(&mut self) -> Vec<ServerStats> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let mut all: Vec<(ServerId, ServerStats)> = Vec::new();
+        for h in self.handles.drain(..) {
+            if let Ok(stats) = h.join() {
+                all.extend(stats);
+            }
+        }
+        for (id, s) in all.iter_mut() {
+            s.inbox_shed = self.shared.shed_for(*id);
+        }
+        all.sort_by_key(|(id, _)| id.0);
+        all.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+impl Drop for ShardSet {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

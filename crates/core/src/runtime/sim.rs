@@ -642,6 +642,17 @@ impl SimDeployment {
         (hits, misses)
     }
 
+    /// §6.5 per-cache (area / agent / position) hit/miss breakdown
+    /// summed over all servers — the ablation observable: which cache
+    /// earns its memory under a given workload.
+    pub fn cache_stats_by_cache(&self) -> crate::cache::CacheStats {
+        let mut total = crate::cache::CacheStats::default();
+        for s in &self.servers {
+            total.add(&s.cache_stats_detail());
+        }
+        total
+    }
+
     /// Switches every server's §6.5 cache configuration at runtime,
     /// dropping learned entries and hit/miss counters (servers start
     /// cold under the new config). Future restarts inherit the new

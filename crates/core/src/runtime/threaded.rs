@@ -1,4 +1,12 @@
-//! Threaded deployment: one OS thread per location server.
+//! Threaded deployment: sharded event loops over an in-process
+//! channel network.
+//!
+//! Until the sharded-runtime refactor this spawned one OS thread per
+//! server on an unbounded mailbox; it now fronts the
+//! [`sharded`](super::sharded) engine — servers are partitioned across
+//! per-core shards (`id % shards`), each shard drains its **bounded**
+//! inbox in batches, and overload is shed (dropped + counted per
+//! destination server) instead of queued without limit.
 
 // lint:allow-file(wallclock) real-time deployment runtime: deadlines and shutdown timeouts come from the host clock by design
 use crate::area::Hierarchy;
@@ -8,19 +16,59 @@ use crate::model::{
 };
 use crate::node::{LocationServer, ServerOptions, ServerStats};
 use crate::proto::Message;
+use crate::runtime::sharded::{
+    Command, Shard, ShardSet, ShardSpec, ShardTransport, Shared, TxOutcome,
+};
 use crate::runtime::UpdateOutcome;
 use hiloc_geo::Point;
-use hiloc_net::{ChannelNetwork, ClientId, CorrIdGen, Envelope, Mailbox, ServerId};
+use hiloc_net::{
+    ChannelNetwork, ClientId, CorrIdGen, Envelope, Mailbox, SendOutcome, ServerId,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Poll granularity of server threads (timer resolution).
-const POLL: Duration = Duration::from_millis(5);
+/// The channel-network transport of one shard: a bounded inbox shared
+/// by every local server, and the network for everything leaving the
+/// shard.
+struct ChannelTransport {
+    net: ChannelNetwork<Message>,
+    rx: hiloc_util::sync::channel::Receiver<Envelope<Message>>,
+}
 
-/// A location service running with one OS thread per server over an
+impl ShardTransport for ChannelTransport {
+    fn send(&mut self, env: Envelope<Message>) -> TxOutcome {
+        match self.net.send_outcome(env) {
+            SendOutcome::Delivered => TxOutcome::Delivered,
+            SendOutcome::Shed => TxOutcome::Shed,
+            SendOutcome::NoRoute => TxOutcome::Dropped,
+        }
+    }
+
+    fn recv_batch(
+        &mut self,
+        nap: Duration,
+        max: usize,
+        out: &mut Vec<Envelope<Message>>,
+    ) -> bool {
+        use hiloc_util::sync::channel::{RecvTimeoutError, TryRecvError};
+        match self.rx.recv_timeout(nap) {
+            Ok(env) => out.push(env),
+            Err(RecvTimeoutError::Timeout) => return true,
+            Err(RecvTimeoutError::Disconnected) => return false,
+        }
+        while out.len() < max {
+            match self.rx.try_recv() {
+                Ok(env) => out.push(env),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        true
+    }
+}
+
+/// A location service running as sharded event loops over an
 /// in-process channel network — the wall-clock substrate for the
 /// paper's Table 2 measurements (the message-path structure matches the
 /// UDP deployment; transport cost is a channel hop).
@@ -44,10 +92,9 @@ const POLL: Duration = Duration::from_millis(5);
 /// assert_eq!(ld.pos, Point::new(100.0, 100.0));
 /// ```
 pub struct ThreadedDeployment {
-    hierarchy: Hierarchy,
+    hierarchy: Arc<Hierarchy>,
     net: ChannelNetwork<Message>,
-    shutdown: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<ServerStats>>,
+    shards: ShardSet,
     epoch: Instant,
     next_client: Arc<AtomicU64>,
 }
@@ -56,59 +103,85 @@ impl std::fmt::Debug for ThreadedDeployment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedDeployment")
             .field("servers", &self.hierarchy.len())
+            .field("shards", &self.shards.shard_count())
             .finish()
     }
 }
 
 impl ThreadedDeployment {
-    /// Spawns one thread per server in the hierarchy.
+    /// Deploys with the default [`ShardSpec`] (one shard per available
+    /// core, 4096-envelope inboxes).
     ///
     /// # Panics
     ///
     /// Panics when a server cannot be constructed (durable store
     /// failure).
     pub fn new(hierarchy: Hierarchy, opts: ServerOptions) -> Self {
+        Self::new_sharded(hierarchy, opts, ShardSpec::default())
+    }
+
+    /// Deploys with an explicit shard layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a server cannot be constructed (durable store
+    /// failure).
+    pub fn new_sharded(hierarchy: Hierarchy, opts: ServerOptions, spec: ShardSpec) -> Self {
+        let hierarchy = Arc::new(hierarchy);
         let net: ChannelNetwork<Message> = ChannelNetwork::new();
+        let shared = Shared::new(hierarchy.len());
         let shutdown = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
-        let mut handles = Vec::with_capacity(hierarchy.len());
-        for cfg in hierarchy.servers() {
-            let mailbox = net.register(cfg.id.into());
-            let mut server =
-                LocationServer::new(cfg.clone(), opts.clone()).expect("server construction failed");
-            let net = net.clone();
-            let shutdown = Arc::clone(&shutdown);
-            handles.push(std::thread::spawn(move || {
-                while !shutdown.load(Ordering::Relaxed) {
-                    let now = epoch.elapsed().as_micros() as Micros;
-                    if server.next_timer().map(|t| t <= now).unwrap_or(false) {
-                        for e in server.tick(now) {
-                            net.send(e);
-                        }
-                    }
-                    if let Some(env) = mailbox.recv_timeout(POLL) {
-                        let now = epoch.elapsed().as_micros() as Micros;
-                        for e in server.handle(now, env) {
-                            net.send(e);
-                        }
-                        // Drain the backlog without re-checking timers
-                        // for every message (throughput path).
-                        while let Some(env) = mailbox.try_recv() {
-                            let now = epoch.elapsed().as_micros() as Micros;
-                            for e in server.handle(now, env) {
-                                net.send(e);
-                            }
-                        }
-                    }
-                }
-                server.stats()
-            }));
+        let n_shards = spec.resolve(hierarchy.len());
+
+        // One bounded inbox per shard; every server on the shard
+        // routes to it.
+        let mut inbox_rx = Vec::with_capacity(n_shards);
+        let mut inbox_tx = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = hiloc_util::sync::channel::bounded(spec.inbox_cap);
+            inbox_tx.push(tx);
+            inbox_rx.push(Some(rx));
         }
+        let mut owner = Vec::with_capacity(hierarchy.len());
+        let mut per_shard: Vec<Vec<LocationServer>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for cfg in hierarchy.servers() {
+            let shard = ShardSpec::shard_of(cfg.id, n_shards);
+            owner.push(shard);
+            net.register_sender(cfg.id.into(), inbox_tx[shard].clone());
+            let server =
+                LocationServer::new(cfg.clone(), opts.clone()).expect("server construction failed");
+            per_shard[shard].push(server);
+        }
+        drop(inbox_tx); // shards hold the only senders via the network
+
+        let mut cmd_txs = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for (i, servers) in per_shard.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = hiloc_util::sync::channel::unbounded::<Command>();
+            cmd_txs.push(cmd_tx);
+            let transport = ChannelTransport {
+                net: net.clone(),
+                rx: inbox_rx[i].take().expect("receiver taken once"),
+            };
+            let shard = Shard::new(
+                transport,
+                servers,
+                Arc::clone(&hierarchy),
+                opts.clone(),
+                Arc::clone(&shared),
+                cmd_rx,
+                Arc::clone(&shutdown),
+                epoch,
+                spec.batch_max,
+            );
+            handles.push(std::thread::spawn(move || shard.run()));
+        }
+
         ThreadedDeployment {
             hierarchy,
             net,
-            shutdown,
-            handles,
+            shards: ShardSet::new(shared, shutdown, owner, cmd_txs, handles),
             epoch,
             next_client: Arc::new(AtomicU64::new(1 << 48)),
         }
@@ -117,6 +190,11 @@ impl ThreadedDeployment {
     /// The deployment's hierarchy.
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
+    }
+
+    /// Number of event-loop shards actually running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
     }
 
     /// The leaf server responsible for `p`.
@@ -133,6 +211,61 @@ impl ThreadedDeployment {
         self.epoch.elapsed().as_micros() as Micros
     }
 
+    /// Crashes server `id` in place (process crash: in-memory state
+    /// dropped, durable state kept, inbox traffic blackholed). Returns
+    /// `false` when the server is already down.
+    pub fn crash_server(&self, id: ServerId) -> bool {
+        self.shards.crash_server(id)
+    }
+
+    /// Restarts server `id` from its config and durable state (also
+    /// crash-restarts a running server). Returns `false` on an unknown
+    /// id.
+    pub fn restart_server(&self, id: ServerId) -> bool {
+        self.shards.restart_server(id)
+    }
+
+    /// Installs a partition-by-drop filter: server↔server envelopes
+    /// crossing the listed groups are dropped until
+    /// [`ThreadedDeployment::clear_partition`]. Client traffic is
+    /// unaffected.
+    pub fn set_partition(&self, groups: &[Vec<ServerId>]) {
+        self.shards.shared.set_partition(groups);
+    }
+
+    /// Heals any installed partition.
+    pub fn clear_partition(&self) {
+        self.shards.shared.clear_partition();
+    }
+
+    /// Total envelopes dropped at full bounded inboxes so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shards.shared.shed_total()
+    }
+
+    /// Shed envelopes attributed to destination server `id`.
+    pub fn shed_for(&self, id: ServerId) -> u64 {
+        self.shards.shared.shed_for(id)
+    }
+
+    /// Envelopes dropped by the partition filter so far.
+    pub fn partition_dropped(&self) -> u64 {
+        self.shards.shared.partition_dropped()
+    }
+
+    /// Mid-run stats of every live server (shed counters folded in),
+    /// ordered by server id.
+    pub fn stats_snapshot(&self) -> Vec<(ServerId, ServerStats)> {
+        self.shards.snapshot().0
+    }
+
+    /// Per-shard busy time: wall clock spent processing (timers +
+    /// dispatch), excluding idle waits. The max entry is the
+    /// critical-path cost of the work so far.
+    pub fn shard_busy(&self) -> Vec<Duration> {
+        self.shards.snapshot().1
+    }
+
     /// Creates a blocking client handle (thread-safe to create from any
     /// thread; each handle is single-threaded).
     pub fn client(&self) -> SyncClient {
@@ -141,6 +274,7 @@ impl ThreadedDeployment {
         SyncClient {
             id,
             net: self.net.clone(),
+            shared: Arc::clone(&self.shards.shared),
             mailbox,
             corr: CorrIdGen::namespaced(id.0 & 0xFF_FFFF),
             epoch: self.epoch,
@@ -149,25 +283,11 @@ impl ThreadedDeployment {
         }
     }
 
-    /// Stops all server threads and returns their final stats.
+    /// Stops all shards and returns per-server final stats (shed
+    /// counters folded in), ordered by server id. Crashed servers are
+    /// absent.
     pub fn shutdown(mut self) -> Vec<ServerStats> {
-        self.shutdown.store(true, Ordering::Relaxed);
-        let mut stats = Vec::with_capacity(self.handles.len());
-        for h in self.handles.drain(..) {
-            if let Ok(s) = h.join() {
-                stats.push(s);
-            }
-        }
-        stats
-    }
-}
-
-impl Drop for ThreadedDeployment {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.shards.shutdown()
     }
 }
 
@@ -178,6 +298,7 @@ impl Drop for ThreadedDeployment {
 pub struct SyncClient {
     id: ClientId,
     net: ChannelNetwork<Message>,
+    shared: Arc<Shared>,
     mailbox: Mailbox<Message>,
     corr: CorrIdGen,
     epoch: Instant,
@@ -208,7 +329,34 @@ impl SyncClient {
     }
 
     fn send(&self, to: ServerId, msg: Message) {
-        self.net.send(Envelope::new(self.id.into(), to.into(), msg));
+        let out = self.net.send_outcome(Envelope::new(self.id.into(), to.into(), msg));
+        if out == SendOutcome::Shed {
+            self.shared.record_shed(to);
+        }
+    }
+
+    /// Fire-and-forget position update: no ack wait, no retry. Returns
+    /// `true` when the envelope was enqueued, `false` when it was shed
+    /// at a full inbox or unrouted — the overload-generator primitive
+    /// (a blocking [`SyncClient::update`] would throttle itself to the
+    /// server's drain rate and never overflow an inbox).
+    pub fn update_nowait(&mut self, agent: ServerId, sighting: Sighting) -> bool {
+        let env = Envelope::new(self.id.into(), agent.into(), Message::UpdateReq { sighting });
+        match self.net.send_outcome(env) {
+            SendOutcome::Delivered => true,
+            SendOutcome::Shed => {
+                self.shared.record_shed(agent);
+                false
+            }
+            SendOutcome::NoRoute => false,
+        }
+    }
+
+    /// Drops any buffered responses (acks from past fire-and-forget
+    /// bursts) so they cannot satisfy a later wait.
+    pub fn drain_mailbox(&mut self) {
+        self.stash.clear();
+        while self.mailbox.try_recv().is_some() {}
     }
 
     fn wait_for(&mut self, mut pred: impl FnMut(&Message) -> bool) -> Result<Message, LsError> {
@@ -287,6 +435,32 @@ impl SyncClient {
                 Ok(UpdateOutcome::NewAgent { agent: new_agent, offered_acc_m })
             }
             Message::OutOfServiceArea { .. } => Ok(UpdateOutcome::OutOfServiceArea),
+            _ => unreachable!("filtered by wait_for"),
+        }
+    }
+
+    /// Sends a coalesced batch of position updates (one
+    /// [`Message::UpdateBatch`] envelope) to `agent` and waits for the
+    /// batch acknowledgement — the bulk-reporting primitive the
+    /// shard-scaling benchmark drives. Returns the `(object, offered
+    /// accuracy)` pairs applied in place; objects that triggered a
+    /// handover or deregistration are missing from the list and
+    /// produce their usual individual messages.
+    ///
+    /// # Errors
+    ///
+    /// [`LsError::Timeout`] when no batch ack arrives.
+    pub fn update_batch(
+        &mut self,
+        agent: ServerId,
+        sightings: Vec<Sighting>,
+    ) -> Result<Vec<(ObjectId, f64)>, LsError> {
+        let corr = self.corr.next_id();
+        self.send(agent, Message::UpdateBatch { sightings, corr });
+        match self
+            .wait_for(|m| matches!(m, Message::UpdateBatchAck { corr: c, .. } if *c == corr))?
+        {
+            Message::UpdateBatchAck { acks, .. } => Ok(acks),
             _ => unreachable!("filtered by wait_for"),
         }
     }

@@ -1,11 +1,18 @@
-//! UDP deployment: every location server on its own UDP socket.
+//! UDP deployment: sharded event loops, one UDP socket per shard.
 //!
 //! The paper's prototype ran its protocols "on top of UDP to achieve
 //! efficient client/server and server/server interactions"; this
-//! runtime does the same with blocking sockets — one socket and one OS
-//! thread per server, datagrams carrying the binary-encoded
-//! [`Message`]s. It is the deployment you would split across real hosts
-//! (the address book is plain socket addresses).
+//! runtime does the same over the [`sharded`](super::sharded) engine —
+//! servers are partitioned across shards (`id % shards`), each shard
+//! owns **one** socket and drains it in batches (one timed receive,
+//! then non-blocking syscalls until `WouldBlock`), and same-shard
+//! server→server traffic never touches the network. It is the
+//! deployment you would split across real hosts (the address book is
+//! plain socket addresses). The inbox bound here is the kernel socket
+//! buffer: a flooded shard sheds datagrams in the kernel, invisible to
+//! the application — the channel-backed
+//! [`ThreadedDeployment`](super::ThreadedDeployment) is the runtime
+//! with *accounted* shedding.
 
 // lint:allow-file(wallclock) real-time deployment runtime: deadlines and shutdown timeouts come from the host clock by design
 use crate::area::Hierarchy;
@@ -13,8 +20,11 @@ use crate::model::{
     LocationDescriptor, LsError, Micros, NeighborAnswer, ObjectId, RangeAnswer, RangeQuery,
     Sighting,
 };
-use crate::node::{LocationServer, ServerOptions};
+use crate::node::{LocationServer, ServerOptions, ServerStats};
 use crate::proto::Message;
+use crate::runtime::sharded::{
+    Command, Shard, ShardSet, ShardSpec, ShardTransport, Shared, TxOutcome,
+};
 use crate::runtime::UpdateOutcome;
 use hiloc_geo::Point;
 use hiloc_net::{ClientId, CorrIdGen, Endpoint, Envelope, ServerId, UdpEndpoint, UdpError};
@@ -23,12 +33,32 @@ use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Upper bound on how long a server thread waits for a datagram before
-/// re-checking its timers (and the shutdown flag).
-const MAX_TIMER_NAP: Duration = Duration::from_millis(50);
+/// One shard's wire: a single UDP socket serving every local server.
+struct UdpTransport {
+    ep: UdpEndpoint<Message>,
+}
+
+impl ShardTransport for UdpTransport {
+    fn send(&mut self, env: Envelope<Message>) -> TxOutcome {
+        match self.ep.send(env) {
+            Ok(()) => TxOutcome::Delivered,
+            // Unknown route / oversized / transient I/O error: UDP
+            // semantics, the datagram is simply gone.
+            Err(_) => TxOutcome::Dropped,
+        }
+    }
+
+    fn recv_batch(
+        &mut self,
+        nap: Duration,
+        max: usize,
+        out: &mut Vec<Envelope<Message>>,
+    ) -> bool {
+        self.ep.recv_batch(nap, max, out).is_ok()
+    }
+}
 
 /// A location service deployed over real UDP sockets (localhost by
 /// default; the address book generalizes to multiple hosts).
@@ -54,52 +84,105 @@ const MAX_TIMER_NAP: Duration = Duration::from_millis(50);
 /// # }
 /// ```
 pub struct UdpDeployment {
-    hierarchy: Hierarchy,
+    hierarchy: Arc<Hierarchy>,
     addrs: BTreeMap<Endpoint, SocketAddr>,
-    shutdown: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
+    shards: ShardSet,
     epoch: Instant,
     next_client: AtomicU64,
 }
 
 impl std::fmt::Debug for UdpDeployment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UdpDeployment").field("servers", &self.hierarchy.len()).finish()
+        f.debug_struct("UdpDeployment")
+            .field("servers", &self.hierarchy.len())
+            .field("shards", &self.shards.shard_count())
+            .finish()
     }
 }
 
 impl UdpDeployment {
-    /// Binds one UDP socket per server on ephemeral localhost ports and
-    /// spawns the server threads.
+    /// Binds with the default [`ShardSpec`] (one shard — and one
+    /// socket — per available core).
     ///
     /// # Errors
     ///
     /// Returns an error when a socket cannot be bound or a server's
     /// durable store cannot be opened.
     pub fn bind(hierarchy: Hierarchy, opts: ServerOptions) -> Result<Self, UdpError> {
+        Self::bind_sharded(hierarchy, opts, ShardSpec::default())
+    }
+
+    /// Binds one UDP socket per shard on ephemeral localhost ports and
+    /// spawns the shard event loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a socket cannot be bound or a server's
+    /// durable store cannot be opened.
+    pub fn bind_sharded(
+        hierarchy: Hierarchy,
+        opts: ServerOptions,
+        spec: ShardSpec,
+    ) -> Result<Self, UdpError> {
+        let hierarchy = Arc::new(hierarchy);
         let epoch = Instant::now();
-        let mut endpoints = Vec::with_capacity(hierarchy.len());
-        let mut addrs: BTreeMap<Endpoint, SocketAddr> = BTreeMap::new();
-        for cfg in hierarchy.servers() {
-            let ep: UdpEndpoint<Message> =
-                UdpEndpoint::bind(cfg.id.into(), "127.0.0.1:0".parse().expect("valid addr"))?;
-            addrs.insert(cfg.id.into(), ep.local_addr()?);
-            endpoints.push(ep);
+        let n_shards = spec.resolve(hierarchy.len());
+
+        // One socket per shard; every server on shard `s` shares it.
+        // The socket's endpoint identity is the shard's lowest server
+        // id (cosmetic — envelopes carry their own from/to).
+        let mut shard_eps = Vec::with_capacity(n_shards);
+        let mut shard_addrs = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let ep: UdpEndpoint<Message> = UdpEndpoint::bind(
+                ServerId(s as u32).into(),
+                "127.0.0.1:0".parse().expect("valid addr"),
+            )?;
+            shard_addrs.push(ep.local_addr()?);
+            shard_eps.push(Some(ep));
         }
+        let mut addrs: BTreeMap<Endpoint, SocketAddr> = BTreeMap::new();
+        let mut owner = Vec::with_capacity(hierarchy.len());
+        for cfg in hierarchy.servers() {
+            let shard = ShardSpec::shard_of(cfg.id, n_shards);
+            owner.push(shard);
+            addrs.insert(cfg.id.into(), shard_addrs[shard]);
+        }
+
+        let shared = Shared::new(hierarchy.len());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let mut handles = Vec::with_capacity(endpoints.len());
-        for (cfg, ep) in hierarchy.servers().iter().zip(endpoints) {
-            ep.add_routes(addrs.iter().map(|(e, a)| (*e, *a)));
+        let mut per_shard: Vec<Vec<LocationServer>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for cfg in hierarchy.servers() {
             let server = LocationServer::new(cfg.clone(), opts.clone())
                 .map_err(|e| UdpError::Io(std::io::Error::other(e.to_string())))?;
-            let stop = Arc::clone(&shutdown);
-            handles.push(std::thread::spawn(move || server_loop(server, ep, epoch, stop)));
+            per_shard[ShardSpec::shard_of(cfg.id, n_shards)].push(server);
         }
+
+        let mut cmd_txs = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for (s, servers) in per_shard.into_iter().enumerate() {
+            let ep = shard_eps[s].take().expect("endpoint taken once");
+            ep.add_routes(addrs.iter().map(|(e, a)| (*e, *a)));
+            let (cmd_tx, cmd_rx) = hiloc_util::sync::channel::unbounded::<Command>();
+            cmd_txs.push(cmd_tx);
+            let shard = Shard::new(
+                UdpTransport { ep },
+                servers,
+                Arc::clone(&hierarchy),
+                opts.clone(),
+                Arc::clone(&shared),
+                cmd_rx,
+                Arc::clone(&shutdown),
+                epoch,
+                spec.batch_max,
+            );
+            handles.push(std::thread::spawn(move || shard.run()));
+        }
+
         Ok(UdpDeployment {
             hierarchy,
             addrs,
-            shutdown,
-            handles,
+            shards: ShardSet::new(shared, shutdown, owner, cmd_txs, handles),
             epoch,
             next_client: AtomicU64::new(1 << 52),
         })
@@ -119,14 +202,52 @@ impl UdpDeployment {
         self.hierarchy.leaf_for(p).expect("position outside the service area")
     }
 
-    /// The socket address a server is bound to.
+    /// The socket address a server is reachable at (its shard's
+    /// socket).
     pub fn server_addr(&self, id: ServerId) -> Option<SocketAddr> {
         self.addrs.get(&Endpoint::Server(id)).copied()
+    }
+
+    /// Number of event-loop shards (= sockets) actually running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
     }
 
     /// Microseconds since deployment start.
     pub fn now_us(&self) -> Micros {
         self.epoch.elapsed().as_micros() as Micros
+    }
+
+    /// Crashes server `id` in place (process crash: in-memory state
+    /// dropped, durable state kept, incoming datagrams blackholed).
+    /// Returns `false` when the server is already down.
+    pub fn crash_server(&self, id: ServerId) -> bool {
+        self.shards.crash_server(id)
+    }
+
+    /// Restarts server `id` from its config and durable state (also
+    /// crash-restarts a running server). Returns `false` on an unknown
+    /// id.
+    pub fn restart_server(&self, id: ServerId) -> bool {
+        self.shards.restart_server(id)
+    }
+
+    /// Installs a partition-by-drop filter: server↔server envelopes
+    /// crossing the listed groups are dropped until
+    /// [`UdpDeployment::clear_partition`]. Client traffic is
+    /// unaffected.
+    pub fn set_partition(&self, groups: &[Vec<ServerId>]) {
+        self.shards.shared.set_partition(groups);
+    }
+
+    /// Heals any installed partition.
+    pub fn clear_partition(&self) {
+        self.shards.shared.clear_partition();
+    }
+
+    /// Mid-run stats of every live server, ordered by server id.
+    pub fn stats_snapshot(&self) -> Vec<(ServerId, ServerStats)> {
+        self.shards.snapshot().0
     }
 
     /// Creates a client bound to its own UDP socket, with routes to
@@ -150,55 +271,17 @@ impl UdpDeployment {
         })
     }
 
-    /// Stops all server threads and waits for them to exit.
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+    /// Stops all shards and waits for them to exit. Use
+    /// [`UdpDeployment::shutdown_with_stats`] to also collect the final
+    /// per-server counters.
+    pub fn shutdown(self) {
+        let _ = self.shutdown_with_stats();
     }
-}
 
-impl Drop for UdpDeployment {
-    fn drop(&mut self) {
-        // Belt and braces: signal the threads even when `shutdown` was
-        // never called, so a dropped deployment does not leak loops.
-        self.shutdown.store(true, Ordering::Relaxed);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn server_loop(
-    mut server: LocationServer,
-    ep: UdpEndpoint<Message>,
-    epoch: Instant,
-    shutdown: Arc<AtomicBool>,
-) {
-    while !shutdown.load(Ordering::Relaxed) {
-        // Fire due timers before blocking on the socket.
-        let now = epoch.elapsed().as_micros() as Micros;
-        if server.next_timer().map(|t| t <= now).unwrap_or(false) {
-            for out in server.tick(now) {
-                let _ = ep.send(out);
-            }
-        }
-        let now = epoch.elapsed().as_micros() as Micros;
-        let nap = match server.next_timer() {
-            Some(t) => Duration::from_micros(t.saturating_sub(now)).min(MAX_TIMER_NAP),
-            None => MAX_TIMER_NAP,
-        };
-        match ep.recv_timeout(nap) {
-            Ok(Some(env)) => {
-                let now = epoch.elapsed().as_micros() as Micros;
-                for out in server.handle(now, env) {
-                    let _ = ep.send(out);
-                }
-            }
-            Ok(None) => {} // timer nap elapsed; loop re-checks timers
-            Err(_) => break,
-        }
+    /// Stops all shards and returns per-server final stats, ordered by
+    /// server id. Crashed servers are absent.
+    pub fn shutdown_with_stats(mut self) -> Vec<ServerStats> {
+        self.shards.shutdown()
     }
 }
 
@@ -238,6 +321,14 @@ impl UdpClient {
         self.ep
             .send(Envelope::new(self.id.into(), to.into(), msg))
             .map_err(|_| LsError::NoRoute)
+    }
+
+    /// Drops buffered responses — stashed and pending on the socket —
+    /// so late acks from timed-out operations cannot satisfy a later
+    /// wait.
+    pub fn drain_mailbox(&mut self) {
+        self.stash.clear();
+        while matches!(self.ep.recv_timeout(Duration::from_millis(1)), Ok(Some(_))) {}
     }
 
     fn wait_for(&mut self, mut pred: impl FnMut(&Message) -> bool) -> Result<Message, LsError> {

@@ -1,0 +1,213 @@
+//! The sharded runtime's chaos surface: crash / restart / partition
+//! verbs, bounded-inbox shedding, and explicit shard layouts — on both
+//! real transports.
+
+use hiloc_core::area::HierarchyBuilder;
+use hiloc_core::model::{ObjectId, Sighting};
+use hiloc_core::runtime::{ShardSpec, ThreadedDeployment, UdpDeployment};
+use hiloc_geo::{Point, Rect};
+use hiloc_net::ServerId;
+use std::time::Duration;
+
+fn hierarchy(extent: f64, levels: u32, fanout: u32) -> hiloc_core::area::Hierarchy {
+    HierarchyBuilder::grid(
+        Rect::new(Point::new(0.0, 0.0), Point::new(extent, extent)),
+        levels,
+        fanout,
+    )
+    .build()
+    .unwrap()
+}
+
+#[test]
+fn explicit_shard_layout_is_respected() {
+    // 1 + 4 servers over 3 shards.
+    let ls = ThreadedDeployment::new_sharded(
+        hierarchy(1_000.0, 1, 2),
+        Default::default(),
+        ShardSpec { shards: 3, ..Default::default() },
+    );
+    assert_eq!(ls.shard_count(), 3);
+    // The service still works across shard boundaries.
+    let mut client = ls.client();
+    let pos = Point::new(100.0, 100.0);
+    let entry = ls.leaf_for(pos);
+    let (agent, _) = client
+        .register(entry, Sighting::new(ObjectId(1), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("registration across shards");
+    let ld = client.pos_query(agent, ObjectId(1)).expect("query across shards");
+    assert_eq!(ld.pos, pos);
+    // More shards than servers clamps.
+    let small = ThreadedDeployment::new_sharded(
+        hierarchy(500.0, 0, 2),
+        Default::default(),
+        ShardSpec { shards: 64, ..Default::default() },
+    );
+    assert_eq!(small.shard_count(), 1);
+}
+
+#[test]
+fn crash_blackholes_then_restart_recovers() {
+    let ls = ThreadedDeployment::new_sharded(
+        hierarchy(1_000.0, 1, 2),
+        Default::default(),
+        ShardSpec { shards: 2, ..Default::default() },
+    );
+    let mut client = ls.client();
+    client.set_timeout(Duration::from_millis(300));
+    let pos = Point::new(100.0, 100.0);
+    let entry = ls.leaf_for(pos);
+    let (agent, _) = client
+        .register(entry, Sighting::new(ObjectId(7), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("registration");
+
+    assert!(ls.crash_server(agent), "first crash succeeds");
+    assert!(!ls.crash_server(agent), "double crash reports false");
+    // The crashed agent blackholes updates: the client times out.
+    let r = client.update(agent, Sighting::new(ObjectId(7), client.now_us(), pos, 5.0));
+    assert!(r.is_err(), "update to a crashed server must not be acked");
+
+    assert!(ls.restart_server(agent), "restart succeeds");
+    // Volatile deployment: state is gone, but the server is live again
+    // and accepts a fresh registration.
+    let (agent2, _) = client
+        .register(entry, Sighting::new(ObjectId(7), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("re-registration after restart");
+    let ld = client.pos_query(agent2, ObjectId(7)).expect("query after restart");
+    assert_eq!(ld.pos, pos);
+}
+
+#[test]
+fn partition_by_drop_blocks_cross_group_traffic_until_healed() {
+    // Root (id 0) + 4 leaves (ids 1..=4).
+    let h = hierarchy(1_000.0, 1, 2);
+    let ls = ThreadedDeployment::new_sharded(
+        h,
+        Default::default(),
+        ShardSpec { shards: 2, ..Default::default() },
+    );
+    let mut client = ls.client();
+    client.set_timeout(Duration::from_millis(300));
+    let pos = Point::new(100.0, 100.0);
+    let entry = ls.leaf_for(pos);
+
+    // Cut the entry leaf off from everyone else: registration needs
+    // the leaf→root path, so the path-create never lands upward.
+    ls.set_partition(&[vec![entry], vec![ServerId(0)]]);
+    let _ = client.register(
+        entry,
+        Sighting::new(ObjectId(1), client.now_us(), pos, 5.0),
+        10.0,
+        50.0,
+        2.0,
+    );
+    assert!(
+        ls.partition_dropped() > 0,
+        "the filter must have dropped cross-group server traffic"
+    );
+
+    // Heal; service recovers end to end.
+    ls.clear_partition();
+    client.set_timeout(Duration::from_secs(5));
+    let (agent, _) = client
+        .register(entry, Sighting::new(ObjectId(2), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("registration after heal");
+    let ld = client.pos_query(agent, ObjectId(2)).expect("query after heal");
+    assert_eq!(ld.pos, pos);
+}
+
+#[test]
+fn tiny_inbox_sheds_under_fire_and_forget_flood() {
+    let ls = ThreadedDeployment::new_sharded(
+        hierarchy(1_000.0, 1, 2),
+        Default::default(),
+        ShardSpec { shards: 1, inbox_cap: 2, batch_max: 8 },
+    );
+    let mut client = ls.client();
+    let pos = Point::new(100.0, 100.0);
+    let entry = ls.leaf_for(pos);
+    let (agent, _) = client
+        .register(entry, Sighting::new(ObjectId(1), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("registration");
+
+    // Blast fire-and-forget updates far faster than a 2-slot inbox
+    // can drain; the overflow must shed, not queue without limit.
+    let mut delivered = 0u64;
+    for _ in 0..2_000 {
+        if client.update_nowait(agent, Sighting::new(ObjectId(1), client.now_us(), pos, 5.0)) {
+            delivered += 1;
+        }
+        if ls.shed_total() > 0 && delivered > 0 {
+            break;
+        }
+    }
+    assert!(ls.shed_total() > 0, "a 2-slot inbox must shed under a 2k burst");
+    assert!(delivered > 0, "some updates still get through");
+    assert_eq!(ls.shed_for(agent), ls.shed_total(), "sheds attributed to the flooded leaf");
+
+    // The deployment stays healthy: a blocking op still completes.
+    // Shedding is load-shedding, not failure — the request itself can
+    // be dropped at the hot inbox, so a real client retries.
+    client.drain_mailbox();
+    client.set_timeout(Duration::from_millis(500));
+    let ld = (0..20)
+        .find_map(|_| client.pos_query(agent, ObjectId(1)).ok())
+        .expect("query succeeds once the flood drains");
+    assert_eq!(ld.pos, pos);
+
+    // The shed counter surfaces through ServerStats at shutdown.
+    let agent_idx = agent.0 as usize;
+    let stats = ls.shutdown();
+    assert_eq!(stats[agent_idx].inbox_shed, stats.iter().map(|s| s.inbox_shed).sum::<u64>());
+    assert!(stats[agent_idx].inbox_shed > 0);
+}
+
+#[test]
+fn stats_snapshot_reports_live_counters_mid_run() {
+    let ls = ThreadedDeployment::new_sharded(
+        hierarchy(1_000.0, 1, 2),
+        Default::default(),
+        ShardSpec { shards: 2, ..Default::default() },
+    );
+    let mut client = ls.client();
+    let pos = Point::new(900.0, 900.0);
+    let entry = ls.leaf_for(pos);
+    client
+        .register(entry, Sighting::new(ObjectId(3), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("registration");
+    let stats = ls.stats_snapshot();
+    assert_eq!(stats.len(), ls.hierarchy().len());
+    assert!(stats.iter().is_sorted_by_key(|(id, _)| id.0));
+    assert_eq!(stats.iter().map(|(_, s)| s.registrations).sum::<u64>(), 1);
+}
+
+#[test]
+fn udp_sharded_crash_restart_and_cross_shard_ops() {
+    let ls = UdpDeployment::bind_sharded(
+        hierarchy(1_000.0, 1, 2),
+        Default::default(),
+        ShardSpec { shards: 2, ..Default::default() },
+    )
+    .expect("bind");
+    assert_eq!(ls.shard_count(), 2);
+    let mut client = ls.client().expect("client socket");
+    let pos = Point::new(100.0, 100.0);
+    let entry = ls.leaf_for(pos);
+    let (agent, _) = client
+        .register(entry, Sighting::new(ObjectId(9), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("registration over sharded UDP");
+    let ld = client.pos_query(agent, ObjectId(9)).expect("query over sharded UDP");
+    assert_eq!(ld.pos, pos);
+
+    assert!(ls.crash_server(agent));
+    client.set_timeout(Duration::from_millis(300));
+    assert!(client.pos_query(agent, ObjectId(9)).is_err(), "crashed server blackholes");
+    assert!(ls.restart_server(agent));
+    client.set_timeout(Duration::from_secs(5));
+    let (agent2, _) = client
+        .register(entry, Sighting::new(ObjectId(9), client.now_us(), pos, 5.0), 10.0, 50.0, 2.0)
+        .expect("re-registration after UDP restart");
+    let ld = client.pos_query(agent2, ObjectId(9)).expect("query after UDP restart");
+    assert_eq!(ld.pos, pos);
+    ls.shutdown();
+}

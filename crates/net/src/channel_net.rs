@@ -1,11 +1,33 @@
 //! In-process channel network for threaded wall-clock runs.
 
 use crate::{Endpoint, Envelope};
-use hiloc_util::sync::channel::{unbounded, Receiver, Sender, TryRecvError};
+use hiloc_util::sync::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use hiloc_util::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default per-mailbox capacity for [`ChannelNetwork::register`].
+///
+/// Every mailbox is bounded: a stalled or crashed receiver sheds
+/// excess traffic (UDP semantics) instead of accumulating envelopes
+/// without limit. Deployments that want tighter overload behaviour
+/// (the sharded runtime's per-shard inboxes) pass an explicit cap via
+/// [`ChannelNetwork::register_bounded`] / [`ChannelNetwork::register_sender`].
+pub const DEFAULT_MAILBOX_CAP: usize = 4096;
+
+/// Outcome of a [`ChannelNetwork::send_outcome`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Enqueued on the destination's mailbox.
+    Delivered,
+    /// The destination's bounded mailbox was full; the envelope was
+    /// dropped (overload shedding).
+    Shed,
+    /// No such endpoint is registered (or its receiver is gone); the
+    /// envelope was dropped.
+    NoRoute,
+}
 
 /// The receiving side of a registered endpoint.
 ///
@@ -94,17 +116,39 @@ impl<M> ChannelNetwork<M> {
         ChannelNetwork { routes: Arc::new(RwLock::new(BTreeMap::new())) }
     }
 
-    /// Registers `endpoint`, returning its mailbox.
+    /// Registers `endpoint` with the default bounded mailbox
+    /// ([`DEFAULT_MAILBOX_CAP`]), returning its mailbox.
     ///
     /// # Panics
     ///
     /// Panics if the endpoint is already registered — a deployment
     /// wiring bug that must fail fast.
     pub fn register(&self, endpoint: Endpoint) -> Mailbox<M> {
-        let (tx, rx) = unbounded();
+        self.register_bounded(endpoint, DEFAULT_MAILBOX_CAP)
+    }
+
+    /// Registers `endpoint` with an explicit mailbox capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint is already registered, or `cap == 0`.
+    pub fn register_bounded(&self, endpoint: Endpoint, cap: usize) -> Mailbox<M> {
+        let (tx, rx) = bounded(cap);
         let prev = self.routes.write().insert(endpoint, tx);
         assert!(prev.is_none(), "endpoint {endpoint} registered twice");
         Mailbox { endpoint, rx }
+    }
+
+    /// Routes `endpoint` to an existing sender, so several endpoints
+    /// can share one inbox (the sharded runtime maps every server on a
+    /// shard to that shard's bounded inbox).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint is already registered.
+    pub fn register_sender(&self, endpoint: Endpoint, tx: Sender<Envelope<M>>) {
+        let prev = self.routes.write().insert(endpoint, tx);
+        assert!(prev.is_none(), "endpoint {endpoint} registered twice");
     }
 
     /// Removes an endpoint; subsequent sends to it are dropped.
@@ -116,10 +160,21 @@ impl<M> ChannelNetwork<M> {
     /// registered and the message was enqueued (UDP semantics: sends to
     /// unknown destinations are silently dropped, but reported).
     pub fn send(&self, env: Envelope<M>) -> bool {
+        self.send_outcome(env) == SendOutcome::Delivered
+    }
+
+    /// Sends an envelope, distinguishing overload shedding
+    /// ([`SendOutcome::Shed`], destination mailbox full) from a missing
+    /// route. Never blocks: a full bounded mailbox drops the envelope.
+    pub fn send_outcome(&self, env: Envelope<M>) -> SendOutcome {
         let routes = self.routes.read();
         match routes.get(&env.to) {
-            Some(tx) => tx.send(env).is_ok(),
-            None => false,
+            Some(tx) => match tx.try_send(env) {
+                Ok(()) => SendOutcome::Delivered,
+                Err(TrySendError::Full(_)) => SendOutcome::Shed,
+                Err(TrySendError::Disconnected(_)) => SendOutcome::NoRoute,
+            },
+            None => SendOutcome::NoRoute,
         }
     }
 
@@ -185,6 +240,43 @@ mod tests {
         }
         handle.join().unwrap();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn full_mailbox_sheds_instead_of_accumulating() {
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        let mb = net.register_bounded(ServerId(0).into(), 2);
+        let env = |v| Envelope::new(ClientId(1).into(), ServerId(0).into(), v);
+        assert_eq!(net.send_outcome(env(1)), SendOutcome::Delivered);
+        assert_eq!(net.send_outcome(env(2)), SendOutcome::Delivered);
+        // Mailbox full: the stalled server sheds, the sender never blocks.
+        assert_eq!(net.send_outcome(env(3)), SendOutcome::Shed);
+        assert!(!net.send(env(4)));
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.try_recv().unwrap().msg, 1);
+        assert_eq!(net.send_outcome(env(5)), SendOutcome::Delivered);
+    }
+
+    #[test]
+    fn unknown_destination_is_no_route() {
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        assert_eq!(
+            net.send_outcome(Envelope::new(ServerId(0).into(), ServerId(9).into(), 1)),
+            SendOutcome::NoRoute
+        );
+    }
+
+    #[test]
+    fn shared_sender_routes_two_endpoints_to_one_inbox() {
+        use hiloc_util::sync::channel::bounded;
+        let net: ChannelNetwork<u32> = ChannelNetwork::new();
+        let (tx, rx) = bounded(8);
+        net.register_sender(ServerId(0).into(), tx.clone());
+        net.register_sender(ServerId(1).into(), tx);
+        assert!(net.send(Envelope::new(ClientId(1).into(), ServerId(0).into(), 10)));
+        assert!(net.send(Envelope::new(ClientId(1).into(), ServerId(1).into(), 11)));
+        assert_eq!(rx.try_recv().unwrap().msg, 10);
+        assert_eq!(rx.try_recv().unwrap().msg, 11);
     }
 
     #[test]

@@ -27,10 +27,10 @@ mod sim_net;
 mod udp;
 pub mod wire;
 
-pub use channel_net::{ChannelNetwork, Mailbox};
+pub use channel_net::{ChannelNetwork, Mailbox, SendOutcome, DEFAULT_MAILBOX_CAP};
 pub use endpoint::{ClientId, Endpoint, ServerId};
 pub use sim_net::{FaultPlan, LatencyModel, LatencySpike, LinkFault, Partition, SimNet, TraceEntry};
-pub use udp::{UdpEndpoint, UdpError};
+pub use udp::{RecvBatch, SendBatch, UdpEndpoint, UdpError};
 pub use wire::WireCodec;
 
 use std::fmt;

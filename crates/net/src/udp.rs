@@ -58,6 +58,26 @@ const MAGIC: u16 = 0x4C53; // "LS"
 /// Maximum payload we will put in one datagram.
 const MAX_DATAGRAM: usize = 60_000;
 
+/// Counts from one [`UdpEndpoint::recv_batch`] drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecvBatch {
+    /// Well-formed envelopes appended to the caller's buffer.
+    pub received: usize,
+    /// Datagrams dropped as stray (bad magic, truncated, corrupt).
+    pub stray: usize,
+}
+
+/// Counts from one [`UdpEndpoint::send_many`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendBatch {
+    /// Envelopes written to the socket.
+    pub sent: usize,
+    /// Envelopes dropped: destination had no route.
+    pub no_route: usize,
+    /// Envelopes dropped: encoding exceeded the datagram limit.
+    pub too_large: usize,
+}
+
 use wire::{get_endpoint, put_endpoint};
 
 /// A UDP-backed network endpoint carrying [`Envelope`]s of `M`.
@@ -254,6 +274,100 @@ impl<M: WireCodec> UdpEndpoint<M> {
         })
     }
 
+    /// Waits up to `nap` for traffic, then drains the socket without
+    /// blocking — up to `max` envelopes appended to `out` — before
+    /// returning. This is the event-loop receive primitive: one
+    /// timed wait, then batch syscalls until `WouldBlock`, so a busy
+    /// socket costs ~one mode switch per *batch* instead of one timed
+    /// receive per *datagram*.
+    ///
+    /// Stray datagrams (bad magic, truncated or corrupt frames) are
+    /// counted and dropped without consuming the wait or panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the socket read fails for a reason other
+    /// than the timeout/empty-socket signal.
+    pub fn recv_batch(
+        &self,
+        nap: Duration,
+        max: usize,
+        out: &mut Vec<Envelope<M>>,
+    ) -> Result<RecvBatch, UdpError> {
+        let mut counts = RecvBatch::default();
+        if max == 0 {
+            return Ok(counts);
+        }
+        RECV_BUF.with_borrow_mut(|buf| {
+            // Phase 1: one blocking wait (bounded by `nap`) for the
+            // first datagram; strays burn none of the batch budget.
+            let deadline = Instant::now() + nap;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Ok(counts);
+                }
+                // A zero read timeout is rejected by the OS; round up.
+                self.socket
+                    .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+                match self.recv_step(buf) {
+                    Ok(Some(env)) => {
+                        out.push(env);
+                        counts.received += 1;
+                        break;
+                    }
+                    Ok(None) => counts.stray += 1,
+                    Err(UdpError::Io(ref e)) if is_timeout(e) => return Ok(counts),
+                    Err(e) => return Err(e),
+                }
+            }
+            // Phase 2: drain without blocking until the socket is empty
+            // or the batch is full.
+            self.socket.set_nonblocking(true)?;
+            let drained = loop {
+                if counts.received >= max {
+                    break Ok(());
+                }
+                match self.recv_step(buf) {
+                    Ok(Some(env)) => {
+                        out.push(env);
+                        counts.received += 1;
+                    }
+                    Ok(None) => counts.stray += 1,
+                    Err(UdpError::Io(ref e)) if is_timeout(e) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            // Restore blocking mode even when the drain failed.
+            self.socket.set_nonblocking(false)?;
+            drained.map(|()| counts)
+        })
+    }
+
+    /// Sends a batch of envelopes, reusing the thread-local encode
+    /// scratch across the whole run. Per-envelope soft failures
+    /// (unknown route, oversized encoding) are counted and the rest of
+    /// the batch still goes out — only hard socket errors abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a socket write fails.
+    pub fn send_many(
+        &self,
+        envs: impl IntoIterator<Item = Envelope<M>>,
+    ) -> Result<SendBatch, UdpError> {
+        let mut counts = SendBatch::default();
+        for env in envs {
+            match self.send(env) {
+                Ok(()) => counts.sent += 1,
+                Err(UdpError::UnknownRoute(_)) => counts.no_route += 1,
+                Err(UdpError::TooLarge(_)) => counts.too_large += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(counts)
+    }
+
     /// One receive attempt: `Ok(None)` when the datagram was stray.
     fn recv_step(&self, buf: &mut [u8]) -> Result<Option<Envelope<M>>, UdpError> {
         let (n, peer) = self.socket.recv_from(buf)?;
@@ -400,6 +514,113 @@ mod tests {
         let mut buf = Vec::new();
         msg.encode(&mut buf);
         assert!(buf.len() > MAX_DATAGRAM);
+    }
+
+    /// The full robustness sweep through a real socket: garbage (bad
+    /// magic), a truncated envelope (valid magic, body cut mid-frame),
+    /// and valid traffic interleaved. The receive loop must drop the
+    /// malformed datagrams — counting them as stray — and deliver every
+    /// valid frame without panicking.
+    #[test]
+    fn recv_batch_survives_garbage_and_truncated_frames() {
+        let a = bind(0);
+        let dst = a.local_addr().unwrap();
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        // 1: bad magic.
+        raw.send_to(b"\xDE\xADgarbage-not-a-frame", dst).unwrap();
+        // 2: valid magic, envelope truncated mid-message.
+        let mut frame = Vec::new();
+        wire::put_u16(&mut frame, MAGIC);
+        put_endpoint(&mut frame, ServerId(1).into());
+        put_endpoint(&mut frame, ServerId(0).into());
+        TestMsg(3, "truncate-me-please".into()).encode(&mut frame);
+        frame.truncate(frame.len() - 7);
+        raw.send_to(&frame, dst).unwrap();
+        // 3+4: valid traffic.
+        let b = bind(1);
+        b.add_route(ServerId(0).into(), dst);
+        for i in 0..2 {
+            b.send(Envelope::new(
+                ServerId(1).into(),
+                ServerId(0).into(),
+                TestMsg(i, format!("ok{i}")),
+            ))
+            .unwrap();
+        }
+
+        let mut out = Vec::new();
+        let mut total = RecvBatch::default();
+        // Drain until both valid frames arrive (delivery order of
+        // separate datagrams is not guaranteed to land in one batch).
+        while total.received < 2 {
+            let c = a.recv_batch(Duration::from_secs(5), 64, &mut out).unwrap();
+            assert!(c.received > 0 || c.stray > 0, "batch wait expired");
+            total.received += c.received;
+            total.stray += c.stray;
+        }
+        assert_eq!(total.stray, 2, "garbage + truncated both dropped as stray");
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|e| e.msg.1 == "ok0"));
+        assert!(out.iter().any(|e| e.msg.1 == "ok1"));
+    }
+
+    /// `recv_batch` drains a burst in one call (up to `max`) instead of
+    /// one datagram per timed receive.
+    #[test]
+    fn recv_batch_drains_burst_and_honors_max() {
+        let a = bind(0);
+        let b = bind(1);
+        b.add_route(ServerId(0).into(), a.local_addr().unwrap());
+        for i in 0..10u64 {
+            b.send(Envelope::new(
+                ServerId(1).into(),
+                ServerId(0).into(),
+                TestMsg(i, "burst".into()),
+            ))
+            .unwrap();
+        }
+        let mut out = Vec::new();
+        let mut got = 0;
+        while got < 10 {
+            let c = a.recv_batch(Duration::from_secs(5), 4, &mut out).unwrap();
+            assert!(c.received <= 4, "batch cap respected");
+            assert!(c.received > 0, "burst must arrive before the wait expires");
+            got += c.received;
+        }
+        let mut ids: Vec<u64> = out.iter().map(|e| e.msg.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    /// An oversized payload is rejected at the send socket (TooLarge),
+    /// and `send_many` skips it while the rest of the batch goes out.
+    #[test]
+    fn oversized_payload_rejected_at_socket_send() {
+        let a = bind(0);
+        let b = bind(1);
+        b.add_route(ServerId(0).into(), a.local_addr().unwrap());
+        let big = Envelope::new(
+            ServerId(1).into(),
+            ServerId(0).into(),
+            TestMsg(0, "x".repeat(MAX_DATAGRAM + 1)),
+        );
+        assert!(matches!(b.send(big.clone()).unwrap_err(), UdpError::TooLarge(_)));
+
+        let ok = Envelope::new(
+            ServerId(1).into(),
+            ServerId(0).into(),
+            TestMsg(1, "small".into()),
+        );
+        let unrouted = Envelope::new(
+            ServerId(1).into(),
+            ServerId(9).into(),
+            TestMsg(2, "nowhere".into()),
+        );
+        let counts = b.send_many([big, ok, unrouted]).unwrap();
+        assert_eq!(counts, SendBatch { sent: 1, no_route: 1, too_large: 1 });
+        let got = a.recv().unwrap();
+        assert_eq!(got.msg.1, "small");
     }
 
     #[test]

@@ -23,13 +23,19 @@
 //! * [`fuzz`] — a generative scenario fuzzer: seeded random (but
 //!   valid) fault/reshape timelines run against the same oracle, with
 //!   shrinking to a one-line replayable reproducer, including runs
-//!   with the §6.5 caches enabled under bounded-staleness semantics.
+//!   with the §6.5 caches enabled under bounded-staleness semantics;
+//! * [`real`] — the same generative idea pointed at the *deployment*
+//!   runtimes: seeded chaos plans (crash / restart / partition-by-drop
+//!   / overload bursts) executed over the sharded threaded and UDP
+//!   engines with an exactness oracle, plus a simulator parity
+//!   harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fuzz;
 pub mod mobility;
+pub mod real;
 pub mod scenario;
 mod stats;
 mod workload;

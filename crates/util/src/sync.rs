@@ -82,11 +82,15 @@ impl<T: ?Sized> RwLock<T> {
 }
 
 pub mod channel {
-    //! An unbounded channel with `len()`, `recv_timeout` and
+    //! Unbounded and bounded channels with `len()`, `recv_timeout` and
     //! crossbeam-style disconnect semantics.
     //!
     //! Senders are cheap to clone; the receiver observes disconnection
     //! once every sender is dropped **and** the queue has drained.
+    //! Bounded channels ([`bounded`]) add backpressure: `send` blocks
+    //! until space frees up, while [`Sender::try_send`] reports
+    //! [`TrySendError::Full`] immediately — the primitive behind the
+    //! sharded runtime's shed-on-overload inboxes.
 
     use super::Mutex;
     use std::collections::VecDeque;
@@ -97,6 +101,30 @@ pub mod channel {
     /// Sending on a channel whose receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Outcome of a non-blocking send attempt on a bounded channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the value is handed back so the
+        /// caller can shed it (count + drop) or retry.
+        Full(T),
+        /// The receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True for the [`TrySendError::Full`] outcome.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
 
     /// Blocking receive on a channel with no remaining senders.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,11 +152,16 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receiver_alive: bool,
+        /// `None` for unbounded channels.
+        cap: Option<usize>,
     }
 
     struct Inner<T> {
         state: Mutex<State<T>>,
         available: Condvar,
+        /// Signalled when a bounded queue pops below capacity (or the
+        /// receiver goes away) so blocked `send`s re-check.
+        space: Condvar,
     }
 
     /// The sending half; clone freely.
@@ -155,13 +188,33 @@ pub mod channel {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages.
+    ///
+    /// `send` blocks while full (backpressure); [`Sender::try_send`]
+    /// returns [`TrySendError::Full`] instead, letting the caller shed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0`: a zero-capacity rendezvous channel is
+    /// not supported (every `try_send` would shed).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be at least 1");
+        new_channel(Some(cap))
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receiver_alive: true,
+                cap,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
     }
@@ -187,24 +240,68 @@ pub mod channel {
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             self.inner.state.lock().receiver_alive = false;
+            // Senders parked on a full bounded queue must observe the
+            // disconnect rather than wait forever.
+            self.inner.space.notify_all();
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`.
+        /// Enqueues `value`, blocking while a bounded queue is full
+        /// (backpressure; unbounded channels never block).
         ///
         /// # Errors
         ///
         /// Returns the value when the receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.inner.state.lock();
-            if !st.receiver_alive {
-                return Err(SendError(value));
+            loop {
+                if !st.receiver_alive {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self
+                            .inner
+                            .space
+                            .wait(st)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
             }
             st.queue.push_back(value);
             drop(st);
             self.inner.available.notify_one();
             Ok(())
+        }
+
+        /// Non-blocking enqueue.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded queue is at capacity
+        /// (the shed outcome), [`TrySendError::Disconnected`] when the
+        /// receiver is gone. Both hand the value back.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.inner.state.lock();
+            if !st.receiver_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = st.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.inner.available.notify_one();
+            Ok(())
+        }
+
+        /// The channel's capacity; `None` when unbounded.
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.state.lock().cap
         }
     }
 
@@ -219,6 +316,8 @@ pub mod channel {
             let mut st = self.inner.state.lock();
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -243,6 +342,8 @@ pub mod channel {
             let mut st = self.inner.state.lock();
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -269,7 +370,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.inner.state.lock();
             match st.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(st);
+                    self.inner.space.notify_one();
+                    Ok(v)
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -355,6 +460,72 @@ pub mod channel {
             });
             assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(99));
             h.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_try_send_sheds_when_full() {
+            let (tx, rx) = bounded::<u32>(2);
+            assert_eq!(tx.capacity(), Some(2));
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            let err = tx.try_send(3).unwrap_err();
+            assert!(err.is_full());
+            assert_eq!(err.into_inner(), 3);
+            // Popping one frees one slot.
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_try_send_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.try_send(7), Err(TrySendError::Disconnected(7)));
+        }
+
+        #[test]
+        fn unbounded_try_send_never_full() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(tx.capacity(), None);
+            for i in 0..10_000 {
+                tx.try_send(i).unwrap();
+            }
+            assert_eq!(rx.len(), 10_000);
+        }
+
+        /// A blocking `send` on a full bounded queue parks until the
+        /// receiver drains a slot (backpressure, not shedding).
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // parks: queue is full
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+            h.join().unwrap();
+        }
+
+        /// A sender parked on a full queue must observe the receiver
+        /// dropping rather than hang.
+        #[test]
+        fn bounded_send_wakes_on_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(h.join().unwrap(), Err(SendError(2)));
+        }
+
+        #[test]
+        #[should_panic(expected = "capacity must be at least 1")]
+        fn zero_capacity_rejected() {
+            let _ = bounded::<u32>(0);
         }
     }
 }
